@@ -1,0 +1,98 @@
+// Ablation benches for this implementation's design choices (DESIGN.md §5),
+// beyond the paper's own Table VI:
+//   - number of wavelet branches m (mother-wavelet orders used per TF-Block),
+//   - number of stacked TF-Blocks N (paper default 2),
+//   - inception kernel count in the ConvBackbone.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/ts3net.h"
+#include "data/window.h"
+
+namespace ts3net {
+namespace bench {
+namespace {
+
+struct Variant {
+  std::string label;
+  std::vector<int> branch_orders;
+  int num_blocks;
+  int num_kernels;
+};
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  BenchSettings s = ParseBenchSettings(flags,
+                                       /*default_datasets=*/{"ETTh1"},
+                                       /*default_models=*/{},
+                                       /*default_horizons=*/{96});
+
+  const std::vector<Variant> variants = {
+      {"m=1 N=2 k=2", {1}, 2, 2},
+      {"m=2 N=2 k=2 (default)", {1, 2}, 2, 2},
+      {"m=3 N=2 k=2", {1, 2, 3}, 2, 2},
+      {"m=2 N=1 k=2", {1, 2}, 1, 2},
+      {"m=2 N=3 k=2", {1, 2}, 3, 2},
+      {"m=2 N=2 k=1", {1, 2}, 2, 1},
+      {"m=2 N=2 k=3", {1, 2}, 2, 3},
+      {"STFT expansion", {1}, 2, 2},  // tf_mode switched below
+  };
+
+  std::printf("== Design ablations: branches / blocks / inception kernels ==\n\n");
+  std::printf("%-24s %10s %10s %12s\n", "variant", "MSE", "MAE", "params");
+
+  for (const std::string& dataset : s.datasets) {
+    train::ExperimentSpec base;
+    base.dataset = dataset;
+    base.length_fraction = s.fraction;
+    base.channel_cap = s.channel_cap;
+    base.lookback = s.lookback;
+    base.train = s.train;
+    auto prepared = train::PrepareData(base);
+    if (!prepared.ok()) continue;
+
+    for (const Variant& v : variants) {
+      core::TS3NetOptions opt;
+      opt.seq_len = s.lookback;
+      opt.pred_len = s.horizons[0];
+      opt.channels = prepared.value().channels;
+      opt.d_model = s.config.d_model;
+      opt.d_ff = s.config.d_ff;
+      opt.lambda = s.config.lambda;
+      opt.dropout = s.config.dropout;
+      opt.branch_orders = v.branch_orders;
+      opt.num_blocks = v.num_blocks;
+      opt.num_kernels = v.num_kernels;
+      if (v.label == "STFT expansion") opt.tf_mode = core::TfMode::kStft;
+
+      Rng rng(s.train.seed * 7919 + 13);
+      core::TS3Net model(opt, &rng);
+
+      data::ForecastDataset train_ds(prepared.value().scaled.train.values,
+                                     s.lookback, opt.pred_len);
+      data::ForecastDataset val_ds(prepared.value().scaled.val.values,
+                                   s.lookback, opt.pred_len);
+      data::ForecastDataset test_ds(prepared.value().scaled.test.values,
+                                    s.lookback, opt.pred_len);
+      train::FitForecast(&model, train_ds, val_ds, s.train);
+      train::EvalResult result = train::EvaluateForecast(
+          &model, test_ds, s.train.batch_size, s.train.max_batches_per_epoch);
+      std::printf("%-24s %10.3f %10.3f %12lld\n", v.label.c_str(), result.mse,
+                  result.mae, static_cast<long long>(model.NumParameters()));
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ts3net
+
+int main(int argc, char** argv) { return ts3net::bench::Run(argc, argv); }

@@ -1,0 +1,58 @@
+#ifndef TS3NET_BENCH_ASCII_PLOT_H_
+#define TS3NET_BENCH_ASCII_PLOT_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ts3net {
+namespace bench {
+
+/// Renders up to three series into a terminal chart. Each series gets its own
+/// glyph; overlapping points show the later series' glyph.
+inline void AsciiPlot(const std::vector<std::vector<float>>& series,
+                      const std::vector<std::string>& labels, int height = 14,
+                      int width = 110) {
+  if (series.empty()) return;
+  const char glyphs[] = {'*', '+', 'o'};
+  float lo = 1e30f, hi = -1e30f;
+  size_t longest = 0;
+  for (const auto& s : series) {
+    longest = std::max(longest, s.size());
+    for (float v : s) {
+      if (std::isfinite(v)) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+  }
+  if (longest == 0 || hi <= lo) return;
+  const float span = hi - lo;
+
+  std::vector<std::string> canvas(height, std::string(width, ' '));
+  for (size_t si = 0; si < series.size() && si < 3; ++si) {
+    const auto& s = series[si];
+    for (size_t i = 0; i < s.size(); ++i) {
+      int col = static_cast<int>(i * (width - 1) / std::max<size_t>(1, longest - 1));
+      float norm = (s[i] - lo) / span;
+      int row = height - 1 - static_cast<int>(norm * (height - 1));
+      row = std::clamp(row, 0, height - 1);
+      col = std::clamp(col, 0, width - 1);
+      canvas[row][col] = glyphs[si];
+    }
+  }
+  std::printf("  %+.2f\n", hi);
+  for (const std::string& line : canvas) std::printf("  |%s\n", line.c_str());
+  std::printf("  %+.2f\n  legend:", lo);
+  for (size_t si = 0; si < labels.size() && si < 3; ++si) {
+    std::printf("  %c = %s", glyphs[si], labels[si].c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace ts3net
+
+#endif  // TS3NET_BENCH_ASCII_PLOT_H_

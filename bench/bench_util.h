@@ -1,0 +1,160 @@
+#ifndef TS3NET_BENCH_BENCH_UTIL_H_
+#define TS3NET_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "train/experiment.h"
+
+namespace ts3net {
+namespace bench {
+
+/// Default experiment geometry shared by the table harnesses. Every bench
+/// accepts the same flags so the suite can be scaled from the laptop default
+/// to the paper protocol:
+///   --datasets=ETTh1,Exchange   --models=TS3Net,DLinear
+///   --horizons=96,192           --lookback=96
+///   --epochs=2 --batches=10 --batch=16 --lr=0.002
+///   --dmodel=16 --layers=2 --lambda=6
+///   --fraction=0.06 (synthetic length as a fraction of the real dataset)
+///   --cap=24 (channel cap for Electricity/Traffic)
+///   --paper (paper-scale grid: all datasets, horizons 96..720, 10 epochs)
+struct BenchSettings {
+  std::vector<std::string> datasets;
+  std::vector<std::string> models;
+  std::vector<int64_t> horizons;
+  int64_t lookback = 96;
+  double fraction = 0.06;
+  int64_t channel_cap = 24;
+  int repeats = 1;  // --repeats=N averages each cell over N model seeds
+  train::TrainOptions train;
+  models::ModelConfig config;
+};
+
+inline BenchSettings ParseBenchSettings(
+    const FlagParser& flags, std::vector<std::string> default_datasets,
+    std::vector<std::string> default_models,
+    std::vector<int64_t> default_horizons) {
+  BenchSettings s;
+  const bool paper = flags.GetBool("paper", false);
+  if (paper) {
+    default_datasets = {"ETTm1", "ETTm2", "ETTh1", "ETTh2", "Electricity",
+                        "Traffic", "Weather", "Exchange", "ILI"};
+    default_horizons = {96, 192, 336, 720};
+  }
+  s.datasets = default_datasets;
+  if (flags.Has("datasets")) {
+    s.datasets = StrSplit(flags.GetString("datasets", ""), ',');
+  }
+  s.models = default_models;
+  if (flags.Has("models")) {
+    s.models = StrSplit(flags.GetString("models", ""), ',');
+  }
+  s.horizons = flags.GetIntList("horizons", default_horizons);
+  s.lookback = flags.GetInt("lookback", 96);
+  s.fraction = flags.GetDouble("fraction", paper ? 1.0 : 0.06);
+  s.channel_cap = flags.GetInt("cap", paper ? 0 : 24);
+
+  s.train.epochs = static_cast<int>(flags.GetInt("epochs", paper ? 10 : 3));
+  s.train.batch_size = flags.GetInt("batch", paper ? 32 : 16);
+  s.train.lr = static_cast<float>(flags.GetDouble("lr", 5e-3));
+  s.train.max_batches_per_epoch = flags.GetInt("batches", paper ? 0 : 30);
+  s.train.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  s.repeats = static_cast<int>(flags.GetInt("repeats", 1));
+
+  s.config.d_model = flags.GetInt("dmodel", 16);
+  s.config.d_ff = flags.GetInt("dff", s.config.d_model);
+  s.config.num_layers = static_cast<int>(flags.GetInt("layers", 2));
+  s.config.lambda = static_cast<int>(flags.GetInt("lambda", paper ? 100 : 6));
+  s.config.dropout = static_cast<float>(flags.GetDouble("dropout", 0.1));
+  return s;
+}
+
+/// Runs one cell `repeats` times with different model/shuffle seeds and
+/// averages the metrics (the paper repeats every experiment three times).
+/// Returns false if any repeat fails.
+inline bool RunCellAveraged(train::ExperimentSpec spec,
+                            const train::PreparedData& prepared, int repeats,
+                            train::EvalResult* out) {
+  double mse = 0, mae = 0;
+  for (int r = 0; r < repeats; ++r) {
+    spec.train.seed += static_cast<uint64_t>(r) * 101;
+    auto result = train::RunExperimentOnData(spec, prepared);
+    if (!result.ok()) {
+      std::fprintf(stderr, "  %s/%s: %s\n", spec.dataset.c_str(),
+                   spec.model.c_str(), result.status().ToString().c_str());
+      return false;
+    }
+    mse += result.value().mse;
+    mae += result.value().mae;
+  }
+  out->mse = mse / repeats;
+  out->mae = mae / repeats;
+  return true;
+}
+
+/// ILI uses a short lookback and short horizons in the paper (Table IV).
+inline void AdjustForIli(const std::string& dataset, int64_t* lookback,
+                         std::vector<int64_t>* horizons) {
+  if (dataset != "ILI") return;
+  *lookback = 36;
+  for (int64_t& h : *horizons) {
+    if (h >= 96) h = h / 4;  // 96->24, 192->48, 336->84, 720->180
+  }
+}
+
+/// One (MSE, MAE) cell keyed by model name.
+using Row = std::map<std::string, train::EvalResult>;
+
+inline void PrintHeader(const std::vector<std::string>& models) {
+  std::printf("%-22s", "setting");
+  for (const auto& m : models) std::printf(" | %16s", m.c_str());
+  std::printf("\n%-22s", "");
+  for (size_t i = 0; i < models.size(); ++i) std::printf(" | %7s %8s", "MSE", "MAE");
+  std::printf("\n");
+}
+
+inline void PrintRow(const std::string& setting,
+                     const std::vector<std::string>& models, const Row& row) {
+  std::printf("%-22s", setting.c_str());
+  for (const auto& m : models) {
+    auto it = row.find(m);
+    if (it == row.end()) {
+      std::printf(" | %7s %8s", "-", "-");
+    } else {
+      std::printf(" | %7.3f %8.3f", it->second.mse, it->second.mae);
+    }
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+/// Counts how many settings each model wins (lowest MSE), the paper's
+/// "1st Count" summary line.
+inline void PrintFirstCount(const std::vector<std::string>& models,
+                            const std::vector<Row>& rows) {
+  std::map<std::string, int> wins;
+  for (const Row& row : rows) {
+    std::string best;
+    double best_mse = 0;
+    for (const auto& [name, result] : row) {
+      if (best.empty() || result.mse < best_mse) {
+        best = name;
+        best_mse = result.mse;
+      }
+    }
+    if (!best.empty()) ++wins[best];
+  }
+  std::printf("%-22s", "1st count (MSE)");
+  for (const auto& m : models) std::printf(" | %16d", wins[m]);
+  std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace ts3net
+
+#endif  // TS3NET_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,82 @@
+// Google-benchmark micro benchmarks for model forward passes and full
+// training steps (forward + backward + Adam), one per model in the zoo.
+
+#include <benchmark/benchmark.h>
+
+#include "models/registry.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace ts3net {
+namespace {
+
+models::ModelConfig BenchConfig() {
+  models::ModelConfig c;
+  c.seq_len = 96;
+  c.pred_len = 96;
+  c.channels = 7;
+  c.d_model = 16;
+  c.d_ff = 16;
+  c.num_layers = 2;
+  c.lambda = 6;
+  c.dropout = 0.0f;
+  return c;
+}
+
+void BM_ModelForward(benchmark::State& state, const std::string& name) {
+  Rng rng(1);
+  auto model = models::CreateModel(name, BenchConfig(), &rng);
+  TS3_CHECK(model.ok()) << model.status().ToString();
+  model.value()->SetTraining(false);
+  Rng xr(2);
+  Tensor x = Tensor::Randn({8, 96, 7}, &xr);
+  for (auto _ : state) {
+    Tensor y = model.value()->Forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+
+void BM_ModelTrainStep(benchmark::State& state, const std::string& name) {
+  Rng rng(3);
+  auto model = models::CreateModel(name, BenchConfig(), &rng);
+  TS3_CHECK(model.ok()) << model.status().ToString();
+  Rng xr(4);
+  Tensor x = Tensor::Randn({8, 96, 7}, &xr);
+  Tensor y = Tensor::Randn({8, 96, 7}, &xr);
+  nn::Adam adam(model.value()->Parameters());
+  for (auto _ : state) {
+    adam.ZeroGrad();
+    Tensor loss = nn::MseLoss(model.value()->Forward(x), y);
+    loss.Backward();
+    adam.Step();
+    benchmark::DoNotOptimize(loss.data());
+  }
+}
+
+#define TS3_MODEL_BENCH(name)                                       \
+  BENCHMARK_CAPTURE(BM_ModelForward, name, #name)                   \
+      ->Unit(benchmark::kMillisecond)                               \
+      ->Iterations(3);                                              \
+  BENCHMARK_CAPTURE(BM_ModelTrainStep, name, #name)                 \
+      ->Unit(benchmark::kMillisecond)                               \
+      ->Iterations(3)
+
+TS3_MODEL_BENCH(TS3Net);
+TS3_MODEL_BENCH(PatchTST);
+TS3_MODEL_BENCH(TimesNet);
+TS3_MODEL_BENCH(MICN);
+TS3_MODEL_BENCH(LightTS);
+TS3_MODEL_BENCH(DLinear);
+TS3_MODEL_BENCH(FEDformer);
+TS3_MODEL_BENCH(Stationary);
+TS3_MODEL_BENCH(Autoformer);
+TS3_MODEL_BENCH(Pyraformer);
+TS3_MODEL_BENCH(Informer);
+
+#undef TS3_MODEL_BENCH
+
+}  // namespace
+}  // namespace ts3net
+
+BENCHMARK_MAIN();

@@ -1,0 +1,155 @@
+// Google-benchmark micro benchmarks for the numeric substrates: FFT, CWT,
+// IWT, spectrum gradient, matmul, conv2d, and the moving-average trend
+// decomposition. These track the kernels every table harness spends its time
+// in.
+
+#include <benchmark/benchmark.h>
+
+#include "core/decomposition.h"
+#include "core/sgd_layer.h"
+#include "signal/cwt.h"
+#include "signal/fft.h"
+#include "signal/period.h"
+#include "signal/trend.h"
+#include "tensor/ops.h"
+
+namespace ts3net {
+namespace {
+
+void BM_FftPowerOfTwo(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<Complex> data(n);
+  for (auto& c : data) c = Complex(rng.Gaussian(0, 1), 0);
+  for (auto _ : state) {
+    std::vector<Complex> buf = data;
+    Fft(&buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FftPowerOfTwo)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_FftBluestein(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<Complex> data(n);
+  for (auto& c : data) c = Complex(rng.Gaussian(0, 1), 0);
+  for (auto _ : state) {
+    std::vector<Complex> buf = data;
+    Fft(&buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FftBluestein)->Arg(96)->Arg(100)->Arg(720);
+
+void BM_CwtAmplitude(benchmark::State& state) {
+  const int lambda = static_cast<int>(state.range(0));
+  const int64_t t_len = state.range(1);
+  WaveletBankOptions opt;
+  opt.num_subbands = lambda;
+  WaveletBank bank = WaveletBank::Create(opt);
+  Rng rng(3);
+  Tensor x = Tensor::Randn({t_len, 7}, &rng);
+  for (auto _ : state) {
+    Tensor amp = CwtAmplitude(x, bank);
+    benchmark::DoNotOptimize(amp.data());
+  }
+}
+BENCHMARK(BM_CwtAmplitude)
+    ->Args({8, 96})
+    ->Args({16, 96})
+    ->Args({16, 192})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CwtMatrixOp(benchmark::State& state) {
+  const int lambda = static_cast<int>(state.range(0));
+  WaveletBankOptions opt;
+  opt.num_subbands = lambda;
+  WaveletBank bank = WaveletBank::Create(opt);
+  auto [w_re, w_im] = BuildCwtMatrices(bank, 96);
+  Rng rng(4);
+  Tensor x = Tensor::Randn({16, 96, 16}, &rng);
+  for (auto _ : state) {
+    Tensor amp = CwtAmplitudeOp(x, w_re, w_im);
+    benchmark::DoNotOptimize(amp.data());
+  }
+}
+BENCHMARK(BM_CwtMatrixOp)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_SpectrumGradientDecompose(benchmark::State& state) {
+  WaveletBankOptions opt;
+  opt.num_subbands = 8;
+  WaveletBank bank = WaveletBank::Create(opt);
+  core::SpectrumGradientLayer layer(&bank, 96);
+  Rng rng(5);
+  Tensor x = Tensor::Randn({16, 96, 16}, &rng);
+  for (auto _ : state) {
+    auto out = layer.Decompose(x, 24);
+    benchmark::DoNotOptimize(out.regular.data());
+  }
+}
+BENCHMARK(BM_SpectrumGradientDecompose)->Unit(benchmark::kMillisecond);
+
+void BM_TripleDecompose(benchmark::State& state) {
+  WaveletBankOptions opt;
+  opt.num_subbands = static_cast<int>(state.range(0));
+  WaveletBank bank = WaveletBank::Create(opt);
+  Rng rng(6);
+  Tensor x = Tensor::Randn({192, 7}, &rng);
+  for (auto _ : state) {
+    core::TripleParts parts = core::TripleDecompose(x, bank);
+    benchmark::DoNotOptimize(parts.regular.data());
+  }
+}
+BENCHMARK(BM_TripleDecompose)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(7);
+  Tensor a = Tensor::Randn({n, n}, &rng);
+  Tensor b = Tensor::Randn({n, n}, &rng);
+  for (auto _ : state) {
+    Tensor c = MatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv2d(benchmark::State& state) {
+  Rng rng(8);
+  Tensor x = Tensor::Randn({8, 16, 8, 96}, &rng);
+  Tensor w = Tensor::Randn({16, 16, 3, 3}, &rng, 0.1f);
+  for (auto _ : state) {
+    Tensor y = Conv2d(x, w, Tensor(), 1, 1);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Conv2d)->Unit(benchmark::kMillisecond);
+
+void BM_TrendDecompose(benchmark::State& state) {
+  Rng rng(9);
+  Tensor x = Tensor::Randn({16, 96, 21}, &rng);
+  for (auto _ : state) {
+    TrendDecomposition td = DecomposeTrend(x, {25});
+    benchmark::DoNotOptimize(td.trend.data());
+  }
+}
+BENCHMARK(BM_TrendDecompose)->Unit(benchmark::kMillisecond);
+
+void BM_PeriodDetection(benchmark::State& state) {
+  Rng rng(10);
+  Tensor x = Tensor::Randn({96, 21}, &rng);
+  for (auto _ : state) {
+    auto periods = DetectTopKPeriods(x, 3);
+    benchmark::DoNotOptimize(periods.data());
+  }
+}
+BENCHMARK(BM_PeriodDetection);
+
+}  // namespace
+}  // namespace ts3net
+
+BENCHMARK_MAIN();

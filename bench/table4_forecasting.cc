@@ -1,0 +1,78 @@
+// Reproduces paper Table IV: long-term forecasting MSE/MAE across datasets,
+// horizons, and models. The default grid is CPU-scaled (3 datasets, 2
+// horizons, 5 models); pass --paper for the full protocol or override
+// individual flags (see bench_util.h).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace ts3net {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  BenchSettings s = ParseBenchSettings(
+      flags,
+      /*default_datasets=*/{"ETTh1", "Electricity", "Exchange"},
+      /*default_models=*/
+      {"TS3Net", "PatchTST", "TimesNet", "DLinear", "Informer"},
+      /*default_horizons=*/{96, 192});
+
+  std::printf("== Table IV: long-term forecasting (MSE/MAE, standardized) ==\n");
+  std::printf("lookback=%lld (36 for ILI), synthetic fraction=%.3f\n\n",
+              static_cast<long long>(s.lookback), s.fraction);
+  PrintHeader(s.models);
+
+  std::vector<Row> rows;
+  for (const std::string& dataset : s.datasets) {
+    int64_t lookback = s.lookback;
+    std::vector<int64_t> horizons = s.horizons;
+    AdjustForIli(dataset, &lookback, &horizons);
+
+    train::ExperimentSpec base;
+    base.dataset = dataset;
+    base.length_fraction = s.fraction;
+    base.channel_cap = s.channel_cap;
+    base.lookback = lookback;
+    base.config = s.config;
+    base.train = s.train;
+
+    auto prepared = train::PrepareData(base);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "skip %s: %s\n", dataset.c_str(),
+                   prepared.status().ToString().c_str());
+      continue;
+    }
+
+    for (int64_t horizon : horizons) {
+      Row row;
+      for (const std::string& model : s.models) {
+        train::ExperimentSpec spec = base;
+        spec.model = model;
+        spec.horizon = horizon;
+        train::EvalResult cell;
+        if (RunCellAveraged(spec, prepared.value(), s.repeats, &cell)) {
+          row[model] = cell;
+        }
+      }
+      PrintRow(dataset + " H=" + std::to_string(horizon), s.models, row);
+      rows.push_back(row);
+    }
+  }
+  std::printf("\n");
+  PrintFirstCount(s.models, rows);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ts3net
+
+int main(int argc, char** argv) { return ts3net::bench::Run(argc, argv); }

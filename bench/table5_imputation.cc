@@ -1,0 +1,80 @@
+// Reproduces paper Table V: imputation MSE/MAE on length-96 windows with
+// randomly masked time points at ratios {12.5%, 25%, 37.5%, 50%}. Metrics are
+// computed on the masked positions only.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace ts3net {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  BenchSettings s = ParseBenchSettings(
+      flags,
+      /*default_datasets=*/{"ETTh1"},
+      /*default_models=*/{"TS3Net", "TimesNet", "DLinear"},
+      /*default_horizons=*/{});
+  std::vector<double> ratios = {0.125, 0.25, 0.375, 0.5};
+  if (flags.Has("ratios")) {
+    ratios.clear();
+    for (int64_t permille : flags.GetIntList("ratios", {})) {
+      ratios.push_back(permille / 1000.0);
+    }
+  }
+
+  std::printf("== Table V: imputation (MSE/MAE on masked points) ==\n");
+  std::printf("window=%lld, synthetic fraction=%.3f\n\n",
+              static_cast<long long>(s.lookback), s.fraction);
+  PrintHeader(s.models);
+
+  std::vector<Row> rows;
+  for (const std::string& dataset : s.datasets) {
+    train::ExperimentSpec base;
+    base.dataset = dataset;
+    base.length_fraction = s.fraction;
+    base.channel_cap = s.channel_cap;
+    base.lookback = s.lookback;
+    base.config = s.config;
+    base.train = s.train;
+
+    auto prepared = train::PrepareData(base);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "skip %s: %s\n", dataset.c_str(),
+                   prepared.status().ToString().c_str());
+      continue;
+    }
+
+    for (double ratio : ratios) {
+      Row row;
+      for (const std::string& model : s.models) {
+        train::ExperimentSpec spec = base;
+        spec.model = model;
+        spec.mask_ratio = ratio;
+        train::EvalResult cell;
+        if (RunCellAveraged(spec, prepared.value(), s.repeats, &cell)) {
+          row[model] = cell;
+        }
+      }
+      PrintRow(dataset + " mask=" + StrFormat("%.1f%%", ratio * 100.0),
+               s.models, row);
+      rows.push_back(row);
+    }
+  }
+  std::printf("\n");
+  PrintFirstCount(s.models, rows);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ts3net
+
+int main(int argc, char** argv) { return ts3net::bench::Run(argc, argv); }

@@ -1,0 +1,70 @@
+// Reproduces paper Table VI: architecture ablations. "w/o TD" removes the
+// triple decomposition (no trend split, no S-GD), "w/o TF-Block" replaces the
+// spectrum expansion with plain 1-D replication, "w/o Both" removes both.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace ts3net {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  BenchSettings s = ParseBenchSettings(
+      flags,
+      /*default_datasets=*/{"ETTm1", "Exchange"},
+      /*default_models=*/
+      {"TS3Net", "TS3Net-woTD", "TS3Net-woTF", "TS3Net-woBoth"},
+      /*default_horizons=*/{96});
+
+  std::printf("== Table VI: ablations on the TS3Net architecture ==\n\n");
+  PrintHeader(s.models);
+
+  std::vector<Row> rows;
+  for (const std::string& dataset : s.datasets) {
+    train::ExperimentSpec base;
+    base.dataset = dataset;
+    base.length_fraction = s.fraction;
+    base.channel_cap = s.channel_cap;
+    base.lookback = s.lookback;
+    base.config = s.config;
+    base.train = s.train;
+
+    auto prepared = train::PrepareData(base);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "skip %s: %s\n", dataset.c_str(),
+                   prepared.status().ToString().c_str());
+      continue;
+    }
+    for (int64_t horizon : s.horizons) {
+      Row row;
+      for (const std::string& model : s.models) {
+        train::ExperimentSpec spec = base;
+        spec.model = model;
+        spec.horizon = horizon;
+        train::EvalResult cell;
+        if (RunCellAveraged(spec, prepared.value(), s.repeats, &cell)) {
+          row[model] = cell;
+        }
+      }
+      PrintRow(dataset + " H=" + std::to_string(horizon), s.models, row);
+      rows.push_back(row);
+    }
+  }
+  std::printf("\n");
+  PrintFirstCount(s.models, rows);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ts3net
+
+int main(int argc, char** argv) { return ts3net::bench::Run(argc, argv); }

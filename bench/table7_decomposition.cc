@@ -1,0 +1,68 @@
+// Reproduces paper Table VII: the proposed triple decomposition vs the
+// conventional trend-seasonal decomposition with a CNN backbone (TSD-CNN,
+// same TF-Block stack without S-GD) and with a vanilla Transformer backbone
+// (TSD-Trans).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace ts3net {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  BenchSettings s = ParseBenchSettings(
+      flags,
+      /*default_datasets=*/{"ETTm1", "Exchange"},
+      /*default_models=*/{"TSD-CNN", "TSD-Trans", "TS3Net"},
+      /*default_horizons=*/{96});
+
+  std::printf(
+      "== Table VII: triple decomposition vs trend-seasonal decomposition "
+      "==\n\n");
+  PrintHeader(s.models);
+
+  std::vector<Row> rows;
+  for (const std::string& dataset : s.datasets) {
+    train::ExperimentSpec base;
+    base.dataset = dataset;
+    base.length_fraction = s.fraction;
+    base.channel_cap = s.channel_cap;
+    base.lookback = s.lookback;
+    base.config = s.config;
+    base.train = s.train;
+
+    auto prepared = train::PrepareData(base);
+    if (!prepared.ok()) continue;
+    for (int64_t horizon : s.horizons) {
+      Row row;
+      for (const std::string& model : s.models) {
+        train::ExperimentSpec spec = base;
+        spec.model = model;
+        spec.horizon = horizon;
+        train::EvalResult cell;
+        if (RunCellAveraged(spec, prepared.value(), s.repeats, &cell)) {
+          row[model] = cell;
+        }
+      }
+      PrintRow(dataset + " H=" + std::to_string(horizon), s.models, row);
+      rows.push_back(row);
+    }
+  }
+  std::printf("\n");
+  PrintFirstCount(s.models, rows);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ts3net
+
+int main(int argc, char** argv) { return ts3net::bench::Run(argc, argv); }

@@ -1,0 +1,66 @@
+// Reproduces paper Table IX: sensitivity to the number of spectral sub-bands
+// lambda. The paper sweeps {50, 100, 150, 200}; the CPU-scaled default sweeps
+// {4, 8, 12, 16} (pass --lambdas=50,100,150,200 with --paper-ish settings to
+// match the original grid).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace ts3net {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  BenchSettings s = ParseBenchSettings(
+      flags,
+      /*default_datasets=*/{"ETTh1"},
+      /*default_models=*/{"TS3Net"},
+      /*default_horizons=*/{96});
+  std::vector<int64_t> lambdas = flags.GetIntList("lambdas", {4, 8, 12, 16});
+
+  std::printf("== Table IX: sensitivity to lambda (spectral sub-bands) ==\n\n");
+  std::vector<std::string> columns;
+  for (int64_t l : lambdas) {
+    columns.push_back("lambda=" + std::to_string(l));
+  }
+  PrintHeader(columns);
+
+  for (const std::string& dataset : s.datasets) {
+    train::ExperimentSpec base;
+    base.dataset = dataset;
+    base.length_fraction = s.fraction;
+    base.channel_cap = s.channel_cap;
+    base.lookback = s.lookback;
+    base.config = s.config;
+    base.train = s.train;
+    base.model = "TS3Net";
+    auto prepared = train::PrepareData(base);
+    if (!prepared.ok()) continue;
+
+    for (int64_t horizon : s.horizons) {
+      Row row;
+      for (size_t i = 0; i < lambdas.size(); ++i) {
+        train::ExperimentSpec spec = base;
+        spec.horizon = horizon;
+        spec.config.lambda = static_cast<int>(lambdas[i]);
+        auto result = train::RunExperimentOnData(spec, prepared.value());
+        if (result.ok()) row[columns[i]] = result.value();
+      }
+      PrintRow(dataset + " H=" + std::to_string(horizon), columns, row);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ts3net
+
+int main(int argc, char** argv) { return ts3net::bench::Run(argc, argv); }

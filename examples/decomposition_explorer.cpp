@@ -1,0 +1,111 @@
+// Scenario: exploratory analysis with the triple decomposition. Loads a CSV
+// (or generates a synthetic series when no path is given), decomposes a
+// window into trend / regular / fluctuant parts, reports the dominant
+// periods and per-band spectral energy, and optionally writes the parts back
+// out as CSV for plotting.
+//
+//   ./build/examples/decomposition_explorer [--csv=path] [--out=parts.csv]
+//       [--length=192] [--lambda=12]
+
+#include <cstdio>
+
+#include "common/flags.h"
+#include "core/decomposition.h"
+#include "data/csv.h"
+#include "data/scaler.h"
+#include "data/synthetic.h"
+#include "signal/period.h"
+#include "tensor/ops.h"
+
+using namespace ts3net;
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  const int64_t length = flags.GetInt("length", 192);
+
+  data::TimeSeries series;
+  if (flags.Has("csv")) {
+    auto loaded = data::LoadCsv(flags.GetString("csv", ""));
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    series = loaded.value();
+    std::printf("loaded %lld x %lld from CSV\n",
+                static_cast<long long>(series.length()),
+                static_cast<long long>(series.channels()));
+  } else {
+    auto preset = data::DatasetPreset("ETTh2", 0.1);
+    series = data::GenerateSynthetic(preset.value());
+    std::printf("no --csv given; using a synthetic ETTh2-like series\n");
+  }
+  if (series.length() < length) {
+    std::fprintf(stderr, "series shorter than --length\n");
+    return 1;
+  }
+
+  data::StandardScaler scaler;
+  scaler.Fit(series.values);
+  Tensor window =
+      Slice(scaler.Transform(series.values), 0, series.length() / 2, length)
+          .Detach();
+
+  // Dominant periodicities (paper Eq. 2).
+  std::printf("\ntop periodicities of the window:\n");
+  for (const auto& p : DetectTopKPeriods(window, 3)) {
+    std::printf("  frequency %lld cycles/window -> period %lld samples "
+                "(amplitude %.2f)\n",
+                static_cast<long long>(p.frequency),
+                static_cast<long long>(p.period), p.amplitude);
+  }
+
+  WaveletBankOptions bank_opt;
+  bank_opt.num_subbands = static_cast<int>(flags.GetInt("lambda", 12));
+  bank_opt.order = 1;
+  WaveletBank bank = WaveletBank::Create(bank_opt);
+  core::TripleParts parts = core::TripleDecompose(window, bank);
+
+  std::printf("\nchunking period T_f = %lld\n",
+              static_cast<long long>(parts.period));
+  std::printf("analyzed band: %.4f .. %.4f cycles/sample over %d sub-bands\n",
+              bank.frequency(0), bank.frequency(bank.num_subbands() - 1),
+              bank.num_subbands());
+
+  // Energy split between the three parts (channel-averaged).
+  auto energy = [](const Tensor& t) {
+    double acc = 0;
+    for (int64_t i = 0; i < t.numel(); ++i) acc += t.at(i) * t.at(i);
+    return acc / t.numel();
+  };
+  std::printf("\nmean squared value per part:\n");
+  std::printf("  original  %.4f\n", energy(window));
+  std::printf("  trend     %.4f\n", energy(parts.trend));
+  std::printf("  regular   %.4f\n", energy(parts.regular));
+  std::printf("  fluctuant %.4f\n", energy(parts.fluctuant));
+
+  if (flags.Has("out")) {
+    // Write channel 0 of all parts side by side.
+    const int64_t ch = window.dim(1);
+    std::vector<float> rows;
+    for (int64_t t = 0; t < length; ++t) {
+      rows.push_back(window.at(t * ch));
+      rows.push_back(parts.trend.at(t * ch));
+      rows.push_back(parts.regular.at(t * ch));
+      rows.push_back(parts.fluctuant.at(t * ch));
+    }
+    data::TimeSeries out;
+    out.values = Tensor::FromData(std::move(rows), {length, 4});
+    out.channel_names = {"original", "trend", "regular", "fluctuant"};
+    Status st = data::SaveCsv(out, flags.GetString("out", "parts.csv"));
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", flags.GetString("out", "parts.csv").c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Scenario: machine operating-mode classification from vibration-like
+// signals — the classification use of the "task-general" TS3Net backbone.
+// Each operating mode has a distinct spectral signature (fundamental period
+// and harmonic weight); the classifier must separate them despite per-sample
+// phase, amplitude drift, and noise.
+//
+//   ./build/examples/sequence_classification [--classes=4] [--epochs=6]
+
+#include <cstdio>
+
+#include "common/flags.h"
+#include "core/classifier.h"
+#include "data/classification.h"
+#include "train/trainer.h"
+
+using namespace ts3net;
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  data::ClassificationOptions gen;
+  gen.num_classes = flags.GetInt("classes", 4);
+  gen.samples_per_class = flags.GetInt("samples", 40);
+  gen.length = 64;
+  gen.channels = 2;
+  gen.noise_std = 0.25;
+  gen.seed = 11;
+  auto all = data::GenerateClassificationData(gen);
+  data::ClassificationData train, test;
+  data::SplitClassification(all, 0.75, &train, &test);
+  std::printf("operating modes: %lld, train %lld / test %lld samples\n",
+              static_cast<long long>(gen.num_classes),
+              static_cast<long long>(train.size()),
+              static_cast<long long>(test.size()));
+
+  core::TS3NetOptions opt;
+  opt.seq_len = gen.length;
+  opt.channels = gen.channels;
+  opt.d_model = 12;
+  opt.d_ff = 12;
+  opt.lambda = 6;
+  opt.num_blocks = 1;
+  opt.dropout = 0.1f;
+  Rng rng(3);
+  core::TS3NetClassifier model(opt, gen.num_classes, &rng);
+  std::printf("TS3NetClassifier with %lld parameters\n",
+              static_cast<long long>(model.NumParameters()));
+
+  train::TrainOptions topt;
+  topt.epochs = static_cast<int>(flags.GetInt("epochs", 6));
+  topt.batch_size = 16;
+  topt.lr = 3e-3f;
+  topt.patience = topt.epochs;
+  topt.verbose = true;
+  train::FitClassification(&model, train, test, topt);
+
+  const double train_acc = train::EvaluateAccuracy(&model, train);
+  const double test_acc = train::EvaluateAccuracy(&model, test);
+  std::printf("accuracy: train %.1f%%, test %.1f%% (chance %.1f%%)\n",
+              100 * train_acc, 100 * test_acc, 100.0 / gen.num_classes);
+  return test_acc > 1.5 / gen.num_classes ? 0 : 1;
+}

@@ -1,0 +1,54 @@
+#ifndef TS3NET_COMMON_CHECK_H_
+#define TS3NET_COMMON_CHECK_H_
+
+#include <sstream>
+
+#include "common/status.h"
+
+namespace ts3net {
+namespace internal_check {
+
+/// Stream collector used by the TS3_CHECK macros; aborts in the destructor of
+/// the fatal path after the user message has been streamed in.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << " CHECK failed: " << condition << " ";
+  }
+  [[noreturn]] ~CheckFailStream() { AbortWithMessage(stream_.str()); }
+
+  template <typename T>
+  CheckFailStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_check
+}  // namespace ts3net
+
+/// Precondition checks for programmer errors (shape mismatches, invariant
+/// violations). Always on — cheap relative to the numeric kernels they guard.
+#define TS3_CHECK(cond)                                                \
+  if (cond) {                                                          \
+  } else /* NOLINT */                                                  \
+    ::ts3net::internal_check::CheckFailStream(__FILE__, __LINE__, #cond)
+
+#define TS3_CHECK_EQ(a, b) TS3_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TS3_CHECK_NE(a, b) TS3_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TS3_CHECK_LT(a, b) TS3_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TS3_CHECK_LE(a, b) TS3_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TS3_CHECK_GT(a, b) TS3_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TS3_CHECK_GE(a, b) TS3_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+/// Propagates a non-OK Status from the current function.
+#define TS3_RETURN_IF_ERROR(expr)          \
+  do {                                     \
+    ::ts3net::Status _st = (expr);         \
+    if (!_st.ok()) return _st;             \
+  } while (false)
+
+#endif  // TS3NET_COMMON_CHECK_H_

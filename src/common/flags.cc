@@ -1,0 +1,75 @@
+#include "common/flags.h"
+
+#include "common/string_util.h"
+
+namespace ts3net {
+
+Status FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body.empty()) {
+      return Status::InvalidArgument("empty flag name: " + arg);
+    }
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "true";
+    }
+  }
+  return Status::OK();
+}
+
+bool FlagParser::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+int64_t FlagParser::GetInt(const std::string& name,
+                           int64_t default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  int64_t v = 0;
+  return ParseInt64(it->second, &v) ? v : default_value;
+}
+
+double FlagParser::GetDouble(const std::string& name,
+                             double default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  double v = 0;
+  return ParseDouble(it->second, &v) ? v : default_value;
+}
+
+bool FlagParser::GetBool(const std::string& name, bool default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  const std::string& v = it->second;
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::vector<int64_t> FlagParser::GetIntList(
+    const std::string& name, const std::vector<int64_t>& default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  std::vector<int64_t> out;
+  for (const std::string& part : StrSplit(it->second, ',')) {
+    int64_t v = 0;
+    if (ParseInt64(part, &v)) out.push_back(v);
+  }
+  return out.empty() ? default_value : out;
+}
+
+}  // namespace ts3net

@@ -1,0 +1,44 @@
+#ifndef TS3NET_COMMON_FLAGS_H_
+#define TS3NET_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ts3net {
+
+/// Minimal command-line flag parser used by bench harnesses and examples.
+///
+/// Accepts `--name=value`, `--name value`, and bare `--name` (boolean true).
+/// Unrecognised positional arguments are collected in `positional()`.
+class FlagParser {
+ public:
+  FlagParser() = default;
+
+  /// Parses argv. Returns InvalidArgument on malformed input.
+  Status Parse(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  /// Comma-separated int list, e.g. --horizons=24,48,96.
+  std::vector<int64_t> GetIntList(const std::string& name,
+                                  const std::vector<int64_t>& default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ts3net
+
+#endif  // TS3NET_COMMON_FLAGS_H_

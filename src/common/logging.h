@@ -1,0 +1,41 @@
+#ifndef TS3NET_COMMON_LOGGING_H_
+#define TS3NET_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ts3net {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_log {
+
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line);
+  ~LogStream();
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_log
+}  // namespace ts3net
+
+#define TS3_LOG(level)                                            \
+  ::ts3net::internal_log::LogStream(::ts3net::LogLevel::k##level, \
+                                    __FILE__, __LINE__)
+
+#endif  // TS3NET_COMMON_LOGGING_H_

@@ -1,0 +1,51 @@
+#ifndef TS3NET_COMMON_RANDOM_H_
+#define TS3NET_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ts3net {
+
+/// Deterministic, seedable pseudo-random generator (splitmix64 core with a
+/// xoshiro256** state expansion). All randomness in the library flows through
+/// explicitly constructed instances so experiments are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Standard normal via Box–Muller (cached second draw).
+  double NextGaussian();
+
+  /// Normal with mean/stddev.
+  double Gaussian(double mean, double stddev);
+
+  /// Bernoulli with probability p of true.
+  bool Bernoulli(double p);
+
+  /// In-place Fisher–Yates shuffle of an index vector.
+  void Shuffle(std::vector<int64_t>* indices);
+
+  /// Derives an independent child generator (for per-worker streams).
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace ts3net
+
+#endif  // TS3NET_COMMON_RANDOM_H_

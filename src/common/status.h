@@ -1,0 +1,96 @@
+#ifndef TS3NET_COMMON_STATUS_H_
+#define TS3NET_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace ts3net {
+
+/// Error code taxonomy for fallible operations. Mirrors the Arrow/RocksDB
+/// convention: a small fixed set of codes plus a human-readable message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Lightweight status object returned by fallible APIs (I/O, parsing,
+/// configuration validation). Programmer errors such as shape mismatches are
+/// handled by `TS3_CHECK` instead (see check.h).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> carries either a value or an error Status, so callers cannot
+/// forget to check for failure before using the value.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& value() && { return std::move(value_); }
+
+  /// Returns the value or aborts with the error message. Only for contexts
+  /// (tests, examples) where the error is unrecoverable anyway.
+  T ValueOrDie() &&;
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+[[noreturn]] void AbortWithMessage(const std::string& msg);
+
+template <typename T>
+T Result<T>::ValueOrDie() && {
+  if (!ok()) AbortWithMessage(status_.ToString());
+  return std::move(value_);
+}
+
+}  // namespace ts3net
+
+#endif  // TS3NET_COMMON_STATUS_H_

@@ -1,0 +1,31 @@
+#ifndef TS3NET_COMMON_STRING_UTIL_H_
+#define TS3NET_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ts3net {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+/// Joins parts with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Trims ASCII whitespace on both ends.
+std::string StrTrim(std::string_view text);
+
+/// printf-style formatting into std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Parses a double; returns false on malformed input.
+bool ParseDouble(std::string_view text, double* out);
+
+/// Parses an int64; returns false on malformed input.
+bool ParseInt64(std::string_view text, int64_t* out);
+
+}  // namespace ts3net
+
+#endif  // TS3NET_COMMON_STRING_UTIL_H_

@@ -1,0 +1,76 @@
+#include "core/classifier.h"
+
+#include "nn/revin.h"
+#include "signal/period.h"
+#include "tensor/ops.h"
+
+namespace ts3net {
+namespace core {
+
+TS3NetClassifier::TS3NetClassifier(const TS3NetOptions& options,
+                                   int64_t num_classes, Rng* rng)
+    : options_(options), num_classes_(num_classes) {
+  TS3_CHECK_GE(num_classes, 2);
+
+  std::vector<const WaveletBank*> bank_ptrs;
+  for (int order : options.branch_orders) {
+    WaveletBankOptions bo;
+    bo.num_subbands = options.lambda;
+    bo.order = order;
+    banks_.push_back(std::make_unique<WaveletBank>(WaveletBank::Create(bo)));
+    bank_ptrs.push_back(banks_.back().get());
+  }
+
+  embedding_ = RegisterModule(
+      "embedding",
+      std::make_shared<nn::DataEmbedding>(options.channels, options.d_model,
+                                          options.seq_len, rng,
+                                          options.dropout));
+  if (options.use_sgd) {
+    sgd_ = std::make_unique<SpectrumGradientLayer>(banks_[0].get(),
+                                                   options.seq_len);
+  }
+  for (int l = 0; l < options.num_blocks; ++l) {
+    blocks_.push_back(RegisterModule(
+        "tf_block" + std::to_string(l),
+        std::make_shared<TFBlock>(bank_ptrs, options.seq_len, options.d_model,
+                                  options.d_ff, options.num_kernels,
+                                  options.tf_mode, rng)));
+  }
+  head_ = RegisterModule(
+      "head", std::make_shared<nn::Mlp>(options.d_model, options.d_model * 2,
+                                        num_classes, rng,
+                                        nn::Activation::Kind::kGelu,
+                                        options.dropout));
+}
+
+Tensor TS3NetClassifier::Forward(const Tensor& x) {
+  TS3_CHECK_EQ(x.ndim(), 3) << "classifier expects [B, T, C]";
+  TS3_CHECK_EQ(x.dim(1), options_.seq_len);
+
+  nn::InstanceStats stats = nn::ComputeInstanceStats(x);
+  Tensor xn = nn::InstanceNormalize(x, stats);
+
+  int64_t t_f = options_.seq_len / 2;
+  if (options_.use_sgd) {
+    Tensor batch_mean = Mean(xn, {0}).Detach();
+    for (const DetectedPeriod& p : DetectTopKPeriods(batch_mean, 3)) {
+      if (p.period <= options_.seq_len / 2) {
+        t_f = p.period;
+        break;
+      }
+    }
+  }
+
+  Tensor h = embedding_->Forward(xn);
+  for (auto& block : blocks_) {
+    Tensor regular = h;
+    if (options_.use_sgd) regular = sgd_->Decompose(h, t_f).regular;
+    h = Add(block->Forward(regular), regular);
+  }
+  Tensor pooled = Mean(h, {1});  // [B, D]
+  return head_->Forward(pooled);
+}
+
+}  // namespace core
+}  // namespace ts3net

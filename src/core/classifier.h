@@ -1,0 +1,46 @@
+#ifndef TS3NET_CORE_CLASSIFIER_H_
+#define TS3NET_CORE_CLASSIFIER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "core/sgd_layer.h"
+#include "core/tf_block.h"
+#include "nn/embedding.h"
+#include "nn/layers.h"
+
+namespace ts3net {
+namespace core {
+
+/// TS3Net backbone with a classification head — the "task-general" use of
+/// the architecture the paper's introduction motivates (classification among
+/// forecasting/imputation/anomaly detection). The embedded series passes
+/// through S-GD + stacked TF-Blocks; the time axis is mean-pooled and a
+/// two-layer head produces class logits.
+class TS3NetClassifier : public nn::Module {
+ public:
+  /// `num_classes` logits; geometry and ablation switches come from options
+  /// (pred_len is ignored).
+  TS3NetClassifier(const TS3NetOptions& options, int64_t num_classes,
+                   Rng* rng);
+
+  /// x [B, T, C] -> logits [B, num_classes].
+  Tensor Forward(const Tensor& x) override;
+
+  int64_t num_classes() const { return num_classes_; }
+
+ private:
+  TS3NetOptions options_;
+  int64_t num_classes_;
+  std::vector<std::unique_ptr<WaveletBank>> banks_;
+  std::shared_ptr<nn::DataEmbedding> embedding_;
+  std::unique_ptr<SpectrumGradientLayer> sgd_;
+  std::vector<std::shared_ptr<TFBlock>> blocks_;
+  std::shared_ptr<nn::Mlp> head_;
+};
+
+}  // namespace core
+}  // namespace ts3net
+
+#endif  // TS3NET_CORE_CLASSIFIER_H_

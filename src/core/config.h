@@ -1,0 +1,62 @@
+#ifndef TS3NET_CORE_CONFIG_H_
+#define TS3NET_CORE_CONFIG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ts3net {
+namespace core {
+
+/// Which benchmark task the model is built for. Imputation keeps
+/// pred_len == seq_len and reconstructs the masked window.
+enum class TaskType { kForecast, kImputation };
+
+/// How a TF-Block lifts 1-D representations to 2-D (paper §IV-F ablation):
+/// kWavelet is the proposed spectrum expansion over lambda sub-bands;
+/// kReplicate tiles the 1-D series lambda times ("replicating and
+/// concatenating only", the "w/o TF-Block" row of Table VI); kStft swaps the
+/// wavelet expansion for a Hann-windowed short-time Fourier one (a design
+/// ablation beyond the paper).
+enum class TfMode { kWavelet, kReplicate, kStft };
+
+/// Configuration of TS3Net and its ablation variants.
+///
+/// Paper defaults (Table III): lambda = 100, 2 TF-Blocks,
+/// d_model in [32, 512], Adam lr 1e-4, batch 32. The defaults below are the
+/// CPU-scaled equivalents used by the benches; everything is overridable.
+struct TS3NetOptions {
+  // Task geometry.
+  int64_t seq_len = 96;
+  int64_t pred_len = 96;
+  int64_t channels = 7;
+  TaskType task = TaskType::kForecast;
+
+  // Representation sizes.
+  int64_t d_model = 32;
+  int64_t d_ff = 32;
+  int num_blocks = 2;  // stacked TF-Blocks (paper default 2)
+
+  // Spectrum expansion.
+  int lambda = 8;                          // sub-bands (paper: 100)
+  std::vector<int> branch_orders = {1, 2}; // wavelet order per branch (m = size)
+  int num_kernels = 2;                     // inception kernel count
+
+  // Decomposition.
+  std::vector<int64_t> trend_kernels = {25};
+  bool use_trend_decomposition = true;  // Eq. (1)
+  bool use_sgd = true;                  // Eqs. (6)-(11); false = TSD ablation
+  TfMode tf_mode = TfMode::kWavelet;
+
+  float dropout = 0.1f;
+
+  /// "w/o TD" ablation of Table VI: no trend decomposition and no S-GD.
+  void DisableTripleDecomposition() {
+    use_trend_decomposition = false;
+    use_sgd = false;
+  }
+};
+
+}  // namespace core
+}  // namespace ts3net
+
+#endif  // TS3NET_CORE_CONFIG_H_

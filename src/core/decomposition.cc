@@ -1,0 +1,51 @@
+#include "core/decomposition.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "signal/cwt.h"
+#include "signal/period.h"
+#include "signal/trend.h"
+#include "tensor/ops.h"
+
+namespace ts3net {
+namespace core {
+
+Tensor SpectrumGradient(const Tensor& y_ltc, int64_t t_f) {
+  TS3_CHECK(y_ltc.defined());
+  TS3_CHECK_EQ(y_ltc.ndim(), 3) << "SpectrumGradient expects [lambda, T, C]";
+  const int64_t t_len = y_ltc.dim(1);
+  t_f = std::clamp<int64_t>(t_f, 1, t_len);
+  if (t_f == t_len) return y_ltc;  // single chunk: S_1 - 0
+  // Delta = y - y shifted forward by t_f (zero-filled) — chunk i minus the
+  // same position in chunk i-1, with S_0 = 0.
+  Tensor prev = Pad(Slice(y_ltc, 1, 0, t_len - t_f), 1, t_f, 0, 0.0f);
+  return Sub(y_ltc, prev);
+}
+
+TripleParts TripleDecompose(const Tensor& x_tc, const WaveletBank& bank,
+                            const std::vector<int64_t>& trend_kernels) {
+  TS3_CHECK(x_tc.defined());
+  TS3_CHECK_EQ(x_tc.ndim(), 2) << "TripleDecompose expects [T, C]";
+  TripleParts parts;
+
+  // (1) Trend decomposition, Eq. (1).
+  TrendDecomposition td = DecomposeTrend(x_tc, trend_kernels);
+  parts.trend = td.trend.Detach();
+  parts.seasonal = td.seasonal.Detach();
+
+  // (2) Spectrum expansion, Eqs. (6)-(8).
+  parts.tf_distribution = CwtAmplitude(parts.seasonal, bank);
+
+  // (3) Spectrum gradient at the dominant FFT period, Eq. (9).
+  parts.period = DominantPeriod(parts.seasonal);
+  parts.spectrum_gradient = SpectrumGradient(parts.tf_distribution, parts.period);
+
+  // (4) Regular / fluctuant split, Eq. (10).
+  parts.fluctuant = Iwt(parts.spectrum_gradient, bank);
+  parts.regular = Sub(parts.seasonal, parts.fluctuant);
+  return parts;
+}
+
+}  // namespace core
+}  // namespace ts3net

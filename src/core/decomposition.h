@@ -1,0 +1,40 @@
+#ifndef TS3NET_CORE_DECOMPOSITION_H_
+#define TS3NET_CORE_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "signal/wavelet.h"
+#include "tensor/tensor.h"
+
+namespace ts3net {
+namespace core {
+
+/// The full triple decomposition of a series (paper Fig. 1 and Eqs. 1–11),
+/// computed on raw data for analysis and visualization (Fig. 5). The model
+/// path uses the differentiable SpectrumGradientLayer instead.
+struct TripleParts {
+  Tensor trend;              // [T, C]  baseline drift (Eq. 1)
+  Tensor seasonal;           // [T, C]  x - trend
+  Tensor regular;            // [T, C]  seasonal - IWT(spectrum gradient)
+  Tensor fluctuant;          // [T, C]  IWT(spectrum gradient) = Delta_1D
+  Tensor tf_distribution;    // [lambda, T, C]  Amp(WT(seasonal)) (Eq. 8)
+  Tensor spectrum_gradient;  // [lambda, T, C]  Delta_2D (Eq. 9)
+  int64_t period = 0;        // T_f, the chunking period
+};
+
+/// Decomposes x [T, C]: trend via multi-scale moving average, then the
+/// seasonal part into regular/fluctuant via the spectrum gradient computed
+/// on the CWT amplitude plane chunked at the dominant FFT period.
+TripleParts TripleDecompose(const Tensor& x_tc, const WaveletBank& bank,
+                            const std::vector<int64_t>& trend_kernels = {25});
+
+/// The spectrum gradient of a TF plane y [lambda, T, C] chunked at period
+/// t_f: Delta_i = S_i - S_{i-1} with S_0 = 0 (Eq. 9). Equivalent to
+/// y - shift(y, t_f along time, zero fill).
+Tensor SpectrumGradient(const Tensor& y_ltc, int64_t t_f);
+
+}  // namespace core
+}  // namespace ts3net
+
+#endif  // TS3NET_CORE_DECOMPOSITION_H_

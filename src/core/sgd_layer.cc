@@ -1,0 +1,45 @@
+#include "core/sgd_layer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "core/decomposition.h"
+#include "tensor/ops.h"
+
+namespace ts3net {
+namespace core {
+
+SpectrumGradientLayer::SpectrumGradientLayer(const WaveletBank* bank,
+                                             int64_t seq_len)
+    : bank_(bank), seq_len_(seq_len) {
+  TS3_CHECK(bank != nullptr);
+  auto [re, im] = BuildCwtMatrices(*bank, seq_len);
+  w_re_ = re;
+  w_im_ = im;
+}
+
+SpectrumGradientLayer::Output SpectrumGradientLayer::Decompose(
+    const Tensor& x_btd, int64_t t_f) const {
+  TS3_CHECK_EQ(x_btd.ndim(), 3) << "S-GD expects [B, T, D]";
+  TS3_CHECK_EQ(x_btd.dim(1), seq_len_)
+      << "S-GD layer built for seq_len " << seq_len_;
+  const int64_t t_len = seq_len_;
+  t_f = std::clamp<int64_t>(t_f, 1, t_len);
+
+  Tensor amp = CwtAmplitudeOp(x_btd, w_re_, w_im_);  // [B, lambda, T, D]
+  Tensor delta;
+  if (t_f == t_len) {
+    delta = amp;
+  } else {
+    Tensor prev = Pad(Slice(amp, 2, 0, t_len - t_f), 2, t_f, 0, 0.0f);
+    delta = Sub(amp, prev);
+  }
+  Output out;
+  out.fluctuant_2d = delta;
+  out.fluctuant_1d = IwtOp(delta, *bank_);
+  out.regular = Sub(x_btd, out.fluctuant_1d);
+  return out;
+}
+
+}  // namespace core
+}  // namespace ts3net

@@ -1,0 +1,44 @@
+#ifndef TS3NET_CORE_SGD_LAYER_H_
+#define TS3NET_CORE_SGD_LAYER_H_
+
+#include <cstdint>
+
+#include "signal/cwt.h"
+#include "signal/wavelet.h"
+#include "tensor/tensor.h"
+
+namespace ts3net {
+namespace core {
+
+/// Differentiable Spectrum-Gradient Decomposition (paper Eqs. 9–12) applied
+/// to an embedded representation x [B, T, D]. Stateless (no trainable
+/// parameters); caches the CWT correlation matrices for a fixed sequence
+/// length so every call is a pair of batched MatMuls plus shifts.
+class SpectrumGradientLayer {
+ public:
+  SpectrumGradientLayer(const WaveletBank* bank, int64_t seq_len);
+
+  struct Output {
+    Tensor regular;       // [B, T, D]      x - Delta_1D
+    Tensor fluctuant_2d;  // [B, lambda, T, D]  Delta_2D
+    Tensor fluctuant_1d;  // [B, T, D]      Delta_1D = IWT(Delta_2D)
+  };
+
+  /// Splits x into regular and fluctuant parts using the spectrum gradient
+  /// chunked at period `t_f` (clamped to [1, T]).
+  Output Decompose(const Tensor& x_btd, int64_t t_f) const;
+
+  int64_t seq_len() const { return seq_len_; }
+  const WaveletBank& bank() const { return *bank_; }
+
+ private:
+  const WaveletBank* bank_;  // not owned
+  int64_t seq_len_;
+  Tensor w_re_;  // [lambda, T, T]
+  Tensor w_im_;
+};
+
+}  // namespace core
+}  // namespace ts3net
+
+#endif  // TS3NET_CORE_SGD_LAYER_H_

@@ -1,0 +1,101 @@
+#include "core/tf_block.h"
+
+#include <algorithm>
+
+#include "signal/stft.h"
+#include "tensor/ops.h"
+
+namespace ts3net {
+namespace core {
+
+TFBlock::TFBlock(const std::vector<const WaveletBank*>& banks, int64_t seq_len,
+                 int64_t d_model, int64_t d_ff, int num_kernels, TfMode mode,
+                 Rng* rng)
+    : mode_(mode), seq_len_(seq_len) {
+  int num_branches = 0;
+  if (mode == TfMode::kWavelet) {
+    TS3_CHECK(!banks.empty()) << "TFBlock needs at least one wavelet bank";
+    lambda_ = banks[0]->num_subbands();
+    for (const WaveletBank* bank : banks) {
+      TS3_CHECK_EQ(bank->num_subbands(), lambda_)
+          << "all branches must share lambda";
+      Branch b;
+      auto [re, im] = BuildCwtMatrices(*bank, seq_len);
+      b.w_re = re;
+      b.w_im = im;
+      branches_.push_back(std::move(b));
+    }
+    num_branches = static_cast<int>(banks.size());
+  } else if (mode == TfMode::kStft) {
+    // A single STFT branch with lambda frequency bins over a window of half
+    // the sequence (capped by the window Nyquist).
+    lambda_ = banks.empty() ? 8 : banks[0]->num_subbands();
+    const int64_t window = std::max<int64_t>(8, seq_len / 2);
+    lambda_ = std::min<int64_t>(lambda_, window / 2);
+    Branch b;
+    auto [re, im] = BuildStftMatrices(seq_len, static_cast<int>(lambda_),
+                                      window);
+    b.w_re = re;
+    b.w_im = im;
+    branches_.push_back(std::move(b));
+    num_branches = 1;
+  } else {
+    // Replicate mode uses a single branch and a small tiling factor.
+    lambda_ = banks.empty() ? 8 : banks[0]->num_subbands();
+    branches_.emplace_back();
+    num_branches = 1;
+  }
+
+  for (int i = 0; i < num_branches; ++i) {
+    backbones_.push_back(RegisterModule(
+        "backbone" + std::to_string(i),
+        std::make_shared<nn::ConvBackbone2d>(d_model, d_ff, num_kernels, rng)));
+    collapse_.push_back(RegisterModule(
+        "collapse" + std::to_string(i),
+        std::make_shared<nn::Linear>(lambda_, 1, rng)));
+    feedforward_.push_back(RegisterModule(
+        "feedforward" + std::to_string(i),
+        std::make_shared<nn::Linear>(d_model, d_model, rng)));
+  }
+  merge_logits_ =
+      RegisterParameter("merge_logits", Tensor::Zeros({num_branches}));
+}
+
+Tensor TFBlock::Forward(const Tensor& x) {
+  TS3_CHECK_EQ(x.ndim(), 3) << "TFBlock expects [B, T, D]";
+  TS3_CHECK_EQ(x.dim(1), seq_len_) << "TFBlock built for seq_len " << seq_len_;
+
+  std::vector<Tensor> branch_outputs;
+  for (size_t i = 0; i < backbones_.size(); ++i) {
+    // 1) Spectrum expansion to [B, lambda, T, D].
+    Tensor x2d;
+    if (mode_ == TfMode::kWavelet || mode_ == TfMode::kStft) {
+      x2d = CwtAmplitudeOp(x, branches_[i].w_re, branches_[i].w_im);
+    } else {
+      x2d = Repeat(Unsqueeze(x, 1), 1, lambda_);  // tile the 1-D series
+    }
+    // 2) ConvBackbone over the TF plane: channels = D, spatial = lambda x T.
+    Tensor planes = Permute(x2d, {0, 3, 1, 2});        // [B, D, lambda, T]
+    planes = backbones_[i]->Forward(planes);           // [B, D, lambda, T]
+    // 3) FeedForward back to 1-D: learned collapse over lambda, then a
+    //    channel projection.
+    Tensor collapsed = Permute(planes, {0, 1, 3, 2});  // [B, D, T, lambda]
+    collapsed = Squeeze(collapse_[i]->Forward(collapsed), 3);  // [B, D, T]
+    Tensor out1d = Permute(collapsed, {0, 2, 1});      // [B, T, D]
+    out1d = feedforward_[i]->Forward(Gelu(out1d));
+    branch_outputs.push_back(out1d);
+  }
+
+  // 4) Weight-learned merge (softmax over branches).
+  Tensor weights = Softmax(merge_logits_, 0);  // [m]
+  Tensor merged;
+  for (size_t i = 0; i < branch_outputs.size(); ++i) {
+    Tensor w_i = Reshape(Slice(weights, 0, static_cast<int64_t>(i), 1), {});
+    Tensor term = Mul(branch_outputs[i], w_i);
+    merged = merged.defined() ? Add(merged, term) : term;
+  }
+  return merged;
+}
+
+}  // namespace core
+}  // namespace ts3net

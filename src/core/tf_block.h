@@ -1,0 +1,56 @@
+#ifndef TS3NET_CORE_TF_BLOCK_H_
+#define TS3NET_CORE_TF_BLOCK_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "nn/inception.h"
+#include "nn/layers.h"
+#include "signal/cwt.h"
+#include "signal/wavelet.h"
+
+namespace ts3net {
+namespace core {
+
+/// Temporal-Frequency Block (paper Eq. 13 and Fig. 2): a multi-branch module
+/// that expands a [B, T, D] representation into 2-D temporal-frequency
+/// distributions (one per mother wavelet), runs an inception ConvBackbone
+/// over each, projects back to 1-D with a FeedForward layer, and merges the
+/// branches with learned softmax weights. The caller adds the residual
+/// connection (Eq. 12).
+///
+/// In TfMode::kReplicate the spectrum expansion is replaced by tiling the
+/// 1-D series lambda times — the "w/o TF-Block" ablation of Table VI.
+class TFBlock : public nn::Module {
+ public:
+  /// `banks` supplies one WaveletBank per branch (m = banks.size(), ignored
+  /// in kReplicate mode where a single replicate branch is used).
+  TFBlock(const std::vector<const WaveletBank*>& banks, int64_t seq_len,
+          int64_t d_model, int64_t d_ff, int num_kernels, TfMode mode,
+          Rng* rng);
+
+  Tensor Forward(const Tensor& x) override;
+
+  int num_branches() const { return static_cast<int>(backbones_.size()); }
+
+ private:
+  struct Branch {
+    Tensor w_re;  // [lambda, T, T] constants (kWavelet mode)
+    Tensor w_im;
+  };
+
+  TfMode mode_;
+  int64_t seq_len_;
+  int64_t lambda_;
+  std::vector<Branch> branches_;
+  std::vector<std::shared_ptr<nn::ConvBackbone2d>> backbones_;
+  std::vector<std::shared_ptr<nn::Linear>> collapse_;  // lambda -> 1
+  std::vector<std::shared_ptr<nn::Linear>> feedforward_;
+  Tensor merge_logits_;  // [m] learned branch-merge weights
+};
+
+}  // namespace core
+}  // namespace ts3net
+
+#endif  // TS3NET_CORE_TF_BLOCK_H_

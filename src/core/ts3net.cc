@@ -1,0 +1,212 @@
+#include "core/ts3net.h"
+
+#include "nn/revin.h"
+#include "signal/period.h"
+#include "signal/trend.h"
+#include "tensor/ops.h"
+
+namespace ts3net {
+namespace core {
+
+// ---------------------------------------------------------------------------
+// PredictionHead
+// ---------------------------------------------------------------------------
+
+PredictionHead::PredictionHead(int64_t seq_len, int64_t pred_len,
+                               int64_t d_model, int64_t channels, Rng* rng,
+                               bool zero_init_output) {
+  time_proj_ = RegisterModule(
+      "time_proj", std::make_shared<nn::Linear>(seq_len, pred_len, rng));
+  channel_proj_ = RegisterModule(
+      "channel_proj", std::make_shared<nn::Linear>(d_model, channels, rng));
+  if (zero_init_output) {
+    Tensor w = channel_proj_->weight();
+    std::fill(w.data(), w.data() + w.numel(), 0.0f);
+  }
+}
+
+Tensor PredictionHead::Forward(const Tensor& x) {
+  TS3_CHECK_EQ(x.ndim(), 3) << "PredictionHead expects [B, T, D]";
+  Tensor h = Transpose(x, 1, 2);          // [B, D, T]
+  h = time_proj_->Forward(h);             // [B, D, pred]
+  h = Transpose(h, 1, 2);                 // [B, pred, D]
+  return channel_proj_->Forward(h);       // [B, pred, C]
+}
+
+// ---------------------------------------------------------------------------
+// TrendAutoregression
+// ---------------------------------------------------------------------------
+
+TrendAutoregression::TrendAutoregression(int64_t seq_len, int64_t pred_len,
+                                         Rng* rng) {
+  time_proj_ = RegisterModule(
+      "time_proj", std::make_shared<nn::Linear>(seq_len, pred_len, rng));
+}
+
+Tensor TrendAutoregression::Forward(const Tensor& x) {
+  TS3_CHECK_EQ(x.ndim(), 3) << "TrendAutoregression expects [B, T, C]";
+  Tensor h = Transpose(x, 1, 2);     // [B, C, T]
+  h = time_proj_->Forward(h);        // [B, C, pred]
+  return Transpose(h, 1, 2);         // [B, pred, C]
+}
+
+// ---------------------------------------------------------------------------
+// TS3Net
+// ---------------------------------------------------------------------------
+
+TS3Net::TS3Net(const TS3NetOptions& options, Rng* rng) : options_(options) {
+  TS3_CHECK_GE(options.num_blocks, 1);
+  TS3_CHECK(!options.branch_orders.empty());
+
+  // One wavelet bank per branch order; the first bank also drives S-GD.
+  std::vector<const WaveletBank*> bank_ptrs;
+  for (int order : options.branch_orders) {
+    WaveletBankOptions bo;
+    bo.num_subbands = options.lambda;
+    bo.order = order;
+    banks_.push_back(std::make_unique<WaveletBank>(WaveletBank::Create(bo)));
+    bank_ptrs.push_back(banks_.back().get());
+  }
+
+  embedding_ = RegisterModule(
+      "embedding",
+      std::make_shared<nn::DataEmbedding>(options.channels, options.d_model,
+                                          options.seq_len, rng,
+                                          options.dropout));
+
+  if (options.use_sgd) {
+    sgd_ = std::make_unique<SpectrumGradientLayer>(banks_[0].get(),
+                                                   options.seq_len);
+  }
+
+  for (int l = 0; l < options.num_blocks; ++l) {
+    blocks_.push_back(RegisterModule(
+        "tf_block" + std::to_string(l),
+        std::make_shared<TFBlock>(bank_ptrs, options.seq_len, options.d_model,
+                                  options.d_ff, options.num_kernels,
+                                  options.tf_mode, rng)));
+  }
+
+  regular_head_ = RegisterModule(
+      "regular_head",
+      std::make_shared<PredictionHead>(options.seq_len, options.pred_len,
+                                       options.d_model, options.channels, rng));
+  if (options.use_sgd) {
+    fluctuant_head_ = RegisterModule(
+        "fluctuant_head",
+        std::make_shared<PredictionHead>(options.seq_len, options.pred_len,
+                                         options.d_model, options.channels,
+                                         rng, /*zero_init_output=*/true));
+  }
+  if (options.use_trend_decomposition) {
+    trend_head_ = RegisterModule(
+        "trend_head", std::make_shared<TrendAutoregression>(
+                          options.seq_len, options.pred_len, rng));
+  }
+}
+
+Tensor TS3Net::Forward(const Tensor& x) {
+  TS3_CHECK_EQ(x.ndim(), 3) << "TS3Net expects [B, T, C]";
+  TS3_CHECK_EQ(x.dim(1), options_.seq_len);
+  TS3_CHECK_EQ(x.dim(2), options_.channels);
+
+  // Non-stationary normalization (undone at the output).
+  nn::InstanceStats stats = nn::ComputeInstanceStats(x);
+  Tensor xn = nn::InstanceNormalize(x, stats);
+
+  // Trend decomposition, Eq. (1). Without it the whole series is "seasonal".
+  Tensor seasonal = xn;
+  Tensor y_trend;
+  if (options_.use_trend_decomposition) {
+    TrendDecomposition td = DecomposeTrend(xn, options_.trend_kernels);
+    seasonal = td.seasonal;
+    y_trend = trend_head_->Forward(td.trend);
+  }
+
+  // Dominant period T_f of this batch's seasonal content (Eq. 2), used to
+  // chunk the spectrum gradient. The gradient needs at least two chunks
+  // (u = T / T_f >= 2) to be meaningful, so pick the strongest detected
+  // period not exceeding T/2.
+  int64_t t_f = options_.seq_len / 2;
+  if (options_.use_sgd) {
+    Tensor batch_mean = Mean(seasonal, {0}).Detach();  // [T, C]
+    for (const DetectedPeriod& p : DetectTopKPeriods(batch_mean, 3)) {
+      if (p.period <= options_.seq_len / 2) {
+        t_f = p.period;
+        break;
+      }
+    }
+  }
+
+  // Embedded seasonal representation.
+  Tensor h = embedding_->Forward(seasonal);  // [B, T, D]
+
+  // Stacked TF-Blocks with S-GD in between (Eq. 12), accumulating the
+  // fluctuant planes of every layer (Eq. 15).
+  Tensor fluct_acc;
+  for (size_t l = 0; l < blocks_.size(); ++l) {
+    Tensor regular = h;
+    if (options_.use_sgd) {
+      SpectrumGradientLayer::Output sgd_out = sgd_->Decompose(h, t_f);
+      regular = sgd_out.regular;
+      fluct_acc = fluct_acc.defined()
+                      ? Add(fluct_acc, sgd_out.fluctuant_2d)
+                      : sgd_out.fluctuant_2d;
+    }
+    // Eq. (12): plain residual, no normalization, so the identity (and thus
+    // any linear seasonal map through embedding + head) stays reachable.
+    h = Add(blocks_[l]->Forward(regular), regular);
+  }
+
+  // Per-part heads, Eqs. (14)-(16), summed per Eq. (17).
+  Tensor y = regular_head_->Forward(h);
+  if (options_.use_sgd) {
+    Tensor xf = IwtOp(fluct_acc, *banks_[0]);  // [B, T, D]
+    y = Add(y, fluctuant_head_->Forward(xf));
+  }
+  if (y_trend.defined()) y = Add(y, y_trend);
+
+  return nn::InstanceDenormalize(y, stats);
+}
+
+// ---------------------------------------------------------------------------
+// TsdTransformer
+// ---------------------------------------------------------------------------
+
+TsdTransformer::TsdTransformer(const TS3NetOptions& options, int num_heads,
+                               Rng* rng)
+    : options_(options) {
+  embedding_ = RegisterModule(
+      "embedding",
+      std::make_shared<nn::DataEmbedding>(options.channels, options.d_model,
+                                          options.seq_len, rng,
+                                          options.dropout));
+  for (int l = 0; l < options.num_blocks; ++l) {
+    layers_.push_back(RegisterModule(
+        "layer" + std::to_string(l),
+        std::make_shared<nn::TransformerEncoderLayer>(
+            options.d_model, num_heads, options.d_ff, rng, options.dropout)));
+  }
+  head_ = RegisterModule(
+      "head",
+      std::make_shared<PredictionHead>(options.seq_len, options.pred_len,
+                                       options.d_model, options.channels, rng));
+  trend_head_ = RegisterModule(
+      "trend_head", std::make_shared<TrendAutoregression>(options.seq_len,
+                                                          options.pred_len,
+                                                          rng));
+}
+
+Tensor TsdTransformer::Forward(const Tensor& x) {
+  TS3_CHECK_EQ(x.ndim(), 3);
+  nn::InstanceStats stats = nn::ComputeInstanceStats(x);
+  Tensor xn = nn::InstanceNormalize(x, stats);
+  TrendDecomposition td = DecomposeTrend(xn, options_.trend_kernels);
+  Tensor h = embedding_->Forward(td.seasonal);
+  for (auto& layer : layers_) h = layer->Forward(h);
+  Tensor y = Add(head_->Forward(h), trend_head_->Forward(td.trend));
+  return nn::InstanceDenormalize(y, stats);
+}
+
+}  // namespace core
+}  // namespace ts3net

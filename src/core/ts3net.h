@@ -1,0 +1,95 @@
+#ifndef TS3NET_CORE_TS3NET_H_
+#define TS3NET_CORE_TS3NET_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "core/sgd_layer.h"
+#include "core/tf_block.h"
+#include "nn/attention.h"
+#include "nn/embedding.h"
+#include "nn/layers.h"
+
+namespace ts3net {
+namespace core {
+
+/// Prediction head shared by the regular and fluctuant paths (Eqs. 14–15):
+/// a linear time-projection seq_len -> pred_len followed by a channel
+/// projection d_model -> channels. Maps [B, T, D] to [B, pred_len, C].
+class PredictionHead : public nn::Module {
+ public:
+  /// `zero_init_output` starts the channel projection at zero so the head is
+  /// a no-op at initialization — used for the fluctuant branch so it fades in
+  /// during training instead of injecting noise into early optimization.
+  PredictionHead(int64_t seq_len, int64_t pred_len, int64_t d_model,
+                 int64_t channels, Rng* rng, bool zero_init_output = false);
+
+  Tensor Forward(const Tensor& x) override;
+
+ private:
+  std::shared_ptr<nn::Linear> time_proj_;
+  std::shared_ptr<nn::Linear> channel_proj_;
+};
+
+/// Autoregression layer for the trend-part (Eq. 16): a channel-shared linear
+/// map over time, [B, T, C] -> [B, pred_len, C].
+class TrendAutoregression : public nn::Module {
+ public:
+  TrendAutoregression(int64_t seq_len, int64_t pred_len, Rng* rng);
+
+  Tensor Forward(const Tensor& x) override;
+
+ private:
+  std::shared_ptr<nn::Linear> time_proj_;
+};
+
+/// TS3Net (paper Fig. 2 / Algorithm 1): triple decomposition + stacked
+/// TF-Blocks with S-GD layers between them + per-part prediction heads whose
+/// outputs are summed (Eq. 17). Ablation switches in TS3NetOptions produce
+/// the "w/o TD", "w/o TF-Block", "w/o Both" (Table VI) and TSD-CNN
+/// (Table VII) variants.
+class TS3Net : public nn::Module {
+ public:
+  TS3Net(const TS3NetOptions& options, Rng* rng);
+
+  /// Forecasting: x [B, seq_len, C] -> [B, pred_len, C].
+  /// Imputation: x is the masked window; output reconstructs the window.
+  Tensor Forward(const Tensor& x) override;
+
+  const TS3NetOptions& options() const { return options_; }
+
+ private:
+  TS3NetOptions options_;
+  // Banks owned here; layers keep raw pointers, so keep this member first.
+  std::vector<std::unique_ptr<WaveletBank>> banks_;
+
+  std::shared_ptr<nn::DataEmbedding> embedding_;
+  std::unique_ptr<SpectrumGradientLayer> sgd_;
+  std::vector<std::shared_ptr<TFBlock>> blocks_;
+  std::shared_ptr<PredictionHead> regular_head_;
+  std::shared_ptr<PredictionHead> fluctuant_head_;
+  std::shared_ptr<TrendAutoregression> trend_head_;
+};
+
+/// TSD-Trans (Table VII): the conventional trend–seasonal decomposition with
+/// a vanilla Transformer backbone on the seasonal part, sharing TS3Net's
+/// embedding, trend head, and prediction head.
+class TsdTransformer : public nn::Module {
+ public:
+  TsdTransformer(const TS3NetOptions& options, int num_heads, Rng* rng);
+
+  Tensor Forward(const Tensor& x) override;
+
+ private:
+  TS3NetOptions options_;
+  std::shared_ptr<nn::DataEmbedding> embedding_;
+  std::vector<std::shared_ptr<nn::TransformerEncoderLayer>> layers_;
+  std::shared_ptr<PredictionHead> head_;
+  std::shared_ptr<TrendAutoregression> trend_head_;
+};
+
+}  // namespace core
+}  // namespace ts3net
+
+#endif  // TS3NET_CORE_TS3NET_H_

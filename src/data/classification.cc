@@ -1,0 +1,127 @@
+#include "data/classification.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace ts3net {
+namespace data {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586;
+}  // namespace
+
+ClassificationData GenerateClassificationData(
+    const ClassificationOptions& options) {
+  TS3_CHECK_GE(options.num_classes, 2);
+  TS3_CHECK_GE(options.samples_per_class, 1);
+  TS3_CHECK_GE(options.length, 8);
+  Rng rng(options.seed);
+
+  const int64_t n = options.num_classes * options.samples_per_class;
+  const int64_t t_len = options.length;
+  const int64_t ch = options.channels;
+  std::vector<float> values(static_cast<size_t>(n * t_len * ch));
+  std::vector<int64_t> labels(static_cast<size_t>(n));
+
+  // Class k's signature: a primary period and a secondary harmonic whose
+  // relative weight also depends on the class.
+  auto class_period = [&](int64_t k) {
+    return 8.0 + 10.0 * static_cast<double>(k);
+  };
+
+  int64_t sample = 0;
+  for (int64_t k = 0; k < options.num_classes; ++k) {
+    for (int64_t s = 0; s < options.samples_per_class; ++s, ++sample) {
+      labels[sample] = k;
+      Rng sample_rng = rng.Fork();
+      const double period = class_period(k) * sample_rng.Uniform(0.9, 1.1);
+      const double harmonic_weight =
+          0.3 + 0.4 * static_cast<double>(k) / options.num_classes;
+      for (int64_t c = 0; c < ch; ++c) {
+        const double phase = sample_rng.Uniform(0.0, kTwoPi);
+        const double amp = sample_rng.Uniform(0.8, 1.2);
+        double env = 0.0;
+        for (int64_t t = 0; t < t_len; ++t) {
+          env = std::clamp(
+              env + sample_rng.Gaussian(0.0, options.envelope_walk_std), -0.8,
+              0.8);
+          double v = amp * std::exp(env) *
+                     (std::sin(kTwoPi * t / period + phase) +
+                      harmonic_weight *
+                          std::sin(2.0 * kTwoPi * t / period + 2.0 * phase));
+          v += sample_rng.Gaussian(0.0, options.noise_std);
+          values[(sample * t_len + t) * ch + c] = static_cast<float>(v);
+        }
+      }
+    }
+  }
+
+  // Shuffle samples so splits are class-balanced in expectation.
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) order[i] = i;
+  rng.Shuffle(&order);
+
+  ClassificationData out;
+  std::vector<float> shuffled(values.size());
+  out.labels.resize(static_cast<size_t>(n));
+  const int64_t stride = t_len * ch;
+  for (int64_t i = 0; i < n; ++i) {
+    std::copy(values.begin() + order[i] * stride,
+              values.begin() + (order[i] + 1) * stride,
+              shuffled.begin() + i * stride);
+    out.labels[i] = labels[order[i]];
+  }
+  out.x = Tensor::FromData(std::move(shuffled), {n, t_len, ch});
+  out.num_classes = options.num_classes;
+  return out;
+}
+
+void SplitClassification(const ClassificationData& all, double train_frac,
+                         ClassificationData* train, ClassificationData* test) {
+  TS3_CHECK(train != nullptr && test != nullptr);
+  TS3_CHECK(train_frac > 0.0 && train_frac < 1.0);
+  const int64_t n = all.size();
+  const int64_t n_train = static_cast<int64_t>(n * train_frac);
+  TS3_CHECK(n_train > 0 && n_train < n);
+  const int64_t t_len = all.x.dim(1);
+  const int64_t ch = all.x.dim(2);
+  const int64_t stride = t_len * ch;
+
+  auto take = [&](int64_t begin, int64_t count, ClassificationData* dst) {
+    std::vector<float> buf(all.x.data() + begin * stride,
+                           all.x.data() + (begin + count) * stride);
+    dst->x = Tensor::FromData(std::move(buf), {count, t_len, ch});
+    dst->labels.assign(all.labels.begin() + begin,
+                       all.labels.begin() + begin + count);
+    dst->num_classes = all.num_classes;
+  };
+  take(0, n_train, train);
+  take(n_train, n - n_train, test);
+}
+
+void GatherClassificationBatch(const ClassificationData& data,
+                               const std::vector<int64_t>& indices, Tensor* x,
+                               std::vector<int64_t>* labels) {
+  TS3_CHECK(x != nullptr && labels != nullptr);
+  TS3_CHECK(!indices.empty());
+  const int64_t t_len = data.x.dim(1);
+  const int64_t ch = data.x.dim(2);
+  const int64_t stride = t_len * ch;
+  std::vector<float> buf(indices.size() * static_cast<size_t>(stride));
+  labels->clear();
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t idx = indices[i];
+    TS3_CHECK(idx >= 0 && idx < data.size());
+    std::copy(data.x.data() + idx * stride, data.x.data() + (idx + 1) * stride,
+              buf.begin() + static_cast<int64_t>(i) * stride);
+    labels->push_back(data.labels[idx]);
+  }
+  *x = Tensor::FromData(std::move(buf),
+                        {static_cast<int64_t>(indices.size()), t_len, ch});
+}
+
+}  // namespace data
+}  // namespace ts3net

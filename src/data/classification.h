@@ -1,0 +1,54 @@
+#ifndef TS3NET_DATA_CLASSIFICATION_H_
+#define TS3NET_DATA_CLASSIFICATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ts3net {
+namespace data {
+
+/// A labelled set of fixed-length multivariate series for the classification
+/// task the paper lists among TS3Net's downstream applications.
+struct ClassificationData {
+  Tensor x;                     // [N, T, C]
+  std::vector<int64_t> labels;  // N entries in [0, num_classes)
+  int64_t num_classes = 0;
+
+  int64_t size() const { return x.defined() ? x.dim(0) : 0; }
+};
+
+/// Options for the synthetic classification generator. Classes are defined
+/// by distinct spectral signatures: class k uses base period
+/// `base_period * (k + 1) / num_classes`-ish spacing, with per-sample phase,
+/// amplitude jitter, envelope drift, and observation noise, so classes are
+/// separable by their temporal-frequency content but not trivially by value
+/// statistics.
+struct ClassificationOptions {
+  int64_t num_classes = 4;
+  int64_t samples_per_class = 64;
+  int64_t length = 96;
+  int64_t channels = 3;
+  double noise_std = 0.3;
+  double envelope_walk_std = 0.02;
+  uint64_t seed = 1;
+};
+
+/// Generates a shuffled, labelled dataset.
+ClassificationData GenerateClassificationData(
+    const ClassificationOptions& options);
+
+/// Splits by fraction (samples are already shuffled at generation).
+void SplitClassification(const ClassificationData& all, double train_frac,
+                         ClassificationData* train, ClassificationData* test);
+
+/// Gathers a batch: x [B, T, C] and the matching label vector.
+void GatherClassificationBatch(const ClassificationData& data,
+                               const std::vector<int64_t>& indices, Tensor* x,
+                               std::vector<int64_t>* labels);
+
+}  // namespace data
+}  // namespace ts3net
+
+#endif  // TS3NET_DATA_CLASSIFICATION_H_

@@ -1,0 +1,98 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace ts3net {
+namespace data {
+
+Result<TimeSeries> LoadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IOError("empty file: " + path);
+  }
+  const std::vector<std::string> header = StrSplit(StrTrim(line), ',');
+
+  // Peek at the first data row to find the numeric columns.
+  if (!std::getline(in, line)) {
+    return Status::IOError("no data rows in " + path);
+  }
+  std::vector<std::string> first = StrSplit(StrTrim(line), ',');
+  if (first.size() != header.size()) {
+    return Status::InvalidArgument("ragged CSV row in " + path);
+  }
+  std::vector<size_t> numeric_cols;
+  for (size_t i = 0; i < first.size(); ++i) {
+    double v;
+    if (ParseDouble(first[i], &v)) numeric_cols.push_back(i);
+  }
+  if (numeric_cols.empty()) {
+    return Status::InvalidArgument("no numeric columns in " + path);
+  }
+
+  std::vector<float> values;
+  auto append_row = [&](const std::vector<std::string>& row) -> Status {
+    for (size_t col : numeric_cols) {
+      double v;
+      if (col >= row.size() || !ParseDouble(row[col], &v)) {
+        return Status::InvalidArgument("bad numeric value in " + path);
+      }
+      values.push_back(static_cast<float>(v));
+    }
+    return Status::OK();
+  };
+  TS3_RETURN_IF_ERROR(append_row(first));
+  while (std::getline(in, line)) {
+    std::string trimmed = StrTrim(line);
+    if (trimmed.empty()) continue;
+    std::vector<std::string> row = StrSplit(trimmed, ',');
+    if (row.size() != header.size()) {
+      return Status::InvalidArgument("ragged CSV row in " + path);
+    }
+    TS3_RETURN_IF_ERROR(append_row(row));
+  }
+
+  const int64_t ch = static_cast<int64_t>(numeric_cols.size());
+  const int64_t t_len = static_cast<int64_t>(values.size()) / ch;
+  TimeSeries out;
+  out.values = Tensor::FromData(std::move(values), {t_len, ch});
+  for (size_t col : numeric_cols) out.channel_names.push_back(header[col]);
+  return out;
+}
+
+Status SaveCsv(const TimeSeries& series, const std::string& path) {
+  if (!series.values.defined()) {
+    return Status::InvalidArgument("undefined series");
+  }
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError("cannot write " + path);
+  }
+  const int64_t t_len = series.length();
+  const int64_t ch = series.channels();
+  for (int64_t c = 0; c < ch; ++c) {
+    if (c > 0) out << ",";
+    out << (c < static_cast<int64_t>(series.channel_names.size())
+                ? series.channel_names[c]
+                : "ch" + std::to_string(c));
+  }
+  out << "\n";
+  const float* p = series.values.data();
+  for (int64_t t = 0; t < t_len; ++t) {
+    for (int64_t c = 0; c < ch; ++c) {
+      if (c > 0) out << ",";
+      out << p[t * ch + c];
+    }
+    out << "\n";
+  }
+  return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+}  // namespace data
+}  // namespace ts3net

@@ -1,0 +1,23 @@
+#ifndef TS3NET_DATA_CSV_H_
+#define TS3NET_DATA_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/timeseries.h"
+
+namespace ts3net {
+namespace data {
+
+/// Loads a multivariate time series from a CSV file with a header row.
+/// Non-numeric columns (e.g. a leading "date" column, as in the public ETT /
+/// Electricity CSVs) are skipped automatically based on the first data row.
+Result<TimeSeries> LoadCsv(const std::string& path);
+
+/// Writes the series as CSV (header = channel names).
+Status SaveCsv(const TimeSeries& series, const std::string& path);
+
+}  // namespace data
+}  // namespace ts3net
+
+#endif  // TS3NET_DATA_CSV_H_

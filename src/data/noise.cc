@@ -1,0 +1,44 @@
+#include "data/noise.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ts3net {
+namespace data {
+
+Tensor InjectNoise(const Tensor& x_tc, double rho, Rng* rng) {
+  TS3_CHECK(x_tc.defined());
+  TS3_CHECK_EQ(x_tc.ndim(), 2) << "InjectNoise expects [T, C]";
+  TS3_CHECK(rho >= 0.0 && rho <= 1.0);
+  TS3_CHECK(rng != nullptr);
+  const int64_t t_len = x_tc.dim(0);
+  const int64_t ch = x_tc.dim(1);
+  std::vector<float> out(x_tc.data(), x_tc.data() + x_tc.numel());
+  if (rho == 0.0) return Tensor::FromData(std::move(out), x_tc.shape());
+
+  // Per-channel standard deviation of the original signal.
+  std::vector<double> stddev(static_cast<size_t>(ch), 0.0);
+  for (int64_t c = 0; c < ch; ++c) {
+    double sum = 0.0, sum_sq = 0.0;
+    for (int64_t t = 0; t < t_len; ++t) {
+      const double v = out[t * ch + c];
+      sum += v;
+      sum_sq += v * v;
+    }
+    const double mean = sum / t_len;
+    stddev[c] = std::sqrt(std::max(0.0, sum_sq / t_len - mean * mean));
+  }
+
+  for (int64_t t = 0; t < t_len; ++t) {
+    if (!rng->Bernoulli(rho)) continue;
+    for (int64_t c = 0; c < ch; ++c) {
+      out[t * ch + c] +=
+          static_cast<float>(rng->Gaussian(0.0, stddev[c]));
+    }
+  }
+  return Tensor::FromData(std::move(out), x_tc.shape());
+}
+
+}  // namespace data
+}  // namespace ts3net

@@ -1,0 +1,19 @@
+#ifndef TS3NET_DATA_NOISE_H_
+#define TS3NET_DATA_NOISE_H_
+
+#include "common/random.h"
+#include "tensor/tensor.h"
+
+namespace ts3net {
+namespace data {
+
+/// The robustness protocol of the paper's Table VIII: a proportion `rho` of
+/// the time points of a [T, C] series is randomly selected, and noise drawn
+/// from the distribution characteristics of the original signal (per-channel
+/// standard deviation) is added at those points. Returns a new tensor.
+Tensor InjectNoise(const Tensor& x_tc, double rho, Rng* rng);
+
+}  // namespace data
+}  // namespace ts3net
+
+#endif  // TS3NET_DATA_NOISE_H_

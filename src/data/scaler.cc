@@ -1,0 +1,77 @@
+#include "data/scaler.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ts3net {
+namespace data {
+
+void StandardScaler::Fit(const Tensor& x_tc) {
+  TS3_CHECK(x_tc.defined());
+  TS3_CHECK_EQ(x_tc.ndim(), 2) << "StandardScaler::Fit expects [T, C]";
+  const int64_t t_len = x_tc.dim(0);
+  const int64_t ch = x_tc.dim(1);
+  TS3_CHECK_GE(t_len, 2);
+  mean_.assign(static_cast<size_t>(ch), 0.0f);
+  std_.assign(static_cast<size_t>(ch), 0.0f);
+  const float* px = x_tc.data();
+  std::vector<double> sum(ch, 0.0), sum_sq(ch, 0.0);
+  for (int64_t t = 0; t < t_len; ++t) {
+    for (int64_t c = 0; c < ch; ++c) {
+      const double v = px[t * ch + c];
+      sum[c] += v;
+      sum_sq[c] += v * v;
+    }
+  }
+  for (int64_t c = 0; c < ch; ++c) {
+    const double m = sum[c] / t_len;
+    double var = sum_sq[c] / t_len - m * m;
+    if (var < 1e-12) var = 1e-12;  // constant channel: avoid divide-by-zero
+    mean_[c] = static_cast<float>(m);
+    std_[c] = static_cast<float>(std::sqrt(var));
+  }
+}
+
+namespace {
+
+Tensor ApplyChannelAffine(const Tensor& x, const std::vector<float>& scale,
+                          const std::vector<float>& shift) {
+  TS3_CHECK(x.ndim() == 2 || x.ndim() == 3);
+  const int64_t ch = x.dim(-1);
+  TS3_CHECK_EQ(ch, static_cast<int64_t>(scale.size()))
+      << "scaler fitted for a different channel count";
+  std::vector<float> out(x.data(), x.data() + x.numel());
+  const int64_t rows = x.numel() / ch;
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < ch; ++c) {
+      out[r * ch + c] = out[r * ch + c] * scale[c] + shift[c];
+    }
+  }
+  return Tensor::FromData(std::move(out), x.shape());
+}
+
+}  // namespace
+
+Tensor StandardScaler::Transform(const Tensor& x) const {
+  TS3_CHECK(fitted()) << "Transform before Fit";
+  std::vector<float> scale(mean_.size()), shift(mean_.size());
+  for (size_t c = 0; c < mean_.size(); ++c) {
+    scale[c] = 1.0f / std_[c];
+    shift[c] = -mean_[c] / std_[c];
+  }
+  return ApplyChannelAffine(x, scale, shift);
+}
+
+Tensor StandardScaler::InverseTransform(const Tensor& x) const {
+  TS3_CHECK(fitted()) << "InverseTransform before Fit";
+  std::vector<float> scale(mean_.size()), shift(mean_.size());
+  for (size_t c = 0; c < mean_.size(); ++c) {
+    scale[c] = std_[c];
+    shift[c] = mean_[c];
+  }
+  return ApplyChannelAffine(x, scale, shift);
+}
+
+}  // namespace data
+}  // namespace ts3net

@@ -1,0 +1,39 @@
+#ifndef TS3NET_DATA_SCALER_H_
+#define TS3NET_DATA_SCALER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ts3net {
+namespace data {
+
+/// Per-channel standardization (zero mean, unit variance), fit on the train
+/// split and applied to every split — the normalization protocol of the
+/// TimesNet benchmark the paper follows.
+class StandardScaler {
+ public:
+  StandardScaler() = default;
+
+  /// Computes per-channel mean/std from a [T, C] tensor.
+  void Fit(const Tensor& x_tc);
+
+  /// (x - mean) / std, per channel. Accepts [T, C] or [B, T, C].
+  Tensor Transform(const Tensor& x) const;
+
+  /// x * std + mean, per channel. Accepts [T, C] or [B, T, C].
+  Tensor InverseTransform(const Tensor& x) const;
+
+  bool fitted() const { return !mean_.empty(); }
+  const std::vector<float>& mean() const { return mean_; }
+  const std::vector<float>& std() const { return std_; }
+
+ private:
+  std::vector<float> mean_;
+  std::vector<float> std_;
+};
+
+}  // namespace data
+}  // namespace ts3net
+
+#endif  // TS3NET_DATA_SCALER_H_

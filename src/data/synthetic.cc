@@ -1,0 +1,258 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace ts3net {
+namespace data {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+/// An active oscillatory burst: frequency + phase + exponential decay.
+struct Burst {
+  int64_t start = 0;
+  double period = 0.0;
+  double phase = 0.0;
+  double amplitude = 0.0;
+};
+
+}  // namespace
+
+TimeSeries GenerateSynthetic(const SyntheticOptions& options) {
+  TS3_CHECK_GE(options.length, 8);
+  TS3_CHECK_GE(options.channels, 1);
+  const int64_t t_len = options.length;
+  const int64_t ch = options.channels;
+  Rng rng(options.seed);
+
+  // Shared latent factor: its own random walk + the first periodic component.
+  std::vector<double> shared(static_cast<size_t>(t_len), 0.0);
+  {
+    Rng shared_rng = rng.Fork();
+    double walk = 0.0;
+    const double shared_phase = shared_rng.Uniform(0.0, kTwoPi);
+    for (int64_t t = 0; t < t_len; ++t) {
+      walk += shared_rng.Gaussian(0.0, options.random_walk_std);
+      double v = walk;
+      if (!options.components.empty()) {
+        const PeriodicComponent& p = options.components[0];
+        v += 0.5 * p.amplitude *
+             std::sin(kTwoPi * t / p.period + shared_phase);
+      }
+      shared[t] = v;
+    }
+  }
+
+  std::vector<float> values(static_cast<size_t>(t_len * ch), 0.0f);
+  for (int64_t c = 0; c < ch; ++c) {
+    Rng chan_rng = rng.Fork();
+
+    // Per-channel phases and amplitude jitters for every component.
+    struct ChannelComponent {
+      double phase;
+      double mod_phase;
+      double amplitude;
+      double env_walk;  // log-envelope random-walk state
+    };
+    std::vector<ChannelComponent> comps;
+    for (const PeriodicComponent& p : options.components) {
+      ChannelComponent cc;
+      cc.phase = chan_rng.Uniform(0.0, kTwoPi);
+      cc.mod_phase = chan_rng.Uniform(0.0, kTwoPi);
+      cc.amplitude = p.amplitude * chan_rng.Uniform(0.7, 1.3);
+      cc.env_walk = 0.0;
+      comps.push_back(cc);
+    }
+
+    const double slope_per_step =
+        options.trend_slope / static_cast<double>(t_len) *
+        chan_rng.Uniform(0.5, 1.5);
+    double walk = 0.0;
+
+    std::vector<Burst> active_bursts;
+    for (int64_t t = 0; t < t_len; ++t) {
+      double v = slope_per_step * static_cast<double>(t);
+      walk += chan_rng.Gaussian(0.0, options.random_walk_std);
+      v += walk;
+
+      for (size_t k = 0; k < comps.size(); ++k) {
+        const PeriodicComponent& p = options.components[k];
+        double amp = comps[k].amplitude;
+        if (p.amp_mod_depth > 0.0 && p.amp_mod_period > 0.0) {
+          amp *= 1.0 + p.amp_mod_depth *
+                           std::sin(kTwoPi * t / p.amp_mod_period +
+                                    comps[k].mod_phase);
+        }
+        if (p.amp_walk_std > 0.0) {
+          comps[k].env_walk = std::clamp(
+              comps[k].env_walk + chan_rng.Gaussian(0.0, p.amp_walk_std),
+              -1.2, 1.2);
+          amp *= std::exp(comps[k].env_walk);
+        }
+        v += amp * std::sin(kTwoPi * t / p.period + comps[k].phase);
+      }
+
+      // Spawn and accumulate transient oscillatory bursts.
+      if (options.burst_probability > 0.0 &&
+          chan_rng.Bernoulli(options.burst_probability)) {
+        Burst b;
+        b.start = t;
+        b.period = chan_rng.Uniform(6.0, 64.0);
+        b.phase = chan_rng.Uniform(0.0, kTwoPi);
+        b.amplitude = options.burst_amplitude * chan_rng.Uniform(0.5, 1.5);
+        active_bursts.push_back(b);
+      }
+      double burst_sum = 0.0;
+      for (const Burst& b : active_bursts) {
+        const double age = static_cast<double>(t - b.start);
+        burst_sum += b.amplitude * std::exp(-age / options.burst_duration) *
+                     std::sin(kTwoPi * age / b.period + b.phase);
+      }
+      v += burst_sum;
+      // Retire bursts that have decayed to irrelevance.
+      if (!active_bursts.empty() && t % 64 == 0) {
+        active_bursts.erase(
+            std::remove_if(active_bursts.begin(), active_bursts.end(),
+                           [&](const Burst& b) {
+                             return static_cast<double>(t - b.start) >
+                                    6.0 * options.burst_duration;
+                           }),
+            active_bursts.end());
+      }
+
+      v += chan_rng.Gaussian(0.0, options.noise_std);
+      v = (1.0 - options.cross_channel_mix) * v +
+          options.cross_channel_mix * shared[t];
+      values[t * ch + c] = static_cast<float>(v);
+    }
+  }
+
+  TimeSeries out;
+  out.values = Tensor::FromData(std::move(values), {t_len, ch});
+  for (int64_t c = 0; c < ch; ++c) {
+    out.channel_names.push_back("ch" + std::to_string(c));
+  }
+  return out;
+}
+
+Result<SyntheticOptions> DatasetPreset(const std::string& name,
+                                       double length_fraction,
+                                       int64_t channel_cap) {
+  if (length_fraction <= 0.0 || length_fraction > 4.0) {
+    return Status::InvalidArgument("length_fraction out of range (0, 4]");
+  }
+  SyntheticOptions o;
+  auto cap = [channel_cap](int64_t c) {
+    return channel_cap > 0 ? std::min(c, channel_cap) : c;
+  };
+  auto scaled = [length_fraction](int64_t full) {
+    return std::max<int64_t>(1024,
+                             static_cast<int64_t>(full * length_fraction));
+  };
+
+  if (name == "ETTh1") {
+    o.length = scaled(14307);  // 8545 + 2881 + 2881 rows (Table II)
+    o.channels = 7;
+    o.seed = 101;
+    o.components = {{24.0, 1.2, 0.45, 240.0, 0.02}, {168.0, 0.8, 0.0, 0.0}};
+    o.trend_slope = 2.0;
+    o.random_walk_std = 0.02;
+    o.noise_std = 0.35;
+    o.burst_probability = 0.006;
+    o.burst_amplitude = 1.2;
+  } else if (name == "ETTh2") {
+    o.length = scaled(14307);
+    o.channels = 7;
+    o.seed = 102;
+    o.components = {{24.0, 1.0, 0.4, 360.0, 0.03}, {168.0, 0.6, 0.2, 1200.0}};
+    o.trend_slope = -1.5;
+    o.random_walk_std = 0.05;
+    o.noise_std = 0.5;
+    o.burst_probability = 0.004;
+    o.burst_amplitude = 1.2;
+  } else if (name == "ETTm1") {
+    o.length = scaled(57507);  // 15-minute sampling
+    o.channels = 7;
+    o.seed = 103;
+    o.components = {{96.0, 1.2, 0.45, 960.0, 0.01}, {672.0, 0.8, 0.0, 0.0}};
+    o.trend_slope = 2.0;
+    o.random_walk_std = 0.01;
+    o.noise_std = 0.3;
+    o.burst_probability = 0.004;
+    o.burst_amplitude = 1.0;
+  } else if (name == "ETTm2") {
+    o.length = scaled(57507);
+    o.channels = 7;
+    o.seed = 104;
+    o.components = {{96.0, 1.0, 0.4, 1440.0, 0.012}, {672.0, 0.6, 0.2, 4800.0}};
+    o.trend_slope = -1.5;
+    o.random_walk_std = 0.02;
+    o.noise_std = 0.45;
+    o.burst_probability = 0.002;
+    o.burst_amplitude = 1.0;
+  } else if (name == "Electricity") {
+    o.length = scaled(26211);
+    o.channels = cap(321);
+    o.seed = 105;
+    o.components = {{24.0, 1.5, 0.3, 360.0, 0.015}, {168.0, 1.0, 0.0, 0.0}};
+    o.trend_slope = 1.0;
+    o.random_walk_std = 0.01;
+    o.noise_std = 0.25;
+    o.cross_channel_mix = 0.4;
+  } else if (name == "Traffic") {
+    o.length = scaled(17451);
+    o.channels = cap(862);
+    o.seed = 106;
+    o.components = {{24.0, 1.8, 0.35, 300.0, 0.02}, {168.0, 1.2, 0.0, 0.0}};
+    o.trend_slope = 0.5;
+    o.random_walk_std = 0.005;
+    o.noise_std = 0.3;
+    o.burst_probability = 0.003;  // incidents
+    o.burst_amplitude = 1.5;
+    o.cross_channel_mix = 0.5;
+  } else if (name == "Weather") {
+    o.length = scaled(52603);  // 10-minute sampling
+    o.channels = 21;
+    o.seed = 107;
+    o.components = {{144.0, 1.3, 0.3, 4320.0, 0.01}, {1008.0, 0.5, 0.0, 0.0}};
+    o.trend_slope = 1.0;
+    o.random_walk_std = 0.03;
+    o.noise_std = 0.2;
+  } else if (name == "Exchange") {
+    o.length = scaled(7207);  // daily
+    o.channels = 8;
+    o.seed = 108;
+    o.components = {{260.0, 0.15, 0.3, 1300.0}};  // weak annual-ish cycle
+    o.trend_slope = 1.0;
+    o.random_walk_std = 0.12;  // random-walk dominated, like FX rates
+    o.noise_std = 0.05;
+    o.cross_channel_mix = 0.2;
+  } else if (name == "ILI") {
+    o.length = std::max<int64_t>(861, static_cast<int64_t>(861));  // weekly
+    o.channels = 7;
+    o.seed = 109;
+    o.components = {{52.0, 1.5, 0.5, 208.0, 0.03}};  // annual flu season
+    o.trend_slope = 0.8;
+    o.random_walk_std = 0.04;
+    o.noise_std = 0.25;
+    o.burst_probability = 0.01;  // epidemic flare-ups
+    o.burst_amplitude = 2.0;
+    o.burst_duration = 12.0;
+  } else {
+    return Status::NotFound("unknown dataset preset: " + name);
+  }
+  return o;
+}
+
+std::vector<std::string> AllDatasetNames() {
+  return {"ETTm1", "ETTm2", "ETTh1",   "ETTh2", "Electricity",
+          "Traffic", "Weather", "Exchange", "ILI"};
+}
+
+}  // namespace data
+}  // namespace ts3net

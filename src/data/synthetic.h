@@ -1,0 +1,75 @@
+#ifndef TS3NET_DATA_SYNTHETIC_H_
+#define TS3NET_DATA_SYNTHETIC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/timeseries.h"
+
+namespace ts3net {
+namespace data {
+
+/// One periodic component of a synthetic series. `amp_mod_depth` > 0 slowly
+/// modulates the component's amplitude over `amp_mod_period` samples — this
+/// is the *dynamic spectral fluctuation* the paper's fluctuant-part targets:
+/// energy at a fixed frequency that waxes and wanes over time.
+struct PeriodicComponent {
+  double period = 24.0;        // samples per cycle
+  double amplitude = 1.0;      // base amplitude
+  double amp_mod_depth = 0.0;  // in [0, 1): relative modulation depth
+  double amp_mod_period = 0.0; // samples per modulation cycle (0 = none)
+  /// Log-random-walk envelope: the component's amplitude is additionally
+  /// multiplied by exp(w_t) with w_t a Gaussian random walk of this per-step
+  /// std. Unlike sinusoidal modulation this is *not* expressible as fixed
+  /// sidebands, so predicting it requires tracking local spectral energy —
+  /// the regime the paper's fluctuant-part targets.
+  double amp_walk_std = 0.0;
+};
+
+/// Configuration of the synthetic multivariate generator used to stand in
+/// for the paper's six public datasets (see DESIGN.md, substitution table).
+struct SyntheticOptions {
+  int64_t length = 4000;
+  int64_t channels = 7;
+  uint64_t seed = 42;
+
+  std::vector<PeriodicComponent> components;
+
+  double trend_slope = 0.0;       // total linear drift over the series, in sd
+  double random_walk_std = 0.0;   // per-step random-walk innovation
+  double noise_std = 0.3;         // white observation noise
+
+  /// Transient oscillatory bursts (irregular spectral events): per-sample
+  /// probability of starting a damped random-frequency oscillation.
+  double burst_probability = 0.0;
+  double burst_amplitude = 0.0;
+  double burst_duration = 48.0;   // 1/e decay length in samples
+
+  /// Fraction of a shared latent factor mixed into every channel (cross-
+  /// channel correlation, as in real electricity/traffic data).
+  double cross_channel_mix = 0.3;
+};
+
+/// Generates a deterministic synthetic series from the options.
+TimeSeries GenerateSynthetic(const SyntheticOptions& options);
+
+/// Named presets mirroring the paper's datasets in dimensionality, sampling
+/// structure, and qualitative behaviour. Valid names: ETTh1, ETTh2, ETTm1,
+/// ETTm2, Electricity, Traffic, Weather, Exchange, ILI.
+///
+/// `length_fraction` scales the generated length relative to the real
+/// dataset's size (1.0 = paper-size; benches default to a fraction so the
+/// suite runs on a laptop CPU). `channel_cap` bounds the channel count
+/// (Electricity has 321, Traffic 862; 0 = no cap).
+Result<SyntheticOptions> DatasetPreset(const std::string& name,
+                                       double length_fraction = 0.25,
+                                       int64_t channel_cap = 0);
+
+/// All preset names, in the paper's Table II order.
+std::vector<std::string> AllDatasetNames();
+
+}  // namespace data
+}  // namespace ts3net
+
+#endif  // TS3NET_DATA_SYNTHETIC_H_

@@ -1,0 +1,39 @@
+#include "data/timeseries.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace ts3net {
+namespace data {
+
+SplitSeries SplitChronological(const TimeSeries& series, double train_frac,
+                               double val_frac, int64_t context) {
+  TS3_CHECK(series.values.defined());
+  TS3_CHECK(train_frac > 0 && val_frac >= 0 && train_frac + val_frac < 1.0);
+  TS3_CHECK_GE(context, 0);
+  const int64_t t_len = series.length();
+  const int64_t n_train = static_cast<int64_t>(t_len * train_frac);
+  const int64_t n_val = static_cast<int64_t>(t_len * val_frac);
+  const int64_t n_test = t_len - n_train - n_val;
+  TS3_CHECK(n_train > 0 && n_test > 0) << "degenerate split";
+  const int64_t val_ctx = std::min(context, n_train);
+  const int64_t test_ctx = std::min(context, n_train + n_val);
+
+  SplitSeries out;
+  out.train.values = Slice(series.values, 0, 0, n_train).Detach();
+  out.val.values =
+      Slice(series.values, 0, n_train - val_ctx, n_val + val_ctx).Detach();
+  out.test.values = Slice(series.values, 0, n_train + n_val - test_ctx,
+                          n_test + test_ctx)
+                        .Detach();
+  for (TimeSeries* part : {&out.train, &out.val, &out.test}) {
+    part->channel_names = series.channel_names;
+    part->frequency = series.frequency;
+  }
+  return out;
+}
+
+}  // namespace data
+}  // namespace ts3net

@@ -1,0 +1,41 @@
+#ifndef TS3NET_DATA_TIMESERIES_H_
+#define TS3NET_DATA_TIMESERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ts3net {
+namespace data {
+
+/// A multivariate time series: values [T, C] plus channel names and a
+/// human-readable sampling-frequency tag ("15min", "hourly", "daily", ...).
+struct TimeSeries {
+  Tensor values;  // [T, C]
+  std::vector<std::string> channel_names;
+  std::string frequency;
+
+  int64_t length() const { return values.defined() ? values.dim(0) : 0; }
+  int64_t channels() const { return values.defined() ? values.dim(1) : 0; }
+};
+
+/// Chronological train/validation/test split by fractions (e.g. 0.7/0.1/0.2,
+/// the split used for the non-ETT datasets in the paper's Table II).
+struct SplitSeries {
+  TimeSeries train;
+  TimeSeries val;
+  TimeSeries test;
+};
+
+/// `context` extends the val and test segments backwards by that many steps
+/// (the TimesNet border protocol: evaluation windows may look back into the
+/// preceding split), so even short validation splits can host full
+/// lookback+horizon windows.
+SplitSeries SplitChronological(const TimeSeries& series, double train_frac,
+                               double val_frac, int64_t context = 0);
+
+}  // namespace data
+}  // namespace ts3net
+
+#endif  // TS3NET_DATA_TIMESERIES_H_

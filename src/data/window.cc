@@ -1,0 +1,182 @@
+#include "data/window.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace ts3net {
+namespace data {
+
+// ---------------------------------------------------------------------------
+// ForecastDataset
+// ---------------------------------------------------------------------------
+
+ForecastDataset::ForecastDataset(Tensor values_tc, int64_t lookback,
+                                 int64_t horizon)
+    : values_(std::move(values_tc)), lookback_(lookback), horizon_(horizon) {
+  TS3_CHECK(values_.defined());
+  TS3_CHECK_EQ(values_.ndim(), 2) << "ForecastDataset expects [T, C]";
+  TS3_CHECK_GE(lookback, 1);
+  TS3_CHECK_GE(horizon, 1);
+  size_ = values_.dim(0) - lookback - horizon + 1;
+  TS3_CHECK_GT(size_, 0) << "series too short: T=" << values_.dim(0)
+                         << " lookback=" << lookback << " horizon=" << horizon;
+}
+
+void ForecastDataset::Get(int64_t i, Tensor* x, Tensor* y) const {
+  GetBatch({i}, x, y);
+  *x = Tensor::FromData(std::vector<float>(x->data(), x->data() + x->numel()),
+                        {lookback_, values_.dim(1)});
+  *y = Tensor::FromData(std::vector<float>(y->data(), y->data() + y->numel()),
+                        {horizon_, values_.dim(1)});
+}
+
+void ForecastDataset::GetBatch(const std::vector<int64_t>& indices, Tensor* x,
+                               Tensor* y) const {
+  TS3_CHECK(!indices.empty());
+  const int64_t b = static_cast<int64_t>(indices.size());
+  const int64_t ch = values_.dim(1);
+  std::vector<float> xv(static_cast<size_t>(b * lookback_ * ch));
+  std::vector<float> yv(static_cast<size_t>(b * horizon_ * ch));
+  const float* src = values_.data();
+  for (int64_t k = 0; k < b; ++k) {
+    const int64_t i = indices[k];
+    TS3_CHECK(i >= 0 && i < size_) << "sample index out of range";
+    std::memcpy(xv.data() + k * lookback_ * ch, src + i * ch,
+                sizeof(float) * static_cast<size_t>(lookback_ * ch));
+    std::memcpy(yv.data() + k * horizon_ * ch, src + (i + lookback_) * ch,
+                sizeof(float) * static_cast<size_t>(horizon_ * ch));
+  }
+  *x = Tensor::FromData(std::move(xv), {b, lookback_, ch});
+  *y = Tensor::FromData(std::move(yv), {b, horizon_, ch});
+}
+
+// ---------------------------------------------------------------------------
+// ImputationDataset
+// ---------------------------------------------------------------------------
+
+ImputationDataset::ImputationDataset(Tensor values_tc, int64_t window,
+                                     double mask_ratio, uint64_t seed,
+                                     FillMode fill)
+    : values_(std::move(values_tc)),
+      window_(window),
+      mask_ratio_(mask_ratio),
+      seed_(seed),
+      fill_(fill) {
+  TS3_CHECK(values_.defined());
+  TS3_CHECK_EQ(values_.ndim(), 2);
+  TS3_CHECK_GE(window, 1);
+  TS3_CHECK(mask_ratio > 0.0 && mask_ratio < 1.0);
+  size_ = values_.dim(0) - window + 1;
+  TS3_CHECK_GT(size_, 0);
+}
+
+void ImputationDataset::Get(int64_t i, Tensor* x, Tensor* mask,
+                            Tensor* y) const {
+  GetBatch({i}, x, mask, y);
+  const int64_t ch = values_.dim(1);
+  auto flatten = [&](Tensor* t) {
+    *t = Tensor::FromData(
+        std::vector<float>(t->data(), t->data() + t->numel()), {window_, ch});
+  };
+  flatten(x);
+  flatten(mask);
+  flatten(y);
+}
+
+void ImputationDataset::GetBatch(const std::vector<int64_t>& indices,
+                                 Tensor* x, Tensor* mask, Tensor* y) const {
+  TS3_CHECK(!indices.empty());
+  const int64_t b = static_cast<int64_t>(indices.size());
+  const int64_t ch = values_.dim(1);
+  std::vector<float> xv(static_cast<size_t>(b * window_ * ch));
+  std::vector<float> mv(static_cast<size_t>(b * window_ * ch));
+  std::vector<float> yv(static_cast<size_t>(b * window_ * ch));
+  const float* src = values_.data();
+  for (int64_t k = 0; k < b; ++k) {
+    const int64_t i = indices[k];
+    TS3_CHECK(i >= 0 && i < size_);
+    std::memcpy(yv.data() + k * window_ * ch, src + i * ch,
+                sizeof(float) * static_cast<size_t>(window_ * ch));
+    // Deterministic per-sample mask: the same (seed, i) always masks the
+    // same time points (mask applies per time step, all channels at once —
+    // "randomly mask the time points", Table V).
+    Rng mask_rng(seed_ ^ (0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(i + 1)));
+    std::vector<bool> masked(static_cast<size_t>(window_));
+    for (int64_t t = 0; t < window_; ++t) {
+      masked[t] = mask_rng.Bernoulli(mask_ratio_);
+      for (int64_t c = 0; c < ch; ++c) {
+        const int64_t idx = (k * window_ + t) * ch + c;
+        mv[idx] = masked[t] ? 0.0f : 1.0f;
+        xv[idx] = masked[t] ? 0.0f : yv[idx];
+      }
+    }
+    if (fill_ == FillMode::kInterpolate) {
+      // Linearly bridge each masked run between its observed neighbours;
+      // runs touching the window edge are held at the nearest observation
+      // (or left at zero when the whole window is masked).
+      for (int64_t t = 0; t < window_; ++t) {
+        if (!masked[t]) continue;
+        int64_t lo = t - 1;
+        while (lo >= 0 && masked[lo]) --lo;
+        int64_t hi = t + 1;
+        while (hi < window_ && masked[hi]) ++hi;
+        for (int64_t c = 0; c < ch; ++c) {
+          const int64_t idx = (k * window_ + t) * ch + c;
+          if (lo >= 0 && hi < window_) {
+            const float a = yv[(k * window_ + lo) * ch + c];
+            const float b = yv[(k * window_ + hi) * ch + c];
+            const float frac =
+                static_cast<float>(t - lo) / static_cast<float>(hi - lo);
+            xv[idx] = a + frac * (b - a);
+          } else if (lo >= 0) {
+            xv[idx] = yv[(k * window_ + lo) * ch + c];
+          } else if (hi < window_) {
+            xv[idx] = yv[(k * window_ + hi) * ch + c];
+          }
+        }
+      }
+    }
+  }
+  *x = Tensor::FromData(std::move(xv), {b, window_, ch});
+  *mask = Tensor::FromData(std::move(mv), {b, window_, ch});
+  *y = Tensor::FromData(std::move(yv), {b, window_, ch});
+}
+
+// ---------------------------------------------------------------------------
+// BatchSampler
+// ---------------------------------------------------------------------------
+
+BatchSampler::BatchSampler(int64_t dataset_size, int64_t batch_size,
+                           bool shuffle, uint64_t seed)
+    : dataset_size_(dataset_size),
+      batch_size_(batch_size),
+      shuffle_(shuffle),
+      rng_(seed) {
+  TS3_CHECK_GE(dataset_size, 1);
+  TS3_CHECK_GE(batch_size, 1);
+  order_.resize(static_cast<size_t>(dataset_size));
+  for (int64_t i = 0; i < dataset_size; ++i) order_[i] = i;
+  Reset();
+}
+
+void BatchSampler::Reset() {
+  cursor_ = 0;
+  if (shuffle_) rng_.Shuffle(&order_);
+}
+
+bool BatchSampler::Next(std::vector<int64_t>* indices) {
+  TS3_CHECK(indices != nullptr);
+  if (cursor_ >= dataset_size_) return false;
+  const int64_t end = std::min(cursor_ + batch_size_, dataset_size_);
+  indices->assign(order_.begin() + cursor_, order_.begin() + end);
+  cursor_ = end;
+  return true;
+}
+
+int64_t BatchSampler::num_batches() const {
+  return (dataset_size_ + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace data
+}  // namespace ts3net

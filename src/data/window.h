@@ -1,0 +1,101 @@
+#ifndef TS3NET_DATA_WINDOW_H_
+#define TS3NET_DATA_WINDOW_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "tensor/tensor.h"
+
+namespace ts3net {
+namespace data {
+
+/// Sliding-window forecasting dataset over a scaled [T, C] series: sample i
+/// is (x = values[i : i+lookback], y = values[i+lookback : i+lookback+horizon]).
+class ForecastDataset {
+ public:
+  ForecastDataset(Tensor values_tc, int64_t lookback, int64_t horizon);
+
+  int64_t size() const { return size_; }
+  int64_t lookback() const { return lookback_; }
+  int64_t horizon() const { return horizon_; }
+  int64_t channels() const { return values_.dim(1); }
+
+  /// Copies sample `i` into x [lookback, C] and y [horizon, C].
+  void Get(int64_t i, Tensor* x, Tensor* y) const;
+
+  /// Gathers a batch: x [B, lookback, C], y [B, horizon, C].
+  void GetBatch(const std::vector<int64_t>& indices, Tensor* x,
+                Tensor* y) const;
+
+ private:
+  Tensor values_;
+  int64_t lookback_;
+  int64_t horizon_;
+  int64_t size_;
+};
+
+/// Imputation dataset (paper Table V): length-`window` segments with a
+/// deterministic per-sample random mask. x is the masked series (masked
+/// positions zeroed), `mask` is 1 at *observed* positions and 0 at masked
+/// ones, and y is the complete ground truth.
+class ImputationDataset {
+ public:
+  /// How masked positions are presented in the model input x.
+  enum class FillMode {
+    kZero,         // zero-fill (TimesNet benchmark convention)
+    kInterpolate,  // linear interpolation between observed neighbours
+  };
+
+  ImputationDataset(Tensor values_tc, int64_t window, double mask_ratio,
+                    uint64_t seed, FillMode fill = FillMode::kZero);
+
+  int64_t size() const { return size_; }
+  int64_t window() const { return window_; }
+  double mask_ratio() const { return mask_ratio_; }
+  int64_t channels() const { return values_.dim(1); }
+
+  /// Copies sample i: x, mask, y each [window, C].
+  void Get(int64_t i, Tensor* x, Tensor* mask, Tensor* y) const;
+
+  /// Gathers a batch: x/mask/y each [B, window, C].
+  void GetBatch(const std::vector<int64_t>& indices, Tensor* x, Tensor* mask,
+                Tensor* y) const;
+
+ private:
+  Tensor values_;
+  int64_t window_;
+  double mask_ratio_;
+  uint64_t seed_;
+  FillMode fill_;
+  int64_t size_;
+};
+
+/// Iterates mini-batches of sample indices, optionally shuffled each epoch
+/// with the provided (seeded) generator.
+class BatchSampler {
+ public:
+  BatchSampler(int64_t dataset_size, int64_t batch_size, bool shuffle,
+               uint64_t seed);
+
+  /// Resets to the beginning (reshuffling when enabled).
+  void Reset();
+
+  /// Fills `indices` with the next batch; returns false when exhausted.
+  /// The final batch may be smaller than batch_size (never empty).
+  bool Next(std::vector<int64_t>* indices);
+
+  int64_t num_batches() const;
+
+ private:
+  int64_t dataset_size_;
+  int64_t batch_size_;
+  bool shuffle_;
+  Rng rng_;
+  std::vector<int64_t> order_;
+  int64_t cursor_ = 0;
+};
+
+}  // namespace data
+}  // namespace ts3net
+
+#endif  // TS3NET_DATA_WINDOW_H_

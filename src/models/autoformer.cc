@@ -1,0 +1,79 @@
+#include "models/autoformer.h"
+
+#include "nn/revin.h"
+#include "signal/trend.h"
+#include "tensor/ops.h"
+
+namespace ts3net {
+namespace models {
+
+Autoformer::Autoformer(const ModelConfig& config, Rng* rng)
+    : config_(config) {
+  embedding_ = RegisterModule(
+      "embedding",
+      std::make_shared<nn::DataEmbedding>(config.channels, config.d_model,
+                                          config.seq_len, rng,
+                                          config.dropout));
+  for (int l = 0; l < config.num_layers; ++l) {
+    attns_.push_back(RegisterModule(
+        "attn" + std::to_string(l),
+        std::make_shared<nn::MultiHeadAttention>(config.d_model,
+                                                 config.num_heads, rng,
+                                                 config.dropout)));
+    ffs_.push_back(RegisterModule(
+        "ff" + std::to_string(l),
+        std::make_shared<nn::Mlp>(config.d_model, config.d_ff, config.d_model,
+                                  rng)));
+  }
+  time_proj_ = RegisterModule(
+      "time_proj",
+      std::make_shared<nn::Linear>(config.seq_len, config.pred_len, rng));
+  channel_proj_ = RegisterModule(
+      "channel_proj",
+      std::make_shared<nn::Linear>(config.d_model, config.channels, rng));
+  trend_time_proj_ = RegisterModule(
+      "trend_time_proj",
+      std::make_shared<nn::Linear>(config.seq_len, config.pred_len, rng));
+  trend_channel_proj_ = RegisterModule(
+      "trend_channel_proj",
+      std::make_shared<nn::Linear>(config.d_model, config.channels, rng));
+  input_trend_proj_ = RegisterModule(
+      "input_trend_proj",
+      std::make_shared<nn::Linear>(config.seq_len, config.pred_len, rng));
+}
+
+Tensor Autoformer::Forward(const Tensor& x) {
+  TS3_CHECK_EQ(x.ndim(), 3) << "Autoformer expects [B, T, C]";
+  nn::InstanceStats stats = nn::ComputeInstanceStats(x);
+  Tensor xn = nn::InstanceNormalize(x, stats);
+
+  // Initial decomposition; the input trend gets its own linear regressor.
+  TrendDecomposition td = DecomposeTrend(xn, {config_.moving_avg});
+  Tensor y_trend =
+      Transpose(input_trend_proj_->Forward(Transpose(td.trend, 1, 2)), 1, 2);
+
+  Tensor h = embedding_->Forward(td.seasonal);  // [B, T, D]
+  Tensor trend_acc;                             // accumulated inner trends
+  for (size_t l = 0; l < attns_.size(); ++l) {
+    // Attention sub-layer followed by progressive decomposition.
+    Tensor a = Add(h, attns_[l]->Forward(h));
+    TrendDecomposition da = DecomposeTrend(a, {config_.moving_avg});
+    trend_acc = trend_acc.defined() ? Add(trend_acc, da.trend) : da.trend;
+    // Feed-forward sub-layer followed by decomposition.
+    Tensor f = Add(da.seasonal, ffs_[l]->Forward(da.seasonal));
+    TrendDecomposition df = DecomposeTrend(f, {config_.moving_avg});
+    trend_acc = Add(trend_acc, df.trend);
+    h = df.seasonal;
+  }
+
+  Tensor y = Transpose(time_proj_->Forward(Transpose(h, 1, 2)), 1, 2);
+  y = channel_proj_->Forward(y);
+  Tensor yt =
+      Transpose(trend_time_proj_->Forward(Transpose(trend_acc, 1, 2)), 1, 2);
+  yt = trend_channel_proj_->Forward(yt);
+
+  return nn::InstanceDenormalize(Add(Add(y, yt), y_trend), stats);
+}
+
+}  // namespace models
+}  // namespace ts3net

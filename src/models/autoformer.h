@@ -1,0 +1,43 @@
+#ifndef TS3NET_MODELS_AUTOFORMER_H_
+#define TS3NET_MODELS_AUTOFORMER_H_
+
+#include <memory>
+#include <vector>
+
+#include "models/model_config.h"
+#include "nn/attention.h"
+#include "nn/embedding.h"
+#include "nn/layers.h"
+
+namespace ts3net {
+namespace models {
+
+/// Autoformer (Wu et al., NeurIPS 2021), compact variant: the signature
+/// *progressive decomposition* encoder — after each attention and
+/// feed-forward sub-layer the representation is re-split by a moving-average
+/// series decomposition and only the seasonal residue continues, while the
+/// trend residues are accumulated and regressed linearly. The
+/// auto-correlation mechanism is approximated by multi-head attention (see
+/// DESIGN.md).
+class Autoformer : public nn::Module {
+ public:
+  Autoformer(const ModelConfig& config, Rng* rng);
+
+  Tensor Forward(const Tensor& x) override;
+
+ private:
+  ModelConfig config_;
+  std::shared_ptr<nn::DataEmbedding> embedding_;
+  std::vector<std::shared_ptr<nn::MultiHeadAttention>> attns_;
+  std::vector<std::shared_ptr<nn::Mlp>> ffs_;
+  std::shared_ptr<nn::Linear> time_proj_;
+  std::shared_ptr<nn::Linear> channel_proj_;
+  std::shared_ptr<nn::Linear> trend_time_proj_;
+  std::shared_ptr<nn::Linear> trend_channel_proj_;
+  std::shared_ptr<nn::Linear> input_trend_proj_;
+};
+
+}  // namespace models
+}  // namespace ts3net
+
+#endif  // TS3NET_MODELS_AUTOFORMER_H_

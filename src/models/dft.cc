@@ -1,0 +1,43 @@
+#include "models/dft.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ts3net {
+namespace models {
+
+DftMatrices BuildDftMatrices(int64_t t_len, int64_t modes) {
+  TS3_CHECK_GE(t_len, 2);
+  modes = std::clamp<int64_t>(modes, 1, t_len / 2 + 1);
+  const double two_pi = 6.283185307179586;
+
+  std::vector<float> f_re(static_cast<size_t>(modes * t_len));
+  std::vector<float> f_im(static_cast<size_t>(modes * t_len));
+  std::vector<float> i_re(static_cast<size_t>(t_len * modes));
+  std::vector<float> i_im(static_cast<size_t>(t_len * modes));
+  for (int64_t k = 0; k < modes; ++k) {
+    // Conjugate-pair factor: bin 0 (and the Nyquist bin for even T) appears
+    // once in the real reconstruction, every other bin twice.
+    const bool self_conjugate = (k == 0) || (2 * k == t_len);
+    const double c = self_conjugate ? 1.0 : 2.0;
+    for (int64_t t = 0; t < t_len; ++t) {
+      const double angle = two_pi * static_cast<double>(k) * t / t_len;
+      f_re[k * t_len + t] = static_cast<float>(std::cos(angle));
+      f_im[k * t_len + t] = static_cast<float>(-std::sin(angle));
+      i_re[t * modes + k] = static_cast<float>(c * std::cos(angle) / t_len);
+      i_im[t * modes + k] = static_cast<float>(-c * std::sin(angle) / t_len);
+    }
+  }
+
+  DftMatrices out;
+  out.f_re = Tensor::FromData(std::move(f_re), {modes, t_len});
+  out.f_im = Tensor::FromData(std::move(f_im), {modes, t_len});
+  out.i_re = Tensor::FromData(std::move(i_re), {t_len, modes});
+  out.i_im = Tensor::FromData(std::move(i_im), {t_len, modes});
+  return out;
+}
+
+}  // namespace models
+}  // namespace ts3net

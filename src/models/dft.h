@@ -1,0 +1,32 @@
+#ifndef TS3NET_MODELS_DFT_H_
+#define TS3NET_MODELS_DFT_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "tensor/tensor.h"
+
+namespace ts3net {
+namespace models {
+
+/// Constant matrices expressing a truncated real DFT as MatMuls so frequency-
+/// domain layers (FEDformer) are differentiable through the standard ops.
+struct DftMatrices {
+  /// Forward: X_re = f_re @ x, X_im = f_im @ x, each [modes, T] so that
+  /// X[k] = sum_t x[t] e^{-2 pi i k t / T} for the first `modes` bins.
+  Tensor f_re;
+  Tensor f_im;
+  /// Inverse (real part, conjugate-pair corrected):
+  /// x_hat = i_re @ X_re + i_im @ X_im, each [T, modes].
+  Tensor i_re;
+  Tensor i_im;
+};
+
+/// Builds the matrices for sequence length `t_len`, keeping the lowest
+/// `modes` frequency bins (clamped to T/2 + 1).
+DftMatrices BuildDftMatrices(int64_t t_len, int64_t modes);
+
+}  // namespace models
+}  // namespace ts3net
+
+#endif  // TS3NET_MODELS_DFT_H_

@@ -1,0 +1,32 @@
+#include "models/dlinear.h"
+
+#include "nn/revin.h"
+#include "signal/trend.h"
+#include "tensor/ops.h"
+
+namespace ts3net {
+namespace models {
+
+DLinear::DLinear(const ModelConfig& config, Rng* rng) : config_(config) {
+  seasonal_proj_ = RegisterModule(
+      "seasonal_proj",
+      std::make_shared<nn::Linear>(config.seq_len, config.pred_len, rng));
+  trend_proj_ = RegisterModule(
+      "trend_proj",
+      std::make_shared<nn::Linear>(config.seq_len, config.pred_len, rng));
+}
+
+Tensor DLinear::Forward(const Tensor& x) {
+  TS3_CHECK_EQ(x.ndim(), 3) << "DLinear expects [B, T, C]";
+  nn::InstanceStats stats = nn::ComputeInstanceStats(x);
+  Tensor xn = nn::InstanceNormalize(x, stats);
+  TrendDecomposition td = DecomposeTrend(xn, {config_.moving_avg});
+  // Channel-shared linear projections over time: [B, C, T] -> [B, C, H].
+  Tensor seasonal = seasonal_proj_->Forward(Transpose(td.seasonal, 1, 2));
+  Tensor trend = trend_proj_->Forward(Transpose(td.trend, 1, 2));
+  Tensor y = Transpose(Add(seasonal, trend), 1, 2);
+  return nn::InstanceDenormalize(y, stats);
+}
+
+}  // namespace models
+}  // namespace ts3net

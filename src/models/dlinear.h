@@ -1,0 +1,30 @@
+#ifndef TS3NET_MODELS_DLINEAR_H_
+#define TS3NET_MODELS_DLINEAR_H_
+
+#include <memory>
+
+#include "models/model_config.h"
+#include "nn/layers.h"
+
+namespace ts3net {
+namespace models {
+
+/// DLinear (Zeng et al., AAAI 2023): trend–seasonal decomposition followed by
+/// two channel-shared linear maps over time, summed. The strongest
+/// embarrassingly-simple baseline in the paper's Table IV.
+class DLinear : public nn::Module {
+ public:
+  DLinear(const ModelConfig& config, Rng* rng);
+
+  Tensor Forward(const Tensor& x) override;
+
+ private:
+  ModelConfig config_;
+  std::shared_ptr<nn::Linear> seasonal_proj_;
+  std::shared_ptr<nn::Linear> trend_proj_;
+};
+
+}  // namespace models
+}  // namespace ts3net
+
+#endif  // TS3NET_MODELS_DLINEAR_H_

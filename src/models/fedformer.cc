@@ -1,0 +1,85 @@
+#include "models/fedformer.h"
+
+#include "nn/revin.h"
+#include "signal/trend.h"
+#include "tensor/ops.h"
+
+namespace ts3net {
+namespace models {
+
+FrequencyEnhancedBlock::FrequencyEnhancedBlock(int64_t seq_len,
+                                               int64_t d_model, int64_t modes,
+                                               Rng* rng) {
+  dft_ = BuildDftMatrices(seq_len, modes);
+  const int64_t m = dft_.f_re.dim(0);
+  const float scale = 1.0f / static_cast<float>(m);
+  w_re_ = RegisterParameter("w_re",
+                            Tensor::Rand({m, d_model}, rng, -scale, scale));
+  w_im_ = RegisterParameter("w_im",
+                            Tensor::Rand({m, d_model}, rng, -scale, scale));
+}
+
+Tensor FrequencyEnhancedBlock::Forward(const Tensor& x) {
+  TS3_CHECK_EQ(x.ndim(), 3) << "FEB expects [B, T, D]";
+  // Truncated DFT along time: [modes, T] @ [B, T, D] -> [B, modes, D].
+  Tensor x_re = MatMul(dft_.f_re, x);
+  Tensor x_im = MatMul(dft_.f_im, x);
+  // Learned complex mode weights (elementwise over modes and channels).
+  Tensor y_re = Sub(Mul(x_re, w_re_), Mul(x_im, w_im_));
+  Tensor y_im = Add(Mul(x_re, w_im_), Mul(x_im, w_re_));
+  // Back to the time domain (real part).
+  return Add(MatMul(dft_.i_re, y_re), MatMul(dft_.i_im, y_im));
+}
+
+FEDformer::FEDformer(const ModelConfig& config, Rng* rng) : config_(config) {
+  embedding_ = RegisterModule(
+      "embedding",
+      std::make_shared<nn::DataEmbedding>(config.channels, config.d_model,
+                                          config.seq_len, rng,
+                                          config.dropout));
+  for (int l = 0; l < config.num_layers; ++l) {
+    blocks_.push_back(RegisterModule(
+        "feb" + std::to_string(l),
+        std::make_shared<FrequencyEnhancedBlock>(config.seq_len,
+                                                 config.d_model,
+                                                 config.num_modes, rng)));
+    norms_.push_back(RegisterModule(
+        "norm" + std::to_string(l),
+        std::make_shared<nn::LayerNorm>(config.d_model)));
+    ffs_.push_back(RegisterModule(
+        "ff" + std::to_string(l),
+        std::make_shared<nn::Mlp>(config.d_model, config.d_ff, config.d_model,
+                                  rng)));
+  }
+  time_proj_ = RegisterModule(
+      "time_proj",
+      std::make_shared<nn::Linear>(config.seq_len, config.pred_len, rng));
+  channel_proj_ = RegisterModule(
+      "channel_proj",
+      std::make_shared<nn::Linear>(config.d_model, config.channels, rng));
+  trend_proj_ = RegisterModule(
+      "trend_proj",
+      std::make_shared<nn::Linear>(config.seq_len, config.pred_len, rng));
+}
+
+Tensor FEDformer::Forward(const Tensor& x) {
+  TS3_CHECK_EQ(x.ndim(), 3) << "FEDformer expects [B, T, C]";
+  nn::InstanceStats stats = nn::ComputeInstanceStats(x);
+  Tensor xn = nn::InstanceNormalize(x, stats);
+
+  TrendDecomposition td = DecomposeTrend(xn, {config_.moving_avg});
+  Tensor y_trend =
+      Transpose(trend_proj_->Forward(Transpose(td.trend, 1, 2)), 1, 2);
+
+  Tensor h = embedding_->Forward(td.seasonal);
+  for (size_t l = 0; l < blocks_.size(); ++l) {
+    h = norms_[l]->Forward(Add(blocks_[l]->Forward(h), h));
+    h = Add(ffs_[l]->Forward(h), h);
+  }
+  Tensor y = Transpose(time_proj_->Forward(Transpose(h, 1, 2)), 1, 2);
+  y = channel_proj_->Forward(y);
+  return nn::InstanceDenormalize(Add(y, y_trend), stats);
+}
+
+}  // namespace models
+}  // namespace ts3net

@@ -1,0 +1,54 @@
+#ifndef TS3NET_MODELS_FEDFORMER_H_
+#define TS3NET_MODELS_FEDFORMER_H_
+
+#include <memory>
+#include <vector>
+
+#include "models/dft.h"
+#include "models/model_config.h"
+#include "nn/embedding.h"
+#include "nn/layers.h"
+
+namespace ts3net {
+namespace models {
+
+/// Frequency-enhanced block (FEDformer's FEB-f): project the representation
+/// into the truncated Fourier domain, apply learned per-mode complex weights,
+/// and transform back — a linear attention substitute with O(T * modes) cost.
+class FrequencyEnhancedBlock : public nn::Module {
+ public:
+  FrequencyEnhancedBlock(int64_t seq_len, int64_t d_model, int64_t modes,
+                         Rng* rng);
+
+  Tensor Forward(const Tensor& x) override;
+
+ private:
+  DftMatrices dft_;
+  Tensor w_re_;  // [modes, D] learned complex mode weights
+  Tensor w_im_;
+};
+
+/// FEDformer (Zhou et al., ICML 2022), compact variant: trend–seasonal
+/// decomposition with a linear trend regressor plus a stack of frequency-
+/// enhanced blocks (replacing self-attention) on the embedded seasonal part.
+class FEDformer : public nn::Module {
+ public:
+  FEDformer(const ModelConfig& config, Rng* rng);
+
+  Tensor Forward(const Tensor& x) override;
+
+ private:
+  ModelConfig config_;
+  std::shared_ptr<nn::DataEmbedding> embedding_;
+  std::vector<std::shared_ptr<FrequencyEnhancedBlock>> blocks_;
+  std::vector<std::shared_ptr<nn::LayerNorm>> norms_;
+  std::vector<std::shared_ptr<nn::Mlp>> ffs_;
+  std::shared_ptr<nn::Linear> time_proj_;
+  std::shared_ptr<nn::Linear> channel_proj_;
+  std::shared_ptr<nn::Linear> trend_proj_;
+};
+
+}  // namespace models
+}  // namespace ts3net
+
+#endif  // TS3NET_MODELS_FEDFORMER_H_

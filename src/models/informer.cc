@@ -1,0 +1,64 @@
+#include "models/informer.h"
+
+#include "nn/revin.h"
+#include "tensor/ops.h"
+
+namespace ts3net {
+namespace models {
+
+Informer::Informer(const ModelConfig& config, Rng* rng) : config_(config) {
+  embedding_ = RegisterModule(
+      "embedding",
+      std::make_shared<nn::DataEmbedding>(config.channels, config.d_model,
+                                          config.seq_len, rng,
+                                          config.dropout));
+  int64_t len = config.seq_len;
+  for (int l = 0; l < config.num_layers; ++l) {
+    layers_.push_back(RegisterModule(
+        "layer" + std::to_string(l),
+        std::make_shared<nn::TransformerEncoderLayer>(
+            config.d_model, config.num_heads, config.d_ff, rng,
+            config.dropout)));
+    // Distill after every layer but the last, halving the length.
+    if (l + 1 < config.num_layers && len % 2 == 0 && len >= 8) {
+      distill_convs_.push_back(RegisterModule(
+          "distill" + std::to_string(l),
+          std::make_shared<nn::Conv2dLayer>(config.d_model, config.d_model, 1,
+                                            3, rng)));
+      len /= 2;
+    } else {
+      distill_convs_.push_back(nullptr);
+    }
+  }
+  final_len_ = len;
+  time_proj_ = RegisterModule(
+      "time_proj", std::make_shared<nn::Linear>(len, config.pred_len, rng));
+  channel_proj_ = RegisterModule(
+      "channel_proj",
+      std::make_shared<nn::Linear>(config.d_model, config.channels, rng));
+}
+
+Tensor Informer::Forward(const Tensor& x) {
+  TS3_CHECK_EQ(x.ndim(), 3) << "Informer expects [B, T, C]";
+  nn::InstanceStats stats = nn::ComputeInstanceStats(x);
+  Tensor xn = nn::InstanceNormalize(x, stats);
+
+  Tensor h = embedding_->Forward(xn);
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    h = layers_[l]->Forward(h);
+    if (distill_convs_[l] != nullptr) {
+      const int64_t b = h.dim(0), t = h.dim(1), d = h.dim(2);
+      // Conv over time then average-pool stride 2 (reshape trick).
+      Tensor planes = Unsqueeze(Transpose(h, 1, 2), 2);  // [B, D, 1, T]
+      planes = Gelu(distill_convs_[l]->Forward(planes));
+      Tensor seq = Transpose(Reshape(planes, {b, d, t}), 1, 2);  // [B, T, D]
+      h = Mean(Reshape(seq, {b, t / 2, 2, d}), {2});             // [B, T/2, D]
+    }
+  }
+  Tensor y = Transpose(time_proj_->Forward(Transpose(h, 1, 2)), 1, 2);
+  y = channel_proj_->Forward(y);
+  return nn::InstanceDenormalize(y, stats);
+}
+
+}  // namespace models
+}  // namespace ts3net

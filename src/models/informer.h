@@ -1,0 +1,39 @@
+#ifndef TS3NET_MODELS_INFORMER_H_
+#define TS3NET_MODELS_INFORMER_H_
+
+#include <memory>
+#include <vector>
+
+#include "models/model_config.h"
+#include "nn/attention.h"
+#include "nn/embedding.h"
+#include "nn/layers.h"
+
+namespace ts3net {
+namespace models {
+
+/// Informer (Zhou et al., AAAI 2021), compact variant: its distilling
+/// encoder pyramid — each attention layer is followed by a convolutional
+/// distilling step that halves the sequence length — with the ProbSparse
+/// attention approximated by dense attention (see DESIGN.md). The forecast
+/// head maps the distilled representation to the horizon.
+class Informer : public nn::Module {
+ public:
+  Informer(const ModelConfig& config, Rng* rng);
+
+  Tensor Forward(const Tensor& x) override;
+
+ private:
+  ModelConfig config_;
+  int64_t final_len_;
+  std::shared_ptr<nn::DataEmbedding> embedding_;
+  std::vector<std::shared_ptr<nn::TransformerEncoderLayer>> layers_;
+  std::vector<std::shared_ptr<nn::Conv2dLayer>> distill_convs_;
+  std::shared_ptr<nn::Linear> time_proj_;
+  std::shared_ptr<nn::Linear> channel_proj_;
+};
+
+}  // namespace models
+}  // namespace ts3net
+
+#endif  // TS3NET_MODELS_INFORMER_H_

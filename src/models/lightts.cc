@@ -1,0 +1,60 @@
+#include "models/lightts.h"
+
+#include "nn/revin.h"
+#include "tensor/ops.h"
+
+namespace ts3net {
+namespace models {
+
+namespace {
+
+int64_t PickChunkSize(int64_t seq_len) {
+  // Largest divisor of seq_len not exceeding sqrt-ish size, preferring 8.
+  for (int64_t cand : {8, 6, 4, 3, 2}) {
+    if (seq_len % cand == 0) return cand;
+  }
+  return 1;
+}
+
+}  // namespace
+
+LightTS::LightTS(const ModelConfig& config, Rng* rng) : config_(config) {
+  chunk_size_ = PickChunkSize(config.seq_len);
+  num_chunks_ = config.seq_len / chunk_size_;
+  const int64_t hidden = config.d_model;
+  continuous_mlp_ = RegisterModule(
+      "continuous_mlp",
+      std::make_shared<nn::Mlp>(chunk_size_, hidden, 1, rng));
+  interval_mlp_ = RegisterModule(
+      "interval_mlp", std::make_shared<nn::Mlp>(num_chunks_, hidden, 1, rng));
+  // Features: num_chunks from the continuous view + chunk_size from the
+  // interval view.
+  head_ = RegisterModule(
+      "head", std::make_shared<nn::Linear>(num_chunks_ + chunk_size_,
+                                           config.pred_len, rng));
+}
+
+Tensor LightTS::Forward(const Tensor& x) {
+  TS3_CHECK_EQ(x.ndim(), 3) << "LightTS expects [B, T, C]";
+  const int64_t b = x.dim(0);
+  const int64_t ch = x.dim(2);
+  nn::InstanceStats stats = nn::ComputeInstanceStats(x);
+  Tensor xn = nn::InstanceNormalize(x, stats);
+
+  Tensor xc = Transpose(xn, 1, 2);  // [B, C, T]
+  // Continuous sampling: [B, C, num_chunks, chunk] -> MLP over chunk -> 1.
+  Tensor cont = Reshape(xc, {b, ch, num_chunks_, chunk_size_});
+  cont = Squeeze(continuous_mlp_->Forward(cont), 3);  // [B, C, num_chunks]
+  // Interval sampling: transpose the chunk grid so the MLP sees strided
+  // samples (t, t + num_chunks, ...).
+  Tensor intv = Permute(Reshape(xc, {b, ch, num_chunks_, chunk_size_}),
+                        {0, 1, 3, 2});               // [B, C, chunk, num_chunks]
+  intv = Squeeze(interval_mlp_->Forward(intv), 3);   // [B, C, chunk]
+
+  Tensor features = Concat({cont, intv}, 2);  // [B, C, num_chunks + chunk]
+  Tensor y = Transpose(head_->Forward(features), 1, 2);  // [B, H, C]
+  return nn::InstanceDenormalize(y, stats);
+}
+
+}  // namespace models
+}  // namespace ts3net

@@ -1,0 +1,34 @@
+#ifndef TS3NET_MODELS_LIGHTTS_H_
+#define TS3NET_MODELS_LIGHTTS_H_
+
+#include <memory>
+
+#include "models/model_config.h"
+#include "nn/layers.h"
+
+namespace ts3net {
+namespace models {
+
+/// LightTS (Zhang et al., 2022): light sampling-oriented MLPs. The lookback
+/// window is viewed through two samplings — continuous chunks and interleaved
+/// (strided) chunks — each processed by a shared MLP over the chunk axis; the
+/// fused features feed a linear forecast head. Channel-shared weights.
+class LightTS : public nn::Module {
+ public:
+  LightTS(const ModelConfig& config, Rng* rng);
+
+  Tensor Forward(const Tensor& x) override;
+
+ private:
+  ModelConfig config_;
+  int64_t chunk_size_;
+  int64_t num_chunks_;
+  std::shared_ptr<nn::Mlp> continuous_mlp_;
+  std::shared_ptr<nn::Mlp> interval_mlp_;
+  std::shared_ptr<nn::Linear> head_;
+};
+
+}  // namespace models
+}  // namespace ts3net
+
+#endif  // TS3NET_MODELS_LIGHTTS_H_

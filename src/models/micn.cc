@@ -1,0 +1,75 @@
+#include "models/micn.h"
+
+#include "nn/revin.h"
+#include "signal/trend.h"
+#include "tensor/ops.h"
+
+namespace ts3net {
+namespace models {
+
+namespace {
+// Local convolution kernel per scale (MICN default scales {12, 16} adapted
+// to odd sizes for "same" padding).
+const int64_t kScaleKernels[] = {13, 17};
+}  // namespace
+
+MICN::MICN(const ModelConfig& config, Rng* rng) : config_(config) {
+  embedding_ = RegisterModule(
+      "embedding",
+      std::make_shared<nn::DataEmbedding>(config.channels, config.d_model,
+                                          config.seq_len, rng,
+                                          config.dropout));
+  for (size_t s = 0; s < 2; ++s) {
+    local_a_.push_back(RegisterModule(
+        "local_a" + std::to_string(s),
+        std::make_shared<nn::Conv2dLayer>(config.d_model, config.d_model, 1,
+                                          kScaleKernels[s], rng)));
+    local_b_.push_back(RegisterModule(
+        "local_b" + std::to_string(s),
+        std::make_shared<nn::Conv2dLayer>(config.d_model, config.d_model, 1,
+                                          kScaleKernels[s], rng)));
+  }
+  norm_ = RegisterModule("norm",
+                         std::make_shared<nn::LayerNorm>(config.d_model));
+  time_proj_ = RegisterModule(
+      "time_proj",
+      std::make_shared<nn::Linear>(config.seq_len, config.pred_len, rng));
+  channel_proj_ = RegisterModule(
+      "channel_proj",
+      std::make_shared<nn::Linear>(config.d_model, config.channels, rng));
+  trend_proj_ = RegisterModule(
+      "trend_proj",
+      std::make_shared<nn::Linear>(config.seq_len, config.pred_len, rng));
+}
+
+Tensor MICN::Forward(const Tensor& x) {
+  TS3_CHECK_EQ(x.ndim(), 3) << "MICN expects [B, T, C]";
+  const int64_t b = x.dim(0);
+  nn::InstanceStats stats = nn::ComputeInstanceStats(x);
+  Tensor xn = nn::InstanceNormalize(x, stats);
+
+  TrendDecomposition td = DecomposeTrend(xn, {config_.moving_avg});
+  Tensor y_trend = Transpose(
+      trend_proj_->Forward(Transpose(td.trend, 1, 2)), 1, 2);
+
+  Tensor h = embedding_->Forward(td.seasonal);  // [B, T, D]
+  // Multi-scale local convolutions over time: [B, D, 1, T] planes.
+  Tensor planes =
+      Unsqueeze(Transpose(h, 1, 2), 2);  // [B, D, 1, T]
+  Tensor fused;
+  for (size_t s = 0; s < local_a_.size(); ++s) {
+    Tensor branch = local_b_[s]->Forward(Gelu(local_a_[s]->Forward(planes)));
+    fused = fused.defined() ? Add(fused, branch) : branch;
+  }
+  fused = MulScalar(fused, 1.0f / static_cast<float>(local_a_.size()));
+  Tensor h2 =
+      Transpose(Reshape(fused, {b, config_.d_model, config_.seq_len}), 1, 2);
+  h2 = norm_->Forward(Add(h2, h));  // residual with the embedding
+
+  Tensor y = Transpose(time_proj_->Forward(Transpose(h2, 1, 2)), 1, 2);
+  y = channel_proj_->Forward(y);
+  return nn::InstanceDenormalize(Add(y, y_trend), stats);
+}
+
+}  // namespace models
+}  // namespace ts3net

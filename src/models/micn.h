@@ -1,0 +1,41 @@
+#ifndef TS3NET_MODELS_MICN_H_
+#define TS3NET_MODELS_MICN_H_
+
+#include <memory>
+#include <vector>
+
+#include "models/model_config.h"
+#include "nn/embedding.h"
+#include "nn/layers.h"
+
+namespace ts3net {
+namespace models {
+
+/// MICN (Wang et al., ICLR 2023), compact variant: trend–seasonal
+/// decomposition with a linear trend regressor, plus a multi-scale
+/// local-convolution module on the embedded seasonal part. Each scale runs a
+/// pair of 1-D convolutions (local context) whose kernel grows with the
+/// scale; the branches are averaged (the paper's multi-scale fusion) before
+/// the prediction head. The isometric global convolution is folded into the
+/// time-projection head. See DESIGN.md for the simplification note.
+class MICN : public nn::Module {
+ public:
+  MICN(const ModelConfig& config, Rng* rng);
+
+  Tensor Forward(const Tensor& x) override;
+
+ private:
+  ModelConfig config_;
+  std::shared_ptr<nn::DataEmbedding> embedding_;
+  std::vector<std::shared_ptr<nn::Conv2dLayer>> local_a_;
+  std::vector<std::shared_ptr<nn::Conv2dLayer>> local_b_;
+  std::shared_ptr<nn::LayerNorm> norm_;
+  std::shared_ptr<nn::Linear> time_proj_;
+  std::shared_ptr<nn::Linear> channel_proj_;
+  std::shared_ptr<nn::Linear> trend_proj_;
+};
+
+}  // namespace models
+}  // namespace ts3net
+
+#endif  // TS3NET_MODELS_MICN_H_

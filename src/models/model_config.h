@@ -1,0 +1,48 @@
+#ifndef TS3NET_MODELS_MODEL_CONFIG_H_
+#define TS3NET_MODELS_MODEL_CONFIG_H_
+
+#include <cstdint>
+
+namespace ts3net {
+namespace models {
+
+/// Shared configuration for every model in the zoo. The paper fixes the
+/// experimental protocol across baselines (input length 96, same embedding
+/// and prediction conventions, Table III hyper-parameters); each model reads
+/// the fields it needs.
+struct ModelConfig {
+  int64_t seq_len = 96;
+  int64_t pred_len = 96;
+  int64_t channels = 7;
+
+  /// Imputation task: pred_len == seq_len and the model reconstructs the
+  /// (masked) input window rather than forecasting past it.
+  bool imputation = false;
+
+  int64_t d_model = 32;
+  int64_t d_ff = 32;
+  int num_layers = 2;
+  int num_heads = 4;
+  float dropout = 0.1f;
+
+  // CNN-family knobs.
+  int num_kernels = 2;   // inception kernels (TimesNet)
+  int top_k_periods = 2; // periods per TimesNet block
+
+  // Frequency-family knobs.
+  int num_modes = 16;    // retained Fourier modes (FEDformer)
+
+  // Patch-family knobs.
+  int64_t patch_len = 8; // PatchTST patch length (stride = patch_len)
+
+  // TS3Net knobs (forwarded to core::TS3NetOptions).
+  int lambda = 8;        // spectral sub-bands
+
+  // Decomposition kernel for DLinear/MICN/Autoformer-style series_decomp.
+  int64_t moving_avg = 25;
+};
+
+}  // namespace models
+}  // namespace ts3net
+
+#endif  // TS3NET_MODELS_MODEL_CONFIG_H_

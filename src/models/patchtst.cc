@@ -1,0 +1,53 @@
+#include "models/patchtst.h"
+
+#include "nn/revin.h"
+#include "tensor/ops.h"
+
+namespace ts3net {
+namespace models {
+
+PatchTST::PatchTST(const ModelConfig& config, Rng* rng) : config_(config) {
+  // Largest patch length <= the requested one that divides the lookback
+  // (e.g. ILI's lookback 36 with the default patch 8 falls back to 6).
+  while (config_.patch_len > 1 && config_.seq_len % config_.patch_len != 0) {
+    --config_.patch_len;
+  }
+  num_patches_ = config_.seq_len / config_.patch_len;
+  patch_embed_ = RegisterModule(
+      "patch_embed",
+      std::make_shared<nn::Linear>(config_.patch_len, config_.d_model, rng));
+  position_ = RegisterModule(
+      "position",
+      std::make_shared<nn::PositionalEncoding>(num_patches_, config.d_model));
+  for (int l = 0; l < config.num_layers; ++l) {
+    layers_.push_back(RegisterModule(
+        "layer" + std::to_string(l),
+        std::make_shared<nn::TransformerEncoderLayer>(
+            config.d_model, config.num_heads, config.d_ff, rng,
+            config.dropout)));
+  }
+  head_ = RegisterModule(
+      "head", std::make_shared<nn::Linear>(num_patches_ * config.d_model,
+                                           config.pred_len, rng));
+}
+
+Tensor PatchTST::Forward(const Tensor& x) {
+  TS3_CHECK_EQ(x.ndim(), 3) << "PatchTST expects [B, T, C]";
+  const int64_t b = x.dim(0);
+  const int64_t ch = x.dim(2);
+  nn::InstanceStats stats = nn::ComputeInstanceStats(x);
+  Tensor xn = nn::InstanceNormalize(x, stats);
+
+  // Channel independence: fold channels into the batch.
+  Tensor per_chan = Reshape(Transpose(xn, 1, 2),
+                            {b * ch, num_patches_, config_.patch_len});
+  Tensor h = position_->Forward(patch_embed_->Forward(per_chan));
+  for (auto& layer : layers_) h = layer->Forward(h);
+  Tensor flat = Reshape(h, {b * ch, num_patches_ * config_.d_model});
+  Tensor y = head_->Forward(flat);                     // [B*C, H]
+  y = Transpose(Reshape(y, {b, ch, config_.pred_len}), 1, 2);  // [B, H, C]
+  return nn::InstanceDenormalize(y, stats);
+}
+
+}  // namespace models
+}  // namespace ts3net

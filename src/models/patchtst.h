@@ -1,0 +1,37 @@
+#ifndef TS3NET_MODELS_PATCHTST_H_
+#define TS3NET_MODELS_PATCHTST_H_
+
+#include <memory>
+#include <vector>
+
+#include "models/model_config.h"
+#include "nn/attention.h"
+#include "nn/embedding.h"
+#include "nn/layers.h"
+
+namespace ts3net {
+namespace models {
+
+/// PatchTST (Nie et al., ICLR 2023): channel-independent patching. Each
+/// channel's lookback window is cut into non-overlapping patches of
+/// `patch_len` samples, embedded, run through a Transformer encoder shared
+/// across channels, flattened, and linearly mapped to the horizon.
+class PatchTST : public nn::Module {
+ public:
+  PatchTST(const ModelConfig& config, Rng* rng);
+
+  Tensor Forward(const Tensor& x) override;
+
+ private:
+  ModelConfig config_;
+  int64_t num_patches_;
+  std::shared_ptr<nn::Linear> patch_embed_;
+  std::shared_ptr<nn::PositionalEncoding> position_;
+  std::vector<std::shared_ptr<nn::TransformerEncoderLayer>> layers_;
+  std::shared_ptr<nn::Linear> head_;
+};
+
+}  // namespace models
+}  // namespace ts3net
+
+#endif  // TS3NET_MODELS_PATCHTST_H_

@@ -1,0 +1,69 @@
+#include "models/pyraformer.h"
+
+#include "nn/revin.h"
+#include "tensor/ops.h"
+
+namespace ts3net {
+namespace models {
+
+Pyraformer::Pyraformer(const ModelConfig& config, Rng* rng)
+    : config_(config) {
+  for (int64_t s : {1, 2, 4}) {
+    if (config.seq_len % s == 0 && config.seq_len / s >= 4) {
+      strides_.push_back(s);
+    }
+  }
+  embedding_ = RegisterModule(
+      "embedding",
+      std::make_shared<nn::DataEmbedding>(config.channels, config.d_model,
+                                          config.seq_len, rng,
+                                          config.dropout));
+  for (size_t i = 0; i < strides_.size(); ++i) {
+    scale_layers_.push_back(RegisterModule(
+        "scale" + std::to_string(i),
+        std::make_shared<nn::TransformerEncoderLayer>(
+            config.d_model, config.num_heads, config.d_ff, rng,
+            config.dropout)));
+  }
+  fuse_norm_ = RegisterModule(
+      "fuse_norm", std::make_shared<nn::LayerNorm>(config.d_model));
+  time_proj_ = RegisterModule(
+      "time_proj",
+      std::make_shared<nn::Linear>(config.seq_len, config.pred_len, rng));
+  channel_proj_ = RegisterModule(
+      "channel_proj",
+      std::make_shared<nn::Linear>(config.d_model, config.channels, rng));
+}
+
+Tensor Pyraformer::Forward(const Tensor& x) {
+  TS3_CHECK_EQ(x.ndim(), 3) << "Pyraformer expects [B, T, C]";
+  nn::InstanceStats stats = nn::ComputeInstanceStats(x);
+  Tensor xn = nn::InstanceNormalize(x, stats);
+
+  Tensor h = embedding_->Forward(xn);  // [B, T, D]
+  const int64_t b = h.dim(0), t = h.dim(1), d = h.dim(2);
+
+  Tensor fused;
+  for (size_t i = 0; i < strides_.size(); ++i) {
+    const int64_t s = strides_[i];
+    Tensor level = h;
+    if (s > 1) {
+      level = Mean(Reshape(h, {b, t / s, s, d}), {2});  // [B, T/s, D]
+    }
+    level = scale_layers_[i]->Forward(level);
+    if (s > 1) {
+      // Nearest-neighbour upsample back to T.
+      level = Reshape(Repeat(Unsqueeze(level, 2), 2, s), {b, t, d});
+    }
+    fused = fused.defined() ? Add(fused, level) : level;
+  }
+  fused = fuse_norm_->Forward(
+      MulScalar(fused, 1.0f / static_cast<float>(strides_.size())));
+
+  Tensor y = Transpose(time_proj_->Forward(Transpose(fused, 1, 2)), 1, 2);
+  y = channel_proj_->Forward(y);
+  return nn::InstanceDenormalize(y, stats);
+}
+
+}  // namespace models
+}  // namespace ts3net

@@ -1,0 +1,39 @@
+#ifndef TS3NET_MODELS_PYRAFORMER_H_
+#define TS3NET_MODELS_PYRAFORMER_H_
+
+#include <memory>
+#include <vector>
+
+#include "models/model_config.h"
+#include "nn/attention.h"
+#include "nn/embedding.h"
+#include "nn/layers.h"
+
+namespace ts3net {
+namespace models {
+
+/// Pyraformer (Liu et al., ICLR 2022), compact variant: pyramidal multi-
+/// resolution attention. The embedded sequence is attended at several
+/// temporal resolutions (1x, 2x, 4x average-downsampled); coarse results are
+/// upsampled back and fused, realizing the inter-scale message passing of the
+/// pyramid with dense attention per scale (see DESIGN.md).
+class Pyraformer : public nn::Module {
+ public:
+  Pyraformer(const ModelConfig& config, Rng* rng);
+
+  Tensor Forward(const Tensor& x) override;
+
+ private:
+  ModelConfig config_;
+  std::vector<int64_t> strides_;
+  std::shared_ptr<nn::DataEmbedding> embedding_;
+  std::vector<std::shared_ptr<nn::TransformerEncoderLayer>> scale_layers_;
+  std::shared_ptr<nn::LayerNorm> fuse_norm_;
+  std::shared_ptr<nn::Linear> time_proj_;
+  std::shared_ptr<nn::Linear> channel_proj_;
+};
+
+}  // namespace models
+}  // namespace ts3net
+
+#endif  // TS3NET_MODELS_PYRAFORMER_H_

@@ -1,0 +1,146 @@
+#include "models/registry.h"
+
+#include "core/ts3net.h"
+#include "models/autoformer.h"
+#include "models/dlinear.h"
+#include "models/fedformer.h"
+#include "models/informer.h"
+#include "models/lightts.h"
+#include "models/micn.h"
+#include "models/patchtst.h"
+#include "models/rnn.h"
+#include "models/pyraformer.h"
+#include "models/scinet.h"
+#include "models/stationary.h"
+#include "models/tcn.h"
+#include "models/timesnet.h"
+
+namespace ts3net {
+namespace models {
+
+namespace {
+
+core::TS3NetOptions ToTS3NetOptions(const ModelConfig& config) {
+  core::TS3NetOptions o;
+  o.seq_len = config.seq_len;
+  o.pred_len = config.pred_len;
+  o.channels = config.channels;
+  o.d_model = config.d_model;
+  o.d_ff = config.d_ff;
+  o.num_blocks = config.num_layers;
+  o.lambda = config.lambda;
+  o.num_kernels = config.num_kernels;
+  o.dropout = config.dropout;
+  o.task = config.imputation ? core::TaskType::kImputation
+                             : core::TaskType::kForecast;
+  return o;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<nn::Module>> CreateModel(const std::string& name,
+                                                const ModelConfig& config,
+                                                Rng* rng) {
+  if (rng == nullptr) {
+    return Status::InvalidArgument("CreateModel needs an Rng");
+  }
+  if (name == "TS3Net") {
+    return std::shared_ptr<nn::Module>(
+        std::make_shared<core::TS3Net>(ToTS3NetOptions(config), rng));
+  }
+  if (name == "TS3Net-woTD") {
+    core::TS3NetOptions o = ToTS3NetOptions(config);
+    o.DisableTripleDecomposition();
+    return std::shared_ptr<nn::Module>(std::make_shared<core::TS3Net>(o, rng));
+  }
+  if (name == "TS3Net-STFT") {
+    core::TS3NetOptions o = ToTS3NetOptions(config);
+    o.tf_mode = core::TfMode::kStft;
+    return std::shared_ptr<nn::Module>(std::make_shared<core::TS3Net>(o, rng));
+  }
+  if (name == "TS3Net-woTF") {
+    core::TS3NetOptions o = ToTS3NetOptions(config);
+    o.tf_mode = core::TfMode::kReplicate;
+    return std::shared_ptr<nn::Module>(std::make_shared<core::TS3Net>(o, rng));
+  }
+  if (name == "TS3Net-woBoth") {
+    core::TS3NetOptions o = ToTS3NetOptions(config);
+    o.DisableTripleDecomposition();
+    o.tf_mode = core::TfMode::kReplicate;
+    return std::shared_ptr<nn::Module>(std::make_shared<core::TS3Net>(o, rng));
+  }
+  if (name == "TSD-CNN") {
+    core::TS3NetOptions o = ToTS3NetOptions(config);
+    o.use_sgd = false;  // trend-seasonal decomposition, same CNN backbone
+    return std::shared_ptr<nn::Module>(std::make_shared<core::TS3Net>(o, rng));
+  }
+  if (name == "TSD-Trans") {
+    return std::shared_ptr<nn::Module>(std::make_shared<core::TsdTransformer>(
+        ToTS3NetOptions(config), config.num_heads, rng));
+  }
+  if (name == "PatchTST") {
+    return std::shared_ptr<nn::Module>(
+        std::make_shared<PatchTST>(config, rng));
+  }
+  if (name == "TimesNet") {
+    return std::shared_ptr<nn::Module>(
+        std::make_shared<TimesNet>(config, rng));
+  }
+  if (name == "MICN") {
+    return std::shared_ptr<nn::Module>(std::make_shared<MICN>(config, rng));
+  }
+  if (name == "LightTS") {
+    return std::shared_ptr<nn::Module>(std::make_shared<LightTS>(config, rng));
+  }
+  if (name == "DLinear") {
+    return std::shared_ptr<nn::Module>(std::make_shared<DLinear>(config, rng));
+  }
+  if (name == "FEDformer") {
+    return std::shared_ptr<nn::Module>(
+        std::make_shared<FEDformer>(config, rng));
+  }
+  if (name == "Stationary") {
+    return std::shared_ptr<nn::Module>(
+        std::make_shared<StationaryTransformer>(config, rng));
+  }
+  if (name == "Autoformer") {
+    return std::shared_ptr<nn::Module>(
+        std::make_shared<Autoformer>(config, rng));
+  }
+  if (name == "Pyraformer") {
+    return std::shared_ptr<nn::Module>(
+        std::make_shared<Pyraformer>(config, rng));
+  }
+  if (name == "Informer") {
+    return std::shared_ptr<nn::Module>(
+        std::make_shared<Informer>(config, rng));
+  }
+  // Extra classic baselines from the paper's related work (not part of the
+  // Table IV comparison set).
+  if (name == "LSTM") {
+    return std::shared_ptr<nn::Module>(
+        std::make_shared<LstmForecaster>(config, rng));
+  }
+  if (name == "TCN") {
+    return std::shared_ptr<nn::Module>(std::make_shared<TCN>(config, rng));
+  }
+  if (name == "SCINet") {
+    return std::shared_ptr<nn::Module>(std::make_shared<SCINet>(config, rng));
+  }
+  return Status::NotFound("unknown model: " + name);
+}
+
+std::vector<std::string> AllModelNames() {
+  return {"TS3Net",  "PatchTST",   "TimesNet",   "MICN",
+          "LightTS", "DLinear",    "FEDformer",  "Stationary",
+          "Autoformer", "Pyraformer", "Informer"};
+}
+
+std::vector<std::string> BaselineNames() {
+  std::vector<std::string> names = AllModelNames();
+  names.erase(names.begin());
+  return names;
+}
+
+}  // namespace models
+}  // namespace ts3net

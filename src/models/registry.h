@@ -1,0 +1,39 @@
+#ifndef TS3NET_MODELS_REGISTRY_H_
+#define TS3NET_MODELS_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "models/model_config.h"
+#include "nn/module.h"
+
+namespace ts3net {
+namespace models {
+
+/// Builds a model by its paper name. Every model maps [B, seq_len, C] to
+/// [B, pred_len, C]. Recognized names (Table IV order):
+///   TS3Net, PatchTST, TimesNet, MICN, LightTS, DLinear, FEDformer,
+///   Stationary, Autoformer, Pyraformer, Informer
+/// plus the ablation/comparison variants:
+///   TS3Net-woTD, TS3Net-woTF, TS3Net-woBoth (Table VI),
+///   TSD-CNN, TSD-Trans (Table VII),
+/// and classic related-work baselines outside the Table IV set:
+///   LSTM, TCN, SCINet.
+Result<std::shared_ptr<nn::Module>> CreateModel(const std::string& name,
+                                                const ModelConfig& config,
+                                                Rng* rng);
+
+/// The eleven models of the paper's main comparison, in Table IV column
+/// order (TS3Net first).
+std::vector<std::string> AllModelNames();
+
+/// Baselines only (everything except TS3Net).
+std::vector<std::string> BaselineNames();
+
+}  // namespace models
+}  // namespace ts3net
+
+#endif  // TS3NET_MODELS_REGISTRY_H_

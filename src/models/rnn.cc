@@ -1,0 +1,68 @@
+#include "models/rnn.h"
+
+#include "nn/revin.h"
+#include "tensor/ops.h"
+
+namespace ts3net {
+namespace models {
+
+LstmCell::LstmCell(int64_t input_size, int64_t hidden_size, Rng* rng)
+    : hidden_size_(hidden_size) {
+  input_proj_ = RegisterModule(
+      "input_proj",
+      std::make_shared<nn::Linear>(input_size, 4 * hidden_size, rng));
+  hidden_proj_ = RegisterModule(
+      "hidden_proj",
+      std::make_shared<nn::Linear>(hidden_size, 4 * hidden_size, rng,
+                                   /*bias=*/false));
+}
+
+LstmCell::State LstmCell::Step(const Tensor& x_t, const State& prev) {
+  Tensor gates = Add(input_proj_->Forward(x_t), hidden_proj_->Forward(prev.h));
+  const int64_t h = hidden_size_;
+  Tensor i = Sigmoid(Slice(gates, 1, 0, h));
+  Tensor f = Sigmoid(Slice(gates, 1, h, h));
+  Tensor g = Tanh(Slice(gates, 1, 2 * h, h));
+  Tensor o = Sigmoid(Slice(gates, 1, 3 * h, h));
+  State next;
+  next.c = Add(Mul(f, prev.c), Mul(i, g));
+  next.h = Mul(o, Tanh(next.c));
+  return next;
+}
+
+Tensor LstmCell::Forward(const Tensor& x) {
+  // Convenience: run a [B, T, I] sequence and return the final hidden state.
+  TS3_CHECK_EQ(x.ndim(), 3);
+  const int64_t b = x.dim(0);
+  const int64_t t_len = x.dim(1);
+  State state{Tensor::Zeros({b, hidden_size_}),
+              Tensor::Zeros({b, hidden_size_})};
+  for (int64_t t = 0; t < t_len; ++t) {
+    Tensor x_t = Squeeze(Slice(x, 1, t, 1), 1);  // [B, I]
+    state = Step(x_t, state);
+  }
+  return state.h;
+}
+
+LstmForecaster::LstmForecaster(const ModelConfig& config, Rng* rng)
+    : config_(config) {
+  cell_ = RegisterModule(
+      "cell", std::make_shared<LstmCell>(config.channels, config.d_model, rng));
+  head_ = RegisterModule(
+      "head", std::make_shared<nn::Linear>(
+                  config.d_model, config.pred_len * config.channels, rng));
+}
+
+Tensor LstmForecaster::Forward(const Tensor& x) {
+  TS3_CHECK_EQ(x.ndim(), 3) << "LSTM expects [B, T, C]";
+  const int64_t b = x.dim(0);
+  nn::InstanceStats stats = nn::ComputeInstanceStats(x);
+  Tensor xn = nn::InstanceNormalize(x, stats);
+  Tensor h = cell_->Forward(xn);  // [B, H]
+  Tensor y = Reshape(head_->Forward(h),
+                     {b, config_.pred_len, config_.channels});
+  return nn::InstanceDenormalize(y, stats);
+}
+
+}  // namespace models
+}  // namespace ts3net

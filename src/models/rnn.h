@@ -1,0 +1,54 @@
+#ifndef TS3NET_MODELS_RNN_H_
+#define TS3NET_MODELS_RNN_H_
+
+#include <memory>
+
+#include "models/model_config.h"
+#include "nn/layers.h"
+
+namespace ts3net {
+namespace models {
+
+/// Single-layer LSTM cell unrolled over time by the autograd tape.
+class LstmCell : public nn::Module {
+ public:
+  LstmCell(int64_t input_size, int64_t hidden_size, Rng* rng);
+
+  /// One step: returns the new hidden state; the cell state is threaded via
+  /// the StepState the caller owns.
+  struct State {
+    Tensor h;  // [B, H]
+    Tensor c;  // [B, H]
+  };
+  State Step(const Tensor& x_t, const State& prev);
+
+  /// Unused single-input entry point (Module interface); prefer Step.
+  Tensor Forward(const Tensor& x) override;
+
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  int64_t hidden_size_;
+  std::shared_ptr<nn::Linear> input_proj_;   // x -> 4H
+  std::shared_ptr<nn::Linear> hidden_proj_;  // h -> 4H
+};
+
+/// LSTM forecaster (the classic recurrent baseline of the paper's related
+/// work): encode the lookback with an LSTM, map the final hidden state to
+/// the full horizon with a linear head.
+class LstmForecaster : public nn::Module {
+ public:
+  LstmForecaster(const ModelConfig& config, Rng* rng);
+
+  Tensor Forward(const Tensor& x) override;
+
+ private:
+  ModelConfig config_;
+  std::shared_ptr<LstmCell> cell_;
+  std::shared_ptr<nn::Linear> head_;  // H -> pred_len * C
+};
+
+}  // namespace models
+}  // namespace ts3net
+
+#endif  // TS3NET_MODELS_RNN_H_

@@ -1,0 +1,74 @@
+#include "models/scinet.h"
+
+#include "nn/revin.h"
+#include "tensor/ops.h"
+
+namespace ts3net {
+namespace models {
+
+SciBlock::SciBlock(int64_t d_model, Rng* rng) {
+  auto mlp = [&](const char* name) {
+    return RegisterModule(
+        name, std::make_shared<nn::Mlp>(d_model, d_model, d_model, rng,
+                                        nn::Activation::Kind::kTanh));
+  };
+  scale_even_ = mlp("scale_even");
+  scale_odd_ = mlp("scale_odd");
+  shift_even_ = mlp("shift_even");
+  shift_odd_ = mlp("shift_odd");
+}
+
+Tensor SciBlock::Forward(const Tensor& x) {
+  TS3_CHECK_EQ(x.ndim(), 3) << "SciBlock expects [B, T, D]";
+  const int64_t b = x.dim(0);
+  const int64_t t_len = x.dim(1);
+  const int64_t d = x.dim(2);
+  TS3_CHECK_EQ(t_len % 2, 0) << "SciBlock needs an even length";
+
+  // Split into even/odd sub-sequences.
+  Tensor grid = Reshape(x, {b, t_len / 2, 2, d});
+  Tensor even = Squeeze(Slice(grid, 2, 0, 1), 2);  // [B, T/2, D]
+  Tensor odd = Squeeze(Slice(grid, 2, 1, 1), 2);
+
+  // Interaction: multiplicative exchange then additive exchange.
+  Tensor even_s = Mul(even, Exp(scale_odd_->Forward(odd)));
+  Tensor odd_s = Mul(odd, Exp(scale_even_->Forward(even)));
+  Tensor even_out = Sub(even_s, shift_odd_->Forward(odd_s));
+  Tensor odd_out = Add(odd_s, shift_even_->Forward(even_s));
+
+  // Re-interleave.
+  Tensor stacked = Concat({Unsqueeze(even_out, 2), Unsqueeze(odd_out, 2)}, 2);
+  return Reshape(stacked, {b, t_len, d});
+}
+
+SCINet::SCINet(const ModelConfig& config, Rng* rng) : config_(config) {
+  TS3_CHECK_EQ(config.seq_len % 2, 0) << "SCINet needs an even lookback";
+  input_proj_ = RegisterModule(
+      "input_proj",
+      std::make_shared<nn::Linear>(config.channels, config.d_model, rng));
+  for (int l = 0; l < config.num_layers; ++l) {
+    blocks_.push_back(RegisterModule("block" + std::to_string(l),
+                                     std::make_shared<SciBlock>(
+                                         config.d_model, rng)));
+  }
+  time_proj_ = RegisterModule(
+      "time_proj",
+      std::make_shared<nn::Linear>(config.seq_len, config.pred_len, rng));
+  channel_proj_ = RegisterModule(
+      "channel_proj",
+      std::make_shared<nn::Linear>(config.d_model, config.channels, rng));
+}
+
+Tensor SCINet::Forward(const Tensor& x) {
+  TS3_CHECK_EQ(x.ndim(), 3) << "SCINet expects [B, T, C]";
+  nn::InstanceStats stats = nn::ComputeInstanceStats(x);
+  Tensor xn = nn::InstanceNormalize(x, stats);
+  Tensor h = input_proj_->Forward(xn);
+  for (auto& block : blocks_) h = Add(block->Forward(h), h);
+  Tensor y = Transpose(time_proj_->Forward(Transpose(h, 1, 2)), 1, 2);
+  y = channel_proj_->Forward(y);
+  return nn::InstanceDenormalize(y, stats);
+}
+
+}  // namespace models
+}  // namespace ts3net

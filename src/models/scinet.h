@@ -1,0 +1,48 @@
+#ifndef TS3NET_MODELS_SCINET_H_
+#define TS3NET_MODELS_SCINET_H_
+
+#include <memory>
+#include <vector>
+
+#include "models/model_config.h"
+#include "nn/layers.h"
+
+namespace ts3net {
+namespace models {
+
+/// One SCI block (Liu et al., NeurIPS 2022): the sequence is split into its
+/// even and odd sub-sequences, which exchange multiplicative and additive
+/// interactions learned by small MLPs, then are re-interleaved.
+class SciBlock : public nn::Module {
+ public:
+  SciBlock(int64_t d_model, Rng* rng);
+
+  Tensor Forward(const Tensor& x) override;  // [B, T(even), D] -> same
+
+ private:
+  std::shared_ptr<nn::Mlp> scale_even_;
+  std::shared_ptr<nn::Mlp> scale_odd_;
+  std::shared_ptr<nn::Mlp> shift_even_;
+  std::shared_ptr<nn::Mlp> shift_odd_;
+};
+
+/// SCINet-style forecaster: sample-convolution-and-interaction blocks on the
+/// embedded lookback, then the shared linear forecasting head.
+class SCINet : public nn::Module {
+ public:
+  SCINet(const ModelConfig& config, Rng* rng);
+
+  Tensor Forward(const Tensor& x) override;
+
+ private:
+  ModelConfig config_;
+  std::shared_ptr<nn::Linear> input_proj_;
+  std::vector<std::shared_ptr<SciBlock>> blocks_;
+  std::shared_ptr<nn::Linear> time_proj_;
+  std::shared_ptr<nn::Linear> channel_proj_;
+};
+
+}  // namespace models
+}  // namespace ts3net
+
+#endif  // TS3NET_MODELS_SCINET_H_

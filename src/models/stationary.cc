@@ -1,0 +1,58 @@
+#include "models/stationary.h"
+
+#include "nn/revin.h"
+#include "tensor/ops.h"
+
+namespace ts3net {
+namespace models {
+
+StationaryTransformer::StationaryTransformer(const ModelConfig& config,
+                                             Rng* rng)
+    : config_(config) {
+  embedding_ = RegisterModule(
+      "embedding",
+      std::make_shared<nn::DataEmbedding>(config.channels, config.d_model,
+                                          config.seq_len, rng,
+                                          config.dropout));
+  for (int l = 0; l < config.num_layers; ++l) {
+    layers_.push_back(RegisterModule(
+        "layer" + std::to_string(l),
+        std::make_shared<nn::TransformerEncoderLayer>(
+            config.d_model, config.num_heads, config.d_ff, rng,
+            config.dropout)));
+  }
+  tau_net_ = RegisterModule(
+      "tau_net", std::make_shared<nn::Mlp>(config.channels, config.d_model, 1,
+                                           rng));
+  delta_net_ = RegisterModule(
+      "delta_net", std::make_shared<nn::Mlp>(config.channels, config.d_model,
+                                             1, rng));
+  time_proj_ = RegisterModule(
+      "time_proj",
+      std::make_shared<nn::Linear>(config.seq_len, config.pred_len, rng));
+  channel_proj_ = RegisterModule(
+      "channel_proj",
+      std::make_shared<nn::Linear>(config.d_model, config.channels, rng));
+}
+
+Tensor StationaryTransformer::Forward(const Tensor& x) {
+  TS3_CHECK_EQ(x.ndim(), 3) << "Stationary expects [B, T, C]";
+  nn::InstanceStats stats = nn::ComputeInstanceStats(x);
+  Tensor xn = nn::InstanceNormalize(x, stats);
+
+  // De-stationary factors from the raw statistics: [B, 1, C] -> [B, 1, 1].
+  Tensor tau = Exp(tau_net_->Forward(stats.std));     // positive scale
+  Tensor delta = delta_net_->Forward(stats.mean);
+
+  Tensor h = embedding_->Forward(xn);
+  for (auto& layer : layers_) h = layer->Forward(h);
+  // Modulate the stationary representation with the learned factors.
+  h = Add(Mul(h, tau), delta);
+
+  Tensor y = Transpose(time_proj_->Forward(Transpose(h, 1, 2)), 1, 2);
+  y = channel_proj_->Forward(y);
+  return nn::InstanceDenormalize(y, stats);
+}
+
+}  // namespace models
+}  // namespace ts3net

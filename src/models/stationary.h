@@ -1,0 +1,40 @@
+#ifndef TS3NET_MODELS_STATIONARY_H_
+#define TS3NET_MODELS_STATIONARY_H_
+
+#include <memory>
+#include <vector>
+
+#include "models/model_config.h"
+#include "nn/attention.h"
+#include "nn/embedding.h"
+#include "nn/layers.h"
+
+namespace ts3net {
+namespace models {
+
+/// Non-stationary Transformer (Liu et al., NeurIPS 2022), compact variant:
+/// series stationarization (per-instance normalization whose statistics are
+/// restored at the output) around a Transformer encoder, plus learned
+/// de-stationary scale/shift factors predicted from the raw statistics that
+/// modulate the encoder output (a light stand-in for de-stationary
+/// attention's tau/delta; see DESIGN.md).
+class StationaryTransformer : public nn::Module {
+ public:
+  StationaryTransformer(const ModelConfig& config, Rng* rng);
+
+  Tensor Forward(const Tensor& x) override;
+
+ private:
+  ModelConfig config_;
+  std::shared_ptr<nn::DataEmbedding> embedding_;
+  std::vector<std::shared_ptr<nn::TransformerEncoderLayer>> layers_;
+  std::shared_ptr<nn::Mlp> tau_net_;    // predicts a per-instance scale
+  std::shared_ptr<nn::Mlp> delta_net_;  // predicts a per-instance shift
+  std::shared_ptr<nn::Linear> time_proj_;
+  std::shared_ptr<nn::Linear> channel_proj_;
+};
+
+}  // namespace models
+}  // namespace ts3net
+
+#endif  // TS3NET_MODELS_STATIONARY_H_

@@ -1,0 +1,74 @@
+#include "models/tcn.h"
+
+#include "nn/revin.h"
+#include "tensor/ops.h"
+
+namespace ts3net {
+namespace models {
+
+DilatedCausalConv1d::DilatedCausalConv1d(int64_t in_features,
+                                         int64_t out_features, int num_taps,
+                                         int64_t dilation, Rng* rng)
+    : dilation_(dilation) {
+  TS3_CHECK_GE(num_taps, 1);
+  TS3_CHECK_GE(dilation, 1);
+  for (int j = 0; j < num_taps; ++j) {
+    taps_.push_back(RegisterModule(
+        "tap" + std::to_string(j),
+        std::make_shared<nn::Linear>(in_features, out_features, rng,
+                                     /*bias=*/j == 0)));
+  }
+}
+
+Tensor DilatedCausalConv1d::Forward(const Tensor& x) {
+  TS3_CHECK_EQ(x.ndim(), 3) << "DilatedCausalConv1d expects [B, T, D]";
+  const int64_t t_len = x.dim(1);
+  Tensor out;
+  for (size_t j = 0; j < taps_.size(); ++j) {
+    const int64_t shift = static_cast<int64_t>(j) * dilation_;
+    Tensor shifted = x;
+    if (shift > 0) {
+      if (shift >= t_len) continue;  // tap entirely outside the window
+      shifted = Pad(Slice(x, 1, 0, t_len - shift), 1, shift, 0, 0.0f);
+    }
+    Tensor term = taps_[j]->Forward(shifted);
+    out = out.defined() ? Add(out, term) : term;
+  }
+  return out;
+}
+
+TCN::TCN(const ModelConfig& config, Rng* rng) : config_(config) {
+  input_proj_ = RegisterModule(
+      "input_proj",
+      std::make_shared<nn::Linear>(config.channels, config.d_model, rng));
+  int64_t dilation = 1;
+  for (int l = 0; l < config.num_layers + 1; ++l) {
+    convs_.push_back(RegisterModule(
+        "conv" + std::to_string(l),
+        std::make_shared<DilatedCausalConv1d>(config.d_model, config.d_model,
+                                              /*num_taps=*/3, dilation, rng)));
+    dilation *= 2;
+  }
+  time_proj_ = RegisterModule(
+      "time_proj",
+      std::make_shared<nn::Linear>(config.seq_len, config.pred_len, rng));
+  channel_proj_ = RegisterModule(
+      "channel_proj",
+      std::make_shared<nn::Linear>(config.d_model, config.channels, rng));
+}
+
+Tensor TCN::Forward(const Tensor& x) {
+  TS3_CHECK_EQ(x.ndim(), 3) << "TCN expects [B, T, C]";
+  nn::InstanceStats stats = nn::ComputeInstanceStats(x);
+  Tensor xn = nn::InstanceNormalize(x, stats);
+  Tensor h = input_proj_->Forward(xn);
+  for (auto& conv : convs_) {
+    h = Add(Relu(conv->Forward(h)), h);  // residual dilated block
+  }
+  Tensor y = Transpose(time_proj_->Forward(Transpose(h, 1, 2)), 1, 2);
+  y = channel_proj_->Forward(y);
+  return nn::InstanceDenormalize(y, stats);
+}
+
+}  // namespace models
+}  // namespace ts3net

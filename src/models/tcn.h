@@ -1,0 +1,48 @@
+#ifndef TS3NET_MODELS_TCN_H_
+#define TS3NET_MODELS_TCN_H_
+
+#include <memory>
+#include <vector>
+
+#include "models/model_config.h"
+#include "nn/layers.h"
+
+namespace ts3net {
+namespace models {
+
+/// Dilated causal 1-D convolution over [B, T, D]: y[t] = sum_j W_j x[t - j*d]
+/// (left zero padding, so the output never sees the future). Each tap owns a
+/// channel-mixing matrix, realized with shifted MatMuls on the autograd tape.
+class DilatedCausalConv1d : public nn::Module {
+ public:
+  DilatedCausalConv1d(int64_t in_features, int64_t out_features,
+                      int num_taps, int64_t dilation, Rng* rng);
+
+  Tensor Forward(const Tensor& x) override;
+
+ private:
+  int64_t dilation_;
+  std::vector<std::shared_ptr<nn::Linear>> taps_;
+};
+
+/// Temporal Convolutional Network (Bai et al.; the TCN family the paper's
+/// related work covers): a stack of residual blocks with exponentially
+/// growing dilation, then a linear head over the receptive summary.
+class TCN : public nn::Module {
+ public:
+  TCN(const ModelConfig& config, Rng* rng);
+
+  Tensor Forward(const Tensor& x) override;
+
+ private:
+  ModelConfig config_;
+  std::shared_ptr<nn::Linear> input_proj_;
+  std::vector<std::shared_ptr<DilatedCausalConv1d>> convs_;
+  std::shared_ptr<nn::Linear> time_proj_;
+  std::shared_ptr<nn::Linear> channel_proj_;
+};
+
+}  // namespace models
+}  // namespace ts3net
+
+#endif  // TS3NET_MODELS_TCN_H_

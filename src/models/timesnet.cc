@@ -1,0 +1,119 @@
+#include "models/timesnet.h"
+
+#include <cmath>
+
+#include "nn/revin.h"
+#include "signal/period.h"
+#include "tensor/ops.h"
+
+namespace ts3net {
+namespace models {
+
+TimesBlock::TimesBlock(int64_t seq_len, int64_t d_model, int64_t d_ff,
+                       int num_kernels, int top_k, Rng* rng)
+    : seq_len_(seq_len), top_k_(top_k) {
+  backbone_ = RegisterModule(
+      "backbone",
+      std::make_shared<nn::ConvBackbone2d>(d_model, d_ff, num_kernels, rng));
+}
+
+Tensor TimesBlock::Forward(const Tensor& x) {
+  TS3_CHECK_EQ(x.ndim(), 3) << "TimesBlock expects [B, T, D]";
+  const int64_t b = x.dim(0);
+  const int64_t t_len = x.dim(1);
+  const int64_t d = x.dim(2);
+  TS3_CHECK_EQ(t_len, seq_len_);
+
+  // Top-k periods of the batch-mean signal (frequency weights detached, as
+  // amplitude statistics of the current batch).
+  Tensor batch_mean = Mean(x, {0}).Detach();  // [T, D]
+  std::vector<DetectedPeriod> periods = DetectTopKPeriods(
+      batch_mean, top_k_);
+
+  std::vector<Tensor> results;
+  std::vector<float> amps;
+  for (const DetectedPeriod& p : periods) {
+    int64_t period = std::max<int64_t>(2, p.period);
+    if (period > t_len) period = t_len;
+    const int64_t cycles = (t_len + period - 1) / period;
+    const int64_t padded = cycles * period;
+    Tensor h = x;
+    if (padded > t_len) h = Pad(h, 1, 0, padded - t_len, 0.0f);
+    // [B, padded, D] -> [B, cycles, period, D] -> [B, D, cycles, period].
+    Tensor grid = Permute(Reshape(h, {b, cycles, period, d}), {0, 3, 1, 2});
+    grid = backbone_->Forward(grid);
+    Tensor back = Reshape(Permute(grid, {0, 2, 3, 1}), {b, padded, d});
+    if (padded > t_len) back = Slice(back, 1, 0, t_len);
+    results.push_back(back);
+    amps.push_back(static_cast<float>(p.amplitude));
+  }
+  TS3_CHECK(!results.empty());
+
+  // Softmax over the detected amplitudes.
+  float max_amp = amps[0];
+  for (float a : amps) max_amp = std::max(max_amp, a);
+  float denom = 0.0f;
+  std::vector<float> w(amps.size());
+  for (size_t i = 0; i < amps.size(); ++i) {
+    w[i] = std::exp(amps[i] - max_amp);
+    denom += w[i];
+  }
+  Tensor out;
+  for (size_t i = 0; i < results.size(); ++i) {
+    Tensor term = MulScalar(results[i], w[i] / denom);
+    out = out.defined() ? Add(out, term) : term;
+  }
+  return out;
+}
+
+TimesNet::TimesNet(const ModelConfig& config, Rng* rng) : config_(config) {
+  // Imputation reconstructs the window in place; forecasting extends the
+  // sequence by pred_len and reads the tail.
+  total_len_ = config.imputation ? config.seq_len
+                                 : config.seq_len + config.pred_len;
+  embedding_ = RegisterModule(
+      "embedding",
+      std::make_shared<nn::DataEmbedding>(config.channels, config.d_model,
+                                          total_len_, rng, config.dropout));
+  if (!config.imputation) {
+    length_extend_ = RegisterModule(
+        "length_extend",
+        std::make_shared<nn::Linear>(config.seq_len, total_len_, rng));
+  }
+  for (int l = 0; l < config.num_layers; ++l) {
+    blocks_.push_back(RegisterModule(
+        "block" + std::to_string(l),
+        std::make_shared<TimesBlock>(total_len_, config.d_model, config.d_ff,
+                                     config.num_kernels, config.top_k_periods,
+                                     rng)));
+    norms_.push_back(RegisterModule(
+        "norm" + std::to_string(l),
+        std::make_shared<nn::LayerNorm>(config.d_model)));
+  }
+  out_proj_ = RegisterModule(
+      "out_proj",
+      std::make_shared<nn::Linear>(config.d_model, config.channels, rng));
+}
+
+Tensor TimesNet::Forward(const Tensor& x) {
+  TS3_CHECK_EQ(x.ndim(), 3) << "TimesNet expects [B, T, C]";
+  nn::InstanceStats stats = nn::ComputeInstanceStats(x);
+  Tensor xn = nn::InstanceNormalize(x, stats);
+
+  Tensor h = embedding_->Forward(xn);                 // [B, T, D]
+  if (length_extend_) {
+    h = Transpose(length_extend_->Forward(Transpose(h, 1, 2)), 1, 2);
+  }
+  for (size_t l = 0; l < blocks_.size(); ++l) {
+    h = norms_[l]->Forward(Add(blocks_[l]->Forward(h), h));
+  }
+  Tensor y = out_proj_->Forward(h);  // [B, total, C]
+  if (!config_.imputation) {
+    y = Slice(y, 1, config_.seq_len, config_.pred_len);  // forecast tail
+  }
+  // Denormalize with the lookback statistics.
+  return nn::InstanceDenormalize(y, stats);
+}
+
+}  // namespace models
+}  // namespace ts3net

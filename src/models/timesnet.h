@@ -1,0 +1,54 @@
+#ifndef TS3NET_MODELS_TIMESNET_H_
+#define TS3NET_MODELS_TIMESNET_H_
+
+#include <memory>
+#include <vector>
+
+#include "models/model_config.h"
+#include "nn/embedding.h"
+#include "nn/inception.h"
+#include "nn/layers.h"
+
+namespace ts3net {
+namespace models {
+
+/// One TimesBlock: detects the top-k periods of its input by FFT, folds the
+/// sequence into a [period x cycles] 2-D grid per period, applies an
+/// inception conv backbone, and aggregates the per-period results weighted by
+/// the softmax of their FFT amplitudes (Wu et al., ICLR 2023).
+class TimesBlock : public nn::Module {
+ public:
+  TimesBlock(int64_t seq_len, int64_t d_model, int64_t d_ff, int num_kernels,
+             int top_k, Rng* rng);
+
+  Tensor Forward(const Tensor& x) override;
+
+ private:
+  int64_t seq_len_;
+  int top_k_;
+  std::shared_ptr<nn::ConvBackbone2d> backbone_;
+};
+
+/// TimesNet: embedding -> linear length extension to seq_len + pred_len ->
+/// stacked TimesBlocks -> channel projection; the forecast is the extended
+/// tail. The paper's strongest CNN baseline and the benchmark protocol donor.
+class TimesNet : public nn::Module {
+ public:
+  TimesNet(const ModelConfig& config, Rng* rng);
+
+  Tensor Forward(const Tensor& x) override;
+
+ private:
+  ModelConfig config_;
+  int64_t total_len_;
+  std::shared_ptr<nn::DataEmbedding> embedding_;
+  std::shared_ptr<nn::Linear> length_extend_;
+  std::vector<std::shared_ptr<TimesBlock>> blocks_;
+  std::vector<std::shared_ptr<nn::LayerNorm>> norms_;
+  std::shared_ptr<nn::Linear> out_proj_;
+};
+
+}  // namespace models
+}  // namespace ts3net
+
+#endif  // TS3NET_MODELS_TIMESNET_H_

@@ -1,0 +1,72 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace ts3net {
+namespace nn {
+
+MultiHeadAttention::MultiHeadAttention(int64_t d_model, int num_heads,
+                                       Rng* rng, float dropout)
+    : d_model_(d_model),
+      num_heads_(num_heads),
+      d_head_(d_model / num_heads) {
+  TS3_CHECK_EQ(d_head_ * num_heads, d_model)
+      << "d_model must be divisible by num_heads";
+  wq_ = RegisterModule("wq", std::make_shared<Linear>(d_model, d_model, rng));
+  wk_ = RegisterModule("wk", std::make_shared<Linear>(d_model, d_model, rng));
+  wv_ = RegisterModule("wv", std::make_shared<Linear>(d_model, d_model, rng));
+  wo_ = RegisterModule("wo", std::make_shared<Linear>(d_model, d_model, rng));
+  if (dropout > 0.0f) {
+    dropout_ = RegisterModule("dropout", std::make_shared<DropoutLayer>(
+                                             dropout, rng->NextUint64()));
+  }
+}
+
+Tensor MultiHeadAttention::Forward(const Tensor& x) {
+  return ForwardQkv(x, x);
+}
+
+Tensor MultiHeadAttention::ForwardQkv(const Tensor& q_in, const Tensor& kv) {
+  TS3_CHECK_EQ(q_in.ndim(), 3) << "attention expects [B, L, D]";
+  const int64_t b = q_in.dim(0);
+  const int64_t lq = q_in.dim(1);
+  const int64_t lk = kv.dim(1);
+
+  // [B, L, D] -> [B, H, L, d_head]
+  auto split_heads = [&](const Tensor& t, int64_t l) {
+    return Permute(Reshape(t, {b, l, num_heads_, d_head_}), {0, 2, 1, 3});
+  };
+  Tensor q = split_heads(wq_->Forward(q_in), lq);
+  Tensor k = split_heads(wk_->Forward(kv), lk);
+  Tensor v = split_heads(wv_->Forward(kv), lk);
+
+  Tensor scores = MatMul(q, Transpose(k, -1, -2));  // [B, H, Lq, Lk]
+  scores = MulScalar(scores, 1.0f / std::sqrt(static_cast<float>(d_head_)));
+  Tensor attn = Softmax(scores, -1);
+  if (dropout_) attn = dropout_->Forward(attn);
+  Tensor ctx = MatMul(attn, v);  // [B, H, Lq, d_head]
+  ctx = Reshape(Permute(ctx, {0, 2, 1, 3}), {b, lq, d_model_});
+  return wo_->Forward(ctx);
+}
+
+TransformerEncoderLayer::TransformerEncoderLayer(int64_t d_model,
+                                                 int num_heads, int64_t d_ff,
+                                                 Rng* rng, float dropout) {
+  attn_ = RegisterModule("attn", std::make_shared<MultiHeadAttention>(
+                                     d_model, num_heads, rng, dropout));
+  norm1_ = RegisterModule("norm1", std::make_shared<LayerNorm>(d_model));
+  norm2_ = RegisterModule("norm2", std::make_shared<LayerNorm>(d_model));
+  ff_ = RegisterModule("ff",
+                       std::make_shared<Mlp>(d_model, d_ff, d_model, rng,
+                                             Activation::Kind::kGelu, dropout));
+}
+
+Tensor TransformerEncoderLayer::Forward(const Tensor& x) {
+  Tensor h = Add(x, attn_->Forward(norm1_->Forward(x)));
+  return Add(h, ff_->Forward(norm2_->Forward(h)));
+}
+
+}  // namespace nn
+}  // namespace ts3net

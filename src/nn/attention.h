@@ -1,0 +1,54 @@
+#ifndef TS3NET_NN_ATTENTION_H_
+#define TS3NET_NN_ATTENTION_H_
+
+#include <memory>
+
+#include "nn/layers.h"
+
+namespace ts3net {
+namespace nn {
+
+/// Multi-head scaled dot-product self/cross attention over [B, L, D] inputs.
+/// Used by the Transformer-family baselines (Informer/Pyraformer/Stationary/
+/// PatchTST variants and the TSD-Trans ablation of Table VII).
+class MultiHeadAttention : public Module {
+ public:
+  MultiHeadAttention(int64_t d_model, int num_heads, Rng* rng,
+                     float dropout = 0.0f);
+
+  /// Self-attention.
+  Tensor Forward(const Tensor& x) override;
+
+  /// Cross-attention: queries from `q`, keys/values from `kv`.
+  Tensor ForwardQkv(const Tensor& q, const Tensor& kv);
+
+ private:
+  int64_t d_model_;
+  int num_heads_;
+  int64_t d_head_;
+  std::shared_ptr<Linear> wq_;
+  std::shared_ptr<Linear> wk_;
+  std::shared_ptr<Linear> wv_;
+  std::shared_ptr<Linear> wo_;
+  std::shared_ptr<DropoutLayer> dropout_;
+};
+
+/// Pre-norm Transformer encoder layer: MHA + feed-forward, both residual.
+class TransformerEncoderLayer : public Module {
+ public:
+  TransformerEncoderLayer(int64_t d_model, int num_heads, int64_t d_ff,
+                          Rng* rng, float dropout = 0.0f);
+
+  Tensor Forward(const Tensor& x) override;
+
+ private:
+  std::shared_ptr<MultiHeadAttention> attn_;
+  std::shared_ptr<LayerNorm> norm1_;
+  std::shared_ptr<LayerNorm> norm2_;
+  std::shared_ptr<Mlp> ff_;
+};
+
+}  // namespace nn
+}  // namespace ts3net
+
+#endif  // TS3NET_NN_ATTENTION_H_

@@ -1,0 +1,50 @@
+#include "nn/embedding.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace ts3net {
+namespace nn {
+
+PositionalEncoding::PositionalEncoding(int64_t max_len, int64_t d_model) {
+  std::vector<float> table(static_cast<size_t>(max_len * d_model));
+  for (int64_t pos = 0; pos < max_len; ++pos) {
+    for (int64_t i = 0; i < d_model; ++i) {
+      const double angle =
+          pos / std::pow(10000.0, 2.0 * (i / 2) / static_cast<double>(d_model));
+      table[pos * d_model + i] =
+          static_cast<float>((i % 2 == 0) ? std::sin(angle) : std::cos(angle));
+    }
+  }
+  table_ = Tensor::FromData(std::move(table), {max_len, d_model});
+}
+
+Tensor PositionalEncoding::Forward(const Tensor& x) {
+  TS3_CHECK_EQ(x.ndim(), 3) << "PositionalEncoding expects [B, T, D]";
+  const int64_t t_len = x.dim(1);
+  TS3_CHECK_LE(t_len, table_.dim(0)) << "sequence longer than max_len";
+  Tensor pe = Slice(table_, 0, 0, t_len);  // [T, D] broadcasts over batch
+  return Add(x, pe);
+}
+
+DataEmbedding::DataEmbedding(int64_t channels, int64_t d_model,
+                             int64_t max_len, Rng* rng, float dropout) {
+  value_ = RegisterModule("value",
+                          std::make_shared<Linear>(channels, d_model, rng));
+  position_ = RegisterModule(
+      "position", std::make_shared<PositionalEncoding>(max_len, d_model));
+  if (dropout > 0.0f) {
+    dropout_ = RegisterModule("dropout", std::make_shared<DropoutLayer>(
+                                             dropout, rng->NextUint64()));
+  }
+}
+
+Tensor DataEmbedding::Forward(const Tensor& x) {
+  Tensor h = position_->Forward(value_->Forward(x));
+  if (dropout_) h = dropout_->Forward(h);
+  return h;
+}
+
+}  // namespace nn
+}  // namespace ts3net

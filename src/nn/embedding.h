@@ -1,0 +1,43 @@
+#ifndef TS3NET_NN_EMBEDDING_H_
+#define TS3NET_NN_EMBEDDING_H_
+
+#include <memory>
+
+#include "nn/layers.h"
+
+namespace ts3net {
+namespace nn {
+
+/// Fixed sinusoidal positional encoding added to a [B, T, D] representation.
+class PositionalEncoding : public Module {
+ public:
+  PositionalEncoding(int64_t max_len, int64_t d_model);
+
+  Tensor Forward(const Tensor& x) override;
+
+ private:
+  Tensor table_;  // [max_len, D], constant
+};
+
+/// Shared input embedding used by every model in the zoo (the paper fixes
+/// "the same input embedding and final prediction layer for all base
+/// models"): value projection C -> d_model plus sinusoidal positions and
+/// dropout.
+class DataEmbedding : public Module {
+ public:
+  DataEmbedding(int64_t channels, int64_t d_model, int64_t max_len, Rng* rng,
+                float dropout = 0.1f);
+
+  /// [B, T, C] -> [B, T, D].
+  Tensor Forward(const Tensor& x) override;
+
+ private:
+  std::shared_ptr<Linear> value_;
+  std::shared_ptr<PositionalEncoding> position_;
+  std::shared_ptr<DropoutLayer> dropout_;
+};
+
+}  // namespace nn
+}  // namespace ts3net
+
+#endif  // TS3NET_NN_EMBEDDING_H_

@@ -1,0 +1,43 @@
+#include "nn/inception.h"
+
+#include "tensor/ops.h"
+
+namespace ts3net {
+namespace nn {
+
+InceptionBlock2d::InceptionBlock2d(int64_t in_channels, int64_t out_channels,
+                                   int num_kernels, Rng* rng) {
+  TS3_CHECK_GE(num_kernels, 1);
+  for (int k = 0; k < num_kernels; ++k) {
+    const int64_t size = 2 * k + 1;
+    branches_.push_back(RegisterModule(
+        "branch" + std::to_string(k),
+        std::make_shared<Conv2dLayer>(in_channels, out_channels, size, size,
+                                      rng)));
+  }
+}
+
+Tensor InceptionBlock2d::Forward(const Tensor& x) {
+  Tensor acc;
+  for (auto& branch : branches_) {
+    Tensor y = branch->Forward(x);
+    acc = acc.defined() ? Add(acc, y) : y;
+  }
+  return MulScalar(acc, 1.0f / static_cast<float>(branches_.size()));
+}
+
+ConvBackbone2d::ConvBackbone2d(int64_t d_model, int64_t d_ff, int num_kernels,
+                               Rng* rng) {
+  up_ = RegisterModule(
+      "up", std::make_shared<InceptionBlock2d>(d_model, d_ff, num_kernels, rng));
+  down_ = RegisterModule(
+      "down",
+      std::make_shared<InceptionBlock2d>(d_ff, d_model, num_kernels, rng));
+}
+
+Tensor ConvBackbone2d::Forward(const Tensor& x) {
+  return down_->Forward(Gelu(up_->Forward(x)));
+}
+
+}  // namespace nn
+}  // namespace ts3net

@@ -1,0 +1,44 @@
+#ifndef TS3NET_NN_INCEPTION_H_
+#define TS3NET_NN_INCEPTION_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace ts3net {
+namespace nn {
+
+/// Multi-scale 2-D convolution block (the "inception" ConvBackbone of paper
+/// Eq. 13, after TimesNet's Inception_Block_V1): `num_kernels` parallel
+/// convolutions with kernel sizes 1x1, 3x3, 5x5, ... whose outputs are
+/// averaged. Preserves spatial dimensions.
+class InceptionBlock2d : public Module {
+ public:
+  InceptionBlock2d(int64_t in_channels, int64_t out_channels, int num_kernels,
+                   Rng* rng);
+
+  Tensor Forward(const Tensor& x) override;
+
+ private:
+  std::vector<std::shared_ptr<Conv2dLayer>> branches_;
+};
+
+/// The full ConvBackbone used inside a TF-Block: inception -> GELU ->
+/// inception, with channel expansion in the middle (d_model -> d_ff ->
+/// d_model), matching the TimesNet parameter block the paper builds on.
+class ConvBackbone2d : public Module {
+ public:
+  ConvBackbone2d(int64_t d_model, int64_t d_ff, int num_kernels, Rng* rng);
+
+  Tensor Forward(const Tensor& x) override;
+
+ private:
+  std::shared_ptr<InceptionBlock2d> up_;
+  std::shared_ptr<InceptionBlock2d> down_;
+};
+
+}  // namespace nn
+}  // namespace ts3net
+
+#endif  // TS3NET_NN_INCEPTION_H_

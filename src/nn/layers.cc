@@ -1,0 +1,152 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace ts3net {
+namespace nn {
+
+namespace {
+
+/// Xavier/Glorot uniform bound for a weight with the given fan-in/out.
+float XavierBound(int64_t fan_in, int64_t fan_out) {
+  return std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Linear
+// ---------------------------------------------------------------------------
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng, bool bias)
+    : in_features_(in_features), out_features_(out_features) {
+  TS3_CHECK_GE(in_features, 1);
+  TS3_CHECK_GE(out_features, 1);
+  const float bound = XavierBound(in_features, out_features);
+  weight_ = RegisterParameter(
+      "weight", Tensor::Rand({in_features, out_features}, rng, -bound, bound));
+  if (bias) {
+    bias_ = RegisterParameter("bias", Tensor::Zeros({out_features}));
+  }
+}
+
+Tensor Linear::Forward(const Tensor& x) {
+  TS3_CHECK_EQ(x.dim(-1), in_features_)
+      << "Linear expects last axis " << in_features_;
+  Tensor y = MatMul(x, weight_);
+  if (bias_.defined()) y = Add(y, bias_);
+  return y;
+}
+
+// ---------------------------------------------------------------------------
+// Conv2dLayer
+// ---------------------------------------------------------------------------
+
+Conv2dLayer::Conv2dLayer(int64_t in_channels, int64_t out_channels,
+                         int64_t kernel_h, int64_t kernel_w, Rng* rng,
+                         bool bias)
+    : pad_h_((kernel_h - 1) / 2), pad_w_((kernel_w - 1) / 2) {
+  const int64_t fan_in = in_channels * kernel_h * kernel_w;
+  const float bound = std::sqrt(3.0f / static_cast<float>(fan_in));
+  weight_ = RegisterParameter(
+      "weight", Tensor::Rand({out_channels, in_channels, kernel_h, kernel_w},
+                             rng, -bound, bound));
+  if (bias) {
+    bias_ = RegisterParameter("bias", Tensor::Zeros({out_channels}));
+  }
+}
+
+Tensor Conv2dLayer::Forward(const Tensor& x) {
+  return Conv2d(x, weight_, bias_, pad_h_, pad_w_);
+}
+
+// ---------------------------------------------------------------------------
+// LayerNorm
+// ---------------------------------------------------------------------------
+
+LayerNorm::LayerNorm(int64_t normalized_size, float eps) : eps_(eps) {
+  gamma_ = RegisterParameter("gamma", Tensor::Ones({normalized_size}));
+  beta_ = RegisterParameter("beta", Tensor::Zeros({normalized_size}));
+}
+
+Tensor LayerNorm::Forward(const Tensor& x) {
+  Tensor mu = Mean(x, {-1}, /*keepdim=*/true);
+  Tensor var = Variance(x, {-1}, /*keepdim=*/true);
+  Tensor norm = Div(Sub(x, mu), Sqrt(AddScalar(var, eps_)));
+  return Add(Mul(norm, gamma_), beta_);
+}
+
+// ---------------------------------------------------------------------------
+// DropoutLayer
+// ---------------------------------------------------------------------------
+
+DropoutLayer::DropoutLayer(float p, uint64_t seed) : p_(p), rng_(seed) {
+  TS3_CHECK(p >= 0.0f && p < 1.0f);
+}
+
+Tensor DropoutLayer::Forward(const Tensor& x) {
+  return Dropout(x, p_, training(), &rng_);
+}
+
+// ---------------------------------------------------------------------------
+// Activation
+// ---------------------------------------------------------------------------
+
+Tensor Activation::Forward(const Tensor& x) {
+  switch (kind_) {
+    case Kind::kRelu:
+      return Relu(x);
+    case Kind::kGelu:
+      return Gelu(x);
+    case Kind::kTanh:
+      return Tanh(x);
+    case Kind::kSigmoid:
+      return Sigmoid(x);
+  }
+  TS3_CHECK(false) << "unknown activation";
+  return Tensor();
+}
+
+// ---------------------------------------------------------------------------
+// Sequential
+// ---------------------------------------------------------------------------
+
+Sequential& Sequential::Add(std::shared_ptr<Module> module) {
+  RegisterModule("step" + std::to_string(steps_.size()), module);
+  steps_.push_back(std::move(module));
+  return *this;
+}
+
+Tensor Sequential::Forward(const Tensor& x) {
+  Tensor h = x;
+  for (auto& step : steps_) h = step->Forward(h);
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Mlp
+// ---------------------------------------------------------------------------
+
+Mlp::Mlp(int64_t in_features, int64_t hidden, int64_t out_features, Rng* rng,
+         Activation::Kind act, float dropout) {
+  fc1_ = RegisterModule("fc1",
+                        std::make_shared<Linear>(in_features, hidden, rng));
+  fc2_ = RegisterModule("fc2",
+                        std::make_shared<Linear>(hidden, out_features, rng));
+  act_ = RegisterModule("act", std::make_shared<Activation>(act));
+  if (dropout > 0.0f) {
+    dropout_ = RegisterModule("dropout", std::make_shared<DropoutLayer>(
+                                             dropout, rng->NextUint64()));
+  }
+}
+
+Tensor Mlp::Forward(const Tensor& x) {
+  Tensor h = act_->Forward(fc1_->Forward(x));
+  if (dropout_) h = dropout_->Forward(h);
+  return fc2_->Forward(h);
+}
+
+}  // namespace nn
+}  // namespace ts3net

@@ -1,0 +1,122 @@
+#ifndef TS3NET_NN_LAYERS_H_
+#define TS3NET_NN_LAYERS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace ts3net {
+namespace nn {
+
+/// Fully connected layer y = x W^T + b applied to the last axis of any
+/// [..., in_features] input. Xavier-uniform initialized.
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng* rng,
+         bool bias = true);
+
+  Tensor Forward(const Tensor& x) override;
+
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  Tensor weight_;  // [in, out] (stored transposed for a single MatMul)
+  Tensor bias_;    // [out] or undefined
+};
+
+/// 2-D convolution layer (NCHW, stride 1, "same"-style zero padding
+/// (kernel-1)/2 by default). Kaiming-uniform initialized.
+class Conv2dLayer : public Module {
+ public:
+  Conv2dLayer(int64_t in_channels, int64_t out_channels, int64_t kernel_h,
+              int64_t kernel_w, Rng* rng, bool bias = true);
+
+  Tensor Forward(const Tensor& x) override;
+
+ private:
+  Tensor weight_;  // [out, in, kh, kw]
+  Tensor bias_;
+  int64_t pad_h_;
+  int64_t pad_w_;
+};
+
+/// Layer normalization over the last axis with learned affine parameters.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t normalized_size, float eps = 1e-5f);
+
+  Tensor Forward(const Tensor& x) override;
+
+ private:
+  Tensor gamma_;
+  Tensor beta_;
+  float eps_;
+};
+
+/// Inverted dropout layer; identity in eval mode. Owns its RNG stream so
+/// masks are reproducible given the construction seed.
+class DropoutLayer : public Module {
+ public:
+  explicit DropoutLayer(float p, uint64_t seed = 0x5eed);
+
+  Tensor Forward(const Tensor& x) override;
+
+ private:
+  float p_;
+  Rng rng_;
+};
+
+/// Activation wrapper so nonlinearities can live inside Sequential.
+class Activation : public Module {
+ public:
+  enum class Kind { kRelu, kGelu, kTanh, kSigmoid };
+  explicit Activation(Kind kind) : kind_(kind) {}
+
+  Tensor Forward(const Tensor& x) override;
+
+ private:
+  Kind kind_;
+};
+
+/// Runs child modules in order.
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+
+  /// Appends a module; returns *this for chaining.
+  Sequential& Add(std::shared_ptr<Module> module);
+
+  Tensor Forward(const Tensor& x) override;
+
+  size_t size() const { return steps_.size(); }
+
+ private:
+  std::vector<std::shared_ptr<Module>> steps_;
+};
+
+/// Two-layer perceptron: Linear -> activation -> (dropout) -> Linear.
+/// The prediction-head building block of the paper (Eqs. 14–16).
+class Mlp : public Module {
+ public:
+  Mlp(int64_t in_features, int64_t hidden, int64_t out_features, Rng* rng,
+      Activation::Kind act = Activation::Kind::kGelu, float dropout = 0.0f);
+
+  Tensor Forward(const Tensor& x) override;
+
+ private:
+  std::shared_ptr<Linear> fc1_;
+  std::shared_ptr<Linear> fc2_;
+  std::shared_ptr<Activation> act_;
+  std::shared_ptr<DropoutLayer> dropout_;
+};
+
+}  // namespace nn
+}  // namespace ts3net
+
+#endif  // TS3NET_NN_LAYERS_H_

@@ -1,0 +1,57 @@
+#include "nn/loss.h"
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace ts3net {
+namespace nn {
+
+Tensor MseLoss(const Tensor& pred, const Tensor& target) {
+  TS3_CHECK(pred.shape() == target.shape())
+      << "MseLoss shape mismatch: " << ShapeToString(pred.shape()) << " vs "
+      << ShapeToString(target.shape());
+  return Mean(Square(Sub(pred, target)));
+}
+
+Tensor MaeLoss(const Tensor& pred, const Tensor& target) {
+  TS3_CHECK(pred.shape() == target.shape());
+  return Mean(Abs(Sub(pred, target)));
+}
+
+Tensor MaskedMseLoss(const Tensor& pred, const Tensor& target,
+                     const Tensor& mask) {
+  TS3_CHECK(pred.shape() == target.shape());
+  TS3_CHECK(pred.shape() == mask.shape());
+  Tensor sq = Mul(Square(Sub(pred, target)), mask);
+  float denom = Sum(mask).item();
+  TS3_CHECK_GT(denom, 0.0f) << "MaskedMseLoss: empty mask";
+  return MulScalar(Sum(sq), 1.0f / denom);
+}
+
+Tensor CrossEntropyLoss(const Tensor& logits,
+                        const std::vector<int64_t>& labels) {
+  TS3_CHECK_EQ(logits.ndim(), 2) << "CrossEntropyLoss expects [B, K] logits";
+  const int64_t b = logits.dim(0);
+  const int64_t k = logits.dim(1);
+  TS3_CHECK_EQ(static_cast<int64_t>(labels.size()), b);
+
+  // log-sum-exp with the max subtracted for stability.
+  Tensor max_logit = Max(logits, 1, /*keepdim=*/true);          // [B, 1]
+  Tensor shifted = Sub(logits, max_logit.Detach());
+  Tensor lse = Add(Log(Sum(Exp(shifted), {1}, /*keepdim=*/true)),
+                   max_logit.Detach());                          // [B, 1]
+
+  // Selected logit via a constant one-hot matrix.
+  std::vector<float> onehot(static_cast<size_t>(b * k), 0.0f);
+  for (int64_t i = 0; i < b; ++i) {
+    TS3_CHECK(labels[i] >= 0 && labels[i] < k) << "label out of range";
+    onehot[i * k + labels[i]] = 1.0f;
+  }
+  Tensor selected = Sum(Mul(logits, Tensor::FromData(std::move(onehot),
+                                                     {b, k})),
+                        {1}, /*keepdim=*/true);                  // [B, 1]
+  return Mean(Sub(lse, selected));
+}
+
+}  // namespace nn
+}  // namespace ts3net

@@ -1,0 +1,28 @@
+#ifndef TS3NET_NN_LOSS_H_
+#define TS3NET_NN_LOSS_H_
+
+#include "tensor/tensor.h"
+
+namespace ts3net {
+namespace nn {
+
+/// Mean squared error over all elements (the paper's training loss).
+Tensor MseLoss(const Tensor& pred, const Tensor& target);
+
+/// Mean absolute error over all elements (the paper's second metric).
+Tensor MaeLoss(const Tensor& pred, const Tensor& target);
+
+/// Masked MSE: only positions where mask == 1 contribute; used by the
+/// imputation task (Table V). `mask` must be 0/1 with pred's shape.
+Tensor MaskedMseLoss(const Tensor& pred, const Tensor& target,
+                     const Tensor& mask);
+
+/// Numerically stable softmax cross-entropy for classification:
+/// logits [B, K], labels in [0, K). Returns the mean loss.
+Tensor CrossEntropyLoss(const Tensor& logits,
+                        const std::vector<int64_t>& labels);
+
+}  // namespace nn
+}  // namespace ts3net
+
+#endif  // TS3NET_NN_LOSS_H_

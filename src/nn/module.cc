@@ -1,0 +1,50 @@
+#include "nn/module.h"
+
+namespace ts3net {
+namespace nn {
+
+std::vector<Tensor> Module::Parameters() const {
+  std::vector<Tensor> out;
+  for (const auto& [name, p] : params_) out.push_back(p);
+  for (const auto& [name, child] : children_) {
+    std::vector<Tensor> sub = child->Parameters();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Tensor>> Module::NamedParameters() const {
+  std::vector<std::pair<std::string, Tensor>> out;
+  for (const auto& [name, p] : params_) out.emplace_back(name, p);
+  for (const auto& [child_name, child] : children_) {
+    for (auto& [name, p] : child->NamedParameters()) {
+      out.emplace_back(child_name + "." + name, p);
+    }
+  }
+  return out;
+}
+
+int64_t Module::NumParameters() const {
+  int64_t n = 0;
+  for (const Tensor& p : Parameters()) n += p.numel();
+  return n;
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) child->SetTraining(training);
+  OnTrainingChanged();
+}
+
+void Module::ZeroGrad() {
+  for (Tensor& p : Parameters()) p.ZeroGrad();
+}
+
+Tensor Module::RegisterParameter(const std::string& name, Tensor value) {
+  value.set_requires_grad(true);
+  params_.emplace_back(name, value);
+  return value;
+}
+
+}  // namespace nn
+}  // namespace ts3net

@@ -1,0 +1,71 @@
+#ifndef TS3NET_NN_MODULE_H_
+#define TS3NET_NN_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ts3net {
+namespace nn {
+
+/// Base class of all neural-network layers and models. A module owns
+/// trainable parameters and child modules; `Parameters()` walks the tree so
+/// optimizers see every leaf tensor. Training mode (`SetTraining`) propagates
+/// to children and controls dropout-style behaviour.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// Single-input forward; the common case for layers.
+  virtual Tensor Forward(const Tensor& x) = 0;
+
+  /// All trainable parameters of this module and its descendants.
+  std::vector<Tensor> Parameters() const;
+
+  /// Named parameters ("child.weight" style paths), useful for debugging and
+  /// checkpoint round-trips.
+  std::vector<std::pair<std::string, Tensor>> NamedParameters() const;
+
+  /// Total number of scalar parameters.
+  int64_t NumParameters() const;
+
+  void SetTraining(bool training);
+  bool training() const { return training_; }
+
+  /// Zeroes the gradient of every parameter in the tree.
+  void ZeroGrad();
+
+ protected:
+  Module() = default;
+
+  /// Registers a trainable parameter; returns the (grad-enabled) tensor.
+  Tensor RegisterParameter(const std::string& name, Tensor value);
+
+  /// Registers a child module; returns the argument for member-init chains.
+  template <typename M>
+  std::shared_ptr<M> RegisterModule(const std::string& name,
+                                    std::shared_ptr<M> module) {
+    children_.emplace_back(name, module);
+    return module;
+  }
+
+  /// Hook for subclasses that need to react to train/eval switches beyond
+  /// the propagated flag.
+  virtual void OnTrainingChanged() {}
+
+ private:
+  std::vector<std::pair<std::string, Tensor>> params_;
+  std::vector<std::pair<std::string, std::shared_ptr<Module>>> children_;
+  bool training_ = true;
+};
+
+}  // namespace nn
+}  // namespace ts3net
+
+#endif  // TS3NET_NN_MODULE_H_

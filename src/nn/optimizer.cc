@@ -1,0 +1,72 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ts3net {
+namespace nn {
+
+Adam::Adam(std::vector<Tensor> params, const AdamOptions& options)
+    : params_(std::move(params)), options_(options) {
+  for (const Tensor& p : params_) {
+    TS3_CHECK(p.defined());
+    m_.emplace_back(static_cast<size_t>(p.numel()), 0.0f);
+    v_.emplace_back(static_cast<size_t>(p.numel()), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++step_;
+  const float bc1 = 1.0f - std::pow(options_.beta1, static_cast<float>(step_));
+  const float bc2 = 1.0f - std::pow(options_.beta2, static_cast<float>(step_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    Tensor g = p.grad();
+    if (!g.defined()) continue;
+    float* pd = p.data();
+    const float* gd = g.data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const int64_t n = p.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      float grad = gd[j] + options_.weight_decay * pd[j];
+      m[j] = options_.beta1 * m[j] + (1.0f - options_.beta1) * grad;
+      v[j] = options_.beta2 * v[j] + (1.0f - options_.beta2) * grad * grad;
+      const float m_hat = m[j] / bc1;
+      const float v_hat = v[j] / bc2;
+      pd[j] -= options_.lr * m_hat / (std::sqrt(v_hat) + options_.eps);
+    }
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (Tensor& p : params_) p.ZeroGrad();
+}
+
+float ClipGradNorm(const std::vector<Tensor>& params, float max_norm) {
+  TS3_CHECK_GT(max_norm, 0.0f);
+  double total_sq = 0.0;
+  for (const Tensor& p : params) {
+    Tensor g = p.grad();
+    if (!g.defined()) continue;
+    const float* gd = g.data();
+    for (int64_t j = 0; j < g.numel(); ++j) {
+      total_sq += static_cast<double>(gd[j]) * gd[j];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(total_sq));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (const Tensor& p : params) {
+      Tensor g = p.grad();
+      if (!g.defined()) continue;
+      float* gd = g.data();
+      for (int64_t j = 0; j < g.numel(); ++j) gd[j] *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace nn
+}  // namespace ts3net

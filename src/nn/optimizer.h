@@ -1,0 +1,51 @@
+#ifndef TS3NET_NN_OPTIMIZER_H_
+#define TS3NET_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ts3net {
+namespace nn {
+
+struct AdamOptions {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+/// Adam optimizer (Kingma & Ba) with bias-corrected moment estimates, the
+/// configuration the paper trains every model with (Table III).
+class Adam {
+ public:
+  Adam(std::vector<Tensor> params, const AdamOptions& options = {});
+
+  /// Applies one update from the gradients currently stored on the params.
+  /// Parameters with no gradient are skipped.
+  void Step();
+
+  /// Clears all parameter gradients.
+  void ZeroGrad();
+
+  void set_lr(float lr) { options_.lr = lr; }
+  float lr() const { return options_.lr; }
+  int64_t step_count() const { return step_; }
+
+ private:
+  std::vector<Tensor> params_;
+  AdamOptions options_;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+  int64_t step_ = 0;
+};
+
+/// Scales gradients in place so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+float ClipGradNorm(const std::vector<Tensor>& params, float max_norm);
+
+}  // namespace nn
+}  // namespace ts3net
+
+#endif  // TS3NET_NN_OPTIMIZER_H_

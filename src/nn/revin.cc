@@ -1,0 +1,26 @@
+#include "nn/revin.h"
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace ts3net {
+namespace nn {
+
+InstanceStats ComputeInstanceStats(const Tensor& x_btc, float eps) {
+  TS3_CHECK_EQ(x_btc.ndim(), 3) << "instance stats expect [B, T, C]";
+  InstanceStats stats;
+  stats.mean = Mean(x_btc, {1}, /*keepdim=*/true);
+  stats.std = Sqrt(AddScalar(Variance(x_btc, {1}, /*keepdim=*/true), eps));
+  return stats;
+}
+
+Tensor InstanceNormalize(const Tensor& x_btc, const InstanceStats& stats) {
+  return Div(Sub(x_btc, stats.mean), stats.std);
+}
+
+Tensor InstanceDenormalize(const Tensor& y_btc, const InstanceStats& stats) {
+  return Add(Mul(y_btc, stats.std), stats.mean);
+}
+
+}  // namespace nn
+}  // namespace ts3net

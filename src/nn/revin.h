@@ -1,0 +1,29 @@
+#ifndef TS3NET_NN_REVIN_H_
+#define TS3NET_NN_REVIN_H_
+
+#include "tensor/tensor.h"
+
+namespace ts3net {
+namespace nn {
+
+/// Per-instance normalization statistics over the time axis of a [B, T, C]
+/// batch (the "non-stationary normalization" every model in the TimesNet
+/// benchmark applies at input and undoes at output).
+struct InstanceStats {
+  Tensor mean;  // [B, 1, C]
+  Tensor std;   // [B, 1, C]
+};
+
+InstanceStats ComputeInstanceStats(const Tensor& x_btc, float eps = 1e-5f);
+
+/// (x - mean) / std, broadcasting the stats over time.
+Tensor InstanceNormalize(const Tensor& x_btc, const InstanceStats& stats);
+
+/// y * std + mean; used on the model output (the forecast horizon keeps the
+/// lookback window's statistics).
+Tensor InstanceDenormalize(const Tensor& y_btc, const InstanceStats& stats);
+
+}  // namespace nn
+}  // namespace ts3net
+
+#endif  // TS3NET_NN_REVIN_H_

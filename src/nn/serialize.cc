@@ -1,0 +1,93 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <map>
+
+namespace ts3net {
+namespace nn {
+
+namespace {
+constexpr char kMagic[8] = {'T', 'S', '3', 'C', 'K', 'P', 'T', '1'};
+}  // namespace
+
+Status SaveParameters(const Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) return Status::IOError("cannot write " + path);
+  out.write(kMagic, sizeof(kMagic));
+  const auto named = module.NamedParameters();
+  const uint64_t count = named.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& [name, p] : named) {
+    const uint32_t name_len = static_cast<uint32_t>(name.size());
+    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+    out.write(name.data(), name_len);
+    const uint32_t ndim = static_cast<uint32_t>(p.shape().size());
+    out.write(reinterpret_cast<const char*>(&ndim), sizeof(ndim));
+    for (int64_t d : p.shape()) {
+      out.write(reinterpret_cast<const char*>(&d), sizeof(d));
+    }
+    out.write(reinterpret_cast<const char*>(p.data()),
+              static_cast<std::streamsize>(p.numel() * sizeof(float)));
+  }
+  return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+Status LoadParameters(Module* module, const std::string& path) {
+  if (module == nullptr) return Status::InvalidArgument("null module");
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a ts3net checkpoint: " + path);
+  }
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+
+  std::map<std::string, Tensor> params;
+  for (auto& [name, p] : module->NamedParameters()) params.emplace(name, p);
+  if (count != params.size()) {
+    return Status::InvalidArgument(
+        "checkpoint parameter count mismatch: file has " +
+        std::to_string(count) + ", module has " +
+        std::to_string(params.size()));
+  }
+
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+    if (!in.good() || name_len > 4096) {
+      return Status::InvalidArgument("corrupt checkpoint: " + path);
+    }
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    uint32_t ndim = 0;
+    in.read(reinterpret_cast<char*>(&ndim), sizeof(ndim));
+    if (!in.good() || ndim > 16) {
+      return Status::InvalidArgument("corrupt checkpoint: " + path);
+    }
+    Shape shape(ndim);
+    for (uint32_t d = 0; d < ndim; ++d) {
+      in.read(reinterpret_cast<char*>(&shape[d]), sizeof(int64_t));
+    }
+    auto it = params.find(name);
+    if (it == params.end()) {
+      return Status::InvalidArgument("unknown parameter in checkpoint: " +
+                                     name);
+    }
+    if (it->second.shape() != shape) {
+      return Status::InvalidArgument("shape mismatch for parameter " + name);
+    }
+    in.read(reinterpret_cast<char*>(it->second.data()),
+            static_cast<std::streamsize>(it->second.numel() * sizeof(float)));
+    if (!in.good()) {
+      return Status::IOError("truncated checkpoint: " + path);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace nn
+}  // namespace ts3net

@@ -1,0 +1,25 @@
+#ifndef TS3NET_NN_SERIALIZE_H_
+#define TS3NET_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "nn/module.h"
+
+namespace ts3net {
+namespace nn {
+
+/// Writes every named parameter of `module` to a binary checkpoint. The
+/// format is self-describing (magic + per-tensor name/shape/data) and
+/// endianness-naive (little-endian hosts).
+Status SaveParameters(const Module& module, const std::string& path);
+
+/// Loads a checkpoint into `module`. Every parameter in the file must match a
+/// module parameter by name and shape (and vice versa) — a mismatch returns
+/// InvalidArgument and leaves already-copied parameters updated.
+Status LoadParameters(Module* module, const std::string& path);
+
+}  // namespace nn
+}  // namespace ts3net
+
+#endif  // TS3NET_NN_SERIALIZE_H_

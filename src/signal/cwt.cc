@@ -1,0 +1,167 @@
+#include "signal/cwt.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace ts3net {
+
+namespace {
+
+/// Correlates each channel of x [T, C] with `filter` ("same" alignment, zero
+/// padding); writes the real/imag responses at sub-band row `i`.
+void CorrelateChannels(const Tensor& x_tc,
+                       const std::vector<std::complex<double>>& filter,
+                       int64_t i, float* re, float* im) {
+  const int64_t t_len = x_tc.dim(0);
+  const int64_t ch = x_tc.dim(1);
+  const int64_t l = static_cast<int64_t>(filter.size());
+  const int64_t c = (l - 1) / 2;
+  const float* px = x_tc.data();
+  for (int64_t t = 0; t < t_len; ++t) {
+    const int64_t n_lo = std::max<int64_t>(0, c - t);
+    const int64_t n_hi = std::min<int64_t>(l, t_len + c - t);
+    for (int64_t d = 0; d < ch; ++d) {
+      double acc_re = 0.0, acc_im = 0.0;
+      for (int64_t n = n_lo; n < n_hi; ++n) {
+        const double xv = px[(t + n - c) * ch + d];
+        acc_re += xv * filter[n].real();
+        acc_im += xv * filter[n].imag();
+      }
+      const int64_t idx = (i * t_len + t) * ch + d;
+      re[idx] = static_cast<float>(acc_re);
+      im[idx] = static_cast<float>(acc_im);
+    }
+  }
+}
+
+}  // namespace
+
+void CwtComplex(const Tensor& x_tc, const WaveletBank& bank, Tensor* re,
+                Tensor* im) {
+  TS3_CHECK(x_tc.defined());
+  TS3_CHECK_EQ(x_tc.ndim(), 2) << "CwtComplex expects [T, C]";
+  TS3_CHECK(re != nullptr && im != nullptr);
+  const int64_t t_len = x_tc.dim(0);
+  const int64_t ch = x_tc.dim(1);
+  const int64_t lambda = bank.num_subbands();
+  *re = Tensor::Zeros({lambda, t_len, ch});
+  *im = Tensor::Zeros({lambda, t_len, ch});
+  for (int64_t i = 0; i < lambda; ++i) {
+    CorrelateChannels(x_tc, bank.filter(static_cast<int>(i)), i, re->data(),
+                      im->data());
+  }
+}
+
+Tensor CwtAmplitude(const Tensor& x_tc, const WaveletBank& bank) {
+  Tensor re, im;
+  CwtComplex(x_tc, bank, &re, &im);
+  const int64_t n = re.numel();
+  std::vector<float> amp(static_cast<size_t>(n));
+  const float* pr = re.data();
+  const float* pi = im.data();
+  for (int64_t i = 0; i < n; ++i) {
+    amp[i] = std::sqrt(pr[i] * pr[i] + pi[i] * pi[i]);
+  }
+  return Tensor::FromData(std::move(amp), re.shape());
+}
+
+Tensor Iwt(const Tensor& y_ltc, const WaveletBank& bank) {
+  TS3_CHECK(y_ltc.defined());
+  TS3_CHECK_EQ(y_ltc.ndim(), 3) << "Iwt expects [lambda, T, C]";
+  const int64_t lambda = y_ltc.dim(0);
+  TS3_CHECK_EQ(lambda, bank.num_subbands());
+  const int64_t t_len = y_ltc.dim(1);
+  const int64_t ch = y_ltc.dim(2);
+  const double gain = bank.reconstruction_gain();
+  std::vector<float> out(static_cast<size_t>(t_len * ch), 0.0f);
+  const float* py = y_ltc.data();
+  for (int64_t i = 0; i < lambda; ++i) {
+    const float w =
+        static_cast<float>(gain * bank.reconstruction_weight(static_cast<int>(i)));
+    const float* row = py + i * t_len * ch;
+    for (int64_t j = 0; j < t_len * ch; ++j) out[j] += w * row[j];
+  }
+  return Tensor::FromData(std::move(out), {t_len, ch});
+}
+
+Tensor IwtComplex(const Tensor& re_ltc, const Tensor& im_ltc,
+                  const WaveletBank& bank) {
+  TS3_CHECK(re_ltc.defined() && im_ltc.defined());
+  TS3_CHECK_EQ(re_ltc.ndim(), 3) << "IwtComplex expects [lambda, T, C]";
+  TS3_CHECK(re_ltc.shape() == im_ltc.shape());
+  const int64_t lambda = re_ltc.dim(0);
+  TS3_CHECK_EQ(lambda, bank.num_subbands());
+  const int64_t t_len = re_ltc.dim(1);
+  const int64_t ch = re_ltc.dim(2);
+  std::vector<float> out(static_cast<size_t>(t_len * ch), 0.0f);
+  const float* pr = re_ltc.data();
+  const float* pi = im_ltc.data();
+  for (int64_t i = 0; i < lambda; ++i) {
+    const float wr = static_cast<float>(
+        bank.reconstruction_weight_re(static_cast<int>(i)));
+    const float wi = static_cast<float>(
+        bank.reconstruction_weight_im(static_cast<int>(i)));
+    const float* row_r = pr + i * t_len * ch;
+    const float* row_i = pi + i * t_len * ch;
+    for (int64_t j = 0; j < t_len * ch; ++j) {
+      out[j] += wr * row_r[j] + wi * row_i[j];
+    }
+  }
+  return Tensor::FromData(std::move(out), {t_len, ch});
+}
+
+std::pair<Tensor, Tensor> BuildCwtMatrices(const WaveletBank& bank,
+                                           int64_t seq_len) {
+  TS3_CHECK_GE(seq_len, 1);
+  const int64_t lambda = bank.num_subbands();
+  Tensor w_re = Tensor::Zeros({lambda, seq_len, seq_len});
+  Tensor w_im = Tensor::Zeros({lambda, seq_len, seq_len});
+  float* pre = w_re.data();
+  float* pim = w_im.data();
+  for (int64_t i = 0; i < lambda; ++i) {
+    const auto& filter = bank.filter(static_cast<int>(i));
+    const int64_t l = static_cast<int64_t>(filter.size());
+    const int64_t c = (l - 1) / 2;
+    for (int64_t t = 0; t < seq_len; ++t) {
+      const int64_t n_lo = std::max<int64_t>(0, c - t);
+      const int64_t n_hi = std::min<int64_t>(l, seq_len + c - t);
+      for (int64_t n = n_lo; n < n_hi; ++n) {
+        const int64_t tau = t + n - c;
+        const int64_t idx = (i * seq_len + t) * seq_len + tau;
+        pre[idx] = static_cast<float>(filter[n].real());
+        pim[idx] = static_cast<float>(filter[n].imag());
+      }
+    }
+  }
+  return {w_re, w_im};
+}
+
+Tensor CwtAmplitudeOp(const Tensor& x_btd, const Tensor& w_re,
+                      const Tensor& w_im, float eps) {
+  TS3_CHECK_EQ(x_btd.ndim(), 3) << "CwtAmplitudeOp expects [B, T, D]";
+  TS3_CHECK_EQ(w_re.ndim(), 3);
+  TS3_CHECK_EQ(w_re.dim(1), x_btd.dim(1))
+      << "CWT matrices built for a different sequence length";
+  // [B, 1, T, D] so the [lambda, T, T] matrices broadcast over the batch.
+  Tensor x4 = Unsqueeze(x_btd, 1);
+  Tensor re = MatMul(w_re, x4);  // [B, lambda, T, D]
+  Tensor im = MatMul(w_im, x4);
+  return Sqrt(Square(re) + Square(im) + eps);
+}
+
+Tensor IwtOp(const Tensor& y_bltd, const WaveletBank& bank) {
+  TS3_CHECK_EQ(y_bltd.ndim(), 4) << "IwtOp expects [B, lambda, T, D]";
+  const int64_t lambda = y_bltd.dim(1);
+  TS3_CHECK_EQ(lambda, bank.num_subbands());
+  std::vector<float> w(static_cast<size_t>(lambda));
+  const double gain = bank.reconstruction_gain();
+  for (int64_t i = 0; i < lambda; ++i) {
+    w[i] = static_cast<float>(gain *
+                              bank.reconstruction_weight(static_cast<int>(i)));
+  }
+  Tensor weights = Tensor::FromData(std::move(w), {lambda, 1, 1});
+  return Sum(Mul(y_bltd, weights), {1});  // [B, T, D]
+}
+
+}  // namespace ts3net

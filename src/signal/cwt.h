@@ -1,0 +1,56 @@
+#ifndef TS3NET_SIGNAL_CWT_H_
+#define TS3NET_SIGNAL_CWT_H_
+
+#include <utility>
+
+#include "signal/wavelet.h"
+#include "tensor/tensor.h"
+
+namespace ts3net {
+
+/// Continuous wavelet analysis built on a WaveletBank.
+///
+/// Two API levels:
+///  - Plain (non-differentiable) transforms on [T, C] tensors for the data
+///    analysis / visualization path.
+///  - Precomputed correlation matrices that let model code express the CWT as
+///    batched MatMul so gradients flow through the standard autograd ops.
+
+/// Amplitude temporal-frequency distribution of a [T, C] series:
+/// out[i, t, c] = |<x(., c), psi_i centered at t>| (paper Eq. 7–8).
+Tensor CwtAmplitude(const Tensor& x_tc, const WaveletBank& bank);
+
+/// Complex response split into real and imaginary parts, each [lambda, T, C].
+void CwtComplex(const Tensor& x_tc, const WaveletBank& bank, Tensor* re,
+                Tensor* im);
+
+/// Collapses a real [lambda, T, C] TF plane (e.g. an amplitude or
+/// spectrum-gradient plane, paper Eq. 9) to [T, C] via the bank's magnitude
+/// reconstruction weights: x(t) = sum_i |w_i| y[i, t].
+Tensor Iwt(const Tensor& y_ltc, const WaveletBank& bank);
+
+/// Faithful inverse of CwtComplex on in-band content:
+/// x(t) ~= sum_i [Re(w_i) re[i, t] + Im(w_i) im[i, t]] with the calibrated
+/// complex weights (least-squares exact on tones at analyzed frequencies).
+Tensor IwtComplex(const Tensor& re_ltc, const Tensor& im_ltc,
+                  const WaveletBank& bank);
+
+/// Builds dense correlation matrices W_re, W_im of shape [lambda, T, T] with
+/// W[i, t, tau] = filter_i[tau - t + centre] so that the batched products
+/// MatMul(W_re, x) / MatMul(W_im, x) compute the CWT of a [B, T, D] input as
+/// differentiable ops. Returned tensors are constants (no grad).
+std::pair<Tensor, Tensor> BuildCwtMatrices(const WaveletBank& bank,
+                                           int64_t seq_len);
+
+/// Differentiable amplitude CWT of x [B, T, D] using precomputed matrices:
+/// returns [B, lambda, T, D]. `eps` keeps sqrt differentiable at zero.
+Tensor CwtAmplitudeOp(const Tensor& x_btd, const Tensor& w_re,
+                      const Tensor& w_im, float eps = 1e-8f);
+
+/// Differentiable inverse: y [B, lambda, T, D] -> [B, T, D] via the bank's
+/// calibrated weighted sum over the lambda axis.
+Tensor IwtOp(const Tensor& y_bltd, const WaveletBank& bank);
+
+}  // namespace ts3net
+
+#endif  // TS3NET_SIGNAL_CWT_H_

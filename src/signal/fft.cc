@@ -1,0 +1,130 @@
+#include "signal/fft.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ts3net {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Iterative radix-2 Cooley–Tukey; `invert` selects the inverse transform
+/// (without normalization — handled by the caller).
+void FftRadix2(std::vector<Complex>* a, bool invert) {
+  const size_t n = a->size();
+  if (n <= 1) return;
+  TS3_CHECK(IsPowerOfTwo(n));
+
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap((*a)[i], (*a)[j]);
+  }
+
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double angle = 2.0 * kPi / static_cast<double>(len) * (invert ? 1 : -1);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (size_t k = 0; k < len / 2; ++k) {
+        Complex u = (*a)[i + k];
+        Complex v = (*a)[i + k + len / 2] * w;
+        (*a)[i + k] = u + v;
+        (*a)[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Bluestein's chirp-z transform: expresses an arbitrary-length DFT as a
+/// convolution, evaluated with zero-padded radix-2 FFTs.
+void FftBluestein(std::vector<Complex>* data, bool invert) {
+  const size_t n = data->size();
+  const double sign = invert ? 1.0 : -1.0;
+
+  // Chirp: w_k = exp(sign * i * pi * k^2 / n)
+  std::vector<Complex> chirp(n);
+  for (size_t k = 0; k < n; ++k) {
+    // k^2 mod 2n avoids precision loss for large k.
+    const double e = static_cast<double>((static_cast<unsigned long long>(k) * k) %
+                                         (2 * n));
+    const double angle = sign * kPi * e / static_cast<double>(n);
+    chirp[k] = Complex(std::cos(angle), std::sin(angle));
+  }
+
+  const size_t m = NextPowerOfTwo(2 * n - 1);
+  std::vector<Complex> a(m, Complex(0, 0));
+  std::vector<Complex> b(m, Complex(0, 0));
+  for (size_t k = 0; k < n; ++k) a[k] = (*data)[k] * chirp[k];
+  b[0] = std::conj(chirp[0]);
+  for (size_t k = 1; k < n; ++k) {
+    b[k] = std::conj(chirp[k]);
+    b[m - k] = std::conj(chirp[k]);
+  }
+
+  FftRadix2(&a, false);
+  FftRadix2(&b, false);
+  for (size_t k = 0; k < m; ++k) a[k] *= b[k];
+  FftRadix2(&a, true);
+  const double inv_m = 1.0 / static_cast<double>(m);
+  for (size_t k = 0; k < n; ++k) {
+    (*data)[k] = a[k] * inv_m * chirp[k];
+  }
+}
+
+}  // namespace
+
+bool IsPowerOfTwo(size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+void Fft(std::vector<Complex>* data) {
+  TS3_CHECK(data != nullptr);
+  if (data->size() <= 1) return;
+  if (IsPowerOfTwo(data->size())) {
+    FftRadix2(data, /*invert=*/false);
+  } else {
+    FftBluestein(data, /*invert=*/false);
+  }
+}
+
+void Ifft(std::vector<Complex>* data) {
+  TS3_CHECK(data != nullptr);
+  const size_t n = data->size();
+  if (n <= 1) return;
+  if (IsPowerOfTwo(n)) {
+    FftRadix2(data, /*invert=*/true);
+  } else {
+    FftBluestein(data, /*invert=*/true);
+  }
+  const double inv = 1.0 / static_cast<double>(n);
+  for (Complex& c : *data) c *= inv;
+}
+
+std::vector<Complex> FftReal(const std::vector<double>& data) {
+  std::vector<Complex> out(data.size());
+  for (size_t i = 0; i < data.size(); ++i) out[i] = Complex(data[i], 0.0);
+  Fft(&out);
+  return out;
+}
+
+std::vector<double> AmplitudeSpectrum(const std::vector<double>& data) {
+  std::vector<Complex> spec = FftReal(data);
+  const size_t half = data.size() / 2;
+  std::vector<double> amp(half + 1);
+  for (size_t i = 0; i <= half && i < spec.size(); ++i) {
+    amp[i] = std::abs(spec[i]);
+  }
+  return amp;
+}
+
+}  // namespace ts3net

@@ -1,0 +1,31 @@
+#ifndef TS3NET_SIGNAL_FFT_H_
+#define TS3NET_SIGNAL_FFT_H_
+
+#include <complex>
+#include <vector>
+
+namespace ts3net {
+
+using Complex = std::complex<double>;
+
+/// In-place forward DFT of arbitrary length. Power-of-two sizes use an
+/// iterative radix-2 Cooley–Tukey; other sizes use Bluestein's chirp-z
+/// algorithm (which internally uses the radix-2 path).
+void Fft(std::vector<Complex>* data);
+
+/// In-place inverse DFT (includes the 1/N normalization).
+void Ifft(std::vector<Complex>* data);
+
+/// DFT of a real sequence; returns the full complex spectrum of length N.
+std::vector<Complex> FftReal(const std::vector<double>& data);
+
+/// Amplitude spectrum |X_k| for k in [0, N/2] of a real sequence
+/// (one-sided; length floor(N/2)+1).
+std::vector<double> AmplitudeSpectrum(const std::vector<double>& data);
+
+/// True if n is a power of two (n >= 1).
+bool IsPowerOfTwo(size_t n);
+
+}  // namespace ts3net
+
+#endif  // TS3NET_SIGNAL_FFT_H_

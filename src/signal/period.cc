@@ -1,0 +1,58 @@
+#include "signal/period.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "signal/fft.h"
+
+namespace ts3net {
+
+std::vector<DetectedPeriod> DetectTopKPeriods(const Tensor& x_tc, int k) {
+  TS3_CHECK(x_tc.defined());
+  TS3_CHECK_EQ(x_tc.ndim(), 2) << "DetectTopKPeriods expects [T, C]";
+  TS3_CHECK_GE(k, 1);
+  const int64_t t_len = x_tc.dim(0);
+  const int64_t ch = x_tc.dim(1);
+  TS3_CHECK_GE(t_len, 2);
+
+  // Mean amplitude spectrum across channels.
+  const int64_t half = t_len / 2;
+  std::vector<double> mean_amp(static_cast<size_t>(half + 1), 0.0);
+  std::vector<double> buf(static_cast<size_t>(t_len));
+  const float* px = x_tc.data();
+  for (int64_t d = 0; d < ch; ++d) {
+    for (int64_t t = 0; t < t_len; ++t) buf[t] = px[t * ch + d];
+    std::vector<double> amp = AmplitudeSpectrum(buf);
+    for (size_t i = 0; i < amp.size(); ++i) mean_amp[i] += amp[i];
+  }
+  for (double& v : mean_amp) v /= static_cast<double>(ch);
+
+  // Rank non-DC bins by amplitude (paper restricts f to [1, ceil(T/2)]).
+  std::vector<int64_t> bins;
+  for (int64_t f = 1; f <= half; ++f) bins.push_back(f);
+  std::sort(bins.begin(), bins.end(), [&](int64_t a, int64_t b) {
+    return mean_amp[a] > mean_amp[b];
+  });
+
+  std::vector<DetectedPeriod> out;
+  for (int64_t f : bins) {
+    if (static_cast<int>(out.size()) >= k) break;
+    DetectedPeriod p;
+    p.frequency = f;
+    p.period = (t_len + f - 1) / f;  // ceil(T / f)
+    p.amplitude = mean_amp[f];
+    out.push_back(p);
+  }
+  return out;
+}
+
+int64_t DominantPeriod(const Tensor& x_tc) {
+  std::vector<DetectedPeriod> periods = DetectTopKPeriods(x_tc, 1);
+  if (periods.empty() || periods[0].amplitude <= 1e-12) {
+    return x_tc.dim(0);
+  }
+  return periods[0].period;
+}
+
+}  // namespace ts3net

@@ -1,0 +1,29 @@
+#ifndef TS3NET_SIGNAL_PERIOD_H_
+#define TS3NET_SIGNAL_PERIOD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ts3net {
+
+/// A dominant periodicity detected in the frequency domain.
+struct DetectedPeriod {
+  int64_t frequency = 0;  // FFT bin index (cycles per window)
+  int64_t period = 0;     // ceil(T / frequency), in samples
+  double amplitude = 0.0; // mean amplitude across channels
+};
+
+/// Implements the paper's Eq. (2): the top-k frequencies (by mean amplitude
+/// across channels, DC excluded) of a [T, C] series, and the derived period
+/// lengths p_i = ceil(T / f_i). Results are sorted by descending amplitude.
+std::vector<DetectedPeriod> DetectTopKPeriods(const Tensor& x_tc, int k);
+
+/// Convenience: the single dominant period of a [T, C] series. Falls back to
+/// T when the spectrum is flat (e.g., constant input).
+int64_t DominantPeriod(const Tensor& x_tc);
+
+}  // namespace ts3net
+
+#endif  // TS3NET_SIGNAL_PERIOD_H_

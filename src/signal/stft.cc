@@ -1,0 +1,50 @@
+#include "signal/stft.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ts3net {
+
+std::pair<Tensor, Tensor> BuildStftMatrices(int64_t seq_len, int num_bins,
+                                            int64_t window) {
+  TS3_CHECK_GE(seq_len, 2);
+  TS3_CHECK_GE(num_bins, 1);
+  TS3_CHECK_GE(window, 4);
+  TS3_CHECK_LE(num_bins, window / 2) << "bins limited by the window Nyquist";
+  const double two_pi = 6.283185307179586;
+  const int64_t c = (window - 1) / 2;
+
+  Tensor w_re = Tensor::Zeros({num_bins, seq_len, seq_len});
+  Tensor w_im = Tensor::Zeros({num_bins, seq_len, seq_len});
+  float* pre = w_re.data();
+  float* pim = w_im.data();
+  for (int k = 1; k <= num_bins; ++k) {
+    for (int64_t t = 0; t < seq_len; ++t) {
+      // L2 normalization of the effective (possibly edge-clipped) atom so
+      // every bin/time cell responds comparably.
+      double energy = 0.0;
+      for (int64_t n = 0; n < window; ++n) {
+        const int64_t tau = t + n - c;
+        if (tau < 0 || tau >= seq_len) continue;
+        const double hann =
+            0.5 - 0.5 * std::cos(two_pi * n / static_cast<double>(window - 1));
+        energy += hann * hann;
+      }
+      const double inv = energy > 1e-12 ? 1.0 / std::sqrt(energy) : 0.0;
+      for (int64_t n = 0; n < window; ++n) {
+        const int64_t tau = t + n - c;
+        if (tau < 0 || tau >= seq_len) continue;
+        const double hann =
+            0.5 - 0.5 * std::cos(two_pi * n / static_cast<double>(window - 1));
+        const double angle = two_pi * k * n / static_cast<double>(window);
+        const int64_t idx = ((k - 1) * seq_len + t) * seq_len + tau;
+        pre[idx] = static_cast<float>(inv * hann * std::cos(angle));
+        pim[idx] = static_cast<float>(-inv * hann * std::sin(angle));
+      }
+    }
+  }
+  return {w_re, w_im};
+}
+
+}  // namespace ts3net

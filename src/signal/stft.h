@@ -1,0 +1,21 @@
+#ifndef TS3NET_SIGNAL_STFT_H_
+#define TS3NET_SIGNAL_STFT_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "tensor/tensor.h"
+
+namespace ts3net {
+
+/// Builds dense short-time-Fourier correlation matrices [bins, T, T] (hop 1,
+/// Hann window) compatible with CwtAmplitudeOp, so an STFT-based
+/// temporal-frequency expansion can be swapped in for the wavelet one — the
+/// "does the spectrum-expansion choice matter?" design ablation. Bin k
+/// (1-based; DC is skipped) analyzes frequency k / window cycles per sample.
+std::pair<Tensor, Tensor> BuildStftMatrices(int64_t seq_len, int num_bins,
+                                            int64_t window);
+
+}  // namespace ts3net
+
+#endif  // TS3NET_SIGNAL_STFT_H_

@@ -1,0 +1,31 @@
+#include "signal/trend.h"
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace ts3net {
+
+TrendDecomposition DecomposeTrend(const Tensor& x,
+                                  const std::vector<int64_t>& kernels) {
+  TS3_CHECK(x.defined());
+  TS3_CHECK(!kernels.empty());
+  TS3_CHECK(x.ndim() == 2 || x.ndim() == 3)
+      << "DecomposeTrend expects [T, C] or [B, T, C]";
+
+  const bool batched = x.ndim() == 3;
+  Tensor x3 = batched ? x : Unsqueeze(x, 0);
+
+  Tensor trend;
+  for (int64_t k : kernels) {
+    Tensor avg = MovingAvg1d(x3, k);
+    trend = trend.defined() ? Add(trend, avg) : avg;
+  }
+  trend = MulScalar(trend, 1.0f / static_cast<float>(kernels.size()));
+
+  TrendDecomposition out;
+  out.trend = batched ? trend : Squeeze(trend, 0);
+  out.seasonal = Sub(x, out.trend);
+  return out;
+}
+
+}  // namespace ts3net

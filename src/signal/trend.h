@@ -1,0 +1,26 @@
+#ifndef TS3NET_SIGNAL_TREND_H_
+#define TS3NET_SIGNAL_TREND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ts3net {
+
+/// Result of the conventional trend decomposition (paper Eq. 1).
+struct TrendDecomposition {
+  Tensor trend;     // same shape as input
+  Tensor seasonal;  // input - trend
+};
+
+/// Decomposes a [T, C] (or [B, T, C]) series into trend and seasonal parts
+/// using the mean of several replicate-padded moving averages, one per kernel
+/// in `kernels` (the multi-scale average-pooling of Eq. 1, as in
+/// Autoformer/MICN/FEDformer). Differentiable when the input requires grad.
+TrendDecomposition DecomposeTrend(const Tensor& x,
+                                  const std::vector<int64_t>& kernels = {25});
+
+}  // namespace ts3net
+
+#endif  // TS3NET_SIGNAL_TREND_H_

@@ -1,0 +1,85 @@
+#ifndef TS3NET_SIGNAL_WAVELET_H_
+#define TS3NET_SIGNAL_WAVELET_H_
+
+#include <complex>
+#include <vector>
+
+namespace ts3net {
+
+/// Options for building a complex Gaussian wavelet filter bank (paper
+/// Eqs. 3–6). `num_subbands` is the paper's lambda; sub-band i in [1, lambda]
+/// uses scale s_i = 2*lambda / i, so the analyzed frequency grid
+/// F_i = F_c / s_i is linear in i and covers (0, F_c / 2].
+struct WaveletBankOptions {
+  /// Number of spectral sub-bands (paper hyper-parameter lambda).
+  int num_subbands = 16;
+  /// Derivative order p of the complex Gaussian family cgau-p. Order 0 is
+  /// the plain modulated Gaussian psi(t) = C_p e^{-it} e^{-t^2} of Eq. (3);
+  /// orders 1..3 are its derivatives (the classic cgau1..cgau3 wavelets).
+  /// The TF-Block's m branches use distinct orders.
+  int order = 1;
+  /// Half support of the mother wavelet in natural units; the Gaussian
+  /// envelope is ~1e-7 at |t| = 4.
+  double support = 4.0;
+  /// Hard cap on sampled filter length (taps) to bound cost at large scales.
+  int max_filter_length = 1025;
+};
+
+/// Precomputed bank of sampled complex Gaussian wavelet filters, one per
+/// sub-band. Filters are L2-normalized so a white-noise input produces a
+/// flat expected response across sub-bands. The bank also carries the
+/// reconstruction weights and calibration constant used by the inverse
+/// transform (see cwt.h).
+class WaveletBank {
+ public:
+  /// Builds the bank; computes the centre frequency F_c of the mother wavelet
+  /// numerically (FFT peak) and calibrates the reconstruction constant on
+  /// in-band sinusoids.
+  static WaveletBank Create(const WaveletBankOptions& options);
+
+  int num_subbands() const { return static_cast<int>(filters_.size()); }
+  int order() const { return options_.order; }
+
+  /// Sampled filter of sub-band `i` in [0, num_subbands).
+  const std::vector<std::complex<double>>& filter(int i) const;
+  /// Scale factor s_{i+1} = 2*lambda/(i+1) of sub-band `i`.
+  double scale(int i) const;
+  /// Analyzed frequency (cycles/sample) of sub-band `i`.
+  double frequency(int i) const;
+  /// Centre frequency F_c of the mother wavelet (cycles/sample at scale 1).
+  double centre_frequency() const { return centre_frequency_; }
+  /// Magnitude reconstruction weight |w_i| for collapsing a real
+  /// (amplitude-domain) TF plane back to 1-D (paper Eq. 9's IWT on
+  /// spectrum-gradient planes).
+  double reconstruction_weight(int i) const;
+  /// Real/imaginary parts of the calibrated complex reconstruction weight:
+  /// x(t) ~= sum_i [re_i * Re(W_i(t)) + im_i * Im(W_i(t))], exact (in the
+  /// least-squares sense) on tones at every analyzed frequency.
+  double reconstruction_weight_re(int i) const;
+  double reconstruction_weight_im(int i) const;
+  /// Calibrated global reconstruction constant (kept for API symmetry; the
+  /// per-band weights already absorb the admissibility constant).
+  double reconstruction_gain() const { return reconstruction_gain_; }
+
+  const WaveletBankOptions& options() const { return options_; }
+
+ private:
+  WaveletBankOptions options_;
+  std::vector<std::vector<std::complex<double>>> filters_;
+  std::vector<double> scales_;
+  std::vector<double> recon_weights_;
+  std::vector<double> recon_weights_re_;
+  std::vector<double> recon_weights_im_;
+  double centre_frequency_ = 0.0;
+  double reconstruction_gain_ = 1.0;
+};
+
+/// Samples the order-p complex Gaussian wavelet at `num_points` uniformly
+/// spaced points of [-support, support], L2-normalized. Exposed for tests.
+std::vector<std::complex<double>> SampleComplexGaussian(int order,
+                                                        double support,
+                                                        int num_points);
+
+}  // namespace ts3net
+
+#endif  // TS3NET_SIGNAL_WAVELET_H_

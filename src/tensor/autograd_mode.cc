@@ -1,0 +1,17 @@
+#include "tensor/autograd_mode.h"
+
+namespace ts3net {
+
+namespace {
+thread_local bool g_grad_enabled = true;
+}  // namespace
+
+bool GradModeEnabled() { return g_grad_enabled; }
+
+NoGradGuard::NoGradGuard() : previous_(g_grad_enabled) {
+  g_grad_enabled = false;
+}
+
+NoGradGuard::~NoGradGuard() { g_grad_enabled = previous_; }
+
+}  // namespace ts3net

@@ -1,0 +1,26 @@
+#ifndef TS3NET_TENSOR_AUTOGRAD_MODE_H_
+#define TS3NET_TENSOR_AUTOGRAD_MODE_H_
+
+namespace ts3net {
+
+/// True when operations record the autograd tape (the default).
+bool GradModeEnabled();
+
+/// RAII scope that disables tape recording — evaluation loops wrap forward
+/// passes in it to skip gradient bookkeeping (and the memory that comes with
+/// keeping every intermediate alive). Nestable; restores the previous state.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace ts3net
+
+#endif  // TS3NET_TENSOR_AUTOGRAD_MODE_H_

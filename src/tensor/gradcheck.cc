@@ -1,0 +1,55 @@
+#include "tensor/gradcheck.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace ts3net {
+
+GradCheckResult CheckGradients(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    std::vector<Tensor> inputs, float eps, float tol) {
+  GradCheckResult result;
+
+  // Analytic pass.
+  for (Tensor& t : inputs) {
+    t.set_requires_grad(true);
+    t.ZeroGrad();
+  }
+  Tensor out = fn(inputs);
+  if (out.numel() != 1) {
+    result.message = "gradcheck function must return a scalar";
+    return result;
+  }
+  out.Backward();
+
+  // Numeric pass (central differences), input by input, element by element.
+  result.ok = true;
+  for (size_t ti = 0; ti < inputs.size(); ++ti) {
+    Tensor& t = inputs[ti];
+    Tensor analytic = t.grad();
+    for (int64_t i = 0; i < t.numel(); ++i) {
+      const float orig = t.data()[i];
+      t.data()[i] = orig + eps;
+      const float f_plus = fn(inputs).item();
+      t.data()[i] = orig - eps;
+      const float f_minus = fn(inputs).item();
+      t.data()[i] = orig;
+      const float numeric = (f_plus - f_minus) / (2.0f * eps);
+      const float got = analytic.defined() ? analytic.at(i) : 0.0f;
+      const float err = std::fabs(numeric - got);
+      if (err > result.max_abs_error) result.max_abs_error = err;
+      if (err > tol) {
+        result.ok = false;
+        if (result.message.empty()) {
+          result.message =
+              StrFormat("input %zu elem %lld: analytic %.6f vs numeric %.6f",
+                        ti, static_cast<long long>(i), got, numeric);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ts3net

@@ -1,0 +1,28 @@
+#ifndef TS3NET_TENSOR_GRADCHECK_H_
+#define TS3NET_TENSOR_GRADCHECK_H_
+
+#include <functional>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace ts3net {
+
+/// Result of a numerical-vs-analytic gradient comparison.
+struct GradCheckResult {
+  bool ok = false;
+  float max_abs_error = 0.0f;
+  std::string message;
+};
+
+/// Verifies the analytic gradient of `fn` (a scalar-valued function of the
+/// inputs) against central finite differences. Inputs must already have
+/// requires_grad set. `eps` is the finite-difference step, `tol` the
+/// acceptable absolute error on each partial derivative.
+GradCheckResult CheckGradients(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    std::vector<Tensor> inputs, float eps = 1e-2f, float tol = 2e-2f);
+
+}  // namespace ts3net
+
+#endif  // TS3NET_TENSOR_GRADCHECK_H_

@@ -1,0 +1,142 @@
+#ifndef TS3NET_TENSOR_OPS_H_
+#define TS3NET_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ts3net {
+
+// ---------------------------------------------------------------------------
+// Elementwise binary operations (numpy-style broadcasting, differentiable).
+// ---------------------------------------------------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+/// max(a, b) elementwise; gradient flows to the larger operand (ties to a).
+Tensor Maximum(const Tensor& a, const Tensor& b);
+Tensor Minimum(const Tensor& a, const Tensor& b);
+
+inline Tensor operator+(const Tensor& a, const Tensor& b) { return Add(a, b); }
+inline Tensor operator-(const Tensor& a, const Tensor& b) { return Sub(a, b); }
+inline Tensor operator*(const Tensor& a, const Tensor& b) { return Mul(a, b); }
+inline Tensor operator/(const Tensor& a, const Tensor& b) { return Div(a, b); }
+
+Tensor AddScalar(const Tensor& a, float s);
+Tensor MulScalar(const Tensor& a, float s);
+inline Tensor operator+(const Tensor& a, float s) { return AddScalar(a, s); }
+inline Tensor operator+(float s, const Tensor& a) { return AddScalar(a, s); }
+inline Tensor operator-(const Tensor& a, float s) { return AddScalar(a, -s); }
+inline Tensor operator*(const Tensor& a, float s) { return MulScalar(a, s); }
+inline Tensor operator*(float s, const Tensor& a) { return MulScalar(a, s); }
+inline Tensor operator/(const Tensor& a, float s) { return MulScalar(a, 1.0f / s); }
+
+// ---------------------------------------------------------------------------
+// Elementwise unary operations (differentiable).
+// ---------------------------------------------------------------------------
+
+Tensor Neg(const Tensor& a);
+inline Tensor operator-(const Tensor& a) { return Neg(a); }
+Tensor Exp(const Tensor& a);
+/// Natural log; inputs must be positive.
+Tensor Log(const Tensor& a);
+Tensor Sqrt(const Tensor& a);
+Tensor Abs(const Tensor& a);
+Tensor Square(const Tensor& a);
+/// a^p for real p (a must be positive unless p is a non-negative integer).
+Tensor Pow(const Tensor& a, float p);
+Tensor Relu(const Tensor& a);
+/// tanh-approximation GELU, matching the common PyTorch formulation.
+Tensor Gelu(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Sin(const Tensor& a);
+Tensor Cos(const Tensor& a);
+
+// ---------------------------------------------------------------------------
+// Shape operations (differentiable).
+// ---------------------------------------------------------------------------
+
+/// Reshape; one dimension may be -1 (inferred). Data order unchanged.
+Tensor Reshape(const Tensor& a, const Shape& shape);
+/// Generalized transpose: `dims` is a permutation of axis indices.
+Tensor Permute(const Tensor& a, const std::vector<int>& dims);
+/// Swaps two axes.
+Tensor Transpose(const Tensor& a, int dim0, int dim1);
+/// Contiguous sub-range `[start, start+length)` along `dim`.
+Tensor Slice(const Tensor& a, int dim, int64_t start, int64_t length);
+/// Concatenates along `dim`; all other dims must match.
+Tensor Concat(const std::vector<Tensor>& tensors, int dim);
+/// Stacks along a new leading `dim`.
+Tensor StackTensors(const std::vector<Tensor>& tensors, int dim);
+/// Pads `dim` with `before`/`after` copies of `value`.
+Tensor Pad(const Tensor& a, int dim, int64_t before, int64_t after,
+           float value = 0.0f);
+/// Replicate-pads `dim` with edge values (used by moving-average decomp).
+Tensor ReplicatePad(const Tensor& a, int dim, int64_t before, int64_t after);
+/// Repeats the tensor `times` along `dim` (tiling).
+Tensor Repeat(const Tensor& a, int dim, int64_t times);
+/// Inserts a size-1 axis at `dim`.
+Tensor Unsqueeze(const Tensor& a, int dim);
+/// Removes a size-1 axis at `dim`.
+Tensor Squeeze(const Tensor& a, int dim);
+
+// ---------------------------------------------------------------------------
+// Reductions (differentiable).
+// ---------------------------------------------------------------------------
+
+/// Sum over `dims` (empty = all dims -> scalar).
+Tensor Sum(const Tensor& a, const std::vector<int>& dims = {},
+           bool keepdim = false);
+Tensor Mean(const Tensor& a, const std::vector<int>& dims = {},
+            bool keepdim = false);
+/// Max over one axis. Gradient routes to the (first) argmax element.
+Tensor Max(const Tensor& a, int dim, bool keepdim = false);
+/// Numerically stable softmax along `dim`.
+Tensor Softmax(const Tensor& a, int dim);
+/// Population variance over `dims` (biased, matching LayerNorm convention).
+Tensor Variance(const Tensor& a, const std::vector<int>& dims,
+                bool keepdim = false);
+
+// ---------------------------------------------------------------------------
+// Linear algebra (differentiable).
+// ---------------------------------------------------------------------------
+
+/// Matrix product. Supports [m,k]@[k,n] and batched forms where the leading
+/// (batch) dimensions of either operand broadcast against the other
+/// ([b,m,k]@[k,n], [b,m,k]@[b,k,n], [b1,b2,m,k]@[b1,b2,k,n], ...).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+// ---------------------------------------------------------------------------
+// Neural-network kernels (differentiable).
+// ---------------------------------------------------------------------------
+
+/// 2-D convolution, NCHW layout. weight is [out_c, in_c, kh, kw]; bias is
+/// [out_c] or undefined. Zero padding `pad_h`/`pad_w` on both sides; stride 1.
+Tensor Conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
+              int64_t pad_h, int64_t pad_w);
+
+/// Moving average along the time axis of a [B, T, C] tensor with replicate
+/// padding so the output length equals T (the trend extractor of Eq. (1)).
+Tensor MovingAvg1d(const Tensor& x, int64_t kernel);
+
+/// Inverted dropout. Identity when `training` is false or p == 0.
+Tensor Dropout(const Tensor& x, float p, bool training, Rng* rng);
+
+// ---------------------------------------------------------------------------
+// Broadcast helpers (shared by op kernels; exposed for tests).
+// ---------------------------------------------------------------------------
+
+/// Numpy-style broadcast of two shapes; aborts if incompatible.
+Shape BroadcastShapes(const Shape& a, const Shape& b);
+/// Row-major strides for a shape.
+std::vector<int64_t> RowMajorStrides(const Shape& shape);
+/// Sums `t` down to `target` shape (inverse of broadcasting). `target` must be
+/// broadcast-compatible with t's shape.
+Tensor ReduceToShape(const Tensor& t, const Shape& target);
+
+}  // namespace ts3net
+
+#endif  // TS3NET_TENSOR_OPS_H_

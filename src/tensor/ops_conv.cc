@@ -1,0 +1,214 @@
+#include <cstring>
+
+#include "tensor/ops.h"
+
+namespace ts3net {
+
+namespace {
+
+/// Valid (no padding) average pool with window `k`, stride 1, along the time
+/// axis of [B, T, C]. Output is [B, T-k+1, C].
+Tensor AvgPool1dValid(const Tensor& x, int64_t k) {
+  TS3_CHECK_EQ(x.ndim(), 3);
+  const int64_t b = x.dim(0), t = x.dim(1), c = x.dim(2);
+  TS3_CHECK_GE(t, k);
+  const int64_t to = t - k + 1;
+  std::vector<float> out(static_cast<size_t>(b * to * c), 0.0f);
+  const float* px = x.data();
+  const float inv = 1.0f / static_cast<float>(k);
+  for (int64_t bi = 0; bi < b; ++bi) {
+    for (int64_t ti = 0; ti < to; ++ti) {
+      float* dst = out.data() + (bi * to + ti) * c;
+      for (int64_t j = 0; j < k; ++j) {
+        const float* src = px + (bi * t + ti + j) * c;
+        for (int64_t ci = 0; ci < c; ++ci) dst[ci] += src[ci];
+      }
+      for (int64_t ci = 0; ci < c; ++ci) dst[ci] *= inv;
+    }
+  }
+  Tensor tx = x;
+  return MakeOpResult(
+      std::move(out), Shape{b, to, c}, "AvgPool1dValid", {x},
+      [tx, b, t, c, to, k, inv](const Tensor& grad_out) mutable {
+        if (!tx.requires_grad()) return;
+        std::vector<float> g(static_cast<size_t>(tx.numel()), 0.0f);
+        const float* go = grad_out.data();
+        for (int64_t bi = 0; bi < b; ++bi) {
+          for (int64_t ti = 0; ti < to; ++ti) {
+            const float* src = go + (bi * to + ti) * c;
+            for (int64_t j = 0; j < k; ++j) {
+              float* dst = g.data() + (bi * t + ti + j) * c;
+              for (int64_t ci = 0; ci < c; ++ci) dst[ci] += src[ci] * inv;
+            }
+          }
+        }
+        tx.AccumulateGrad(Tensor::FromData(std::move(g), tx.shape()));
+      });
+}
+
+}  // namespace
+
+Tensor MovingAvg1d(const Tensor& x, int64_t kernel) {
+  TS3_CHECK(x.defined());
+  TS3_CHECK_EQ(x.ndim(), 3) << "MovingAvg1d expects [B, T, C]";
+  TS3_CHECK_GE(kernel, 1);
+  if (kernel == 1) return x;
+  const int64_t front = (kernel - 1) / 2;
+  const int64_t back = kernel - 1 - front;
+  Tensor padded = ReplicatePad(x, /*dim=*/1, front, back);
+  return AvgPool1dValid(padded, kernel);
+}
+
+Tensor Conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
+              int64_t pad_h, int64_t pad_w) {
+  TS3_CHECK(x.defined() && weight.defined());
+  TS3_CHECK_EQ(x.ndim(), 4) << "Conv2d expects NCHW input";
+  TS3_CHECK_EQ(weight.ndim(), 4) << "Conv2d weight is [O, I, kh, kw]";
+  const int64_t nb = x.dim(0), ci = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int64_t co = weight.dim(0), kh = weight.dim(2), kw = weight.dim(3);
+  TS3_CHECK_EQ(weight.dim(1), ci) << "Conv2d channel mismatch";
+  if (bias.defined()) {
+    TS3_CHECK_EQ(bias.ndim(), 1);
+    TS3_CHECK_EQ(bias.dim(0), co);
+  }
+  const int64_t hp = h + 2 * pad_h;
+  const int64_t wp = w + 2 * pad_w;
+  const int64_t ho = hp - kh + 1;
+  const int64_t wo = wp - kw + 1;
+  TS3_CHECK(ho > 0 && wo > 0) << "Conv2d kernel larger than padded input";
+
+  // Materialize the zero-padded input once; all loops below are "valid".
+  auto xpad = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(nb * ci * hp * wp), 0.0f);
+  {
+    const float* px = x.data();
+    for (int64_t b = 0; b < nb; ++b) {
+      for (int64_t c = 0; c < ci; ++c) {
+        for (int64_t y = 0; y < h; ++y) {
+          std::memcpy(
+              xpad->data() + ((b * ci + c) * hp + y + pad_h) * wp + pad_w,
+              px + ((b * ci + c) * h + y) * w,
+              sizeof(float) * static_cast<size_t>(w));
+        }
+      }
+    }
+  }
+
+  std::vector<float> out(static_cast<size_t>(nb * co * ho * wo), 0.0f);
+  {
+    const float* pw = weight.data();
+    const float* pbias = bias.defined() ? bias.data() : nullptr;
+#ifdef _OPENMP
+#pragma omp parallel for collapse(2) if (nb * co > 1)
+#endif
+    for (int64_t b = 0; b < nb; ++b) {
+      for (int64_t o = 0; o < co; ++o) {
+        float* out_plane = out.data() + (b * co + o) * ho * wo;
+        if (pbias != nullptr) {
+          for (int64_t i = 0; i < ho * wo; ++i) out_plane[i] = pbias[o];
+        }
+        for (int64_t c = 0; c < ci; ++c) {
+          const float* in_plane = xpad->data() + (b * ci + c) * hp * wp;
+          for (int64_t dy = 0; dy < kh; ++dy) {
+            for (int64_t dx = 0; dx < kw; ++dx) {
+              const float wv = pw[((o * ci + c) * kh + dy) * kw + dx];
+              if (wv == 0.0f) continue;
+              for (int64_t y = 0; y < ho; ++y) {
+                const float* src = in_plane + (y + dy) * wp + dx;
+                float* dst = out_plane + y * wo;
+                for (int64_t xx = 0; xx < wo; ++xx) dst[xx] += wv * src[xx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  Tensor tx = x, tw = weight, tb = bias;
+  std::vector<Tensor> inputs = {x, weight};
+  if (bias.defined()) inputs.push_back(bias);
+  return MakeOpResult(
+      std::move(out), Shape{nb, co, ho, wo}, "Conv2d", inputs,
+      [tx, tw, tb, xpad, nb, ci, co, h, w, hp, wp, ho, wo, kh, kw, pad_h,
+       pad_w](const Tensor& grad_out) mutable {
+        const float* go = grad_out.data();
+        const float* pw = tw.data();
+
+        if (tx.requires_grad()) {
+          std::vector<float> gpad(static_cast<size_t>(nb * ci * hp * wp), 0.0f);
+          for (int64_t b = 0; b < nb; ++b) {
+            for (int64_t o = 0; o < co; ++o) {
+              const float* go_plane = go + (b * co + o) * ho * wo;
+              for (int64_t c = 0; c < ci; ++c) {
+                float* g_plane = gpad.data() + (b * ci + c) * hp * wp;
+                for (int64_t dy = 0; dy < kh; ++dy) {
+                  for (int64_t dx = 0; dx < kw; ++dx) {
+                    const float wv = pw[((o * ci + c) * kh + dy) * kw + dx];
+                    if (wv == 0.0f) continue;
+                    for (int64_t y = 0; y < ho; ++y) {
+                      float* dst = g_plane + (y + dy) * wp + dx;
+                      const float* src = go_plane + y * wo;
+                      for (int64_t xx = 0; xx < wo; ++xx)
+                        dst[xx] += wv * src[xx];
+                    }
+                  }
+                }
+              }
+            }
+          }
+          // Strip padding.
+          std::vector<float> gx(static_cast<size_t>(nb * ci * h * w));
+          for (int64_t b = 0; b < nb; ++b) {
+            for (int64_t c = 0; c < ci; ++c) {
+              for (int64_t y = 0; y < h; ++y) {
+                std::memcpy(
+                    gx.data() + ((b * ci + c) * h + y) * w,
+                    gpad.data() + ((b * ci + c) * hp + y + pad_h) * wp + pad_w,
+                    sizeof(float) * static_cast<size_t>(w));
+              }
+            }
+          }
+          tx.AccumulateGrad(Tensor::FromData(std::move(gx), tx.shape()));
+        }
+
+        if (tw.requires_grad()) {
+          std::vector<float> gw(static_cast<size_t>(tw.numel()), 0.0f);
+          for (int64_t b = 0; b < nb; ++b) {
+            for (int64_t o = 0; o < co; ++o) {
+              const float* go_plane = go + (b * co + o) * ho * wo;
+              for (int64_t c = 0; c < ci; ++c) {
+                const float* in_plane = xpad->data() + (b * ci + c) * hp * wp;
+                for (int64_t dy = 0; dy < kh; ++dy) {
+                  for (int64_t dx = 0; dx < kw; ++dx) {
+                    float acc = 0.0f;
+                    for (int64_t y = 0; y < ho; ++y) {
+                      const float* src = in_plane + (y + dy) * wp + dx;
+                      const float* g = go_plane + y * wo;
+                      for (int64_t xx = 0; xx < wo; ++xx) acc += g[xx] * src[xx];
+                    }
+                    gw[((o * ci + c) * kh + dy) * kw + dx] += acc;
+                  }
+                }
+              }
+            }
+          }
+          tw.AccumulateGrad(Tensor::FromData(std::move(gw), tw.shape()));
+        }
+
+        if (tb.defined() && tb.requires_grad()) {
+          std::vector<float> gb(static_cast<size_t>(co), 0.0f);
+          for (int64_t b = 0; b < nb; ++b) {
+            for (int64_t o = 0; o < co; ++o) {
+              const float* go_plane = go + (b * co + o) * ho * wo;
+              float acc = 0.0f;
+              for (int64_t i = 0; i < ho * wo; ++i) acc += go_plane[i];
+              gb[o] += acc;
+            }
+          }
+          tb.AccumulateGrad(Tensor::FromData(std::move(gb), tb.shape()));
+        }
+      });
+}
+
+}  // namespace ts3net

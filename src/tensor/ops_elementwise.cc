@@ -1,0 +1,229 @@
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "tensor/ops.h"
+
+namespace ts3net {
+
+Shape BroadcastShapes(const Shape& a, const Shape& b) {
+  size_t nd = std::max(a.size(), b.size());
+  Shape out(nd);
+  for (size_t i = 0; i < nd; ++i) {
+    int64_t da = i < nd - a.size() ? 1 : a[i - (nd - a.size())];
+    int64_t db = i < nd - b.size() ? 1 : b[i - (nd - b.size())];
+    TS3_CHECK(da == db || da == 1 || db == 1)
+        << "cannot broadcast " << ShapeToString(a) << " with "
+        << ShapeToString(b);
+    out[i] = std::max(da, db);
+  }
+  return out;
+}
+
+std::vector<int64_t> RowMajorStrides(const Shape& shape) {
+  std::vector<int64_t> strides(shape.size());
+  int64_t acc = 1;
+  for (size_t i = shape.size(); i-- > 0;) {
+    strides[i] = acc;
+    acc *= shape[i];
+  }
+  return strides;
+}
+
+namespace {
+
+// Strides of `in` aligned to broadcast shape `out`: 0 where `in` broadcasts.
+std::vector<int64_t> BroadcastStrides(const Shape& in, const Shape& out) {
+  std::vector<int64_t> in_strides = RowMajorStrides(in);
+  std::vector<int64_t> strides(out.size(), 0);
+  size_t offset = out.size() - in.size();
+  for (size_t i = 0; i < in.size(); ++i) {
+    strides[offset + i] = (in[i] == 1 && out[offset + i] != 1) ? 0 : in_strides[i];
+  }
+  return strides;
+}
+
+/// Walks all coordinates of `shape` maintaining flat offsets into two
+/// broadcast inputs; amortized O(1) per step.
+class BroadcastWalker {
+ public:
+  BroadcastWalker(const Shape& shape, std::vector<int64_t> strides_a,
+                  std::vector<int64_t> strides_b)
+      : shape_(shape),
+        strides_a_(std::move(strides_a)),
+        strides_b_(std::move(strides_b)),
+        coords_(shape.size(), 0) {}
+
+  int64_t offset_a() const { return offset_a_; }
+  int64_t offset_b() const { return offset_b_; }
+
+  void Next() {
+    for (size_t i = shape_.size(); i-- > 0;) {
+      ++coords_[i];
+      offset_a_ += strides_a_[i];
+      offset_b_ += strides_b_[i];
+      if (coords_[i] < shape_[i]) return;
+      coords_[i] = 0;
+      offset_a_ -= strides_a_[i] * shape_[i];
+      offset_b_ -= strides_b_[i] * shape_[i];
+    }
+  }
+
+ private:
+  const Shape& shape_;
+  std::vector<int64_t> strides_a_;
+  std::vector<int64_t> strides_b_;
+  std::vector<int64_t> coords_;
+  int64_t offset_a_ = 0;
+  int64_t offset_b_ = 0;
+};
+
+struct BinaryKernel {
+  const char* name;
+  // value
+  float (*fwd)(float, float);
+  // partial derivatives w.r.t. a and b given the input values
+  float (*dfda)(float, float);
+  float (*dfdb)(float, float);
+};
+
+Tensor BinaryOp(const BinaryKernel& kernel, const Tensor& a, const Tensor& b) {
+  TS3_CHECK(a.defined() && b.defined());
+  const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
+  const int64_t n = NumElements(out_shape);
+  std::vector<float> out(static_cast<size_t>(n));
+  const float* pa = a.data();
+  const float* pb = b.data();
+
+  if (a.shape() == b.shape()) {
+    for (int64_t i = 0; i < n; ++i) out[i] = kernel.fwd(pa[i], pb[i]);
+  } else if (b.numel() == 1) {
+    const float sb = pb[0];
+    for (int64_t i = 0; i < n; ++i) out[i] = kernel.fwd(pa[i], sb);
+  } else if (a.numel() == 1) {
+    const float sa = pa[0];
+    for (int64_t i = 0; i < n; ++i) out[i] = kernel.fwd(sa, pb[i]);
+  } else {
+    BroadcastWalker walker(out_shape, BroadcastStrides(a.shape(), out_shape),
+                           BroadcastStrides(b.shape(), out_shape));
+    for (int64_t i = 0; i < n; ++i, walker.Next()) {
+      out[i] = kernel.fwd(pa[walker.offset_a()], pb[walker.offset_b()]);
+    }
+  }
+
+  const BinaryKernel* k = &kernel;
+  Tensor ta = a, tb = b;
+  return MakeOpResult(
+      std::move(out), out_shape, kernel.name, {a, b},
+      [k, ta, tb, out_shape](const Tensor& grad_out) mutable {
+        const int64_t n = grad_out.numel();
+        const float* go = grad_out.data();
+        const float* pa = ta.data();
+        const float* pb = tb.data();
+        if (ta.requires_grad()) {
+          std::vector<float> ga(static_cast<size_t>(n));
+          if (ta.shape() == tb.shape()) {
+            for (int64_t i = 0; i < n; ++i)
+              ga[i] = go[i] * k->dfda(pa[i], pb[i]);
+          } else {
+            BroadcastWalker w(out_shape,
+                              BroadcastStrides(ta.shape(), out_shape),
+                              BroadcastStrides(tb.shape(), out_shape));
+            for (int64_t i = 0; i < n; ++i, w.Next())
+              ga[i] = go[i] * k->dfda(pa[w.offset_a()], pb[w.offset_b()]);
+          }
+          Tensor full = Tensor::FromData(std::move(ga), out_shape);
+          ta.AccumulateGrad(ReduceToShape(full, ta.shape()));
+        }
+        if (tb.requires_grad()) {
+          std::vector<float> gb(static_cast<size_t>(n));
+          if (ta.shape() == tb.shape()) {
+            for (int64_t i = 0; i < n; ++i)
+              gb[i] = go[i] * k->dfdb(pa[i], pb[i]);
+          } else {
+            BroadcastWalker w(out_shape,
+                              BroadcastStrides(ta.shape(), out_shape),
+                              BroadcastStrides(tb.shape(), out_shape));
+            for (int64_t i = 0; i < n; ++i, w.Next())
+              gb[i] = go[i] * k->dfdb(pa[w.offset_a()], pb[w.offset_b()]);
+          }
+          Tensor full = Tensor::FromData(std::move(gb), out_shape);
+          tb.AccumulateGrad(ReduceToShape(full, tb.shape()));
+        }
+      });
+}
+
+const BinaryKernel kAdd = {
+    "Add", [](float x, float y) { return x + y; },
+    [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; }};
+const BinaryKernel kSub = {
+    "Sub", [](float x, float y) { return x - y; },
+    [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; }};
+const BinaryKernel kMul = {
+    "Mul", [](float x, float y) { return x * y; },
+    [](float, float y) { return y; }, [](float x, float) { return x; }};
+const BinaryKernel kDiv = {
+    "Div", [](float x, float y) { return x / y; },
+    [](float, float y) { return 1.0f / y; },
+    [](float x, float y) { return -x / (y * y); }};
+const BinaryKernel kMax = {
+    "Maximum", [](float x, float y) { return x >= y ? x : y; },
+    [](float x, float y) { return x >= y ? 1.0f : 0.0f; },
+    [](float x, float y) { return x >= y ? 0.0f : 1.0f; }};
+const BinaryKernel kMin = {
+    "Minimum", [](float x, float y) { return x <= y ? x : y; },
+    [](float x, float y) { return x <= y ? 1.0f : 0.0f; },
+    [](float x, float y) { return x <= y ? 0.0f : 1.0f; }};
+
+}  // namespace
+
+Tensor ReduceToShape(const Tensor& t, const Shape& target) {
+  if (t.shape() == target) return t;
+  const Shape& src = t.shape();
+  TS3_CHECK_GE(src.size(), target.size());
+  // Which source axes must be summed away?
+  std::vector<int> reduce_dims;
+  size_t offset = src.size() - target.size();
+  for (size_t i = 0; i < src.size(); ++i) {
+    if (i < offset) {
+      reduce_dims.push_back(static_cast<int>(i));
+    } else if (target[i - offset] == 1 && src[i] != 1) {
+      reduce_dims.push_back(static_cast<int>(i));
+    }
+  }
+  Tensor summed = Sum(t, reduce_dims, /*keepdim=*/true);
+  return Reshape(summed, target);
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) { return BinaryOp(kAdd, a, b); }
+Tensor Sub(const Tensor& a, const Tensor& b) { return BinaryOp(kSub, a, b); }
+Tensor Mul(const Tensor& a, const Tensor& b) { return BinaryOp(kMul, a, b); }
+Tensor Div(const Tensor& a, const Tensor& b) { return BinaryOp(kDiv, a, b); }
+Tensor Maximum(const Tensor& a, const Tensor& b) { return BinaryOp(kMax, a, b); }
+Tensor Minimum(const Tensor& a, const Tensor& b) { return BinaryOp(kMin, a, b); }
+
+Tensor AddScalar(const Tensor& a, float s) {
+  std::vector<float> out(a.data(), a.data() + a.numel());
+  for (float& v : out) v += s;
+  Tensor ta = a;
+  return MakeOpResult(std::move(out), a.shape(), "AddScalar", {a},
+                      [ta](const Tensor& grad_out) mutable {
+                        if (ta.requires_grad()) ta.AccumulateGrad(grad_out);
+                      });
+}
+
+Tensor MulScalar(const Tensor& a, float s) {
+  std::vector<float> out(a.data(), a.data() + a.numel());
+  for (float& v : out) v *= s;
+  Tensor ta = a;
+  return MakeOpResult(
+      std::move(out), a.shape(), "MulScalar", {a},
+      [ta, s](const Tensor& grad_out) mutable {
+        if (!ta.requires_grad()) return;
+        std::vector<float> g(grad_out.data(), grad_out.data() + grad_out.numel());
+        for (float& v : g) v *= s;
+        ta.AccumulateGrad(Tensor::FromData(std::move(g), ta.shape()));
+      });
+}
+
+}  // namespace ts3net

@@ -1,0 +1,153 @@
+#include <cstring>
+
+#include "tensor/ops.h"
+
+namespace ts3net {
+
+namespace {
+
+/// C[m,n] += A[m,k] * B[k,n]
+void GemmAcc(const float* a, const float* b, float* c, int64_t m, int64_t k,
+             int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// C[m,k] += A[m,n] * B[k,n]^T  (i.e. A @ B^T without materializing B^T)
+void GemmAccBT(const float* a, const float* b, float* c, int64_t m, int64_t n,
+               int64_t k) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * n;
+    float* crow = c + i * k;
+    for (int64_t p = 0; p < k; ++p) {
+      const float* brow = b + p * n;
+      float acc = 0.0f;
+      for (int64_t j = 0; j < n; ++j) acc += arow[j] * brow[j];
+      crow[p] += acc;
+    }
+  }
+}
+
+/// C[k,n] += A[m,k]^T * B[m,n]
+void GemmAccAT(const float* a, const float* b, float* c, int64_t m, int64_t k,
+               int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    const float* brow = b + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      float* crow = c + p * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+Shape LeadingDims(const Shape& s) {
+  return Shape(s.begin(), s.end() - 2);
+}
+
+// Flattened batch offsets of a tensor whose leading dims broadcast against
+// `batch_shape`; each entry is the element offset of that batch's matrix.
+std::vector<int64_t> BatchOffsets(const Shape& lead, int64_t matrix_elems,
+                                  const Shape& batch_shape) {
+  const int64_t nbatch = NumElements(batch_shape);
+  std::vector<int64_t> offsets(static_cast<size_t>(nbatch));
+  const size_t nd = batch_shape.size();
+  // Strides (in units of matrices) with 0 on broadcast axes.
+  std::vector<int64_t> lead_strides(nd, 0);
+  {
+    std::vector<int64_t> own = RowMajorStrides(lead);
+    size_t off = nd - lead.size();
+    for (size_t i = 0; i < lead.size(); ++i) {
+      lead_strides[off + i] =
+          (lead[i] == 1 && batch_shape[off + i] != 1) ? 0 : own[i];
+    }
+  }
+  std::vector<int64_t> coords(nd, 0);
+  int64_t cur = 0;
+  for (int64_t i = 0; i < nbatch; ++i) {
+    offsets[i] = cur * matrix_elems;
+    for (size_t d = nd; d-- > 0;) {
+      ++coords[d];
+      cur += lead_strides[d];
+      if (coords[d] < batch_shape[d]) break;
+      coords[d] = 0;
+      cur -= lead_strides[d] * batch_shape[d];
+    }
+  }
+  return offsets;
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  TS3_CHECK(a.defined() && b.defined());
+  TS3_CHECK_GE(a.ndim(), 2);
+  TS3_CHECK_GE(b.ndim(), 2);
+  const int64_t m = a.dim(-2);
+  const int64_t k = a.dim(-1);
+  TS3_CHECK_EQ(b.dim(-2), k) << "matmul inner dim mismatch: "
+                             << ShapeToString(a.shape()) << " @ "
+                             << ShapeToString(b.shape());
+  const int64_t n = b.dim(-1);
+
+  const Shape lead_a = LeadingDims(a.shape());
+  const Shape lead_b = LeadingDims(b.shape());
+  const Shape batch_shape = BroadcastShapes(lead_a, lead_b);
+  const int64_t nbatch = NumElements(batch_shape);
+
+  Shape out_shape = batch_shape;
+  out_shape.push_back(m);
+  out_shape.push_back(n);
+
+  const std::vector<int64_t> a_off = BatchOffsets(lead_a, m * k, batch_shape);
+  const std::vector<int64_t> b_off = BatchOffsets(lead_b, k * n, batch_shape);
+
+  std::vector<float> out(static_cast<size_t>(nbatch * m * n), 0.0f);
+  const float* pa = a.data();
+  const float* pb = b.data();
+#ifdef _OPENMP
+#pragma omp parallel for if (nbatch > 1)
+#endif
+  for (int64_t bi = 0; bi < nbatch; ++bi) {
+    GemmAcc(pa + a_off[bi], pb + b_off[bi], out.data() + bi * m * n, m, k, n);
+  }
+
+  Tensor ta = a, tb = b;
+  return MakeOpResult(
+      std::move(out), out_shape, "MatMul", {a, b},
+      [ta, tb, a_off, b_off, nbatch, m, k, n](const Tensor& grad_out) mutable {
+        const float* go = grad_out.data();
+        if (ta.requires_grad()) {
+          std::vector<float> ga(static_cast<size_t>(ta.numel()), 0.0f);
+          const float* pb = tb.data();
+          for (int64_t bi = 0; bi < nbatch; ++bi) {
+            // dA = dOut @ B^T
+            GemmAccBT(go + bi * m * n, pb + b_off[bi], ga.data() + a_off[bi],
+                      m, n, k);
+          }
+          ta.AccumulateGrad(Tensor::FromData(std::move(ga), ta.shape()));
+        }
+        if (tb.requires_grad()) {
+          std::vector<float> gb(static_cast<size_t>(tb.numel()), 0.0f);
+          const float* pa = ta.data();
+          for (int64_t bi = 0; bi < nbatch; ++bi) {
+            // dB = A^T @ dOut
+            GemmAccAT(pa + a_off[bi], go + bi * m * n, gb.data() + b_off[bi],
+                      m, k, n);
+          }
+          tb.AccumulateGrad(Tensor::FromData(std::move(gb), tb.shape()));
+        }
+      });
+}
+
+}  // namespace ts3net

@@ -1,0 +1,228 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tensor/ops.h"
+
+namespace ts3net {
+
+namespace {
+
+int NormalizeDim(int dim, int ndim) {
+  if (dim < 0) dim += ndim;
+  TS3_CHECK(dim >= 0 && dim < ndim) << "axis " << dim << " out of range";
+  return dim;
+}
+
+std::vector<int> NormalizeDims(const std::vector<int>& dims, int ndim) {
+  std::vector<int> out;
+  if (dims.empty()) {
+    out.resize(static_cast<size_t>(ndim));
+    for (int i = 0; i < ndim; ++i) out[i] = i;
+    return out;
+  }
+  for (int d : dims) out.push_back(NormalizeDim(d, ndim));
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+Tensor Sum(const Tensor& a, const std::vector<int>& dims, bool keepdim) {
+  TS3_CHECK(a.defined());
+  const int nd = a.ndim();
+  std::vector<int> rdims = NormalizeDims(dims, nd);
+  std::vector<bool> reduced(static_cast<size_t>(nd), false);
+  for (int d : rdims) reduced[d] = true;
+
+  Shape kept_shape;  // with reduced axes as 1 (keepdim layout)
+  Shape out_shape;   // final (respecting keepdim flag)
+  for (int i = 0; i < nd; ++i) {
+    kept_shape.push_back(reduced[i] ? 1 : a.shape()[i]);
+    if (reduced[i]) {
+      if (keepdim) out_shape.push_back(1);
+    } else {
+      out_shape.push_back(a.shape()[i]);
+    }
+  }
+
+  const std::vector<int64_t> kept_strides = RowMajorStrides(kept_shape);
+  // Stride into the kept-layout output for each input axis (0 if reduced).
+  std::vector<int64_t> out_step(static_cast<size_t>(nd));
+  for (int i = 0; i < nd; ++i) out_step[i] = reduced[i] ? 0 : kept_strides[i];
+
+  const int64_t out_n = NumElements(kept_shape);
+  std::vector<float> out(static_cast<size_t>(out_n), 0.0f);
+  const float* src = a.data();
+  const int64_t n = a.numel();
+  const Shape& in_shape = a.shape();
+
+  std::vector<int64_t> coords(static_cast<size_t>(nd), 0);
+  int64_t out_off = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    out[out_off] += src[i];
+    for (int d = nd; d-- > 0;) {
+      ++coords[d];
+      out_off += out_step[d];
+      if (coords[d] < in_shape[d]) break;
+      coords[d] = 0;
+      out_off -= out_step[d] * in_shape[d];
+    }
+  }
+
+  Tensor ta = a;
+  return MakeOpResult(
+      std::move(out), out_shape, "Sum", {a},
+      [ta, out_step, in_shape](const Tensor& grad_out) mutable {
+        if (!ta.requires_grad()) return;
+        const int nd = static_cast<int>(in_shape.size());
+        const float* go = grad_out.data();
+        const int64_t n = ta.numel();
+        std::vector<float> g(static_cast<size_t>(n));
+        std::vector<int64_t> coords(static_cast<size_t>(nd), 0);
+        int64_t out_off = 0;
+        for (int64_t i = 0; i < n; ++i) {
+          g[i] = go[out_off];
+          for (int d = nd; d-- > 0;) {
+            ++coords[d];
+            out_off += out_step[d];
+            if (coords[d] < in_shape[d]) break;
+            coords[d] = 0;
+            out_off -= out_step[d] * in_shape[d];
+          }
+        }
+        ta.AccumulateGrad(Tensor::FromData(std::move(g), ta.shape()));
+      });
+}
+
+Tensor Mean(const Tensor& a, const std::vector<int>& dims, bool keepdim) {
+  TS3_CHECK(a.defined());
+  std::vector<int> rdims = NormalizeDims(dims, a.ndim());
+  int64_t count = 1;
+  for (int d : rdims) count *= a.shape()[d];
+  TS3_CHECK_GT(count, 0);
+  return MulScalar(Sum(a, dims, keepdim), 1.0f / static_cast<float>(count));
+}
+
+Tensor Variance(const Tensor& a, const std::vector<int>& dims, bool keepdim) {
+  Tensor mu = Mean(a, dims, /*keepdim=*/true);
+  Tensor centered = Sub(a, mu);
+  return Mean(Square(centered), dims, keepdim);
+}
+
+Tensor Max(const Tensor& a, int dim, bool keepdim) {
+  TS3_CHECK(a.defined());
+  const int nd = a.ndim();
+  dim = NormalizeDim(dim, nd);
+  const Shape& in_shape = a.shape();
+  int64_t outer = 1, inner = 1;
+  for (int i = 0; i < dim; ++i) outer *= in_shape[i];
+  for (int i = dim + 1; i < nd; ++i) inner *= in_shape[i];
+  const int64_t axis = in_shape[dim];
+  TS3_CHECK_GT(axis, 0);
+
+  Shape out_shape;
+  for (int i = 0; i < nd; ++i) {
+    if (i == dim) {
+      if (keepdim) out_shape.push_back(1);
+    } else {
+      out_shape.push_back(in_shape[i]);
+    }
+  }
+
+  std::vector<float> out(static_cast<size_t>(outer * inner),
+                         -std::numeric_limits<float>::infinity());
+  auto argmax = std::make_shared<std::vector<int64_t>>(
+      static_cast<size_t>(outer * inner), 0);
+  const float* src = a.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t k = 0; k < axis; ++k) {
+      const float* s = src + (o * axis + k) * inner;
+      for (int64_t j = 0; j < inner; ++j) {
+        float v = s[j];
+        int64_t oi = o * inner + j;
+        if (v > out[oi]) {
+          out[oi] = v;
+          (*argmax)[oi] = k;
+        }
+      }
+    }
+  }
+
+  Tensor ta = a;
+  return MakeOpResult(
+      std::move(out), out_shape, "Max", {a},
+      [ta, argmax, outer, inner, axis](const Tensor& grad_out) mutable {
+        if (!ta.requires_grad()) return;
+        std::vector<float> g(static_cast<size_t>(ta.numel()), 0.0f);
+        const float* go = grad_out.data();
+        for (int64_t o = 0; o < outer; ++o) {
+          for (int64_t j = 0; j < inner; ++j) {
+            int64_t oi = o * inner + j;
+            int64_t k = (*argmax)[oi];
+            g[(o * axis + k) * inner + j] = go[oi];
+          }
+        }
+        ta.AccumulateGrad(Tensor::FromData(std::move(g), ta.shape()));
+      });
+}
+
+Tensor Softmax(const Tensor& a, int dim) {
+  TS3_CHECK(a.defined());
+  const int nd = a.ndim();
+  dim = NormalizeDim(dim, nd);
+  const Shape& in_shape = a.shape();
+  int64_t outer = 1, inner = 1;
+  for (int i = 0; i < dim; ++i) outer *= in_shape[i];
+  for (int i = dim + 1; i < nd; ++i) inner *= in_shape[i];
+  const int64_t axis = in_shape[dim];
+
+  std::vector<float> out(static_cast<size_t>(a.numel()));
+  const float* src = a.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t j = 0; j < inner; ++j) {
+      float max_v = -std::numeric_limits<float>::infinity();
+      for (int64_t k = 0; k < axis; ++k) {
+        max_v = std::max(max_v, src[(o * axis + k) * inner + j]);
+      }
+      float denom = 0.0f;
+      for (int64_t k = 0; k < axis; ++k) {
+        float e = std::exp(src[(o * axis + k) * inner + j] - max_v);
+        out[(o * axis + k) * inner + j] = e;
+        denom += e;
+      }
+      const float inv = 1.0f / denom;
+      for (int64_t k = 0; k < axis; ++k) {
+        out[(o * axis + k) * inner + j] *= inv;
+      }
+    }
+  }
+
+  auto y = std::make_shared<std::vector<float>>(out);
+  Tensor ta = a;
+  return MakeOpResult(
+      std::move(out), in_shape, "Softmax", {a},
+      [ta, y, outer, inner, axis](const Tensor& grad_out) mutable {
+        if (!ta.requires_grad()) return;
+        std::vector<float> g(static_cast<size_t>(ta.numel()));
+        const float* go = grad_out.data();
+        const float* py = y->data();
+        for (int64_t o = 0; o < outer; ++o) {
+          for (int64_t j = 0; j < inner; ++j) {
+            float dot = 0.0f;
+            for (int64_t k = 0; k < axis; ++k) {
+              int64_t idx = (o * axis + k) * inner + j;
+              dot += go[idx] * py[idx];
+            }
+            for (int64_t k = 0; k < axis; ++k) {
+              int64_t idx = (o * axis + k) * inner + j;
+              g[idx] = py[idx] * (go[idx] - dot);
+            }
+          }
+        }
+        ta.AccumulateGrad(Tensor::FromData(std::move(g), ta.shape()));
+      });
+}
+
+}  // namespace ts3net

@@ -1,0 +1,314 @@
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "tensor/ops.h"
+
+namespace ts3net {
+
+namespace {
+
+int NormalizeDim(int dim, int ndim) {
+  if (dim < 0) dim += ndim;
+  TS3_CHECK(dim >= 0 && dim < ndim) << "axis " << dim << " out of range";
+  return dim;
+}
+
+// Copies `src` (shape src_shape) permuted by `dims` into a new buffer.
+std::vector<float> PermuteData(const float* src, const Shape& src_shape,
+                               const std::vector<int>& dims) {
+  const size_t nd = src_shape.size();
+  Shape out_shape(nd);
+  for (size_t i = 0; i < nd; ++i) out_shape[i] = src_shape[dims[i]];
+  const std::vector<int64_t> src_strides = RowMajorStrides(src_shape);
+  // Stride in the source for each output axis.
+  std::vector<int64_t> step(nd);
+  for (size_t i = 0; i < nd; ++i) step[i] = src_strides[dims[i]];
+
+  const int64_t n = NumElements(out_shape);
+  std::vector<float> out(static_cast<size_t>(n));
+  std::vector<int64_t> coords(nd, 0);
+  int64_t src_off = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = src[src_off];
+    for (size_t d = nd; d-- > 0;) {
+      ++coords[d];
+      src_off += step[d];
+      if (coords[d] < out_shape[d]) break;
+      coords[d] = 0;
+      src_off -= step[d] * out_shape[d];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor Reshape(const Tensor& a, const Shape& shape) {
+  TS3_CHECK(a.defined());
+  Shape out_shape = shape;
+  int64_t known = 1;
+  int infer = -1;
+  for (size_t i = 0; i < out_shape.size(); ++i) {
+    if (out_shape[i] == -1) {
+      TS3_CHECK_EQ(infer, -1) << "at most one -1 in reshape";
+      infer = static_cast<int>(i);
+    } else {
+      known *= out_shape[i];
+    }
+  }
+  if (infer >= 0) {
+    TS3_CHECK(known != 0 && a.numel() % known == 0)
+        << "cannot infer reshape from " << ShapeToString(a.shape()) << " to "
+        << ShapeToString(shape);
+    out_shape[infer] = a.numel() / known;
+  }
+  TS3_CHECK_EQ(NumElements(out_shape), a.numel())
+      << "reshape " << ShapeToString(a.shape()) << " -> "
+      << ShapeToString(out_shape);
+
+  std::vector<float> out(a.data(), a.data() + a.numel());
+  Tensor ta = a;
+  return MakeOpResult(std::move(out), out_shape, "Reshape", {a},
+                      [ta](const Tensor& grad_out) mutable {
+                        if (!ta.requires_grad()) return;
+                        std::vector<float> g(grad_out.data(),
+                                             grad_out.data() + grad_out.numel());
+                        ta.AccumulateGrad(
+                            Tensor::FromData(std::move(g), ta.shape()));
+                      });
+}
+
+Tensor Unsqueeze(const Tensor& a, int dim) {
+  Shape s = a.shape();
+  int nd = static_cast<int>(s.size());
+  if (dim < 0) dim += nd + 1;
+  TS3_CHECK(dim >= 0 && dim <= nd);
+  s.insert(s.begin() + dim, 1);
+  return Reshape(a, s);
+}
+
+Tensor Squeeze(const Tensor& a, int dim) {
+  Shape s = a.shape();
+  dim = NormalizeDim(dim, static_cast<int>(s.size()));
+  TS3_CHECK_EQ(s[dim], 1) << "squeeze of non-unit axis";
+  s.erase(s.begin() + dim);
+  return Reshape(a, s);
+}
+
+Tensor Permute(const Tensor& a, const std::vector<int>& dims) {
+  TS3_CHECK(a.defined());
+  const size_t nd = a.shape().size();
+  TS3_CHECK_EQ(dims.size(), nd);
+  std::vector<bool> seen(nd, false);
+  for (int d : dims) {
+    TS3_CHECK(d >= 0 && static_cast<size_t>(d) < nd && !seen[d])
+        << "invalid permutation";
+    seen[d] = true;
+  }
+  Shape out_shape(nd);
+  for (size_t i = 0; i < nd; ++i) out_shape[i] = a.shape()[dims[i]];
+  std::vector<float> out = PermuteData(a.data(), a.shape(), dims);
+
+  // Inverse permutation for the backward pass.
+  std::vector<int> inv(nd);
+  for (size_t i = 0; i < nd; ++i) inv[dims[i]] = static_cast<int>(i);
+
+  Tensor ta = a;
+  Shape saved_out_shape = out_shape;
+  return MakeOpResult(
+      std::move(out), out_shape, "Permute", {a},
+      [ta, inv, saved_out_shape](const Tensor& grad_out) mutable {
+        if (!ta.requires_grad()) return;
+        std::vector<float> g =
+            PermuteData(grad_out.data(), saved_out_shape, inv);
+        ta.AccumulateGrad(Tensor::FromData(std::move(g), ta.shape()));
+      });
+}
+
+Tensor Transpose(const Tensor& a, int dim0, int dim1) {
+  int nd = a.ndim();
+  dim0 = NormalizeDim(dim0, nd);
+  dim1 = NormalizeDim(dim1, nd);
+  std::vector<int> dims(nd);
+  std::iota(dims.begin(), dims.end(), 0);
+  std::swap(dims[dim0], dims[dim1]);
+  return Permute(a, dims);
+}
+
+Tensor Slice(const Tensor& a, int dim, int64_t start, int64_t length) {
+  TS3_CHECK(a.defined());
+  dim = NormalizeDim(dim, a.ndim());
+  TS3_CHECK(start >= 0 && length >= 0 && start + length <= a.shape()[dim])
+      << "slice [" << start << ", " << start + length << ") of axis size "
+      << a.shape()[dim];
+
+  const Shape& in_shape = a.shape();
+  Shape out_shape = in_shape;
+  out_shape[dim] = length;
+
+  // outer × axis × inner layout
+  int64_t outer = 1, inner = 1;
+  for (int i = 0; i < dim; ++i) outer *= in_shape[i];
+  for (size_t i = dim + 1; i < in_shape.size(); ++i) inner *= in_shape[i];
+  const int64_t in_axis = in_shape[dim];
+
+  std::vector<float> out(static_cast<size_t>(outer * length * inner));
+  const float* src = a.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* s = src + (o * in_axis + start) * inner;
+    float* d = out.data() + o * length * inner;
+    std::memcpy(d, s, sizeof(float) * static_cast<size_t>(length * inner));
+  }
+
+  Tensor ta = a;
+  return MakeOpResult(
+      std::move(out), out_shape, "Slice", {a},
+      [ta, outer, inner, in_axis, start, length](const Tensor& grad_out) mutable {
+        if (!ta.requires_grad()) return;
+        std::vector<float> g(static_cast<size_t>(ta.numel()), 0.0f);
+        const float* go = grad_out.data();
+        for (int64_t o = 0; o < outer; ++o) {
+          float* d = g.data() + (o * in_axis + start) * inner;
+          const float* s = go + o * length * inner;
+          std::memcpy(d, s, sizeof(float) * static_cast<size_t>(length * inner));
+        }
+        ta.AccumulateGrad(Tensor::FromData(std::move(g), ta.shape()));
+      });
+}
+
+Tensor Concat(const std::vector<Tensor>& tensors, int dim) {
+  TS3_CHECK(!tensors.empty());
+  const Tensor& first = tensors[0];
+  dim = NormalizeDim(dim, first.ndim());
+  Shape out_shape = first.shape();
+  int64_t axis_total = 0;
+  for (const Tensor& t : tensors) {
+    TS3_CHECK_EQ(t.ndim(), first.ndim());
+    for (int i = 0; i < first.ndim(); ++i) {
+      if (i != dim) {
+        TS3_CHECK_EQ(t.shape()[i], first.shape()[i])
+            << "concat shape mismatch on axis " << i;
+      }
+    }
+    axis_total += t.shape()[dim];
+  }
+  out_shape[dim] = axis_total;
+
+  int64_t outer = 1, inner = 1;
+  for (int i = 0; i < dim; ++i) outer *= out_shape[i];
+  for (size_t i = dim + 1; i < out_shape.size(); ++i) inner *= out_shape[i];
+
+  std::vector<float> out(static_cast<size_t>(NumElements(out_shape)));
+  int64_t axis_offset = 0;
+  std::vector<int64_t> axis_sizes;
+  for (const Tensor& t : tensors) {
+    const int64_t axis = t.shape()[dim];
+    axis_sizes.push_back(axis);
+    const float* src = t.data();
+    for (int64_t o = 0; o < outer; ++o) {
+      float* d = out.data() + (o * axis_total + axis_offset) * inner;
+      const float* s = src + o * axis * inner;
+      std::memcpy(d, s, sizeof(float) * static_cast<size_t>(axis * inner));
+    }
+    axis_offset += axis;
+  }
+
+  std::vector<Tensor> inputs = tensors;
+  return MakeOpResult(
+      std::move(out), out_shape, "Concat", tensors,
+      [inputs, outer, inner, axis_total, axis_sizes](const Tensor& grad_out) mutable {
+        const float* go = grad_out.data();
+        int64_t axis_offset = 0;
+        for (size_t idx = 0; idx < inputs.size(); ++idx) {
+          const int64_t axis = axis_sizes[idx];
+          if (inputs[idx].requires_grad()) {
+            std::vector<float> g(static_cast<size_t>(inputs[idx].numel()));
+            for (int64_t o = 0; o < outer; ++o) {
+              const float* s = go + (o * axis_total + axis_offset) * inner;
+              float* d = g.data() + o * axis * inner;
+              std::memcpy(d, s, sizeof(float) * static_cast<size_t>(axis * inner));
+            }
+            inputs[idx].AccumulateGrad(
+                Tensor::FromData(std::move(g), inputs[idx].shape()));
+          }
+          axis_offset += axis;
+        }
+      });
+}
+
+Tensor StackTensors(const std::vector<Tensor>& tensors, int dim) {
+  TS3_CHECK(!tensors.empty());
+  std::vector<Tensor> expanded;
+  expanded.reserve(tensors.size());
+  for (const Tensor& t : tensors) expanded.push_back(Unsqueeze(t, dim));
+  return Concat(expanded, dim);
+}
+
+Tensor Pad(const Tensor& a, int dim, int64_t before, int64_t after,
+           float value) {
+  TS3_CHECK(a.defined());
+  TS3_CHECK(before >= 0 && after >= 0);
+  dim = NormalizeDim(dim, a.ndim());
+  const Shape& in_shape = a.shape();
+  Shape out_shape = in_shape;
+  out_shape[dim] += before + after;
+
+  int64_t outer = 1, inner = 1;
+  for (int i = 0; i < dim; ++i) outer *= in_shape[i];
+  for (size_t i = dim + 1; i < in_shape.size(); ++i) inner *= in_shape[i];
+  const int64_t in_axis = in_shape[dim];
+  const int64_t out_axis = out_shape[dim];
+
+  std::vector<float> out(static_cast<size_t>(NumElements(out_shape)), value);
+  const float* src = a.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    float* d = out.data() + (o * out_axis + before) * inner;
+    const float* s = src + o * in_axis * inner;
+    std::memcpy(d, s, sizeof(float) * static_cast<size_t>(in_axis * inner));
+  }
+
+  Tensor ta = a;
+  return MakeOpResult(
+      std::move(out), out_shape, "Pad", {a},
+      [ta, outer, inner, in_axis, out_axis, before](const Tensor& grad_out) mutable {
+        if (!ta.requires_grad()) return;
+        std::vector<float> g(static_cast<size_t>(ta.numel()));
+        const float* go = grad_out.data();
+        for (int64_t o = 0; o < outer; ++o) {
+          const float* s = go + (o * out_axis + before) * inner;
+          float* d = g.data() + o * in_axis * inner;
+          std::memcpy(d, s, sizeof(float) * static_cast<size_t>(in_axis * inner));
+        }
+        ta.AccumulateGrad(Tensor::FromData(std::move(g), ta.shape()));
+      });
+}
+
+Tensor ReplicatePad(const Tensor& a, int dim, int64_t before, int64_t after) {
+  TS3_CHECK(a.defined());
+  TS3_CHECK(before >= 0 && after >= 0);
+  dim = NormalizeDim(dim, a.ndim());
+  if (before == 0 && after == 0) return a;
+  std::vector<Tensor> parts;
+  if (before > 0) {
+    Tensor edge = Slice(a, dim, 0, 1);
+    parts.push_back(Repeat(edge, dim, before));
+  }
+  parts.push_back(a);
+  if (after > 0) {
+    Tensor edge = Slice(a, dim, a.shape()[dim] - 1, 1);
+    parts.push_back(Repeat(edge, dim, after));
+  }
+  return Concat(parts, dim);
+}
+
+Tensor Repeat(const Tensor& a, int dim, int64_t times) {
+  TS3_CHECK(a.defined());
+  TS3_CHECK_GE(times, 1);
+  if (times == 1) return a;
+  dim = NormalizeDim(dim, a.ndim());
+  std::vector<Tensor> copies(static_cast<size_t>(times), a);
+  return Concat(copies, dim);
+}
+
+}  // namespace ts3net

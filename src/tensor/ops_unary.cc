@@ -1,0 +1,148 @@
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace ts3net {
+
+namespace {
+
+struct UnaryKernel {
+  const char* name;
+  float (*fwd)(float);
+  // derivative given (input value, output value)
+  float (*dfdx)(float, float);
+};
+
+Tensor UnaryOp(const UnaryKernel& kernel, const Tensor& a) {
+  TS3_CHECK(a.defined());
+  const int64_t n = a.numel();
+  std::vector<float> out(static_cast<size_t>(n));
+  const float* pa = a.data();
+  for (int64_t i = 0; i < n; ++i) out[i] = kernel.fwd(pa[i]);
+
+  const UnaryKernel* k = &kernel;
+  Tensor ta = a;
+  Tensor result = MakeOpResult(
+      std::move(out), a.shape(), kernel.name, {a},
+      [k, ta](const Tensor& grad_out) mutable {
+        if (!ta.requires_grad()) return;
+        const int64_t n = ta.numel();
+        const float* pa = ta.data();
+        const float* go = grad_out.data();
+        std::vector<float> g(static_cast<size_t>(n));
+        for (int64_t i = 0; i < n; ++i) {
+          g[i] = go[i] * k->dfdx(pa[i], k->fwd(pa[i]));
+        }
+        ta.AccumulateGrad(Tensor::FromData(std::move(g), ta.shape()));
+      });
+  return result;
+}
+
+constexpr float kSqrt2OverPi = 0.7978845608028654f;
+
+const UnaryKernel kNeg = {"Neg", [](float x) { return -x; },
+                          [](float, float) { return -1.0f; }};
+const UnaryKernel kExp = {"Exp", [](float x) { return std::exp(x); },
+                          [](float, float y) { return y; }};
+const UnaryKernel kLog = {"Log", [](float x) { return std::log(x); },
+                          [](float x, float) { return 1.0f / x; }};
+const UnaryKernel kSqrt = {"Sqrt", [](float x) { return std::sqrt(x); },
+                           [](float, float y) { return 0.5f / y; }};
+const UnaryKernel kAbs = {
+    "Abs", [](float x) { return std::fabs(x); },
+    [](float x, float) { return x > 0 ? 1.0f : (x < 0 ? -1.0f : 0.0f); }};
+const UnaryKernel kSquare = {"Square", [](float x) { return x * x; },
+                             [](float x, float) { return 2.0f * x; }};
+const UnaryKernel kRelu = {"Relu", [](float x) { return x > 0 ? x : 0.0f; },
+                           [](float x, float) { return x > 0 ? 1.0f : 0.0f; }};
+const UnaryKernel kSigmoid = {
+    "Sigmoid", [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+    [](float, float y) { return y * (1.0f - y); }};
+const UnaryKernel kTanh = {"Tanh", [](float x) { return std::tanh(x); },
+                           [](float, float y) { return 1.0f - y * y; }};
+const UnaryKernel kSin = {"Sin", [](float x) { return std::sin(x); },
+                          [](float x, float) { return std::cos(x); }};
+const UnaryKernel kCos = {"Cos", [](float x) { return std::cos(x); },
+                          [](float x, float) { return -std::sin(x); }};
+const UnaryKernel kGelu = {
+    "Gelu",
+    [](float x) {
+      float inner = kSqrt2OverPi * (x + 0.044715f * x * x * x);
+      return 0.5f * x * (1.0f + std::tanh(inner));
+    },
+    [](float x, float) {
+      float x3 = x * x * x;
+      float inner = kSqrt2OverPi * (x + 0.044715f * x3);
+      float t = std::tanh(inner);
+      float sech2 = 1.0f - t * t;
+      float dinner = kSqrt2OverPi * (1.0f + 3.0f * 0.044715f * x * x);
+      return 0.5f * (1.0f + t) + 0.5f * x * sech2 * dinner;
+    }};
+
+}  // namespace
+
+Tensor Neg(const Tensor& a) { return UnaryOp(kNeg, a); }
+Tensor Exp(const Tensor& a) { return UnaryOp(kExp, a); }
+Tensor Log(const Tensor& a) { return UnaryOp(kLog, a); }
+Tensor Sqrt(const Tensor& a) { return UnaryOp(kSqrt, a); }
+Tensor Abs(const Tensor& a) { return UnaryOp(kAbs, a); }
+Tensor Square(const Tensor& a) { return UnaryOp(kSquare, a); }
+Tensor Relu(const Tensor& a) { return UnaryOp(kRelu, a); }
+Tensor Gelu(const Tensor& a) { return UnaryOp(kGelu, a); }
+Tensor Sigmoid(const Tensor& a) { return UnaryOp(kSigmoid, a); }
+Tensor Tanh(const Tensor& a) { return UnaryOp(kTanh, a); }
+Tensor Sin(const Tensor& a) { return UnaryOp(kSin, a); }
+Tensor Cos(const Tensor& a) { return UnaryOp(kCos, a); }
+
+Tensor Pow(const Tensor& a, float p) {
+  TS3_CHECK(a.defined());
+  const int64_t n = a.numel();
+  std::vector<float> out(static_cast<size_t>(n));
+  const float* pa = a.data();
+  for (int64_t i = 0; i < n; ++i) out[i] = std::pow(pa[i], p);
+  Tensor ta = a;
+  return MakeOpResult(std::move(out), a.shape(), "Pow", {a},
+                      [ta, p](const Tensor& grad_out) mutable {
+                        if (!ta.requires_grad()) return;
+                        const int64_t n = ta.numel();
+                        const float* pa = ta.data();
+                        const float* go = grad_out.data();
+                        std::vector<float> g(static_cast<size_t>(n));
+                        for (int64_t i = 0; i < n; ++i) {
+                          g[i] = go[i] * p * std::pow(pa[i], p - 1.0f);
+                        }
+                        ta.AccumulateGrad(
+                            Tensor::FromData(std::move(g), ta.shape()));
+                      });
+}
+
+Tensor Dropout(const Tensor& x, float p, bool training, Rng* rng) {
+  TS3_CHECK(x.defined());
+  TS3_CHECK(p >= 0.0f && p < 1.0f) << "dropout rate " << p;
+  if (!training || p == 0.0f) return x;
+  TS3_CHECK(rng != nullptr);
+  const int64_t n = x.numel();
+  auto mask = std::make_shared<std::vector<float>>(static_cast<size_t>(n));
+  const float scale = 1.0f / (1.0f - p);
+  for (int64_t i = 0; i < n; ++i) {
+    (*mask)[i] = rng->Bernoulli(p) ? 0.0f : scale;
+  }
+  std::vector<float> out(static_cast<size_t>(n));
+  const float* px = x.data();
+  for (int64_t i = 0; i < n; ++i) out[i] = px[i] * (*mask)[i];
+  Tensor tx = x;
+  return MakeOpResult(std::move(out), x.shape(), "Dropout", {x},
+                      [tx, mask](const Tensor& grad_out) mutable {
+                        if (!tx.requires_grad()) return;
+                        const int64_t n = tx.numel();
+                        const float* go = grad_out.data();
+                        std::vector<float> g(static_cast<size_t>(n));
+                        for (int64_t i = 0; i < n; ++i) {
+                          g[i] = go[i] * (*mask)[i];
+                        }
+                        tx.AccumulateGrad(
+                            Tensor::FromData(std::move(g), tx.shape()));
+                      });
+}
+
+}  // namespace ts3net

@@ -1,0 +1,303 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+
+#include "tensor/autograd_mode.h"
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+
+namespace ts3net {
+
+using internal_tensor::GradFn;
+using internal_tensor::TensorImpl;
+
+int64_t NumElements(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    TS3_CHECK_GE(d, 0) << "negative dimension in " << ShapeToString(shape);
+    n *= d;
+  }
+  return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << shape[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+namespace {
+
+std::shared_ptr<TensorImpl> NewImpl(std::vector<float> data, Shape shape) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->data = std::move(data);
+  impl->shape = std::move(shape);
+  return impl;
+}
+
+}  // namespace
+
+Tensor Tensor::FromImpl(std::shared_ptr<TensorImpl> impl) {
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Zeros(const Shape& shape) {
+  return FromImpl(NewImpl(std::vector<float>(NumElements(shape), 0.0f), shape));
+}
+
+Tensor Tensor::Ones(const Shape& shape) { return Full(shape, 1.0f); }
+
+Tensor Tensor::Full(const Shape& shape, float value) {
+  return FromImpl(NewImpl(std::vector<float>(NumElements(shape), value), shape));
+}
+
+Tensor Tensor::FromData(std::vector<float> data, const Shape& shape) {
+  TS3_CHECK_EQ(static_cast<int64_t>(data.size()), NumElements(shape))
+      << "data size does not match shape " << ShapeToString(shape);
+  return FromImpl(NewImpl(std::move(data), shape));
+}
+
+Tensor Tensor::Scalar(float value) {
+  return FromImpl(NewImpl(std::vector<float>{value}, Shape{}));
+}
+
+Tensor Tensor::Randn(const Shape& shape, Rng* rng, float stddev) {
+  std::vector<float> data(NumElements(shape));
+  for (float& v : data) v = static_cast<float>(rng->Gaussian(0.0, stddev));
+  return FromImpl(NewImpl(std::move(data), shape));
+}
+
+Tensor Tensor::Rand(const Shape& shape, Rng* rng, float lo, float hi) {
+  std::vector<float> data(NumElements(shape));
+  for (float& v : data) v = static_cast<float>(rng->Uniform(lo, hi));
+  return FromImpl(NewImpl(std::move(data), shape));
+}
+
+Tensor Tensor::Arange(int64_t n) {
+  std::vector<float> data(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) data[i] = static_cast<float>(i);
+  return FromImpl(NewImpl(std::move(data), Shape{n}));
+}
+
+const Shape& Tensor::shape() const {
+  TS3_CHECK(defined());
+  return impl_->shape;
+}
+
+int64_t Tensor::dim(int i) const {
+  TS3_CHECK(defined());
+  int nd = ndim();
+  if (i < 0) i += nd;
+  TS3_CHECK(i >= 0 && i < nd) << "dim " << i << " out of range for "
+                              << ShapeToString(impl_->shape);
+  return impl_->shape[i];
+}
+
+int Tensor::ndim() const {
+  TS3_CHECK(defined());
+  return static_cast<int>(impl_->shape.size());
+}
+
+int64_t Tensor::numel() const {
+  TS3_CHECK(defined());
+  return static_cast<int64_t>(impl_->data.size());
+}
+
+float* Tensor::data() {
+  TS3_CHECK(defined());
+  return impl_->data.data();
+}
+
+const float* Tensor::data() const {
+  TS3_CHECK(defined());
+  return impl_->data.data();
+}
+
+float Tensor::at(int64_t flat_index) const {
+  TS3_CHECK(defined());
+  TS3_CHECK(flat_index >= 0 && flat_index < numel());
+  return impl_->data[flat_index];
+}
+
+float Tensor::item() const {
+  TS3_CHECK(defined());
+  TS3_CHECK_EQ(numel(), 1) << "item() requires a single-element tensor";
+  return impl_->data[0];
+}
+
+std::string Tensor::ToString(int64_t max_per_dim) const {
+  if (!defined()) return "Tensor(undefined)";
+  std::ostringstream os;
+  os << "Tensor" << ShapeToString(impl_->shape) << " [";
+  int64_t n = std::min<int64_t>(numel(), max_per_dim);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i > 0) os << ", ";
+    os << impl_->data[i];
+  }
+  if (numel() > n) os << ", ...";
+  os << "]";
+  return os.str();
+}
+
+bool Tensor::requires_grad() const {
+  return defined() && impl_->requires_grad;
+}
+
+Tensor& Tensor::set_requires_grad(bool value) {
+  TS3_CHECK(defined());
+  impl_->requires_grad = value;
+  return *this;
+}
+
+Tensor Tensor::grad() const {
+  TS3_CHECK(defined());
+  if (!impl_->grad) return Tensor();
+  return Tensor(impl_->grad);
+}
+
+void Tensor::ZeroGrad() {
+  TS3_CHECK(defined());
+  if (impl_->grad) {
+    std::fill(impl_->grad->data.begin(), impl_->grad->data.end(), 0.0f);
+  }
+}
+
+void Tensor::AccumulateGrad(const Tensor& delta) {
+  TS3_CHECK(defined());
+  TS3_CHECK(delta.defined());
+  TS3_CHECK(delta.shape() == shape())
+      << "grad shape " << ShapeToString(delta.shape()) << " vs tensor "
+      << ShapeToString(shape());
+  if (!impl_->grad) {
+    auto g = std::make_shared<TensorImpl>();
+    g->data.assign(impl_->data.size(), 0.0f);
+    g->shape = impl_->shape;
+    impl_->grad = std::move(g);
+  }
+  float* acc = impl_->grad->data.data();
+  const float* src = delta.data();
+  int64_t n = numel();
+  for (int64_t i = 0; i < n; ++i) acc[i] += src[i];
+}
+
+void Tensor::set_grad_fn(std::shared_ptr<GradFn> fn) {
+  TS3_CHECK(defined());
+  impl_->grad_fn = std::move(fn);
+  impl_->requires_grad = true;
+}
+
+const std::shared_ptr<GradFn>& Tensor::grad_fn() const {
+  TS3_CHECK(defined());
+  return impl_->grad_fn;
+}
+
+Tensor Tensor::Detach() const {
+  TS3_CHECK(defined());
+  auto impl = std::make_shared<TensorImpl>();
+  impl->data = impl_->data;  // copy data; grads of the original stay intact
+  impl->shape = impl_->shape;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Clone() const {
+  TS3_CHECK(defined());
+  return FromData(impl_->data, impl_->shape);
+}
+
+void Tensor::Backward(const Tensor& grad_output) {
+  TS3_CHECK(defined());
+  Tensor seed = grad_output;
+  if (!seed.defined()) {
+    TS3_CHECK_EQ(numel(), 1)
+        << "Backward() without an explicit gradient requires a scalar output";
+    seed = Tensor::Ones(shape());
+  }
+  TS3_CHECK(seed.shape() == shape());
+
+  // Topological sort (post-order DFS) over the tape.
+  std::vector<TensorImpl*> topo;
+  std::unordered_set<TensorImpl*> visited;
+  std::vector<std::pair<TensorImpl*, size_t>> stack;
+  std::unordered_set<TensorImpl*> on_stack;
+  // Keep shared ownership of every visited node alive during the walk.
+  std::vector<std::shared_ptr<TensorImpl>> keep_alive;
+
+  stack.emplace_back(impl_.get(), 0);
+  keep_alive.push_back(impl_);
+  on_stack.insert(impl_.get());
+  while (!stack.empty()) {
+    auto& [node, child_idx] = stack.back();
+    if (node->grad_fn == nullptr ||
+        child_idx >= node->grad_fn->inputs.size()) {
+      topo.push_back(node);
+      visited.insert(node);
+      on_stack.erase(node);
+      stack.pop_back();
+      continue;
+    }
+    const Tensor& child = node->grad_fn->inputs[child_idx];
+    ++child_idx;
+    TensorImpl* c = child.impl().get();
+    if (c != nullptr && !visited.count(c) && !on_stack.count(c)) {
+      keep_alive.push_back(child.impl());
+      stack.emplace_back(c, 0);
+      on_stack.insert(c);
+    }
+  }
+
+  AccumulateGrad(seed);
+
+  // Reverse topological order: every consumer has contributed its gradient
+  // before a node's own backward runs.
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    TensorImpl* node = *it;
+    if (node->grad_fn == nullptr || !node->grad) continue;
+    Tensor grad_view = Tensor(node->grad);
+    node->grad_fn->backward(grad_view);
+  }
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, float rtol, float atol) {
+  if (!a.defined() || !b.defined()) return false;
+  if (a.shape() != b.shape()) return false;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    float tol = atol + rtol * std::fabs(pb[i]);
+    if (std::fabs(pa[i] - pb[i]) > tol) return false;
+    if (std::isnan(pa[i]) != std::isnan(pb[i])) return false;
+  }
+  return true;
+}
+
+Tensor MakeOpResult(std::vector<float> data, const Shape& shape,
+                    const std::string& name, std::vector<Tensor> inputs,
+                    std::function<void(const Tensor& grad_out)> backward) {
+  Tensor out = Tensor::FromData(std::move(data), shape);
+  bool needs_grad = GradModeEnabled();
+  if (needs_grad) {
+    needs_grad = false;
+    for (const Tensor& in : inputs) {
+      if (in.defined() && in.requires_grad()) {
+        needs_grad = true;
+        break;
+      }
+    }
+  }
+  if (needs_grad) {
+    auto fn = std::make_shared<GradFn>();
+    fn->name = name;
+    fn->inputs = std::move(inputs);
+    fn->backward = std::move(backward);
+    out.set_grad_fn(std::move(fn));
+  }
+  return out;
+}
+
+}  // namespace ts3net

@@ -1,0 +1,140 @@
+#ifndef TS3NET_TENSOR_TENSOR_H_
+#define TS3NET_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace ts3net {
+
+/// Shape of a dense tensor; dimensions are in row-major (C) order.
+using Shape = std::vector<int64_t>;
+
+/// Returns the number of elements implied by a shape (1 for rank-0).
+int64_t NumElements(const Shape& shape);
+
+/// Renders "[2, 3, 4]".
+std::string ShapeToString(const Shape& shape);
+
+class Tensor;
+
+namespace internal_tensor {
+
+/// A node in the reverse-mode autograd tape. Created by differentiable ops;
+/// `backward` receives the gradient of the loss w.r.t. the op output and is
+/// responsible for accumulating gradients into each input.
+struct GradFn {
+  std::string name;
+  std::vector<Tensor> inputs;
+  std::function<void(const Tensor& grad_out)> backward;
+};
+
+struct TensorImpl {
+  std::vector<float> data;
+  Shape shape;
+  bool requires_grad = false;
+  std::shared_ptr<TensorImpl> grad;  // lazily allocated, same shape
+  std::shared_ptr<GradFn> grad_fn;   // null for leaves
+};
+
+}  // namespace internal_tensor
+
+/// Dense row-major float32 tensor with reverse-mode automatic
+/// differentiation. Copying a Tensor is cheap (shared ownership of the
+/// underlying buffer); use `Clone()` for a deep copy.
+///
+/// Differentiable operations are free functions declared in tensor/ops.h.
+/// Calling `Backward()` on a scalar result walks the recorded tape in reverse
+/// topological order and accumulates `grad()` on every tensor that has
+/// `requires_grad() == true`.
+class Tensor {
+ public:
+  /// An empty (null) tensor. `defined()` is false.
+  Tensor() = default;
+
+  // -- Factories -------------------------------------------------------------
+
+  static Tensor Zeros(const Shape& shape);
+  static Tensor Ones(const Shape& shape);
+  static Tensor Full(const Shape& shape, float value);
+  /// Takes ownership of `data`; size must equal NumElements(shape).
+  static Tensor FromData(std::vector<float> data, const Shape& shape);
+  /// Scalar (rank-0) tensor.
+  static Tensor Scalar(float value);
+  /// i.i.d. N(0, stddev^2) entries.
+  static Tensor Randn(const Shape& shape, Rng* rng, float stddev = 1.0f);
+  /// i.i.d. U[lo, hi) entries.
+  static Tensor Rand(const Shape& shape, Rng* rng, float lo = 0.0f,
+                     float hi = 1.0f);
+  /// [0, 1, ..., n-1] as a rank-1 tensor.
+  static Tensor Arange(int64_t n);
+  /// Internal: wraps an existing impl (zero copy). Used by the autograd
+  /// engine and op kernels.
+  static Tensor FromImpl(std::shared_ptr<internal_tensor::TensorImpl> impl);
+
+  // -- Introspection ---------------------------------------------------------
+
+  bool defined() const { return impl_ != nullptr; }
+  const Shape& shape() const;
+  int64_t dim(int i) const;
+  int ndim() const;
+  int64_t numel() const;
+  float* data();
+  const float* data() const;
+  float at(int64_t flat_index) const;
+  /// Value of a rank-0 or single-element tensor.
+  float item() const;
+  std::string ToString(int64_t max_per_dim = 8) const;
+
+  // -- Autograd --------------------------------------------------------------
+
+  bool requires_grad() const;
+  Tensor& set_requires_grad(bool value);
+  /// Gradient accumulated by the last Backward(); undefined Tensor if none.
+  Tensor grad() const;
+  void ZeroGrad();
+  /// Runs reverse-mode autodiff from this tensor. If `grad_output` is not
+  /// given, this tensor must be a scalar and the seed gradient is 1.
+  void Backward(const Tensor& grad_output = Tensor());
+  /// A view of the same data cut off from the tape.
+  Tensor Detach() const;
+  /// Deep copy (data only; no tape).
+  Tensor Clone() const;
+
+  // -- Internal (used by ops) ------------------------------------------------
+
+  const std::shared_ptr<internal_tensor::TensorImpl>& impl() const {
+    return impl_;
+  }
+  /// Accumulates `delta` into this tensor's grad buffer (allocating it if
+  /// needed). Shape of delta must match.
+  void AccumulateGrad(const Tensor& delta);
+  void set_grad_fn(std::shared_ptr<internal_tensor::GradFn> fn);
+  const std::shared_ptr<internal_tensor::GradFn>& grad_fn() const;
+
+ private:
+  explicit Tensor(std::shared_ptr<internal_tensor::TensorImpl> impl)
+      : impl_(std::move(impl)) {}
+
+  std::shared_ptr<internal_tensor::TensorImpl> impl_;
+};
+
+/// True when the two tensors have identical shape and all entries are within
+/// `atol + rtol * |b|`.
+bool AllClose(const Tensor& a, const Tensor& b, float rtol = 1e-5f,
+              float atol = 1e-6f);
+
+/// Builds a differentiable op result: allocates the output with `data`/`shape`
+/// and, when any input requires grad, attaches a GradFn with `backward`.
+Tensor MakeOpResult(std::vector<float> data, const Shape& shape,
+                    const std::string& name, std::vector<Tensor> inputs,
+                    std::function<void(const Tensor& grad_out)> backward);
+
+}  // namespace ts3net
+
+#endif  // TS3NET_TENSOR_TENSOR_H_

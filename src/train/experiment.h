@@ -1,0 +1,60 @@
+#ifndef TS3NET_TRAIN_EXPERIMENT_H_
+#define TS3NET_TRAIN_EXPERIMENT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/synthetic.h"
+#include "data/timeseries.h"
+#include "models/model_config.h"
+#include "train/trainer.h"
+
+namespace ts3net {
+namespace train {
+
+/// A fully-specified benchmark cell: which dataset to synthesize, which model
+/// to train, and with what geometry. Shared by every table harness in bench/.
+struct ExperimentSpec {
+  std::string dataset = "ETTh1";       // preset name (data::DatasetPreset)
+  double length_fraction = 0.08;       // fraction of the real dataset's length
+  int64_t channel_cap = 24;            // cap for wide datasets (0 = none)
+  uint64_t data_seed_offset = 0;       // varies the synthetic realization
+
+  std::string model = "TS3Net";
+  models::ModelConfig config;          // seq_len/pred_len filled from below
+
+  int64_t lookback = 96;
+  int64_t horizon = 96;
+
+  // Imputation task (Table V): window == lookback, mask_ratio in (0, 1).
+  double mask_ratio = 0.0;             // 0 = forecasting task
+
+  // Robustness (Table VIII): fraction of training points perturbed.
+  double noise_rho = 0.0;
+
+  TrainOptions train;
+};
+
+/// Prepared (scaled, split) data for an experiment, reusable across models.
+struct PreparedData {
+  data::SplitSeries scaled;  // train/val/test, standardized with train stats
+  int64_t channels = 0;
+};
+
+/// Generates the synthetic dataset, splits 7:1:2 chronologically, fits the
+/// scaler on train, applies it everywhere, and (optionally) injects noise
+/// into the train/val splits per the Table VIII protocol.
+Result<PreparedData> PrepareData(const ExperimentSpec& spec);
+
+/// Runs one cell end to end: build model -> fit with early stopping ->
+/// evaluate on test. Dispatches on spec.mask_ratio (forecast vs imputation).
+Result<EvalResult> RunExperiment(const ExperimentSpec& spec);
+
+/// Same, but reuses already-prepared data (for sweeps over models).
+Result<EvalResult> RunExperimentOnData(const ExperimentSpec& spec,
+                                       const PreparedData& prepared);
+
+}  // namespace train
+}  // namespace ts3net
+
+#endif  // TS3NET_TRAIN_EXPERIMENT_H_

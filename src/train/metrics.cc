@@ -1,0 +1,47 @@
+#include "train/metrics.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ts3net {
+namespace train {
+
+void MetricAccumulator::Add(const Tensor& pred, const Tensor& target) {
+  TS3_CHECK(pred.shape() == target.shape());
+  const float* p = pred.data();
+  const float* t = target.data();
+  for (int64_t i = 0; i < pred.numel(); ++i) {
+    const double d = static_cast<double>(p[i]) - t[i];
+    sum_sq_ += d * d;
+    sum_abs_ += std::fabs(d);
+    ++count_;
+  }
+}
+
+void MetricAccumulator::AddMasked(const Tensor& pred, const Tensor& target,
+                                  const Tensor& mask, float mask_value) {
+  TS3_CHECK(pred.shape() == target.shape());
+  TS3_CHECK(pred.shape() == mask.shape());
+  const float* p = pred.data();
+  const float* t = target.data();
+  const float* m = mask.data();
+  for (int64_t i = 0; i < pred.numel(); ++i) {
+    if (m[i] != mask_value) continue;
+    const double d = static_cast<double>(p[i]) - t[i];
+    sum_sq_ += d * d;
+    sum_abs_ += std::fabs(d);
+    ++count_;
+  }
+}
+
+double MetricAccumulator::Mse() const {
+  return count_ == 0 ? 0.0 : sum_sq_ / static_cast<double>(count_);
+}
+
+double MetricAccumulator::Mae() const {
+  return count_ == 0 ? 0.0 : sum_abs_ / static_cast<double>(count_);
+}
+
+}  // namespace train
+}  // namespace ts3net

@@ -1,0 +1,38 @@
+#ifndef TS3NET_TRAIN_METRICS_H_
+#define TS3NET_TRAIN_METRICS_H_
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace ts3net {
+namespace train {
+
+/// Streaming MSE/MAE accumulator over evaluation batches. Metrics are
+/// computed on standardized data, matching the TimesNet benchmark protocol
+/// the paper follows.
+class MetricAccumulator {
+ public:
+  /// Adds every element of pred vs target.
+  void Add(const Tensor& pred, const Tensor& target);
+
+  /// Adds only elements where mask == `mask_value` (the imputation protocol:
+  /// score the *masked* positions, i.e. mask_value 0 for our 1=observed
+  /// convention).
+  void AddMasked(const Tensor& pred, const Tensor& target, const Tensor& mask,
+                 float mask_value);
+
+  double Mse() const;
+  double Mae() const;
+  int64_t count() const { return count_; }
+
+ private:
+  double sum_sq_ = 0.0;
+  double sum_abs_ = 0.0;
+  int64_t count_ = 0;
+};
+
+}  // namespace train
+}  // namespace ts3net
+
+#endif  // TS3NET_TRAIN_METRICS_H_

@@ -1,0 +1,251 @@
+#include "train/trainer.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "tensor/autograd_mode.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+#include "train/metrics.h"
+
+namespace ts3net {
+namespace train {
+
+namespace {
+
+/// Shared early-stopping fit loop; the task specifics are provided as
+/// callbacks computing the training loss for a batch of indices and the
+/// validation loss for the whole validation set.
+template <typename TrainStepFn, typename ValLossFn>
+FitResult FitLoop(nn::Module* model, int64_t train_size,
+                  const TrainOptions& options, TrainStepFn train_step,
+                  ValLossFn val_loss_fn) {
+  TS3_CHECK(model != nullptr);
+  nn::AdamOptions adam_opt;
+  adam_opt.lr = options.lr;
+  nn::Adam adam(model->Parameters(), adam_opt);
+
+  data::BatchSampler sampler(train_size, options.batch_size, /*shuffle=*/true,
+                             options.seed);
+  FitResult result;
+  float best_val = std::numeric_limits<float>::infinity();
+  int bad_epochs = 0;
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    if (options.lr_decay != 1.0f) {
+      adam.set_lr(options.lr *
+                  std::pow(options.lr_decay, static_cast<float>(epoch)));
+    }
+    model->SetTraining(true);
+    sampler.Reset();
+    std::vector<int64_t> indices;
+    double epoch_loss = 0.0;
+    int64_t batches = 0;
+    while (sampler.Next(&indices)) {
+      if (options.max_batches_per_epoch > 0 &&
+          batches >= options.max_batches_per_epoch) {
+        break;
+      }
+      adam.ZeroGrad();
+      Tensor loss = train_step(indices);
+      epoch_loss += loss.item();
+      ++batches;
+      loss.Backward();
+      if (options.clip_norm > 0.0f) {
+        nn::ClipGradNorm(model->Parameters(), options.clip_norm);
+      }
+      adam.Step();
+    }
+    const float train_loss =
+        batches > 0 ? static_cast<float>(epoch_loss / batches) : 0.0f;
+    result.train_losses.push_back(train_loss);
+
+    model->SetTraining(false);
+    const float val_loss = val_loss_fn();
+    result.val_losses.push_back(val_loss);
+    result.epochs_run = epoch + 1;
+    if (options.verbose) {
+      TS3_LOG(Info) << "epoch " << epoch + 1 << "/" << options.epochs
+                    << " train " << train_loss << " val " << val_loss;
+    }
+
+    if (val_loss < best_val - 1e-6f) {
+      best_val = val_loss;
+      bad_epochs = 0;
+    } else if (++bad_epochs >= options.patience) {
+      result.early_stopped = true;
+      break;
+    }
+  }
+  model->SetTraining(false);
+  return result;
+}
+
+}  // namespace
+
+FitResult FitForecast(nn::Module* model, const data::ForecastDataset& train,
+                      const data::ForecastDataset& val,
+                      const TrainOptions& options) {
+  auto train_step = [&](const std::vector<int64_t>& indices) {
+    Tensor x, y;
+    train.GetBatch(indices, &x, &y);
+    return nn::MseLoss(model->Forward(x), y);
+  };
+  auto val_loss = [&]() {
+    EvalResult r = EvaluateForecast(model, val, options.batch_size,
+                                    options.max_batches_per_epoch);
+    return static_cast<float>(r.mse);
+  };
+  return FitLoop(model, train.size(), options, train_step, val_loss);
+}
+
+EvalResult EvaluateForecast(nn::Module* model,
+                            const data::ForecastDataset& dataset,
+                            int64_t batch_size, int64_t max_batches) {
+  TS3_CHECK(model != nullptr);
+  model->SetTraining(false);
+  data::BatchSampler sampler(dataset.size(), batch_size, /*shuffle=*/false, 0);
+  MetricAccumulator acc;
+  std::vector<int64_t> indices;
+  int64_t batches = 0;
+  NoGradGuard no_grad;
+  while (sampler.Next(&indices)) {
+    if (max_batches > 0 && batches >= max_batches) break;
+    Tensor x, y;
+    dataset.GetBatch(indices, &x, &y);
+    acc.Add(model->Forward(x).Detach(), y);
+    ++batches;
+  }
+  return {acc.Mse(), acc.Mae()};
+}
+
+FitResult FitImputation(nn::Module* model,
+                        const data::ImputationDataset& train,
+                        const data::ImputationDataset& val,
+                        const TrainOptions& options) {
+  auto train_step = [&](const std::vector<int64_t>& indices) {
+    Tensor x, mask, y;
+    train.GetBatch(indices, &x, &mask, &y);
+    // Loss on masked positions (mask == 0 means the point was hidden).
+    Tensor missing = Sub(Tensor::Ones(mask.shape()), mask);
+    return nn::MaskedMseLoss(model->Forward(x), y, missing);
+  };
+  auto val_loss = [&]() {
+    EvalResult r = EvaluateImputation(model, val, options.batch_size,
+                                      options.max_batches_per_epoch);
+    return static_cast<float>(r.mse);
+  };
+  return FitLoop(model, train.size(), options, train_step, val_loss);
+}
+
+EvalResult EvaluateImputation(nn::Module* model,
+                              const data::ImputationDataset& dataset,
+                              int64_t batch_size, int64_t max_batches) {
+  TS3_CHECK(model != nullptr);
+  model->SetTraining(false);
+  data::BatchSampler sampler(dataset.size(), batch_size, /*shuffle=*/false, 0);
+  MetricAccumulator acc;
+  std::vector<int64_t> indices;
+  int64_t batches = 0;
+  NoGradGuard no_grad;
+  while (sampler.Next(&indices)) {
+    if (max_batches > 0 && batches >= max_batches) break;
+    Tensor x, mask, y;
+    dataset.GetBatch(indices, &x, &mask, &y);
+    acc.AddMasked(model->Forward(x).Detach(), y, mask, /*mask_value=*/0.0f);
+    ++batches;
+  }
+  return {acc.Mse(), acc.Mae()};
+}
+
+EvalResult EvaluateWalkForward(nn::Module* model, const Tensor& series,
+                               int64_t lookback, int64_t horizon,
+                               int64_t batch_size) {
+  TS3_CHECK(model != nullptr);
+  TS3_CHECK_EQ(series.ndim(), 2) << "EvaluateWalkForward expects [T, C]";
+  TS3_CHECK_GE(series.dim(0), lookback + horizon);
+  model->SetTraining(false);
+  NoGradGuard no_grad;
+
+  data::ForecastDataset windows(series, lookback, horizon);
+  // Origins spaced by `horizon`: consecutive forecasts do not overlap.
+  std::vector<int64_t> origins;
+  for (int64_t i = 0; i < windows.size(); i += horizon) origins.push_back(i);
+
+  MetricAccumulator acc;
+  for (size_t pos = 0; pos < origins.size();
+       pos += static_cast<size_t>(batch_size)) {
+    std::vector<int64_t> batch(
+        origins.begin() + pos,
+        origins.begin() + std::min(origins.size(),
+                                   pos + static_cast<size_t>(batch_size)));
+    Tensor x, y;
+    windows.GetBatch(batch, &x, &y);
+    acc.Add(model->Forward(x).Detach(), y);
+  }
+  return {acc.Mse(), acc.Mae()};
+}
+
+FitResult FitClassification(nn::Module* model,
+                            const data::ClassificationData& train,
+                            const data::ClassificationData& val,
+                            const TrainOptions& options) {
+  auto train_step = [&](const std::vector<int64_t>& indices) {
+    Tensor x;
+    std::vector<int64_t> labels;
+    data::GatherClassificationBatch(train, indices, &x, &labels);
+    return nn::CrossEntropyLoss(model->Forward(x), labels);
+  };
+  auto val_loss = [&]() {
+    NoGradGuard no_grad;
+    data::BatchSampler sampler(val.size(), options.batch_size,
+                               /*shuffle=*/false, 0);
+    std::vector<int64_t> indices;
+    double total = 0.0;
+    int64_t batches = 0;
+    while (sampler.Next(&indices)) {
+      Tensor x;
+      std::vector<int64_t> labels;
+      data::GatherClassificationBatch(val, indices, &x, &labels);
+      total += nn::CrossEntropyLoss(model->Forward(x), labels).item();
+      ++batches;
+    }
+    return batches > 0 ? static_cast<float>(total / batches) : 0.0f;
+  };
+  return FitLoop(model, train.size(), options, train_step, val_loss);
+}
+
+double EvaluateAccuracy(nn::Module* model,
+                        const data::ClassificationData& dataset,
+                        int64_t batch_size) {
+  TS3_CHECK(model != nullptr);
+  model->SetTraining(false);
+  NoGradGuard no_grad;
+  data::BatchSampler sampler(dataset.size(), batch_size, /*shuffle=*/false, 0);
+  std::vector<int64_t> indices;
+  int64_t correct = 0, total = 0;
+  while (sampler.Next(&indices)) {
+    Tensor x;
+    std::vector<int64_t> labels;
+    data::GatherClassificationBatch(dataset, indices, &x, &labels);
+    Tensor logits = model->Forward(x);
+    const int64_t k = logits.dim(1);
+    for (size_t i = 0; i < labels.size(); ++i) {
+      int64_t argmax = 0;
+      for (int64_t j = 1; j < k; ++j) {
+        if (logits.at(static_cast<int64_t>(i) * k + j) >
+            logits.at(static_cast<int64_t>(i) * k + argmax)) {
+          argmax = j;
+        }
+      }
+      correct += (argmax == labels[i]);
+      ++total;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(correct) / total;
+}
+
+}  // namespace train
+}  // namespace ts3net

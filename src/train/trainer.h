@@ -1,0 +1,91 @@
+#ifndef TS3NET_TRAIN_TRAINER_H_
+#define TS3NET_TRAIN_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/classification.h"
+#include "data/window.h"
+#include "nn/module.h"
+
+namespace ts3net {
+namespace train {
+
+/// Training hyper-parameters (paper Table III: Adam, MSE loss, early
+/// stopping with patience 3). `max_batches_per_epoch` lets benches subsample
+/// large datasets; 0 means use everything.
+struct TrainOptions {
+  int epochs = 3;
+  int64_t batch_size = 16;
+  float lr = 1e-3f;
+  /// Per-epoch learning-rate multiplier (TimesNet protocol "type1" uses 0.5:
+  /// lr_epoch = lr * decay^epoch). 1.0 disables scheduling.
+  float lr_decay = 1.0f;
+  int patience = 3;
+  float clip_norm = 5.0f;
+  uint64_t seed = 1;
+  int64_t max_batches_per_epoch = 0;
+  bool verbose = false;
+};
+
+struct EvalResult {
+  double mse = 0.0;
+  double mae = 0.0;
+};
+
+struct FitResult {
+  std::vector<float> train_losses;  // per epoch
+  std::vector<float> val_losses;    // per epoch
+  int epochs_run = 0;
+  bool early_stopped = false;
+};
+
+/// Trains `model` on the forecasting task with MSE loss, early-stopping on
+/// the validation loss (patience from options).
+FitResult FitForecast(nn::Module* model, const data::ForecastDataset& train,
+                      const data::ForecastDataset& val,
+                      const TrainOptions& options);
+
+/// Evaluates MSE/MAE on a forecasting dataset (all windows, batched).
+EvalResult EvaluateForecast(nn::Module* model,
+                            const data::ForecastDataset& dataset,
+                            int64_t batch_size = 32,
+                            int64_t max_batches = 0);
+
+/// Trains on the imputation task: the model maps the masked window to a
+/// reconstruction; the loss is MSE on masked positions only.
+FitResult FitImputation(nn::Module* model, const data::ImputationDataset& train,
+                        const data::ImputationDataset& val,
+                        const TrainOptions& options);
+
+/// Evaluates imputation MSE/MAE on masked positions only.
+EvalResult EvaluateImputation(nn::Module* model,
+                              const data::ImputationDataset& dataset,
+                              int64_t batch_size = 32,
+                              int64_t max_batches = 0);
+
+/// Trains a classifier (logits [B, K]) with softmax cross-entropy; early
+/// stopping uses the validation cross-entropy.
+FitResult FitClassification(nn::Module* model,
+                            const data::ClassificationData& train,
+                            const data::ClassificationData& val,
+                            const TrainOptions& options);
+
+/// Top-1 accuracy of a classifier on a labelled set.
+double EvaluateAccuracy(nn::Module* model,
+                        const data::ClassificationData& dataset,
+                        int64_t batch_size = 32);
+
+/// Walk-forward (rolling-origin) evaluation: slides non-overlapping
+/// lookback+horizon windows across `series` [T, C] with stride `horizon`
+/// (each future point is scored exactly once), forecasting each origin with
+/// the already-trained model. The deployment-style counterpart of the
+/// overlapping-window EvaluateForecast.
+EvalResult EvaluateWalkForward(nn::Module* model, const Tensor& series,
+                               int64_t lookback, int64_t horizon,
+                               int64_t batch_size = 32);
+
+}  // namespace train
+}  // namespace ts3net
+
+#endif  // TS3NET_TRAIN_TRAINER_H_

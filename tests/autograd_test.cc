@@ -1,0 +1,432 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/autograd_mode.h"
+#include "tensor/gradcheck.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace ts3net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Engine mechanics
+// ---------------------------------------------------------------------------
+
+TEST(AutogradTest, SimpleSumBackward) {
+  Tensor x = Tensor::FromData({1, 2, 3}, {3}).set_requires_grad(true);
+  Tensor y = Sum(x);
+  y.Backward();
+  EXPECT_TRUE(AllClose(x.grad(), Tensor::Ones({3})));
+}
+
+TEST(AutogradTest, ChainRuleThroughMulScalar) {
+  Tensor x = Tensor::FromData({2}, {1}).set_requires_grad(true);
+  Tensor y = Sum(MulScalar(x, 3.0f));
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad().at(0), 3.0f);
+}
+
+TEST(AutogradTest, DiamondGraphAccumulates) {
+  // y = x*x + x -> dy/dx = 2x + 1
+  Tensor x = Tensor::FromData({3}, {1}).set_requires_grad(true);
+  Tensor y = Sum(Mul(x, x) + x);
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad().at(0), 7.0f);
+}
+
+TEST(AutogradTest, ReusedTensorAccumulatesAcrossBranches) {
+  // z = sum(x) + sum(2x) -> dz/dx = 3
+  Tensor x = Tensor::FromData({1, 1}, {2}).set_requires_grad(true);
+  Tensor z = Sum(x) + Sum(MulScalar(x, 2.0f));
+  z.Backward();
+  EXPECT_TRUE(AllClose(x.grad(), Tensor::Full({2}, 3.0f)));
+}
+
+TEST(AutogradTest, DetachStopsGradient) {
+  Tensor x = Tensor::FromData({2}, {1}).set_requires_grad(true);
+  Tensor y = Mul(x, x).Detach();
+  Tensor z = Sum(Mul(y, x));
+  z.Backward();
+  // d/dx (4 * x) with y treated as constant 4.
+  EXPECT_FLOAT_EQ(x.grad().at(0), 4.0f);
+}
+
+TEST(AutogradTest, ZeroGradClears) {
+  Tensor x = Tensor::FromData({1}, {1}).set_requires_grad(true);
+  Sum(x).Backward();
+  EXPECT_FLOAT_EQ(x.grad().at(0), 1.0f);
+  x.ZeroGrad();
+  EXPECT_FLOAT_EQ(x.grad().at(0), 0.0f);
+}
+
+TEST(AutogradTest, GradAccumulatesOverTwoBackwardCalls) {
+  Tensor x = Tensor::FromData({1}, {1}).set_requires_grad(true);
+  Sum(x).Backward();
+  Sum(x).Backward();
+  EXPECT_FLOAT_EQ(x.grad().at(0), 2.0f);
+}
+
+TEST(AutogradTest, NoGradWhenNotRequired) {
+  Tensor x = Tensor::FromData({1, 2}, {2});
+  Tensor y = Sum(Mul(x, x));
+  EXPECT_FALSE(y.requires_grad());
+  EXPECT_FALSE(x.grad().defined());
+}
+
+TEST(AutogradTest, BackwardWithExplicitSeed) {
+  Tensor x = Tensor::FromData({1, 2, 3}, {3}).set_requires_grad(true);
+  Tensor y = MulScalar(x, 2.0f);
+  y.Backward(Tensor::FromData({1, 10, 100}, {3}));
+  EXPECT_TRUE(AllClose(x.grad(), Tensor::FromData({2, 20, 200}, {3})));
+}
+
+TEST(AutogradDeathTest, NonScalarBackwardWithoutSeedAborts) {
+  Tensor x = Tensor::FromData({1, 2}, {2}).set_requires_grad(true);
+  Tensor y = MulScalar(x, 2.0f);
+  EXPECT_DEATH(y.Backward(), "requires a scalar");
+}
+
+TEST(AutogradTest, DeepChainBackward) {
+  Tensor x = Tensor::FromData({1.0f}, {1}).set_requires_grad(true);
+  Tensor y = x;
+  for (int i = 0; i < 50; ++i) y = MulScalar(y, 1.1f);
+  Sum(y).Backward();
+  EXPECT_NEAR(x.grad().at(0), std::pow(1.1f, 50.0f), 1e-2f);
+}
+
+TEST(NoGradTest, GuardSuppressesTape) {
+  Tensor x = Tensor::FromData({2}, {1}).set_requires_grad(true);
+  Tensor y;
+  {
+    NoGradGuard guard;
+    y = Mul(x, x);
+  }
+  EXPECT_FALSE(y.requires_grad());
+  EXPECT_EQ(y.grad_fn(), nullptr);
+}
+
+TEST(NoGradTest, NestedGuardsRestoreState) {
+  EXPECT_TRUE(GradModeEnabled());
+  {
+    NoGradGuard outer;
+    EXPECT_FALSE(GradModeEnabled());
+    {
+      NoGradGuard inner;
+      EXPECT_FALSE(GradModeEnabled());
+    }
+    EXPECT_FALSE(GradModeEnabled());
+  }
+  EXPECT_TRUE(GradModeEnabled());
+}
+
+TEST(NoGradTest, RecordingResumesAfterGuard) {
+  Tensor x = Tensor::FromData({3}, {1}).set_requires_grad(true);
+  {
+    NoGradGuard guard;
+    Mul(x, x);
+  }
+  Tensor y = Sum(Mul(x, x));
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad().at(0), 6.0f);
+}
+
+TEST(NoGradTest, ForwardValuesUnchangedUnderGuard) {
+  Rng rng(123);
+  Tensor x = Tensor::Randn({4, 4}, &rng).set_requires_grad(true);
+  Tensor with_grad = Tanh(MatMul(x, x));
+  Tensor without;
+  {
+    NoGradGuard guard;
+    without = Tanh(MatMul(x, x));
+  }
+  EXPECT_TRUE(AllClose(with_grad, without));
+}
+
+// ---------------------------------------------------------------------------
+// Gradient checks per op family (parameterized property sweep)
+// ---------------------------------------------------------------------------
+
+using GradFn2 = Tensor (*)(const Tensor&, const Tensor&);
+
+struct BinaryCase {
+  const char* name;
+  GradFn2 fn;
+  Shape shape_a;
+  Shape shape_b;
+  bool positive_only_b;
+};
+
+class BinaryGradTest : public ::testing::TestWithParam<BinaryCase> {};
+
+TEST_P(BinaryGradTest, MatchesNumericGradient) {
+  const BinaryCase& c = GetParam();
+  Rng rng(1234);
+  Tensor a = Tensor::Randn(c.shape_a, &rng);
+  Tensor b = Tensor::Randn(c.shape_b, &rng);
+  if (c.positive_only_b) {
+    for (int64_t i = 0; i < b.numel(); ++i) {
+      b.data()[i] = 1.0f + std::fabs(b.data()[i]);
+    }
+  }
+  GradFn2 fn = c.fn;
+  auto scalar_fn = [fn](const std::vector<Tensor>& in) {
+    return Sum(fn(in[0], in[1]));
+  };
+  auto result = CheckGradients(scalar_fn, {a, b});
+  EXPECT_TRUE(result.ok) << c.name << ": " << result.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BinaryOps, BinaryGradTest,
+    ::testing::Values(
+        BinaryCase{"add", &Add, {2, 3}, {2, 3}, false},
+        BinaryCase{"add_broadcast_row", &Add, {2, 3}, {3}, false},
+        BinaryCase{"add_broadcast_col", &Add, {2, 3}, {2, 1}, false},
+        BinaryCase{"sub", &Sub, {4}, {4}, false},
+        BinaryCase{"sub_broadcast", &Sub, {3, 2}, {1, 2}, false},
+        BinaryCase{"mul", &Mul, {2, 2}, {2, 2}, false},
+        BinaryCase{"mul_broadcast", &Mul, {2, 3, 2}, {3, 1}, false},
+        BinaryCase{"div", &Div, {3}, {3}, true},
+        BinaryCase{"div_broadcast", &Div, {2, 3}, {3}, true},
+        BinaryCase{"matmul_2d", &MatMul, {3, 4}, {4, 2}, false},
+        BinaryCase{"matmul_batched", &MatMul, {2, 3, 4}, {2, 4, 2}, false},
+        BinaryCase{"matmul_bcast_rhs", &MatMul, {2, 3, 4}, {4, 3}, false}),
+    [](const ::testing::TestParamInfo<BinaryCase>& info) {
+      return info.param.name;
+    });
+
+using GradFn1 = Tensor (*)(const Tensor&);
+
+struct UnaryCase {
+  const char* name;
+  GradFn1 fn;
+  bool positive_only;
+};
+
+class UnaryGradTest : public ::testing::TestWithParam<UnaryCase>{};
+
+TEST_P(UnaryGradTest, MatchesNumericGradient) {
+  const UnaryCase& c = GetParam();
+  Rng rng(99);
+  Tensor a = Tensor::Randn({2, 5}, &rng);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    // Keep away from non-differentiable points (0 for abs/relu/sqrt).
+    float v = a.data()[i];
+    if (std::fabs(v) < 0.2f) v = v < 0 ? v - 0.2f : v + 0.2f;
+    a.data()[i] = c.positive_only ? 0.5f + std::fabs(v) : v;
+  }
+  GradFn1 fn = c.fn;
+  auto scalar_fn = [fn](const std::vector<Tensor>& in) {
+    return Sum(fn(in[0]));
+  };
+  auto result = CheckGradients(scalar_fn, {a}, 1e-2f, 3e-2f);
+  EXPECT_TRUE(result.ok) << c.name << ": " << result.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    UnaryOps, UnaryGradTest,
+    ::testing::Values(UnaryCase{"neg", &Neg, false},
+                      UnaryCase{"exp", &Exp, false},
+                      UnaryCase{"log", &Log, true},
+                      UnaryCase{"sqrt", &Sqrt, true},
+                      UnaryCase{"abs", &Abs, false},
+                      UnaryCase{"square", &Square, false},
+                      UnaryCase{"relu", &Relu, false},
+                      UnaryCase{"gelu", &Gelu, false},
+                      UnaryCase{"sigmoid", &Sigmoid, false},
+                      UnaryCase{"tanh", &Tanh, false},
+                      UnaryCase{"sin", &Sin, false},
+                      UnaryCase{"cos", &Cos, false}),
+    [](const ::testing::TestParamInfo<UnaryCase>& info) {
+      return info.param.name;
+    });
+
+// ---------------------------------------------------------------------------
+// Gradient checks for shape / reduce / conv ops
+// ---------------------------------------------------------------------------
+
+TEST(ShapeGradTest, ReshapeGradient) {
+  Rng rng(5);
+  Tensor a = Tensor::Randn({2, 6}, &rng);
+  auto fn = [](const std::vector<Tensor>& in) {
+    return Sum(Square(Reshape(in[0], {3, 4})));
+  };
+  auto r = CheckGradients(fn, {a});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(ShapeGradTest, PermuteGradient) {
+  Rng rng(6);
+  Tensor a = Tensor::Randn({2, 3, 4}, &rng);
+  auto fn = [](const std::vector<Tensor>& in) {
+    Tensor p = Permute(in[0], {2, 0, 1});
+    return Sum(Mul(p, p));
+  };
+  auto r = CheckGradients(fn, {a});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(ShapeGradTest, SliceGradient) {
+  Rng rng(7);
+  Tensor a = Tensor::Randn({3, 5}, &rng);
+  auto fn = [](const std::vector<Tensor>& in) {
+    return Sum(Square(Slice(in[0], 1, 1, 3)));
+  };
+  auto r = CheckGradients(fn, {a});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(ShapeGradTest, ConcatGradient) {
+  Rng rng(8);
+  Tensor a = Tensor::Randn({2, 2}, &rng);
+  Tensor b = Tensor::Randn({2, 3}, &rng);
+  auto fn = [](const std::vector<Tensor>& in) {
+    return Sum(Square(Concat({in[0], in[1]}, 1)));
+  };
+  auto r = CheckGradients(fn, {a, b});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(ShapeGradTest, PadGradient) {
+  Rng rng(9);
+  Tensor a = Tensor::Randn({2, 3}, &rng);
+  auto fn = [](const std::vector<Tensor>& in) {
+    return Sum(Square(Pad(in[0], 1, 2, 1, 0.5f)));
+  };
+  auto r = CheckGradients(fn, {a});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(ShapeGradTest, ReplicatePadGradient) {
+  Rng rng(10);
+  Tensor a = Tensor::Randn({1, 4, 2}, &rng);
+  auto fn = [](const std::vector<Tensor>& in) {
+    return Sum(Square(ReplicatePad(in[0], 1, 2, 2)));
+  };
+  auto r = CheckGradients(fn, {a});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(ShapeGradTest, RepeatGradient) {
+  Rng rng(11);
+  Tensor a = Tensor::Randn({3}, &rng);
+  auto fn = [](const std::vector<Tensor>& in) {
+    return Sum(Square(Repeat(in[0], 0, 3)));
+  };
+  auto r = CheckGradients(fn, {a});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(ReduceGradTest, SumAxisGradient) {
+  Rng rng(12);
+  Tensor a = Tensor::Randn({3, 4}, &rng);
+  auto fn = [](const std::vector<Tensor>& in) {
+    return Sum(Square(Sum(in[0], {1})));
+  };
+  auto r = CheckGradients(fn, {a});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(ReduceGradTest, MeanGradient) {
+  Rng rng(13);
+  Tensor a = Tensor::Randn({4, 3}, &rng);
+  auto fn = [](const std::vector<Tensor>& in) {
+    return Sum(Square(Mean(in[0], {0})));
+  };
+  auto r = CheckGradients(fn, {a});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(ReduceGradTest, VarianceGradient) {
+  Rng rng(14);
+  Tensor a = Tensor::Randn({5}, &rng);
+  auto fn = [](const std::vector<Tensor>& in) {
+    return Sum(Variance(in[0], {0}));
+  };
+  auto r = CheckGradients(fn, {a});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(ReduceGradTest, MaxGradientRoutesToArgmax) {
+  Tensor a = Tensor::FromData({1, 5, 3}, {3}).set_requires_grad(true);
+  Tensor m = Max(a, 0);
+  Sum(m).Backward();
+  EXPECT_TRUE(AllClose(a.grad(), Tensor::FromData({0, 1, 0}, {3})));
+}
+
+TEST(ReduceGradTest, SoftmaxGradient) {
+  Rng rng(15);
+  Tensor a = Tensor::Randn({2, 4}, &rng);
+  auto fn = [](const std::vector<Tensor>& in) {
+    Tensor s = Softmax(in[0], 1);
+    // Weighted sum to create a non-trivial gradient through softmax.
+    Tensor w = Tensor::FromData({1, -2, 3, 0.5f, -1, 2, 0.3f, 1.7f}, {2, 4});
+    return Sum(Mul(s, w));
+  };
+  auto r = CheckGradients(fn, {a}, 1e-2f, 3e-2f);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(ConvGradTest, Conv2dInputGradient) {
+  Rng rng(16);
+  Tensor x = Tensor::Randn({1, 2, 4, 4}, &rng);
+  Tensor w = Tensor::Randn({3, 2, 3, 3}, &rng, 0.5f);
+  auto fn = [&w](const std::vector<Tensor>& in) {
+    return Sum(Square(Conv2d(in[0], w, Tensor(), 1, 1)));
+  };
+  auto r = CheckGradients(fn, {x}, 1e-2f, 5e-2f);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(ConvGradTest, Conv2dWeightAndBiasGradient) {
+  Rng rng(17);
+  Tensor x = Tensor::Randn({2, 1, 3, 3}, &rng);
+  Tensor w = Tensor::Randn({2, 1, 2, 2}, &rng, 0.5f);
+  Tensor b = Tensor::Randn({2}, &rng, 0.5f);
+  auto fn = [&x](const std::vector<Tensor>& in) {
+    return Sum(Square(Conv2d(x, in[0], in[1], 1, 1)));
+  };
+  auto r = CheckGradients(fn, {w, b}, 1e-2f, 5e-2f);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(ConvGradTest, MovingAvgGradient) {
+  Rng rng(18);
+  Tensor x = Tensor::Randn({1, 6, 2}, &rng);
+  auto fn = [](const std::vector<Tensor>& in) {
+    return Sum(Square(MovingAvg1d(in[0], 3)));
+  };
+  auto r = CheckGradients(fn, {x});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(MixedGradTest, CompositeExpressionGradient) {
+  Rng rng(19);
+  Tensor a = Tensor::Randn({3, 4}, &rng);
+  Tensor b = Tensor::Randn({4, 2}, &rng);
+  auto fn = [](const std::vector<Tensor>& in) {
+    Tensor h = Tanh(MatMul(in[0], in[1]));
+    Tensor s = Softmax(h, 1);
+    return Mean(Square(s - 0.5f));
+  };
+  auto r = CheckGradients(fn, {a, b}, 1e-2f, 3e-2f);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(MixedGradTest, LayerNormStyleExpression) {
+  Rng rng(20);
+  Tensor x = Tensor::Randn({2, 5}, &rng);
+  auto fn = [](const std::vector<Tensor>& in) {
+    Tensor mu = Mean(in[0], {1}, true);
+    Tensor var = Variance(in[0], {1}, true);
+    Tensor norm = Div(Sub(in[0], mu), Sqrt(var + 1e-5f));
+    return Sum(Square(norm + 0.1f));
+  };
+  auto r = CheckGradients(fn, {x}, 1e-2f, 5e-2f);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+}  // namespace
+}  // namespace ts3net

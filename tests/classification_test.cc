@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "core/classifier.h"
+#include "data/classification.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+#include "train/trainer.h"
+
+namespace ts3net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CrossEntropyLoss
+// ---------------------------------------------------------------------------
+
+TEST(CrossEntropyTest, UniformLogitsGiveLogK) {
+  Tensor logits = Tensor::Zeros({3, 4});
+  Tensor loss = nn::CrossEntropyLoss(logits, {0, 1, 2});
+  EXPECT_NEAR(loss.item(), std::log(4.0f), 1e-5f);
+}
+
+TEST(CrossEntropyTest, ConfidentCorrectPredictionHasLowLoss) {
+  Tensor logits = Tensor::FromData({10, 0, 0, 0, 10, 0}, {2, 3});
+  Tensor loss = nn::CrossEntropyLoss(logits, {0, 1});
+  EXPECT_LT(loss.item(), 1e-3f);
+}
+
+TEST(CrossEntropyTest, ConfidentWrongPredictionHasHighLoss) {
+  Tensor logits = Tensor::FromData({10, 0, 0}, {1, 3});
+  Tensor loss = nn::CrossEntropyLoss(logits, {2});
+  EXPECT_GT(loss.item(), 5.0f);
+}
+
+TEST(CrossEntropyTest, StableForLargeLogits) {
+  Tensor logits = Tensor::FromData({1000, 999, 998}, {1, 3});
+  Tensor loss = nn::CrossEntropyLoss(logits, {0});
+  EXPECT_TRUE(std::isfinite(loss.item()));
+  EXPECT_LT(loss.item(), 1.0f);
+}
+
+TEST(CrossEntropyTest, GradientIsSoftmaxMinusOneHot) {
+  Tensor logits =
+      Tensor::FromData({1.0f, 2.0f, 0.5f}, {1, 3}).set_requires_grad(true);
+  nn::CrossEntropyLoss(logits, {1}).Backward();
+  // Softmax of (1, 2, 0.5).
+  const float e0 = std::exp(1.0f), e1 = std::exp(2.0f), e2 = std::exp(0.5f);
+  const float z = e0 + e1 + e2;
+  EXPECT_NEAR(logits.grad().at(0), e0 / z, 1e-4f);
+  EXPECT_NEAR(logits.grad().at(1), e1 / z - 1.0f, 1e-4f);
+  EXPECT_NEAR(logits.grad().at(2), e2 / z, 1e-4f);
+}
+
+TEST(CrossEntropyDeathTest, LabelOutOfRangeAborts) {
+  Tensor logits = Tensor::Zeros({1, 3});
+  EXPECT_DEATH(nn::CrossEntropyLoss(logits, {3}), "label out of range");
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic classification data
+// ---------------------------------------------------------------------------
+
+TEST(ClassificationDataTest, ShapesAndLabelRange) {
+  data::ClassificationOptions o;
+  o.num_classes = 3;
+  o.samples_per_class = 10;
+  o.length = 48;
+  o.channels = 2;
+  auto data = data::GenerateClassificationData(o);
+  EXPECT_EQ(data.x.shape(), (Shape{30, 48, 2}));
+  EXPECT_EQ(data.labels.size(), 30u);
+  for (int64_t l : data.labels) EXPECT_TRUE(l >= 0 && l < 3);
+}
+
+TEST(ClassificationDataTest, BalancedClasses) {
+  data::ClassificationOptions o;
+  o.num_classes = 4;
+  o.samples_per_class = 8;
+  auto data = data::GenerateClassificationData(o);
+  std::map<int64_t, int> counts;
+  for (int64_t l : data.labels) ++counts[l];
+  for (int64_t k = 0; k < 4; ++k) EXPECT_EQ(counts[k], 8);
+}
+
+TEST(ClassificationDataTest, Deterministic) {
+  data::ClassificationOptions o;
+  o.seed = 5;
+  auto a = data::GenerateClassificationData(o);
+  auto b = data::GenerateClassificationData(o);
+  EXPECT_TRUE(AllClose(a.x, b.x));
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(ClassificationDataTest, ClassesDifferInDominantPeriod) {
+  data::ClassificationOptions o;
+  o.num_classes = 2;
+  o.samples_per_class = 4;
+  o.noise_std = 0.05;
+  o.length = 96;
+  auto data = data::GenerateClassificationData(o);
+  // Mean absolute autocorrelation-style check: the two classes should have
+  // visibly different spectra. We simply check the generator produced
+  // non-identical class-conditional means of |x| diffs at lag 4 vs lag 14.
+  auto lag_score = [&](int64_t idx, int64_t lag) {
+    double acc = 0;
+    for (int64_t t = 0; t + lag < 96; ++t) {
+      acc += data.x.at((idx * 96 + t) * o.channels) *
+             data.x.at((idx * 96 + t + lag) * o.channels);
+    }
+    return acc;
+  };
+  // For class with period ~8, lag-8 autocorrelation is strongly positive;
+  // for class with period ~18, it is not.
+  double class0 = 0, class1 = 0;
+  int n0 = 0, n1 = 0;
+  for (int64_t i = 0; i < data.size(); ++i) {
+    if (data.labels[i] == 0) {
+      class0 += lag_score(i, 8);
+      ++n0;
+    } else {
+      class1 += lag_score(i, 8);
+      ++n1;
+    }
+  }
+  EXPECT_GT(class0 / n0, class1 / n1);
+}
+
+TEST(ClassificationDataTest, SplitPreservesTotals) {
+  data::ClassificationOptions o;
+  o.num_classes = 3;
+  o.samples_per_class = 10;
+  auto all = data::GenerateClassificationData(o);
+  data::ClassificationData train, test;
+  data::SplitClassification(all, 0.8, &train, &test);
+  EXPECT_EQ(train.size() + test.size(), all.size());
+  EXPECT_EQ(train.size(), 24);
+}
+
+TEST(ClassificationDataTest, BatchGatherMatchesSource) {
+  data::ClassificationOptions o;
+  o.num_classes = 2;
+  o.samples_per_class = 5;
+  o.length = 16;
+  o.channels = 1;
+  auto data = data::GenerateClassificationData(o);
+  Tensor x;
+  std::vector<int64_t> labels;
+  data::GatherClassificationBatch(data, {3, 7}, &x, &labels);
+  EXPECT_EQ(x.shape(), (Shape{2, 16, 1}));
+  EXPECT_EQ(labels[0], data.labels[3]);
+  EXPECT_FLOAT_EQ(x.at(0), data.x.at(3 * 16));
+}
+
+// ---------------------------------------------------------------------------
+// TS3NetClassifier end-to-end
+// ---------------------------------------------------------------------------
+
+TEST(ClassifierTest, LogitShape) {
+  core::TS3NetOptions opt;
+  opt.seq_len = 32;
+  opt.channels = 2;
+  opt.d_model = 8;
+  opt.d_ff = 8;
+  opt.lambda = 4;
+  opt.num_blocks = 1;
+  opt.dropout = 0.0f;
+  Rng rng(1);
+  core::TS3NetClassifier model(opt, 5, &rng);
+  EXPECT_EQ(model.Forward(Tensor::Zeros({3, 32, 2})).shape(), (Shape{3, 5}));
+}
+
+TEST(ClassifierTest, LearnsSeparableClasses) {
+  data::ClassificationOptions gen;
+  gen.num_classes = 3;
+  gen.samples_per_class = 40;
+  gen.length = 64;
+  gen.channels = 2;
+  gen.noise_std = 0.2;
+  gen.seed = 7;
+  auto all = data::GenerateClassificationData(gen);
+  data::ClassificationData train, test;
+  data::SplitClassification(all, 0.75, &train, &test);
+
+  core::TS3NetOptions opt;
+  opt.seq_len = 64;
+  opt.channels = 2;
+  opt.d_model = 12;
+  opt.d_ff = 12;
+  opt.lambda = 6;
+  opt.num_blocks = 1;
+  opt.dropout = 0.0f;
+  Rng rng(2);
+  core::TS3NetClassifier model(opt, 3, &rng);
+
+  train::TrainOptions topt;
+  topt.epochs = 6;
+  topt.batch_size = 16;
+  topt.lr = 3e-3f;
+  topt.patience = 6;
+  train::FitClassification(&model, train, test, topt);
+
+  const double acc = train::EvaluateAccuracy(&model, test);
+  EXPECT_GT(acc, 0.7) << "accuracy " << acc;
+}
+
+TEST(ClassifierTest, AccuracyOfRandomModelNearChance) {
+  data::ClassificationOptions gen;
+  gen.num_classes = 4;
+  gen.samples_per_class = 25;
+  gen.length = 32;
+  gen.channels = 1;
+  auto data = data::GenerateClassificationData(gen);
+
+  core::TS3NetOptions opt;
+  opt.seq_len = 32;
+  opt.channels = 1;
+  opt.d_model = 8;
+  opt.d_ff = 8;
+  opt.lambda = 4;
+  opt.num_blocks = 1;
+  opt.dropout = 0.0f;
+  Rng rng(3);
+  core::TS3NetClassifier model(opt, 4, &rng);
+  model.SetTraining(false);
+  const double acc = train::EvaluateAccuracy(&model, data);
+  EXPECT_LT(acc, 0.6);  // untrained: near 0.25, certainly below 0.6
+}
+
+}  // namespace
+}  // namespace ts3net

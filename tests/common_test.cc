@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace ts3net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad lambda");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad lambda");
+}
+
+TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
+  std::set<StatusCode> codes = {
+      Status::InvalidArgument("x").code(), Status::NotFound("x").code(),
+      Status::IOError("x").code(),         Status::OutOfRange("x").code(),
+      Status::Unimplemented("x").code(),   Status::Internal("x").code()};
+  EXPECT_EQ(codes.size(), 6u);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.NextUint64() == b.NextUint64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBound) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.UniformInt(17), 17u);
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyStandard) {
+  Rng rng(13);
+  const int n = 100000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextGaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int64_t> idx(100);
+  for (int64_t i = 0; i < 100; ++i) idx[i] = i;
+  rng.Shuffle(&idx);
+  std::set<int64_t> seen(idx.begin(), idx.end());
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.Fork();
+  // The child should not replay the parent's stream.
+  Rng parent2(23);
+  parent2.Fork();
+  EXPECT_NE(child.NextUint64(), parent.NextUint64());
+}
+
+// ---------------------------------------------------------------------------
+// String utilities
+// ---------------------------------------------------------------------------
+
+TEST(StringUtilTest, SplitBasic) {
+  auto parts = StrSplit("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = StrSplit("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, JoinRoundTrip) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(StrJoin(parts, "-"), "x-y-z");
+}
+
+TEST(StringUtilTest, TrimWhitespace) {
+  EXPECT_EQ(StrTrim("  hello\t\n"), "hello");
+  EXPECT_EQ(StrTrim(""), "");
+  EXPECT_EQ(StrTrim("   "), "");
+}
+
+TEST(StringUtilTest, FormatProducesExpected) {
+  EXPECT_EQ(StrFormat("%d/%s/%.2f", 3, "ab", 1.5), "3/ab/1.50");
+}
+
+TEST(StringUtilTest, ParseDoubleValid) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble(" 3.25 ", &v));
+  EXPECT_DOUBLE_EQ(v, 3.25);
+}
+
+TEST(StringUtilTest, ParseDoubleRejectsGarbage) {
+  double v = 0;
+  EXPECT_FALSE(ParseDouble("3.2x", &v));
+  EXPECT_FALSE(ParseDouble("", &v));
+}
+
+TEST(StringUtilTest, ParseInt64Valid) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("-42", &v));
+  EXPECT_EQ(v, -42);
+}
+
+TEST(StringUtilTest, ParseInt64RejectsFloat) {
+  int64_t v = 0;
+  EXPECT_FALSE(ParseInt64("4.2", &v));
+}
+
+// ---------------------------------------------------------------------------
+// FlagParser
+// ---------------------------------------------------------------------------
+
+TEST(FlagParserTest, ParsesEqualsForm) {
+  const char* argv[] = {"prog", "--epochs=5", "--name=test"};
+  FlagParser flags;
+  ASSERT_TRUE(flags.Parse(3, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(flags.GetInt("epochs", 0), 5);
+  EXPECT_EQ(flags.GetString("name", ""), "test");
+}
+
+TEST(FlagParserTest, ParsesSpaceForm) {
+  const char* argv[] = {"prog", "--epochs", "7"};
+  FlagParser flags;
+  ASSERT_TRUE(flags.Parse(3, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(flags.GetInt("epochs", 0), 7);
+}
+
+TEST(FlagParserTest, BareFlagIsBooleanTrue) {
+  const char* argv[] = {"prog", "--verbose"};
+  FlagParser flags;
+  ASSERT_TRUE(flags.Parse(2, const_cast<char**>(argv)).ok());
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+}
+
+TEST(FlagParserTest, DefaultsWhenAbsent) {
+  FlagParser flags;
+  ASSERT_TRUE(flags.Parse(0, nullptr).ok());
+  EXPECT_EQ(flags.GetInt("missing", 9), 9);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("missing", 1.5), 1.5);
+  EXPECT_FALSE(flags.GetBool("missing", false));
+}
+
+TEST(FlagParserTest, IntListParsing) {
+  const char* argv[] = {"prog", "--horizons=24,48,96"};
+  FlagParser flags;
+  ASSERT_TRUE(flags.Parse(2, const_cast<char**>(argv)).ok());
+  auto v = flags.GetIntList("horizons", {});
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 24);
+  EXPECT_EQ(v[2], 96);
+}
+
+TEST(FlagParserTest, PositionalCollected) {
+  const char* argv[] = {"prog", "pos1", "--k=1", "pos2"};
+  FlagParser flags;
+  ASSERT_TRUE(flags.Parse(4, const_cast<char**>(argv)).ok());
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "pos1");
+}
+
+// ---------------------------------------------------------------------------
+// TS3_CHECK
+// ---------------------------------------------------------------------------
+
+TEST(CheckDeathTest, FailedCheckAborts) {
+  EXPECT_DEATH({ TS3_CHECK_EQ(1, 2) << "should die"; }, "CHECK failed");
+}
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  TS3_CHECK_EQ(1, 1);
+  TS3_CHECK_LT(1, 2);
+  TS3_CHECK_GE(2, 2);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ts3net

@@ -1,0 +1,424 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/decomposition.h"
+#include "core/sgd_layer.h"
+#include "core/tf_block.h"
+#include "core/ts3net.h"
+#include "data/synthetic.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace ts3net {
+namespace core {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+WaveletBank SmallBank(int lambda = 6, int order = 1) {
+  WaveletBankOptions opt;
+  opt.num_subbands = lambda;
+  opt.order = order;
+  return WaveletBank::Create(opt);
+}
+
+// ---------------------------------------------------------------------------
+// SpectrumGradient (plain, Eq. 9)
+// ---------------------------------------------------------------------------
+
+TEST(SpectrumGradientTest, FirstChunkEqualsInput) {
+  Rng rng(1);
+  Tensor y = Tensor::Randn({3, 12, 2}, &rng);
+  Tensor d = SpectrumGradient(y, 4);
+  // First chunk: S_1 - S_0 = S_1.
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t t = 0; t < 4; ++t) {
+      for (int64_t c = 0; c < 2; ++c) {
+        EXPECT_FLOAT_EQ(d.at((i * 12 + t) * 2 + c), y.at((i * 12 + t) * 2 + c));
+      }
+    }
+  }
+}
+
+TEST(SpectrumGradientTest, LaterChunksAreDifferences) {
+  Rng rng(2);
+  Tensor y = Tensor::Randn({2, 9, 1}, &rng);
+  Tensor d = SpectrumGradient(y, 3);
+  // Chunk 2 position t: y[t] - y[t-3].
+  for (int64_t i = 0; i < 2; ++i) {
+    for (int64_t t = 3; t < 9; ++t) {
+      EXPECT_NEAR(d.at(i * 9 + t), y.at(i * 9 + t) - y.at(i * 9 + t - 3),
+                  1e-6f);
+    }
+  }
+}
+
+TEST(SpectrumGradientTest, PeriodicPlaneHasZeroGradientAfterFirstChunk) {
+  // A TF plane that repeats every 4 steps: spectrum gradient vanishes in all
+  // chunks after the first — the defining property of the "regular" part.
+  std::vector<float> v;
+  for (int64_t i = 0; i < 2; ++i) {
+    for (int64_t t = 0; t < 12; ++t) {
+      v.push_back(static_cast<float>(std::sin(2.0 * kPi * (t % 4) / 4.0) + i));
+    }
+  }
+  Tensor y = Tensor::FromData(std::move(v), {2, 12, 1});
+  Tensor d = SpectrumGradient(y, 4);
+  for (int64_t i = 0; i < 2; ++i) {
+    for (int64_t t = 4; t < 12; ++t) {
+      EXPECT_NEAR(d.at(i * 12 + t), 0.0f, 1e-6f);
+    }
+  }
+}
+
+TEST(SpectrumGradientTest, PeriodLargerThanSeriesReturnsInput) {
+  Rng rng(3);
+  Tensor y = Tensor::Randn({2, 8, 1}, &rng);
+  EXPECT_TRUE(AllClose(SpectrumGradient(y, 100), y));
+}
+
+// ---------------------------------------------------------------------------
+// TripleDecompose (analysis path)
+// ---------------------------------------------------------------------------
+
+TEST(TripleDecomposeTest, PartsReconstructInput) {
+  data::SyntheticOptions o;
+  o.length = 192;
+  o.channels = 3;
+  o.components = {{24.0, 1.0, 0.3, 96.0}};
+  o.trend_slope = 3.0;
+  Tensor x = data::GenerateSynthetic(o).values;
+  WaveletBank bank = SmallBank(8);
+  TripleParts parts = TripleDecompose(x, bank);
+  // trend + seasonal == x and regular + fluctuant == seasonal, exactly.
+  EXPECT_TRUE(AllClose(Add(parts.trend, parts.seasonal), x, 1e-4f, 1e-4f));
+  EXPECT_TRUE(AllClose(Add(parts.regular, parts.fluctuant), parts.seasonal,
+                       1e-4f, 1e-4f));
+}
+
+TEST(TripleDecomposeTest, ShapesAreConsistent) {
+  Rng rng(4);
+  Tensor x = Tensor::Randn({96, 2}, &rng);
+  WaveletBank bank = SmallBank(5);
+  TripleParts parts = TripleDecompose(x, bank);
+  EXPECT_EQ(parts.trend.shape(), (Shape{96, 2}));
+  EXPECT_EQ(parts.tf_distribution.shape(), (Shape{5, 96, 2}));
+  EXPECT_EQ(parts.spectrum_gradient.shape(), (Shape{5, 96, 2}));
+  EXPECT_GT(parts.period, 0);
+  EXPECT_LE(parts.period, 96);
+}
+
+TEST(TripleDecomposeTest, StablePeriodicSeriesHasSmallFluctuantPart) {
+  // Pure stable periodicity: fluctuant part should carry much less energy
+  // than the regular part (away from the first chunk).
+  const int64_t t_len = 192;
+  std::vector<float> v(t_len);
+  for (int64_t t = 0; t < t_len; ++t) {
+    v[t] = static_cast<float>(std::sin(2.0 * kPi * t / 24.0));
+  }
+  Tensor x = Tensor::FromData(std::move(v), {t_len, 1});
+  WaveletBank bank = SmallBank(8);
+  TripleParts parts = TripleDecompose(x, bank);
+  double e_fluct = 0, e_reg = 0;
+  for (int64_t t = parts.period; t < t_len; ++t) {
+    e_fluct += parts.fluctuant.at(t) * parts.fluctuant.at(t);
+    e_reg += parts.regular.at(t) * parts.regular.at(t);
+  }
+  EXPECT_LT(e_fluct, 0.3 * e_reg);
+}
+
+TEST(TripleDecomposeTest, AmplitudeModulationRaisesFluctuantEnergy) {
+  // Compare a stable tone against an amplitude-modulated one: the modulated
+  // series should put relatively more energy into the fluctuant part.
+  auto fluct_ratio = [](double mod_depth) {
+    data::SyntheticOptions o;
+    o.length = 384;
+    o.channels = 1;
+    o.seed = 9;
+    o.components = {{24.0, 1.0, mod_depth, 96.0}};
+    o.noise_std = 0.0;
+    o.cross_channel_mix = 0.0;
+    Tensor x = data::GenerateSynthetic(o).values;
+    WaveletBank bank = SmallBank(8);
+    TripleParts parts = TripleDecompose(x, bank);
+    double e_fluct = 0, e_seasonal = 0;
+    for (int64_t t = parts.period; t < 384; ++t) {
+      e_fluct += parts.fluctuant.at(t) * parts.fluctuant.at(t);
+      e_seasonal += parts.seasonal.at(t) * parts.seasonal.at(t);
+    }
+    return e_fluct / (e_seasonal + 1e-9);
+  };
+  EXPECT_GT(fluct_ratio(0.9), 1.5 * fluct_ratio(0.0));
+}
+
+// ---------------------------------------------------------------------------
+// SpectrumGradientLayer (differentiable path)
+// ---------------------------------------------------------------------------
+
+TEST(SgdLayerTest, RegularPlusFluctuantEqualsInput) {
+  WaveletBank bank = SmallBank(4);
+  SpectrumGradientLayer layer(&bank, 24);
+  Rng rng(5);
+  Tensor x = Tensor::Randn({2, 24, 3}, &rng);
+  auto out = layer.Decompose(x, 8);
+  EXPECT_TRUE(AllClose(Add(out.regular, out.fluctuant_1d), x, 1e-4f, 1e-4f));
+}
+
+TEST(SgdLayerTest, OutputShapes) {
+  WaveletBank bank = SmallBank(4);
+  SpectrumGradientLayer layer(&bank, 16);
+  Rng rng(6);
+  Tensor x = Tensor::Randn({3, 16, 2}, &rng);
+  auto out = layer.Decompose(x, 5);
+  EXPECT_EQ(out.regular.shape(), (Shape{3, 16, 2}));
+  EXPECT_EQ(out.fluctuant_2d.shape(), (Shape{3, 4, 16, 2}));
+  EXPECT_EQ(out.fluctuant_1d.shape(), (Shape{3, 16, 2}));
+}
+
+TEST(SgdLayerTest, MatchesPlainDecompositionOnSingleSample) {
+  WaveletBank bank = SmallBank(5);
+  SpectrumGradientLayer layer(&bank, 32);
+  Rng rng(7);
+  Tensor x = Tensor::Randn({32, 2}, &rng);
+  // Plain path.
+  Tensor amp = CwtAmplitude(x, bank);
+  Tensor delta = SpectrumGradient(amp, 8);
+  Tensor fluct = Iwt(delta, bank);
+  // Layer path.
+  auto out = layer.Decompose(Unsqueeze(x, 0), 8);
+  EXPECT_TRUE(AllClose(Squeeze(out.fluctuant_1d, 0), fluct, 1e-3f, 1e-3f));
+}
+
+TEST(SgdLayerTest, GradientFlowsThroughDecomposition) {
+  WaveletBank bank = SmallBank(3);
+  SpectrumGradientLayer layer(&bank, 10);
+  Rng rng(8);
+  Tensor x = Tensor::Randn({1, 10, 2}, &rng).set_requires_grad(true);
+  auto out = layer.Decompose(x, 4);
+  Sum(Square(out.regular)).Backward();
+  ASSERT_TRUE(x.grad().defined());
+  double norm = 0;
+  for (int64_t i = 0; i < x.grad().numel(); ++i) {
+    norm += std::fabs(x.grad().at(i));
+  }
+  EXPECT_GT(norm, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// TFBlock
+// ---------------------------------------------------------------------------
+
+TEST(TfBlockTest, PreservesShape) {
+  WaveletBank b1 = SmallBank(4, 1), b2 = SmallBank(4, 2);
+  Rng rng(9);
+  TFBlock block({&b1, &b2}, 20, 8, 16, 2, TfMode::kWavelet, &rng);
+  EXPECT_EQ(block.num_branches(), 2);
+  EXPECT_EQ(block.Forward(Tensor::Zeros({2, 20, 8})).shape(),
+            (Shape{2, 20, 8}));
+}
+
+TEST(TfBlockTest, ReplicateModeWorks) {
+  WaveletBank b1 = SmallBank(4, 1);
+  Rng rng(10);
+  TFBlock block({&b1}, 12, 6, 12, 2, TfMode::kReplicate, &rng);
+  EXPECT_EQ(block.num_branches(), 1);
+  EXPECT_EQ(block.Forward(Tensor::Zeros({1, 12, 6})).shape(),
+            (Shape{1, 12, 6}));
+}
+
+TEST(TfBlockTest, GradientsReachAllParameters) {
+  WaveletBank b1 = SmallBank(3, 1);
+  Rng rng(11);
+  TFBlock block({&b1}, 10, 4, 8, 2, TfMode::kWavelet, &rng);
+  Tensor x = Tensor::Randn({1, 10, 4}, &rng);
+  Sum(Square(block.Forward(x))).Backward();
+  int with_grad = 0;
+  for (const Tensor& p : block.Parameters()) {
+    if (p.grad().defined()) ++with_grad;
+  }
+  EXPECT_EQ(with_grad, static_cast<int>(block.Parameters().size()));
+}
+
+TEST(TfBlockTest, MergeWeightsAreLearnable) {
+  WaveletBank b1 = SmallBank(3, 1), b2 = SmallBank(3, 2);
+  Rng rng(12);
+  TFBlock block({&b1, &b2}, 8, 4, 8, 1, TfMode::kWavelet, &rng);
+  auto named = block.NamedParameters();
+  bool found = false;
+  for (auto& [name, p] : named) {
+    if (name == "merge_logits") {
+      found = true;
+      EXPECT_EQ(p.shape(), (Shape{2}));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------------
+// TS3Net end-to-end
+// ---------------------------------------------------------------------------
+
+TS3NetOptions TinyOptions() {
+  TS3NetOptions o;
+  o.seq_len = 24;
+  o.pred_len = 12;
+  o.channels = 3;
+  o.d_model = 8;
+  o.d_ff = 8;
+  o.num_blocks = 2;
+  o.lambda = 4;
+  o.branch_orders = {1, 2};
+  o.num_kernels = 2;
+  o.dropout = 0.0f;
+  return o;
+}
+
+TEST(TS3NetTest, ForwardShape) {
+  Rng rng(13);
+  TS3Net model(TinyOptions(), &rng);
+  EXPECT_EQ(model.Forward(Tensor::Zeros({2, 24, 3})).shape(),
+            (Shape{2, 12, 3}));
+}
+
+TEST(TS3NetTest, ImputationGeometry) {
+  TS3NetOptions o = TinyOptions();
+  o.pred_len = o.seq_len;
+  o.task = TaskType::kImputation;
+  Rng rng(14);
+  TS3Net model(o, &rng);
+  EXPECT_EQ(model.Forward(Tensor::Zeros({2, 24, 3})).shape(),
+            (Shape{2, 24, 3}));
+}
+
+TEST(TS3NetTest, DeterministicGivenSeed) {
+  Rng rng1(15), rng2(15);
+  TS3Net m1(TinyOptions(), &rng1);
+  TS3Net m2(TinyOptions(), &rng2);
+  m1.SetTraining(false);
+  m2.SetTraining(false);
+  Rng xr(16);
+  Tensor x = Tensor::Randn({2, 24, 3}, &xr);
+  EXPECT_TRUE(AllClose(m1.Forward(x), m2.Forward(x)));
+}
+
+TEST(TS3NetTest, AllParametersReceiveGradients) {
+  Rng rng(17);
+  TS3Net model(TinyOptions(), &rng);
+  Tensor x = Tensor::Randn({2, 24, 3}, &rng);
+  Tensor y = Tensor::Randn({2, 12, 3}, &rng);
+  nn::MseLoss(model.Forward(x), y).Backward();
+  int missing = 0;
+  for (const auto& [name, p] : model.NamedParameters()) {
+    if (!p.grad().defined()) ++missing;
+  }
+  EXPECT_EQ(missing, 0);
+}
+
+TEST(TS3NetTest, AblationVariantsProduceCorrectShapes) {
+  Rng rng(18);
+  // w/o TD
+  TS3NetOptions no_td = TinyOptions();
+  no_td.DisableTripleDecomposition();
+  TS3Net m1(no_td, &rng);
+  EXPECT_EQ(m1.Forward(Tensor::Zeros({1, 24, 3})).shape(), (Shape{1, 12, 3}));
+  // w/o TF-Block (replicate mode)
+  TS3NetOptions no_tf = TinyOptions();
+  no_tf.tf_mode = TfMode::kReplicate;
+  TS3Net m2(no_tf, &rng);
+  EXPECT_EQ(m2.Forward(Tensor::Zeros({1, 24, 3})).shape(), (Shape{1, 12, 3}));
+  // w/o both
+  TS3NetOptions neither = TinyOptions();
+  neither.DisableTripleDecomposition();
+  neither.tf_mode = TfMode::kReplicate;
+  TS3Net m3(neither, &rng);
+  EXPECT_EQ(m3.Forward(Tensor::Zeros({1, 24, 3})).shape(), (Shape{1, 12, 3}));
+}
+
+TEST(TS3NetTest, TsdCnnVariantHasNoSgdHeads) {
+  TS3NetOptions o = TinyOptions();
+  o.use_sgd = false;  // TSD-CNN of Table VII
+  Rng rng(19);
+  TS3Net model(o, &rng);
+  for (const auto& [name, p] : model.NamedParameters()) {
+    EXPECT_EQ(name.find("fluctuant_head"), std::string::npos) << name;
+  }
+  EXPECT_EQ(model.Forward(Tensor::Zeros({1, 24, 3})).shape(),
+            (Shape{1, 12, 3}));
+}
+
+TEST(TS3NetTest, TrainingReducesLossOnSyntheticData) {
+  data::SyntheticOptions so;
+  so.length = 400;
+  so.channels = 3;
+  so.components = {{12.0, 1.0, 0.3, 100.0}};
+  so.noise_std = 0.1;
+  so.seed = 20;
+  Tensor series = data::GenerateSynthetic(so).values;
+
+  TS3NetOptions o = TinyOptions();
+  Rng rng(21);
+  TS3Net model(o, &rng);
+  nn::AdamOptions adam_opt;
+  adam_opt.lr = 3e-3f;
+  nn::Adam adam(model.Parameters(), adam_opt);
+
+  // Build a tiny batch by hand (8 windows).
+  auto batch_at = [&](int64_t start, Tensor* x, Tensor* y) {
+    std::vector<float> xv, yv;
+    for (int64_t b = 0; b < 8; ++b) {
+      for (int64_t t = 0; t < 24; ++t) {
+        for (int64_t c = 0; c < 3; ++c) {
+          xv.push_back(series.at((start + b * 30 + t) * 3 + c));
+        }
+      }
+      for (int64_t t = 0; t < 12; ++t) {
+        for (int64_t c = 0; c < 3; ++c) {
+          yv.push_back(series.at((start + b * 30 + 24 + t) * 3 + c));
+        }
+      }
+    }
+    *x = Tensor::FromData(std::move(xv), {8, 24, 3});
+    *y = Tensor::FromData(std::move(yv), {8, 12, 3});
+  };
+
+  Tensor x, y;
+  batch_at(0, &x, &y);
+  float first = 0, last = 0;
+  for (int step = 0; step < 30; ++step) {
+    adam.ZeroGrad();
+    Tensor loss = nn::MseLoss(model.Forward(x), y);
+    if (step == 0) first = loss.item();
+    last = loss.item();
+    loss.Backward();
+    adam.Step();
+  }
+  EXPECT_LT(last, first * 0.8f);
+}
+
+// ---------------------------------------------------------------------------
+// TsdTransformer
+// ---------------------------------------------------------------------------
+
+TEST(TsdTransformerTest, ForwardShape) {
+  Rng rng(22);
+  TsdTransformer model(TinyOptions(), 2, &rng);
+  EXPECT_EQ(model.Forward(Tensor::Zeros({2, 24, 3})).shape(),
+            (Shape{2, 12, 3}));
+}
+
+TEST(TsdTransformerTest, GradientsFlow) {
+  Rng rng(23);
+  TsdTransformer model(TinyOptions(), 2, &rng);
+  Tensor x = Tensor::Randn({1, 24, 3}, &rng);
+  Tensor y = Tensor::Randn({1, 12, 3}, &rng);
+  nn::MseLoss(model.Forward(x), y).Backward();
+  for (const auto& [name, p] : model.NamedParameters()) {
+    EXPECT_TRUE(p.grad().defined()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ts3net

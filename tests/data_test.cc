@@ -1,0 +1,503 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "data/csv.h"
+#include "data/noise.h"
+#include "data/scaler.h"
+#include "data/synthetic.h"
+#include "data/timeseries.h"
+#include "data/window.h"
+#include "signal/period.h"
+#include "tensor/ops.h"
+
+namespace ts3net {
+namespace data {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Synthetic generator
+// ---------------------------------------------------------------------------
+
+TEST(SyntheticTest, ShapeMatchesOptions) {
+  SyntheticOptions o;
+  o.length = 500;
+  o.channels = 3;
+  TimeSeries s = GenerateSynthetic(o);
+  EXPECT_EQ(s.values.shape(), (Shape{500, 3}));
+  EXPECT_EQ(s.channel_names.size(), 3u);
+}
+
+TEST(SyntheticTest, DeterministicForSameSeed) {
+  SyntheticOptions o;
+  o.length = 300;
+  o.channels = 2;
+  o.seed = 7;
+  o.components = {{24.0, 1.0, 0.3, 120.0}};
+  TimeSeries a = GenerateSynthetic(o);
+  TimeSeries b = GenerateSynthetic(o);
+  EXPECT_TRUE(AllClose(a.values, b.values));
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  SyntheticOptions o;
+  o.length = 300;
+  o.channels = 1;
+  o.components = {{24.0, 1.0, 0.0, 0.0}};
+  o.seed = 1;
+  TimeSeries a = GenerateSynthetic(o);
+  o.seed = 2;
+  TimeSeries b = GenerateSynthetic(o);
+  EXPECT_FALSE(AllClose(a.values, b.values));
+}
+
+TEST(SyntheticTest, DominantPeriodIsRecovered) {
+  SyntheticOptions o;
+  o.length = 960;
+  o.channels = 2;
+  o.components = {{24.0, 2.0, 0.0, 0.0}};
+  o.noise_std = 0.1;
+  o.cross_channel_mix = 0.0;
+  TimeSeries s = GenerateSynthetic(o);
+  // 960 / 24 = 40 cycles -> frequency bin 40 -> period 24.
+  auto periods = DetectTopKPeriods(s.values, 1);
+  EXPECT_EQ(periods[0].period, 24);
+}
+
+TEST(SyntheticTest, TrendSlopeShowsUp) {
+  SyntheticOptions o;
+  o.length = 2000;
+  o.channels = 1;
+  o.trend_slope = 10.0;
+  o.noise_std = 0.1;
+  o.cross_channel_mix = 0.0;
+  TimeSeries s = GenerateSynthetic(o);
+  // Mean of the last tenth should exceed the mean of the first tenth by a
+  // large fraction of the total drift.
+  double head = 0, tail = 0;
+  for (int t = 0; t < 200; ++t) head += s.values.at(t);
+  for (int t = 1800; t < 2000; ++t) tail += s.values.at(t);
+  EXPECT_GT(tail / 200 - head / 200, 5.0);
+}
+
+TEST(SyntheticTest, AmplitudeModulationChangesEnvelope) {
+  SyntheticOptions o;
+  o.length = 1920;
+  o.channels = 1;
+  o.components = {{24.0, 1.0, 0.8, 960.0}};
+  o.noise_std = 0.01;
+  o.cross_channel_mix = 0.0;
+  o.seed = 3;
+  TimeSeries s = GenerateSynthetic(o);
+  // RMS of the tone over windows at modulation peak vs trough should differ.
+  auto rms = [&](int64_t lo, int64_t hi) {
+    double acc = 0;
+    for (int64_t t = lo; t < hi; ++t) acc += s.values.at(t) * s.values.at(t);
+    return std::sqrt(acc / (hi - lo));
+  };
+  const double r1 = rms(0, 480);
+  const double r2 = rms(480, 960);
+  const double ratio = std::max(r1, r2) / std::min(r1, r2);
+  EXPECT_GT(ratio, 1.3);
+}
+
+TEST(SyntheticTest, CrossChannelMixCorrelatesChannels) {
+  SyntheticOptions o;
+  o.length = 1000;
+  o.channels = 2;
+  o.random_walk_std = 0.1;
+  o.noise_std = 0.1;
+  o.cross_channel_mix = 0.9;
+  TimeSeries s = GenerateSynthetic(o);
+  // Pearson correlation between the channels should be high.
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  const int64_t n = 1000;
+  for (int64_t t = 0; t < n; ++t) {
+    const double a = s.values.at(t * 2);
+    const double b = s.values.at(t * 2 + 1);
+    sx += a;
+    sy += b;
+    sxx += a * a;
+    syy += b * b;
+    sxy += a * b;
+  }
+  const double cov = sxy / n - (sx / n) * (sy / n);
+  const double va = sxx / n - (sx / n) * (sx / n);
+  const double vb = syy / n - (sy / n) * (sy / n);
+  EXPECT_GT(cov / std::sqrt(va * vb), 0.7);
+}
+
+TEST(PresetTest, AllNamesResolve) {
+  for (const std::string& name : AllDatasetNames()) {
+    auto preset = DatasetPreset(name, 0.1);
+    ASSERT_TRUE(preset.ok()) << name;
+    TimeSeries s = GenerateSynthetic(preset.value());
+    EXPECT_GT(s.length(), 800) << name;
+    EXPECT_GE(s.channels(), 7) << name;
+  }
+}
+
+TEST(PresetTest, ChannelDimsMatchPaperTable2) {
+  EXPECT_EQ(GenerateSynthetic(DatasetPreset("ETTh1", 0.1).value()).channels(), 7);
+  EXPECT_EQ(GenerateSynthetic(DatasetPreset("Weather", 0.1).value()).channels(), 21);
+  EXPECT_EQ(GenerateSynthetic(DatasetPreset("Exchange", 0.1).value()).channels(), 8);
+  EXPECT_EQ(
+      GenerateSynthetic(DatasetPreset("Electricity", 0.05, 16).value()).channels(),
+      16);  // capped
+}
+
+TEST(PresetTest, UnknownNameIsNotFound) {
+  auto r = DatasetPreset("NoSuchDataset");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(PresetTest, BadFractionIsInvalidArgument) {
+  EXPECT_FALSE(DatasetPreset("ETTh1", 0.0).ok());
+  EXPECT_FALSE(DatasetPreset("ETTh1", 5.0).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Split
+// ---------------------------------------------------------------------------
+
+TEST(SplitTest, FractionsRespected) {
+  SyntheticOptions o;
+  o.length = 1000;
+  o.channels = 2;
+  TimeSeries s = GenerateSynthetic(o);
+  SplitSeries split = SplitChronological(s, 0.7, 0.1);
+  EXPECT_EQ(split.train.length(), 700);
+  EXPECT_EQ(split.val.length(), 100);
+  EXPECT_EQ(split.test.length(), 200);
+}
+
+TEST(SplitTest, SegmentsAreContiguous) {
+  SyntheticOptions o;
+  o.length = 100;
+  o.channels = 1;
+  TimeSeries s = GenerateSynthetic(o);
+  SplitSeries split = SplitChronological(s, 0.5, 0.2);
+  EXPECT_FLOAT_EQ(split.val.values.at(0), s.values.at(50));
+  EXPECT_FLOAT_EQ(split.test.values.at(0), s.values.at(70));
+}
+
+// ---------------------------------------------------------------------------
+// Scaler
+// ---------------------------------------------------------------------------
+
+TEST(ScalerTest, TransformStandardizes) {
+  Rng rng(1);
+  Tensor x = Tensor::Randn({500, 3}, &rng, 4.0f);
+  // Shift channel 1.
+  for (int64_t t = 0; t < 500; ++t) x.data()[t * 3 + 1] += 10.0f;
+  StandardScaler scaler;
+  scaler.Fit(x);
+  Tensor z = scaler.Transform(x);
+  for (int64_t c = 0; c < 3; ++c) {
+    double sum = 0, sum_sq = 0;
+    for (int64_t t = 0; t < 500; ++t) {
+      sum += z.at(t * 3 + c);
+      sum_sq += z.at(t * 3 + c) * z.at(t * 3 + c);
+    }
+    EXPECT_NEAR(sum / 500, 0.0, 1e-4);
+    EXPECT_NEAR(sum_sq / 500, 1.0, 1e-3);
+  }
+}
+
+TEST(ScalerTest, InverseRoundTrips) {
+  Rng rng(2);
+  Tensor x = Tensor::Randn({100, 2}, &rng, 3.0f);
+  StandardScaler scaler;
+  scaler.Fit(x);
+  Tensor back = scaler.InverseTransform(scaler.Transform(x));
+  EXPECT_TRUE(AllClose(back, x, 1e-4f, 1e-4f));
+}
+
+TEST(ScalerTest, BatchedTransformSupported) {
+  Rng rng(3);
+  Tensor train = Tensor::Randn({100, 2}, &rng);
+  StandardScaler scaler;
+  scaler.Fit(train);
+  Tensor batch = Tensor::Randn({4, 10, 2}, &rng);
+  EXPECT_EQ(scaler.Transform(batch).shape(), batch.shape());
+}
+
+TEST(ScalerTest, ConstantChannelDoesNotBlowUp) {
+  Tensor x = Tensor::Full({50, 1}, 5.0f);
+  StandardScaler scaler;
+  scaler.Fit(x);
+  Tensor z = scaler.Transform(x);
+  for (int64_t i = 0; i < z.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(z.at(i)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CSV round-trip
+// ---------------------------------------------------------------------------
+
+TEST(CsvTest, SaveLoadRoundTrip) {
+  SyntheticOptions o;
+  o.length = 50;
+  o.channels = 3;
+  TimeSeries s = GenerateSynthetic(o);
+  const std::string path = "/tmp/ts3net_test_roundtrip.csv";
+  ASSERT_TRUE(SaveCsv(s, path).ok());
+  auto loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().values.shape(), s.values.shape());
+  EXPECT_TRUE(AllClose(loaded.value().values, s.values, 1e-4f, 1e-4f));
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, SkipsNonNumericDateColumn) {
+  const std::string path = "/tmp/ts3net_test_date.csv";
+  FILE* f = fopen(path.c_str(), "w");
+  fprintf(f, "date,a,b\n2020-01-01,1.5,2\n2020-01-02,3,4.5\n");
+  fclose(f);
+  auto loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().values.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(loaded.value().values.at(0), 1.5f);
+  EXPECT_EQ(loaded.value().channel_names[0], "a");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsIOError) {
+  auto r = LoadCsv("/tmp/definitely_not_here_ts3net.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(CsvTest, RaggedRowIsInvalid) {
+  const std::string path = "/tmp/ts3net_test_ragged.csv";
+  FILE* f = fopen(path.c_str(), "w");
+  fprintf(f, "a,b\n1,2\n3\n");
+  fclose(f);
+  EXPECT_FALSE(LoadCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// ForecastDataset
+// ---------------------------------------------------------------------------
+
+TEST(ForecastDatasetTest, SizeAndShapes) {
+  Rng rng(4);
+  Tensor values = Tensor::Randn({100, 3}, &rng);
+  ForecastDataset ds(values, 24, 12);
+  EXPECT_EQ(ds.size(), 100 - 24 - 12 + 1);
+  Tensor x, y;
+  ds.Get(0, &x, &y);
+  EXPECT_EQ(x.shape(), (Shape{24, 3}));
+  EXPECT_EQ(y.shape(), (Shape{12, 3}));
+}
+
+TEST(ForecastDatasetTest, WindowsAlignWithSource) {
+  Tensor values = Reshape(Tensor::Arange(40), {40, 1});
+  ForecastDataset ds(values, 5, 3);
+  Tensor x, y;
+  ds.Get(7, &x, &y);
+  EXPECT_FLOAT_EQ(x.at(0), 7.0f);
+  EXPECT_FLOAT_EQ(x.at(4), 11.0f);
+  EXPECT_FLOAT_EQ(y.at(0), 12.0f);
+  EXPECT_FLOAT_EQ(y.at(2), 14.0f);
+}
+
+TEST(ForecastDatasetTest, BatchGather) {
+  Tensor values = Reshape(Tensor::Arange(60), {30, 2});
+  ForecastDataset ds(values, 4, 2);
+  Tensor x, y;
+  ds.GetBatch({0, 5, 10}, &x, &y);
+  EXPECT_EQ(x.shape(), (Shape{3, 4, 2}));
+  EXPECT_EQ(y.shape(), (Shape{3, 2, 2}));
+  // Sample 1 starts at t=5: x[1][0][0] = values[5][0] = 10.
+  EXPECT_FLOAT_EQ(x.at((1 * 4 + 0) * 2), 10.0f);
+}
+
+TEST(ForecastDatasetDeathTest, TooShortSeriesAborts) {
+  Tensor values = Tensor::Zeros({10, 1});
+  EXPECT_DEATH(ForecastDataset(values, 8, 8), "too short");
+}
+
+// ---------------------------------------------------------------------------
+// ImputationDataset
+// ---------------------------------------------------------------------------
+
+TEST(ImputationDatasetTest, MaskRatioApproximatelyRespected) {
+  Rng rng(5);
+  Tensor values = Tensor::Randn({500, 2}, &rng);
+  ImputationDataset ds(values, 96, 0.25, 99);
+  Tensor x, mask, y;
+  int64_t masked = 0, total = 0;
+  for (int64_t i = 0; i < 20; ++i) {
+    ds.Get(i * 20, &x, &mask, &y);
+    for (int64_t j = 0; j < mask.numel(); ++j) {
+      masked += (mask.at(j) == 0.0f);
+      ++total;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(masked) / total, 0.25, 0.04);
+}
+
+TEST(ImputationDatasetTest, MaskedPositionsAreZeroInInput) {
+  Rng rng(6);
+  // Use values far from zero so zeroing is detectable.
+  Tensor values = AddScalar(Tensor::Randn({200, 2}, &rng), 10.0f);
+  ImputationDataset ds(values, 48, 0.5, 7);
+  Tensor x, mask, y;
+  ds.Get(3, &x, &mask, &y);
+  for (int64_t j = 0; j < x.numel(); ++j) {
+    if (mask.at(j) == 0.0f) {
+      EXPECT_EQ(x.at(j), 0.0f);
+    } else {
+      EXPECT_EQ(x.at(j), y.at(j));
+    }
+  }
+}
+
+TEST(ImputationDatasetTest, MaskIsDeterministicPerSample) {
+  Rng rng(7);
+  Tensor values = Tensor::Randn({200, 1}, &rng);
+  ImputationDataset ds(values, 48, 0.3, 11);
+  Tensor x1, m1, y1, x2, m2, y2;
+  ds.Get(5, &x1, &m1, &y1);
+  ds.Get(5, &x2, &m2, &y2);
+  EXPECT_TRUE(AllClose(m1, m2));
+}
+
+TEST(ImputationDatasetTest, MaskAppliesPerTimeStep) {
+  Rng rng(8);
+  Tensor values = Tensor::Randn({100, 4}, &rng);
+  ImputationDataset ds(values, 32, 0.4, 13);
+  Tensor x, mask, y;
+  ds.Get(0, &x, &mask, &y);
+  // All channels of a time step share the mask bit.
+  for (int64_t t = 0; t < 32; ++t) {
+    const float first = mask.at(t * 4);
+    for (int64_t c = 1; c < 4; ++c) EXPECT_EQ(mask.at(t * 4 + c), first);
+  }
+}
+
+TEST(ImputationDatasetTest, InterpolationBridgesMaskedRuns) {
+  // A linear ramp: interpolated fill must reproduce the ramp exactly at
+  // interior masked points.
+  Tensor values = Reshape(Tensor::Arange(200), {200, 1});
+  ImputationDataset ds(values, 64, 0.4, 21,
+                       ImputationDataset::FillMode::kInterpolate);
+  Tensor x, mask, y;
+  ds.Get(10, &x, &mask, &y);
+  // Find interior masked points (an observed point exists on both sides).
+  bool checked = false;
+  for (int64_t t = 1; t < 63; ++t) {
+    if (mask.at(t) != 0.0f) continue;
+    bool has_lo = false, has_hi = false;
+    for (int64_t u = 0; u < t; ++u) has_lo |= (mask.at(u) != 0.0f);
+    for (int64_t u = t + 1; u < 64; ++u) has_hi |= (mask.at(u) != 0.0f);
+    if (has_lo && has_hi) {
+      EXPECT_NEAR(x.at(t), y.at(t), 1e-4f) << "t=" << t;
+      checked = true;
+    }
+  }
+  EXPECT_TRUE(checked);
+}
+
+TEST(ImputationDatasetTest, InterpolationKeepsObservedValues) {
+  Rng rng(22);
+  Tensor values = Tensor::Randn({150, 2}, &rng);
+  ImputationDataset ds(values, 48, 0.3, 23,
+                       ImputationDataset::FillMode::kInterpolate);
+  Tensor x, mask, y;
+  ds.Get(5, &x, &mask, &y);
+  for (int64_t j = 0; j < x.numel(); ++j) {
+    if (mask.at(j) == 1.0f) {
+      EXPECT_EQ(x.at(j), y.at(j));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BatchSampler
+// ---------------------------------------------------------------------------
+
+TEST(BatchSamplerTest, CoversAllIndicesOnce) {
+  BatchSampler sampler(10, 3, /*shuffle=*/true, 1);
+  std::vector<int64_t> batch;
+  std::multiset<int64_t> seen;
+  while (sampler.Next(&batch)) {
+    for (int64_t i : batch) seen.insert(i);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+  for (int64_t i = 0; i < 10; ++i) EXPECT_EQ(seen.count(i), 1u);
+}
+
+TEST(BatchSamplerTest, LastBatchMayBeSmaller) {
+  BatchSampler sampler(10, 4, /*shuffle=*/false, 1);
+  std::vector<int64_t> batch;
+  std::vector<size_t> sizes;
+  while (sampler.Next(&batch)) sizes.push_back(batch.size());
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[2], 2u);
+  EXPECT_EQ(sampler.num_batches(), 3);
+}
+
+TEST(BatchSamplerTest, NoShuffleIsSequential) {
+  BatchSampler sampler(6, 2, /*shuffle=*/false, 1);
+  std::vector<int64_t> batch;
+  sampler.Next(&batch);
+  EXPECT_EQ(batch[0], 0);
+  EXPECT_EQ(batch[1], 1);
+}
+
+TEST(BatchSamplerTest, ResetReshuffles) {
+  BatchSampler sampler(100, 100, /*shuffle=*/true, 5);
+  std::vector<int64_t> first, second;
+  sampler.Next(&first);
+  sampler.Reset();
+  sampler.Next(&second);
+  EXPECT_NE(first, second);  // overwhelmingly likely with 100 elements
+}
+
+// ---------------------------------------------------------------------------
+// Noise injection (Table VIII protocol)
+// ---------------------------------------------------------------------------
+
+TEST(NoiseTest, ZeroRhoIsIdentity) {
+  Rng rng(9);
+  Tensor x = Tensor::Randn({100, 2}, &rng);
+  Rng noise_rng(10);
+  EXPECT_TRUE(AllClose(InjectNoise(x, 0.0, &noise_rng), x));
+}
+
+TEST(NoiseTest, ApproximatelyRhoFractionPerturbed) {
+  Rng rng(11);
+  Tensor x = Tensor::Randn({2000, 1}, &rng);
+  Rng noise_rng(12);
+  Tensor y = InjectNoise(x, 0.1, &noise_rng);
+  int64_t changed = 0;
+  for (int64_t t = 0; t < 2000; ++t) changed += (y.at(t) != x.at(t));
+  EXPECT_NEAR(changed / 2000.0, 0.1, 0.03);
+}
+
+TEST(NoiseTest, NoiseScalesWithSignalStd) {
+  Rng rng(13);
+  // Channel 0 has std 1, channel 1 has std 10.
+  Tensor x = Tensor::Randn({5000, 2}, &rng);
+  for (int64_t t = 0; t < 5000; ++t) x.data()[t * 2 + 1] *= 10.0f;
+  Rng noise_rng(14);
+  Tensor y = InjectNoise(x, 1.0, &noise_rng);
+  double d0 = 0, d1 = 0;
+  for (int64_t t = 0; t < 5000; ++t) {
+    d0 += std::pow(y.at(t * 2) - x.at(t * 2), 2.0);
+    d1 += std::pow(y.at(t * 2 + 1) - x.at(t * 2 + 1), 2.0);
+  }
+  // Injected variance should scale with the squared channel std (x100).
+  EXPECT_GT(d1 / d0, 25.0);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace ts3net

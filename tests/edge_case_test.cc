@@ -1,0 +1,186 @@
+// Edge-case and failure-injection coverage for the tensor and common layers:
+// boundary slices, degenerate shapes, numerical corners, and the abort paths
+// guarding misuse.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace ts3net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Boundary slices / concats / pads
+// ---------------------------------------------------------------------------
+
+TEST(EdgeTest, SliceFullRangeIsIdentity) {
+  Rng rng(1);
+  Tensor a = Tensor::Randn({3, 4}, &rng);
+  EXPECT_TRUE(AllClose(Slice(a, 0, 0, 3), a));
+  EXPECT_TRUE(AllClose(Slice(a, 1, 0, 4), a));
+}
+
+TEST(EdgeTest, SliceZeroLength) {
+  Tensor a = Tensor::Zeros({3, 4});
+  Tensor s = Slice(a, 0, 1, 0);
+  EXPECT_EQ(s.shape(), (Shape{0, 4}));
+  EXPECT_EQ(s.numel(), 0);
+}
+
+TEST(EdgeDeathTest, SliceBeyondEndAborts) {
+  Tensor a = Tensor::Zeros({3});
+  EXPECT_DEATH(Slice(a, 0, 2, 2), "slice");
+}
+
+TEST(EdgeTest, ConcatSingleTensorIsIdentity) {
+  Rng rng(2);
+  Tensor a = Tensor::Randn({2, 3}, &rng);
+  EXPECT_TRUE(AllClose(Concat({a}, 0), a));
+}
+
+TEST(EdgeTest, PadZeroAmountIsIdentity) {
+  Rng rng(3);
+  Tensor a = Tensor::Randn({2, 3}, &rng);
+  EXPECT_TRUE(AllClose(Pad(a, 1, 0, 0, 7.0f), a));
+}
+
+TEST(EdgeTest, RepeatOnceIsSameTensor) {
+  Tensor a = Tensor::Ones({2});
+  Tensor r = Repeat(a, 0, 1);
+  EXPECT_TRUE(AllClose(r, a));
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate shapes
+// ---------------------------------------------------------------------------
+
+TEST(EdgeTest, MatMulWithUnitDims) {
+  Tensor a = Tensor::FromData({2}, {1, 1});
+  Tensor b = Tensor::FromData({3}, {1, 1});
+  EXPECT_FLOAT_EQ(MatMul(a, b).item(), 6.0f);
+}
+
+TEST(EdgeTest, SoftmaxOfSingleElementAxisIsOne) {
+  Tensor a = Tensor::FromData({5, -3}, {2, 1});
+  Tensor s = Softmax(a, 1);
+  EXPECT_FLOAT_EQ(s.at(0), 1.0f);
+  EXPECT_FLOAT_EQ(s.at(1), 1.0f);
+}
+
+TEST(EdgeTest, SumOfScalarTensor) {
+  Tensor a = Tensor::Scalar(4.0f);
+  EXPECT_FLOAT_EQ(Sum(a).item(), 4.0f);
+}
+
+TEST(EdgeTest, MeanOverSingletonAxis) {
+  Tensor a = Tensor::FromData({1, 2, 3}, {3, 1});
+  Tensor m = Mean(a, {1});
+  EXPECT_TRUE(AllClose(m, Tensor::FromData({1, 2, 3}, {3})));
+}
+
+TEST(EdgeTest, TransposeOfSquareTwiceIsIdentity) {
+  Rng rng(4);
+  Tensor a = Tensor::Randn({5, 5}, &rng);
+  EXPECT_TRUE(AllClose(Transpose(Transpose(a, 0, 1), 0, 1), a));
+}
+
+// ---------------------------------------------------------------------------
+// Numerical corners
+// ---------------------------------------------------------------------------
+
+TEST(EdgeTest, ExpOfLargeNegativeUnderflowsToZero) {
+  Tensor a = Tensor::FromData({-200.0f}, {1});
+  EXPECT_FLOAT_EQ(Exp(a).at(0), 0.0f);
+}
+
+TEST(EdgeTest, SqrtOfZeroForwardIsZero) {
+  Tensor a = Tensor::Zeros({1});
+  EXPECT_FLOAT_EQ(Sqrt(a).at(0), 0.0f);
+}
+
+TEST(EdgeTest, SoftmaxWithInfinityGap) {
+  // One dominant logit: softmax must be exactly one-hot (no NaN).
+  Tensor a = Tensor::FromData({1e30f, 0.0f}, {1, 2});
+  Tensor s = Softmax(a, 1);
+  EXPECT_FLOAT_EQ(s.at(0), 1.0f);
+  EXPECT_FLOAT_EQ(s.at(1), 0.0f);
+}
+
+TEST(EdgeTest, DivisionGradientNearSmallDenominator) {
+  Tensor a = Tensor::FromData({1.0f}, {1}).set_requires_grad(true);
+  Tensor b = Tensor::FromData({1e-3f}, {1}).set_requires_grad(true);
+  Sum(Div(a, b)).Backward();
+  EXPECT_NEAR(a.grad().at(0), 1e3f, 1.0f);
+  EXPECT_NEAR(b.grad().at(0), -1e6f, 1e3f);
+}
+
+TEST(EdgeTest, AbsGradientAtZeroIsZeroSubgradient) {
+  Tensor a = Tensor::Zeros({1}).set_requires_grad(true);
+  Sum(Abs(a)).Backward();
+  EXPECT_FLOAT_EQ(a.grad().at(0), 0.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Engine misuse guards
+// ---------------------------------------------------------------------------
+
+TEST(EdgeDeathTest, UndefinedTensorShapeAborts) {
+  Tensor t;
+  EXPECT_DEATH(t.shape(), "CHECK failed");
+}
+
+TEST(EdgeDeathTest, AtOutOfRangeAborts) {
+  Tensor t = Tensor::Zeros({2});
+  EXPECT_DEATH(t.at(5), "CHECK failed");
+}
+
+TEST(EdgeDeathTest, ReshapeElementMismatchAborts) {
+  Tensor t = Tensor::Zeros({4});
+  EXPECT_DEATH(Reshape(t, {3}), "reshape");
+}
+
+TEST(EdgeDeathTest, PermuteInvalidAxesAborts) {
+  Tensor t = Tensor::Zeros({2, 3});
+  EXPECT_DEATH(Permute(t, {0, 0}), "permutation");
+}
+
+TEST(EdgeDeathTest, ResultValueOrDieAbortsOnError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_DEATH(std::move(r).ValueOrDie(), "NotFound");
+}
+
+// ---------------------------------------------------------------------------
+// Logging levels
+// ---------------------------------------------------------------------------
+
+TEST(LoggingTest, LevelFilterRoundTrips) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  TS3_LOG(Info) << "should be suppressed";
+  SetLogLevel(before);
+}
+
+// ---------------------------------------------------------------------------
+// ToString rendering
+// ---------------------------------------------------------------------------
+
+TEST(EdgeTest, ToStringTruncatesLongTensors) {
+  Tensor t = Tensor::Arange(100);
+  std::string s = t.ToString(4);
+  EXPECT_NE(s.find("..."), std::string::npos);
+  EXPECT_NE(s.find("[100]"), std::string::npos);
+}
+
+TEST(EdgeTest, ToStringOfUndefined) {
+  Tensor t;
+  EXPECT_EQ(t.ToString(), "Tensor(undefined)");
+}
+
+}  // namespace
+}  // namespace ts3net

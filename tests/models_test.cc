@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/dft.h"
+#include "models/registry.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace ts3net {
+namespace models {
+namespace {
+
+ModelConfig TinyConfig() {
+  ModelConfig c;
+  c.seq_len = 24;
+  c.pred_len = 12;
+  c.channels = 3;
+  c.d_model = 8;
+  c.d_ff = 8;
+  c.num_layers = 2;
+  c.num_heads = 2;
+  c.num_kernels = 2;
+  c.top_k_periods = 2;
+  c.num_modes = 6;
+  c.patch_len = 4;
+  c.lambda = 4;
+  c.dropout = 0.0f;
+  c.moving_avg = 7;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// DFT matrices (FEDformer substrate)
+// ---------------------------------------------------------------------------
+
+TEST(DftTest, FullModesRoundTripsRealSignal) {
+  const int64_t t = 16;
+  DftMatrices dft = BuildDftMatrices(t, t / 2 + 1);
+  Rng rng(1);
+  Tensor x = Tensor::Randn({1, t, 2}, &rng);
+  Tensor x_re = MatMul(dft.f_re, x);
+  Tensor x_im = MatMul(dft.f_im, x);
+  Tensor back = Add(MatMul(dft.i_re, x_re), MatMul(dft.i_im, x_im));
+  EXPECT_TRUE(AllClose(back, x, 1e-3f, 1e-4f));
+}
+
+TEST(DftTest, TruncationKeepsLowFrequencies) {
+  const int64_t t = 32;
+  // A low-frequency tone must survive truncation to few modes.
+  std::vector<float> xv(t);
+  for (int64_t i = 0; i < t; ++i) {
+    xv[i] = std::sin(2.0f * 3.14159265f * 2.0f * i / t);
+  }
+  Tensor x = Tensor::FromData(std::move(xv), {1, t, 1});
+  DftMatrices dft = BuildDftMatrices(t, 4);
+  Tensor back = Add(MatMul(dft.i_re, MatMul(dft.f_re, x)),
+                    MatMul(dft.i_im, MatMul(dft.f_im, x)));
+  EXPECT_TRUE(AllClose(back, x, 1e-2f, 1e-3f));
+}
+
+TEST(DftTest, ModesAreClamped) {
+  DftMatrices dft = BuildDftMatrices(10, 100);
+  EXPECT_EQ(dft.f_re.dim(0), 6);  // 10/2 + 1
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(RegistryTest, AllModelNamesMatchesPaperCount) {
+  EXPECT_EQ(AllModelNames().size(), 11u);
+  EXPECT_EQ(AllModelNames()[0], "TS3Net");
+  EXPECT_EQ(BaselineNames().size(), 10u);
+}
+
+TEST(RegistryTest, UnknownModelIsNotFound) {
+  Rng rng(2);
+  auto r = CreateModel("NotAModel", TinyConfig(), &rng);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, NullRngIsInvalidArgument) {
+  auto r = CreateModel("DLinear", TinyConfig(), nullptr);
+  EXPECT_FALSE(r.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Every model: forward shape, gradients, one training step (parameterized)
+// ---------------------------------------------------------------------------
+
+class ModelZooTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ModelZooTest, ForwardShape) {
+  Rng rng(3);
+  auto model = CreateModel(GetParam(), TinyConfig(), &rng);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  Rng xr(4);
+  Tensor x = Tensor::Randn({2, 24, 3}, &xr);
+  Tensor y = model.value()->Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 12, 3}));
+}
+
+TEST_P(ModelZooTest, OutputIsFinite) {
+  Rng rng(5);
+  auto model = CreateModel(GetParam(), TinyConfig(), &rng);
+  ASSERT_TRUE(model.ok());
+  model.value()->SetTraining(false);
+  Rng xr(6);
+  Tensor x = Tensor::Randn({1, 24, 3}, &xr, 3.0f);
+  Tensor y = model.value()->Forward(x);
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    ASSERT_TRUE(std::isfinite(y.at(i))) << GetParam() << " idx " << i;
+  }
+}
+
+TEST_P(ModelZooTest, AllParametersReceiveGradients) {
+  Rng rng(7);
+  auto model = CreateModel(GetParam(), TinyConfig(), &rng);
+  ASSERT_TRUE(model.ok());
+  Rng xr(8);
+  Tensor x = Tensor::Randn({2, 24, 3}, &xr);
+  Tensor target = Tensor::Randn({2, 12, 3}, &xr);
+  nn::MseLoss(model.value()->Forward(x), target).Backward();
+  for (const auto& [name, p] : model.value()->NamedParameters()) {
+    EXPECT_TRUE(p.grad().defined()) << GetParam() << " param " << name;
+  }
+}
+
+TEST_P(ModelZooTest, OneAdamStepReducesLossOnFixedBatch) {
+  Rng rng(9);
+  auto created = CreateModel(GetParam(), TinyConfig(), &rng);
+  ASSERT_TRUE(created.ok());
+  nn::Module* model = created.value().get();
+  model->SetTraining(false);  // deterministic (no dropout) for comparability
+  Rng xr(10);
+  Tensor x = Tensor::Randn({4, 24, 3}, &xr);
+  Tensor target = Tensor::Randn({4, 12, 3}, &xr);
+  nn::AdamOptions opt;
+  opt.lr = 5e-3f;
+  nn::Adam adam(model->Parameters(), opt);
+  float first = nn::MseLoss(model->Forward(x), target).item();
+  for (int step = 0; step < 8; ++step) {
+    adam.ZeroGrad();
+    Tensor loss = nn::MseLoss(model->Forward(x), target);
+    loss.Backward();
+    adam.Step();
+  }
+  float last = nn::MseLoss(model->Forward(x), target).item();
+  EXPECT_LT(last, first) << GetParam();
+}
+
+TEST_P(ModelZooTest, DeterministicGivenSeed) {
+  ModelConfig cfg = TinyConfig();
+  Rng r1(11), r2(11);
+  auto m1 = CreateModel(GetParam(), cfg, &r1);
+  auto m2 = CreateModel(GetParam(), cfg, &r2);
+  ASSERT_TRUE(m1.ok() && m2.ok());
+  m1.value()->SetTraining(false);
+  m2.value()->SetTraining(false);
+  Rng xr(12);
+  Tensor x = Tensor::Randn({2, 24, 3}, &xr);
+  EXPECT_TRUE(AllClose(m1.value()->Forward(x), m2.value()->Forward(x)))
+      << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ModelZooTest,
+    ::testing::Values("TS3Net", "PatchTST", "TimesNet", "MICN", "LightTS",
+                      "DLinear", "FEDformer", "Stationary", "Autoformer",
+                      "Pyraformer", "Informer", "TS3Net-woTD", "TS3Net-woTF",
+                      "TS3Net-woBoth", "TSD-CNN", "TSD-Trans", "LSTM", "TCN",
+                      "SCINet", "TS3Net-STFT"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Model-specific behaviours
+// ---------------------------------------------------------------------------
+
+TEST(DLinearTest, LearnsLinearTrendExactly) {
+  // A pure linear ramp is perfectly predictable by DLinear.
+  ModelConfig cfg = TinyConfig();
+  cfg.channels = 1;
+  Rng rng(13);
+  auto created = CreateModel("DLinear", cfg, &rng);
+  ASSERT_TRUE(created.ok());
+  nn::Module* model = created.value().get();
+  model->SetTraining(false);
+
+  // Build windows from a ramp.
+  const int64_t n = 16;
+  std::vector<float> xv, yv;
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t t = 0; t < 24; ++t) xv.push_back(0.1f * (b + t));
+    for (int64_t t = 24; t < 36; ++t) yv.push_back(0.1f * (b + t));
+  }
+  Tensor x = Tensor::FromData(std::move(xv), {n, 24, 1});
+  Tensor y = Tensor::FromData(std::move(yv), {n, 12, 1});
+  nn::AdamOptions opt;
+  opt.lr = 1e-2f;
+  nn::Adam adam(model->Parameters(), opt);
+  float loss_val = 0;
+  for (int step = 0; step < 300; ++step) {
+    adam.ZeroGrad();
+    Tensor loss = nn::MseLoss(model->Forward(x), y);
+    loss_val = loss.item();
+    loss.Backward();
+    adam.Step();
+  }
+  EXPECT_LT(loss_val, 1e-3f);
+}
+
+TEST(TimesNetTest, ImputationModeReconstructsWindowShape) {
+  ModelConfig cfg = TinyConfig();
+  cfg.imputation = true;
+  cfg.pred_len = cfg.seq_len;
+  Rng rng(14);
+  auto model = CreateModel("TimesNet", cfg, &rng);
+  ASSERT_TRUE(model.ok());
+  Tensor x = Tensor::Zeros({2, 24, 3});
+  EXPECT_EQ(model.value()->Forward(x).shape(), (Shape{2, 24, 3}));
+}
+
+TEST(PatchTstTest, ChannelIndependence) {
+  // With channel-independent processing, permuting input channels permutes
+  // output channels identically.
+  ModelConfig cfg = TinyConfig();
+  Rng rng(15);
+  auto created = CreateModel("PatchTST", cfg, &rng);
+  ASSERT_TRUE(created.ok());
+  nn::Module* model = created.value().get();
+  model->SetTraining(false);
+  Rng xr(16);
+  Tensor x = Tensor::Randn({1, 24, 3}, &xr);
+  Tensor y = model->Forward(x);
+  // Swap channels 0 and 2.
+  Tensor xs = Concat({Slice(x, 2, 2, 1), Slice(x, 2, 1, 1), Slice(x, 2, 0, 1)}, 2);
+  Tensor ys = model->Forward(xs);
+  Tensor ys_expected =
+      Concat({Slice(y, 2, 2, 1), Slice(y, 2, 1, 1), Slice(y, 2, 0, 1)}, 2);
+  EXPECT_TRUE(AllClose(ys, ys_expected, 1e-4f, 1e-5f));
+}
+
+TEST(InformerTest, HandlesOddLayerCounts) {
+  ModelConfig cfg = TinyConfig();
+  cfg.num_layers = 3;
+  Rng rng(17);
+  auto model = CreateModel("Informer", cfg, &rng);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model.value()->Forward(Tensor::Zeros({1, 24, 3})).shape(),
+            (Shape{1, 12, 3}));
+}
+
+TEST(StationaryTest, ScaleInvariancePropertyApproximatelyHolds) {
+  // Instance normalization makes the model equivariant to per-instance
+  // affine rescaling of the input (up to the learned de-stationary factors).
+  ModelConfig cfg = TinyConfig();
+  Rng rng(18);
+  auto created = CreateModel("Stationary", cfg, &rng);
+  ASSERT_TRUE(created.ok());
+  nn::Module* model = created.value().get();
+  model->SetTraining(false);
+  Rng xr(19);
+  Tensor x = Tensor::Randn({1, 24, 3}, &xr);
+  Tensor y1 = model->Forward(x);
+  Tensor y2 = model->Forward(MulScalar(x, 3.0f));
+  // The normalized representations match, so outputs should scale close to
+  // 3x (exactly 3x if tau/delta were constant).
+  Tensor ratio = Div(y2, AddScalar(y1, 1e-3f));
+  double mean_ratio = Mean(Abs(ratio)).item();
+  EXPECT_GT(mean_ratio, 1.5);
+}
+
+}  // namespace
+}  // namespace models
+}  // namespace ts3net

@@ -1,0 +1,405 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/attention.h"
+#include "nn/inception.h"
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "tensor/gradcheck.h"
+#include "tensor/ops.h"
+
+namespace ts3net {
+namespace nn {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Module tree mechanics
+// ---------------------------------------------------------------------------
+
+TEST(ModuleTest, ParametersCollectedRecursively) {
+  Rng rng(1);
+  Mlp mlp(4, 8, 2, &rng);
+  // fc1: 4*8 + 8, fc2: 8*2 + 2
+  EXPECT_EQ(mlp.NumParameters(), 4 * 8 + 8 + 8 * 2 + 2);
+  EXPECT_EQ(mlp.Parameters().size(), 4u);
+}
+
+TEST(ModuleTest, NamedParametersHavePaths) {
+  Rng rng(2);
+  Mlp mlp(3, 5, 1, &rng);
+  auto named = mlp.NamedParameters();
+  ASSERT_EQ(named.size(), 4u);
+  EXPECT_EQ(named[0].first, "fc1.weight");
+  EXPECT_EQ(named[3].first, "fc2.bias");
+}
+
+TEST(ModuleTest, TrainingFlagPropagates) {
+  Rng rng(3);
+  Sequential seq;
+  auto drop = std::make_shared<DropoutLayer>(0.5f);
+  seq.Add(drop);
+  seq.SetTraining(false);
+  EXPECT_FALSE(drop->training());
+  seq.SetTraining(true);
+  EXPECT_TRUE(drop->training());
+}
+
+TEST(ModuleTest, ZeroGradClearsAllParameters) {
+  Rng rng(4);
+  Linear lin(3, 2, &rng);
+  Tensor x = Tensor::Randn({5, 3}, &rng);
+  Sum(Square(lin.Forward(x))).Backward();
+  EXPECT_TRUE(lin.weight().grad().defined());
+  lin.ZeroGrad();
+  Tensor g = lin.weight().grad();
+  for (int64_t i = 0; i < g.numel(); ++i) EXPECT_EQ(g.at(i), 0.0f);
+}
+
+TEST(ModuleTest, ParametersRequireGrad) {
+  Rng rng(5);
+  Linear lin(2, 2, &rng);
+  for (const Tensor& p : lin.Parameters()) EXPECT_TRUE(p.requires_grad());
+}
+
+// ---------------------------------------------------------------------------
+// Linear
+// ---------------------------------------------------------------------------
+
+TEST(LinearTest, OutputShape2d) {
+  Rng rng(6);
+  Linear lin(4, 7, &rng);
+  EXPECT_EQ(lin.Forward(Tensor::Zeros({3, 4})).shape(), (Shape{3, 7}));
+}
+
+TEST(LinearTest, OutputShape3d) {
+  Rng rng(7);
+  Linear lin(4, 7, &rng);
+  EXPECT_EQ(lin.Forward(Tensor::Zeros({2, 5, 4})).shape(), (Shape{2, 5, 7}));
+}
+
+TEST(LinearTest, NoBiasOptionRemovesBias) {
+  Rng rng(8);
+  Linear lin(3, 2, &rng, /*bias=*/false);
+  EXPECT_EQ(lin.Parameters().size(), 1u);
+  // Zero input -> zero output without bias.
+  Tensor y = lin.Forward(Tensor::Zeros({1, 3}));
+  for (int64_t i = 0; i < y.numel(); ++i) EXPECT_EQ(y.at(i), 0.0f);
+}
+
+TEST(LinearTest, MatchesManualComputation) {
+  Rng rng(9);
+  Linear lin(2, 2, &rng);
+  Tensor x = Tensor::FromData({1, 2}, {1, 2});
+  Tensor y = lin.Forward(x);
+  const Tensor& w = lin.weight();  // [in, out]
+  float y0 = 1 * w.at(0) + 2 * w.at(2) + lin.bias().at(0);
+  float y1 = 1 * w.at(1) + 2 * w.at(3) + lin.bias().at(1);
+  EXPECT_NEAR(y.at(0), y0, 1e-5f);
+  EXPECT_NEAR(y.at(1), y1, 1e-5f);
+}
+
+TEST(LinearTest, GradientFlowsToWeightAndBias) {
+  Rng rng(10);
+  Linear lin(3, 2, &rng);
+  Tensor x = Tensor::Randn({4, 3}, &rng);
+  Sum(Square(lin.Forward(x))).Backward();
+  EXPECT_TRUE(lin.weight().grad().defined());
+  EXPECT_TRUE(lin.bias().grad().defined());
+  // Bias gradient for sum of squares = sum over batch of 2*y.
+  EXPECT_NE(lin.bias().grad().at(0), 0.0f);
+}
+
+// ---------------------------------------------------------------------------
+// LayerNorm
+// ---------------------------------------------------------------------------
+
+TEST(LayerNormTest, NormalizesLastAxis) {
+  LayerNorm ln(6);
+  Rng rng(11);
+  Tensor x = Tensor::Randn({4, 6}, &rng, 5.0f);
+  Tensor y = ln.Forward(x);
+  // Freshly initialized gamma=1, beta=0: each row ~N(0,1).
+  Tensor mu = Mean(y, {1});
+  Tensor var = Variance(y, {1});
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(mu.at(i), 0.0f, 1e-4f);
+    EXPECT_NEAR(var.at(i), 1.0f, 1e-2f);
+  }
+}
+
+TEST(LayerNormTest, AffineParametersApply) {
+  LayerNorm ln(2);
+  // Set gamma=2, beta=3 by hand.
+  auto params = ln.Parameters();
+  params[0].data()[0] = 2.0f;
+  params[0].data()[1] = 2.0f;
+  params[1].data()[0] = 3.0f;
+  params[1].data()[1] = 3.0f;
+  Tensor x = Tensor::FromData({-1, 1}, {1, 2});
+  Tensor y = ln.Forward(x);
+  // Normalized input is (-1, 1) -> y = 2*(-1)+3, 2*1+3.
+  EXPECT_NEAR(y.at(0), 1.0f, 1e-2f);
+  EXPECT_NEAR(y.at(1), 5.0f, 1e-2f);
+}
+
+TEST(LayerNormTest, GradCheck) {
+  Rng rng(12);
+  Tensor x = Tensor::Randn({2, 4}, &rng);
+  LayerNorm ln(4);
+  auto fn = [&](const std::vector<Tensor>& in) {
+    return Sum(Square(ln.Forward(in[0])));
+  };
+  auto r = CheckGradients(fn, {x}, 1e-2f, 5e-2f);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+// ---------------------------------------------------------------------------
+// Conv / inception
+// ---------------------------------------------------------------------------
+
+TEST(Conv2dLayerTest, PreservesSpatialDims) {
+  Rng rng(13);
+  Conv2dLayer conv(3, 5, 3, 3, &rng);
+  EXPECT_EQ(conv.Forward(Tensor::Zeros({2, 3, 8, 9})).shape(),
+            (Shape{2, 5, 8, 9}));
+}
+
+TEST(InceptionTest, OutputShapeAndParamCount) {
+  Rng rng(14);
+  InceptionBlock2d block(4, 6, 3, &rng);
+  EXPECT_EQ(block.Forward(Tensor::Zeros({1, 4, 5, 7})).shape(),
+            (Shape{1, 6, 5, 7}));
+  // kernels 1,3,5: weights 4*6*(1+9+25) + 3 biases of 6.
+  EXPECT_EQ(block.NumParameters(), 4 * 6 * (1 + 9 + 25) + 3 * 6);
+}
+
+TEST(InceptionTest, AveragesBranches) {
+  Rng rng(15);
+  InceptionBlock2d block(1, 1, 1, &rng);  // single 1x1 conv
+  Tensor x = Tensor::Ones({1, 1, 2, 2});
+  Tensor y = block.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 2, 2}));
+}
+
+TEST(ConvBackboneTest, RoundTripShape) {
+  Rng rng(16);
+  ConvBackbone2d backbone(4, 8, 2, &rng);
+  EXPECT_EQ(backbone.Forward(Tensor::Zeros({2, 4, 3, 6})).shape(),
+            (Shape{2, 4, 3, 6}));
+}
+
+// ---------------------------------------------------------------------------
+// Attention
+// ---------------------------------------------------------------------------
+
+TEST(AttentionTest, SelfAttentionShape) {
+  Rng rng(17);
+  MultiHeadAttention attn(8, 2, &rng);
+  EXPECT_EQ(attn.Forward(Tensor::Zeros({2, 5, 8})).shape(), (Shape{2, 5, 8}));
+}
+
+TEST(AttentionTest, CrossAttentionShape) {
+  Rng rng(18);
+  MultiHeadAttention attn(8, 4, &rng);
+  Tensor q = Tensor::Zeros({2, 3, 8});
+  Tensor kv = Tensor::Zeros({2, 7, 8});
+  EXPECT_EQ(attn.ForwardQkv(q, kv).shape(), (Shape{2, 3, 8}));
+}
+
+TEST(AttentionTest, PermutationEquivariance) {
+  // Self-attention without positional information commutes with permuting
+  // the sequence axis.
+  Rng rng(19);
+  MultiHeadAttention attn(4, 2, &rng);
+  Tensor x = Tensor::Randn({1, 3, 4}, &rng);
+  Tensor y = attn.Forward(x);
+  // Reverse sequence order.
+  Tensor xr = Concat({Slice(x, 1, 2, 1), Slice(x, 1, 1, 1), Slice(x, 1, 0, 1)}, 1);
+  Tensor yr = attn.Forward(xr);
+  Tensor yr_expected =
+      Concat({Slice(y, 1, 2, 1), Slice(y, 1, 1, 1), Slice(y, 1, 0, 1)}, 1);
+  EXPECT_TRUE(AllClose(yr, yr_expected, 1e-4f, 1e-5f));
+}
+
+TEST(AttentionTest, GradientFlows) {
+  Rng rng(20);
+  MultiHeadAttention attn(4, 2, &rng);
+  Tensor x = Tensor::Randn({1, 3, 4}, &rng).set_requires_grad(true);
+  Sum(Square(attn.Forward(x))).Backward();
+  EXPECT_TRUE(x.grad().defined());
+  float norm = 0;
+  for (int64_t i = 0; i < x.grad().numel(); ++i) {
+    norm += std::fabs(x.grad().at(i));
+  }
+  EXPECT_GT(norm, 0.0f);
+}
+
+TEST(TransformerLayerTest, ShapePreserved) {
+  Rng rng(21);
+  TransformerEncoderLayer layer(8, 2, 16, &rng);
+  EXPECT_EQ(layer.Forward(Tensor::Zeros({2, 6, 8})).shape(), (Shape{2, 6, 8}));
+}
+
+// ---------------------------------------------------------------------------
+// Losses
+// ---------------------------------------------------------------------------
+
+TEST(LossTest, MseKnownValue) {
+  Tensor a = Tensor::FromData({1, 2, 3}, {3});
+  Tensor b = Tensor::FromData({2, 2, 5}, {3});
+  EXPECT_NEAR(MseLoss(a, b).item(), (1 + 0 + 4) / 3.0f, 1e-6f);
+}
+
+TEST(LossTest, MaeKnownValue) {
+  Tensor a = Tensor::FromData({1, 2, 3}, {3});
+  Tensor b = Tensor::FromData({2, 2, 5}, {3});
+  EXPECT_NEAR(MaeLoss(a, b).item(), (1 + 0 + 2) / 3.0f, 1e-6f);
+}
+
+TEST(LossTest, MseIsZeroForIdenticalInputs) {
+  Rng rng(22);
+  Tensor a = Tensor::Randn({4, 4}, &rng);
+  EXPECT_NEAR(MseLoss(a, a).item(), 0.0f, 1e-9f);
+}
+
+TEST(LossTest, MaskedMseIgnoresUnmasked) {
+  Tensor pred = Tensor::FromData({1, 100}, {2});
+  Tensor target = Tensor::FromData({2, 0}, {2});
+  Tensor mask = Tensor::FromData({1, 0}, {2});
+  EXPECT_NEAR(MaskedMseLoss(pred, target, mask).item(), 1.0f, 1e-6f);
+}
+
+TEST(LossTest, MseGradientIsCorrect) {
+  Tensor a = Tensor::FromData({3}, {1}).set_requires_grad(true);
+  Tensor b = Tensor::FromData({1}, {1});
+  MseLoss(a, b).Backward();
+  // d/da (a-b)^2 = 2(a-b) = 4.
+  EXPECT_NEAR(a.grad().at(0), 4.0f, 1e-5f);
+}
+
+TEST(LossDeathTest, ShapeMismatchAborts) {
+  Tensor a = Tensor::Zeros({2});
+  Tensor b = Tensor::Zeros({3});
+  EXPECT_DEATH(MseLoss(a, b), "shape mismatch");
+}
+
+// ---------------------------------------------------------------------------
+// Adam
+// ---------------------------------------------------------------------------
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimize (w - 3)^2.
+  Tensor w = Tensor::FromData({0.0f}, {1}).set_requires_grad(true);
+  AdamOptions opt;
+  opt.lr = 0.1f;
+  Adam adam({w}, opt);
+  for (int step = 0; step < 300; ++step) {
+    adam.ZeroGrad();
+    Tensor loss = Square(w - 3.0f);
+    loss.Backward();
+    adam.Step();
+  }
+  EXPECT_NEAR(w.at(0), 3.0f, 1e-2f);
+}
+
+TEST(AdamTest, FitsLinearRegression) {
+  Rng rng(23);
+  // y = 2x1 - x2 + 0.5
+  Tensor x = Tensor::Randn({64, 2}, &rng);
+  std::vector<float> yv(64);
+  for (int i = 0; i < 64; ++i) {
+    yv[i] = 2.0f * x.at(i * 2) - x.at(i * 2 + 1) + 0.5f;
+  }
+  Tensor y = Tensor::FromData(std::move(yv), {64, 1});
+  Linear lin(2, 1, &rng);
+  AdamOptions opt;
+  opt.lr = 0.05f;
+  Adam adam(lin.Parameters(), opt);
+  for (int step = 0; step < 500; ++step) {
+    adam.ZeroGrad();
+    MseLoss(lin.Forward(x), y).Backward();
+    adam.Step();
+  }
+  EXPECT_NEAR(lin.weight().at(0), 2.0f, 0.05f);
+  EXPECT_NEAR(lin.weight().at(1), -1.0f, 0.05f);
+  EXPECT_NEAR(lin.bias().at(0), 0.5f, 0.05f);
+}
+
+TEST(AdamTest, SkipsParamsWithoutGrad) {
+  Tensor w = Tensor::FromData({1.0f}, {1}).set_requires_grad(true);
+  Adam adam({w});
+  adam.Step();  // no gradient accumulated yet
+  EXPECT_EQ(w.at(0), 1.0f);
+}
+
+TEST(AdamTest, WeightDecayShrinksWeights) {
+  Tensor w = Tensor::FromData({10.0f}, {1}).set_requires_grad(true);
+  AdamOptions opt;
+  opt.lr = 0.1f;
+  opt.weight_decay = 1.0f;
+  Adam adam({w}, opt);
+  for (int step = 0; step < 100; ++step) {
+    adam.ZeroGrad();
+    // Constant-zero loss: only decay drives the update.
+    Tensor loss = MulScalar(Sum(w), 0.0f);
+    loss.Backward();
+    adam.Step();
+  }
+  EXPECT_LT(std::fabs(w.at(0)), 5.0f);
+}
+
+TEST(ClipGradTest, ScalesDownLargeGradients) {
+  Tensor w = Tensor::FromData({1.0f, 1.0f}, {2}).set_requires_grad(true);
+  Sum(MulScalar(w, 100.0f)).Backward();
+  float pre = ClipGradNorm({w}, 1.0f);
+  EXPECT_NEAR(pre, 100.0f * std::sqrt(2.0f), 1e-2f);
+  float post = 0;
+  for (int i = 0; i < 2; ++i) {
+    post += w.grad().at(i) * w.grad().at(i);
+  }
+  EXPECT_NEAR(std::sqrt(post), 1.0f, 1e-4f);
+}
+
+TEST(ClipGradTest, LeavesSmallGradientsAlone) {
+  Tensor w = Tensor::FromData({1.0f}, {1}).set_requires_grad(true);
+  Sum(w).Backward();
+  ClipGradNorm({w}, 10.0f);
+  EXPECT_NEAR(w.grad().at(0), 1.0f, 1e-6f);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: small net learns a nonlinear function
+// ---------------------------------------------------------------------------
+
+TEST(IntegrationTest, MlpLearnsXorLikeFunction) {
+  Rng rng(24);
+  // Target: y = sign-ish function x1 * x2 (needs a hidden layer).
+  const int n = 128;
+  Tensor x = Tensor::Rand({n, 2}, &rng, -1.0f, 1.0f);
+  std::vector<float> yv(n);
+  for (int i = 0; i < n; ++i) yv[i] = x.at(i * 2) * x.at(i * 2 + 1);
+  Tensor y = Tensor::FromData(std::move(yv), {n, 1});
+
+  Mlp mlp(2, 16, 1, &rng, Activation::Kind::kTanh);
+  AdamOptions opt;
+  opt.lr = 0.02f;
+  Adam adam(mlp.Parameters(), opt);
+  float first_loss = 0, last_loss = 0;
+  for (int step = 0; step < 400; ++step) {
+    adam.ZeroGrad();
+    Tensor loss = MseLoss(mlp.Forward(x), y);
+    if (step == 0) first_loss = loss.item();
+    last_loss = loss.item();
+    loss.Backward();
+    adam.Step();
+  }
+  EXPECT_LT(last_loss, first_loss * 0.1f);
+  EXPECT_LT(last_loss, 0.02f);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace ts3net

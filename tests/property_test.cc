@@ -1,0 +1,293 @@
+// Property-based cross-checks: the optimized kernels (MatMul batching,
+// Conv2d, broadcasting, FFT, S-GD) are validated against naive reference
+// implementations over randomized parameter sweeps.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "core/sgd_layer.h"
+#include "signal/cwt.h"
+#include "signal/fft.h"
+#include "tensor/ops.h"
+
+namespace ts3net {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// ---------------------------------------------------------------------------
+// FFT vs naive DFT
+// ---------------------------------------------------------------------------
+
+class FftVsNaiveTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(FftVsNaiveTest, MatchesNaiveDft) {
+  const size_t n = GetParam();
+  Rng rng(n);
+  std::vector<Complex> x(n);
+  for (auto& v : x) v = Complex(rng.Gaussian(0, 1), rng.Gaussian(0, 1));
+
+  std::vector<Complex> naive(n, Complex(0, 0));
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t t = 0; t < n; ++t) {
+      const double angle = -2.0 * kPi * static_cast<double>(k) * t / n;
+      naive[k] += x[t] * Complex(std::cos(angle), std::sin(angle));
+    }
+  }
+  std::vector<Complex> fast = x;
+  Fft(&fast);
+  for (size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(fast[k].real(), naive[k].real(), 1e-7 * n) << "n=" << n;
+    EXPECT_NEAR(fast[k].imag(), naive[k].imag(), 1e-7 * n) << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftVsNaiveTest,
+                         ::testing::Values(2, 3, 5, 8, 13, 16, 21, 36, 64,
+                                           96, 100));
+
+// ---------------------------------------------------------------------------
+// MatMul vs naive triple loop (shape sweep incl. broadcast batches)
+// ---------------------------------------------------------------------------
+
+struct MatMulShape {
+  Shape a;
+  Shape b;
+};
+
+class MatMulVsNaiveTest : public ::testing::TestWithParam<MatMulShape> {};
+
+TEST_P(MatMulVsNaiveTest, MatchesNaive) {
+  const MatMulShape& shapes = GetParam();
+  Rng rng(11);
+  Tensor a = Tensor::Randn(shapes.a, &rng);
+  Tensor b = Tensor::Randn(shapes.b, &rng);
+  Tensor c = MatMul(a, b);
+
+  // Naive reference via explicit slicing.
+  const int64_t m = shapes.a[shapes.a.size() - 2];
+  const int64_t k = shapes.a[shapes.a.size() - 1];
+  const int64_t n = shapes.b[shapes.b.size() - 1];
+  const int64_t batches = c.numel() / (m * n);
+  const int64_t a_mats = a.numel() / (m * k);
+  const int64_t b_mats = b.numel() / (k * n);
+  // The chosen shapes broadcast only entire batch axes, so the matrix index
+  // of each operand is bi modulo its own matrix count.
+  for (int64_t bi = 0; bi < batches; ++bi) {
+    const float* pa = a.data() + (bi % a_mats) * m * k;
+    const float* pb = b.data() + (bi % b_mats) * k * n;
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        double acc = 0;
+        for (int64_t p = 0; p < k; ++p) acc += pa[i * k + p] * pb[p * n + j];
+        EXPECT_NEAR(c.at((bi * m + i) * n + j), acc, 1e-4)
+            << "batch " << bi << " i " << i << " j " << j;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulVsNaiveTest,
+    ::testing::Values(MatMulShape{{1, 1}, {1, 1}},
+                      MatMulShape{{5, 3}, {3, 7}},
+                      MatMulShape{{4, 2, 3}, {4, 3, 2}},
+                      MatMulShape{{3, 5, 4}, {4, 6}},
+                      MatMulShape{{2, 2, 3, 4}, {2, 2, 4, 5}}));
+
+// ---------------------------------------------------------------------------
+// Conv2d vs naive five-loop reference
+// ---------------------------------------------------------------------------
+
+struct ConvCase {
+  int64_t batch, cin, cout, h, w, kh, kw, ph, pw;
+};
+
+class Conv2dVsNaiveTest : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(Conv2dVsNaiveTest, MatchesNaive) {
+  const ConvCase& c = GetParam();
+  Rng rng(13);
+  Tensor x = Tensor::Randn({c.batch, c.cin, c.h, c.w}, &rng);
+  Tensor w = Tensor::Randn({c.cout, c.cin, c.kh, c.kw}, &rng);
+  Tensor bias = Tensor::Randn({c.cout}, &rng);
+  Tensor y = Conv2d(x, w, bias, c.ph, c.pw);
+
+  const int64_t ho = c.h + 2 * c.ph - c.kh + 1;
+  const int64_t wo = c.w + 2 * c.pw - c.kw + 1;
+  ASSERT_EQ(y.shape(), (Shape{c.batch, c.cout, ho, wo}));
+  for (int64_t b = 0; b < c.batch; ++b) {
+    for (int64_t o = 0; o < c.cout; ++o) {
+      for (int64_t yy = 0; yy < ho; ++yy) {
+        for (int64_t xx = 0; xx < wo; ++xx) {
+          double acc = bias.at(o);
+          for (int64_t i = 0; i < c.cin; ++i) {
+            for (int64_t dy = 0; dy < c.kh; ++dy) {
+              for (int64_t dx = 0; dx < c.kw; ++dx) {
+                const int64_t sy = yy + dy - c.ph;
+                const int64_t sx = xx + dx - c.pw;
+                if (sy < 0 || sy >= c.h || sx < 0 || sx >= c.w) continue;
+                acc += x.at(((b * c.cin + i) * c.h + sy) * c.w + sx) *
+                       w.at(((o * c.cin + i) * c.kh + dy) * c.kw + dx);
+              }
+            }
+          }
+          EXPECT_NEAR(y.at(((b * c.cout + o) * ho + yy) * wo + xx), acc, 1e-3);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, Conv2dVsNaiveTest,
+    ::testing::Values(ConvCase{1, 1, 1, 3, 3, 1, 1, 0, 0},
+                      ConvCase{2, 2, 3, 4, 5, 3, 3, 1, 1},
+                      ConvCase{1, 3, 2, 5, 4, 3, 5, 1, 2},
+                      ConvCase{1, 1, 2, 6, 6, 5, 5, 2, 2},
+                      ConvCase{2, 2, 2, 2, 8, 1, 3, 0, 1}));
+
+// ---------------------------------------------------------------------------
+// Broadcasting vs naive expansion
+// ---------------------------------------------------------------------------
+
+struct BroadcastCase {
+  Shape a;
+  Shape b;
+};
+
+class BroadcastVsNaiveTest : public ::testing::TestWithParam<BroadcastCase> {};
+
+TEST_P(BroadcastVsNaiveTest, AddMatchesManualExpansion) {
+  const BroadcastCase& c = GetParam();
+  Rng rng(17);
+  Tensor a = Tensor::Randn(c.a, &rng);
+  Tensor b = Tensor::Randn(c.b, &rng);
+  Tensor sum = Add(a, b);
+  const Shape out = BroadcastShapes(c.a, c.b);
+  ASSERT_EQ(sum.shape(), out);
+
+  // Reference via coordinate arithmetic.
+  const auto out_strides = RowMajorStrides(out);
+  auto value_at = [&](const Tensor& t, const std::vector<int64_t>& coords) {
+    const Shape& s = t.shape();
+    const size_t off = out.size() - s.size();
+    int64_t idx = 0;
+    int64_t stride = 1;
+    for (size_t d = s.size(); d-- > 0;) {
+      const int64_t coord = s[d] == 1 ? 0 : coords[d + off];
+      idx += coord * stride;
+      stride *= s[d];
+    }
+    return t.at(idx);
+  };
+  std::vector<int64_t> coords(out.size(), 0);
+  for (int64_t i = 0; i < sum.numel(); ++i) {
+    int64_t rem = i;
+    for (size_t d = 0; d < out.size(); ++d) {
+      coords[d] = rem / out_strides[d];
+      rem %= out_strides[d];
+    }
+    EXPECT_NEAR(sum.at(i), value_at(a, coords) + value_at(b, coords), 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, BroadcastVsNaiveTest,
+    ::testing::Values(BroadcastCase{{3, 4}, {4}},
+                      BroadcastCase{{2, 1, 3}, {5, 1}},
+                      BroadcastCase{{4, 1}, {1, 6}},
+                      BroadcastCase{{2, 3, 1, 2}, {1, 4, 2}},
+                      BroadcastCase{{}, {3, 3}}));
+
+// ---------------------------------------------------------------------------
+// S-GD identity property across a parameter grid
+// ---------------------------------------------------------------------------
+
+struct SgdCase {
+  int lambda;
+  int64_t seq_len;
+  int64_t t_f;
+};
+
+class SgdIdentityTest : public ::testing::TestWithParam<SgdCase> {};
+
+TEST_P(SgdIdentityTest, RegularPlusFluctuantReconstructs) {
+  const SgdCase& c = GetParam();
+  WaveletBankOptions opt;
+  opt.num_subbands = c.lambda;
+  WaveletBank bank = WaveletBank::Create(opt);
+  core::SpectrumGradientLayer layer(&bank, c.seq_len);
+  Rng rng(19);
+  Tensor x = Tensor::Randn({2, c.seq_len, 3}, &rng);
+  auto out = layer.Decompose(x, c.t_f);
+  EXPECT_TRUE(AllClose(Add(out.regular, out.fluctuant_1d), x, 1e-4f, 1e-4f))
+      << "lambda=" << c.lambda << " T=" << c.seq_len << " t_f=" << c.t_f;
+  // The fluctuant 1-D part must equal IWT of the 2-D plane.
+  Tensor iwt = IwtOp(out.fluctuant_2d, bank);
+  EXPECT_TRUE(AllClose(iwt, out.fluctuant_1d, 1e-4f, 1e-5f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SgdIdentityTest,
+                         ::testing::Values(SgdCase{2, 8, 1}, SgdCase{4, 16, 4},
+                                           SgdCase{4, 24, 7},
+                                           SgdCase{6, 32, 8},
+                                           SgdCase{6, 32, 32},
+                                           SgdCase{8, 48, 100}));
+
+// ---------------------------------------------------------------------------
+// MovingAvg kernel sweep: output equals brute-force windowed mean
+// ---------------------------------------------------------------------------
+
+class MovingAvgSweepTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(MovingAvgSweepTest, MatchesBruteForce) {
+  const int64_t k = GetParam();
+  Rng rng(23);
+  const int64_t t_len = 20;
+  Tensor x = Tensor::Randn({1, t_len, 2}, &rng);
+  Tensor y = MovingAvg1d(x, k);
+  ASSERT_EQ(y.shape(), x.shape());
+  const int64_t front = (k - 1) / 2;
+  for (int64_t t = 0; t < t_len; ++t) {
+    for (int64_t c = 0; c < 2; ++c) {
+      double acc = 0;
+      for (int64_t j = 0; j < k; ++j) {
+        int64_t src = t - front + j;
+        src = std::max<int64_t>(0, std::min(t_len - 1, src));  // replicate pad
+        acc += x.at(src * 2 + c);
+      }
+      EXPECT_NEAR(y.at(t * 2 + c), acc / k, 1e-4) << "k=" << k << " t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, MovingAvgSweepTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 19));
+
+// ---------------------------------------------------------------------------
+// Softmax properties over axis sweep
+// ---------------------------------------------------------------------------
+
+class SoftmaxAxisTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SoftmaxAxisTest, SumsToOneAndIsShiftInvariant) {
+  const int axis = GetParam();
+  Rng rng(29);
+  Tensor x = Tensor::Randn({3, 4, 5}, &rng);
+  Tensor s = Softmax(x, axis);
+  Tensor sums = Sum(s, {axis});
+  for (int64_t i = 0; i < sums.numel(); ++i) {
+    EXPECT_NEAR(sums.at(i), 1.0f, 1e-5f);
+  }
+  // Shift invariance: softmax(x + c) == softmax(x).
+  Tensor shifted = Softmax(AddScalar(x, 5.0f), axis);
+  EXPECT_TRUE(AllClose(shifted, s, 1e-4f, 1e-5f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Axes, SoftmaxAxisTest, ::testing::Values(0, 1, 2));
+
+}  // namespace
+}  // namespace ts3net

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/ts3net.h"
+#include "models/registry.h"
+#include "nn/layers.h"
+#include "nn/serialize.h"
+#include "tensor/ops.h"
+
+namespace ts3net {
+namespace nn {
+namespace {
+
+std::string TempPath(const char* tag) {
+  return std::string("/tmp/ts3net_ckpt_") + tag + ".bin";
+}
+
+TEST(SerializeTest, RoundTripRestoresWeights) {
+  Rng rng(1);
+  Mlp original(4, 8, 2, &rng);
+  const std::string path = TempPath("roundtrip");
+  ASSERT_TRUE(SaveParameters(original, path).ok());
+
+  Rng rng2(999);  // different init
+  Mlp restored(4, 8, 2, &rng2);
+  Tensor x = Tensor::Randn({3, 4}, &rng);
+  Tensor before = restored.Forward(x);
+  ASSERT_TRUE(LoadParameters(&restored, path).ok());
+  Tensor after = restored.Forward(x);
+  Tensor expect = original.Forward(x);
+  EXPECT_FALSE(AllClose(before, expect));
+  EXPECT_TRUE(AllClose(after, expect));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, FullTS3NetRoundTrip) {
+  core::TS3NetOptions opt;
+  opt.seq_len = 24;
+  opt.pred_len = 12;
+  opt.channels = 3;
+  opt.d_model = 8;
+  opt.d_ff = 8;
+  opt.lambda = 4;
+  opt.dropout = 0.0f;
+  Rng r1(2), r2(3);
+  core::TS3Net a(opt, &r1), b(opt, &r2);
+  a.SetTraining(false);
+  b.SetTraining(false);
+
+  const std::string path = TempPath("ts3net");
+  ASSERT_TRUE(SaveParameters(a, path).ok());
+  ASSERT_TRUE(LoadParameters(&b, path).ok());
+  Rng xr(4);
+  Tensor x = Tensor::Randn({2, 24, 3}, &xr);
+  EXPECT_TRUE(AllClose(a.Forward(x), b.Forward(x), 1e-5f, 1e-6f));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileIsIOError) {
+  Rng rng(5);
+  Mlp m(2, 2, 2, &rng);
+  Status st = LoadParameters(&m, "/tmp/no_such_ts3net_ckpt.bin");
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+}
+
+TEST(SerializeTest, WrongMagicRejected) {
+  const std::string path = TempPath("magic");
+  FILE* f = fopen(path.c_str(), "wb");
+  fwrite("NOTACKPT________", 1, 16, f);
+  fclose(f);
+  Rng rng(6);
+  Mlp m(2, 2, 2, &rng);
+  Status st = LoadParameters(&m, path);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ArchitectureMismatchRejected) {
+  Rng rng(7);
+  Mlp small(2, 4, 1, &rng);
+  const std::string path = TempPath("mismatch");
+  ASSERT_TRUE(SaveParameters(small, path).ok());
+  Mlp big(3, 4, 1, &rng);  // different fc1 shape
+  Status st = LoadParameters(&big, path);
+  EXPECT_FALSE(st.ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, TruncatedFileRejected) {
+  Rng rng(8);
+  Mlp m(4, 8, 2, &rng);
+  const std::string path = TempPath("trunc");
+  ASSERT_TRUE(SaveParameters(m, path).ok());
+  // Truncate the file to half its size.
+  FILE* f = fopen(path.c_str(), "rb");
+  fseek(f, 0, SEEK_END);
+  long size = ftell(f);
+  fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  Mlp m2(4, 8, 2, &rng);
+  EXPECT_FALSE(LoadParameters(&m2, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, TrainedBaselineSurvivesRoundTrip) {
+  models::ModelConfig cfg;
+  cfg.seq_len = 24;
+  cfg.pred_len = 12;
+  cfg.channels = 2;
+  cfg.dropout = 0.0f;
+  Rng rng(9);
+  auto model = models::CreateModel("DLinear", cfg, &rng);
+  ASSERT_TRUE(model.ok());
+  // Nudge weights so they are not at init.
+  Rng xr(10);
+  Tensor x = Tensor::Randn({2, 24, 2}, &xr);
+  model.value()->Forward(x);
+
+  const std::string path = TempPath("baseline");
+  ASSERT_TRUE(SaveParameters(*model.value(), path).ok());
+  Rng rng2(11);
+  auto fresh = models::CreateModel("DLinear", cfg, &rng2);
+  ASSERT_TRUE(LoadParameters(fresh.value().get(), path).ok());
+  EXPECT_TRUE(
+      AllClose(model.value()->Forward(x), fresh.value()->Forward(x)));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace ts3net

@@ -1,0 +1,543 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "signal/cwt.h"
+#include "signal/fft.h"
+#include "signal/period.h"
+#include "signal/stft.h"
+#include "signal/trend.h"
+#include "signal/wavelet.h"
+#include "tensor/gradcheck.h"
+#include "tensor/ops.h"
+
+namespace ts3net {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// ---------------------------------------------------------------------------
+// FFT
+// ---------------------------------------------------------------------------
+
+TEST(FftTest, DcSignal) {
+  std::vector<Complex> data(8, Complex(1.0, 0.0));
+  Fft(&data);
+  EXPECT_NEAR(data[0].real(), 8.0, 1e-9);
+  for (size_t k = 1; k < 8; ++k) EXPECT_NEAR(std::abs(data[k]), 0.0, 1e-9);
+}
+
+TEST(FftTest, SingleToneLandsInCorrectBin) {
+  const int n = 64;
+  std::vector<Complex> data(n);
+  for (int t = 0; t < n; ++t) {
+    data[t] = Complex(std::cos(2.0 * kPi * 5.0 * t / n), 0.0);
+  }
+  Fft(&data);
+  EXPECT_NEAR(std::abs(data[5]), n / 2.0, 1e-6);
+  EXPECT_NEAR(std::abs(data[n - 5]), n / 2.0, 1e-6);
+  EXPECT_NEAR(std::abs(data[3]), 0.0, 1e-6);
+}
+
+class FftRoundTripTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(FftRoundTripTest, IfftInvertsFft) {
+  const size_t n = GetParam();
+  Rng rng(n * 7 + 1);
+  std::vector<Complex> data(n);
+  std::vector<Complex> orig(n);
+  for (size_t i = 0; i < n; ++i) {
+    data[i] = Complex(rng.Gaussian(0, 1), rng.Gaussian(0, 1));
+    orig[i] = data[i];
+  }
+  Fft(&data);
+  Ifft(&data);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(data[i].real(), orig[i].real(), 1e-9) << "n=" << n;
+    EXPECT_NEAR(data[i].imag(), orig[i].imag(), 1e-9) << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTripTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16, 17, 31,
+                                           32, 60, 96, 100, 128, 192, 337,
+                                           720));
+
+TEST(FftTest, ParsevalHolds) {
+  const size_t n = 96;  // non power of two -> Bluestein path
+  Rng rng(3);
+  std::vector<Complex> data(n);
+  double time_energy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    data[i] = Complex(rng.Gaussian(0, 1), 0.0);
+    time_energy += std::norm(data[i]);
+  }
+  Fft(&data);
+  double freq_energy = 0.0;
+  for (const auto& c : data) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy / n, time_energy, 1e-6 * time_energy);
+}
+
+TEST(FftTest, LinearityOnBluesteinPath) {
+  const size_t n = 60;
+  Rng rng(5);
+  std::vector<Complex> a(n), b(n), sum(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = Complex(rng.Gaussian(0, 1), 0);
+    b[i] = Complex(rng.Gaussian(0, 1), 0);
+    sum[i] = a[i] + 2.0 * b[i];
+  }
+  Fft(&a);
+  Fft(&b);
+  Fft(&sum);
+  for (size_t i = 0; i < n; ++i) {
+    Complex expect = a[i] + 2.0 * b[i];
+    EXPECT_NEAR(std::abs(sum[i] - expect), 0.0, 1e-8);
+  }
+}
+
+TEST(FftTest, AmplitudeSpectrumOfSine) {
+  const int n = 100;  // Bluestein path
+  std::vector<double> x(n);
+  for (int t = 0; t < n; ++t) x[t] = std::sin(2.0 * kPi * 10.0 * t / n);
+  std::vector<double> amp = AmplitudeSpectrum(x);
+  ASSERT_EQ(amp.size(), 51u);
+  // Peak at bin 10.
+  for (size_t k = 0; k < amp.size(); ++k) {
+    if (k != 10) {
+      EXPECT_LT(amp[k], amp[10]);
+    }
+  }
+  EXPECT_NEAR(amp[10], n / 2.0, 1e-6);
+}
+
+TEST(FftTest, IsPowerOfTwo) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(64));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(96));
+}
+
+// ---------------------------------------------------------------------------
+// Wavelet bank
+// ---------------------------------------------------------------------------
+
+TEST(WaveletTest, SampledMotherHasUnitEnergy) {
+  for (int order = 0; order <= 3; ++order) {
+    auto psi = SampleComplexGaussian(order, 4.0, 257);
+    double energy = 0.0;
+    for (const auto& v : psi) energy += std::norm(v);
+    EXPECT_NEAR(energy, 1.0, 1e-9) << "order " << order;
+  }
+}
+
+TEST(WaveletTest, GaussianEnvelopeDecays) {
+  auto psi = SampleComplexGaussian(1, 4.0, 257);
+  EXPECT_LT(std::abs(psi.front()), 1e-5);
+  EXPECT_LT(std::abs(psi.back()), 1e-5);
+  // Energy is concentrated near the centre (|t| < 2 of support 4).
+  double centre_energy = 0.0;
+  for (int i = 64; i < 193; ++i) centre_energy += std::norm(psi[i]);
+  EXPECT_GT(centre_energy, 0.95);
+}
+
+TEST(WaveletTest, ScalesFollowEqSix) {
+  WaveletBankOptions opt;
+  opt.num_subbands = 10;
+  WaveletBank bank = WaveletBank::Create(opt);
+  ASSERT_EQ(bank.num_subbands(), 10);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(bank.scale(i), 2.0 * 10 / (i + 1.0));
+  }
+}
+
+TEST(WaveletTest, FrequenciesIncreaseLinearly) {
+  WaveletBankOptions opt;
+  opt.num_subbands = 8;
+  WaveletBank bank = WaveletBank::Create(opt);
+  for (int i = 1; i < 8; ++i) {
+    EXPECT_GT(bank.frequency(i), bank.frequency(i - 1));
+    // F_i = F_c * i / (2 lambda): linear in i.
+    EXPECT_NEAR(bank.frequency(i) / bank.frequency(0), i + 1.0, 1e-9);
+  }
+}
+
+TEST(WaveletTest, CentreFrequencyNearTheoretical) {
+  WaveletBankOptions opt;
+  opt.order = 0;
+  opt.num_subbands = 4;
+  WaveletBank bank = WaveletBank::Create(opt);
+  // Order 0: modulated Gaussian with angular frequency 1 -> F_c = 1/(2 pi).
+  EXPECT_NEAR(bank.centre_frequency(), 1.0 / (2.0 * kPi), 0.05);
+}
+
+TEST(WaveletTest, HigherOrderHasHigherCentreFrequency) {
+  WaveletBankOptions o0, o2;
+  o0.order = 0;
+  o0.num_subbands = 4;
+  o2.order = 2;
+  o2.num_subbands = 4;
+  EXPECT_GT(WaveletBank::Create(o2).centre_frequency(),
+            WaveletBank::Create(o0).centre_frequency());
+}
+
+TEST(WaveletTest, FilterLengthGrowsWithScaleAndIsCapped) {
+  WaveletBankOptions opt;
+  opt.num_subbands = 16;
+  opt.max_filter_length = 129;
+  WaveletBank bank = WaveletBank::Create(opt);
+  // Scale decreases with i, so filter length should be non-increasing.
+  for (int i = 1; i < 16; ++i) {
+    EXPECT_LE(bank.filter(i).size(), bank.filter(i - 1).size());
+  }
+  EXPECT_LE(bank.filter(0).size(), 129u);
+}
+
+TEST(WaveletDeathTest, InvalidOrderAborts) {
+  EXPECT_DEATH(SampleComplexGaussian(7, 4.0, 65), "order");
+}
+
+// ---------------------------------------------------------------------------
+// CWT forward properties
+// ---------------------------------------------------------------------------
+
+WaveletBank SmallBank(int lambda = 12, int order = 1) {
+  WaveletBankOptions opt;
+  opt.num_subbands = lambda;
+  opt.order = order;
+  return WaveletBank::Create(opt);
+}
+
+Tensor MakeTone(int64_t t_len, double freq, double amp = 1.0) {
+  std::vector<float> x(static_cast<size_t>(t_len));
+  for (int64_t t = 0; t < t_len; ++t) {
+    x[t] = static_cast<float>(amp * std::sin(2.0 * kPi * freq * t));
+  }
+  return Tensor::FromData(std::move(x), {t_len, 1});
+}
+
+TEST(CwtTest, OutputShape) {
+  WaveletBank bank = SmallBank(6);
+  Tensor x = MakeTone(64, 0.05);
+  Tensor amp = CwtAmplitude(x, bank);
+  EXPECT_EQ(amp.shape(), (Shape{6, 64, 1}));
+}
+
+TEST(CwtTest, ToneEnergyPeaksAtMatchingSubband) {
+  WaveletBank bank = SmallBank(12);
+  // Use the frequency of sub-band 8.
+  const double f = bank.frequency(8);
+  Tensor x = MakeTone(256, f);
+  Tensor amp = CwtAmplitude(x, bank);
+  // Mean amplitude per sub-band over the central region.
+  std::vector<double> band_energy(12, 0.0);
+  for (int i = 0; i < 12; ++i) {
+    for (int t = 64; t < 192; ++t) band_energy[i] += amp.at((i * 256 + t));
+  }
+  int best = 0;
+  for (int i = 1; i < 12; ++i) {
+    if (band_energy[i] > band_energy[best]) best = i;
+  }
+  EXPECT_NEAR(best, 8, 1);
+}
+
+TEST(CwtTest, AmplitudeScalesLinearly) {
+  WaveletBank bank = SmallBank(8);
+  Tensor x1 = MakeTone(128, bank.frequency(4), 1.0);
+  Tensor x3 = MakeTone(128, bank.frequency(4), 3.0);
+  Tensor a1 = CwtAmplitude(x1, bank);
+  Tensor a3 = CwtAmplitude(x3, bank);
+  // Compare at the central time point of the matching band.
+  const int64_t idx = 4 * 128 + 64;
+  EXPECT_NEAR(a3.at(idx) / a1.at(idx), 3.0, 1e-3);
+}
+
+TEST(CwtTest, ZeroInputGivesZeroResponse) {
+  WaveletBank bank = SmallBank(4);
+  Tensor x = Tensor::Zeros({32, 2});
+  Tensor amp = CwtAmplitude(x, bank);
+  for (int64_t i = 0; i < amp.numel(); ++i) EXPECT_EQ(amp.at(i), 0.0f);
+}
+
+TEST(CwtTest, ChannelsAreIndependent) {
+  WaveletBank bank = SmallBank(4);
+  Rng rng(9);
+  Tensor a = Tensor::Randn({48, 1}, &rng);
+  Tensor b = Tensor::Randn({48, 1}, &rng);
+  Tensor ab = Concat({a, b}, 1);
+  Tensor amp_ab = CwtAmplitude(ab, bank);
+  Tensor amp_a = CwtAmplitude(a, bank);
+  // Channel 0 of the stacked transform equals the standalone transform.
+  for (int i = 0; i < 4; ++i) {
+    for (int t = 0; t < 48; ++t) {
+      EXPECT_NEAR(amp_ab.at((i * 48 + t) * 2), amp_a.at(i * 48 + t), 1e-5f);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// IWT reconstruction
+// ---------------------------------------------------------------------------
+
+TEST(IwtTest, ReconstructsInBandTone) {
+  WaveletBank bank = SmallBank(16);
+  const double f = bank.frequency(10);
+  const int64_t t_len = 256;
+  Tensor x = MakeTone(t_len, f);
+  Tensor re, im;
+  CwtComplex(x, bank, &re, &im);
+  Tensor recon = IwtComplex(re, im, bank);
+  // Relative L2 error over the central half (edges suffer from padding).
+  double num = 0.0, den = 0.0;
+  for (int64_t t = t_len / 4; t < 3 * t_len / 4; ++t) {
+    const double d = recon.at(t) - x.at(t);
+    num += d * d;
+    den += x.at(t) * x.at(t);
+  }
+  EXPECT_LT(std::sqrt(num / den), 0.2);
+}
+
+TEST(IwtTest, ReconstructsTwoToneMixture) {
+  WaveletBank bank = SmallBank(16);
+  const int64_t t_len = 256;
+  std::vector<float> x(static_cast<size_t>(t_len));
+  const double f1 = bank.frequency(5);
+  const double f2 = bank.frequency(12);
+  for (int64_t t = 0; t < t_len; ++t) {
+    x[t] = static_cast<float>(std::sin(2.0 * kPi * f1 * t) +
+                              0.5 * std::cos(2.0 * kPi * f2 * t));
+  }
+  Tensor xt = Tensor::FromData(std::move(x), {t_len, 1});
+  Tensor re, im;
+  CwtComplex(xt, bank, &re, &im);
+  Tensor recon = IwtComplex(re, im, bank);
+  double num = 0.0, den = 0.0;
+  for (int64_t t = t_len / 4; t < 3 * t_len / 4; ++t) {
+    const double d = recon.at(t) - xt.at(t);
+    num += d * d;
+    den += xt.at(t) * xt.at(t);
+  }
+  EXPECT_LT(std::sqrt(num / den), 0.25);
+}
+
+TEST(IwtTest, LinearInInput) {
+  WaveletBank bank = SmallBank(6);
+  Rng rng(10);
+  Tensor y1 = Tensor::Randn({6, 32, 2}, &rng);
+  Tensor y2 = Tensor::Randn({6, 32, 2}, &rng);
+  Tensor lhs = Iwt(Add(y1, MulScalar(y2, 2.0f)), bank);
+  Tensor rhs = Add(Iwt(y1, bank), MulScalar(Iwt(y2, bank), 2.0f));
+  EXPECT_TRUE(AllClose(lhs, rhs, 1e-4f, 1e-5f));
+}
+
+TEST(IwtTest, OutputShape) {
+  WaveletBank bank = SmallBank(5);
+  Tensor y = Tensor::Zeros({5, 20, 3});
+  EXPECT_EQ(Iwt(y, bank).shape(), (Shape{20, 3}));
+}
+
+// ---------------------------------------------------------------------------
+// Differentiable CWT path (matrices + ops)
+// ---------------------------------------------------------------------------
+
+TEST(CwtOpTest, MatrixPathMatchesDirectPath) {
+  WaveletBank bank = SmallBank(6);
+  Rng rng(11);
+  Tensor x = Tensor::Randn({40, 3}, &rng);
+  Tensor direct = CwtAmplitude(x, bank);  // [6, 40, 3]
+
+  auto [w_re, w_im] = BuildCwtMatrices(bank, 40);
+  Tensor batched = CwtAmplitudeOp(Unsqueeze(x, 0), w_re, w_im);  // [1,6,40,3]
+  Tensor squeezed = Squeeze(batched, 0);
+  EXPECT_TRUE(AllClose(squeezed, direct, 1e-3f, 1e-4f));
+}
+
+TEST(CwtOpTest, GradientFlowsThroughAmplitude) {
+  WaveletBank bank = SmallBank(4);
+  auto [w_re, w_im] = BuildCwtMatrices(bank, 12);
+  Rng rng(12);
+  Tensor x = Tensor::Randn({1, 12, 2}, &rng);
+  auto fn = [&](const std::vector<Tensor>& in) {
+    return Sum(CwtAmplitudeOp(in[0], w_re, w_im, 1e-4f));
+  };
+  auto r = CheckGradients(fn, {x}, 1e-2f, 5e-2f);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(CwtOpTest, IwtOpMatchesPlainIwt) {
+  WaveletBank bank = SmallBank(5);
+  Rng rng(13);
+  Tensor y = Tensor::Randn({5, 16, 2}, &rng);
+  Tensor plain = Iwt(y, bank);
+  Tensor op = Squeeze(IwtOp(Unsqueeze(y, 0), bank), 0);
+  EXPECT_TRUE(AllClose(op, plain, 1e-4f, 1e-5f));
+}
+
+TEST(CwtOpTest, IwtOpGradient) {
+  WaveletBank bank = SmallBank(3);
+  Rng rng(14);
+  Tensor y = Tensor::Randn({2, 3, 8, 2}, &rng);
+  auto fn = [&](const std::vector<Tensor>& in) {
+    return Sum(Square(IwtOp(in[0], bank)));
+  };
+  auto r = CheckGradients(fn, {y});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+// ---------------------------------------------------------------------------
+// STFT matrices
+// ---------------------------------------------------------------------------
+
+TEST(StftTest, MatrixShapes) {
+  auto [re, im] = BuildStftMatrices(64, 8, 32);
+  EXPECT_EQ(re.shape(), (Shape{8, 64, 64}));
+  EXPECT_EQ(im.shape(), (Shape{8, 64, 64}));
+}
+
+TEST(StftTest, ToneLandsInMatchingBin) {
+  const int64_t t_len = 128, window = 32;
+  const int bins = 8;
+  auto [re, im] = BuildStftMatrices(t_len, bins, window);
+  // Tone at bin 3's frequency: 3 / window cycles per sample.
+  std::vector<float> xv(static_cast<size_t>(t_len));
+  for (int64_t t = 0; t < t_len; ++t) {
+    xv[t] = static_cast<float>(std::sin(2.0 * kPi * 3.0 * t / window));
+  }
+  Tensor x = Tensor::FromData(std::move(xv), {1, t_len, 1});
+  Tensor amp = CwtAmplitudeOp(x, re, im);  // [1, bins, T, 1]
+  std::vector<double> bin_energy(bins, 0.0);
+  for (int b = 0; b < bins; ++b) {
+    for (int64_t t = 32; t < 96; ++t) bin_energy[b] += amp.at(b * t_len + t);
+  }
+  int best = 0;
+  for (int b = 1; b < bins; ++b) {
+    if (bin_energy[b] > bin_energy[best]) best = b;
+  }
+  EXPECT_EQ(best, 2);  // bin index 2 corresponds to k = 3 (DC skipped)
+}
+
+TEST(StftTest, GradientFlowsThroughAmplitude) {
+  auto [re, im] = BuildStftMatrices(16, 4, 8);
+  Rng rng(77);
+  Tensor x = Tensor::Randn({1, 16, 2}, &rng).set_requires_grad(true);
+  Sum(CwtAmplitudeOp(x, re, im, 1e-4f)).Backward();
+  EXPECT_TRUE(x.grad().defined());
+}
+
+TEST(StftDeathTest, TooManyBinsAborts) {
+  EXPECT_DEATH(BuildStftMatrices(64, 30, 16), "Nyquist");
+}
+
+// ---------------------------------------------------------------------------
+// Period detection
+// ---------------------------------------------------------------------------
+
+TEST(PeriodTest, FindsSinglePeriodicity) {
+  const int64_t t_len = 96;
+  Tensor x = MakeTone(t_len, 4.0 / 96.0);  // 4 cycles in the window
+  auto periods = DetectTopKPeriods(x, 1);
+  ASSERT_EQ(periods.size(), 1u);
+  EXPECT_EQ(periods[0].frequency, 4);
+  EXPECT_EQ(periods[0].period, 24);
+}
+
+TEST(PeriodTest, RanksMixtureByAmplitude) {
+  const int64_t t_len = 192;
+  std::vector<float> x(t_len);
+  for (int64_t t = 0; t < t_len; ++t) {
+    x[t] = static_cast<float>(3.0 * std::sin(2.0 * kPi * 8.0 * t / t_len) +
+                              1.0 * std::sin(2.0 * kPi * 3.0 * t / t_len));
+  }
+  Tensor xt = Tensor::FromData(std::move(x), {t_len, 1});
+  auto periods = DetectTopKPeriods(xt, 2);
+  ASSERT_EQ(periods.size(), 2u);
+  EXPECT_EQ(periods[0].frequency, 8);
+  EXPECT_EQ(periods[1].frequency, 3);
+  EXPECT_GT(periods[0].amplitude, periods[1].amplitude);
+}
+
+TEST(PeriodTest, MultichannelAveragesSpectra) {
+  const int64_t t_len = 64;
+  Tensor a = MakeTone(t_len, 2.0 / 64.0, 1.0);
+  Tensor b = MakeTone(t_len, 2.0 / 64.0, 2.0);
+  Tensor x = Concat({a, b}, 1);
+  auto periods = DetectTopKPeriods(x, 1);
+  EXPECT_EQ(periods[0].frequency, 2);
+}
+
+TEST(PeriodTest, ConstantSeriesFallsBackToWindow) {
+  Tensor x = Tensor::Full({50, 2}, 3.0f);
+  EXPECT_EQ(DominantPeriod(x), 50);
+}
+
+TEST(PeriodTest, TopKRespectsK) {
+  Rng rng(15);
+  Tensor x = Tensor::Randn({128, 2}, &rng);
+  EXPECT_EQ(DetectTopKPeriods(x, 5).size(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Trend decomposition
+// ---------------------------------------------------------------------------
+
+TEST(TrendTest, TrendPlusSeasonalIsIdentity) {
+  Rng rng(16);
+  Tensor x = Tensor::Randn({60, 3}, &rng);
+  auto d = DecomposeTrend(x, {25});
+  EXPECT_TRUE(AllClose(Add(d.trend, d.seasonal), x, 1e-5f, 1e-6f));
+}
+
+TEST(TrendTest, LinearRampIsMostlyTrend) {
+  const int64_t t_len = 80;
+  Tensor x = Reshape(Tensor::Arange(t_len), {t_len, 1});
+  auto d = DecomposeTrend(x, {9});
+  // Away from the edges, the moving average of a ramp is the ramp itself.
+  for (int64_t t = 10; t < 70; ++t) {
+    EXPECT_NEAR(d.seasonal.at(t), 0.0f, 1e-4f);
+  }
+}
+
+TEST(TrendTest, PureToneIsMostlySeasonal) {
+  const int64_t t_len = 96;
+  // A tone whose period (24) divides the kernel (25 close to it).
+  Tensor x = MakeTone(t_len, 1.0 / 24.0);
+  auto d = DecomposeTrend(x, {25});
+  double trend_energy = 0.0, total = 0.0;
+  for (int64_t t = 12; t < t_len - 12; ++t) {
+    trend_energy += d.trend.at(t) * d.trend.at(t);
+    total += x.at(t) * x.at(t);
+  }
+  EXPECT_LT(trend_energy / total, 0.05);
+}
+
+TEST(TrendTest, MultiKernelAveragesScales) {
+  Rng rng(17);
+  Tensor x = Tensor::Randn({50, 2}, &rng);
+  auto d1 = DecomposeTrend(x, {5});
+  auto d2 = DecomposeTrend(x, {15});
+  auto dm = DecomposeTrend(x, {5, 15});
+  Tensor expect = MulScalar(Add(d1.trend, d2.trend), 0.5f);
+  EXPECT_TRUE(AllClose(dm.trend, expect, 1e-5f, 1e-6f));
+}
+
+TEST(TrendTest, BatchedInputSupported) {
+  Rng rng(18);
+  Tensor x = Tensor::Randn({4, 30, 2}, &rng);
+  auto d = DecomposeTrend(x, {7});
+  EXPECT_EQ(d.trend.shape(), x.shape());
+  EXPECT_TRUE(AllClose(Add(d.trend, d.seasonal), x, 1e-5f, 1e-6f));
+}
+
+TEST(TrendTest, DifferentiableWhenInputRequiresGrad) {
+  Rng rng(19);
+  Tensor x = Tensor::Randn({1, 20, 1}, &rng);
+  auto fn = [](const std::vector<Tensor>& in) {
+    auto d = DecomposeTrend(in[0], {5});
+    return Sum(Square(d.seasonal));
+  };
+  auto r = CheckGradients(fn, {x});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+}  // namespace
+}  // namespace ts3net

@@ -1,0 +1,551 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace ts3net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Construction and introspection
+// ---------------------------------------------------------------------------
+
+TEST(TensorTest, ZerosShapeAndValues) {
+  Tensor t = Tensor::Zeros({2, 3});
+  EXPECT_EQ(t.ndim(), 2);
+  EXPECT_EQ(t.numel(), 6);
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t.at(i), 0.0f);
+}
+
+TEST(TensorTest, FullFillsValue) {
+  Tensor t = Tensor::Full({4}, 2.5f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(t.at(i), 2.5f);
+}
+
+TEST(TensorTest, FromDataPreservesOrder) {
+  Tensor t = Tensor::FromData({1, 2, 3, 4, 5, 6}, {2, 3});
+  EXPECT_EQ(t.at(0), 1.0f);
+  EXPECT_EQ(t.at(5), 6.0f);
+}
+
+TEST(TensorTest, ScalarItem) {
+  EXPECT_FLOAT_EQ(Tensor::Scalar(3.5f).item(), 3.5f);
+}
+
+TEST(TensorTest, ArangeValues) {
+  Tensor t = Tensor::Arange(5);
+  for (int64_t i = 0; i < 5; ++i) EXPECT_EQ(t.at(i), static_cast<float>(i));
+}
+
+TEST(TensorTest, RandnIsSeeded) {
+  Rng rng1(5), rng2(5);
+  Tensor a = Tensor::Randn({10}, &rng1);
+  Tensor b = Tensor::Randn({10}, &rng2);
+  EXPECT_TRUE(AllClose(a, b));
+}
+
+TEST(TensorTest, NegativeDimIndexing) {
+  Tensor t = Tensor::Zeros({2, 3, 4});
+  EXPECT_EQ(t.dim(-1), 4);
+  EXPECT_EQ(t.dim(-3), 2);
+}
+
+TEST(TensorTest, CopyIsShallowCloneIsDeep) {
+  Tensor a = Tensor::Zeros({3});
+  Tensor shallow = a;
+  Tensor deep = a.Clone();
+  a.data()[0] = 7.0f;
+  EXPECT_EQ(shallow.at(0), 7.0f);
+  EXPECT_EQ(deep.at(0), 0.0f);
+}
+
+TEST(TensorTest, NumElementsOfEmptyShapeIsOne) {
+  EXPECT_EQ(NumElements({}), 1);
+  EXPECT_EQ(NumElements({0, 5}), 0);
+}
+
+TEST(TensorDeathTest, FromDataSizeMismatchAborts) {
+  EXPECT_DEATH(Tensor::FromData({1, 2, 3}, {2, 2}), "CHECK failed");
+}
+
+TEST(TensorDeathTest, ItemOnVectorAborts) {
+  Tensor t = Tensor::Zeros({3});
+  EXPECT_DEATH(t.item(), "CHECK failed");
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise ops (forward semantics)
+// ---------------------------------------------------------------------------
+
+TEST(ElementwiseTest, AddSameShape) {
+  Tensor a = Tensor::FromData({1, 2, 3}, {3});
+  Tensor b = Tensor::FromData({10, 20, 30}, {3});
+  Tensor c = a + b;
+  EXPECT_TRUE(AllClose(c, Tensor::FromData({11, 22, 33}, {3})));
+}
+
+TEST(ElementwiseTest, SubMulDiv) {
+  Tensor a = Tensor::FromData({4, 9}, {2});
+  Tensor b = Tensor::FromData({2, 3}, {2});
+  EXPECT_TRUE(AllClose(a - b, Tensor::FromData({2, 6}, {2})));
+  EXPECT_TRUE(AllClose(a * b, Tensor::FromData({8, 27}, {2})));
+  EXPECT_TRUE(AllClose(a / b, Tensor::FromData({2, 3}, {2})));
+}
+
+TEST(ElementwiseTest, ScalarOps) {
+  Tensor a = Tensor::FromData({1, 2}, {2});
+  EXPECT_TRUE(AllClose(a + 1.0f, Tensor::FromData({2, 3}, {2})));
+  EXPECT_TRUE(AllClose(2.0f * a, Tensor::FromData({2, 4}, {2})));
+  EXPECT_TRUE(AllClose(a / 2.0f, Tensor::FromData({0.5f, 1.0f}, {2})));
+}
+
+TEST(ElementwiseTest, BroadcastRowVector) {
+  Tensor a = Tensor::FromData({1, 2, 3, 4, 5, 6}, {2, 3});
+  Tensor b = Tensor::FromData({10, 20, 30}, {3});
+  Tensor c = a + b;
+  EXPECT_TRUE(AllClose(c, Tensor::FromData({11, 22, 33, 14, 25, 36}, {2, 3})));
+}
+
+TEST(ElementwiseTest, BroadcastColumnVector) {
+  Tensor a = Tensor::FromData({1, 2, 3, 4, 5, 6}, {2, 3});
+  Tensor b = Tensor::FromData({100, 200}, {2, 1});
+  Tensor c = a + b;
+  EXPECT_TRUE(
+      AllClose(c, Tensor::FromData({101, 102, 103, 204, 205, 206}, {2, 3})));
+}
+
+TEST(ElementwiseTest, BroadcastBothSides) {
+  Tensor a = Tensor::FromData({1, 2}, {2, 1});
+  Tensor b = Tensor::FromData({10, 20, 30}, {1, 3});
+  Tensor c = a * b;
+  EXPECT_EQ(c.shape(), (Shape{2, 3}));
+  EXPECT_TRUE(AllClose(c, Tensor::FromData({10, 20, 30, 20, 40, 60}, {2, 3})));
+}
+
+TEST(ElementwiseTest, MaximumMinimum) {
+  Tensor a = Tensor::FromData({1, 5}, {2});
+  Tensor b = Tensor::FromData({3, 2}, {2});
+  EXPECT_TRUE(AllClose(Maximum(a, b), Tensor::FromData({3, 5}, {2})));
+  EXPECT_TRUE(AllClose(Minimum(a, b), Tensor::FromData({1, 2}, {2})));
+}
+
+TEST(ElementwiseDeathTest, IncompatibleBroadcastAborts) {
+  Tensor a = Tensor::Zeros({2, 3});
+  Tensor b = Tensor::Zeros({4});
+  EXPECT_DEATH(Add(a, b), "cannot broadcast");
+}
+
+TEST(BroadcastShapesTest, Rules) {
+  EXPECT_EQ(BroadcastShapes({2, 3}, {3}), (Shape{2, 3}));
+  EXPECT_EQ(BroadcastShapes({2, 1, 4}, {3, 1}), (Shape{2, 3, 4}));
+  EXPECT_EQ(BroadcastShapes({}, {5}), (Shape{5}));
+}
+
+// ---------------------------------------------------------------------------
+// Unary ops
+// ---------------------------------------------------------------------------
+
+TEST(UnaryTest, ExpLogRoundTrip) {
+  Tensor a = Tensor::FromData({0.5f, 1.0f, 2.0f}, {3});
+  EXPECT_TRUE(AllClose(Log(Exp(a)), a, 1e-4f, 1e-5f));
+}
+
+TEST(UnaryTest, SqrtSquare) {
+  Tensor a = Tensor::FromData({4.0f, 9.0f}, {2});
+  EXPECT_TRUE(AllClose(Sqrt(a), Tensor::FromData({2, 3}, {2})));
+  EXPECT_TRUE(AllClose(Square(a), Tensor::FromData({16, 81}, {2})));
+}
+
+TEST(UnaryTest, ReluClampsNegatives) {
+  Tensor a = Tensor::FromData({-1, 0, 2}, {3});
+  EXPECT_TRUE(AllClose(Relu(a), Tensor::FromData({0, 0, 2}, {3})));
+}
+
+TEST(UnaryTest, SigmoidRange) {
+  Tensor a = Tensor::FromData({-100, 0, 100}, {3});
+  Tensor s = Sigmoid(a);
+  EXPECT_NEAR(s.at(0), 0.0f, 1e-6f);
+  EXPECT_NEAR(s.at(1), 0.5f, 1e-6f);
+  EXPECT_NEAR(s.at(2), 1.0f, 1e-6f);
+}
+
+TEST(UnaryTest, GeluKnownValues) {
+  Tensor a = Tensor::FromData({0.0f, 1.0f, -1.0f}, {3});
+  Tensor g = Gelu(a);
+  EXPECT_NEAR(g.at(0), 0.0f, 1e-6f);
+  EXPECT_NEAR(g.at(1), 0.8412f, 1e-3f);
+  EXPECT_NEAR(g.at(2), -0.1588f, 1e-3f);
+}
+
+TEST(UnaryTest, AbsNeg) {
+  Tensor a = Tensor::FromData({-2, 3}, {2});
+  EXPECT_TRUE(AllClose(Abs(a), Tensor::FromData({2, 3}, {2})));
+  EXPECT_TRUE(AllClose(-a, Tensor::FromData({2, -3}, {2})));
+}
+
+TEST(UnaryTest, PowIntegerExponent) {
+  Tensor a = Tensor::FromData({2, 3}, {2});
+  EXPECT_TRUE(AllClose(Pow(a, 3.0f), Tensor::FromData({8, 27}, {2})));
+}
+
+TEST(UnaryTest, SinCosIdentity) {
+  Tensor a = Tensor::FromData({0.3f, 1.2f, -0.7f}, {3});
+  Tensor one = Square(Sin(a)) + Square(Cos(a));
+  EXPECT_TRUE(AllClose(one, Tensor::Ones({3}), 1e-5f, 1e-6f));
+}
+
+// ---------------------------------------------------------------------------
+// Shape ops
+// ---------------------------------------------------------------------------
+
+TEST(ShapeOpsTest, ReshapeKeepsData) {
+  Tensor a = Tensor::FromData({1, 2, 3, 4, 5, 6}, {2, 3});
+  Tensor b = Reshape(a, {3, 2});
+  EXPECT_EQ(b.shape(), (Shape{3, 2}));
+  EXPECT_EQ(b.at(5), 6.0f);
+}
+
+TEST(ShapeOpsTest, ReshapeInfersDim) {
+  Tensor a = Tensor::Zeros({2, 3, 4});
+  EXPECT_EQ(Reshape(a, {6, -1}).shape(), (Shape{6, 4}));
+  EXPECT_EQ(Reshape(a, {-1}).shape(), (Shape{24}));
+}
+
+TEST(ShapeOpsTest, Transpose2d) {
+  Tensor a = Tensor::FromData({1, 2, 3, 4, 5, 6}, {2, 3});
+  Tensor t = Transpose(a, 0, 1);
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  EXPECT_TRUE(AllClose(t, Tensor::FromData({1, 4, 2, 5, 3, 6}, {3, 2})));
+}
+
+TEST(ShapeOpsTest, PermuteThreeAxes) {
+  Tensor a = Tensor::Arange(24);
+  a = Reshape(a, {2, 3, 4});
+  Tensor p = Permute(a, {2, 0, 1});
+  EXPECT_EQ(p.shape(), (Shape{4, 2, 3}));
+  // p[i][j][k] == a[j][k][i]
+  // p[1][1][2] -> a[1][2][1] = 1*12 + 2*4 + 1 = 21
+  EXPECT_EQ(p.at((1 * 2 + 1) * 3 + 2), 21.0f);
+}
+
+TEST(ShapeOpsTest, PermuteRoundTrip) {
+  Rng rng(3);
+  Tensor a = Tensor::Randn({2, 3, 4, 5}, &rng);
+  Tensor p = Permute(a, {3, 1, 0, 2});
+  Tensor back = Permute(p, {2, 1, 3, 0});
+  EXPECT_TRUE(AllClose(back, a));
+}
+
+TEST(ShapeOpsTest, SliceMiddle) {
+  Tensor a = Tensor::Arange(10);
+  Tensor s = Slice(a, 0, 3, 4);
+  EXPECT_TRUE(AllClose(s, Tensor::FromData({3, 4, 5, 6}, {4})));
+}
+
+TEST(ShapeOpsTest, SliceAlongInnerAxis) {
+  Tensor a = Reshape(Tensor::Arange(12), {3, 4});
+  Tensor s = Slice(a, 1, 1, 2);
+  EXPECT_EQ(s.shape(), (Shape{3, 2}));
+  EXPECT_TRUE(AllClose(s, Tensor::FromData({1, 2, 5, 6, 9, 10}, {3, 2})));
+}
+
+TEST(ShapeOpsTest, ConcatAxis0) {
+  Tensor a = Tensor::FromData({1, 2}, {1, 2});
+  Tensor b = Tensor::FromData({3, 4, 5, 6}, {2, 2});
+  Tensor c = Concat({a, b}, 0);
+  EXPECT_EQ(c.shape(), (Shape{3, 2}));
+  EXPECT_TRUE(AllClose(c, Tensor::FromData({1, 2, 3, 4, 5, 6}, {3, 2})));
+}
+
+TEST(ShapeOpsTest, ConcatAxis1) {
+  Tensor a = Tensor::FromData({1, 2}, {2, 1});
+  Tensor b = Tensor::FromData({3, 4}, {2, 1});
+  Tensor c = Concat({a, b}, 1);
+  EXPECT_TRUE(AllClose(c, Tensor::FromData({1, 3, 2, 4}, {2, 2})));
+}
+
+TEST(ShapeOpsTest, StackCreatesNewAxis) {
+  Tensor a = Tensor::FromData({1, 2}, {2});
+  Tensor b = Tensor::FromData({3, 4}, {2});
+  Tensor s = StackTensors({a, b}, 0);
+  EXPECT_EQ(s.shape(), (Shape{2, 2}));
+  EXPECT_TRUE(AllClose(s, Tensor::FromData({1, 2, 3, 4}, {2, 2})));
+}
+
+TEST(ShapeOpsTest, PadConstant) {
+  Tensor a = Tensor::FromData({1, 2}, {2});
+  Tensor p = Pad(a, 0, 1, 2, -1.0f);
+  EXPECT_TRUE(AllClose(p, Tensor::FromData({-1, 1, 2, -1, -1}, {5})));
+}
+
+TEST(ShapeOpsTest, ReplicatePadEdges) {
+  Tensor a = Tensor::FromData({1, 2, 3}, {1, 3, 1});
+  Tensor p = ReplicatePad(a, 1, 2, 1);
+  EXPECT_TRUE(AllClose(p, Tensor::FromData({1, 1, 1, 2, 3, 3}, {1, 6, 1})));
+}
+
+TEST(ShapeOpsTest, RepeatTiles) {
+  Tensor a = Tensor::FromData({1, 2}, {2});
+  Tensor r = Repeat(a, 0, 3);
+  EXPECT_TRUE(AllClose(r, Tensor::FromData({1, 2, 1, 2, 1, 2}, {6})));
+}
+
+TEST(ShapeOpsTest, UnsqueezeSqueezeRoundTrip) {
+  Tensor a = Tensor::Zeros({2, 3});
+  Tensor u = Unsqueeze(a, 1);
+  EXPECT_EQ(u.shape(), (Shape{2, 1, 3}));
+  EXPECT_EQ(Squeeze(u, 1).shape(), (Shape{2, 3}));
+}
+
+// ---------------------------------------------------------------------------
+// Reductions
+// ---------------------------------------------------------------------------
+
+TEST(ReduceTest, SumAll) {
+  Tensor a = Tensor::FromData({1, 2, 3, 4}, {2, 2});
+  EXPECT_FLOAT_EQ(Sum(a).item(), 10.0f);
+}
+
+TEST(ReduceTest, SumAxis0) {
+  Tensor a = Tensor::FromData({1, 2, 3, 4, 5, 6}, {2, 3});
+  Tensor s = Sum(a, {0});
+  EXPECT_EQ(s.shape(), (Shape{3}));
+  EXPECT_TRUE(AllClose(s, Tensor::FromData({5, 7, 9}, {3})));
+}
+
+TEST(ReduceTest, SumAxis1Keepdim) {
+  Tensor a = Tensor::FromData({1, 2, 3, 4, 5, 6}, {2, 3});
+  Tensor s = Sum(a, {1}, /*keepdim=*/true);
+  EXPECT_EQ(s.shape(), (Shape{2, 1}));
+  EXPECT_TRUE(AllClose(s, Tensor::FromData({6, 15}, {2, 1})));
+}
+
+TEST(ReduceTest, SumMultipleAxes) {
+  Tensor a = Reshape(Tensor::Arange(24), {2, 3, 4});
+  Tensor s = Sum(a, {0, 2});
+  EXPECT_EQ(s.shape(), (Shape{3}));
+  // axis-1 groups: rows {0..3,12..15}, {4..7,16..19}, {8..11,20..23}
+  EXPECT_TRUE(AllClose(s, Tensor::FromData({60, 92, 124}, {3})));
+}
+
+TEST(ReduceTest, MeanMatchesSum) {
+  Tensor a = Tensor::FromData({2, 4, 6, 8}, {4});
+  EXPECT_FLOAT_EQ(Mean(a).item(), 5.0f);
+}
+
+TEST(ReduceTest, VarianceOfConstantIsZero) {
+  Tensor a = Tensor::Full({5}, 3.0f);
+  EXPECT_NEAR(Variance(a, {0}).item(), 0.0f, 1e-7f);
+}
+
+TEST(ReduceTest, VarianceKnown) {
+  Tensor a = Tensor::FromData({1, 2, 3, 4}, {4});
+  EXPECT_NEAR(Variance(a, {0}).item(), 1.25f, 1e-6f);
+}
+
+TEST(ReduceTest, MaxAlongAxis) {
+  Tensor a = Tensor::FromData({1, 7, 3, 4, 5, 2}, {2, 3});
+  Tensor m = Max(a, 1);
+  EXPECT_TRUE(AllClose(m, Tensor::FromData({7, 5}, {2})));
+}
+
+TEST(ReduceTest, SoftmaxSumsToOne) {
+  Rng rng(31);
+  Tensor a = Tensor::Randn({4, 7}, &rng);
+  Tensor s = Softmax(a, 1);
+  Tensor sums = Sum(s, {1});
+  EXPECT_TRUE(AllClose(sums, Tensor::Ones({4}), 1e-5f, 1e-6f));
+}
+
+TEST(ReduceTest, SoftmaxStableForLargeInputs) {
+  Tensor a = Tensor::FromData({1000.0f, 1000.0f}, {2});
+  Tensor s = Softmax(a, 0);
+  EXPECT_NEAR(s.at(0), 0.5f, 1e-6f);
+}
+
+TEST(ReduceTest, SoftmaxInnerAxis) {
+  Tensor a = Tensor::FromData({0, 0, 0, 0, 0, 0}, {2, 3});
+  Tensor s = Softmax(a, 0);
+  for (int64_t i = 0; i < 6; ++i) EXPECT_NEAR(s.at(i), 0.5f, 1e-6f);
+}
+
+// ---------------------------------------------------------------------------
+// MatMul
+// ---------------------------------------------------------------------------
+
+TEST(MatMulTest, TwoByTwo) {
+  Tensor a = Tensor::FromData({1, 2, 3, 4}, {2, 2});
+  Tensor b = Tensor::FromData({5, 6, 7, 8}, {2, 2});
+  Tensor c = MatMul(a, b);
+  EXPECT_TRUE(AllClose(c, Tensor::FromData({19, 22, 43, 50}, {2, 2})));
+}
+
+TEST(MatMulTest, RectangularShapes) {
+  Tensor a = Tensor::Ones({3, 4});
+  Tensor b = Tensor::Ones({4, 5});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{3, 5}));
+  EXPECT_TRUE(AllClose(c, Tensor::Full({3, 5}, 4.0f)));
+}
+
+TEST(MatMulTest, BatchedEqualBatch) {
+  Rng rng(37);
+  Tensor a = Tensor::Randn({2, 3, 4}, &rng);
+  Tensor b = Tensor::Randn({2, 4, 5}, &rng);
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 3, 5}));
+  // Check one element by hand: c[1,2,3] = sum_k a[1,2,k]*b[1,k,3]
+  float expect = 0;
+  for (int k = 0; k < 4; ++k) {
+    expect += a.at((1 * 3 + 2) * 4 + k) * b.at((1 * 4 + k) * 5 + 3);
+  }
+  EXPECT_NEAR(c.at((1 * 3 + 2) * 5 + 3), expect, 1e-5f);
+}
+
+TEST(MatMulTest, BatchBroadcastRhs2d) {
+  Rng rng(41);
+  Tensor a = Tensor::Randn({3, 2, 4}, &rng);
+  Tensor b = Tensor::Randn({4, 6}, &rng);
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{3, 2, 6}));
+  // Equals slicing each batch and multiplying.
+  Tensor a0 = Reshape(Slice(a, 0, 0, 1), {2, 4});
+  Tensor c0 = MatMul(a0, b);
+  for (int i = 0; i < 12; ++i) EXPECT_NEAR(c.at(i), c0.at(i), 1e-5f);
+}
+
+TEST(MatMulTest, FourDimBatch) {
+  Rng rng(43);
+  Tensor a = Tensor::Randn({2, 3, 4, 5}, &rng);
+  Tensor b = Tensor::Randn({2, 3, 5, 2}, &rng);
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 3, 4, 2}));
+}
+
+TEST(MatMulDeathTest, InnerDimMismatchAborts) {
+  Tensor a = Tensor::Zeros({2, 3});
+  Tensor b = Tensor::Zeros({4, 2});
+  EXPECT_DEATH(MatMul(a, b), "matmul inner dim mismatch");
+}
+
+// ---------------------------------------------------------------------------
+// Conv2d / MovingAvg
+// ---------------------------------------------------------------------------
+
+TEST(Conv2dTest, IdentityKernel) {
+  Rng rng(47);
+  Tensor x = Tensor::Randn({1, 1, 4, 4}, &rng);
+  Tensor w = Tensor::FromData({1}, {1, 1, 1, 1});
+  Tensor y = Conv2d(x, w, Tensor(), 0, 0);
+  EXPECT_TRUE(AllClose(y, x));
+}
+
+TEST(Conv2dTest, SamePaddingKeepsSize) {
+  Tensor x = Tensor::Ones({1, 1, 5, 7});
+  Rng rng(53);
+  Tensor w = Tensor::Randn({3, 1, 3, 3}, &rng);
+  Tensor y = Conv2d(x, w, Tensor(), 1, 1);
+  EXPECT_EQ(y.shape(), (Shape{1, 3, 5, 7}));
+}
+
+TEST(Conv2dTest, BoxFilterOnOnes) {
+  Tensor x = Tensor::Ones({1, 1, 4, 4});
+  Tensor w = Tensor::Full({1, 1, 3, 3}, 1.0f);
+  Tensor y = Conv2d(x, w, Tensor(), 1, 1);
+  // Interior cells see all 9 ones; corners see 4.
+  EXPECT_FLOAT_EQ(y.at(5), 9.0f);   // (1,1) interior
+  EXPECT_FLOAT_EQ(y.at(0), 4.0f);   // (0,0) corner
+}
+
+TEST(Conv2dTest, BiasIsAdded) {
+  Tensor x = Tensor::Zeros({1, 1, 2, 2});
+  Tensor w = Tensor::FromData({1}, {1, 1, 1, 1});
+  Tensor b = Tensor::FromData({2.5f}, {1});
+  Tensor y = Conv2d(x, w, b, 0, 0);
+  EXPECT_TRUE(AllClose(y, Tensor::Full({1, 1, 2, 2}, 2.5f)));
+}
+
+TEST(Conv2dTest, MultiChannelSumsContributions) {
+  Tensor x = Tensor::Ones({1, 2, 2, 2});
+  Tensor w = Tensor::Full({1, 2, 1, 1}, 3.0f);
+  Tensor y = Conv2d(x, w, Tensor(), 0, 0);
+  EXPECT_TRUE(AllClose(y, Tensor::Full({1, 1, 2, 2}, 6.0f)));
+}
+
+TEST(MovingAvgTest, ConstantSeriesUnchanged) {
+  Tensor x = Tensor::Full({1, 10, 2}, 4.0f);
+  Tensor y = MovingAvg1d(x, 5);
+  EXPECT_EQ(y.shape(), x.shape());
+  EXPECT_TRUE(AllClose(y, x, 1e-5f, 1e-6f));
+}
+
+TEST(MovingAvgTest, SmoothsLinearRamp) {
+  Tensor x = Reshape(Tensor::Arange(8), {1, 8, 1});
+  Tensor y = MovingAvg1d(x, 3);
+  // Interior t: average of {t-1, t, t+1} = t.
+  for (int t = 1; t < 7; ++t) EXPECT_NEAR(y.at(t), static_cast<float>(t), 1e-5f);
+  // Edges use replicate padding: (0+0+1)/3, (6+7+7)/3.
+  EXPECT_NEAR(y.at(0), 1.0f / 3.0f, 1e-5f);
+  EXPECT_NEAR(y.at(7), 20.0f / 3.0f, 1e-5f);
+}
+
+TEST(MovingAvgTest, KernelOneIsIdentity) {
+  Rng rng(59);
+  Tensor x = Tensor::Randn({2, 6, 3}, &rng);
+  EXPECT_TRUE(AllClose(MovingAvg1d(x, 1), x));
+}
+
+// ---------------------------------------------------------------------------
+// Dropout
+// ---------------------------------------------------------------------------
+
+TEST(DropoutTest, EvalModeIsIdentity) {
+  Rng rng(61);
+  Tensor x = Tensor::Randn({4, 4}, &rng);
+  Tensor y = Dropout(x, 0.5f, /*training=*/false, &rng);
+  EXPECT_TRUE(AllClose(y, x));
+}
+
+TEST(DropoutTest, TrainingZeroesApproxFraction) {
+  Rng rng(67);
+  Tensor x = Tensor::Ones({10000});
+  Tensor y = Dropout(x, 0.3f, /*training=*/true, &rng);
+  int zeros = 0;
+  for (int64_t i = 0; i < y.numel(); ++i) zeros += (y.at(i) == 0.0f);
+  EXPECT_NEAR(zeros / 10000.0, 0.3, 0.03);
+}
+
+TEST(DropoutTest, SurvivorsAreScaled) {
+  Rng rng(71);
+  Tensor x = Tensor::Ones({1000});
+  Tensor y = Dropout(x, 0.5f, /*training=*/true, &rng);
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_TRUE(y.at(i) == 0.0f || std::fabs(y.at(i) - 2.0f) < 1e-6f);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ReduceToShape (broadcast inverse)
+// ---------------------------------------------------------------------------
+
+TEST(ReduceToShapeTest, SumOverLeadingAxis) {
+  Tensor t = Tensor::Ones({4, 3});
+  Tensor r = ReduceToShape(t, {3});
+  EXPECT_TRUE(AllClose(r, Tensor::Full({3}, 4.0f)));
+}
+
+TEST(ReduceToShapeTest, SumOverUnitAxis) {
+  Tensor t = Tensor::Ones({2, 5});
+  Tensor r = ReduceToShape(t, {2, 1});
+  EXPECT_TRUE(AllClose(r, Tensor::Full({2, 1}, 5.0f)));
+}
+
+TEST(ReduceToShapeTest, NoOpWhenShapesMatch) {
+  Tensor t = Tensor::Ones({2, 2});
+  EXPECT_TRUE(AllClose(ReduceToShape(t, {2, 2}), t));
+}
+
+}  // namespace
+}  // namespace ts3net

@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "data/window.h"
+#include "train/experiment.h"
+#include "train/metrics.h"
+#include "models/registry.h"
+#include "train/trainer.h"
+#include "tensor/ops.h"
+
+namespace ts3net {
+namespace train {
+namespace {
+
+// ---------------------------------------------------------------------------
+// MetricAccumulator
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, KnownValues) {
+  MetricAccumulator acc;
+  acc.Add(Tensor::FromData({1, 2}, {2}), Tensor::FromData({0, 4}, {2}));
+  EXPECT_DOUBLE_EQ(acc.Mse(), (1.0 + 4.0) / 2.0);
+  EXPECT_DOUBLE_EQ(acc.Mae(), (1.0 + 2.0) / 2.0);
+  EXPECT_EQ(acc.count(), 2);
+}
+
+TEST(MetricsTest, AccumulatesAcrossBatches) {
+  MetricAccumulator acc;
+  acc.Add(Tensor::FromData({1}, {1}), Tensor::FromData({0}, {1}));
+  acc.Add(Tensor::FromData({0}, {1}), Tensor::FromData({3}, {1}));
+  EXPECT_DOUBLE_EQ(acc.Mse(), (1.0 + 9.0) / 2.0);
+}
+
+TEST(MetricsTest, MaskedOnlyCountsSelectedPositions) {
+  MetricAccumulator acc;
+  Tensor pred = Tensor::FromData({1, 10}, {2});
+  Tensor target = Tensor::FromData({0, 0}, {2});
+  Tensor mask = Tensor::FromData({0, 1}, {2});
+  acc.AddMasked(pred, target, mask, 0.0f);
+  EXPECT_EQ(acc.count(), 1);
+  EXPECT_DOUBLE_EQ(acc.Mse(), 1.0);
+}
+
+TEST(MetricsTest, EmptyAccumulatorIsZero) {
+  MetricAccumulator acc;
+  EXPECT_DOUBLE_EQ(acc.Mse(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.Mae(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Trainer (fit + early stopping)
+// ---------------------------------------------------------------------------
+
+data::SplitSeries MakeSplits(uint64_t seed = 31) {
+  data::SyntheticOptions o;
+  o.length = 1200;
+  o.channels = 2;
+  o.components = {{24.0, 1.0, 0.2, 240.0}};
+  o.noise_std = 0.15;
+  o.seed = seed;
+  data::TimeSeries s = data::GenerateSynthetic(o);
+  return SplitChronological(s, 0.7, 0.1);
+}
+
+TrainOptions FastOptions() {
+  TrainOptions t;
+  t.epochs = 2;
+  t.batch_size = 16;
+  t.lr = 3e-3f;
+  t.max_batches_per_epoch = 12;
+  return t;
+}
+
+TEST(TrainerTest, ForecastTrainingImprovesOverUntrainedModel) {
+  data::SplitSeries split = MakeSplits();
+  data::ForecastDataset train_ds(split.train.values, 24, 12);
+  data::ForecastDataset val_ds(split.val.values, 24, 12);
+  data::ForecastDataset test_ds(split.test.values, 24, 12);
+
+  models::ModelConfig cfg;
+  cfg.seq_len = 24;
+  cfg.pred_len = 12;
+  cfg.channels = 2;
+  cfg.d_model = 8;
+  cfg.d_ff = 8;
+  cfg.num_layers = 1;
+  cfg.dropout = 0.0f;
+  Rng rng(32);
+  auto model = models::CreateModel("DLinear", cfg, &rng);
+  ASSERT_TRUE(model.ok());
+
+  EvalResult before = EvaluateForecast(model.value().get(), test_ds, 16, 8);
+  FitResult fit =
+      FitForecast(model.value().get(), train_ds, val_ds, FastOptions());
+  EvalResult after = EvaluateForecast(model.value().get(), test_ds, 16, 8);
+
+  EXPECT_GE(fit.epochs_run, 1);
+  EXPECT_LT(after.mse, before.mse);
+}
+
+TEST(TrainerTest, EarlyStoppingTriggersWithZeroPatience) {
+  data::SplitSeries split = MakeSplits(33);
+  data::ForecastDataset train_ds(split.train.values, 24, 12);
+  data::ForecastDataset val_ds(split.val.values, 24, 12);
+  models::ModelConfig cfg;
+  cfg.seq_len = 24;
+  cfg.pred_len = 12;
+  cfg.channels = 2;
+  Rng rng(34);
+  auto model = models::CreateModel("DLinear", cfg, &rng);
+  ASSERT_TRUE(model.ok());
+  TrainOptions t = FastOptions();
+  t.epochs = 10;
+  t.patience = 1;
+  t.lr = 0.0f;  // frozen model: validation loss can never improve
+  FitResult fit = FitForecast(model.value().get(), train_ds, val_ds, t);
+  EXPECT_EQ(fit.epochs_run, 2);
+  EXPECT_TRUE(fit.early_stopped);
+}
+
+TEST(TrainerTest, FitRecordsLossCurves) {
+  data::SplitSeries split = MakeSplits(35);
+  data::ForecastDataset train_ds(split.train.values, 24, 12);
+  data::ForecastDataset val_ds(split.val.values, 24, 12);
+  models::ModelConfig cfg;
+  cfg.seq_len = 24;
+  cfg.pred_len = 12;
+  cfg.channels = 2;
+  Rng rng(36);
+  auto model = models::CreateModel("LightTS", cfg, &rng);
+  ASSERT_TRUE(model.ok());
+  FitResult fit =
+      FitForecast(model.value().get(), train_ds, val_ds, FastOptions());
+  EXPECT_EQ(fit.train_losses.size(), static_cast<size_t>(fit.epochs_run));
+  EXPECT_EQ(fit.val_losses.size(), static_cast<size_t>(fit.epochs_run));
+}
+
+TEST(TrainerTest, ImputationTrainingReducesMaskedError) {
+  data::SplitSeries split = MakeSplits(37);
+  data::ImputationDataset train_ds(split.train.values, 24, 0.25, 1);
+  data::ImputationDataset val_ds(split.val.values, 24, 0.25, 2);
+  data::ImputationDataset test_ds(split.test.values, 24, 0.25, 3);
+
+  models::ModelConfig cfg;
+  cfg.seq_len = 24;
+  cfg.pred_len = 24;
+  cfg.channels = 2;
+  cfg.imputation = true;
+  cfg.d_model = 8;
+  cfg.num_layers = 1;
+  cfg.dropout = 0.0f;
+  Rng rng(38);
+  auto model = models::CreateModel("TS3Net", cfg, &rng);
+  ASSERT_TRUE(model.ok());
+
+  EvalResult before = EvaluateImputation(model.value().get(), test_ds, 16, 6);
+  TrainOptions t = FastOptions();
+  t.max_batches_per_epoch = 10;
+  FitImputation(model.value().get(), train_ds, val_ds, t);
+  EvalResult after = EvaluateImputation(model.value().get(), test_ds, 16, 6);
+  EXPECT_LT(after.mse, before.mse);
+}
+
+TEST(WalkForwardTest, MatchesManualNonOverlappingWindows) {
+  data::SplitSeries split = MakeSplits(41);
+  models::ModelConfig cfg;
+  cfg.seq_len = 24;
+  cfg.pred_len = 12;
+  cfg.channels = 2;
+  cfg.dropout = 0.0f;
+  Rng rng(42);
+  auto model = models::CreateModel("DLinear", cfg, &rng);
+  ASSERT_TRUE(model.ok());
+  model.value()->SetTraining(false);
+
+  Tensor series = split.test.values;
+  EvalResult rolled =
+      EvaluateWalkForward(model.value().get(), series, 24, 12, 8);
+
+  // Manual reference: origins 0, 12, 24, ... each scored once.
+  data::ForecastDataset windows(series, 24, 12);
+  MetricAccumulator acc;
+  for (int64_t i = 0; i < windows.size(); i += 12) {
+    Tensor x, y;
+    windows.GetBatch({i}, &x, &y);
+    acc.Add(model.value()->Forward(x).Detach(), y);
+  }
+  EXPECT_NEAR(rolled.mse, acc.Mse(), 1e-6);
+  EXPECT_NEAR(rolled.mae, acc.Mae(), 1e-6);
+}
+
+TEST(WalkForwardTest, ScoresEveryHorizonPointOnce) {
+  // With T = lookback + k*horizon exactly, the walk covers k origins.
+  Rng rng(43);
+  Tensor series = Tensor::Randn({24 + 3 * 8, 1}, &rng);
+  models::ModelConfig cfg;
+  cfg.seq_len = 24;
+  cfg.pred_len = 8;
+  cfg.channels = 1;
+  Rng mr(44);
+  auto model = models::CreateModel("DLinear", cfg, &mr);
+  ASSERT_TRUE(model.ok());
+  EvalResult r = EvaluateWalkForward(model.value().get(), series, 24, 8);
+  EXPECT_GT(r.mse, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Experiment pipeline
+// ---------------------------------------------------------------------------
+
+ExperimentSpec FastSpec() {
+  ExperimentSpec spec;
+  spec.dataset = "ETTh1";
+  spec.length_fraction = 0.08;
+  spec.channel_cap = 4;
+  spec.model = "DLinear";
+  spec.lookback = 48;
+  spec.horizon = 24;
+  spec.train = FastOptions();
+  return spec;
+}
+
+TEST(ExperimentTest, PrepareDataStandardizesTrainSplit) {
+  auto prepared = PrepareData(FastSpec());
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  const Tensor& train = prepared.value().scaled.train.values;
+  // Mean of each channel approximately 0, variance approximately 1.
+  Tensor mu = Mean(train, {0});
+  Tensor var = Variance(train, {0});
+  for (int64_t c = 0; c < mu.numel(); ++c) {
+    EXPECT_NEAR(mu.at(c), 0.0f, 1e-3f);
+    EXPECT_NEAR(var.at(c), 1.0f, 1e-2f);
+  }
+}
+
+TEST(ExperimentTest, ForecastCellRunsEndToEnd) {
+  auto result = RunExperiment(FastSpec());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result.value().mse, 0.0);
+  EXPECT_GT(result.value().mae, 0.0);
+}
+
+TEST(ExperimentTest, ImputationCellRunsEndToEnd) {
+  ExperimentSpec spec = FastSpec();
+  spec.mask_ratio = 0.25;
+  auto result = RunExperiment(spec);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result.value().mse, 0.0);
+}
+
+TEST(ExperimentTest, UnknownDatasetPropagatesError) {
+  ExperimentSpec spec = FastSpec();
+  spec.dataset = "Nope";
+  EXPECT_FALSE(RunExperiment(spec).ok());
+}
+
+TEST(ExperimentTest, UnknownModelPropagatesError) {
+  ExperimentSpec spec = FastSpec();
+  spec.model = "Nope";
+  EXPECT_FALSE(RunExperiment(spec).ok());
+}
+
+TEST(ExperimentTest, NoiseInjectionChangesTrainSplitOnly) {
+  ExperimentSpec clean = FastSpec();
+  ExperimentSpec noisy = FastSpec();
+  noisy.noise_rho = 0.1;
+  auto p_clean = PrepareData(clean);
+  auto p_noisy = PrepareData(noisy);
+  ASSERT_TRUE(p_clean.ok() && p_noisy.ok());
+  EXPECT_FALSE(AllClose(p_clean.value().scaled.train.values,
+                        p_noisy.value().scaled.train.values));
+  EXPECT_TRUE(AllClose(p_clean.value().scaled.test.values,
+                       p_noisy.value().scaled.test.values));
+}
+
+TEST(ExperimentTest, ResultsAreReproducible) {
+  ExperimentSpec spec = FastSpec();
+  spec.train.max_batches_per_epoch = 5;
+  auto r1 = RunExperiment(spec);
+  auto r2 = RunExperiment(spec);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_DOUBLE_EQ(r1.value().mse, r2.value().mse);
+  EXPECT_DOUBLE_EQ(r1.value().mae, r2.value().mae);
+}
+
+}  // namespace
+}  // namespace train
+}  // namespace ts3net
