@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/threadpool.h"
 #include "core/decomposition.h"
 #include "core/sgd_layer.h"
 #include "signal/cwt.h"
@@ -128,6 +129,75 @@ void BM_Conv2d(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Conv2d)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Thread-count sweeps. Arg is the pool size (0 = hardware concurrency); the
+// resolved size is reported in the `threads` counter. Outputs are bitwise
+// identical across the sweep by construction — the speedup is free.
+// ---------------------------------------------------------------------------
+
+// Sets the global pool for one sweep point and restores a serial pool after.
+class ThreadSweep {
+ public:
+  explicit ThreadSweep(benchmark::State& state) {
+    const int requested = static_cast<int>(state.range(0));
+    ThreadPool::SetGlobalNumThreads(requested == 0 ? -1 : requested);
+    state.counters["threads"] = ThreadPool::GlobalNumThreads();
+  }
+  ~ThreadSweep() { ThreadPool::SetGlobalNumThreads(1); }
+};
+
+void BM_BatchedMatMulThreads(benchmark::State& state) {
+  ThreadSweep sweep(state);
+  const int64_t batch = 32, n = 256;
+  Rng rng(11);
+  Tensor a = Tensor::Randn({batch, n, n}, &rng);
+  Tensor b = Tensor::Randn({batch, n, n}, &rng);
+  for (auto _ : state) {
+    Tensor c = MatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch * n * n * n);
+}
+BENCHMARK(BM_BatchedMatMulThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Conv2dThreads(benchmark::State& state) {
+  ThreadSweep sweep(state);
+  Rng rng(12);
+  Tensor x = Tensor::Randn({8, 16, 8, 96}, &rng);
+  Tensor w = Tensor::Randn({16, 16, 3, 3}, &rng, 0.1f);
+  for (auto _ : state) {
+    Tensor y = Conv2d(x, w, Tensor(), 1, 1);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Conv2dThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CwtAmplitudeThreads(benchmark::State& state) {
+  ThreadSweep sweep(state);
+  WaveletBankOptions opt;
+  opt.num_subbands = 16;
+  WaveletBank bank = WaveletBank::Create(opt);
+  Rng rng(13);
+  Tensor x = Tensor::Randn({192, 7}, &rng);
+  for (auto _ : state) {
+    Tensor amp = CwtAmplitude(x, bank);
+    benchmark::DoNotOptimize(amp.data());
+  }
+}
+BENCHMARK(BM_CwtAmplitudeThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_TrendDecompose(benchmark::State& state) {
   Rng rng(9);

@@ -11,6 +11,13 @@
 //              [--horizon=24] [--epochs=3] [--ckpt=model.ckpt]
 //       Train a model on the CSV (70/10/20 chronological split), report
 //       test MSE/MAE (standard and walk-forward), optionally checkpoint.
+//   help
+//       Print this usage text.
+//
+// Global flags (valid with every subcommand):
+//   --ts3_num_threads=N   Size of the shared kernel thread pool. 0 (default)
+//       uses hardware concurrency; 1 runs fully serial. Results are bitwise
+//       identical for every value — the pool only changes wall-clock time.
 //
 // Example end-to-end session:
 //   ./build/examples/ts3net_cli generate --dataset=ETTh1 --out=/tmp/s.csv
@@ -21,6 +28,7 @@
 #include <cstring>
 
 #include "common/flags.h"
+#include "common/threadpool.h"
 #include "core/decomposition.h"
 #include "data/csv.h"
 #include "data/scaler.h"
@@ -178,11 +186,27 @@ int CmdForecast(const FlagParser& flags) {
   return 0;
 }
 
-int Usage() {
-  std::fprintf(stderr,
-               "usage: ts3net_cli <generate|periods|decompose|forecast> "
-               "[flags]\n(see the header comment of ts3net_cli.cpp)\n");
-  return 2;
+int Usage(int exit_code = 2) {
+  std::FILE* out = exit_code == 0 ? stdout : stderr;
+  std::fprintf(
+      out,
+      "usage: ts3net_cli <generate|periods|decompose|forecast|help> [flags]\n"
+      "\n"
+      "subcommands:\n"
+      "  generate   --dataset=ETTh1 [--fraction=0.1] [--out=series.csv]\n"
+      "  periods    --csv=series.csv [--topk=3]\n"
+      "  decompose  --csv=series.csv [--lambda=12] [--length=192]"
+      " [--out=parts.csv]\n"
+      "  forecast   --csv=series.csv [--model=TS3Net] [--lookback=96]\n"
+      "             [--horizon=24] [--epochs=3] [--ckpt=model.ckpt]\n"
+      "\n"
+      "global flags:\n"
+      "  --ts3_num_threads=N  kernel thread-pool size; 0 = hardware\n"
+      "                       concurrency (default), 1 = fully serial.\n"
+      "                       Results are bitwise identical for any N.\n"
+      "\n"
+      "(see the header comment of ts3net_cli.cpp for details)\n");
+  return exit_code;
 }
 
 }  // namespace
@@ -190,8 +214,11 @@ int Usage() {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") return Usage(0);
   FlagParser flags;
   if (Status st = flags.Parse(argc - 1, argv + 1); !st.ok()) return Fail(st);
+  ThreadPool::SetGlobalNumThreads(
+      static_cast<int>(flags.GetInt("ts3_num_threads", 0)));
   if (cmd == "generate") return CmdGenerate(flags);
   if (cmd == "periods") return CmdPeriods(flags);
   if (cmd == "decompose") return CmdDecompose(flags);

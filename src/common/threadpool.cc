@@ -1,0 +1,191 @@
+#include "common/threadpool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "common/check.h"
+
+namespace ts3net {
+
+namespace {
+
+// Set while a thread is executing chunks of some ParallelFor. Nested calls
+// (a parallel kernel invoked from inside another parallel region) run
+// serially inline instead of re-entering the pool, which would deadlock a
+// fixed-size pool once every worker blocks waiting for its own sub-loop.
+thread_local bool t_inside_parallel_region = false;
+
+int ClampThreads(int n) {
+  if (n >= 1) return n;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::mutex g_global_mu;
+ThreadPool* g_global_pool = nullptr;  // leaked intentionally; see Global()
+int g_global_threads = 0;             // 0 = not yet configured (hardware)
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with no pending work
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  TS3_CHECK_GE(grain, 1) << "ParallelFor grain must be positive";
+  if (end <= begin) return;
+  const int64_t n = end - begin;
+
+  // Serial paths: single-threaded pool, a range that fits in one grain, or a
+  // nested call from inside a worker. One plain call preserves today's exact
+  // loop behavior.
+  if (num_threads_ == 1 || n <= grain || t_inside_parallel_region) {
+    const bool was_inside = t_inside_parallel_region;
+    t_inside_parallel_region = true;
+    try {
+      fn(begin, end);
+    } catch (...) {
+      t_inside_parallel_region = was_inside;
+      throw;
+    }
+    t_inside_parallel_region = was_inside;
+    return;
+  }
+
+  // Deterministic chunking: chunk c covers
+  //   [begin + c * chunk_size, begin + min(n, (c+1) * chunk_size)).
+  // The mapping from chunk index to sub-range is a pure function of
+  // (begin, end, grain, num_threads_), never of scheduling order.
+  const int64_t max_chunks = (n + grain - 1) / grain;
+  const int64_t num_chunks =
+      std::min<int64_t>(max_chunks, static_cast<int64_t>(num_threads_) * 4);
+  const int64_t chunk_size = (n + num_chunks - 1) / num_chunks;
+
+  struct LoopState {
+    std::atomic<int64_t> next_chunk{0};
+    std::atomic<int64_t> remaining;  // chunks not yet finished
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    std::mutex err_mu;
+    std::exception_ptr first_error;
+  };
+  auto state = std::make_shared<LoopState>();
+  state->remaining.store(num_chunks, std::memory_order_relaxed);
+
+  auto drain = [state, begin, n, chunk_size, num_chunks, &fn]() {
+    const bool was_inside = t_inside_parallel_region;
+    t_inside_parallel_region = true;
+    for (;;) {
+      const int64_t c =
+          state->next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      const int64_t lo = begin + c * chunk_size;
+      const int64_t hi = begin + std::min(n, (c + 1) * chunk_size);
+      try {
+        fn(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->err_mu);
+        if (!state->first_error) state->first_error = std::current_exception();
+      }
+      if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(state->done_mu);
+        state->done_cv.notify_all();
+      }
+    }
+    t_inside_parallel_region = was_inside;
+  };
+
+  // One pass per worker; each pass drains chunks until none are left. The
+  // caller thread participates too, so a pool of N threads runs N-wide.
+  const int64_t passes =
+      std::min<int64_t>(static_cast<int64_t>(num_threads_) - 1, num_chunks - 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int64_t i = 0; i < passes; ++i) queue_.push(drain);
+  }
+  if (passes == 1) {
+    cv_.notify_one();
+  } else if (passes > 1) {
+    cv_.notify_all();
+  }
+  drain();
+
+  // Wait for chunks claimed by workers that are still running. The lambda
+  // captures `fn` by reference, so we must not return before remaining == 0.
+  {
+    std::unique_lock<std::mutex> lock(state->done_mu);
+    state->done_cv.wait(lock, [&state] {
+      return state->remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+ThreadPool* ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  if (g_global_pool == nullptr) {
+    g_global_pool = new ThreadPool(ClampThreads(g_global_threads));
+  }
+  return g_global_pool;
+}
+
+void ThreadPool::SetGlobalNumThreads(int n) {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  const int clamped = ClampThreads(n);
+  g_global_threads = clamped;
+  if (g_global_pool != nullptr && g_global_pool->num_threads() != clamped) {
+    delete g_global_pool;
+    g_global_pool = nullptr;
+  }
+  if (g_global_pool == nullptr) {
+    g_global_pool = new ThreadPool(clamped);
+  }
+}
+
+int ThreadPool::GlobalNumThreads() {
+  {
+    std::lock_guard<std::mutex> lock(g_global_mu);
+    if (g_global_pool != nullptr) return g_global_pool->num_threads();
+  }
+  return ClampThreads(g_global_threads);
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  ThreadPool::Global()->ParallelFor(begin, end, grain, fn);
+}
+
+bool ParallelWouldFanOut(int64_t n, int64_t grain) {
+  return n > grain && ThreadPool::GlobalNumThreads() > 1;
+}
+
+}  // namespace ts3net

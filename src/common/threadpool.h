@@ -1,0 +1,90 @@
+#ifndef TS3NET_COMMON_THREADPOOL_H_
+#define TS3NET_COMMON_THREADPOOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ts3net {
+
+/// Fixed-size thread pool shared by all parallel kernels (GEMM, conv, CWT,
+/// batch assembly). Deliberately work-stealing-free: ParallelFor splits
+/// `[begin, end)` into contiguous chunks handed out through a single shared
+/// counter, so every chunk covers a fixed, disjoint sub-range regardless of
+/// which worker runs it. Kernels that partition their *output* by chunk and
+/// never change the reduction order within a chunk therefore produce bitwise
+/// identical results at any thread count (see DESIGN.md, "Threading model").
+///
+/// Most code should not construct a pool; use the process-wide singleton via
+/// the free `ParallelFor` below, configured once at startup with
+/// `SetGlobalNumThreads` (the `--ts3_num_threads` flag in the harnesses).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers (the calling thread participates in
+  /// every ParallelFor, so 1 means "no workers": fully serial execution).
+  /// `num_threads < 1` is clamped to 1.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs `fn(chunk_begin, chunk_end)` over disjoint chunks covering
+  /// `[begin, end)`. Each chunk spans at least `grain` indices (except
+  /// possibly the last); `grain` must be >= 1. Blocks until every chunk has
+  /// finished. Exceptions thrown by `fn` are captured (first one wins) and
+  /// rethrown on the calling thread after the loop has drained. Nested calls
+  /// from inside a worker run serially inline, so kernels may call
+  /// ParallelFor without worrying about who invoked them. An empty range is
+  /// a no-op.
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
+  // -- Process-wide singleton ------------------------------------------------
+
+  /// The shared pool, created on first use with `GlobalNumThreads()` threads.
+  static ThreadPool* Global();
+  /// Configures (or reconfigures) the singleton's size. `n < 1` means
+  /// "hardware concurrency". Destroys and rebuilds the pool if it already
+  /// exists with a different size; must not be called concurrently with
+  /// ParallelFor on the global pool.
+  static void SetGlobalNumThreads(int n);
+  /// Threads the singleton has (or will be created with).
+  static int GlobalNumThreads();
+
+ private:
+  struct Task {
+    // Loop this task belongs to; tasks are one chunk-draining pass each.
+    std::function<void()> run;
+  };
+
+  void WorkerLoop();
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool shutdown_ = false;
+};
+
+/// `ThreadPool::Global()->ParallelFor(...)`, the form kernels use. Falls back
+/// to a plain serial loop when the global pool has a single thread.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+/// True when ParallelFor will actually fan out: the global pool has more than
+/// one thread and the range is big enough to split. Kernels use this to skip
+/// building per-chunk scratch state on the serial path.
+bool ParallelWouldFanOut(int64_t n, int64_t grain);
+
+}  // namespace ts3net
+
+#endif  // TS3NET_COMMON_THREADPOOL_H_

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "common/threadpool.h"
 
 namespace ts3net {
 namespace data {
@@ -39,14 +40,17 @@ void ForecastDataset::GetBatch(const std::vector<int64_t>& indices, Tensor* x,
   std::vector<float> xv(static_cast<size_t>(b * lookback_ * ch));
   std::vector<float> yv(static_cast<size_t>(b * horizon_ * ch));
   const float* src = values_.data();
-  for (int64_t k = 0; k < b; ++k) {
-    const int64_t i = indices[k];
-    TS3_CHECK(i >= 0 && i < size_) << "sample index out of range";
-    std::memcpy(xv.data() + k * lookback_ * ch, src + i * ch,
-                sizeof(float) * static_cast<size_t>(lookback_ * ch));
-    std::memcpy(yv.data() + k * horizon_ * ch, src + (i + lookback_) * ch,
-                sizeof(float) * static_cast<size_t>(horizon_ * ch));
-  }
+  // Samples land in disjoint output slices, so assembly fans out per sample.
+  ParallelFor(0, b, 8, [&](int64_t lo, int64_t hi) {
+    for (int64_t k = lo; k < hi; ++k) {
+      const int64_t i = indices[k];
+      TS3_CHECK(i >= 0 && i < size_) << "sample index out of range";
+      std::memcpy(xv.data() + k * lookback_ * ch, src + i * ch,
+                  sizeof(float) * static_cast<size_t>(lookback_ * ch));
+      std::memcpy(yv.data() + k * horizon_ * ch, src + (i + lookback_) * ch,
+                  sizeof(float) * static_cast<size_t>(horizon_ * ch));
+    }
+  });
   *x = Tensor::FromData(std::move(xv), {b, lookback_, ch});
   *y = Tensor::FromData(std::move(yv), {b, horizon_, ch});
 }
@@ -93,7 +97,11 @@ void ImputationDataset::GetBatch(const std::vector<int64_t>& indices,
   std::vector<float> mv(static_cast<size_t>(b * window_ * ch));
   std::vector<float> yv(static_cast<size_t>(b * window_ * ch));
   const float* src = values_.data();
-  for (int64_t k = 0; k < b; ++k) {
+  // The mask is a pure function of (seed, sample index), so per-sample
+  // assembly is order-independent; each sample fills its own slice of the
+  // three buffers.
+  ParallelFor(0, b, 1, [&](int64_t k_lo, int64_t k_hi) {
+  for (int64_t k = k_lo; k < k_hi; ++k) {
     const int64_t i = indices[k];
     TS3_CHECK(i >= 0 && i < size_);
     std::memcpy(yv.data() + k * window_ * ch, src + i * ch,
@@ -138,6 +146,7 @@ void ImputationDataset::GetBatch(const std::vector<int64_t>& indices,
       }
     }
   }
+  });
   *x = Tensor::FromData(std::move(xv), {b, window_, ch});
   *mask = Tensor::FromData(std::move(mv), {b, window_, ch});
   *y = Tensor::FromData(std::move(yv), {b, window_, ch});

@@ -1,0 +1,80 @@
+#include "models/model_config.h"
+
+#include <string>
+
+namespace ts3net {
+namespace models {
+
+namespace {
+
+std::string Bad(const char* field, int64_t value, const char* why) {
+  return std::string("ModelConfig: ") + field + "=" + std::to_string(value) +
+         " " + why;
+}
+
+}  // namespace
+
+Status ValidateModelConfig(const ModelConfig& config) {
+  if (config.seq_len < 1) {
+    return Status::InvalidArgument(
+        Bad("seq_len", config.seq_len,
+            "must be >= 1 (an empty input window cannot be pooled or "
+            "decomposed)"));
+  }
+  if (config.pred_len < 1) {
+    return Status::InvalidArgument(
+        Bad("pred_len", config.pred_len, "must be >= 1"));
+  }
+  if (config.channels < 1) {
+    return Status::InvalidArgument(
+        Bad("channels", config.channels, "must be >= 1"));
+  }
+  if (config.d_model < 1) {
+    return Status::InvalidArgument(
+        Bad("d_model", config.d_model, "must be >= 1"));
+  }
+  if (config.d_ff < 1) {
+    return Status::InvalidArgument(Bad("d_ff", config.d_ff, "must be >= 1"));
+  }
+  if (config.num_layers < 1) {
+    return Status::InvalidArgument(
+        Bad("num_layers", config.num_layers, "must be >= 1"));
+  }
+  if (config.num_heads < 1) {
+    return Status::InvalidArgument(
+        Bad("num_heads", config.num_heads, "must be >= 1"));
+  }
+  if (config.dropout < 0.0f || config.dropout >= 1.0f) {
+    return Status::InvalidArgument("ModelConfig: dropout=" +
+                                   std::to_string(config.dropout) +
+                                   " must be in [0, 1)");
+  }
+  if (config.num_kernels < 1) {
+    return Status::InvalidArgument(
+        Bad("num_kernels", config.num_kernels, "must be >= 1"));
+  }
+  if (config.top_k_periods < 1) {
+    return Status::InvalidArgument(
+        Bad("top_k_periods", config.top_k_periods, "must be >= 1"));
+  }
+  if (config.num_modes < 1) {
+    return Status::InvalidArgument(
+        Bad("num_modes", config.num_modes, "must be >= 1"));
+  }
+  if (config.patch_len < 1) {
+    return Status::InvalidArgument(
+        Bad("patch_len", config.patch_len, "must be >= 1"));
+  }
+  if (config.lambda < 1) {
+    return Status::InvalidArgument(
+        Bad("lambda", config.lambda, "must be >= 1"));
+  }
+  if (config.moving_avg < 1) {
+    return Status::InvalidArgument(
+        Bad("moving_avg", config.moving_avg, "must be >= 1"));
+  }
+  return Status::OK();
+}
+
+}  // namespace models
+}  // namespace ts3net

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "common/status.h"
+
 namespace ts3net {
 namespace models {
 
@@ -41,6 +43,13 @@ struct ModelConfig {
   // Decomposition kernel for DLinear/MICN/Autoformer-style series_decomp.
   int64_t moving_avg = 25;
 };
+
+/// Validates a user-supplied config before any model is built. User-facing
+/// entry points (CLI flags, experiment harnesses) route through CreateModel,
+/// which calls this first, so a bad `--seq_len` or `--horizon` produces an
+/// InvalidArgument Status instead of a TS3_CHECK abort deep inside a kernel
+/// (e.g. the moving-average pool on an empty window).
+Status ValidateModelConfig(const ModelConfig& config);
 
 }  // namespace models
 }  // namespace ts3net

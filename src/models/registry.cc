@@ -1,5 +1,6 @@
 #include "models/registry.h"
 
+#include "common/check.h"
 #include "core/ts3net.h"
 #include "models/autoformer.h"
 #include "models/dlinear.h"
@@ -44,6 +45,7 @@ Result<std::shared_ptr<nn::Module>> CreateModel(const std::string& name,
   if (rng == nullptr) {
     return Status::InvalidArgument("CreateModel needs an Rng");
   }
+  TS3_RETURN_IF_ERROR(ValidateModelConfig(config));
   if (name == "TS3Net") {
     return std::shared_ptr<nn::Module>(
         std::make_shared<core::TS3Net>(ToTS3NetOptions(config), rng));

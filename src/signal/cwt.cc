@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/threadpool.h"
 #include "tensor/ops.h"
 
 namespace ts3net {
@@ -47,10 +48,15 @@ void CwtComplex(const Tensor& x_tc, const WaveletBank& bank, Tensor* re,
   const int64_t lambda = bank.num_subbands();
   *re = Tensor::Zeros({lambda, t_len, ch});
   *im = Tensor::Zeros({lambda, t_len, ch});
-  for (int64_t i = 0; i < lambda; ++i) {
-    CorrelateChannels(x_tc, bank.filter(static_cast<int>(i)), i, re->data(),
-                      im->data());
-  }
+  // Sub-bands are independent and each writes its own [t_len, ch] rows, so
+  // the per-band fan-out is bitwise deterministic at any thread count.
+  float* pre = re->data();
+  float* pim = im->data();
+  ParallelFor(0, lambda, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      CorrelateChannels(x_tc, bank.filter(static_cast<int>(i)), i, pre, pim);
+    }
+  });
 }
 
 Tensor CwtAmplitude(const Tensor& x_tc, const WaveletBank& bank) {
@@ -60,9 +66,11 @@ Tensor CwtAmplitude(const Tensor& x_tc, const WaveletBank& bank) {
   std::vector<float> amp(static_cast<size_t>(n));
   const float* pr = re.data();
   const float* pi = im.data();
-  for (int64_t i = 0; i < n; ++i) {
-    amp[i] = std::sqrt(pr[i] * pr[i] + pi[i] * pi[i]);
-  }
+  ParallelFor(0, n, 1 << 15, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      amp[i] = std::sqrt(pr[i] * pr[i] + pi[i] * pi[i]);
+    }
+  });
   return Tensor::FromData(std::move(amp), re.shape());
 }
 
@@ -119,21 +127,23 @@ std::pair<Tensor, Tensor> BuildCwtMatrices(const WaveletBank& bank,
   Tensor w_im = Tensor::Zeros({lambda, seq_len, seq_len});
   float* pre = w_re.data();
   float* pim = w_im.data();
-  for (int64_t i = 0; i < lambda; ++i) {
-    const auto& filter = bank.filter(static_cast<int>(i));
-    const int64_t l = static_cast<int64_t>(filter.size());
-    const int64_t c = (l - 1) / 2;
-    for (int64_t t = 0; t < seq_len; ++t) {
-      const int64_t n_lo = std::max<int64_t>(0, c - t);
-      const int64_t n_hi = std::min<int64_t>(l, seq_len + c - t);
-      for (int64_t n = n_lo; n < n_hi; ++n) {
-        const int64_t tau = t + n - c;
-        const int64_t idx = (i * seq_len + t) * seq_len + tau;
-        pre[idx] = static_cast<float>(filter[n].real());
-        pim[idx] = static_cast<float>(filter[n].imag());
+  ParallelFor(0, lambda, 1, [&](int64_t band_lo, int64_t band_hi) {
+    for (int64_t i = band_lo; i < band_hi; ++i) {
+      const auto& filter = bank.filter(static_cast<int>(i));
+      const int64_t l = static_cast<int64_t>(filter.size());
+      const int64_t c = (l - 1) / 2;
+      for (int64_t t = 0; t < seq_len; ++t) {
+        const int64_t n_lo = std::max<int64_t>(0, c - t);
+        const int64_t n_hi = std::min<int64_t>(l, seq_len + c - t);
+        for (int64_t n = n_lo; n < n_hi; ++n) {
+          const int64_t tau = t + n - c;
+          const int64_t idx = (i * seq_len + t) * seq_len + tau;
+          pre[idx] = static_cast<float>(filter[n].real());
+          pim[idx] = static_cast<float>(filter[n].imag());
+        }
       }
     }
-  }
+  });
   return {w_re, w_im};
 }
 

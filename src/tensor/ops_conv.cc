@@ -1,5 +1,6 @@
 #include <cstring>
 
+#include "common/threadpool.h"
 #include "tensor/ops.h"
 
 namespace ts3net {
@@ -7,7 +8,9 @@ namespace ts3net {
 namespace {
 
 /// Valid (no padding) average pool with window `k`, stride 1, along the time
-/// axis of [B, T, C]. Output is [B, T-k+1, C].
+/// axis of [B, T, C]. Output is [B, T-k+1, C]. Inputs shorter than the
+/// window are a configuration error; ValidateModelConfig rejects them before
+/// any kernel runs (see models/model_config.h).
 Tensor AvgPool1dValid(const Tensor& x, int64_t k) {
   TS3_CHECK_EQ(x.ndim(), 3);
   const int64_t b = x.dim(0), t = x.dim(1), c = x.dim(2);
@@ -16,16 +19,20 @@ Tensor AvgPool1dValid(const Tensor& x, int64_t k) {
   std::vector<float> out(static_cast<size_t>(b * to * c), 0.0f);
   const float* px = x.data();
   const float inv = 1.0f / static_cast<float>(k);
-  for (int64_t bi = 0; bi < b; ++bi) {
-    for (int64_t ti = 0; ti < to; ++ti) {
-      float* dst = out.data() + (bi * to + ti) * c;
-      for (int64_t j = 0; j < k; ++j) {
-        const float* src = px + (bi * t + ti + j) * c;
-        for (int64_t ci = 0; ci < c; ++ci) dst[ci] += src[ci];
-      }
-      for (int64_t ci = 0; ci < c; ++ci) dst[ci] *= inv;
-    }
-  }
+  // Each (batch, output step) row is written by exactly one chunk.
+  ParallelFor(0, b * to, std::max<int64_t>(1, 4096 / std::max<int64_t>(1, k * c)),
+              [&](int64_t lo, int64_t hi) {
+                for (int64_t r = lo; r < hi; ++r) {
+                  const int64_t bi = r / to;
+                  const int64_t ti = r % to;
+                  float* dst = out.data() + r * c;
+                  for (int64_t j = 0; j < k; ++j) {
+                    const float* src = px + (bi * t + ti + j) * c;
+                    for (int64_t ci = 0; ci < c; ++ci) dst[ci] += src[ci];
+                  }
+                  for (int64_t ci = 0; ci < c; ++ci) dst[ci] *= inv;
+                }
+              });
   Tensor tx = x;
   return MakeOpResult(
       std::move(out), Shape{b, to, c}, "AvgPool1dValid", {x},
@@ -33,15 +40,19 @@ Tensor AvgPool1dValid(const Tensor& x, int64_t k) {
         if (!tx.requires_grad()) return;
         std::vector<float> g(static_cast<size_t>(tx.numel()), 0.0f);
         const float* go = grad_out.data();
-        for (int64_t bi = 0; bi < b; ++bi) {
-          for (int64_t ti = 0; ti < to; ++ti) {
-            const float* src = go + (bi * to + ti) * c;
-            for (int64_t j = 0; j < k; ++j) {
-              float* dst = g.data() + (bi * t + ti + j) * c;
-              for (int64_t ci = 0; ci < c; ++ci) dst[ci] += src[ci] * inv;
+        // Overlapping windows within a batch share input positions, so fan
+        // out over batches only; the ti/j order per element matches serial.
+        ParallelFor(0, b, 1, [&](int64_t lo, int64_t hi) {
+          for (int64_t bi = lo; bi < hi; ++bi) {
+            for (int64_t ti = 0; ti < to; ++ti) {
+              const float* src = go + (bi * to + ti) * c;
+              for (int64_t j = 0; j < k; ++j) {
+                float* dst = g.data() + (bi * t + ti + j) * c;
+                for (int64_t ci = 0; ci < c; ++ci) dst[ci] += src[ci] * inv;
+              }
             }
           }
-        }
+        });
         tx.AccumulateGrad(Tensor::FromData(std::move(g), tx.shape()));
       });
 }
@@ -98,12 +109,12 @@ Tensor Conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
   {
     const float* pw = weight.data();
     const float* pbias = bias.defined() ? bias.data() : nullptr;
-#ifdef _OPENMP
-#pragma omp parallel for collapse(2) if (nb * co > 1)
-#endif
-    for (int64_t b = 0; b < nb; ++b) {
-      for (int64_t o = 0; o < co; ++o) {
-        float* out_plane = out.data() + (b * co + o) * ho * wo;
+    // Each (batch, out-channel) plane is produced by exactly one chunk.
+    ParallelFor(0, nb * co, 1, [&](int64_t lo, int64_t hi) {
+      for (int64_t r = lo; r < hi; ++r) {
+        const int64_t b = r / co;
+        const int64_t o = r % co;
+        float* out_plane = out.data() + r * ho * wo;
         if (pbias != nullptr) {
           for (int64_t i = 0; i < ho * wo; ++i) out_plane[i] = pbias[o];
         }
@@ -122,7 +133,7 @@ Tensor Conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
           }
         }
       }
-    }
+    });
   }
 
   Tensor tx = x, tw = weight, tb = bias;
@@ -137,11 +148,15 @@ Tensor Conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
 
         if (tx.requires_grad()) {
           std::vector<float> gpad(static_cast<size_t>(nb * ci * hp * wp), 0.0f);
-          for (int64_t b = 0; b < nb; ++b) {
-            for (int64_t o = 0; o < co; ++o) {
-              const float* go_plane = go + (b * co + o) * ho * wo;
-              for (int64_t c = 0; c < ci; ++c) {
-                float* g_plane = gpad.data() + (b * ci + c) * hp * wp;
+          // Fan out over (batch, in-channel) planes; each gpad plane
+          // accumulates its o-contributions in the serial order.
+          ParallelFor(0, nb * ci, 1, [&](int64_t lo, int64_t hi) {
+            for (int64_t r = lo; r < hi; ++r) {
+              const int64_t b = r / ci;
+              const int64_t c = r % ci;
+              float* g_plane = gpad.data() + r * hp * wp;
+              for (int64_t o = 0; o < co; ++o) {
+                const float* go_plane = go + (b * co + o) * ho * wo;
                 for (int64_t dy = 0; dy < kh; ++dy) {
                   for (int64_t dx = 0; dx < kw; ++dx) {
                     const float wv = pw[((o * ci + c) * kh + dy) * kw + dx];
@@ -156,7 +171,7 @@ Tensor Conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
                 }
               }
             }
-          }
+          });
           // Strip padding.
           std::vector<float> gx(static_cast<size_t>(nb * ci * h * w));
           for (int64_t b = 0; b < nb; ++b) {
@@ -174,10 +189,15 @@ Tensor Conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
 
         if (tw.requires_grad()) {
           std::vector<float> gw(static_cast<size_t>(tw.numel()), 0.0f);
-          for (int64_t b = 0; b < nb; ++b) {
-            for (int64_t o = 0; o < co; ++o) {
-              const float* go_plane = go + (b * co + o) * ho * wo;
-              for (int64_t c = 0; c < ci; ++c) {
+          // Fan out over (out-channel, in-channel) filter planes; each gw
+          // entry accumulates its per-batch terms in increasing b order,
+          // matching the serial loop.
+          ParallelFor(0, co * ci, 1, [&](int64_t lo, int64_t hi) {
+            for (int64_t r = lo; r < hi; ++r) {
+              const int64_t o = r / ci;
+              const int64_t c = r % ci;
+              for (int64_t b = 0; b < nb; ++b) {
+                const float* go_plane = go + (b * co + o) * ho * wo;
                 const float* in_plane = xpad->data() + (b * ci + c) * hp * wp;
                 for (int64_t dy = 0; dy < kh; ++dy) {
                   for (int64_t dx = 0; dx < kw; ++dx) {
@@ -192,20 +212,22 @@ Tensor Conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
                 }
               }
             }
-          }
+          });
           tw.AccumulateGrad(Tensor::FromData(std::move(gw), tw.shape()));
         }
 
         if (tb.defined() && tb.requires_grad()) {
           std::vector<float> gb(static_cast<size_t>(co), 0.0f);
-          for (int64_t b = 0; b < nb; ++b) {
-            for (int64_t o = 0; o < co; ++o) {
-              const float* go_plane = go + (b * co + o) * ho * wo;
-              float acc = 0.0f;
-              for (int64_t i = 0; i < ho * wo; ++i) acc += go_plane[i];
-              gb[o] += acc;
+          ParallelFor(0, co, 1, [&](int64_t lo, int64_t hi) {
+            for (int64_t o = lo; o < hi; ++o) {
+              for (int64_t b = 0; b < nb; ++b) {
+                const float* go_plane = go + (b * co + o) * ho * wo;
+                float acc = 0.0f;
+                for (int64_t i = 0; i < ho * wo; ++i) acc += go_plane[i];
+                gb[o] += acc;
+              }
             }
-          }
+          });
           tb.AccumulateGrad(Tensor::FromData(std::move(gb), tb.shape()));
         }
       });

@@ -2,9 +2,19 @@
 #include <cstring>
 #include <utility>
 
+#include "common/threadpool.h"
 #include "tensor/ops.h"
 
 namespace ts3net {
+
+namespace {
+
+/// Minimum elements per chunk for elementwise loops: below this the loop runs
+/// inline on the calling thread (ParallelFor's single-grain fast path), so
+/// small tensors pay no scheduling cost and behave exactly as before.
+constexpr int64_t kElementwiseGrain = 1 << 15;
+
+}  // namespace
 
 Shape BroadcastShapes(const Shape& a, const Shape& b) {
   size_t nd = std::max(a.size(), b.size());
@@ -96,13 +106,19 @@ Tensor BinaryOp(const BinaryKernel& kernel, const Tensor& a, const Tensor& b) {
   const float* pb = b.data();
 
   if (a.shape() == b.shape()) {
-    for (int64_t i = 0; i < n; ++i) out[i] = kernel.fwd(pa[i], pb[i]);
+    ParallelFor(0, n, kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) out[i] = kernel.fwd(pa[i], pb[i]);
+    });
   } else if (b.numel() == 1) {
     const float sb = pb[0];
-    for (int64_t i = 0; i < n; ++i) out[i] = kernel.fwd(pa[i], sb);
+    ParallelFor(0, n, kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) out[i] = kernel.fwd(pa[i], sb);
+    });
   } else if (a.numel() == 1) {
     const float sa = pa[0];
-    for (int64_t i = 0; i < n; ++i) out[i] = kernel.fwd(sa, pb[i]);
+    ParallelFor(0, n, kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) out[i] = kernel.fwd(sa, pb[i]);
+    });
   } else {
     BroadcastWalker walker(out_shape, BroadcastStrides(a.shape(), out_shape),
                            BroadcastStrides(b.shape(), out_shape));
@@ -123,8 +139,10 @@ Tensor BinaryOp(const BinaryKernel& kernel, const Tensor& a, const Tensor& b) {
         if (ta.requires_grad()) {
           std::vector<float> ga(static_cast<size_t>(n));
           if (ta.shape() == tb.shape()) {
-            for (int64_t i = 0; i < n; ++i)
-              ga[i] = go[i] * k->dfda(pa[i], pb[i]);
+            ParallelFor(0, n, kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+              for (int64_t i = lo; i < hi; ++i)
+                ga[i] = go[i] * k->dfda(pa[i], pb[i]);
+            });
           } else {
             BroadcastWalker w(out_shape,
                               BroadcastStrides(ta.shape(), out_shape),
@@ -138,8 +156,10 @@ Tensor BinaryOp(const BinaryKernel& kernel, const Tensor& a, const Tensor& b) {
         if (tb.requires_grad()) {
           std::vector<float> gb(static_cast<size_t>(n));
           if (ta.shape() == tb.shape()) {
-            for (int64_t i = 0; i < n; ++i)
-              gb[i] = go[i] * k->dfdb(pa[i], pb[i]);
+            ParallelFor(0, n, kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+              for (int64_t i = lo; i < hi; ++i)
+                gb[i] = go[i] * k->dfdb(pa[i], pb[i]);
+            });
           } else {
             BroadcastWalker w(out_shape,
                               BroadcastStrides(ta.shape(), out_shape),
@@ -204,7 +224,9 @@ Tensor Minimum(const Tensor& a, const Tensor& b) { return BinaryOp(kMin, a, b); 
 
 Tensor AddScalar(const Tensor& a, float s) {
   std::vector<float> out(a.data(), a.data() + a.numel());
-  for (float& v : out) v += s;
+  ParallelFor(0, a.numel(), kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) out[i] += s;
+  });
   Tensor ta = a;
   return MakeOpResult(std::move(out), a.shape(), "AddScalar", {a},
                       [ta](const Tensor& grad_out) mutable {
@@ -214,7 +236,9 @@ Tensor AddScalar(const Tensor& a, float s) {
 
 Tensor MulScalar(const Tensor& a, float s) {
   std::vector<float> out(a.data(), a.data() + a.numel());
-  for (float& v : out) v *= s;
+  ParallelFor(0, a.numel(), kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) out[i] *= s;
+  });
   Tensor ta = a;
   return MakeOpResult(
       std::move(out), a.shape(), "MulScalar", {a},

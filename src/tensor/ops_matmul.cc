@@ -1,25 +1,12 @@
+#include <algorithm>
 #include <cstring>
 
+#include "common/threadpool.h"
 #include "tensor/ops.h"
 
 namespace ts3net {
 
 namespace {
-
-/// C[m,n] += A[m,k] * B[k,n]
-void GemmAcc(const float* a, const float* b, float* c, int64_t m, int64_t k,
-             int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b + p * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
 
 /// C[m,k] += A[m,n] * B[k,n]^T  (i.e. A @ B^T without materializing B^T)
 void GemmAccBT(const float* a, const float* b, float* c, int64_t m, int64_t n,
@@ -49,6 +36,35 @@ void GemmAccAT(const float* a, const float* b, float* c, int64_t m, int64_t k,
       for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
     }
   }
+}
+
+/// Rows [row_begin, row_end) of the flattened (batch, row) output space:
+/// row r belongs to batch r / m, output row r % m. Each output row is
+/// written by exactly one ParallelFor chunk and its k-loop order matches the
+/// serial GEMM, so results are bitwise identical at any thread count.
+void GemmRowRange(const float* pa, const float* pb, float* out,
+                  const std::vector<int64_t>& a_off,
+                  const std::vector<int64_t>& b_off, int64_t m, int64_t k,
+                  int64_t n, int64_t row_begin, int64_t row_end) {
+  for (int64_t r = row_begin; r < row_end; ++r) {
+    const int64_t bi = r / m;
+    const int64_t i = r % m;
+    const float* arow = pa + a_off[bi] + i * k;
+    const float* bmat = pb + b_off[bi];
+    float* crow = out + r * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = bmat + p * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// Rows per ParallelFor grain so one chunk amortizes scheduling over roughly
+/// 16k multiply-adds.
+int64_t RowGrain(int64_t k, int64_t n) {
+  return std::max<int64_t>(1, 16384 / std::max<int64_t>(1, k * n));
 }
 
 Shape LeadingDims(const Shape& s) {
@@ -111,39 +127,58 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 
   const std::vector<int64_t> a_off = BatchOffsets(lead_a, m * k, batch_shape);
   const std::vector<int64_t> b_off = BatchOffsets(lead_b, k * n, batch_shape);
+  // When an operand's leading dims are not broadcast, its per-batch matrices
+  // are disjoint, so gradient accumulation can fan out over batches.
+  const bool a_batches_disjoint = NumElements(lead_a) == nbatch;
+  const bool b_batches_disjoint = NumElements(lead_b) == nbatch;
 
   std::vector<float> out(static_cast<size_t>(nbatch * m * n), 0.0f);
   const float* pa = a.data();
   const float* pb = b.data();
-#ifdef _OPENMP
-#pragma omp parallel for if (nbatch > 1)
-#endif
-  for (int64_t bi = 0; bi < nbatch; ++bi) {
-    GemmAcc(pa + a_off[bi], pb + b_off[bi], out.data() + bi * m * n, m, k, n);
-  }
+  ParallelFor(0, nbatch * m, RowGrain(k, n),
+              [&](int64_t lo, int64_t hi) {
+                GemmRowRange(pa, pb, out.data(), a_off, b_off, m, k, n, lo, hi);
+              });
 
   Tensor ta = a, tb = b;
   return MakeOpResult(
       std::move(out), out_shape, "MatMul", {a, b},
-      [ta, tb, a_off, b_off, nbatch, m, k, n](const Tensor& grad_out) mutable {
+      [ta, tb, a_off, b_off, a_batches_disjoint, b_batches_disjoint, nbatch, m,
+       k, n](const Tensor& grad_out) mutable {
         const float* go = grad_out.data();
         if (ta.requires_grad()) {
           std::vector<float> ga(static_cast<size_t>(ta.numel()), 0.0f);
           const float* pb = tb.data();
-          for (int64_t bi = 0; bi < nbatch; ++bi) {
-            // dA = dOut @ B^T
-            GemmAccBT(go + bi * m * n, pb + b_off[bi], ga.data() + a_off[bi],
-                      m, n, k);
+          auto da_batch = [&](int64_t lo, int64_t hi) {
+            for (int64_t bi = lo; bi < hi; ++bi) {
+              // dA = dOut @ B^T
+              GemmAccBT(go + bi * m * n, pb + b_off[bi], ga.data() + a_off[bi],
+                        m, n, k);
+            }
+          };
+          if (a_batches_disjoint) {
+            ParallelFor(0, nbatch, 1, da_batch);
+          } else {
+            // Broadcast batches share an output matrix; keep the serial
+            // accumulation order.
+            da_batch(0, nbatch);
           }
           ta.AccumulateGrad(Tensor::FromData(std::move(ga), ta.shape()));
         }
         if (tb.requires_grad()) {
           std::vector<float> gb(static_cast<size_t>(tb.numel()), 0.0f);
           const float* pa = ta.data();
-          for (int64_t bi = 0; bi < nbatch; ++bi) {
-            // dB = A^T @ dOut
-            GemmAccAT(pa + a_off[bi], go + bi * m * n, gb.data() + b_off[bi],
-                      m, k, n);
+          auto db_batch = [&](int64_t lo, int64_t hi) {
+            for (int64_t bi = lo; bi < hi; ++bi) {
+              // dB = A^T @ dOut
+              GemmAccAT(pa + a_off[bi], go + bi * m * n, gb.data() + b_off[bi],
+                        m, k, n);
+            }
+          };
+          if (b_batches_disjoint) {
+            ParallelFor(0, nbatch, 1, db_batch);
+          } else {
+            db_batch(0, nbatch);
           }
           tb.AccumulateGrad(Tensor::FromData(std::move(gb), tb.shape()));
         }

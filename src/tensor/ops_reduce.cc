@@ -2,11 +2,15 @@
 #include <cmath>
 #include <limits>
 
+#include "common/threadpool.h"
 #include "tensor/ops.h"
 
 namespace ts3net {
 
 namespace {
+
+/// Reductions smaller than this stay on the serial walker path.
+constexpr int64_t kReduceParallelThreshold = 1 << 15;
 
 int NormalizeDim(int dim, int ndim) {
   if (dim < 0) dim += ndim;
@@ -58,16 +62,59 @@ Tensor Sum(const Tensor& a, const std::vector<int>& dims, bool keepdim) {
   const int64_t n = a.numel();
   const Shape& in_shape = a.shape();
 
-  std::vector<int64_t> coords(static_cast<size_t>(nd), 0);
-  int64_t out_off = 0;
-  for (int64_t i = 0; i < n; ++i) {
-    out[out_off] += src[i];
-    for (int d = nd; d-- > 0;) {
-      ++coords[d];
-      out_off += out_step[d];
-      if (coords[d] < in_shape[d]) break;
-      coords[d] = 0;
-      out_off -= out_step[d] * in_shape[d];
+  if (n >= kReduceParallelThreshold && out_n > 1 &&
+      ThreadPool::GlobalNumThreads() > 1) {
+    // Parallel path: one gather per output element. For a fixed output, the
+    // serial walker above visits its contributing inputs in increasing linear
+    // index, which is row-major order over the reduced axes — the gather
+    // below adds in that same order, so both paths are bitwise identical.
+    const std::vector<int64_t> in_strides = RowMajorStrides(in_shape);
+    std::vector<int64_t> red_dims, red_strides;
+    int64_t red_count = 1;
+    for (int d : rdims) {
+      red_dims.push_back(in_shape[d]);
+      red_strides.push_back(in_strides[d]);
+      red_count *= in_shape[d];
+    }
+    const size_t nred = red_dims.size();
+    const int64_t grain = std::max<int64_t>(1, kReduceParallelThreshold / red_count);
+    ParallelFor(0, out_n, grain, [&](int64_t lo, int64_t hi) {
+      std::vector<int64_t> rc(nred, 0);
+      for (int64_t q = lo; q < hi; ++q) {
+        // Base input offset of this output's kept coordinates (reduced axes
+        // contribute coordinate 0 since kept_shape is 1 there).
+        int64_t base = 0;
+        for (int d = 0; d < nd; ++d) {
+          base += ((q / kept_strides[d]) % kept_shape[d]) * in_strides[d];
+        }
+        float acc = 0.0f;
+        std::fill(rc.begin(), rc.end(), 0);
+        int64_t roff = 0;
+        for (int64_t it = 0; it < red_count; ++it) {
+          acc += src[base + roff];
+          for (size_t d = nred; d-- > 0;) {
+            ++rc[d];
+            roff += red_strides[d];
+            if (rc[d] < red_dims[d]) break;
+            rc[d] = 0;
+            roff -= red_strides[d] * red_dims[d];
+          }
+        }
+        out[q] = acc;
+      }
+    });
+  } else {
+    std::vector<int64_t> coords(static_cast<size_t>(nd), 0);
+    int64_t out_off = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      out[out_off] += src[i];
+      for (int d = nd; d-- > 0;) {
+        ++coords[d];
+        out_off += out_step[d];
+        if (coords[d] < in_shape[d]) break;
+        coords[d] = 0;
+        out_off -= out_step[d] * in_shape[d];
+      }
     }
   }
 
@@ -80,18 +127,29 @@ Tensor Sum(const Tensor& a, const std::vector<int>& dims, bool keepdim) {
         const float* go = grad_out.data();
         const int64_t n = ta.numel();
         std::vector<float> g(static_cast<size_t>(n));
-        std::vector<int64_t> coords(static_cast<size_t>(nd), 0);
-        int64_t out_off = 0;
-        for (int64_t i = 0; i < n; ++i) {
-          g[i] = go[out_off];
+        // Pure broadcast (each g[i] written once): chunks re-derive the
+        // walker state at their start, so any partition gives the same g.
+        ParallelFor(0, n, kReduceParallelThreshold,
+                    [&](int64_t lo, int64_t hi) {
+          std::vector<int64_t> coords(static_cast<size_t>(nd), 0);
+          int64_t out_off = 0;
+          int64_t rem = lo;
           for (int d = nd; d-- > 0;) {
-            ++coords[d];
-            out_off += out_step[d];
-            if (coords[d] < in_shape[d]) break;
-            coords[d] = 0;
-            out_off -= out_step[d] * in_shape[d];
+            coords[d] = rem % in_shape[d];
+            rem /= in_shape[d];
+            out_off += coords[d] * out_step[d];
           }
-        }
+          for (int64_t i = lo; i < hi; ++i) {
+            g[i] = go[out_off];
+            for (int d = nd; d-- > 0;) {
+              ++coords[d];
+              out_off += out_step[d];
+              if (coords[d] < in_shape[d]) break;
+              coords[d] = 0;
+              out_off -= out_step[d] * in_shape[d];
+            }
+          }
+        });
         ta.AccumulateGrad(Tensor::FromData(std::move(g), ta.shape()));
       });
 }
@@ -180,24 +238,29 @@ Tensor Softmax(const Tensor& a, int dim) {
 
   std::vector<float> out(static_cast<size_t>(a.numel()));
   const float* src = a.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t j = 0; j < inner; ++j) {
-      float max_v = -std::numeric_limits<float>::infinity();
-      for (int64_t k = 0; k < axis; ++k) {
-        max_v = std::max(max_v, src[(o * axis + k) * inner + j]);
-      }
-      float denom = 0.0f;
-      for (int64_t k = 0; k < axis; ++k) {
-        float e = std::exp(src[(o * axis + k) * inner + j] - max_v);
-        out[(o * axis + k) * inner + j] = e;
-        denom += e;
-      }
-      const float inv = 1.0f / denom;
-      for (int64_t k = 0; k < axis; ++k) {
-        out[(o * axis + k) * inner + j] *= inv;
+  // Each (o, j) lane is written by exactly one chunk.
+  const int64_t lane_grain =
+      std::max<int64_t>(1, kReduceParallelThreshold / std::max<int64_t>(1, axis * inner));
+  ParallelFor(0, outer, lane_grain, [&](int64_t o_lo, int64_t o_hi) {
+    for (int64_t o = o_lo; o < o_hi; ++o) {
+      for (int64_t j = 0; j < inner; ++j) {
+        float max_v = -std::numeric_limits<float>::infinity();
+        for (int64_t k = 0; k < axis; ++k) {
+          max_v = std::max(max_v, src[(o * axis + k) * inner + j]);
+        }
+        float denom = 0.0f;
+        for (int64_t k = 0; k < axis; ++k) {
+          float e = std::exp(src[(o * axis + k) * inner + j] - max_v);
+          out[(o * axis + k) * inner + j] = e;
+          denom += e;
+        }
+        const float inv = 1.0f / denom;
+        for (int64_t k = 0; k < axis; ++k) {
+          out[(o * axis + k) * inner + j] *= inv;
+        }
       }
     }
-  }
+  });
 
   auto y = std::make_shared<std::vector<float>>(out);
   Tensor ta = a;
@@ -208,19 +271,23 @@ Tensor Softmax(const Tensor& a, int dim) {
         std::vector<float> g(static_cast<size_t>(ta.numel()));
         const float* go = grad_out.data();
         const float* py = y->data();
-        for (int64_t o = 0; o < outer; ++o) {
-          for (int64_t j = 0; j < inner; ++j) {
-            float dot = 0.0f;
-            for (int64_t k = 0; k < axis; ++k) {
-              int64_t idx = (o * axis + k) * inner + j;
-              dot += go[idx] * py[idx];
-            }
-            for (int64_t k = 0; k < axis; ++k) {
-              int64_t idx = (o * axis + k) * inner + j;
-              g[idx] = py[idx] * (go[idx] - dot);
+        const int64_t lane_grain = std::max<int64_t>(
+            1, kReduceParallelThreshold / std::max<int64_t>(1, axis * inner));
+        ParallelFor(0, outer, lane_grain, [&](int64_t o_lo, int64_t o_hi) {
+          for (int64_t o = o_lo; o < o_hi; ++o) {
+            for (int64_t j = 0; j < inner; ++j) {
+              float dot = 0.0f;
+              for (int64_t k = 0; k < axis; ++k) {
+                int64_t idx = (o * axis + k) * inner + j;
+                dot += go[idx] * py[idx];
+              }
+              for (int64_t k = 0; k < axis; ++k) {
+                int64_t idx = (o * axis + k) * inner + j;
+                g[idx] = py[idx] * (go[idx] - dot);
+              }
             }
           }
-        }
+        });
         ta.AccumulateGrad(Tensor::FromData(std::move(g), ta.shape()));
       });
 }

@@ -1,10 +1,14 @@
 #include <cmath>
 
+#include "common/threadpool.h"
 #include "tensor/ops.h"
 
 namespace ts3net {
 
 namespace {
+
+/// Matches kElementwiseGrain in ops_elementwise.cc: small tensors run inline.
+constexpr int64_t kUnaryGrain = 1 << 15;
 
 struct UnaryKernel {
   const char* name;
@@ -18,7 +22,9 @@ Tensor UnaryOp(const UnaryKernel& kernel, const Tensor& a) {
   const int64_t n = a.numel();
   std::vector<float> out(static_cast<size_t>(n));
   const float* pa = a.data();
-  for (int64_t i = 0; i < n; ++i) out[i] = kernel.fwd(pa[i]);
+  ParallelFor(0, n, kUnaryGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) out[i] = kernel.fwd(pa[i]);
+  });
 
   const UnaryKernel* k = &kernel;
   Tensor ta = a;
@@ -30,9 +36,11 @@ Tensor UnaryOp(const UnaryKernel& kernel, const Tensor& a) {
         const float* pa = ta.data();
         const float* go = grad_out.data();
         std::vector<float> g(static_cast<size_t>(n));
-        for (int64_t i = 0; i < n; ++i) {
-          g[i] = go[i] * k->dfdx(pa[i], k->fwd(pa[i]));
-        }
+        ParallelFor(0, n, kUnaryGrain, [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) {
+            g[i] = go[i] * k->dfdx(pa[i], k->fwd(pa[i]));
+          }
+        });
         ta.AccumulateGrad(Tensor::FromData(std::move(g), ta.shape()));
       });
   return result;

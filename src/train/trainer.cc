@@ -1,9 +1,11 @@
 #include "train/trainer.h"
 
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 #include "common/logging.h"
+#include "common/threadpool.h"
 #include "tensor/autograd_mode.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
@@ -232,17 +234,21 @@ double EvaluateAccuracy(nn::Module* model,
     data::GatherClassificationBatch(dataset, indices, &x, &labels);
     Tensor logits = model->Forward(x);
     const int64_t k = logits.dim(1);
-    for (size_t i = 0; i < labels.size(); ++i) {
-      int64_t argmax = 0;
-      for (int64_t j = 1; j < k; ++j) {
-        if (logits.at(static_cast<int64_t>(i) * k + j) >
-            logits.at(static_cast<int64_t>(i) * k + argmax)) {
-          argmax = j;
+    const int64_t bsz = static_cast<int64_t>(labels.size());
+    // Per-sample hit flags; integer summation afterwards is order-free.
+    std::vector<uint8_t> hit(static_cast<size_t>(bsz), 0);
+    const float* pl = logits.data();
+    ParallelFor(0, bsz, 64, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        int64_t argmax = 0;
+        for (int64_t j = 1; j < k; ++j) {
+          if (pl[i * k + j] > pl[i * k + argmax]) argmax = j;
         }
+        hit[i] = (argmax == labels[i]) ? 1 : 0;
       }
-      correct += (argmax == labels[i]);
-      ++total;
-    }
+    });
+    for (int64_t i = 0; i < bsz; ++i) correct += hit[i];
+    total += bsz;
   }
   return total == 0 ? 0.0 : static_cast<double>(correct) / total;
 }

@@ -8,6 +8,8 @@
 
 #include "common/logging.h"
 #include "common/status.h"
+#include "models/model_config.h"
+#include "models/registry.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
 
@@ -180,6 +182,52 @@ TEST(EdgeTest, ToStringTruncatesLongTensors) {
 TEST(EdgeTest, ToStringOfUndefined) {
   Tensor t;
   EXPECT_EQ(t.ToString(), "Tensor(undefined)");
+}
+
+// ---------------------------------------------------------------------------
+// Model-config validation. A user-supplied --seq_len that is too short for
+// the decomposition kernels must surface as an InvalidArgument Status at
+// model-construction time, not as a TS3_CHECK abort deep inside the
+// moving-average pool (regression: AvgPool1dValid used to hard-crash).
+// ---------------------------------------------------------------------------
+
+TEST(ModelConfigValidationTest, ZeroSeqLenIsRejectedGracefully) {
+  models::ModelConfig config;
+  config.seq_len = 0;  // would reach AvgPool1dValid with t < kernel
+  Rng rng(1);
+  for (const char* name : {"DLinear", "MICN", "Autoformer", "TS3Net"}) {
+    auto result = models::CreateModel(name, config, &rng);
+    ASSERT_FALSE(result.ok()) << name;
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument) << name;
+    EXPECT_NE(result.status().message().find("seq_len"), std::string::npos)
+        << result.status().message();
+  }
+}
+
+TEST(ModelConfigValidationTest, NegativeFieldsAreRejected) {
+  Rng rng(2);
+  {
+    models::ModelConfig config;
+    config.moving_avg = 0;
+    EXPECT_FALSE(models::CreateModel("DLinear", config, &rng).ok());
+  }
+  {
+    models::ModelConfig config;
+    config.pred_len = -5;
+    EXPECT_FALSE(models::CreateModel("DLinear", config, &rng).ok());
+  }
+  {
+    models::ModelConfig config;
+    config.dropout = 1.5f;
+    EXPECT_FALSE(models::CreateModel("PatchTST", config, &rng).ok());
+  }
+}
+
+TEST(ModelConfigValidationTest, DefaultConfigStillBuilds) {
+  models::ModelConfig config;
+  Rng rng(3);
+  auto result = models::CreateModel("DLinear", config, &rng);
+  EXPECT_TRUE(result.ok()) << result.status().message();
 }
 
 }  // namespace

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <utility>
+#include <vector>
 
+#include "common/threadpool.h"
 #include "signal/cwt.h"
 #include "signal/fft.h"
 #include "signal/period.h"
@@ -536,6 +540,90 @@ TEST(TrendTest, DifferentiableWhenInputRequiresGrad) {
     return Sum(Square(d.seasonal));
   };
   auto r = CheckGradients(fn, {x});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count determinism for the CWT path. The per-band loop partitions
+// bands disjointly, so transforms must be BITWISE identical between a
+// single-threaded pool and an oversubscribed 8-thread pool.
+// ---------------------------------------------------------------------------
+
+class CwtThreadDeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ThreadPool::SetGlobalNumThreads(1); }
+
+  static void ExpectBitwiseEqual(const Tensor& a, const Tensor& b) {
+    ASSERT_EQ(a.shape(), b.shape());
+    if (a.numel() > 0) {
+      EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                            sizeof(float) * static_cast<size_t>(a.numel())),
+                0);
+    }
+  }
+};
+
+TEST_F(CwtThreadDeterminismTest, CwtComplexAndAmplitude) {
+  WaveletBank bank = SmallBank(12);
+  Rng rng(31);
+  Tensor x = Tensor::Randn({192, 3}, &rng);
+
+  ThreadPool::SetGlobalNumThreads(1);
+  Tensor re1, im1;
+  CwtComplex(x, bank, &re1, &im1);
+  Tensor amp1 = CwtAmplitude(x, bank);
+
+  ThreadPool::SetGlobalNumThreads(8);
+  Tensor re8, im8;
+  CwtComplex(x, bank, &re8, &im8);
+  Tensor amp8 = CwtAmplitude(x, bank);
+
+  ExpectBitwiseEqual(re1, re8);
+  ExpectBitwiseEqual(im1, im8);
+  ExpectBitwiseEqual(amp1, amp8);
+}
+
+TEST_F(CwtThreadDeterminismTest, BuildCwtMatrices) {
+  WaveletBank bank = SmallBank(8);
+  ThreadPool::SetGlobalNumThreads(1);
+  auto [re1, im1] = BuildCwtMatrices(bank, 64);
+  ThreadPool::SetGlobalNumThreads(8);
+  auto [re8, im8] = BuildCwtMatrices(bank, 64);
+  ExpectBitwiseEqual(re1, re8);
+  ExpectBitwiseEqual(im1, im8);
+}
+
+TEST_F(CwtThreadDeterminismTest, CwtAmplitudeOpForwardAndGrad) {
+  // The differentiable path runs through the batched-matmul kernel; both the
+  // amplitudes and the gradient w.r.t. the input must match bit for bit.
+  WaveletBank bank = SmallBank(6);
+  auto [w_re, w_im] = BuildCwtMatrices(bank, 48);
+  auto run = [&] {
+    Rng rng(33);
+    Tensor x = Tensor::Randn({2, 48, 3}, &rng).set_requires_grad(true);
+    Tensor amp = CwtAmplitudeOp(x, w_re, w_im);
+    Tensor go = Tensor::Randn(amp.shape(), &rng);
+    amp.Backward(go);
+    return std::pair<Tensor, Tensor>{amp, x.grad()};
+  };
+  ThreadPool::SetGlobalNumThreads(1);
+  auto [amp1, gx1] = run();
+  ThreadPool::SetGlobalNumThreads(8);
+  auto [amp8, gx8] = run();
+  ExpectBitwiseEqual(amp1, amp8);
+  ExpectBitwiseEqual(gx1, gx8);
+}
+
+TEST_F(CwtThreadDeterminismTest, CwtOpGradCheckUnderParallelPool) {
+  ThreadPool::SetGlobalNumThreads(8);
+  WaveletBank bank = SmallBank(4);
+  auto [w_re, w_im] = BuildCwtMatrices(bank, 12);
+  Rng rng(34);
+  Tensor x = Tensor::Randn({1, 12, 2}, &rng);
+  auto fn = [&](const std::vector<Tensor>& in) {
+    return Sum(CwtAmplitudeOp(in[0], w_re, w_im, 1e-4f));
+  };
+  auto r = CheckGradients(fn, {x}, 1e-2f, 5e-2f);
   EXPECT_TRUE(r.ok) << r.message;
 }
 

@@ -1,7 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
 
+#include "common/threadpool.h"
+#include "tensor/gradcheck.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
 
@@ -545,6 +551,159 @@ TEST(ReduceToShapeTest, SumOverUnitAxis) {
 TEST(ReduceToShapeTest, NoOpWhenShapesMatch) {
   Tensor t = Tensor::Ones({2, 2});
   EXPECT_TRUE(AllClose(ReduceToShape(t, {2, 2}), t));
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count determinism. Every parallel kernel partitions its output range
+// disjointly and preserves the serial per-element accumulation order, so
+// results must be BITWISE identical — not merely close — between a
+// single-threaded pool and an oversubscribed 8-thread pool.
+// ---------------------------------------------------------------------------
+
+class ThreadDeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ThreadPool::SetGlobalNumThreads(1); }
+
+  static void ExpectBitwiseEqual(const Tensor& a, const Tensor& b) {
+    ASSERT_EQ(a.shape(), b.shape());
+    if (a.numel() > 0) {
+      EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                            sizeof(float) * static_cast<size_t>(a.numel())),
+                0);
+    }
+  }
+
+  // Runs `fn` under 1 thread and under 8 threads and requires every returned
+  // tensor (outputs and gradients) to match bit for bit. `fn` must rebuild
+  // its inputs from fixed seeds each call.
+  static void ExpectSameAcrossThreadCounts(
+      const std::function<std::vector<Tensor>()>& fn) {
+    ThreadPool::SetGlobalNumThreads(1);
+    std::vector<Tensor> serial = fn();
+    ThreadPool::SetGlobalNumThreads(8);
+    std::vector<Tensor> parallel = fn();
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      SCOPED_TRACE("result index " + std::to_string(i));
+      ExpectBitwiseEqual(serial[i], parallel[i]);
+    }
+  }
+};
+
+TEST_F(ThreadDeterminismTest, BatchedMatMulForwardAndGrad) {
+  // 96 output rows with a ~25-row grain: the loop fans out across chunks.
+  ExpectSameAcrossThreadCounts([] {
+    Rng rng(101);
+    Tensor a = Tensor::Randn({4, 24, 32}, &rng).set_requires_grad(true);
+    Tensor b = Tensor::Randn({4, 32, 20}, &rng).set_requires_grad(true);
+    Tensor c = MatMul(a, b);
+    Tensor go = Tensor::Randn(c.shape(), &rng);
+    c.Backward(go);
+    return std::vector<Tensor>{c, a.grad(), b.grad()};
+  });
+}
+
+TEST_F(ThreadDeterminismTest, BroadcastMatMulForwardAndGrad) {
+  // Shared rhs: dB accumulates across batches and must stay serial-ordered.
+  ExpectSameAcrossThreadCounts([] {
+    Rng rng(102);
+    Tensor a = Tensor::Randn({6, 24, 32}, &rng).set_requires_grad(true);
+    Tensor b = Tensor::Randn({32, 20}, &rng).set_requires_grad(true);
+    Tensor c = MatMul(a, b);
+    Tensor go = Tensor::Randn(c.shape(), &rng);
+    c.Backward(go);
+    return std::vector<Tensor>{c, a.grad(), b.grad()};
+  });
+}
+
+TEST_F(ThreadDeterminismTest, Conv2dForwardAndGrad) {
+  ExpectSameAcrossThreadCounts([] {
+    Rng rng(103);
+    Tensor x = Tensor::Randn({2, 3, 12, 16}, &rng).set_requires_grad(true);
+    Tensor w = Tensor::Randn({8, 3, 3, 3}, &rng).set_requires_grad(true);
+    Tensor bias = Tensor::Randn({8}, &rng).set_requires_grad(true);
+    Tensor y = Conv2d(x, w, bias, 1, 1);
+    Tensor go = Tensor::Randn(y.shape(), &rng);
+    y.Backward(go);
+    return std::vector<Tensor>{y, x.grad(), w.grad(), bias.grad()};
+  });
+}
+
+TEST_F(ThreadDeterminismTest, MovingAvgPoolForwardAndGrad) {
+  ExpectSameAcrossThreadCounts([] {
+    Rng rng(104);
+    Tensor x = Tensor::Randn({4, 96, 7}, &rng).set_requires_grad(true);
+    Tensor y = MovingAvg1d(x, 25);
+    Tensor go = Tensor::Randn(y.shape(), &rng);
+    y.Backward(go);
+    return std::vector<Tensor>{y, x.grad()};
+  });
+}
+
+TEST_F(ThreadDeterminismTest, ReduceSumForwardAndGrad) {
+  // 131072 elements over a 512-long reduced axis: both the parallel gather
+  // (forward) and the chunked broadcast (backward) engage.
+  ExpectSameAcrossThreadCounts([] {
+    Rng rng(105);
+    Tensor x = Tensor::Randn({64, 512, 4}, &rng).set_requires_grad(true);
+    Tensor y = Sum(x, {1});
+    Tensor go = Tensor::Randn(y.shape(), &rng);
+    y.Backward(go);
+    return std::vector<Tensor>{y, x.grad()};
+  });
+}
+
+TEST_F(ThreadDeterminismTest, ElementwiseAndUnaryForwardAndGrad) {
+  // 2^17 elements clears the elementwise fan-out threshold.
+  ExpectSameAcrossThreadCounts([] {
+    Rng rng(106);
+    Tensor a = Tensor::Randn({1 << 17}, &rng).set_requires_grad(true);
+    Tensor b = Tensor::Randn({1 << 17}, &rng).set_requires_grad(true);
+    Tensor y = Exp(MulScalar(Mul(Add(a, b), b), 0.25f));
+    Tensor go = Tensor::Randn(y.shape(), &rng);
+    y.Backward(go);
+    return std::vector<Tensor>{y, a.grad(), b.grad()};
+  });
+}
+
+TEST_F(ThreadDeterminismTest, SoftmaxForwardAndGrad) {
+  ExpectSameAcrossThreadCounts([] {
+    Rng rng(107);
+    Tensor x = Tensor::Randn({256, 256}, &rng).set_requires_grad(true);
+    Tensor y = Softmax(x, 1);
+    Tensor go = Tensor::Randn(y.shape(), &rng);
+    y.Backward(go);
+    return std::vector<Tensor>{y, x.grad()};
+  });
+}
+
+TEST_F(ThreadDeterminismTest, GradCheckPassesUnderParallelPool) {
+  // Finite-difference gradcheck with the pool fanned out: the analytic
+  // gradients computed by the parallel kernels must agree with numerics.
+  ThreadPool::SetGlobalNumThreads(8);
+  Rng rng(108);
+  Tensor a = Tensor::Randn({2, 6, 5}, &rng);
+  Tensor b = Tensor::Randn({2, 5, 4}, &rng);
+  auto mm = [](const std::vector<Tensor>& in) {
+    return Sum(Square(MatMul(in[0], in[1])));
+  };
+  auto r = CheckGradients(mm, {a, b});
+  EXPECT_TRUE(r.ok) << r.message;
+
+  Tensor x = Tensor::Randn({1, 2, 6, 6}, &rng);
+  Tensor w = Tensor::Randn({3, 2, 3, 3}, &rng);
+  auto conv = [](const std::vector<Tensor>& in) {
+    return Sum(Square(Conv2d(in[0], in[1], Tensor(), 1, 1)));
+  };
+  r = CheckGradients(conv, {x, w}, 1e-2f, 5e-2f);
+  EXPECT_TRUE(r.ok) << r.message;
+
+  Tensor s = Tensor::Randn({2, 12, 3}, &rng);
+  auto pool = [](const std::vector<Tensor>& in) {
+    return Sum(Square(MovingAvg1d(in[0], 5)));
+  };
+  r = CheckGradients(pool, {s});
+  EXPECT_TRUE(r.ok) << r.message;
 }
 
 }  // namespace

@@ -1,0 +1,194 @@
+// Unit coverage for the shared thread-pool runtime: lifecycle, ParallelFor
+// chunking contracts, exception propagation, nesting, and the process-wide
+// singleton configuration used by --ts3_num_threads.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/threadpool.h"
+
+namespace ts3net {
+namespace {
+
+TEST(ThreadPoolTest, StartupShutdownAllSizes) {
+  // Construction spawns workers, destruction joins them; no work submitted.
+  for (int n : {1, 2, 4, 8}) {
+    ThreadPool pool(n);
+    EXPECT_EQ(pool.num_threads(), n);
+  }
+}
+
+TEST(ThreadPoolTest, NonPositiveSizeClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  ThreadPool pool2(-3);
+  EXPECT_EQ(pool2.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  const int64_t n = 1000;
+  std::vector<std::atomic<int>> touched(n);
+  for (auto& t : touched) t.store(0);
+  pool.ParallelFor(0, n, 7, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) touched[i].fetch_add(1);
+  });
+  for (int64_t i = 0; i < n; ++i) EXPECT_EQ(touched[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, NonZeroBeginIsRespected) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> touched(100);
+  for (auto& t : touched) t.store(0);
+  pool.ParallelFor(40, 100, 5, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) touched[i].fetch_add(1);
+  });
+  for (int64_t i = 0; i < 40; ++i) EXPECT_EQ(touched[i].load(), 0);
+  for (int64_t i = 40; i < 100; ++i) EXPECT_EQ(touched[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoOp) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(5, 5, 1, [&](int64_t, int64_t) { ++calls; });
+  pool.ParallelFor(9, 3, 1, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, RangeSmallerThanGrainRunsInOneChunkOnCaller) {
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  int calls = 0;
+  pool.ParallelFor(0, 10, 64, [&](int64_t lo, int64_t hi) {
+    ++calls;
+    EXPECT_EQ(lo, 0);
+    EXPECT_EQ(hi, 10);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, ChunkBoundariesAreDeterministic) {
+  // The chunk → sub-range mapping must be a pure function of the loop
+  // parameters, never of scheduling; this is the basis of the kernels'
+  // bitwise-determinism guarantee.
+  ThreadPool pool(4);
+  auto run = [&] {
+    std::mutex mu;
+    std::set<std::pair<int64_t, int64_t>> chunks;
+    pool.ParallelFor(3, 1003, 11, [&](int64_t lo, int64_t hi) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.insert({lo, hi});
+    });
+    return chunks;
+  };
+  auto first = run();
+  for (int trial = 0; trial < 5; ++trial) EXPECT_EQ(run(), first);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 100, 1,
+                       [&](int64_t lo, int64_t) {
+                         if (lo >= 50) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The pool must still be usable after an exception.
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(0, 10, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPoolTest, ExceptionOnSerialPathPropagates) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.ParallelFor(0, 10, 1,
+                                [](int64_t, int64_t) {
+                                  throw std::runtime_error("serial boom");
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, NestedCallsRunSeriallyWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> touched(64);
+  for (auto& t : touched) t.store(0);
+  pool.ParallelFor(0, 8, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t outer = lo; outer < hi; ++outer) {
+      // A nested ParallelFor from a worker must execute inline; with every
+      // worker blocked on its own sub-loop a re-entrant dispatch would
+      // deadlock a fixed-size pool.
+      pool.ParallelFor(0, 8, 1, [&](int64_t ilo, int64_t ihi) {
+        for (int64_t inner = ilo; inner < ihi; ++inner) {
+          touched[outer * 8 + inner].fetch_add(1);
+        }
+      });
+    }
+  });
+  for (auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPoolDeathTest, GrainZeroRejected) {
+  ThreadPool pool(2);
+  EXPECT_DEATH(pool.ParallelFor(0, 10, 0, [](int64_t, int64_t) {}),
+               "grain");
+}
+
+TEST(ThreadPoolDeathTest, NegativeGrainRejected) {
+  ThreadPool pool(2);
+  EXPECT_DEATH(pool.ParallelFor(0, 10, -4, [](int64_t, int64_t) {}),
+               "grain");
+}
+
+TEST(ThreadPoolGlobalTest, SingletonReconfigures) {
+  ThreadPool::SetGlobalNumThreads(3);
+  EXPECT_EQ(ThreadPool::GlobalNumThreads(), 3);
+  EXPECT_EQ(ThreadPool::Global()->num_threads(), 3);
+  ThreadPool::SetGlobalNumThreads(1);
+  EXPECT_EQ(ThreadPool::GlobalNumThreads(), 1);
+  // n < 1 means hardware concurrency (at least one thread).
+  ThreadPool::SetGlobalNumThreads(0);
+  EXPECT_GE(ThreadPool::GlobalNumThreads(), 1);
+  ThreadPool::SetGlobalNumThreads(1);
+}
+
+TEST(ThreadPoolGlobalTest, FreeParallelForUsesSingleton) {
+  ThreadPool::SetGlobalNumThreads(4);
+  std::vector<std::atomic<int>> touched(256);
+  for (auto& t : touched) t.store(0);
+  ParallelFor(0, 256, 16, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) touched[i].fetch_add(1);
+  });
+  for (auto& t : touched) EXPECT_EQ(t.load(), 1);
+  ThreadPool::SetGlobalNumThreads(1);
+}
+
+TEST(ThreadPoolTest, ManyConcurrentLoopsFromManyThreads) {
+  // Several user threads sharing one pool must all make progress.
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  std::vector<std::thread> users;
+  for (int u = 0; u < 4; ++u) {
+    users.emplace_back([&] {
+      for (int round = 0; round < 10; ++round) {
+        pool.ParallelFor(0, 100, 9, [&](int64_t lo, int64_t hi) {
+          total.fetch_add(hi - lo);
+        });
+      }
+    });
+  }
+  for (auto& t : users) t.join();
+  EXPECT_EQ(total.load(), 4 * 10 * 100);
+}
+
+}  // namespace
+}  // namespace ts3net
