@@ -32,6 +32,7 @@ int Run(int argc, char** argv) {
                                        /*default_datasets=*/{"ETTh1"},
                                        /*default_models=*/{},
                                        /*default_horizons=*/{96});
+  BenchEnv env(flags);
 
   const std::vector<Variant> variants = {
       {"m=1 N=2 k=2", {1}, 2, 2},

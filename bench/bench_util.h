@@ -3,11 +3,16 @@
 
 #include <cstdio>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/flags.h"
+#include "common/logging.h"
+#include "common/obs/json.h"
+#include "common/obs/obs.h"
 #include "common/string_util.h"
+#include "common/threadpool.h"
 #include "train/experiment.h"
 
 namespace ts3net {
@@ -74,13 +79,34 @@ inline BenchSettings ParseBenchSettings(
   return s;
 }
 
+/// Shared harness setup: applies --ts3_num_threads to the global pool and
+/// the obs flags (--ts3_log_level/--ts3_trace/--ts3_profile/
+/// --ts3_metrics_json); the requested exports run when the BenchEnv leaves
+/// scope at the end of the harness.
+class BenchEnv {
+ public:
+  explicit BenchEnv(const FlagParser& flags) {
+    ThreadPool::SetGlobalNumThreads(
+        static_cast<int>(flags.GetInt("ts3_num_threads", 0)));
+    obs_.emplace(flags);
+  }
+
+  BenchEnv(const BenchEnv&) = delete;
+  BenchEnv& operator=(const BenchEnv&) = delete;
+
+ private:
+  std::optional<obs::ObsScope> obs_;
+};
+
 /// Runs one cell `repeats` times with different model/shuffle seeds and
 /// averages the metrics (the paper repeats every experiment three times).
-/// Returns false if any repeat fails.
+/// Returns false if any repeat fails or any repeat scores zero elements
+/// (an empty evaluation must surface as a missing cell, not a number).
 inline bool RunCellAveraged(train::ExperimentSpec spec,
                             const train::PreparedData& prepared, int repeats,
                             train::EvalResult* out) {
   double mse = 0, mae = 0;
+  int64_t count = 0;
   for (int r = 0; r < repeats; ++r) {
     spec.train.seed += static_cast<uint64_t>(r) * 101;
     auto result = train::RunExperimentOnData(spec, prepared);
@@ -89,11 +115,18 @@ inline bool RunCellAveraged(train::ExperimentSpec spec,
                    spec.model.c_str(), result.status().ToString().c_str());
       return false;
     }
+    if (result.value().count == 0) {
+      std::fprintf(stderr, "  %s/%s: evaluation scored 0 elements\n",
+                   spec.dataset.c_str(), spec.model.c_str());
+      return false;
+    }
     mse += result.value().mse;
     mae += result.value().mae;
+    count += result.value().count;
   }
   out->mse = mse / repeats;
   out->mae = mae / repeats;
+  out->count = count;
   return true;
 }
 
@@ -153,6 +186,139 @@ inline void PrintFirstCount(const std::vector<std::string>& models,
   for (const auto& m : models) std::printf(" | %16d", wins[m]);
   std::printf("\n");
 }
+
+/// Machine-readable run record, written next to the printed table. Each
+/// harness creates one recorder, mirrors every printed cell into it with
+/// AddCell, and the destructor writes BENCH_<name>.json: the resolved
+/// settings, every (setting, model) cell with MSE/MAE/element count, total
+/// wall time, and a snapshot of the metrics-registry counters. NaN metrics
+/// export as JSON null. Override the path with --bench_json=path; pass an
+/// empty value (--bench_json=) to disable the record.
+class BenchRecorder {
+ public:
+  BenchRecorder(const FlagParser& flags, const std::string& name,
+                const BenchSettings& settings)
+      : name_(name),
+        path_(flags.GetString("bench_json", "BENCH_" + name + ".json")),
+        settings_(settings),
+        start_ns_(obs::NowNanos()) {}
+
+  ~BenchRecorder() { Write(); }
+
+  BenchRecorder(const BenchRecorder&) = delete;
+  BenchRecorder& operator=(const BenchRecorder&) = delete;
+
+  void AddCell(const std::string& setting, const std::string& model,
+               const train::EvalResult& result) {
+    cells_.push_back({setting, model, result});
+  }
+
+ private:
+  struct Cell {
+    std::string setting;
+    std::string model;
+    train::EvalResult result;
+  };
+
+  void Write() const {
+    if (path_.empty()) return;
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("bench");
+    w.String(name_);
+    w.Key("settings");
+    WriteSettings(&w);
+    w.Key("cells");
+    w.BeginArray();
+    for (const Cell& c : cells_) {
+      w.BeginObject();
+      w.Key("setting");
+      w.String(c.setting);
+      w.Key("model");
+      w.String(c.model);
+      w.Key("mse");
+      w.Double(c.result.mse);
+      w.Key("mae");
+      w.Double(c.result.mae);
+      w.Key("count");
+      w.Int(c.result.count);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("wall_ms");
+    w.Double(static_cast<double>(obs::NowNanos() - start_ns_) / 1e6);
+    w.Key("counters");
+    w.BeginObject();
+    for (const auto& [counter, value] :
+         obs::MetricsRegistry::Global()->CounterValues()) {
+      w.Key(counter);
+      w.Int(value);
+    }
+    w.EndObject();
+    w.EndObject();
+
+    const std::string json = w.str();
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      TS3_LOG(Error) << "cannot write bench record " << path_;
+      return;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "run record written to %s\n", path_.c_str());
+  }
+
+  void WriteSettings(obs::JsonWriter* w) const {
+    w->BeginObject();
+    w->Key("datasets");
+    w->BeginArray();
+    for (const auto& d : settings_.datasets) w->String(d);
+    w->EndArray();
+    w->Key("models");
+    w->BeginArray();
+    for (const auto& m : settings_.models) w->String(m);
+    w->EndArray();
+    w->Key("horizons");
+    w->BeginArray();
+    for (int64_t h : settings_.horizons) w->Int(h);
+    w->EndArray();
+    w->Key("lookback");
+    w->Int(settings_.lookback);
+    w->Key("fraction");
+    w->Double(settings_.fraction);
+    w->Key("channel_cap");
+    w->Int(settings_.channel_cap);
+    w->Key("repeats");
+    w->Int(settings_.repeats);
+    w->Key("epochs");
+    w->Int(settings_.train.epochs);
+    w->Key("batch_size");
+    w->Int(settings_.train.batch_size);
+    w->Key("lr");
+    w->Double(settings_.train.lr);
+    w->Key("max_batches_per_epoch");
+    w->Int(settings_.train.max_batches_per_epoch);
+    w->Key("seed");
+    w->Int(static_cast<int64_t>(settings_.train.seed));
+    w->Key("d_model");
+    w->Int(settings_.config.d_model);
+    w->Key("d_ff");
+    w->Int(settings_.config.d_ff);
+    w->Key("num_layers");
+    w->Int(settings_.config.num_layers);
+    w->Key("lambda");
+    w->Int(settings_.config.lambda);
+    w->Key("threads");
+    w->Int(ThreadPool::GlobalNumThreads());
+    w->EndObject();
+  }
+
+  std::string name_;
+  std::string path_;
+  BenchSettings settings_;
+  int64_t start_ns_ = 0;
+  std::vector<Cell> cells_;
+};
 
 }  // namespace bench
 }  // namespace ts3net

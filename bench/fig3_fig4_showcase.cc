@@ -26,6 +26,7 @@ int Run(int argc, char** argv) {
                                        {"Electricity", "ETTm2"},
                                        /*default_models=*/{"TS3Net"},
                                        /*default_horizons=*/{96});
+  BenchEnv env(flags);
   const int64_t horizon = s.horizons[0];
 
   for (const std::string& dataset : s.datasets) {

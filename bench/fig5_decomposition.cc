@@ -42,6 +42,7 @@ int Run(int argc, char** argv) {
                                        /*default_datasets=*/{"ETTh1", "ETTh2"},
                                        /*default_models=*/{},
                                        /*default_horizons=*/{});
+  BenchEnv env(flags);
   const int64_t t_len = flags.GetInt("length", 192);
   WaveletBankOptions bank_opt;
   bank_opt.num_subbands = s.config.lambda;

@@ -24,6 +24,8 @@ int Run(int argc, char** argv) {
       /*default_models=*/
       {"TS3Net", "PatchTST", "TimesNet", "DLinear", "Informer"},
       /*default_horizons=*/{96, 192});
+  BenchEnv env(flags);
+  BenchRecorder record(flags, "table4_forecasting", s);
 
   std::printf("== Table IV: long-term forecasting (MSE/MAE, standardized) ==\n");
   std::printf("lookback=%lld (36 for ILI), synthetic fraction=%.3f\n\n",
@@ -53,6 +55,7 @@ int Run(int argc, char** argv) {
 
     for (int64_t horizon : horizons) {
       Row row;
+      const std::string setting = dataset + " H=" + std::to_string(horizon);
       for (const std::string& model : s.models) {
         train::ExperimentSpec spec = base;
         spec.model = model;
@@ -60,9 +63,10 @@ int Run(int argc, char** argv) {
         train::EvalResult cell;
         if (RunCellAveraged(spec, prepared.value(), s.repeats, &cell)) {
           row[model] = cell;
+          record.AddCell(setting, model, cell);
         }
       }
-      PrintRow(dataset + " H=" + std::to_string(horizon), s.models, row);
+      PrintRow(setting, s.models, row);
       rows.push_back(row);
     }
   }

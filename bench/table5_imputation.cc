@@ -30,6 +30,9 @@ int Run(int argc, char** argv) {
     }
   }
 
+  BenchEnv env(flags);
+  BenchRecorder record(flags, "table5_imputation", s);
+
   std::printf("== Table V: imputation (MSE/MAE on masked points) ==\n");
   std::printf("window=%lld, synthetic fraction=%.3f\n\n",
               static_cast<long long>(s.lookback), s.fraction);
@@ -54,6 +57,8 @@ int Run(int argc, char** argv) {
 
     for (double ratio : ratios) {
       Row row;
+      const std::string setting =
+          dataset + " mask=" + StrFormat("%.1f%%", ratio * 100.0);
       for (const std::string& model : s.models) {
         train::ExperimentSpec spec = base;
         spec.model = model;
@@ -61,10 +66,10 @@ int Run(int argc, char** argv) {
         train::EvalResult cell;
         if (RunCellAveraged(spec, prepared.value(), s.repeats, &cell)) {
           row[model] = cell;
+          record.AddCell(setting, model, cell);
         }
       }
-      PrintRow(dataset + " mask=" + StrFormat("%.1f%%", ratio * 100.0),
-               s.models, row);
+      PrintRow(setting, s.models, row);
       rows.push_back(row);
     }
   }

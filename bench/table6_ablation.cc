@@ -24,6 +24,9 @@ int Run(int argc, char** argv) {
       {"TS3Net", "TS3Net-woTD", "TS3Net-woTF", "TS3Net-woBoth"},
       /*default_horizons=*/{96});
 
+  BenchEnv env(flags);
+  BenchRecorder record(flags, "table6_ablation", s);
+
   std::printf("== Table VI: ablations on the TS3Net architecture ==\n\n");
   PrintHeader(s.models);
 
@@ -45,6 +48,7 @@ int Run(int argc, char** argv) {
     }
     for (int64_t horizon : s.horizons) {
       Row row;
+      const std::string setting = dataset + " H=" + std::to_string(horizon);
       for (const std::string& model : s.models) {
         train::ExperimentSpec spec = base;
         spec.model = model;
@@ -52,9 +56,10 @@ int Run(int argc, char** argv) {
         train::EvalResult cell;
         if (RunCellAveraged(spec, prepared.value(), s.repeats, &cell)) {
           row[model] = cell;
+          record.AddCell(setting, model, cell);
         }
       }
-      PrintRow(dataset + " H=" + std::to_string(horizon), s.models, row);
+      PrintRow(setting, s.models, row);
       rows.push_back(row);
     }
   }

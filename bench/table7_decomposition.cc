@@ -24,6 +24,9 @@ int Run(int argc, char** argv) {
       /*default_models=*/{"TSD-CNN", "TSD-Trans", "TS3Net"},
       /*default_horizons=*/{96});
 
+  BenchEnv env(flags);
+  BenchRecorder record(flags, "table7_decomposition", s);
+
   std::printf(
       "== Table VII: triple decomposition vs trend-seasonal decomposition "
       "==\n\n");
@@ -43,6 +46,7 @@ int Run(int argc, char** argv) {
     if (!prepared.ok()) continue;
     for (int64_t horizon : s.horizons) {
       Row row;
+      const std::string setting = dataset + " H=" + std::to_string(horizon);
       for (const std::string& model : s.models) {
         train::ExperimentSpec spec = base;
         spec.model = model;
@@ -50,9 +54,10 @@ int Run(int argc, char** argv) {
         train::EvalResult cell;
         if (RunCellAveraged(spec, prepared.value(), s.repeats, &cell)) {
           row[model] = cell;
+          record.AddCell(setting, model, cell);
         }
       }
-      PrintRow(dataset + " H=" + std::to_string(horizon), s.models, row);
+      PrintRow(setting, s.models, row);
       rows.push_back(row);
     }
   }

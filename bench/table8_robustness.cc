@@ -23,6 +23,8 @@ int Run(int argc, char** argv) {
       /*default_models=*/{"TS3Net"},
       /*default_horizons=*/{96});
   std::vector<double> rhos = {0.0, 0.01, 0.05, 0.10};
+  BenchEnv env(flags);
+  BenchRecorder record(flags, "table8_robustness", s);
 
   std::printf("== Table VIII: robustness to noise injection (TS3Net) ==\n\n");
   std::vector<std::string> columns;
@@ -44,7 +46,11 @@ int Run(int argc, char** argv) {
         spec.train = s.train;
         spec.noise_rho = rhos[i];
         auto result = train::RunExperiment(spec);
-        if (result.ok()) row[columns[i]] = result.value();
+        if (result.ok()) {
+          row[columns[i]] = result.value();
+          record.AddCell(dataset + " H=" + std::to_string(horizon), columns[i],
+                         result.value());
+        }
       }
       PrintRow(dataset + " H=" + std::to_string(horizon), columns, row);
     }

@@ -24,6 +24,8 @@ int Run(int argc, char** argv) {
       /*default_models=*/{"TS3Net"},
       /*default_horizons=*/{96});
   std::vector<int64_t> lambdas = flags.GetIntList("lambdas", {4, 8, 12, 16});
+  BenchEnv env(flags);
+  BenchRecorder record(flags, "table9_lambda", s);
 
   std::printf("== Table IX: sensitivity to lambda (spectral sub-bands) ==\n\n");
   std::vector<std::string> columns;
@@ -51,7 +53,11 @@ int Run(int argc, char** argv) {
         spec.horizon = horizon;
         spec.config.lambda = static_cast<int>(lambdas[i]);
         auto result = train::RunExperimentOnData(spec, prepared.value());
-        if (result.ok()) row[columns[i]] = result.value();
+        if (result.ok()) {
+          row[columns[i]] = result.value();
+          record.AddCell(dataset + " H=" + std::to_string(horizon), columns[i],
+                         result.value());
+        }
       }
       PrintRow(dataset + " H=" + std::to_string(horizon), columns, row);
     }

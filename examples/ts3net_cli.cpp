@@ -18,6 +18,11 @@
 //   --ts3_num_threads=N   Size of the shared kernel thread pool. 0 (default)
 //       uses hardware concurrency; 1 runs fully serial. Results are bitwise
 //       identical for every value — the pool only changes wall-clock time.
+//   --ts3_log_level=debug|info|warn|error   Minimum log severity.
+//   --ts3_trace=out.json  Record trace spans and write a Chrome trace-event
+//       file on exit (load in chrome://tracing or ui.perfetto.dev).
+//   --ts3_profile         Print an aggregated per-span profile to stderr.
+//   --ts3_metrics_json=out.json  Dump the metrics registry as JSON on exit.
 //
 // Example end-to-end session:
 //   ./build/examples/ts3net_cli generate --dataset=ETTh1 --out=/tmp/s.csv
@@ -28,6 +33,7 @@
 #include <cstring>
 
 #include "common/flags.h"
+#include "common/obs/obs.h"
 #include "common/threadpool.h"
 #include "core/decomposition.h"
 #include "data/csv.h"
@@ -204,6 +210,11 @@ int Usage(int exit_code = 2) {
       "  --ts3_num_threads=N  kernel thread-pool size; 0 = hardware\n"
       "                       concurrency (default), 1 = fully serial.\n"
       "                       Results are bitwise identical for any N.\n"
+      "  --ts3_log_level=L    minimum log severity: debug|info|warn|error.\n"
+      "  --ts3_trace=F.json   write a Chrome trace-event file on exit\n"
+      "                       (chrome://tracing / ui.perfetto.dev).\n"
+      "  --ts3_profile        print the aggregated span profile to stderr.\n"
+      "  --ts3_metrics_json=F.json  dump counters/gauges/histograms/series.\n"
       "\n"
       "(see the header comment of ts3net_cli.cpp for details)\n");
   return exit_code;
@@ -219,6 +230,7 @@ int main(int argc, char** argv) {
   if (Status st = flags.Parse(argc - 1, argv + 1); !st.ok()) return Fail(st);
   ThreadPool::SetGlobalNumThreads(
       static_cast<int>(flags.GetInt("ts3_num_threads", 0)));
+  obs::ObsScope obs_scope(flags);  // exports trace/profile/metrics on return
   if (cmd == "generate") return CmdGenerate(flags);
   if (cmd == "periods") return CmdPeriods(flags);
   if (cmd == "decompose") return CmdDecompose(flags);

@@ -1,8 +1,12 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
+
+#include "common/obs/trace.h"
 
 namespace ts3net {
 
@@ -27,6 +31,22 @@ const char* Basename(const char* path) {
   const char* slash = std::strrchr(path, '/');
   return slash ? slash + 1 : path;
 }
+
+// "2026-08-06 12:34:56.789" in local time.
+std::string WallClockStamp() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm_buf;
+  localtime_r(&secs, &tm_buf);
+  char out[40];
+  const size_t n = std::strftime(out, sizeof(out), "%F %T", &tm_buf);
+  std::snprintf(out + n, sizeof(out) - n, ".%03d", static_cast<int>(ms));
+  return out;
+}
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_min_level = static_cast<int>(level); }
@@ -37,7 +57,8 @@ namespace internal_log {
 LogStream::LogStream(LogLevel level, const char* file, int line)
     : enabled_(static_cast<int>(level) >= g_min_level.load()), level_(level) {
   if (enabled_) {
-    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
+    stream_ << "[" << LevelName(level) << " " << WallClockStamp() << " t"
+            << obs::CurrentThreadId() << " " << Basename(file) << ":" << line
             << "] ";
   }
 }

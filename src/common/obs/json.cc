@@ -1,0 +1,352 @@
+#include "common/obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace ts3net {
+namespace obs {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    // Value for an already-written key: no comma handling needed.
+    pending_key_ = false;
+    return;
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_ << ",";
+    needs_comma_.back() = true;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ << "{";
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  TS3_CHECK(!needs_comma_.empty());
+  needs_comma_.pop_back();
+  out_ << "}";
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ << "[";
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  TS3_CHECK(!needs_comma_.empty());
+  needs_comma_.pop_back();
+  out_ << "]";
+}
+
+void JsonWriter::Key(const std::string& name) {
+  TS3_CHECK(!pending_key_) << "two Key() calls without a value";
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_ << ",";
+    needs_comma_.back() = true;
+  }
+  out_ << "\"" << JsonEscape(name) << "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::String(const std::string& v) {
+  BeforeValue();
+  out_ << "\"" << JsonEscape(v) << "\"";
+}
+
+void JsonWriter::Int(int64_t v) {
+  BeforeValue();
+  out_ << v;
+}
+
+void JsonWriter::Double(double v) {
+  BeforeValue();
+  if (!std::isfinite(v)) {
+    out_ << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out_ << buf;
+}
+
+void JsonWriter::Bool(bool v) {
+  BeforeValue();
+  out_ << (v ? "true" : "false");
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ << "null";
+}
+
+namespace {
+
+/// Recursive-descent cursor over the JSON text.
+class Validator {
+ public:
+  explicit Validator(const std::string& text) : text_(text) {}
+
+  bool Run(std::string* error) {
+    SkipWs();
+    if (!Value()) {
+      Describe(error);
+      return false;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      err_ = "trailing characters after JSON value";
+      Describe(error);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 200;
+
+  void Describe(std::string* error) const {
+    if (error != nullptr) {
+      *error = err_ + " at byte " + std::to_string(pos_);
+    }
+  }
+
+  bool Fail(const char* why) {
+    if (err_.empty()) err_ = why;
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* lit) {
+    size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (text_.compare(pos_, n, lit) != 0) return Fail("invalid literal");
+    pos_ += n;
+    return true;
+  }
+
+  bool StringValue() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Fail("expected string");
+    }
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return Fail("unescaped control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return Fail("truncated escape");
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+              return Fail("invalid \\u escape");
+            }
+          }
+          pos_ += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return Fail("invalid escape character");
+        }
+      }
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return Fail("malformed number");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Fail("malformed fraction");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Fail("malformed exponent");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    return pos_ > start;
+  }
+
+  bool Value() {
+    if (++depth_ > kMaxDepth) return Fail("nesting too deep");
+    SkipWs();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    bool ok = false;
+    switch (text_[pos_]) {
+      case '{':
+        ok = Object();
+        break;
+      case '[':
+        ok = Array();
+        break;
+      case '"':
+        ok = StringValue();
+        break;
+      case 't':
+        ok = Literal("true");
+        break;
+      case 'f':
+        ok = Literal("false");
+        break;
+      case 'n':
+        ok = Literal("null");
+        break;
+      default:
+        ok = Number();
+    }
+    --depth_;
+    return ok;
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!StringValue()) return Fail("expected object key");
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Fail("expected ':' after key");
+      }
+      ++pos_;
+      if (!Value()) return false;
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      if (!Value()) return false;
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+  std::string err_;
+};
+
+}  // namespace
+
+bool JsonValidate(const std::string& text, std::string* error) {
+  return Validator(text).Run(error);
+}
+
+}  // namespace obs
+}  // namespace ts3net

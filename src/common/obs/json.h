@@ -1,0 +1,60 @@
+#ifndef TS3NET_COMMON_OBS_JSON_H_
+#define TS3NET_COMMON_OBS_JSON_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ts3net {
+namespace obs {
+
+/// Escapes a string for inclusion inside JSON double quotes.
+std::string JsonEscape(const std::string& s);
+
+/// Streaming JSON writer with automatic comma placement. Non-finite doubles
+/// are emitted as `null` (JSON has no NaN/Infinity), which keeps exported
+/// metrics files parseable even when a metric is NaN (e.g. an empty eval).
+///
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("name"); w.String("table4");
+///   w.Key("cells"); w.BeginArray(); ... w.EndArray();
+///   w.EndObject();
+///   std::string out = w.str();
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  /// Writes an object key; the next value call supplies its value.
+  void Key(const std::string& name);
+  void String(const std::string& v);
+  void Int(int64_t v);
+  void Double(double v);
+  void Bool(bool v);
+  void Null();
+
+  std::string str() const { return out_.str(); }
+
+ private:
+  void BeforeValue();
+
+  std::ostringstream out_;
+  // One entry per open container: true once the first element was written
+  // (so the next element needs a leading comma).
+  std::vector<bool> needs_comma_;
+  bool pending_key_ = false;
+};
+
+/// Minimal validating JSON parser (no DOM): checks that `text` is one
+/// complete, well-formed JSON value. On failure returns false and, when
+/// `error` is non-null, describes the first problem and its byte offset.
+/// Used by tests and the CLI smoke check to parse exported files back.
+bool JsonValidate(const std::string& text, std::string* error = nullptr);
+
+}  // namespace obs
+}  // namespace ts3net
+
+#endif  // TS3NET_COMMON_OBS_JSON_H_

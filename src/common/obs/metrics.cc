@@ -1,0 +1,285 @@
+#include "common/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/check.h"
+#include "common/obs/json.h"
+
+namespace ts3net {
+namespace obs {
+
+namespace {
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double BitsDouble(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+/// Atomic a += v on a double stored as uint64 bits (CAS loop; avoids relying
+/// on std::atomic<double>::fetch_add toolchain support).
+void AtomicAddDouble(std::atomic<uint64_t>* bits, double v) {
+  uint64_t old_bits = bits->load(std::memory_order_relaxed);
+  for (;;) {
+    const uint64_t new_bits = DoubleBits(BitsDouble(old_bits) + v);
+    if (bits->compare_exchange_weak(old_bits, new_bits,
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void AtomicMinDouble(std::atomic<uint64_t>* bits, double v) {
+  uint64_t old_bits = bits->load(std::memory_order_relaxed);
+  while (v < BitsDouble(old_bits)) {
+    if (bits->compare_exchange_weak(old_bits, DoubleBits(v),
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void AtomicMaxDouble(std::atomic<uint64_t>* bits, double v) {
+  uint64_t old_bits = bits->load(std::memory_order_relaxed);
+  while (v > BitsDouble(old_bits)) {
+    if (bits->compare_exchange_weak(old_bits, DoubleBits(v),
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+uint64_t Gauge::Encode(double v) { return DoubleBits(v); }
+double Gauge::Decode(uint64_t bits) { return BitsDouble(bits); }
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      min_bits_(DoubleBits(std::numeric_limits<double>::infinity())),
+      max_bits_(DoubleBits(-std::numeric_limits<double>::infinity())) {
+  if (bounds_.empty()) bounds_ = DefaultTimeBoundsUs();
+  TS3_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must be sorted ascending";
+  counts_ = std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+std::vector<double> Histogram::DefaultTimeBoundsUs() {
+  std::vector<double> bounds;
+  for (double decade = 1.0; decade < 1e10; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 2.0);
+    bounds.push_back(decade * 5.0);
+  }
+  return bounds;
+}
+
+void Histogram::Observe(double v) {
+  // First bucket whose upper edge is >= v; values above every bound land in
+  // the overflow bucket.
+  const size_t idx =
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_bits_, v);
+  AtomicMinDouble(&min_bits_, v);
+  AtomicMaxDouble(&max_bits_, v);
+}
+
+int64_t Histogram::count() const {
+  int64_t total = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    total += counts_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::sum() const {
+  return BitsDouble(sum_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::mean() const {
+  const int64_t n = count();
+  return n == 0 ? std::numeric_limits<double>::quiet_NaN()
+                : sum() / static_cast<double>(n);
+}
+
+double Histogram::min() const {
+  return count() == 0 ? std::numeric_limits<double>::quiet_NaN()
+                      : BitsDouble(min_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::max() const {
+  return count() == 0 ? std::numeric_limits<double>::quiet_NaN()
+                      : BitsDouble(max_bits_.load(std::memory_order_relaxed));
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> out(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::Percentile(double p) const {
+  TS3_CHECK(p >= 0.0 && p <= 100.0);
+  const std::vector<int64_t> counts = BucketCounts();
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+
+  const double rank = p / 100.0 * static_cast<double>(total);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const int64_t prev = cumulative;
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i == bounds_.size()) return max();  // overflow bucket
+    // Linear interpolation between the bucket's edges; the first bucket's
+    // lower edge is the minimum observed value (tighter than -inf).
+    const double lo = i == 0 ? std::min(min(), bounds_[0]) : bounds_[i - 1];
+    const double hi = bounds_[i];
+    const double frac =
+        (rank - static_cast<double>(prev)) / static_cast<double>(counts[i]);
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return max();
+}
+
+void Series::Append(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  values_.push_back(v);
+}
+
+std::vector<double> Series::values() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return values_;
+}
+
+int64_t Series::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(values_.size());
+}
+
+MetricsRegistry* MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked
+  return registry;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+Series* MetricsRegistry::series(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = series_[name];
+  if (!slot) slot = std::make_unique<Series>();
+  return slot.get();
+}
+
+std::map<std::string, int64_t> MetricsRegistry::CounterValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, int64_t> out;
+  for (const auto& [name, c] : counters_) out[name] = c->value();
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.BeginObject();
+
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [name, c] : counters_) {
+    w.Key(name);
+    w.Int(c->value());
+  }
+  w.EndObject();
+
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& [name, g] : gauges_) {
+    w.Key(name);
+    w.Double(g->value());
+  }
+  w.EndObject();
+
+  w.Key("histograms");
+  w.BeginObject();
+  for (const auto& [name, h] : histograms_) {
+    w.Key(name);
+    w.BeginObject();
+    w.Key("count");
+    w.Int(h->count());
+    w.Key("sum");
+    w.Double(h->sum());
+    w.Key("mean");
+    w.Double(h->mean());
+    w.Key("min");
+    w.Double(h->min());
+    w.Key("max");
+    w.Double(h->max());
+    w.Key("p50");
+    w.Double(h->Percentile(50.0));
+    w.Key("p95");
+    w.Double(h->Percentile(95.0));
+    w.Key("p99");
+    w.Double(h->Percentile(99.0));
+    w.EndObject();
+  }
+  w.EndObject();
+
+  w.Key("series");
+  w.BeginObject();
+  for (const auto& [name, s] : series_) {
+    w.Key(name);
+    w.BeginArray();
+    for (double v : s->values()) w.Double(v);
+    w.EndArray();
+  }
+  w.EndObject();
+
+  w.EndObject();
+  return w.str();
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  series_.clear();
+}
+
+}  // namespace obs
+}  // namespace ts3net

@@ -1,0 +1,130 @@
+#ifndef TS3NET_COMMON_OBS_METRICS_H_
+#define TS3NET_COMMON_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ts3net {
+namespace obs {
+
+/// Monotonic counter. All mutators are lock-free atomics, safe to call from
+/// ParallelFor chunks and pool workers concurrently.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-value gauge (thread-safe set/read).
+class Gauge {
+ public:
+  void Set(double v) { bits_.store(Encode(v), std::memory_order_relaxed); }
+  double value() const {
+    return Decode(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  static uint64_t Encode(double v);
+  static double Decode(uint64_t bits);
+  std::atomic<uint64_t> bits_{0};
+};
+
+/// Fixed-bucket histogram. `bounds` are the inclusive upper edges of the
+/// first N buckets; one overflow bucket catches everything above the last
+/// bound. Observation is a single atomic increment per bucket plus atomic
+/// sum/min/max updates — safe under ParallelFor.
+///
+/// Percentile(p) walks the cumulative counts and interpolates linearly
+/// inside the bucket containing rank p; values in the overflow bucket report
+/// the maximum observed value. Empty histograms report NaN.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  int64_t count() const;
+  double sum() const;
+  double mean() const;  // NaN when empty
+  double min() const;   // NaN when empty
+  double max() const;   // NaN when empty
+  double Percentile(double p) const;  // p in [0, 100]; NaN when empty
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts (bounds().size() + 1 entries, last = overflow).
+  std::vector<int64_t> BucketCounts() const;
+
+  /// Exponential 1-2-5 time buckets from 1us to 1e10us (~3h), the default
+  /// for duration histograms observed in microseconds.
+  static std::vector<double> DefaultTimeBoundsUs();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<int64_t>[]> counts_;  // bounds_.size() + 1
+  std::atomic<uint64_t> sum_bits_{0};
+  std::atomic<uint64_t> min_bits_;
+  std::atomic<uint64_t> max_bits_;
+};
+
+/// Append-only series of values, e.g. the per-epoch loss curve. Appends take
+/// a mutex: series are recorded a handful of times per epoch, never on a
+/// kernel hot path.
+class Series {
+ public:
+  void Append(double v);
+  std::vector<double> values() const;
+  int64_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> values_;
+};
+
+/// Process-wide registry of named metrics. Lookup takes a mutex and returns
+/// a stable pointer; hot paths should look a metric up once and reuse the
+/// pointer. Names use "/" to namespace, e.g. "train/epoch_loss".
+class MetricsRegistry {
+ public:
+  static MetricsRegistry* Global();
+
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  /// Creates the histogram with `bounds` on first use; later calls with the
+  /// same name return the existing histogram (bounds are then ignored).
+  Histogram* histogram(const std::string& name,
+                       std::vector<double> bounds = {});
+  Series* series(const std::string& name);
+
+  /// Snapshot of all counter values (for bench run records).
+  std::map<std::string, int64_t> CounterValues() const;
+
+  /// Full registry snapshot as a JSON object: {"counters": {...},
+  /// "gauges": {...}, "histograms": {name: {count, mean, p50, ...}},
+  /// "series": {name: [...]}}.
+  std::string ToJson() const;
+
+  /// Drops every metric. Only for tests; pointers handed out earlier dangle.
+  void ResetForTest();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Series>> series_;
+};
+
+}  // namespace obs
+}  // namespace ts3net
+
+#endif  // TS3NET_COMMON_OBS_METRICS_H_

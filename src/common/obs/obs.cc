@@ -1,0 +1,82 @@
+#include "common/obs/obs.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace ts3net {
+namespace obs {
+
+bool ParseLogLevel(const std::string& text, LogLevel* out) {
+  std::string lower = text;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning") {
+    *out = LogLevel::kWarning;
+  } else if (lower == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+ObsOptions InitFromFlags(const FlagParser& flags) {
+  ObsOptions options;
+  options.trace_path = flags.GetString("ts3_trace", "");
+  options.metrics_json_path = flags.GetString("ts3_metrics_json", "");
+  options.profile = flags.GetBool("ts3_profile", false);
+
+  if (flags.Has("ts3_log_level")) {
+    const std::string text = flags.GetString("ts3_log_level", "");
+    LogLevel level = GetLogLevel();
+    if (ParseLogLevel(text, &level)) {
+      SetLogLevel(level);
+    } else {
+      TS3_LOG(Warning) << "unknown --ts3_log_level '" << text
+                       << "' (want debug|info|warn|error); keeping current";
+    }
+  }
+
+  SetCurrentThreadName("main");
+  if (options.tracing_requested()) StartTracing();
+  return options;
+}
+
+void Finalize(const ObsOptions& options) {
+  if (options.tracing_requested()) StopTracing();
+
+  if (!options.trace_path.empty()) {
+    std::string error;
+    if (WriteChromeTrace(options.trace_path, &error)) {
+      TS3_LOG(Info) << "trace written to " << options.trace_path
+                    << " (load in chrome://tracing or ui.perfetto.dev)";
+    } else {
+      TS3_LOG(Error) << "failed to write trace: " << error;
+    }
+  }
+
+  if (options.profile) {
+    std::fprintf(stderr, "\n== span profile (--ts3_profile) ==\n%s",
+                 ProfileTable().c_str());
+  }
+
+  if (!options.metrics_json_path.empty()) {
+    const std::string json = MetricsRegistry::Global()->ToJson();
+    std::FILE* f = std::fopen(options.metrics_json_path.c_str(), "w");
+    if (f == nullptr) {
+      TS3_LOG(Error) << "cannot open " << options.metrics_json_path;
+    } else {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      TS3_LOG(Info) << "metrics written to " << options.metrics_json_path;
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace ts3net

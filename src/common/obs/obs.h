@@ -1,0 +1,59 @@
+#ifndef TS3NET_COMMON_OBS_OBS_H_
+#define TS3NET_COMMON_OBS_OBS_H_
+
+#include <string>
+
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/obs/metrics.h"
+#include "common/obs/trace.h"
+
+namespace ts3net {
+namespace obs {
+
+/// Global observability CLI flags shared by every harness:
+///   --ts3_log_level=debug|info|warn|error  minimum log severity
+///   --ts3_trace=out.json      record spans, write a Chrome trace on exit
+///   --ts3_profile             print the aggregated span table on exit
+///   --ts3_metrics_json=out.json  dump the metrics registry as JSON on exit
+struct ObsOptions {
+  std::string trace_path;
+  std::string metrics_json_path;
+  bool profile = false;
+
+  bool tracing_requested() const { return !trace_path.empty() || profile; }
+};
+
+/// Parses "debug|info|warn|warning|error" (case-insensitive). Returns false
+/// and leaves `out` untouched on an unknown name.
+bool ParseLogLevel(const std::string& text, LogLevel* out);
+
+/// Reads the global obs flags, applies --ts3_log_level via SetLogLevel, and
+/// starts tracing when --ts3_trace/--ts3_profile ask for it.
+ObsOptions InitFromFlags(const FlagParser& flags);
+
+/// Stops tracing and performs the requested exports: Chrome trace file,
+/// profile table on stderr, metrics registry JSON. Safe to call when no
+/// option was set (does nothing).
+void Finalize(const ObsOptions& options);
+
+/// RAII wrapper for harness main()s: InitFromFlags at construction,
+/// Finalize at scope exit.
+class ObsScope {
+ public:
+  explicit ObsScope(const FlagParser& flags) : options_(InitFromFlags(flags)) {}
+  ~ObsScope() { Finalize(options_); }
+
+  ObsScope(const ObsScope&) = delete;
+  ObsScope& operator=(const ObsScope&) = delete;
+
+  const ObsOptions& options() const { return options_; }
+
+ private:
+  ObsOptions options_;
+};
+
+}  // namespace obs
+}  // namespace ts3net
+
+#endif  // TS3NET_COMMON_OBS_OBS_H_

@@ -1,0 +1,276 @@
+#include "common/obs/trace.h"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/obs/json.h"
+#include "common/string_util.h"
+
+namespace ts3net {
+namespace obs {
+
+namespace internal_trace {
+std::atomic<bool> g_tracing{false};
+}  // namespace internal_trace
+
+namespace {
+
+int64_t ProcessStartNanos() {
+  static const auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Forces the static start point to be initialized as early as possible.
+[[maybe_unused]] const int64_t g_clock_anchor = ProcessStartNanos();
+
+/// Per-thread event sink. Appends are lock-free from the owning thread: an
+/// event slot inside the tail chunk is written, then `size` is published
+/// with a release store. Readers acquire-load `size` and only read slots
+/// below it, and take `mu` to freeze the chunk list, so a concurrent flush
+/// never races with an in-progress append (single-producer / many-consumer).
+struct ThreadBuffer {
+  static constexpr size_t kChunkSize = 4096;
+  using Chunk = std::array<TraceEvent, kChunkSize>;
+
+  int tid = 0;
+  std::string name;
+  std::mutex mu;  // guards `chunks` growth and `name`; never held on append
+  std::vector<std::unique_ptr<Chunk>> chunks;
+  std::atomic<size_t> size{0};  // events committed across all chunks
+
+  void Append(std::string event_name, int64_t start_ns, int64_t dur_ns) {
+    const size_t n = size.load(std::memory_order_relaxed);
+    const size_t chunk_idx = n / kChunkSize;
+    if (chunk_idx >= chunks.size()) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.push_back(std::make_unique<Chunk>());
+    }
+    TraceEvent& e = (*chunks[chunk_idx])[n % kChunkSize];
+    e.name = std::move(event_name);
+    e.start_ns = start_ns;
+    e.dur_ns = dur_ns;
+    e.tid = tid;
+    size.store(n + 1, std::memory_order_release);
+  }
+
+  void AppendTo(std::vector<TraceEvent>* out) {
+    std::lock_guard<std::mutex> lock(mu);
+    const size_t n = size.load(std::memory_order_acquire);
+    for (size_t i = 0; i < n; ++i) {
+      out->push_back((*chunks[i / kChunkSize])[i % kChunkSize]);
+    }
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu);
+    size.store(0, std::memory_order_release);
+    chunks.clear();
+  }
+};
+
+std::mutex g_buffers_mu;
+// Leaked on purpose: pool workers live for the whole process, and flushing
+// after a detached thread exited must still find its events.
+std::vector<ThreadBuffer*>& Buffers() {
+  static auto* buffers = new std::vector<ThreadBuffer*>();
+  return *buffers;
+}
+
+ThreadBuffer* LocalBuffer() {
+  thread_local ThreadBuffer* buffer = [] {
+    auto* b = new ThreadBuffer();
+    std::lock_guard<std::mutex> lock(g_buffers_mu);
+    b->tid = static_cast<int>(Buffers().size());
+    Buffers().push_back(b);
+    return b;
+  }();
+  return buffer;
+}
+
+}  // namespace
+
+int64_t NowNanos() { return ProcessStartNanos(); }
+
+int CurrentThreadId() { return LocalBuffer()->tid; }
+
+void SetCurrentThreadName(const std::string& name) {
+  ThreadBuffer* b = LocalBuffer();
+  std::lock_guard<std::mutex> lock(b->mu);
+  b->name = name;
+}
+
+namespace internal_trace {
+
+void Record(std::string name, int64_t start_ns, int64_t dur_ns) {
+  LocalBuffer()->Append(std::move(name), start_ns, dur_ns);
+}
+
+}  // namespace internal_trace
+
+void StartTracing() {
+  internal_trace::g_tracing.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(g_buffers_mu);
+    for (ThreadBuffer* b : Buffers()) b->Clear();
+  }
+  internal_trace::g_tracing.store(true, std::memory_order_relaxed);
+}
+
+void StopTracing() {
+  internal_trace::g_tracing.store(false, std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> CollectEvents() {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lock(g_buffers_mu);
+  for (ThreadBuffer* b : Buffers()) b->AppendTo(&out);
+  return out;
+}
+
+std::string ChromeTraceJson() {
+  std::vector<TraceEvent> events = CollectEvents();
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_ns < b.start_ns;
+            });
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents");
+  w.BeginArray();
+
+  // Metadata: process name plus a label per registered thread.
+  w.BeginObject();
+  w.Key("name");
+  w.String("process_name");
+  w.Key("ph");
+  w.String("M");
+  w.Key("pid");
+  w.Int(1);
+  w.Key("args");
+  w.BeginObject();
+  w.Key("name");
+  w.String("ts3net");
+  w.EndObject();
+  w.EndObject();
+  {
+    std::lock_guard<std::mutex> lock(g_buffers_mu);
+    for (ThreadBuffer* b : Buffers()) {
+      std::lock_guard<std::mutex> buffer_lock(b->mu);
+      w.BeginObject();
+      w.Key("name");
+      w.String("thread_name");
+      w.Key("ph");
+      w.String("M");
+      w.Key("pid");
+      w.Int(1);
+      w.Key("tid");
+      w.Int(b->tid);
+      w.Key("args");
+      w.BeginObject();
+      w.Key("name");
+      w.String(b->name.empty() ? StrFormat("thread-%d", b->tid) : b->name);
+      w.EndObject();
+      w.EndObject();
+    }
+  }
+
+  for (const TraceEvent& e : events) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(e.name);
+    w.Key("ph");
+    w.String("X");
+    w.Key("pid");
+    w.Int(1);
+    w.Key("tid");
+    w.Int(e.tid);
+    w.Key("ts");
+    w.Double(static_cast<double>(e.start_ns) / 1e3);  // microseconds
+    w.Key("dur");
+    w.Double(static_cast<double>(e.dur_ns) / 1e3);
+    w.EndObject();
+  }
+
+  w.EndArray();
+  w.Key("displayTimeUnit");
+  w.String("ms");
+  w.EndObject();
+  return w.str();
+}
+
+bool WriteChromeTrace(const std::string& path, std::string* error) {
+  const std::string json = ChromeTraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == json.size();
+  if (!ok && error != nullptr) *error = "short write to " + path;
+  return ok;
+}
+
+std::vector<SpanStats> AggregateSpans() {
+  const std::vector<TraceEvent> events = CollectEvents();
+  if (events.empty()) return {};
+
+  int64_t min_start = events[0].start_ns;
+  int64_t max_end = events[0].start_ns + events[0].dur_ns;
+  std::map<std::string, SpanStats> by_name;
+  for (const TraceEvent& e : events) {
+    min_start = std::min(min_start, e.start_ns);
+    max_end = std::max(max_end, e.start_ns + e.dur_ns);
+    SpanStats& s = by_name[e.name];
+    s.name = e.name;
+    ++s.count;
+    const double ms = static_cast<double>(e.dur_ns) / 1e6;
+    s.total_ms += ms;
+    s.max_ms = std::max(s.max_ms, ms);
+  }
+  const double wall_ms =
+      std::max(static_cast<double>(max_end - min_start) / 1e6, 1e-9);
+
+  std::vector<SpanStats> out;
+  out.reserve(by_name.size());
+  for (auto& [name, s] : by_name) {
+    s.mean_ms = s.total_ms / static_cast<double>(s.count);
+    s.wall_share = s.total_ms / wall_ms;
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(), [](const SpanStats& a, const SpanStats& b) {
+    return a.total_ms > b.total_ms;
+  });
+  return out;
+}
+
+std::string ProfileTable() {
+  const std::vector<SpanStats> stats = AggregateSpans();
+  std::string out;
+  out += StrFormat("%-28s %10s %12s %12s %12s %7s\n", "span", "count",
+                   "total(ms)", "mean(ms)", "max(ms)", "wall%");
+  if (stats.empty()) {
+    out += "  (no spans recorded; was tracing enabled?)\n";
+    return out;
+  }
+  for (const SpanStats& s : stats) {
+    out += StrFormat("%-28s %10lld %12.3f %12.4f %12.3f %6.1f%%\n",
+                     s.name.c_str(), static_cast<long long>(s.count),
+                     s.total_ms, s.mean_ms, s.max_ms, s.wall_share * 100.0);
+  }
+  out +=
+      "(spans nest, so wall% is per-span-name time over traced wall time "
+      "and does not sum to 100%)\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace ts3net

@@ -1,0 +1,126 @@
+#ifndef TS3NET_COMMON_OBS_TRACE_H_
+#define TS3NET_COMMON_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ts3net {
+namespace obs {
+
+/// One closed span, in nanoseconds since process start. Events on the same
+/// thread nest by time containment (Chrome's "X" complete events).
+struct TraceEvent {
+  std::string name;
+  int64_t start_ns = 0;
+  int64_t dur_ns = 0;
+  int tid = 0;
+};
+
+/// Nanoseconds since process start (steady clock).
+int64_t NowNanos();
+
+/// Small dense id for the calling thread; 0 for the first thread that asks
+/// (in practice main). Stable for the thread's lifetime.
+int CurrentThreadId();
+
+/// Label attached to the calling thread in trace exports ("main",
+/// "pool-worker", ...).
+void SetCurrentThreadName(const std::string& name);
+
+namespace internal_trace {
+extern std::atomic<bool> g_tracing;
+void Record(std::string name, int64_t start_ns, int64_t dur_ns);
+}  // namespace internal_trace
+
+/// True while spans are being recorded. A single relaxed atomic load — the
+/// whole cost of TS3_TRACE_SPAN when tracing is off is this branch.
+inline bool TracingEnabled() {
+  return internal_trace::g_tracing.load(std::memory_order_relaxed);
+}
+
+/// Clears previously recorded events and starts recording. Must be called
+/// outside any parallel region (the harnesses call it at startup).
+void StartTracing();
+/// Stops recording. Spans still open keep their start time and are recorded
+/// when they close.
+void StopTracing();
+
+/// Copies out every recorded event (any thread order; sort by start_ns for a
+/// timeline). Call after StopTracing / outside parallel regions.
+std::vector<TraceEvent> CollectEvents();
+
+/// Chrome trace-event JSON ({"traceEvents": [...]}) loadable in
+/// chrome://tracing or https://ui.perfetto.dev.
+std::string ChromeTraceJson();
+/// Writes ChromeTraceJson() to `path`; false (with `error`) on IO failure.
+bool WriteChromeTrace(const std::string& path, std::string* error = nullptr);
+
+/// Aggregate of all closed spans sharing a name.
+struct SpanStats {
+  std::string name;
+  int64_t count = 0;
+  double total_ms = 0.0;
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+  double wall_share = 0.0;  // total / traced wall time; nested spans overlap,
+                            // so shares do not sum to 1
+};
+
+/// Per-name stats sorted by total time descending.
+std::vector<SpanStats> AggregateSpans();
+
+/// Human-readable profile table of AggregateSpans() (count, total, mean,
+/// share of traced wall time).
+std::string ProfileTable();
+
+/// RAII span. Construction with a name records iff tracing is enabled; the
+/// default constructor plus Start() defers (and skips) the name computation
+/// when tracing is off:
+///
+///   TS3_TRACE_SPAN("cwt/complex");                  // literal name
+///   obs::TraceSpan span;
+///   if (obs::TracingEnabled()) span.Start("bw/" + op_name);  // dynamic name
+class TraceSpan {
+ public:
+  TraceSpan() = default;
+  explicit TraceSpan(const char* name) {
+    if (TracingEnabled()) Start(name);
+  }
+  ~TraceSpan() {
+    if (armed_) {
+      internal_trace::Record(std::move(name_), start_ns_,
+                             NowNanos() - start_ns_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Arms the span (no-op when tracing is off).
+  void Start(std::string name) {
+    if (!TracingEnabled()) return;
+    name_ = std::move(name);
+    start_ns_ = NowNanos();
+    armed_ = true;
+  }
+
+ private:
+  bool armed_ = false;
+  int64_t start_ns_ = 0;
+  std::string name_;
+};
+
+}  // namespace obs
+}  // namespace ts3net
+
+#define TS3_OBS_CONCAT_INNER(a, b) a##b
+#define TS3_OBS_CONCAT(a, b) TS3_OBS_CONCAT_INNER(a, b)
+
+/// Opens an RAII trace span for the rest of the enclosing scope. Compiles to
+/// one relaxed-load branch when tracing is disabled.
+#define TS3_TRACE_SPAN(name) \
+  ::ts3net::obs::TraceSpan TS3_OBS_CONCAT(ts3_trace_span_, __LINE__)(name)
+
+#endif  // TS3NET_COMMON_OBS_TRACE_H_

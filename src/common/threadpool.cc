@@ -5,10 +5,46 @@
 #include <exception>
 
 #include "common/check.h"
+#include "common/obs/metrics.h"
+#include "common/obs/trace.h"
+#include "common/string_util.h"
 
 namespace ts3net {
 
 namespace {
+
+// Pool instrumentation, looked up once and only touched while tracing is
+// enabled: with all obs flags off the registry stays untouched and the only
+// cost on the ParallelFor path is a relaxed-load branch.
+struct PoolMetrics {
+  obs::Counter* parallel_for_calls;
+  obs::Counter* tasks_executed;
+  obs::Counter* chunks_executed;
+  obs::Histogram* queue_wait_us;
+  obs::Histogram* task_us;
+
+  PoolMetrics() {
+    auto* registry = obs::MetricsRegistry::Global();
+    parallel_for_calls = registry->counter("threadpool/parallel_for_calls");
+    tasks_executed = registry->counter("threadpool/tasks_executed");
+    chunks_executed = registry->counter("threadpool/chunks_executed");
+    queue_wait_us = registry->histogram("threadpool/queue_wait_us");
+    task_us = registry->histogram("threadpool/task_us");
+  }
+};
+
+PoolMetrics& GetPoolMetrics() {
+  static PoolMetrics metrics;
+  return metrics;
+}
+
+// Busy-time counter of the calling thread ("threadpool/t<thread id>/busy_us");
+// busy_us / traced wall time is the thread's utilization.
+obs::Counter* BusyCounter() {
+  thread_local obs::Counter* counter = obs::MetricsRegistry::Global()->counter(
+      StrFormat("threadpool/t%d/busy_us", obs::CurrentThreadId()));
+  return counter;
+}
 
 // Set while a thread is executing chunks of some ParallelFor. Nested calls
 // (a parallel kernel invoked from inside another parallel region) run
@@ -32,7 +68,7 @@ ThreadPool::ThreadPool(int num_threads)
     : num_threads_(std::max(1, num_threads)) {
   workers_.reserve(static_cast<size_t>(num_threads_ - 1));
   for (int i = 0; i < num_threads_ - 1; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -45,7 +81,8 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int worker_index) {
+  obs::SetCurrentThreadName(StrFormat("pool-worker-%d", worker_index));
   for (;;) {
     std::function<void()> task;
     {
@@ -55,7 +92,17 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    if (obs::TracingEnabled()) {
+      PoolMetrics& metrics = GetPoolMetrics();
+      metrics.tasks_executed->Increment();
+      const int64_t start_ns = obs::NowNanos();
+      task();
+      const int64_t busy_ns = obs::NowNanos() - start_ns;
+      metrics.task_us->Observe(static_cast<double>(busy_ns) / 1e3);
+      BusyCounter()->Increment(busy_ns / 1000);
+    } else {
+      task();
+    }
   }
 }
 
@@ -64,6 +111,8 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   TS3_CHECK_GE(grain, 1) << "ParallelFor grain must be positive";
   if (end <= begin) return;
   const int64_t n = end - begin;
+  TS3_TRACE_SPAN("pool/parallel_for");
+  if (obs::TracingEnabled()) GetPoolMetrics().parallel_for_calls->Increment();
 
   // Serial paths: single-threaded pool, a range that fits in one grain, or a
   // nested call from inside a worker. One plain call preserves today's exact
@@ -104,12 +153,18 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   auto drain = [state, begin, n, chunk_size, num_chunks, &fn]() {
     const bool was_inside = t_inside_parallel_region;
     t_inside_parallel_region = true;
+    const bool traced = obs::TracingEnabled();
     for (;;) {
       const int64_t c =
           state->next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (c >= num_chunks) break;
       const int64_t lo = begin + c * chunk_size;
       const int64_t hi = begin + std::min(n, (c + 1) * chunk_size);
+      obs::TraceSpan chunk_span;
+      if (traced) {
+        GetPoolMetrics().chunks_executed->Increment();
+        chunk_span.Start("pool/chunk");
+      }
       try {
         fn(lo, hi);
       } catch (...) {
@@ -128,9 +183,21 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   // caller thread participates too, so a pool of N threads runs N-wide.
   const int64_t passes =
       std::min<int64_t>(static_cast<int64_t>(num_threads_) - 1, num_chunks - 1);
+  std::function<void()> task = drain;
+  if (obs::TracingEnabled()) {
+    // Wrap the pass so the worker can report how long it sat in the queue
+    // and show up as a span on its own trace timeline.
+    const int64_t enqueue_ns = obs::NowNanos();
+    task = [drain, enqueue_ns] {
+      GetPoolMetrics().queue_wait_us->Observe(
+          static_cast<double>(obs::NowNanos() - enqueue_ns) / 1e3);
+      TS3_TRACE_SPAN("pool/task");
+      drain();
+    };
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (int64_t i = 0; i < passes; ++i) queue_.push(drain);
+    for (int64_t i = 0; i < passes; ++i) queue_.push(task);
   }
   if (passes == 1) {
     cv_.notify_one();

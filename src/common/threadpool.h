@@ -64,7 +64,7 @@ class ThreadPool {
     std::function<void()> run;
   };
 
-  void WorkerLoop();
+  void WorkerLoop(int worker_index);
 
   const int num_threads_;
   std::vector<std::thread> workers_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/obs/trace.h"
 #include "signal/cwt.h"
 #include "signal/period.h"
 #include "signal/trend.h"
@@ -12,6 +13,7 @@ namespace ts3net {
 namespace core {
 
 Tensor SpectrumGradient(const Tensor& y_ltc, int64_t t_f) {
+  TS3_TRACE_SPAN("decompose/spectrum_gradient");
   TS3_CHECK(y_ltc.defined());
   TS3_CHECK_EQ(y_ltc.ndim(), 3) << "SpectrumGradient expects [lambda, T, C]";
   const int64_t t_len = y_ltc.dim(1);
@@ -25,6 +27,7 @@ Tensor SpectrumGradient(const Tensor& y_ltc, int64_t t_f) {
 
 TripleParts TripleDecompose(const Tensor& x_tc, const WaveletBank& bank,
                             const std::vector<int64_t>& trend_kernels) {
+  TS3_TRACE_SPAN("decompose/triple");
   TS3_CHECK(x_tc.defined());
   TS3_CHECK_EQ(x_tc.ndim(), 2) << "TripleDecompose expects [T, C]";
   TripleParts parts;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/obs/trace.h"
 #include "common/threadpool.h"
 #include "tensor/ops.h"
 
@@ -40,6 +41,7 @@ void CorrelateChannels(const Tensor& x_tc,
 
 void CwtComplex(const Tensor& x_tc, const WaveletBank& bank, Tensor* re,
                 Tensor* im) {
+  TS3_TRACE_SPAN("cwt/complex");
   TS3_CHECK(x_tc.defined());
   TS3_CHECK_EQ(x_tc.ndim(), 2) << "CwtComplex expects [T, C]";
   TS3_CHECK(re != nullptr && im != nullptr);
@@ -54,12 +56,14 @@ void CwtComplex(const Tensor& x_tc, const WaveletBank& bank, Tensor* re,
   float* pim = im->data();
   ParallelFor(0, lambda, 1, [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
+      TS3_TRACE_SPAN("cwt/band");
       CorrelateChannels(x_tc, bank.filter(static_cast<int>(i)), i, pre, pim);
     }
   });
 }
 
 Tensor CwtAmplitude(const Tensor& x_tc, const WaveletBank& bank) {
+  TS3_TRACE_SPAN("cwt/amplitude");
   Tensor re, im;
   CwtComplex(x_tc, bank, &re, &im);
   const int64_t n = re.numel();
@@ -121,6 +125,7 @@ Tensor IwtComplex(const Tensor& re_ltc, const Tensor& im_ltc,
 
 std::pair<Tensor, Tensor> BuildCwtMatrices(const WaveletBank& bank,
                                            int64_t seq_len) {
+  TS3_TRACE_SPAN("cwt/build_matrices");
   TS3_CHECK_GE(seq_len, 1);
   const int64_t lambda = bank.num_subbands();
   Tensor w_re = Tensor::Zeros({lambda, seq_len, seq_len});
@@ -149,6 +154,7 @@ std::pair<Tensor, Tensor> BuildCwtMatrices(const WaveletBank& bank,
 
 Tensor CwtAmplitudeOp(const Tensor& x_btd, const Tensor& w_re,
                       const Tensor& w_im, float eps) {
+  TS3_TRACE_SPAN("cwt/amplitude_op");
   TS3_CHECK_EQ(x_btd.ndim(), 3) << "CwtAmplitudeOp expects [B, T, D]";
   TS3_CHECK_EQ(w_re.ndim(), 3);
   TS3_CHECK_EQ(w_re.dim(1), x_btd.dim(1))
@@ -161,6 +167,7 @@ Tensor CwtAmplitudeOp(const Tensor& x_btd, const Tensor& w_re,
 }
 
 Tensor IwtOp(const Tensor& y_bltd, const WaveletBank& bank) {
+  TS3_TRACE_SPAN("cwt/iwt_op");
   TS3_CHECK_EQ(y_bltd.ndim(), 4) << "IwtOp expects [B, lambda, T, D]";
   const int64_t lambda = y_bltd.dim(1);
   TS3_CHECK_EQ(lambda, bank.num_subbands());

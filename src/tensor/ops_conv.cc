@@ -1,5 +1,6 @@
 #include <cstring>
 
+#include "common/obs/trace.h"
 #include "common/threadpool.h"
 #include "tensor/ops.h"
 
@@ -72,6 +73,7 @@ Tensor MovingAvg1d(const Tensor& x, int64_t kernel) {
 
 Tensor Conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
               int64_t pad_h, int64_t pad_w) {
+  TS3_TRACE_SPAN("op/Conv2d");
   TS3_CHECK(x.defined() && weight.defined());
   TS3_CHECK_EQ(x.ndim(), 4) << "Conv2d expects NCHW input";
   TS3_CHECK_EQ(weight.ndim(), 4) << "Conv2d weight is [O, I, kh, kw]";

@@ -2,6 +2,7 @@
 #include <cstring>
 #include <utility>
 
+#include "common/obs/trace.h"
 #include "common/threadpool.h"
 #include "tensor/ops.h"
 
@@ -98,6 +99,8 @@ struct BinaryKernel {
 };
 
 Tensor BinaryOp(const BinaryKernel& kernel, const Tensor& a, const Tensor& b) {
+  obs::TraceSpan op_span;
+  if (obs::TracingEnabled()) op_span.Start(std::string("op/") + kernel.name);
   TS3_CHECK(a.defined() && b.defined());
   const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
   const int64_t n = NumElements(out_shape);

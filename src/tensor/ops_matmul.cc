@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/obs/trace.h"
 #include "common/threadpool.h"
 #include "tensor/ops.h"
 
@@ -106,6 +107,7 @@ std::vector<int64_t> BatchOffsets(const Shape& lead, int64_t matrix_elems,
 }  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
+  TS3_TRACE_SPAN("op/MatMul");
   TS3_CHECK(a.defined() && b.defined());
   TS3_CHECK_GE(a.ndim(), 2);
   TS3_CHECK_GE(b.ndim(), 2);

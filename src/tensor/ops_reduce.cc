@@ -2,6 +2,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/obs/trace.h"
 #include "common/threadpool.h"
 #include "tensor/ops.h"
 
@@ -34,6 +35,7 @@ std::vector<int> NormalizeDims(const std::vector<int>& dims, int ndim) {
 }  // namespace
 
 Tensor Sum(const Tensor& a, const std::vector<int>& dims, bool keepdim) {
+  TS3_TRACE_SPAN("op/Sum");
   TS3_CHECK(a.defined());
   const int nd = a.ndim();
   std::vector<int> rdims = NormalizeDims(dims, nd);
@@ -227,6 +229,7 @@ Tensor Max(const Tensor& a, int dim, bool keepdim) {
 }
 
 Tensor Softmax(const Tensor& a, int dim) {
+  TS3_TRACE_SPAN("op/Softmax");
   TS3_CHECK(a.defined());
   const int nd = a.ndim();
   dim = NormalizeDim(dim, nd);

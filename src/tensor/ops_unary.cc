@@ -1,5 +1,6 @@
 #include <cmath>
 
+#include "common/obs/trace.h"
 #include "common/threadpool.h"
 #include "tensor/ops.h"
 
@@ -18,6 +19,8 @@ struct UnaryKernel {
 };
 
 Tensor UnaryOp(const UnaryKernel& kernel, const Tensor& a) {
+  obs::TraceSpan op_span;
+  if (obs::TracingEnabled()) op_span.Start(std::string("op/") + kernel.name);
   TS3_CHECK(a.defined());
   const int64_t n = a.numel();
   std::vector<float> out(static_cast<size_t>(n));

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/obs/metrics.h"
+#include "common/obs/trace.h"
 #include "tensor/autograd_mode.h"
 #include <cmath>
 #include <sstream>
@@ -253,12 +255,20 @@ void Tensor::Backward(const Tensor& grad_output) {
 
   AccumulateGrad(seed);
 
+  TS3_TRACE_SPAN("autograd/backward");
   // Reverse topological order: every consumer has contributed its gradient
   // before a node's own backward runs.
   for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
     TensorImpl* node = *it;
     if (node->grad_fn == nullptr || !node->grad) continue;
     Tensor grad_view = Tensor(node->grad);
+    obs::TraceSpan span;
+    if (obs::TracingEnabled()) {
+      static obs::Counter* nodes =
+          obs::MetricsRegistry::Global()->counter("autograd/backward_nodes");
+      nodes->Increment();
+      span.Start("bw/" + node->grad_fn->name);
+    }
     node->grad_fn->backward(grad_view);
   }
 }
@@ -296,6 +306,11 @@ Tensor MakeOpResult(std::vector<float> data, const Shape& shape,
     fn->inputs = std::move(inputs);
     fn->backward = std::move(backward);
     out.set_grad_fn(std::move(fn));
+  }
+  if (obs::TracingEnabled()) {
+    static obs::Counter* ops =
+        obs::MetricsRegistry::Global()->counter("autograd/ops_dispatched");
+    ops->Increment();
   }
   return out;
 }

@@ -1,6 +1,7 @@
 #include "train/metrics.h"
 
 #include <cmath>
+#include <limits>
 
 #include "common/check.h"
 
@@ -35,12 +36,16 @@ void MetricAccumulator::AddMasked(const Tensor& pred, const Tensor& target,
   }
 }
 
+// An empty accumulator reports NaN, not 0.0: an eval over zero windows must
+// not read as a perfect score. Callers check count() to tell the two apart.
 double MetricAccumulator::Mse() const {
-  return count_ == 0 ? 0.0 : sum_sq_ / static_cast<double>(count_);
+  return count_ == 0 ? std::numeric_limits<double>::quiet_NaN()
+                     : sum_sq_ / static_cast<double>(count_);
 }
 
 double MetricAccumulator::Mae() const {
-  return count_ == 0 ? 0.0 : sum_abs_ / static_cast<double>(count_);
+  return count_ == 0 ? std::numeric_limits<double>::quiet_NaN()
+                     : sum_abs_ / static_cast<double>(count_);
 }
 
 }  // namespace train

@@ -5,6 +5,9 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "common/obs/metrics.h"
+#include "common/obs/trace.h"
+#include "common/string_util.h"
 #include "common/threadpool.h"
 #include "tensor/autograd_mode.h"
 #include "nn/loss.h"
@@ -19,9 +22,11 @@ namespace {
 
 /// Shared early-stopping fit loop; the task specifics are provided as
 /// callbacks computing the training loss for a batch of indices and the
-/// validation loss for the whole validation set.
+/// validation loss for the whole validation set. `task` labels log lines and
+/// is identical across every Fit* entry point, so `options.verbose` produces
+/// the same per-epoch reporting no matter which task is being trained.
 template <typename TrainStepFn, typename ValLossFn>
-FitResult FitLoop(nn::Module* model, int64_t train_size,
+FitResult FitLoop(nn::Module* model, const char* task, int64_t train_size,
                   const TrainOptions& options, TrainStepFn train_step,
                   ValLossFn val_loss_fn) {
   TS3_CHECK(model != nullptr);
@@ -29,34 +34,65 @@ FitResult FitLoop(nn::Module* model, int64_t train_size,
   adam_opt.lr = options.lr;
   nn::Adam adam(model->Parameters(), adam_opt);
 
+  // Run-record metrics: per-epoch series plus per-batch gauges. Recording is
+  // a handful of appends per epoch, so it stays on unconditionally; only the
+  // trace spans are gated on the global tracing flag.
+  auto* registry = obs::MetricsRegistry::Global();
+  obs::Series* loss_series = registry->series("train/epoch_loss");
+  obs::Series* val_series = registry->series("train/epoch_val_loss");
+  obs::Series* lr_series = registry->series("train/epoch_lr");
+  obs::Series* time_series = registry->series("train/epoch_time_ms");
+  obs::Series* grad_norm_series = registry->series("train/epoch_grad_norm");
+  obs::Gauge* grad_norm_gauge = registry->gauge("train/grad_norm");
+  obs::Counter* batch_counter = registry->counter("train/batches");
+
+  TS3_TRACE_SPAN("train/fit");
   data::BatchSampler sampler(train_size, options.batch_size, /*shuffle=*/true,
                              options.seed);
   FitResult result;
   float best_val = std::numeric_limits<float>::infinity();
+  int best_epoch = 0;
   int bad_epochs = 0;
 
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
-    if (options.lr_decay != 1.0f) {
-      adam.set_lr(options.lr *
-                  std::pow(options.lr_decay, static_cast<float>(epoch)));
-    }
+    TS3_TRACE_SPAN("train/epoch");
+    const int64_t epoch_start_ns = obs::NowNanos();
+    const float lr_now =
+        options.lr_decay != 1.0f
+            ? options.lr * std::pow(options.lr_decay, static_cast<float>(epoch))
+            : options.lr;
+    if (options.lr_decay != 1.0f) adam.set_lr(lr_now);
     model->SetTraining(true);
     sampler.Reset();
     std::vector<int64_t> indices;
     double epoch_loss = 0.0;
+    double epoch_grad_norm = 0.0;
     int64_t batches = 0;
     while (sampler.Next(&indices)) {
       if (options.max_batches_per_epoch > 0 &&
           batches >= options.max_batches_per_epoch) {
         break;
       }
+      TS3_TRACE_SPAN("train/batch");
       adam.ZeroGrad();
-      Tensor loss = train_step(indices);
+      Tensor loss;
+      {
+        TS3_TRACE_SPAN("train/forward");
+        loss = train_step(indices);
+      }
       epoch_loss += loss.item();
       ++batches;
-      loss.Backward();
+      batch_counter->Increment();
+      {
+        TS3_TRACE_SPAN("train/backward");
+        loss.Backward();
+      }
+      TS3_TRACE_SPAN("train/optimizer");
       if (options.clip_norm > 0.0f) {
-        nn::ClipGradNorm(model->Parameters(), options.clip_norm);
+        const float norm =
+            nn::ClipGradNorm(model->Parameters(), options.clip_norm);
+        grad_norm_gauge->Set(norm);
+        epoch_grad_norm += norm;
       }
       adam.Step();
     }
@@ -65,19 +101,44 @@ FitResult FitLoop(nn::Module* model, int64_t train_size,
     result.train_losses.push_back(train_loss);
 
     model->SetTraining(false);
-    const float val_loss = val_loss_fn();
+    float val_loss;
+    {
+      TS3_TRACE_SPAN("train/validate");
+      val_loss = val_loss_fn();
+    }
     result.val_losses.push_back(val_loss);
     result.epochs_run = epoch + 1;
+
+    const double epoch_ms =
+        static_cast<double>(obs::NowNanos() - epoch_start_ns) / 1e6;
+    const double grad_norm_mean =
+        batches > 0 ? epoch_grad_norm / static_cast<double>(batches) : 0.0;
+    loss_series->Append(train_loss);
+    val_series->Append(val_loss);
+    lr_series->Append(lr_now);
+    time_series->Append(epoch_ms);
+    grad_norm_series->Append(grad_norm_mean);
     if (options.verbose) {
-      TS3_LOG(Info) << "epoch " << epoch + 1 << "/" << options.epochs
-                    << " train " << train_loss << " val " << val_loss;
+      TS3_LOG(Info) << task << " epoch " << epoch + 1 << "/" << options.epochs
+                    << " train " << train_loss << " val " << val_loss << " lr "
+                    << lr_now << " grad_norm "
+                    << StrFormat("%.3g", grad_norm_mean) << " ("
+                    << StrFormat("%.1f", epoch_ms) << " ms)";
     }
 
     if (val_loss < best_val - 1e-6f) {
       best_val = val_loss;
+      best_epoch = epoch + 1;
       bad_epochs = 0;
     } else if (++bad_epochs >= options.patience) {
       result.early_stopped = true;
+      registry->gauge("train/early_stop_epoch")->Set(epoch + 1);
+      if (options.verbose) {
+        TS3_LOG(Info) << task << " early stop at epoch " << epoch + 1
+                      << ": val loss " << val_loss << " has not improved on "
+                      << best_val << " (epoch " << best_epoch << ") for "
+                      << options.patience << " epoch(s)";
+      }
       break;
     }
   }
@@ -100,13 +161,15 @@ FitResult FitForecast(nn::Module* model, const data::ForecastDataset& train,
                                     options.max_batches_per_epoch);
     return static_cast<float>(r.mse);
   };
-  return FitLoop(model, train.size(), options, train_step, val_loss);
+  return FitLoop(model, "forecast", train.size(), options, train_step,
+                 val_loss);
 }
 
 EvalResult EvaluateForecast(nn::Module* model,
                             const data::ForecastDataset& dataset,
                             int64_t batch_size, int64_t max_batches) {
   TS3_CHECK(model != nullptr);
+  TS3_TRACE_SPAN("eval/forecast");
   model->SetTraining(false);
   data::BatchSampler sampler(dataset.size(), batch_size, /*shuffle=*/false, 0);
   MetricAccumulator acc;
@@ -120,7 +183,7 @@ EvalResult EvaluateForecast(nn::Module* model,
     acc.Add(model->Forward(x).Detach(), y);
     ++batches;
   }
-  return {acc.Mse(), acc.Mae()};
+  return {acc.Mse(), acc.Mae(), acc.count()};
 }
 
 FitResult FitImputation(nn::Module* model,
@@ -139,13 +202,15 @@ FitResult FitImputation(nn::Module* model,
                                       options.max_batches_per_epoch);
     return static_cast<float>(r.mse);
   };
-  return FitLoop(model, train.size(), options, train_step, val_loss);
+  return FitLoop(model, "imputation", train.size(), options, train_step,
+                 val_loss);
 }
 
 EvalResult EvaluateImputation(nn::Module* model,
                               const data::ImputationDataset& dataset,
                               int64_t batch_size, int64_t max_batches) {
   TS3_CHECK(model != nullptr);
+  TS3_TRACE_SPAN("eval/imputation");
   model->SetTraining(false);
   data::BatchSampler sampler(dataset.size(), batch_size, /*shuffle=*/false, 0);
   MetricAccumulator acc;
@@ -159,13 +224,14 @@ EvalResult EvaluateImputation(nn::Module* model,
     acc.AddMasked(model->Forward(x).Detach(), y, mask, /*mask_value=*/0.0f);
     ++batches;
   }
-  return {acc.Mse(), acc.Mae()};
+  return {acc.Mse(), acc.Mae(), acc.count()};
 }
 
 EvalResult EvaluateWalkForward(nn::Module* model, const Tensor& series,
                                int64_t lookback, int64_t horizon,
                                int64_t batch_size) {
   TS3_CHECK(model != nullptr);
+  TS3_TRACE_SPAN("eval/walk_forward");
   TS3_CHECK_EQ(series.ndim(), 2) << "EvaluateWalkForward expects [T, C]";
   TS3_CHECK_GE(series.dim(0), lookback + horizon);
   model->SetTraining(false);
@@ -187,7 +253,7 @@ EvalResult EvaluateWalkForward(nn::Module* model, const Tensor& series,
     windows.GetBatch(batch, &x, &y);
     acc.Add(model->Forward(x).Detach(), y);
   }
-  return {acc.Mse(), acc.Mae()};
+  return {acc.Mse(), acc.Mae(), acc.count()};
 }
 
 FitResult FitClassification(nn::Module* model,
@@ -216,13 +282,15 @@ FitResult FitClassification(nn::Module* model,
     }
     return batches > 0 ? static_cast<float>(total / batches) : 0.0f;
   };
-  return FitLoop(model, train.size(), options, train_step, val_loss);
+  return FitLoop(model, "classification", train.size(), options, train_step,
+                 val_loss);
 }
 
 double EvaluateAccuracy(nn::Module* model,
                         const data::ClassificationData& dataset,
                         int64_t batch_size) {
   TS3_CHECK(model != nullptr);
+  TS3_TRACE_SPAN("eval/accuracy");
   model->SetTraining(false);
   NoGradGuard no_grad;
   data::BatchSampler sampler(dataset.size(), batch_size, /*shuffle=*/false, 0);

@@ -28,9 +28,13 @@ struct TrainOptions {
   bool verbose = false;
 };
 
+/// `count` is the number of scored elements; 0 means the evaluation saw no
+/// windows at all, in which case mse/mae are NaN (never a fake 0.0) so empty
+/// cells cannot masquerade as perfect scores.
 struct EvalResult {
   double mse = 0.0;
   double mae = 0.0;
+  int64_t count = 0;
 };
 
 struct FitResult {

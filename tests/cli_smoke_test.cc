@@ -1,0 +1,129 @@
+// End-to-end smoke test of ts3net_cli with the observability flags: runs a
+// tiny 1-epoch training and parses back the exported Chrome trace and
+// metrics JSON. TS3_CLI_PATH is injected by CMake as the built binary path.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/obs/json.h"
+
+namespace ts3net {
+namespace {
+
+std::string CliPath() { return TS3_CLI_PATH; }
+
+int RunCommand(const std::string& cmd) {
+  std::fprintf(stderr, "[cli_smoke] %s\n", cmd.c_str());
+  const int status = std::system(cmd.c_str());
+  return status;
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "";
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class CliSmokeTest : public ::testing::Test {
+ protected:
+  std::string Tmp(const std::string& name) {
+    return ::testing::TempDir() + "ts3_cli_smoke_" + name;
+  }
+};
+
+TEST_F(CliSmokeTest, HelpExitsCleanly) {
+  EXPECT_EQ(RunCommand(CliPath() + " help > /dev/null"), 0);
+}
+
+TEST_F(CliSmokeTest, TrainWithObsFlagsExportsValidJson) {
+  const std::string csv = Tmp("series.csv");
+  const std::string trace = Tmp("trace.json");
+  const std::string metrics = Tmp("metrics.json");
+
+  ASSERT_EQ(RunCommand(CliPath() +
+                       " generate --dataset=ETTh1 --fraction=0.05 --out=" +
+                       csv + " > /dev/null"),
+            0);
+
+  // Tiny 1-epoch train with every obs flag on; must exit cleanly and write
+  // both export files.
+  ASSERT_EQ(RunCommand(CliPath() + " forecast --csv=" + csv +
+                       " --lookback=32 --horizon=8 --epochs=1 --batches=2" +
+                       " --dmodel=8 --lambda=4 --ts3_num_threads=2" +
+                       " --ts3_log_level=debug --ts3_profile" +
+                       " --ts3_trace=" + trace +
+                       " --ts3_metrics_json=" + metrics + " > /dev/null 2> " +
+                       Tmp("stderr.txt")),
+            0);
+
+  // The profile table goes to stderr.
+  const std::string stderr_text = ReadFileOrEmpty(Tmp("stderr.txt"));
+  EXPECT_NE(stderr_text.find("span profile"), std::string::npos);
+  EXPECT_NE(stderr_text.find("train/epoch"), std::string::npos);
+
+  // Trace file: well-formed JSON containing the expected span names from
+  // every instrumented layer (trainer, autograd ops, CWT, thread pool).
+  const std::string trace_json = ReadFileOrEmpty(trace);
+  ASSERT_FALSE(trace_json.empty()) << "trace file missing: " << trace;
+  std::string error;
+  EXPECT_TRUE(obs::JsonValidate(trace_json, &error)) << error;
+  EXPECT_NE(trace_json.find("\"traceEvents\""), std::string::npos);
+  for (const char* span :
+       {"train/fit", "train/epoch", "train/batch", "train/forward",
+        "train/backward", "autograd/backward", "op/", "bw/", "cwt/",
+        "pool/parallel_for", "eval/forecast", "eval/walk_forward"}) {
+    EXPECT_NE(trace_json.find(span), std::string::npos)
+        << "span missing from trace: " << span;
+  }
+
+  // Metrics file: well-formed JSON with the training series and the
+  // dispatch counters.
+  const std::string metrics_json = ReadFileOrEmpty(metrics);
+  ASSERT_FALSE(metrics_json.empty()) << "metrics file missing: " << metrics;
+  EXPECT_TRUE(obs::JsonValidate(metrics_json, &error)) << error;
+  for (const char* key :
+       {"\"counters\"", "\"gauges\"", "\"histograms\"", "\"series\"",
+        "train/epoch_loss", "train/epoch_val_loss", "train/epoch_lr",
+        "train/epoch_time_ms", "train/epoch_grad_norm",
+        "autograd/ops_dispatched"}) {
+    EXPECT_NE(metrics_json.find(key), std::string::npos)
+        << "key missing from metrics: " << key;
+  }
+
+  std::remove(csv.c_str());
+  std::remove(trace.c_str());
+  std::remove(metrics.c_str());
+}
+
+TEST_F(CliSmokeTest, MetricsJsonWithoutTracing) {
+  const std::string csv = Tmp("series2.csv");
+  const std::string metrics = Tmp("metrics2.json");
+  ASSERT_EQ(RunCommand(CliPath() +
+                       " generate --dataset=Exchange --fraction=0.05 --out=" +
+                       csv + " > /dev/null"),
+            0);
+  // --ts3_metrics_json alone must work without span recording.
+  ASSERT_EQ(RunCommand(CliPath() + " forecast --csv=" + csv +
+                       " --lookback=32 --horizon=8 --epochs=1 --batches=2" +
+                       " --dmodel=8 --lambda=4 --ts3_metrics_json=" + metrics +
+                       " > /dev/null 2>&1"),
+            0);
+  const std::string metrics_json = ReadFileOrEmpty(metrics);
+  ASSERT_FALSE(metrics_json.empty());
+  std::string error;
+  EXPECT_TRUE(obs::JsonValidate(metrics_json, &error)) << error;
+  EXPECT_NE(metrics_json.find("train/epoch_loss"), std::string::npos);
+
+  std::remove(csv.c_str());
+  std::remove(metrics.c_str());
+}
+
+}  // namespace
+}  // namespace ts3net

@@ -1,0 +1,377 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/obs/json.h"
+#include "common/obs/metrics.h"
+#include "common/obs/obs.h"
+#include "common/obs/trace.h"
+#include "common/threadpool.h"
+
+namespace ts3net {
+namespace obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Zero overhead when disabled. This test runs first in the binary on purpose:
+// with tracing off, a parallel workload must leave the metrics registry
+// completely untouched and record no spans.
+// ---------------------------------------------------------------------------
+
+TEST(ObsDisabledTest, RegistryAndTraceStayEmpty) {
+  ASSERT_FALSE(TracingEnabled());
+  ThreadPool pool(4);
+  std::atomic<int64_t> sink{0};
+  {
+    TS3_TRACE_SPAN("disabled/outer");
+    pool.ParallelFor(0, 10000, 1, [&](int64_t lo, int64_t hi) {
+      TS3_TRACE_SPAN("disabled/chunk");
+      sink.fetch_add(hi - lo, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(sink.load(), 10000);
+  EXPECT_TRUE(MetricsRegistry::Global()->CounterValues().empty());
+  EXPECT_TRUE(CollectEvents().empty());
+}
+
+// ---------------------------------------------------------------------------
+// JSON writer + validator
+// ---------------------------------------------------------------------------
+
+TEST(JsonTest, WriterProducesValidJson) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name");
+  w.String("bench \"quoted\" \\ \n tab\t");
+  w.Key("values");
+  w.BeginArray();
+  w.Int(-3);
+  w.Double(1.5);
+  w.Bool(true);
+  w.Null();
+  w.BeginObject();
+  w.Key("nested");
+  w.Int(1);
+  w.EndObject();
+  w.EndArray();
+  w.Key("empty_obj");
+  w.BeginObject();
+  w.EndObject();
+  w.Key("empty_arr");
+  w.BeginArray();
+  w.EndArray();
+  w.EndObject();
+
+  std::string error;
+  EXPECT_TRUE(JsonValidate(w.str(), &error)) << error << "\n" << w.str();
+}
+
+TEST(JsonTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Double(std::nan(""));
+  w.Double(std::numeric_limits<double>::infinity());
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[null,null]");
+  EXPECT_TRUE(JsonValidate(w.str()));
+}
+
+TEST(JsonTest, ValidatorAcceptsAndRejects) {
+  EXPECT_TRUE(JsonValidate("{\"a\": [1, 2.5, -3e-2, \"x\\u00e9\", null]}"));
+  EXPECT_TRUE(JsonValidate("  42  "));
+  std::string error;
+  EXPECT_FALSE(JsonValidate("", &error));
+  EXPECT_FALSE(JsonValidate("{\"a\": }", &error));
+  EXPECT_FALSE(JsonValidate("[1, 2", &error));
+  EXPECT_FALSE(JsonValidate("{\"a\": 1} trailing", &error));
+  EXPECT_FALSE(JsonValidate("[01]", &error));
+  EXPECT_FALSE(JsonValidate("NaN", &error));
+}
+
+// ---------------------------------------------------------------------------
+// Counters, gauges, series
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, CounterIsExactUnderParallelFor) {
+  Counter* c = MetricsRegistry::Global()->counter("test/parallel_counter");
+  const int64_t before = c->value();
+  ThreadPool pool(4);
+  pool.ParallelFor(0, 100000, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) c->Increment();
+  });
+  EXPECT_EQ(c->value() - before, 100000);
+}
+
+TEST(MetricsTest, RegistryReturnsStablePointers) {
+  auto* registry = MetricsRegistry::Global();
+  EXPECT_EQ(registry->counter("test/stable"), registry->counter("test/stable"));
+  EXPECT_EQ(registry->gauge("test/stable_g"),
+            registry->gauge("test/stable_g"));
+  registry->gauge("test/stable_g")->Set(-2.5);
+  EXPECT_DOUBLE_EQ(registry->gauge("test/stable_g")->value(), -2.5);
+}
+
+TEST(MetricsTest, SeriesKeepsOrder) {
+  Series* s = MetricsRegistry::Global()->series("test/series");
+  s->Append(1.0);
+  s->Append(2.0);
+  s->Append(3.0);
+  EXPECT_EQ(s->values(), (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+// ---------------------------------------------------------------------------
+// Histogram bucket / percentile math
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, BucketCounts) {
+  Histogram h({1.0, 2.0, 5.0});
+  for (double v : {0.5, 1.0, 1.5, 3.0, 4.0, 7.0}) h.Observe(v);
+  // Buckets: (-inf,1], (1,2], (2,5], overflow.
+  EXPECT_EQ(h.BucketCounts(), (std::vector<int64_t>{2, 1, 2, 1}));
+  EXPECT_EQ(h.count(), 6);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 3.0 + 4.0 + 7.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 7.0);
+  EXPECT_DOUBLE_EQ(h.mean(), h.sum() / 6.0);
+}
+
+TEST(HistogramTest, EmptyReportsNaN) {
+  Histogram h({1.0, 2.0});
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_TRUE(std::isnan(h.mean()));
+  EXPECT_TRUE(std::isnan(h.min()));
+  EXPECT_TRUE(std::isnan(h.max()));
+  EXPECT_TRUE(std::isnan(h.Percentile(50)));
+}
+
+TEST(HistogramTest, PercentileInterpolation) {
+  // 100 observations uniformly filling the (0, 100] bucket in steps of 1.
+  Histogram h({0.0, 100.0});
+  for (int i = 1; i <= 100; ++i) h.Observe(i);
+  // Rank p lands inside the (0,100] bucket; linear interpolation from the
+  // bucket's lower edge (min=1 caps the first edge) to its upper bound.
+  const double p50 = h.Percentile(50);
+  EXPECT_GT(p50, 40.0);
+  EXPECT_LT(p50, 60.0);
+  const double p99 = h.Percentile(99);
+  EXPECT_GT(p99, 95.0);
+  EXPECT_LE(p99, 100.0);
+  EXPECT_LE(h.Percentile(0), h.Percentile(50));
+  EXPECT_LE(h.Percentile(50), h.Percentile(100));
+}
+
+TEST(HistogramTest, OverflowPercentileReportsMax) {
+  Histogram h({1.0});
+  h.Observe(50.0);
+  h.Observe(80.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 80.0);
+}
+
+TEST(HistogramTest, ObserveIsThreadSafe) {
+  Histogram* h = MetricsRegistry::Global()->histogram(
+      "test/parallel_hist", {10.0, 100.0, 1000.0});
+  ThreadPool pool(4);
+  pool.ParallelFor(0, 10000, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) h->Observe(static_cast<double>(i % 2000));
+  });
+  EXPECT_EQ(h->count(), 10000);
+  int64_t total = 0;
+  for (int64_t c : h->BucketCounts()) total += c;
+  EXPECT_EQ(total, 10000);
+}
+
+TEST(MetricsTest, ToJsonIsValid) {
+  auto* registry = MetricsRegistry::Global();
+  registry->counter("test/json_counter")->Increment(7);
+  registry->gauge("test/json_gauge")->Set(1.25);
+  registry->histogram("test/json_hist")->Observe(42.0);
+  registry->series("test/json_series")->Append(0.5);
+  registry->series("test/json_nan_series")
+      ->Append(std::numeric_limits<double>::quiet_NaN());
+  const std::string json = registry->ToJson();
+  std::string error;
+  EXPECT_TRUE(JsonValidate(json, &error)) << error;
+  EXPECT_NE(json.find("test/json_counter"), std::string::npos);
+  EXPECT_NE(json.find("test/json_series"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Trace spans
+// ---------------------------------------------------------------------------
+
+std::vector<TraceEvent> EventsNamed(const std::vector<TraceEvent>& events,
+                                    const std::string& name) {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events) {
+    if (e.name == name) out.push_back(e);
+  }
+  return out;
+}
+
+bool Contains(const TraceEvent& outer, const TraceEvent& inner) {
+  return outer.tid == inner.tid && outer.start_ns <= inner.start_ns &&
+         inner.start_ns + inner.dur_ns <= outer.start_ns + outer.dur_ns;
+}
+
+TEST(TraceTest, SpansNestOnOneThread) {
+  StartTracing();
+  {
+    TS3_TRACE_SPAN("outer");
+    TS3_TRACE_SPAN("inner");
+  }
+  StopTracing();
+  auto events = CollectEvents();
+  auto outer = EventsNamed(events, "outer");
+  auto inner = EventsNamed(events, "inner");
+  ASSERT_EQ(outer.size(), 1u);
+  ASSERT_EQ(inner.size(), 1u);
+  EXPECT_TRUE(Contains(outer[0], inner[0]));
+}
+
+TEST(TraceTest, StartTracingClearsPreviousEvents) {
+  StartTracing();
+  { TS3_TRACE_SPAN("first_run"); }
+  StopTracing();
+  StartTracing();
+  { TS3_TRACE_SPAN("second_run"); }
+  StopTracing();
+  auto events = CollectEvents();
+  EXPECT_TRUE(EventsNamed(events, "first_run").empty());
+  EXPECT_EQ(EventsNamed(events, "second_run").size(), 1u);
+}
+
+TEST(TraceTest, SpansNestAcrossPoolTasks) {
+  ThreadPool pool(4);
+  StartTracing();
+  pool.ParallelFor(0, 1024, 1, [&](int64_t lo, int64_t hi) {
+    TS3_TRACE_SPAN("work");
+    volatile double x = 0;
+    for (int64_t i = lo; i < hi; ++i) x = x + static_cast<double>(i);
+  });
+  StopTracing();
+  auto events = CollectEvents();
+
+  // The caller records one pool/parallel_for span; each executed chunk opens
+  // a pool/chunk span on the thread that ran it, and the user span recorded
+  // inside the chunk body must be contained in a chunk span on its own tid.
+  ASSERT_EQ(EventsNamed(events, "pool/parallel_for").size(), 1u);
+  auto chunks = EventsNamed(events, "pool/chunk");
+  auto work = EventsNamed(events, "work");
+  ASSERT_FALSE(chunks.empty());
+  ASSERT_EQ(work.size(), chunks.size());
+  for (const TraceEvent& w : work) {
+    bool contained = false;
+    for (const TraceEvent& c : chunks) contained = contained || Contains(c, w);
+    EXPECT_TRUE(contained) << "work span not nested in any chunk (tid "
+                           << w.tid << ")";
+  }
+  // Worker-side passes record pool/task spans; every chunk that ran on a
+  // worker thread (a tid with task spans) must nest inside one of its tasks.
+  auto tasks = EventsNamed(events, "pool/task");
+  for (const TraceEvent& c : chunks) {
+    bool tid_has_tasks = false;
+    bool contained = false;
+    for (const TraceEvent& t : tasks) {
+      if (t.tid != c.tid) continue;
+      tid_has_tasks = true;
+      contained = contained || Contains(t, c);
+    }
+    if (tid_has_tasks) {
+      EXPECT_TRUE(contained) << "chunk on tid " << c.tid
+                             << " not nested in any pool/task";
+    }
+  }
+}
+
+TEST(TraceTest, PoolCountersRecordedWhileTracing) {
+  auto* registry = MetricsRegistry::Global();
+  ThreadPool pool(2);
+  StartTracing();
+  pool.ParallelFor(0, 4096, 1, [](int64_t, int64_t) {});
+  StopTracing();
+  EXPECT_GE(registry->counter("threadpool/parallel_for_calls")->value(), 1);
+  EXPECT_GE(registry->counter("threadpool/chunks_executed")->value(), 1);
+}
+
+TEST(TraceTest, ChromeTraceJsonIsValidAndComplete) {
+  StartTracing();
+  {
+    TS3_TRACE_SPAN("chrome_outer");
+    TS3_TRACE_SPAN("chrome_inner");
+  }
+  StopTracing();
+  const std::string json = ChromeTraceJson();
+  std::string error;
+  ASSERT_TRUE(JsonValidate(json, &error)) << error;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("chrome_outer"), std::string::npos);
+  EXPECT_NE(json.find("chrome_inner"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+}
+
+TEST(TraceTest, AggregateSpansAndProfileTable) {
+  StartTracing();
+  { TS3_TRACE_SPAN("agg/a"); }
+  { TS3_TRACE_SPAN("agg/a"); }
+  { TS3_TRACE_SPAN("agg/b"); }
+  StopTracing();
+  auto stats = AggregateSpans();
+  int64_t a_count = 0, b_count = 0;
+  for (const SpanStats& s : stats) {
+    if (s.name == "agg/a") a_count = s.count;
+    if (s.name == "agg/b") b_count = s.count;
+    EXPECT_GE(s.total_ms, 0.0);
+    EXPECT_GE(s.wall_share, 0.0);
+  }
+  EXPECT_EQ(a_count, 2);
+  EXPECT_EQ(b_count, 1);
+  const std::string table = ProfileTable();
+  EXPECT_NE(table.find("agg/a"), std::string::npos);
+  EXPECT_NE(table.find("agg/b"), std::string::npos);
+}
+
+TEST(TraceTest, DynamicSpanSkipsWorkWhenDisabled) {
+  ASSERT_FALSE(TracingEnabled());
+  {
+    TraceSpan span;
+    span.Start("never/recorded");
+  }
+  EXPECT_TRUE(EventsNamed(CollectEvents(), "never/recorded").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Obs flag plumbing
+// ---------------------------------------------------------------------------
+
+TEST(ObsOptionsTest, ParseLogLevel) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("WARN", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("Error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_EQ(level, LogLevel::kError);  // untouched on failure
+}
+
+TEST(ObsOptionsTest, TracingRequested) {
+  ObsOptions o;
+  EXPECT_FALSE(o.tracing_requested());
+  o.profile = true;
+  EXPECT_TRUE(o.tracing_requested());
+  o.profile = false;
+  o.trace_path = "t.json";
+  EXPECT_TRUE(o.tracing_requested());
+  o.metrics_json_path = "m.json";  // metrics alone do not need span recording
+  o.trace_path.clear();
+  EXPECT_FALSE(o.tracing_requested());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ts3net

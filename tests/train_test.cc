@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "data/synthetic.h"
 #include "data/window.h"
 #include "train/experiment.h"
@@ -41,10 +43,12 @@ TEST(MetricsTest, MaskedOnlyCountsSelectedPositions) {
   EXPECT_DOUBLE_EQ(acc.Mse(), 1.0);
 }
 
-TEST(MetricsTest, EmptyAccumulatorIsZero) {
+TEST(MetricsTest, EmptyAccumulatorIsNaN) {
+  // NaN, not 0.0: an evaluation that scored nothing must not look perfect.
   MetricAccumulator acc;
-  EXPECT_DOUBLE_EQ(acc.Mse(), 0.0);
-  EXPECT_DOUBLE_EQ(acc.Mae(), 0.0);
+  EXPECT_EQ(acc.count(), 0);
+  EXPECT_TRUE(std::isnan(acc.Mse()));
+  EXPECT_TRUE(std::isnan(acc.Mae()));
 }
 
 // ---------------------------------------------------------------------------
