@@ -1,91 +1,160 @@
 #include "nn/serialize.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <type_traits>
+
+#include "common/logging.h"
 
 namespace ts3net {
 namespace nn {
 
 namespace {
+
 constexpr char kMagic[8] = {'T', 'S', '3', 'C', 'K', 'P', 'T', '1'};
+
+// Scalar byte IO goes through a stack byte buffer with std::memcpy, never a
+// reinterpret_cast of the object's own address: the stream never sees a
+// pointer whose alignment or dynamic type it could violate, which keeps this
+// file clean under -fsanitize=undefined (alignment, object-size) and under
+// ts3lint. Bulk float payloads use the same staging pattern chunk-wise.
+
+template <typename T>
+void WriteScalar(std::ostream& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  char buf[sizeof(T)];
+  std::memcpy(buf, &value, sizeof(T));
+  out.write(buf, sizeof(T));
+}
+
+template <typename T>
+bool ReadScalar(std::istream& in, T* value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  char buf[sizeof(T)];
+  in.read(buf, sizeof(T));
+  if (!in.good()) return false;
+  std::memcpy(value, buf, sizeof(T));
+  return true;
+}
+
+// 64 KiB staging chunks: large enough to amortize stream calls, small enough
+// to stay on the stack-adjacent hot path of every checkpoint save/load.
+constexpr size_t kChunkBytes = 1 << 16;
+
+void WriteFloats(std::ostream& out, const float* data, size_t count) {
+  char buf[kChunkBytes];
+  size_t done = 0;
+  while (done < count) {
+    const size_t n = std::min(count - done, kChunkBytes / sizeof(float));
+    std::memcpy(buf, data + done, n * sizeof(float));
+    out.write(buf, static_cast<std::streamsize>(n * sizeof(float)));
+    done += n;
+  }
+}
+
+bool ReadFloats(std::istream& in, float* data, size_t count) {
+  char buf[kChunkBytes];
+  size_t done = 0;
+  while (done < count) {
+    const size_t n = std::min(count - done, kChunkBytes / sizeof(float));
+    in.read(buf, static_cast<std::streamsize>(n * sizeof(float)));
+    if (!in.good()) return false;
+    std::memcpy(data + done, buf, n * sizeof(float));
+    done += n;
+  }
+  return true;
+}
+
+Status FailSave(const std::string& why, const std::string& path) {
+  TS3_LOG(Error) << "checkpoint save failed (" << why << "): " << path;
+  return Status::IOError(why + ": " + path);
+}
+
+Status FailLoad(const std::string& why, const std::string& path) {
+  TS3_LOG(Error) << "checkpoint load failed (" << why << "): " << path;
+  return Status::InvalidArgument(why + ": " + path);
+}
+
 }  // namespace
 
 Status SaveParameters(const Module& module, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
-  if (!out.is_open()) return Status::IOError("cannot write " + path);
+  if (!out.is_open()) return FailSave("cannot write", path);
   out.write(kMagic, sizeof(kMagic));
   const auto named = module.NamedParameters();
-  const uint64_t count = named.size();
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  WriteScalar(out, static_cast<uint64_t>(named.size()));
   for (const auto& [name, p] : named) {
-    const uint32_t name_len = static_cast<uint32_t>(name.size());
-    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
-    out.write(name.data(), name_len);
-    const uint32_t ndim = static_cast<uint32_t>(p.shape().size());
-    out.write(reinterpret_cast<const char*>(&ndim), sizeof(ndim));
-    for (int64_t d : p.shape()) {
-      out.write(reinterpret_cast<const char*>(&d), sizeof(d));
-    }
-    out.write(reinterpret_cast<const char*>(p.data()),
-              static_cast<std::streamsize>(p.numel() * sizeof(float)));
+    WriteScalar(out, static_cast<uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    WriteScalar(out, static_cast<uint32_t>(p.shape().size()));
+    for (int64_t d : p.shape()) WriteScalar(out, d);
+    WriteFloats(out, p.data(), static_cast<size_t>(p.numel()));
   }
-  return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
+  if (!out.good()) return FailSave("write failed", path);
+  TS3_LOG(Debug) << "saved checkpoint with " << named.size()
+                 << " parameters to " << path;
+  return Status::OK();
 }
 
 Status LoadParameters(Module* module, const std::string& path) {
   if (module == nullptr) return Status::InvalidArgument("null module");
   std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) return Status::IOError("cannot open " + path);
-  char magic[8];
+  if (!in.is_open()) {
+    TS3_LOG(Error) << "checkpoint load failed (cannot open): " << path;
+    return Status::IOError("cannot open " + path);
+  }
+  char magic[sizeof(kMagic)];
   in.read(magic, sizeof(magic));
   if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument("not a ts3net checkpoint: " + path);
+    return FailLoad("not a ts3net checkpoint", path);
   }
   uint64_t count = 0;
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!ReadScalar(in, &count)) return FailLoad("corrupt checkpoint", path);
 
   std::map<std::string, Tensor> params;
   for (auto& [name, p] : module->NamedParameters()) params.emplace(name, p);
   if (count != params.size()) {
-    return Status::InvalidArgument(
-        "checkpoint parameter count mismatch: file has " +
-        std::to_string(count) + ", module has " +
-        std::to_string(params.size()));
+    return FailLoad("parameter count mismatch: file has " +
+                        std::to_string(count) + ", module has " +
+                        std::to_string(params.size()),
+                    path);
   }
 
   for (uint64_t i = 0; i < count; ++i) {
     uint32_t name_len = 0;
-    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
-    if (!in.good() || name_len > 4096) {
-      return Status::InvalidArgument("corrupt checkpoint: " + path);
+    if (!ReadScalar(in, &name_len) || name_len > 4096) {
+      return FailLoad("corrupt checkpoint", path);
     }
     std::string name(name_len, '\0');
     in.read(name.data(), name_len);
     uint32_t ndim = 0;
-    in.read(reinterpret_cast<char*>(&ndim), sizeof(ndim));
-    if (!in.good() || ndim > 16) {
-      return Status::InvalidArgument("corrupt checkpoint: " + path);
+    if (!in.good() || !ReadScalar(in, &ndim) || ndim > 16) {
+      return FailLoad("corrupt checkpoint", path);
     }
     Shape shape(ndim);
     for (uint32_t d = 0; d < ndim; ++d) {
-      in.read(reinterpret_cast<char*>(&shape[d]), sizeof(int64_t));
+      if (!ReadScalar(in, &shape[d])) {
+        return FailLoad("corrupt checkpoint", path);
+      }
     }
     auto it = params.find(name);
     if (it == params.end()) {
-      return Status::InvalidArgument("unknown parameter in checkpoint: " +
-                                     name);
+      return FailLoad("unknown parameter in checkpoint: " + name, path);
     }
     if (it->second.shape() != shape) {
-      return Status::InvalidArgument("shape mismatch for parameter " + name);
+      return FailLoad("shape mismatch for parameter " + name, path);
     }
-    in.read(reinterpret_cast<char*>(it->second.data()),
-            static_cast<std::streamsize>(it->second.numel() * sizeof(float)));
-    if (!in.good()) {
+    if (!ReadFloats(in, it->second.data(),
+                    static_cast<size_t>(it->second.numel()))) {
+      TS3_LOG(Error) << "checkpoint load failed (truncated): " << path;
       return Status::IOError("truncated checkpoint: " + path);
     }
   }
+  TS3_LOG(Debug) << "loaded checkpoint with " << count << " parameters from "
+                 << path;
   return Status::OK();
 }
 

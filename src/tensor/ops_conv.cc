@@ -13,6 +13,7 @@ namespace {
 /// window are a configuration error; ValidateModelConfig rejects them before
 /// any kernel runs (see models/model_config.h).
 Tensor AvgPool1dValid(const Tensor& x, int64_t k) {
+  TS3_TRACE_SPAN("op/AvgPool1dValid");
   TS3_CHECK_EQ(x.ndim(), 3);
   const int64_t b = x.dim(0), t = x.dim(1), c = x.dim(2);
   TS3_CHECK_GE(t, k);

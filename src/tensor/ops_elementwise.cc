@@ -226,6 +226,7 @@ Tensor Maximum(const Tensor& a, const Tensor& b) { return BinaryOp(kMax, a, b); 
 Tensor Minimum(const Tensor& a, const Tensor& b) { return BinaryOp(kMin, a, b); }
 
 Tensor AddScalar(const Tensor& a, float s) {
+  TS3_TRACE_SPAN("op/AddScalar");
   std::vector<float> out(a.data(), a.data() + a.numel());
   ParallelFor(0, a.numel(), kElementwiseGrain, [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) out[i] += s;
@@ -238,6 +239,7 @@ Tensor AddScalar(const Tensor& a, float s) {
 }
 
 Tensor MulScalar(const Tensor& a, float s) {
+  TS3_TRACE_SPAN("op/MulScalar");
   std::vector<float> out(a.data(), a.data() + a.numel());
   ParallelFor(0, a.numel(), kElementwiseGrain, [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) out[i] *= s;

@@ -172,6 +172,7 @@ Tensor Variance(const Tensor& a, const std::vector<int>& dims, bool keepdim) {
 }
 
 Tensor Max(const Tensor& a, int dim, bool keepdim) {
+  TS3_TRACE_SPAN("op/Max");
   TS3_CHECK(a.defined());
   const int nd = a.ndim();
   dim = NormalizeDim(dim, nd);

@@ -2,6 +2,7 @@
 #include <cstring>
 #include <numeric>
 
+#include "common/obs/trace.h"
 #include "tensor/ops.h"
 
 namespace ts3net {
@@ -45,6 +46,7 @@ std::vector<float> PermuteData(const float* src, const Shape& src_shape,
 }  // namespace
 
 Tensor Reshape(const Tensor& a, const Shape& shape) {
+  TS3_TRACE_SPAN("op/Reshape");
   TS3_CHECK(a.defined());
   Shape out_shape = shape;
   int64_t known = 1;
@@ -97,6 +99,7 @@ Tensor Squeeze(const Tensor& a, int dim) {
 }
 
 Tensor Permute(const Tensor& a, const std::vector<int>& dims) {
+  TS3_TRACE_SPAN("op/Permute");
   TS3_CHECK(a.defined());
   const size_t nd = a.shape().size();
   TS3_CHECK_EQ(dims.size(), nd);
@@ -137,6 +140,7 @@ Tensor Transpose(const Tensor& a, int dim0, int dim1) {
 }
 
 Tensor Slice(const Tensor& a, int dim, int64_t start, int64_t length) {
+  TS3_TRACE_SPAN("op/Slice");
   TS3_CHECK(a.defined());
   dim = NormalizeDim(dim, a.ndim());
   TS3_CHECK(start >= 0 && length >= 0 && start + length <= a.shape()[dim])
@@ -154,11 +158,14 @@ Tensor Slice(const Tensor& a, int dim, int64_t start, int64_t length) {
   const int64_t in_axis = in_shape[dim];
 
   std::vector<float> out(static_cast<size_t>(outer * length * inner));
+  // A zero-length slice copies nothing; skip the loop so memcpy never sees
+  // the null data() of an empty vector (nonnull-attribute UB).
+  const size_t row_bytes = sizeof(float) * static_cast<size_t>(length * inner);
   const float* src = a.data();
-  for (int64_t o = 0; o < outer; ++o) {
+  for (int64_t o = 0; row_bytes != 0 && o < outer; ++o) {
     const float* s = src + (o * in_axis + start) * inner;
     float* d = out.data() + o * length * inner;
-    std::memcpy(d, s, sizeof(float) * static_cast<size_t>(length * inner));
+    std::memcpy(d, s, row_bytes);
   }
 
   Tensor ta = a;
@@ -167,17 +174,20 @@ Tensor Slice(const Tensor& a, int dim, int64_t start, int64_t length) {
       [ta, outer, inner, in_axis, start, length](const Tensor& grad_out) mutable {
         if (!ta.requires_grad()) return;
         std::vector<float> g(static_cast<size_t>(ta.numel()), 0.0f);
+        const size_t row_bytes =
+            sizeof(float) * static_cast<size_t>(length * inner);
         const float* go = grad_out.data();
-        for (int64_t o = 0; o < outer; ++o) {
+        for (int64_t o = 0; row_bytes != 0 && o < outer; ++o) {
           float* d = g.data() + (o * in_axis + start) * inner;
           const float* s = go + o * length * inner;
-          std::memcpy(d, s, sizeof(float) * static_cast<size_t>(length * inner));
+          std::memcpy(d, s, row_bytes);
         }
         ta.AccumulateGrad(Tensor::FromData(std::move(g), ta.shape()));
       });
 }
 
 Tensor Concat(const std::vector<Tensor>& tensors, int dim) {
+  TS3_TRACE_SPAN("op/Concat");
   TS3_CHECK(!tensors.empty());
   const Tensor& first = tensors[0];
   dim = NormalizeDim(dim, first.ndim());
@@ -247,6 +257,7 @@ Tensor StackTensors(const std::vector<Tensor>& tensors, int dim) {
 
 Tensor Pad(const Tensor& a, int dim, int64_t before, int64_t after,
            float value) {
+  TS3_TRACE_SPAN("op/Pad");
   TS3_CHECK(a.defined());
   TS3_CHECK(before >= 0 && after >= 0);
   dim = NormalizeDim(dim, a.ndim());

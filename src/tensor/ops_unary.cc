@@ -106,6 +106,7 @@ Tensor Sin(const Tensor& a) { return UnaryOp(kSin, a); }
 Tensor Cos(const Tensor& a) { return UnaryOp(kCos, a); }
 
 Tensor Pow(const Tensor& a, float p) {
+  TS3_TRACE_SPAN("op/Pow");
   TS3_CHECK(a.defined());
   const int64_t n = a.numel();
   std::vector<float> out(static_cast<size_t>(n));
@@ -128,6 +129,7 @@ Tensor Pow(const Tensor& a, float p) {
 }
 
 Tensor Dropout(const Tensor& x, float p, bool training, Rng* rng) {
+  TS3_TRACE_SPAN("op/Dropout");
   TS3_CHECK(x.defined());
   TS3_CHECK(p >= 0.0f && p < 1.0f) << "dropout rate " << p;
   if (!training || p == 0.0f) return x;

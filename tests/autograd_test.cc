@@ -402,6 +402,30 @@ TEST(ConvGradTest, MovingAvgGradient) {
   EXPECT_TRUE(r.ok) << r.message;
 }
 
+TEST(ConvGradTest, AvgPool1dValidGradientViaMovingAvg) {
+  // MovingAvg1d is ReplicatePad + AvgPool1dValid; an even kernel makes the
+  // pad asymmetric, so the AvgPool1dValid overlap-accumulating backward is
+  // exercised on a window layout the odd-kernel test above cannot reach.
+  Rng rng(21);
+  Tensor x = Tensor::Randn({2, 8, 3}, &rng);
+  auto fn = [](const std::vector<Tensor>& in) {
+    return Sum(Square(MovingAvg1d(in[0], 4)));
+  };
+  auto r = CheckGradients(fn, {x});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(ScalarGradTest, AddScalarAndMulScalarGradient) {
+  Rng rng(22);
+  Tensor x = Tensor::Randn({3, 4}, &rng);
+  auto fn = [](const std::vector<Tensor>& in) {
+    // AddScalar then MulScalar: d/dx of 2*(x + 1.5) must be exactly 2.
+    return Sum(Square(MulScalar(AddScalar(in[0], 1.5f), 2.0f)));
+  };
+  auto r = CheckGradients(fn, {x});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
 TEST(MixedGradTest, CompositeExpressionGradient) {
   Rng rng(19);
   Tensor a = Tensor::Randn({3, 4}, &rng);

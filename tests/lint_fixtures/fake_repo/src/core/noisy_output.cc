@@ -1,0 +1,25 @@
+// Seeded TL003 violations: direct stdout writes in library code.
+#include <cstdio>
+#include <iostream>
+
+namespace ts3net {
+
+void PrintsWithIostream(double loss) {
+  std::cout << "loss=" << loss << "\n";  // EXPECT-LINT: TL003
+}
+
+void PrintsWithPrintf(double loss) {
+  printf("loss=%f\n", loss);  // EXPECT-LINT: TL003
+}
+
+void PrintsWithPuts() {
+  puts("done");  // EXPECT-LINT: TL003
+}
+
+// Negative control: stderr via snprintf-composed logging is the sanctioned
+// path, and the word printf inside this comment must not fire either.
+void LogsProperly(char* buf, int n, double loss) {
+  std::snprintf(buf, static_cast<size_t>(n), "loss=%f", loss);
+}
+
+}  // namespace ts3net

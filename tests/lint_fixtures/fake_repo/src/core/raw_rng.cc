@@ -1,0 +1,22 @@
+// Seeded TL002 violations: ad-hoc RNG outside src/common/random.
+#include <cstdlib>
+#include <random>
+
+namespace ts3net {
+
+int LegacyCRand() {
+  return rand();  // EXPECT-LINT: TL002
+}
+
+unsigned NondeterministicSeed() {
+  std::random_device rd;  // EXPECT-LINT: TL002
+  return rd();
+}
+
+double MersenneDraw(unsigned seed) {
+  std::mt19937 gen(seed);  // EXPECT-LINT: TL002
+  std::uniform_real_distribution<double> dist(0.0, 1.0);  // EXPECT-LINT: TL002
+  return dist(gen);
+}
+
+}  // namespace ts3net

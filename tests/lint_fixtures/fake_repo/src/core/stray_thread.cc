@@ -1,0 +1,29 @@
+// Seeded TL001 violations: concurrency primitives outside the shared pool.
+#include <future>
+#include <thread>
+
+namespace ts3net {
+
+void Work();
+
+void SpawnsRawThread() {
+  std::thread worker(Work);  // EXPECT-LINT: TL001
+  worker.join();
+}
+
+template <typename Thread>
+void DetachesAThread(Thread& t) {
+  t.detach();  // EXPECT-LINT: TL001
+}
+
+void UsesStdAsync() {
+  auto f = std::async(Work);  // EXPECT-LINT: TL001
+  f.wait();
+}
+
+void OmpLoop(float* data, int n) {
+#pragma omp parallel for  // EXPECT-LINT: TL001
+  for (int i = 0; i < n; ++i) data[i] *= 2.0f;
+}
+
+}  // namespace ts3net

@@ -1,0 +1,34 @@
+// Seeded TL005/TL006/TL007/TL008 violations: autograd dispatch that drops
+// its backward kernel, trace span, and gradcheck coverage — plus a tape
+// walker with no "bw/" instrumentation.
+#include "tensor/tensor.h"
+
+namespace ts3net {
+
+std::vector<float> Forward(const Tensor& a);
+
+// "Mystery" has no backward lambda, no "op/Mystery" span anywhere in this
+// file, and no mention in a CheckGradients test.
+Tensor MysteryOp(const Tensor& a) {
+  return MakeOpResult(Forward(a), a.shape(), "Mystery", {a}, nullptr);  // EXPECT-LINT: TL005, TL006, TL007
+}
+
+struct FixtureKernel {
+  const char* name;
+};
+
+const FixtureKernel kFixtureDyn = {"FixtureDyn"};
+
+// Kernel-table dispatch without the dynamic std::string("op/") + kernel.name
+// span, and the table entry is not gradchecked either.
+Tensor DynDispatch(const FixtureKernel& kernel, const Tensor& a) {
+  return MakeOpResult(Forward(a), a.shape(), kernel.name, {a},  // EXPECT-LINT: TL006, TL007
+                      [](const Tensor& grad_out) { (void)grad_out; });
+}
+
+// A tape walker that runs backward kernels without opening "bw/<op>" spans.
+void WalkTape(internal_tensor::GradFn* fn, const Tensor& grad) {
+  fn->backward(grad);  // EXPECT-LINT: TL008
+}
+
+}  // namespace ts3net

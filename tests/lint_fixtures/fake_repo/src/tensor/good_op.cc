@@ -1,0 +1,20 @@
+// Negative control: a fully compliant autograd op. ts3lint must report
+// nothing for this file — it has a backward lambda, an "op/FixtureGood"
+// span, and fake_repo/tests/grad_test.cc gradchecks it by name.
+#include "common/obs/trace.h"
+#include "tensor/tensor.h"
+
+namespace ts3net {
+
+std::vector<float> Forward(const Tensor& a);
+
+Tensor FixtureGood(const Tensor& a) {
+  TS3_TRACE_SPAN("op/FixtureGood");
+  Tensor ta = a;
+  return MakeOpResult(Forward(a), a.shape(), "FixtureGood", {a},
+                      [ta](const Tensor& grad_out) mutable {
+                        if (ta.requires_grad()) ta.AccumulateGrad(grad_out);
+                      });
+}
+
+}  // namespace ts3net

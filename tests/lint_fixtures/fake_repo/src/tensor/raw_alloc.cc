@@ -1,0 +1,22 @@
+// Seeded TL004 violations: raw buffer allocation in kernel code.
+#include <cstdlib>
+
+namespace ts3net {
+
+float* AllocatesWithNewArray(int n) {
+  return new float[n];  // EXPECT-LINT: TL004
+}
+
+void* AllocatesWithMalloc(int n) {
+  void* p = std::malloc(static_cast<size_t>(n));  // EXPECT-LINT: TL004
+  return p;
+}
+
+void FreesRawBuffer(void* p) {
+  free(p);  // EXPECT-LINT: TL004
+}
+
+// Negative control: a function whose name merely contains the banned token.
+void buffer_free_list(int) {}
+
+}  // namespace ts3net

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Driver for the ts3lint tier-1 ctest entries.
+
+  ts3lint_test.py fixtures   checker findings on tests/lint_fixtures/fake_repo
+                             must match the EXPECT-LINT markers exactly
+  ts3lint_test.py clean      the real tree must have zero findings
+
+Exit 0 on success; non-zero with a human-readable diff otherwise.
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TS3LINT = os.path.join(REPO_ROOT, "tools", "ts3lint", "ts3lint.py")
+FIXTURE_ROOT = os.path.join(REPO_ROOT, "tests", "lint_fixtures", "fake_repo")
+
+MARKER = re.compile(r"EXPECT-LINT:\s*([A-Z0-9,\s]+)")
+
+
+def run_ts3lint(root):
+    proc = subprocess.run(
+        [sys.executable, TS3LINT, "--root", root, "--json"],
+        capture_output=True, text=True)
+    if proc.returncode not in (0, 1):
+        print("ts3lint crashed (exit %d):\n%s" % (proc.returncode,
+                                                  proc.stderr))
+        sys.exit(2)
+    findings = json.loads(proc.stdout)
+    return {(f["path"], f["line"], f["check"]) for f in findings}
+
+
+def expected_from_markers():
+    expected = set()
+    for dirpath, _, filenames in os.walk(FIXTURE_ROOT):
+        for fn in sorted(filenames):
+            if not fn.endswith((".cc", ".h")):
+                continue
+            path = os.path.join(dirpath, fn)
+            rel = os.path.relpath(path, FIXTURE_ROOT).replace(os.sep, "/")
+            with open(path, encoding="utf-8") as f:
+                for lineno, line in enumerate(f, start=1):
+                    m = MARKER.search(line)
+                    if not m:
+                        continue
+                    for check in m.group(1).split(","):
+                        check = check.strip()
+                        if check:
+                            expected.add((rel, lineno, check))
+    return expected
+
+
+def report_diff(missed, unexpected):
+    for path, line, check in sorted(missed):
+        print("MISSED   %s:%d expected %s but ts3lint did not flag it"
+              % (path, line, check))
+    for path, line, check in sorted(unexpected):
+        print("SPURIOUS %s:%d ts3lint flagged %s with no EXPECT-LINT marker"
+              % (path, line, check))
+
+
+def main():
+    if len(sys.argv) != 2 or sys.argv[1] not in ("fixtures", "clean"):
+        print(__doc__)
+        return 2
+
+    if sys.argv[1] == "fixtures":
+        actual = run_ts3lint(FIXTURE_ROOT)
+        expected = expected_from_markers()
+        if not expected:
+            print("no EXPECT-LINT markers found under %s" % FIXTURE_ROOT)
+            return 1
+        missed = expected - actual
+        unexpected = actual - expected
+        if missed or unexpected:
+            report_diff(missed, unexpected)
+            return 1
+        print("ts3lint fixtures: all %d seeded violations detected, "
+              "no spurious findings" % len(expected))
+        return 0
+
+    actual = run_ts3lint(REPO_ROOT)
+    if actual:
+        for path, line, check in sorted(actual):
+            print("DIRTY %s:%d %s" % (path, line, check))
+        print("ts3lint clean-tree check failed: %d finding(s); run "
+              "`python3 tools/ts3lint/ts3lint.py` for details" % len(actual))
+        return 1
+    print("ts3lint clean tree: zero findings")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,446 @@
+#!/usr/bin/env python3
+"""ts3lint -- ts3net repository invariant checker.
+
+Enforces repo-specific invariants that generic linters (clang-tidy, UBSan)
+cannot express, because they span files or encode project policy:
+
+  TL001 thread-outside-pool    raw threading primitives outside
+                               src/common/threadpool (the deterministic pool
+                               is the only legal concurrency substrate)
+  TL002 rng-outside-random     ad-hoc RNG (rand, std::random_device,
+                               std::mt19937, ...) outside src/common/random;
+                               all randomness must flow through seeded Rng
+                               instances so runs are reproducible
+  TL003 stdout-in-src          std::cout / printf / puts in library code;
+                               src/ must use TS3_LOG (stderr) so tool output
+                               stays machine-parseable
+  TL004 raw-alloc-in-kernel    raw new[] / malloc / free in kernel code;
+                               buffers are std::vector so sanitizers see them
+  TL005 op-missing-backward    MakeOpResult call without a backward lambda
+  TL006 op-missing-span        autograd op without an "op/<Name>" trace span
+                               (per-op profiling would silently lose it)
+  TL007 op-missing-gradcheck   op name never mentioned in a test file that
+                               runs CheckGradients (no numeric gradient
+                               coverage for its backward kernel)
+  TL008 backward-span-missing  a tape walker (code calling grad_fn->backward)
+                               without "bw/" span instrumentation
+
+Usage:
+  ts3lint.py [--root DIR] [--json]
+
+--root defaults to the repository containing this script. The tree under
+<root>/src is scanned; <root>/tests supplies gradcheck-coverage evidence.
+Directories named "lint_fixtures" are skipped unless --root points inside
+one (that is how the self-test scans the seeded-violation fixture tree).
+
+Exit status: 0 clean, 1 findings, 2 usage or internal error.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass
+
+CHECK_DOCS = {
+    "TL001": "thread-outside-pool",
+    "TL002": "rng-outside-random",
+    "TL003": "stdout-in-src",
+    "TL004": "raw-alloc-in-kernel",
+    "TL005": "op-missing-backward",
+    "TL006": "op-missing-span",
+    "TL007": "op-missing-gradcheck",
+    "TL008": "backward-span-missing",
+}
+
+SOURCE_EXTENSIONS = (".cc", ".cpp", ".h", ".hpp")
+
+# Paths (relative to <root>/src, POSIX separators) exempt from a check.
+EXEMPT = {
+    "TL001": {"common/threadpool.h", "common/threadpool.cc"},
+    "TL002": {"common/random.h", "common/random.cc"},
+    "TL003": {"common/logging.h", "common/logging.cc"},
+    "TL004": set(),
+}
+
+# Directories under src/ whose files count as "kernel code" for TL004.
+KERNEL_DIRS = ("tensor", "signal", "nn", "core", "models")
+
+
+@dataclass(frozen=True)
+class Finding:
+    path: str  # relative to --root, POSIX separators
+    line: int  # 1-based
+    check: str  # "TL001"...
+    message: str
+
+    def render(self):
+        return "%s:%d: [%s/%s] %s" % (
+            self.path, self.line, self.check, CHECK_DOCS[self.check],
+            self.message)
+
+
+# ---------------------------------------------------------------------------
+# C++ scrubbing: drop comments (and optionally string contents) while
+# preserving byte offsets, so regex hits report true line numbers and banned
+# tokens inside comments or log messages never fire.
+# ---------------------------------------------------------------------------
+
+def scrub(text, keep_strings):
+    out = list(text)
+    i, n = 0, len(text)
+    NORMAL, LINE_COMMENT, BLOCK_COMMENT, STRING, CHAR = range(5)
+    state = NORMAL
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == NORMAL:
+            if c == "/" and nxt == "/":
+                state = LINE_COMMENT
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = BLOCK_COMMENT
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c == '"':
+                state = STRING
+            elif c == "'":
+                state = CHAR
+            i += 1
+        elif state == LINE_COMMENT:
+            if c == "\n":
+                state = NORMAL
+            else:
+                out[i] = " "
+            i += 1
+        elif state == BLOCK_COMMENT:
+            if c == "*" and nxt == "/":
+                state = NORMAL
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c != "\n":
+                out[i] = " "
+            i += 1
+        else:  # STRING or CHAR
+            quote = '"' if state == STRING else "'"
+            if c == "\\" and nxt:
+                if not keep_strings:
+                    out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c == quote:
+                state = NORMAL
+            elif not keep_strings and c != "\n":
+                out[i] = " "
+            i += 1
+    return "".join(out)
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+# ---------------------------------------------------------------------------
+# Pattern checks (TL001-TL004).
+# ---------------------------------------------------------------------------
+
+PATTERN_CHECKS = [
+    (
+        "TL001",
+        re.compile(
+            r"\bstd::(?:thread|jthread|async|barrier|latch|counting_semaphore)\b"
+            r"|#\s*pragma\s+omp\b"
+            r"|\bpthread_create\b"
+            r"|\.detach\s*\(\s*\)"),
+        "raw concurrency primitive; use ParallelFor / the shared ThreadPool "
+        "(src/common/threadpool)",
+        None,
+    ),
+    (
+        "TL002",
+        re.compile(
+            r"\bstd::(?:random_device|mt19937(?:_64)?|minstd_rand0?"
+            r"|default_random_engine|uniform_(?:int|real)_distribution"
+            r"|normal_distribution|bernoulli_distribution)\b"
+            r"|(?<![\w:])s?rand\s*\("
+            r"|\bdrand48\b"),
+        "ad-hoc RNG; all randomness must flow through a seeded ts3net::Rng "
+        "(src/common/random)",
+        None,
+    ),
+    (
+        "TL003",
+        re.compile(
+            r"\bstd::cout\b"
+            r"|(?<![\w:])printf\s*\("
+            r"|(?<![\w:])puts\s*\("
+            r"|(?<![\w:])putchar\s*\("
+            r"|\bfprintf\s*\(\s*stdout\b"),
+        "direct stdout write in library code; use TS3_LOG(...) instead",
+        None,
+    ),
+    (
+        "TL004",
+        re.compile(
+            r"\bnew\s+[A-Za-z_][\w:<>,\s]*\["
+            r"|(?<![\w:])(?:std::)?(?:malloc|calloc|realloc|free)\s*\("),
+        "raw buffer allocation in kernel code; use std::vector so sanitizers "
+        "and valgrind see the bounds",
+        KERNEL_DIRS,
+    ),
+]
+
+
+def run_pattern_checks(rel_path, code, findings):
+    # rel_path is relative to src/, POSIX separators.
+    for check, regex, message, dirs in PATTERN_CHECKS:
+        if rel_path in EXEMPT.get(check, ()):
+            continue
+        if dirs is not None and not rel_path.startswith(
+                tuple(d + "/" for d in dirs)):
+            continue
+        seen_lines = set()
+        for m in regex.finditer(code):
+            ln = line_of(code, m.start())
+            if ln in seen_lines:
+                continue  # one finding per line per check
+            seen_lines.add(ln)
+            findings.append(Finding("src/" + rel_path, ln, check, message))
+
+
+# ---------------------------------------------------------------------------
+# Autograd coverage checks (TL005-TL008).
+# ---------------------------------------------------------------------------
+
+def split_call_args(text, open_paren):
+    """Splits the argument list of a call whose '(' is at `open_paren`.
+
+    Returns (args, end_offset) where args is a list of (offset, text) pairs,
+    or (None, None) if the parentheses never balance (truncated file).
+    """
+    depth = 0
+    args = []
+    start = open_paren + 1
+    i = open_paren
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+            if depth == 0:
+                args.append((start, text[start:i]))
+                return args, i
+        elif c == "," and depth == 1:
+            args.append((start, text[start:i]))
+            start = i + 1
+        i += 1
+    return None, None
+
+
+OP_NAME_LITERAL = re.compile(r'^\s*"([A-Za-z_]\w*)"\s*$')
+KERNEL_TABLE = re.compile(r'\b\w*Kernel\s+k\w+\s*=\s*\{\s*"(\w+)"')
+DYNAMIC_SPAN = re.compile(r'"op/"\s*\)?\s*\+')
+LITERAL_SPAN = re.compile(r'"op/([A-Za-z_]\w*)"')
+TAPE_WALK = re.compile(r"->\s*backward\s*\(")
+
+
+@dataclass
+class OpSite:
+    name: str  # op name, or "" when dispatched via kernel.name
+    dynamic: bool  # name comes from a kernel table
+    path: str  # file path relative to root
+    line: int
+    backward_arg: str
+
+
+def extract_op_sites(rel_path, code):
+    """Finds MakeOpResult calls in comment-scrubbed code (strings kept)."""
+    sites = []
+    for m in re.finditer(r"\bMakeOpResult\s*\(", code):
+        # `Tensor MakeOpResult(...)` is the dispatcher's own declaration or
+        # definition, not a dispatch site.
+        if re.search(r"Tensor\s+$", code[:m.start()]):
+            continue
+        open_paren = code.find("(", m.start())
+        args, _ = split_call_args(code, open_paren)
+        ln = line_of(code, m.start())
+        if args is None or len(args) < 5:
+            # Declarations / headers mention the symbol without a full
+            # 5-argument call; only flag calls that parse as dispatch sites.
+            continue
+        name_m = OP_NAME_LITERAL.match(args[2][1])
+        backward = args[4][1].strip()
+        sites.append(OpSite(
+            name=name_m.group(1) if name_m else "",
+            dynamic=name_m is None,
+            path=rel_path,
+            line=ln,
+            backward_arg=backward,
+        ))
+    return sites
+
+
+def mentioned(name, text):
+    """Word-boundary mention, so 'Max' does not ride along on 'Softmax'."""
+    return re.search(r"\b%s\b" % re.escape(name), text) is not None
+
+
+def run_autograd_checks(src_files, gradcheck_text, findings):
+    """src_files: list of (rel_path_under_root, code_with_strings)."""
+    for rel_path, code in src_files:
+        sites = extract_op_sites(rel_path, code)
+        if not sites:
+            # Files with no dispatch sites still must instrument any tape
+            # walker they contain (TL008).
+            for m in TAPE_WALK.finditer(code):
+                if '"bw/"' not in code:
+                    findings.append(Finding(
+                        rel_path, line_of(code, m.start()), "TL008",
+                        "tape walker calls grad_fn->backward without a "
+                        '"bw/<op>" trace span'))
+                break
+            continue
+
+        literal_spans = set(LITERAL_SPAN.findall(code))
+        has_dynamic_span = DYNAMIC_SPAN.search(code) is not None
+        kernel_names = set(KERNEL_TABLE.findall(code))
+
+        for site in sites:
+            if site.backward_arg in ("nullptr", "{}", "NULL", ""):
+                findings.append(Finding(
+                    site.path, site.line, "TL005",
+                    "MakeOpResult dispatched without a backward kernel "
+                    "(backward argument is %r)" % site.backward_arg))
+            if site.dynamic:
+                # Dispatch through a kernel table: the shared wrapper must
+                # open std::string("op/") + kernel.name spans.
+                if not has_dynamic_span:
+                    findings.append(Finding(
+                        site.path, site.line, "TL006",
+                        "kernel-table dispatch without a dynamic "
+                        '"op/<kernel.name>" trace span'))
+                for name in sorted(kernel_names):
+                    if not mentioned(name, gradcheck_text):
+                        findings.append(Finding(
+                            site.path, site.line, "TL007",
+                            "op %r has no mention in any CheckGradients "
+                            "test file" % name))
+                kernel_names = set()  # report each table entry once
+            else:
+                # A literal-named op needs its own literal span; the dynamic
+                # "op/" + kernel.name span only covers kernel-table dispatch.
+                if site.name not in literal_spans:
+                    findings.append(Finding(
+                        site.path, site.line, "TL006",
+                        'op %r has no "op/%s" trace span in %s'
+                        % (site.name, site.name, site.path)))
+                if not mentioned(site.name, gradcheck_text):
+                    findings.append(Finding(
+                        site.path, site.line, "TL007",
+                        "op %r has no mention in any CheckGradients "
+                        "test file" % site.name))
+
+        for m in TAPE_WALK.finditer(code):
+            if '"bw/"' not in code:
+                findings.append(Finding(
+                    rel_path, line_of(code, m.start()), "TL008",
+                    "tape walker calls grad_fn->backward without a "
+                    '"bw/<op>" trace span'))
+            break
+
+
+# ---------------------------------------------------------------------------
+# Tree walking and entry point.
+# ---------------------------------------------------------------------------
+
+def collect_files(base, skip_fixtures):
+    found = []
+    for dirpath, dirnames, filenames in os.walk(base):
+        if skip_fixtures:
+            dirnames[:] = [d for d in dirnames if d != "lint_fixtures"]
+        dirnames.sort()
+        for fn in sorted(filenames):
+            if fn.endswith(SOURCE_EXTENSIONS):
+                found.append(os.path.join(dirpath, fn))
+    return found
+
+
+def gather_gradcheck_text(tests_dir, skip_fixtures):
+    """Concatenated text of every test file that exercises CheckGradients."""
+    chunks = []
+    if not os.path.isdir(tests_dir):
+        return ""
+    for path in collect_files(tests_dir, skip_fixtures):
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+        if re.search(r"\bCheckGradients\b", text):
+            chunks.append(text)
+    return "\n".join(chunks)
+
+
+def lint_tree(root):
+    root = os.path.abspath(root)
+    src_dir = os.path.join(root, "src")
+    tests_dir = os.path.join(root, "tests")
+    if not os.path.isdir(src_dir):
+        raise RuntimeError("no src/ directory under --root %s" % root)
+    # When --root is the fixture tree itself, do not skip fixture dirs.
+    skip_fixtures = "lint_fixtures" not in root.replace(os.sep, "/")
+
+    findings = []
+    src_files_with_strings = []
+    for path in collect_files(src_dir, skip_fixtures):
+        with open(path, encoding="utf-8", errors="replace") as f:
+            raw = f.read()
+        rel_src = os.path.relpath(path, src_dir).replace(os.sep, "/")
+        rel_root = os.path.relpath(path, root).replace(os.sep, "/")
+        run_pattern_checks(rel_src, scrub(raw, keep_strings=False), findings)
+        src_files_with_strings.append((rel_root, scrub(raw, keep_strings=True)))
+
+    gradcheck_text = gather_gradcheck_text(tests_dir, skip_fixtures)
+    run_autograd_checks(src_files_with_strings, gradcheck_text, findings)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.check))
+    return findings
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="ts3lint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    default_root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    parser.add_argument("--root", default=default_root,
+                        help="repository root (default: %(default)s)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit findings as a JSON array")
+    args = parser.parse_args(argv)
+
+    try:
+        findings = lint_tree(args.root)
+    except RuntimeError as e:
+        print("ts3lint: error: %s" % e, file=sys.stderr)
+        return 2
+
+    if args.as_json:
+        print(json.dumps(
+            [{"path": f.path, "line": f.line, "check": f.check,
+              "name": CHECK_DOCS[f.check], "message": f.message}
+             for f in findings], indent=2))
+    else:
+        for f in findings:
+            print(f.render())
+        print("ts3lint: %d finding(s) in %s"
+              % (len(findings), os.path.abspath(args.root)), file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
