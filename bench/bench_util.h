@@ -13,6 +13,7 @@
 #include "common/obs/obs.h"
 #include "common/string_util.h"
 #include "common/threadpool.h"
+#include "signal/cwt_plan.h"
 #include "train/experiment.h"
 
 namespace ts3net {
@@ -79,15 +80,22 @@ inline BenchSettings ParseBenchSettings(
   return s;
 }
 
-/// Shared harness setup: applies --ts3_num_threads to the global pool and
-/// the obs flags (--ts3_log_level/--ts3_trace/--ts3_profile/
-/// --ts3_metrics_json); the requested exports run when the BenchEnv leaves
-/// scope at the end of the harness.
+/// Shared harness setup: applies --ts3_num_threads to the global pool,
+/// --ts3_cwt_impl={dense,fft} to the model-path CWT default, and the obs
+/// flags (--ts3_log_level/--ts3_trace/--ts3_profile/--ts3_metrics_json);
+/// the requested exports run when the BenchEnv leaves scope at the end of
+/// the harness.
 class BenchEnv {
  public:
   explicit BenchEnv(const FlagParser& flags) {
     ThreadPool::SetGlobalNumThreads(
         static_cast<int>(flags.GetInt("ts3_num_threads", 0)));
+    if (flags.Has("ts3_cwt_impl")) {
+      CwtImpl impl;
+      TS3_CHECK(ParseCwtImpl(flags.GetString("ts3_cwt_impl", "dense"), &impl))
+          << "unknown --ts3_cwt_impl (expected dense|fft)";
+      SetDefaultCwtImpl(impl);
+    }
     obs_.emplace(flags);
   }
 

@@ -1,0 +1,216 @@
+// micro_cwt — dense vs FFT model-path CWT head-to-head.
+//
+// For each sequence length (default the paper grid 96/336/512/720) the
+// harness times a full forward + backward of CwtAmplitudeOp (dense
+// correlation matrices) and CwtAmplitudeFftOp (padded FFT correlation) on
+// the same random [B, T, D] input, checks the two implementations agree,
+// and writes BENCH_cwt.json with per-length wall times, speedups, max
+// relative errors, and a snapshot of the metrics counters (including the
+// cache/plan/{hits,misses,bytes} plan-cache counters).
+//
+// Flags:
+//   --lengths=96,336,512,720   sequence lengths to measure
+//   --lambda=16 --batch=4 --channels=8 --reps=3
+//   --ts3_num_threads=1        defaults to fully serial so the speedup is
+//                              an algorithmic (not parallelism) comparison
+//   --bench_json=path          output path ("" disables the record)
+//   plus the usual obs flags (--ts3_trace/--ts3_profile/...).
+
+#include <cstdio>
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/obs/json.h"
+#include "common/obs/metrics.h"
+#include "common/obs/obs.h"
+#include "common/obs/trace.h"
+#include "common/threadpool.h"
+#include "signal/cwt.h"
+#include "signal/cwt_plan.h"
+#include "signal/wavelet.h"
+#include "tensor/tensor.h"
+
+namespace ts3net {
+namespace {
+
+struct Measurement {
+  int64_t seq_len = 0;
+  double dense_ms = 0;
+  double fft_ms = 0;
+  double max_rel_forward = 0;
+  double max_rel_grad = 0;
+  int64_t fft_size = 0;
+};
+
+double MaxRelError(const Tensor& got, const Tensor& want) {
+  TS3_CHECK(got.shape() == want.shape());
+  const float* pg = got.data();
+  const float* pw = want.data();
+  double max_rel = 0;
+  for (int64_t i = 0; i < got.numel(); ++i) {
+    const double denom = std::max(1.0, static_cast<double>(std::fabs(pw[i])));
+    max_rel = std::max(max_rel, std::fabs(pg[i] - pw[i]) / denom);
+  }
+  return max_rel;
+}
+
+/// One timed forward + backward; returns (amp, input grad, wall ms).
+template <typename Fn>
+std::pair<std::pair<Tensor, Tensor>, double> TimeOnce(const Tensor& x_base,
+                                                      const Fn& op) {
+  Tensor x = x_base.Clone().set_requires_grad(true);
+  const int64_t start = obs::NowNanos();
+  Tensor amp = op(x);
+  amp.Backward(Tensor::Ones(amp.shape()));
+  const double ms = static_cast<double>(obs::NowNanos() - start) / 1e6;
+  return {{amp, x.grad()}, ms};
+}
+
+Measurement MeasureLength(const WaveletBank& bank, int64_t seq_len,
+                          int64_t batch, int64_t channels, int reps) {
+  Measurement m;
+  m.seq_len = seq_len;
+
+  auto dense = GetDenseCwtPlan(bank, seq_len);
+  auto fft = GetFftCwtPlan(bank, seq_len);
+  m.fft_size = fft->fft_size;
+
+  Rng rng(static_cast<uint64_t>(seq_len) * 17 + 1);
+  Tensor x = Tensor::Randn({batch, seq_len, channels}, &rng);
+
+  auto dense_op = [&](const Tensor& in) {
+    return CwtAmplitudeOp(in, dense->w_re, dense->w_im);
+  };
+  auto fft_op = [&](const Tensor& in) { return CwtAmplitudeFftOp(in, fft); };
+
+  // One warm-up each (first-touch allocations), then best-of-reps.
+  auto [dense_out, dense_warm] = TimeOnce(x, dense_op);
+  auto [fft_out, fft_warm] = TimeOnce(x, fft_op);
+  (void)dense_warm;
+  (void)fft_warm;
+  m.max_rel_forward = MaxRelError(fft_out.first, dense_out.first);
+  m.max_rel_grad = MaxRelError(fft_out.second, dense_out.second);
+
+  m.dense_ms = 1e300;
+  m.fft_ms = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    // Re-fetch both plans the way a freshly constructed layer would; these
+    // land as cache/plan/hits in the recorded counters.
+    TS3_CHECK(GetDenseCwtPlan(bank, seq_len).get() == dense.get());
+    TS3_CHECK(GetFftCwtPlan(bank, seq_len).get() == fft.get());
+    m.dense_ms = std::min(m.dense_ms, TimeOnce(x, dense_op).second);
+    m.fft_ms = std::min(m.fft_ms, TimeOnce(x, fft_op).second);
+  }
+  return m;
+}
+
+void WriteRecord(const std::string& path, const std::vector<Measurement>& ms,
+                 int64_t lambda, int64_t batch, int64_t channels, int reps) {
+  if (path.empty()) return;
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("bench");
+  w.String("cwt");
+  w.Key("settings");
+  w.BeginObject();
+  w.Key("lambda");
+  w.Int(lambda);
+  w.Key("batch");
+  w.Int(batch);
+  w.Key("channels");
+  w.Int(channels);
+  w.Key("reps");
+  w.Int(reps);
+  w.Key("threads");
+  w.Int(ThreadPool::GlobalNumThreads());
+  w.EndObject();
+  w.Key("cells");
+  w.BeginArray();
+  for (const Measurement& m : ms) {
+    w.BeginObject();
+    w.Key("seq_len");
+    w.Int(m.seq_len);
+    w.Key("fft_size");
+    w.Int(m.fft_size);
+    w.Key("dense_ms");
+    w.Double(m.dense_ms);
+    w.Key("fft_ms");
+    w.Double(m.fft_ms);
+    w.Key("speedup");
+    w.Double(m.dense_ms / m.fft_ms);
+    w.Key("max_rel_forward");
+    w.Double(m.max_rel_forward);
+    w.Key("max_rel_grad");
+    w.Double(m.max_rel_grad);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [counter, value] :
+       obs::MetricsRegistry::Global()->CounterValues()) {
+    w.Key(counter);
+    w.Int(value);
+  }
+  w.EndObject();
+  w.EndObject();
+
+  const std::string json = w.str();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write bench record %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "run record written to %s\n", path.c_str());
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
+  // Serial by default: the headline number is the algorithmic dense-vs-FFT
+  // gap, not thread scaling (pass --ts3_num_threads=0 for the parallel view).
+  ThreadPool::SetGlobalNumThreads(
+      static_cast<int>(flags.GetInt("ts3_num_threads", 1)));
+  obs::ObsScope obs_scope(flags);
+
+  const std::vector<int64_t> lengths =
+      flags.GetIntList("lengths", {96, 336, 512, 720});
+  const int64_t lambda = flags.GetInt("lambda", 16);
+  const int64_t batch = flags.GetInt("batch", 4);
+  const int64_t channels = flags.GetInt("channels", 8);
+  const int reps = static_cast<int>(flags.GetInt("reps", 3));
+
+  WaveletBankOptions opt;
+  opt.num_subbands = static_cast<int>(lambda);
+  WaveletBank bank = WaveletBank::Create(opt);
+
+  std::printf("%8s %8s %12s %12s %9s %14s %14s\n", "T", "N_fft", "dense_ms",
+              "fft_ms", "speedup", "max_rel_fwd", "max_rel_grad");
+  std::vector<Measurement> results;
+  for (int64_t t : lengths) {
+    Measurement m = MeasureLength(bank, t, batch, channels, reps);
+    std::printf("%8lld %8lld %12.3f %12.3f %8.2fx %14.3g %14.3g\n",
+                static_cast<long long>(m.seq_len),
+                static_cast<long long>(m.fft_size), m.dense_ms, m.fft_ms,
+                m.dense_ms / m.fft_ms, m.max_rel_forward, m.max_rel_grad);
+    std::fflush(stdout);
+    results.push_back(m);
+  }
+
+  WriteRecord(flags.GetString("bench_json", "BENCH_cwt.json"), results,
+              lambda, batch, channels, reps);
+  return 0;
+}
+
+}  // namespace
+}  // namespace ts3net
+
+int main(int argc, char** argv) { return ts3net::Main(argc, argv); }

@@ -18,6 +18,10 @@
 //   --ts3_num_threads=N   Size of the shared kernel thread pool. 0 (default)
 //       uses hardware concurrency; 1 runs fully serial. Results are bitwise
 //       identical for every value — the pool only changes wall-clock time.
+//   --ts3_cwt_impl=dense|fft   Model-path CWT implementation. dense (default)
+//       multiplies precomputed [lambda, T, T] correlation matrices; fft runs
+//       the same transform as a padded FFT correlation (O(T log T) per band,
+//       agrees with dense to ~1e-4 relative in forward and gradients).
 //   --ts3_log_level=debug|info|warn|error   Minimum log severity.
 //   --ts3_trace=out.json  Record trace spans and write a Chrome trace-event
 //       file on exit (load in chrome://tracing or ui.perfetto.dev).
@@ -41,6 +45,7 @@
 #include "data/synthetic.h"
 #include "models/registry.h"
 #include "nn/serialize.h"
+#include "signal/cwt_plan.h"
 #include "signal/period.h"
 #include "tensor/ops.h"
 #include "train/experiment.h"
@@ -210,6 +215,10 @@ int Usage(int exit_code = 2) {
       "  --ts3_num_threads=N  kernel thread-pool size; 0 = hardware\n"
       "                       concurrency (default), 1 = fully serial.\n"
       "                       Results are bitwise identical for any N.\n"
+      "  --ts3_cwt_impl=I     model-path CWT implementation: dense\n"
+      "                       (default; precomputed correlation matrices)\n"
+      "                       or fft (padded FFT correlation, O(T log T)\n"
+      "                       per band; matches dense to ~1e-4 relative).\n"
       "  --ts3_log_level=L    minimum log severity: debug|info|warn|error.\n"
       "  --ts3_trace=F.json   write a Chrome trace-event file on exit\n"
       "                       (chrome://tracing / ui.perfetto.dev).\n"
@@ -230,6 +239,14 @@ int main(int argc, char** argv) {
   if (Status st = flags.Parse(argc - 1, argv + 1); !st.ok()) return Fail(st);
   ThreadPool::SetGlobalNumThreads(
       static_cast<int>(flags.GetInt("ts3_num_threads", 0)));
+  if (flags.Has("ts3_cwt_impl")) {
+    CwtImpl impl;
+    if (!ParseCwtImpl(flags.GetString("ts3_cwt_impl", "dense"), &impl)) {
+      std::fprintf(stderr, "unknown --ts3_cwt_impl (expected dense|fft)\n");
+      return 2;
+    }
+    SetDefaultCwtImpl(impl);
+  }
   obs::ObsScope obs_scope(flags);  // exports trace/profile/metrics on return
   if (cmd == "generate") return CmdGenerate(flags);
   if (cmd == "periods") return CmdPeriods(flags);

@@ -1,0 +1,71 @@
+#include "common/transform_cache.h"
+
+#include "common/check.h"
+#include "common/obs/metrics.h"
+
+namespace ts3net {
+
+namespace {
+
+struct CacheMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* bytes;
+
+  CacheMetrics() {
+    auto* registry = obs::MetricsRegistry::Global();
+    hits = registry->counter("cache/plan/hits");
+    misses = registry->counter("cache/plan/misses");
+    bytes = registry->counter("cache/plan/bytes");
+  }
+};
+
+CacheMetrics& GetCacheMetrics() {
+  static CacheMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
+TransformCache* TransformCache::Global() {
+  static TransformCache* cache = new TransformCache();
+  return cache;
+}
+
+std::shared_ptr<void> TransformCache::GetOrCreate(
+    const std::string& key, const std::function<Entry()>& build) {
+  CacheMetrics& metrics = GetCacheMetrics();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    metrics.hits->Increment();
+    return it->second.plan;
+  }
+  Entry entry = build();
+  TS3_CHECK(entry.plan != nullptr) << "plan builder returned null for " << key;
+  TS3_CHECK_GE(entry.bytes, 0);
+  metrics.misses->Increment();
+  metrics.bytes->Increment(entry.bytes);
+  bytes_ += entry.bytes;
+  auto [pos, inserted] = entries_.emplace(key, std::move(entry));
+  TS3_CHECK(inserted);
+  return pos->second.plan;
+}
+
+int64_t TransformCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(entries_.size());
+}
+
+int64_t TransformCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+void TransformCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace ts3net

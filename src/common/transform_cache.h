@@ -1,0 +1,71 @@
+#ifndef TS3NET_COMMON_TRANSFORM_CACHE_H_
+#define TS3NET_COMMON_TRANSFORM_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace ts3net {
+
+/// Process-wide cache of precomputed transform plans (CWT correlation
+/// matrices, per-band FFT filter spectra, ...). Layers that need the same
+/// plan — e.g. every TF-Block branch and the S-GD layer sharing one wavelet
+/// bank and sequence length — get one shared immutable instance instead of
+/// rebuilding identical state per layer.
+///
+/// Entries are type-erased (`shared_ptr<void>`); the typed accessors in
+/// signal/cwt_plan.h wrap `GetOrCreate` so common/ stays free of tensor
+/// dependencies. Keys namespace with "/" (e.g. "cwt/dense/<fp>/<T>").
+///
+/// Thread safety: a single mutex guards the map and is held across the
+/// builder, so concurrent requests for one key build exactly once and both
+/// receive the same plan. Builders may use ParallelFor (the pool never
+/// touches this mutex). Cached plans must be immutable after construction.
+///
+/// Observability: the registry counters `cache/plan/hits`,
+/// `cache/plan/misses`, and `cache/plan/bytes` (total bytes held, as
+/// reported by the builders) are always maintained, and every bench run
+/// record snapshots them.
+class TransformCache {
+ public:
+  /// A built cache entry: the immutable plan plus its approximate footprint
+  /// in bytes (reported through the `cache/plan/bytes` counter).
+  struct Entry {
+    std::shared_ptr<void> plan;
+    int64_t bytes = 0;
+  };
+
+  static TransformCache* Global();
+
+  /// Returns the plan stored under `key`, invoking `build` under the cache
+  /// mutex if the key is missing. `build` must not re-enter the cache.
+  std::shared_ptr<void> GetOrCreate(const std::string& key,
+                                    const std::function<Entry()>& build);
+
+  /// Typed convenience wrapper; T must match the type `build` stored.
+  template <typename T>
+  std::shared_ptr<const T> Get(const std::string& key,
+                               const std::function<Entry()>& build) {
+    return std::static_pointer_cast<const T>(GetOrCreate(key, build));
+  }
+
+  int64_t size() const;
+  int64_t bytes() const;
+
+  /// Drops every entry (plans handed out earlier stay alive through their
+  /// shared_ptr). Only for tests; resets the bytes accounting, not the
+  /// hit/miss counters.
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  int64_t bytes_ = 0;
+};
+
+}  // namespace ts3net
+
+#endif  // TS3NET_COMMON_TRANSFORM_CACHE_H_

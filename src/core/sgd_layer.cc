@@ -13,9 +13,11 @@ SpectrumGradientLayer::SpectrumGradientLayer(const WaveletBank* bank,
                                              int64_t seq_len)
     : bank_(bank), seq_len_(seq_len) {
   TS3_CHECK(bank != nullptr);
-  auto [re, im] = BuildCwtMatrices(*bank, seq_len);
-  w_re_ = re;
-  w_im_ = im;
+  if (DefaultCwtImpl() == CwtImpl::kFft) {
+    fft_plan_ = GetFftCwtPlan(*bank, seq_len);
+  } else {
+    dense_plan_ = GetDenseCwtPlan(*bank, seq_len);
+  }
 }
 
 SpectrumGradientLayer::Output SpectrumGradientLayer::Decompose(
@@ -26,7 +28,9 @@ SpectrumGradientLayer::Output SpectrumGradientLayer::Decompose(
   const int64_t t_len = seq_len_;
   t_f = std::clamp<int64_t>(t_f, 1, t_len);
 
-  Tensor amp = CwtAmplitudeOp(x_btd, w_re_, w_im_);  // [B, lambda, T, D]
+  Tensor amp =  // [B, lambda, T, D]
+      fft_plan_ ? CwtAmplitudeFftOp(x_btd, fft_plan_)
+                : CwtAmplitudeOp(x_btd, dense_plan_->w_re, dense_plan_->w_im);
   Tensor delta;
   if (t_f == t_len) {
     delta = amp;

@@ -2,6 +2,7 @@
 #define TS3NET_CORE_SGD_LAYER_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "signal/cwt.h"
 #include "signal/wavelet.h"
@@ -12,8 +13,9 @@ namespace core {
 
 /// Differentiable Spectrum-Gradient Decomposition (paper Eqs. 9–12) applied
 /// to an embedded representation x [B, T, D]. Stateless (no trainable
-/// parameters); caches the CWT correlation matrices for a fixed sequence
-/// length so every call is a pair of batched MatMuls plus shifts.
+/// parameters); holds a shared CWT plan (dense matrices or FFT filter
+/// spectra, per the process-wide DefaultCwtImpl() at construction) from the
+/// TransformCache for a fixed sequence length.
 class SpectrumGradientLayer {
  public:
   SpectrumGradientLayer(const WaveletBank* bank, int64_t seq_len);
@@ -34,8 +36,9 @@ class SpectrumGradientLayer {
  private:
   const WaveletBank* bank_;  // not owned
   int64_t seq_len_;
-  Tensor w_re_;  // [lambda, T, T]
-  Tensor w_im_;
+  // Exactly one is set, chosen at construction from DefaultCwtImpl().
+  std::shared_ptr<const CwtDensePlan> dense_plan_;
+  std::shared_ptr<const CwtFftPlan> fft_plan_;
 };
 
 }  // namespace core

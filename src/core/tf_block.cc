@@ -16,13 +16,16 @@ TFBlock::TFBlock(const std::vector<const WaveletBank*>& banks, int64_t seq_len,
   if (mode == TfMode::kWavelet) {
     TS3_CHECK(!banks.empty()) << "TFBlock needs at least one wavelet bank";
     lambda_ = banks[0]->num_subbands();
+    const CwtImpl impl = DefaultCwtImpl();
     for (const WaveletBank* bank : banks) {
       TS3_CHECK_EQ(bank->num_subbands(), lambda_)
           << "all branches must share lambda";
       Branch b;
-      auto [re, im] = BuildCwtMatrices(*bank, seq_len);
-      b.w_re = re;
-      b.w_im = im;
+      if (impl == CwtImpl::kFft) {
+        b.fft = GetFftCwtPlan(*bank, seq_len);
+      } else {
+        b.dense = GetDenseCwtPlan(*bank, seq_len);
+      }
       branches_.push_back(std::move(b));
     }
     num_branches = static_cast<int>(banks.size());
@@ -69,7 +72,11 @@ Tensor TFBlock::Forward(const Tensor& x) {
   for (size_t i = 0; i < backbones_.size(); ++i) {
     // 1) Spectrum expansion to [B, lambda, T, D].
     Tensor x2d;
-    if (mode_ == TfMode::kWavelet || mode_ == TfMode::kStft) {
+    if (mode_ == TfMode::kWavelet) {
+      const Branch& b = branches_[i];
+      x2d = b.fft ? CwtAmplitudeFftOp(x, b.fft)
+                  : CwtAmplitudeOp(x, b.dense->w_re, b.dense->w_im);
+    } else if (mode_ == TfMode::kStft) {
       x2d = CwtAmplitudeOp(x, branches_[i].w_re, branches_[i].w_im);
     } else {
       x2d = Repeat(Unsqueeze(x, 1), 1, lambda_);  // tile the 1-D series

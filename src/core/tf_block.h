@@ -36,7 +36,16 @@ class TFBlock : public nn::Module {
 
  private:
   struct Branch {
-    Tensor w_re;  // [lambda, T, T] constants (kWavelet mode)
+    // kWavelet mode: exactly one of these is set, per the process-wide
+    // DefaultCwtImpl() at construction. Plans come from the shared
+    // TransformCache, so branches (and other layers) with an identical bank
+    // and seq_len reference one instance.
+    std::shared_ptr<const CwtDensePlan> dense;
+    std::shared_ptr<const CwtFftPlan> fft;
+    // kStft mode: inline [lambda, T, T] matrices. STFT atoms are
+    // edge-renormalized (time-varying), so that branch has no pure
+    // correlation structure and stays on the dense path.
+    Tensor w_re;
     Tensor w_im;
   };
 

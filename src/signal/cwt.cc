@@ -88,12 +88,18 @@ Tensor Iwt(const Tensor& y_ltc, const WaveletBank& bank) {
   const double gain = bank.reconstruction_gain();
   std::vector<float> out(static_cast<size_t>(t_len * ch), 0.0f);
   const float* py = y_ltc.data();
-  for (int64_t i = 0; i < lambda; ++i) {
-    const float w =
-        static_cast<float>(gain * bank.reconstruction_weight(static_cast<int>(i)));
-    const float* row = py + i * t_len * ch;
-    for (int64_t j = 0; j < t_len * ch; ++j) out[j] += w * row[j];
-  }
+  // Parallel over the [T·C] plane with the band sum serial per element, so
+  // the accumulation order (and the float result) matches the serial loop
+  // bitwise at any thread count.
+  float* pout = out.data();
+  ParallelFor(0, t_len * ch, 1 << 10, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = 0; i < lambda; ++i) {
+      const float w = static_cast<float>(
+          gain * bank.reconstruction_weight(static_cast<int>(i)));
+      const float* row = py + i * t_len * ch;
+      for (int64_t j = lo; j < hi; ++j) pout[j] += w * row[j];
+    }
+  });
   return Tensor::FromData(std::move(out), {t_len, ch});
 }
 
@@ -109,17 +115,22 @@ Tensor IwtComplex(const Tensor& re_ltc, const Tensor& im_ltc,
   std::vector<float> out(static_cast<size_t>(t_len * ch), 0.0f);
   const float* pr = re_ltc.data();
   const float* pi = im_ltc.data();
-  for (int64_t i = 0; i < lambda; ++i) {
-    const float wr = static_cast<float>(
-        bank.reconstruction_weight_re(static_cast<int>(i)));
-    const float wi = static_cast<float>(
-        bank.reconstruction_weight_im(static_cast<int>(i)));
-    const float* row_r = pr + i * t_len * ch;
-    const float* row_i = pi + i * t_len * ch;
-    for (int64_t j = 0; j < t_len * ch; ++j) {
-      out[j] += wr * row_r[j] + wi * row_i[j];
+  // Same deterministic chunking as Iwt: disjoint [T·C] slices, serial band
+  // accumulation per element.
+  float* pout = out.data();
+  ParallelFor(0, t_len * ch, 1 << 10, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = 0; i < lambda; ++i) {
+      const float wr = static_cast<float>(
+          bank.reconstruction_weight_re(static_cast<int>(i)));
+      const float wi = static_cast<float>(
+          bank.reconstruction_weight_im(static_cast<int>(i)));
+      const float* row_r = pr + i * t_len * ch;
+      const float* row_i = pi + i * t_len * ch;
+      for (int64_t j = lo; j < hi; ++j) {
+        pout[j] += wr * row_r[j] + wi * row_i[j];
+      }
     }
-  }
+  });
   return Tensor::FromData(std::move(out), {t_len, ch});
 }
 
@@ -159,6 +170,12 @@ Tensor CwtAmplitudeOp(const Tensor& x_btd, const Tensor& w_re,
   TS3_CHECK_EQ(w_re.ndim(), 3);
   TS3_CHECK_EQ(w_re.dim(1), x_btd.dim(1))
       << "CWT matrices built for a different sequence length";
+  // The imaginary matrices must mirror the real ones exactly; a mismatched
+  // w_im would otherwise only fail (or silently broadcast) inside MatMul.
+  TS3_CHECK_EQ(w_im.ndim(), 3);
+  TS3_CHECK(w_im.shape() == w_re.shape())
+      << "CWT matrices w_im " << ShapeToString(w_im.shape())
+      << " does not match w_re " << ShapeToString(w_re.shape());
   // [B, 1, T, D] so the [lambda, T, T] matrices broadcast over the batch.
   Tensor x4 = Unsqueeze(x_btd, 1);
   Tensor re = MatMul(w_re, x4);  // [B, lambda, T, D]

@@ -1,8 +1,10 @@
 #ifndef TS3NET_SIGNAL_CWT_H_
 #define TS3NET_SIGNAL_CWT_H_
 
+#include <memory>
 #include <utility>
 
+#include "signal/cwt_plan.h"
 #include "signal/wavelet.h"
 #include "tensor/tensor.h"
 
@@ -46,6 +48,15 @@ std::pair<Tensor, Tensor> BuildCwtMatrices(const WaveletBank& bank,
 /// returns [B, lambda, T, D]. `eps` keeps sqrt differentiable at zero.
 Tensor CwtAmplitudeOp(const Tensor& x_btd, const Tensor& w_re,
                       const Tensor& w_im, float eps = 1e-8f);
+
+/// Differentiable amplitude CWT of x [B, T, D] via padded FFT correlation
+/// against the plan's cached per-band filter spectra: returns
+/// [B, lambda, T, D], numerically equivalent to CwtAmplitudeOp with the
+/// dense matrices of the same bank but O(T log T) per band instead of
+/// O(T^2). Backward is the analytic adjoint reusing the same spectra.
+Tensor CwtAmplitudeFftOp(const Tensor& x_btd,
+                         std::shared_ptr<const CwtFftPlan> plan,
+                         float eps = 1e-8f);
 
 /// Differentiable inverse: y [B, lambda, T, D] -> [B, T, D] via the bank's
 /// calibrated weighted sum over the lambda axis.

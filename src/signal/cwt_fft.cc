@@ -1,0 +1,156 @@
+// FFT-accelerated differentiable amplitude CWT (the `--ts3_cwt_impl=fft`
+// model path). Forward correlates each [T] channel with every sub-band
+// filter as IFFT(FFT(x_pad) ⊙ spectrum_i); backward is the adjoint
+// correlation through the amplitude, reusing the same cached spectra
+// index-reversed. Both directions cost O(B·D·lambda·N log N) against the
+// dense path's O(B·D·lambda·T^2), with O(lambda·N) plan state.
+
+#include <cmath>
+#include <complex>
+#include <memory>
+#include <vector>
+
+#include "common/obs/trace.h"
+#include "common/threadpool.h"
+#include "signal/cwt.h"
+#include "signal/fft.h"
+#include "tensor/tensor.h"
+
+namespace ts3net {
+
+namespace {
+
+/// Shared validation for forward and tests: the plan must carry one
+/// spectrum per sub-band, all of the plan's FFT size, and match the input's
+/// sequence length (mirrors the w_re/w_im shape checks of the dense op).
+void CheckPlanMatchesInput(const CwtFftPlan& plan, const Tensor& x_btd) {
+  TS3_CHECK_EQ(x_btd.ndim(), 3) << "CwtAmplitudeFftOp expects [B, T, D]";
+  TS3_CHECK_EQ(plan.seq_len, x_btd.dim(1))
+      << "CWT FFT plan built for a different sequence length";
+  TS3_CHECK_GE(plan.num_subbands(), 1);
+  TS3_CHECK_GE(plan.fft_size, plan.seq_len);
+  for (const auto& spectrum : plan.spectra) {
+    TS3_CHECK_EQ(static_cast<int64_t>(spectrum.size()), plan.fft_size)
+        << "CWT FFT plan has a band spectrum of the wrong length";
+  }
+}
+
+}  // namespace
+
+Tensor CwtAmplitudeFftOp(const Tensor& x_btd,
+                         std::shared_ptr<const CwtFftPlan> plan, float eps) {
+  TS3_TRACE_SPAN("op/CwtAmplitudeFftOp");
+  TS3_CHECK(plan != nullptr);
+  CheckPlanMatchesInput(*plan, x_btd);
+  const int64_t b = x_btd.dim(0);
+  const int64_t t_len = x_btd.dim(1);
+  const int64_t d = x_btd.dim(2);
+  const int64_t lambda = plan->num_subbands();
+  const int64_t n = plan->fft_size;
+  const int64_t out_numel = b * lambda * t_len * d;
+
+  // The complex responses are saved for the backward pass (the adjoint needs
+  // re/amp and im/amp); amplitudes are computed from the same float-rounded
+  // values so forward output and backward denominator agree exactly.
+  auto re_saved = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(out_numel));
+  auto im_saved = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(out_numel));
+  std::vector<float> amp(static_cast<size_t>(out_numel));
+
+  const float* px = x_btd.data();
+  float* pre = re_saved->data();
+  float* pim = im_saved->data();
+  float* pamp = amp.data();
+  // Fan out over [B·D] channels: each channel writes its own strided slice
+  // of every band plane, so chunks are disjoint and the per-channel band
+  // loop keeps its serial order — bitwise deterministic at any thread count.
+  ParallelFor(0, b * d, 1, [&](int64_t lo, int64_t hi) {
+    std::vector<std::complex<double>> xs;
+    std::vector<std::complex<double>> y;
+    for (int64_t r = lo; r < hi; ++r) {
+      const int64_t bi = r / d;
+      const int64_t di = r % d;
+      xs.assign(static_cast<size_t>(n), {0.0, 0.0});
+      for (int64_t t = 0; t < t_len; ++t) {
+        xs[static_cast<size_t>(t)] = px[(bi * t_len + t) * d + di];
+      }
+      Fft(&xs);
+      for (int64_t i = 0; i < lambda; ++i) {
+        TS3_TRACE_SPAN("cwt/fft_band");
+        const auto& spectrum = plan->spectra[static_cast<size_t>(i)];
+        y.resize(static_cast<size_t>(n));
+        for (int64_t k = 0; k < n; ++k) {
+          y[static_cast<size_t>(k)] =
+              xs[static_cast<size_t>(k)] * spectrum[static_cast<size_t>(k)];
+        }
+        Ifft(&y);
+        for (int64_t t = 0; t < t_len; ++t) {
+          const int64_t idx = ((bi * lambda + i) * t_len + t) * d + di;
+          const float re = static_cast<float>(y[static_cast<size_t>(t)].real());
+          const float im = static_cast<float>(y[static_cast<size_t>(t)].imag());
+          pre[idx] = re;
+          pim[idx] = im;
+          pamp[idx] = std::sqrt(re * re + im * im + eps);
+        }
+      }
+    }
+  });
+
+  Tensor tx = x_btd;
+  return MakeOpResult(
+      std::move(amp), Shape{b, lambda, t_len, d}, "CwtAmplitudeFftOp", {x_btd},
+      [tx, plan, re_saved, im_saved, b, t_len, d, lambda, n,
+       eps](const Tensor& grad_out) mutable {
+        if (!tx.requires_grad()) return;
+        std::vector<float> gx(static_cast<size_t>(b * t_len * d), 0.0f);
+        const float* go = grad_out.data();
+        const float* pre = re_saved->data();
+        const float* pim = im_saved->data();
+        float* pgx = gx.data();
+        // Same disjoint [B·D] channel fan-out as the forward: per channel,
+        // band spectra accumulate in frequency space in serial band order,
+        // then one inverse transform lands the time-domain gradient.
+        ParallelFor(0, b * d, 1, [&](int64_t lo, int64_t hi) {
+          std::vector<std::complex<double>> u;
+          std::vector<std::complex<double>> gsum;
+          for (int64_t r = lo; r < hi; ++r) {
+            const int64_t bi = r / d;
+            const int64_t di = r % d;
+            gsum.assign(static_cast<size_t>(n), {0.0, 0.0});
+            for (int64_t i = 0; i < lambda; ++i) {
+              u.assign(static_cast<size_t>(n), {0.0, 0.0});
+              for (int64_t t = 0; t < t_len; ++t) {
+                const int64_t idx = ((bi * lambda + i) * t_len + t) * d + di;
+                const double re = pre[idx];
+                const double im = pim[idx];
+                const double inv_amp =
+                    go[idx] / std::sqrt(re * re + im * im + eps);
+                // conj(u): the adjoint correlates with the un-conjugated
+                // filter, so the channel gradient is
+                // Re(IFFT(FFT(conj(u)) ⊙ spectrum reversed)).
+                u[static_cast<size_t>(t)] = {re * inv_amp, -im * inv_amp};
+              }
+              Fft(&u);
+              const auto& spectrum = plan->spectra[static_cast<size_t>(i)];
+              // FFT of the time-reversed kernel is the index-reversed
+              // spectrum: K'[k] = K[(N - k) mod N].
+              gsum[0] += u[0] * spectrum[0];
+              for (int64_t k = 1; k < n; ++k) {
+                gsum[static_cast<size_t>(k)] +=
+                    u[static_cast<size_t>(k)] *
+                    spectrum[static_cast<size_t>(n - k)];
+              }
+            }
+            Ifft(&gsum);
+            for (int64_t t = 0; t < t_len; ++t) {
+              pgx[(bi * t_len + t) * d + di] =
+                  static_cast<float>(gsum[static_cast<size_t>(t)].real());
+            }
+          }
+        });
+        tx.AccumulateGrad(Tensor::FromData(std::move(gx), tx.shape()));
+      });
+}
+
+}  // namespace ts3net

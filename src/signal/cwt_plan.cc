@@ -1,0 +1,159 @@
+#include "signal/cwt_plan.h"
+
+#include <atomic>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "common/transform_cache.h"
+#include "signal/cwt.h"
+#include "signal/fft.h"
+
+namespace ts3net {
+
+namespace {
+
+std::atomic<CwtImpl> g_default_impl{CwtImpl::kDense};
+
+uint64_t FnvMix(uint64_t hash, uint64_t value) {
+  constexpr uint64_t kPrime = 1099511628211ull;
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (8 * byte)) & 0xffu;
+    hash *= kPrime;
+  }
+  return hash;
+}
+
+uint64_t FnvMixDouble(uint64_t hash, double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return FnvMix(hash, bits);
+}
+
+int64_t NextFftSize(int64_t n, bool pad_to_power_of_two) {
+  if (!pad_to_power_of_two) return n;
+  int64_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+void SetDefaultCwtImpl(CwtImpl impl) {
+  g_default_impl.store(impl, std::memory_order_relaxed);
+}
+
+CwtImpl DefaultCwtImpl() {
+  return g_default_impl.load(std::memory_order_relaxed);
+}
+
+bool ParseCwtImpl(const std::string& text, CwtImpl* out) {
+  TS3_CHECK(out != nullptr);
+  if (text == "dense") {
+    *out = CwtImpl::kDense;
+    return true;
+  }
+  if (text == "fft") {
+    *out = CwtImpl::kFft;
+    return true;
+  }
+  return false;
+}
+
+const char* CwtImplName(CwtImpl impl) {
+  return impl == CwtImpl::kFft ? "fft" : "dense";
+}
+
+uint64_t WaveletBankFingerprint(const WaveletBank& bank) {
+  constexpr uint64_t kOffsetBasis = 14695981039346656037ull;
+  uint64_t hash = FnvMix(kOffsetBasis,
+                         static_cast<uint64_t>(bank.num_subbands()));
+  for (int i = 0; i < bank.num_subbands(); ++i) {
+    const auto& filter = bank.filter(i);
+    hash = FnvMix(hash, static_cast<uint64_t>(filter.size()));
+    for (const auto& tap : filter) {
+      hash = FnvMixDouble(hash, tap.real());
+      hash = FnvMixDouble(hash, tap.imag());
+    }
+  }
+  return hash;
+}
+
+CwtFftPlan BuildCwtFftPlan(const WaveletBank& bank, int64_t seq_len,
+                           bool pad_to_power_of_two) {
+  TS3_CHECK_GE(seq_len, 1);
+  CwtFftPlan plan;
+  plan.seq_len = seq_len;
+
+  // Effective kernel support: taps with |m| > T-1 multiply x samples outside
+  // [0, T) in every "same"-aligned output position, so clipping them keeps
+  // the transform exactly equal to the dense matrices. The no-alias bound is
+  // then N >= T + L_eff - 1 (classic linear-from-circular padding).
+  int64_t max_len = 0;
+  for (int i = 0; i < bank.num_subbands(); ++i) {
+    max_len = std::max<int64_t>(max_len,
+                                static_cast<int64_t>(bank.filter(i).size()));
+  }
+  const int64_t effective_len = std::min<int64_t>(max_len, 2 * seq_len - 1);
+  plan.fft_size =
+      NextFftSize(seq_len + effective_len - 1, pad_to_power_of_two);
+  const int64_t n = plan.fft_size;
+
+  plan.spectra.resize(static_cast<size_t>(bank.num_subbands()));
+  for (int i = 0; i < bank.num_subbands(); ++i) {
+    const auto& filter = bank.filter(i);
+    const int64_t l = static_cast<int64_t>(filter.size());
+    const int64_t c = (l - 1) / 2;
+    std::vector<std::complex<double>> kernel(static_cast<size_t>(n),
+                                             {0.0, 0.0});
+    for (int64_t tap = 0; tap < l; ++tap) {
+      const int64_t m = c - tap;  // k[m] = psi[c - m]
+      if (m <= -seq_len || m >= seq_len) continue;
+      kernel[static_cast<size_t>(((m % n) + n) % n)] += filter[tap];
+    }
+    Fft(&kernel);
+    plan.spectra[static_cast<size_t>(i)] = std::move(kernel);
+  }
+  return plan;
+}
+
+std::shared_ptr<const CwtDensePlan> GetDenseCwtPlan(const WaveletBank& bank,
+                                                    int64_t seq_len) {
+  const std::string key = StrFormat(
+      "cwt/dense/%llx/%lld",
+      static_cast<unsigned long long>(WaveletBankFingerprint(bank)),
+      static_cast<long long>(seq_len));
+  return TransformCache::Global()->Get<CwtDensePlan>(key, [&]() {
+    auto plan = std::make_shared<CwtDensePlan>();
+    plan->seq_len = seq_len;
+    auto [w_re, w_im] = BuildCwtMatrices(bank, seq_len);
+    plan->w_re = w_re;
+    plan->w_im = w_im;
+    TransformCache::Entry entry;
+    entry.bytes = static_cast<int64_t>(sizeof(float)) *
+                  (plan->w_re.numel() + plan->w_im.numel());
+    entry.plan = std::move(plan);
+    return entry;
+  });
+}
+
+std::shared_ptr<const CwtFftPlan> GetFftCwtPlan(const WaveletBank& bank,
+                                                int64_t seq_len,
+                                                bool pad_to_power_of_two) {
+  const std::string key = StrFormat(
+      "cwt/fft/%llx/%lld/%s",
+      static_cast<unsigned long long>(WaveletBankFingerprint(bank)),
+      static_cast<long long>(seq_len), pad_to_power_of_two ? "pow2" : "exact");
+  return TransformCache::Global()->Get<CwtFftPlan>(key, [&]() {
+    auto plan = std::make_shared<CwtFftPlan>(
+        BuildCwtFftPlan(bank, seq_len, pad_to_power_of_two));
+    TransformCache::Entry entry;
+    entry.bytes = static_cast<int64_t>(sizeof(std::complex<double>)) *
+                  plan->num_subbands() * plan->fft_size;
+    entry.plan = std::move(plan);
+    return entry;
+  });
+}
+
+}  // namespace ts3net

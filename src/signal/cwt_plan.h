@@ -1,0 +1,80 @@
+#ifndef TS3NET_SIGNAL_CWT_PLAN_H_
+#define TS3NET_SIGNAL_CWT_PLAN_H_
+
+#include <complex>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "signal/wavelet.h"
+#include "tensor/tensor.h"
+
+namespace ts3net {
+
+/// Which implementation the differentiable model-path CWT uses.
+///  - kDense: batched MatMul against precomputed [lambda, T, T] correlation
+///    matrices — O(B·lambda·D·T^2) FLOPs, O(lambda·T^2) plan state. The
+///    reference oracle.
+///  - kFft: padded circular FFT correlation against precomputed per-band
+///    filter spectra — O(B·lambda·D·T log T) FLOPs, O(lambda·T) plan state.
+enum class CwtImpl { kDense, kFft };
+
+/// Process-wide default used by TFBlock / SpectrumGradientLayer when they
+/// are constructed (the `--ts3_cwt_impl={fft,dense}` harness flag). The
+/// initial default is kDense, the bit-exact legacy path.
+void SetDefaultCwtImpl(CwtImpl impl);
+CwtImpl DefaultCwtImpl();
+
+/// Parses "fft" / "dense" (case-sensitive). Returns false on unknown text.
+bool ParseCwtImpl(const std::string& text, CwtImpl* out);
+const char* CwtImplName(CwtImpl impl);
+
+/// Immutable dense-path plan: the [lambda, T, T] correlation matrices of
+/// BuildCwtMatrices, built once per (bank fingerprint, seq_len) and shared
+/// by every layer via the TransformCache.
+struct CwtDensePlan {
+  int64_t seq_len = 0;
+  Tensor w_re;  // [lambda, T, T] constants (no grad)
+  Tensor w_im;
+};
+
+/// Immutable FFT-path plan. For sub-band i the padded kernel
+/// k_i[m] = psi_i[c - m] (taps clipped to |m| <= T-1; taps further out can
+/// never touch an output sample) is placed circularly in an fft_size-point
+/// buffer, and `spectra[i]` holds its forward DFT. The forward correlation
+/// is then IFFT(FFT(x_pad) ⊙ spectra[i]); the adjoint reuses the same
+/// spectra index-reversed (see cwt_fft.cc). fft_size is the next power of
+/// two >= T + L_eff - 1, so every transform stays on the radix-2 path; pass
+/// pad_to_power_of_two = false to keep the exact length (Bluestein path).
+struct CwtFftPlan {
+  int64_t seq_len = 0;
+  int64_t fft_size = 0;
+  std::vector<std::vector<std::complex<double>>> spectra;  // [lambda][N]
+
+  int64_t num_subbands() const {
+    return static_cast<int64_t>(spectra.size());
+  }
+};
+
+/// Content fingerprint of a bank (FNV-1a over the sampled filter taps), the
+/// cache-key component that makes equal banks share plans across layers and
+/// model instances.
+uint64_t WaveletBankFingerprint(const WaveletBank& bank);
+
+/// Cached plan accessors. Both are thread-safe and return shared immutable
+/// plans; repeated calls with an equivalent bank and seq_len hit the cache
+/// (counters cache/plan/{hits,misses,bytes}).
+std::shared_ptr<const CwtDensePlan> GetDenseCwtPlan(const WaveletBank& bank,
+                                                    int64_t seq_len);
+std::shared_ptr<const CwtFftPlan> GetFftCwtPlan(
+    const WaveletBank& bank, int64_t seq_len,
+    bool pad_to_power_of_two = true);
+
+/// Builds an FFT plan directly, bypassing the cache (tests / one-shot use).
+CwtFftPlan BuildCwtFftPlan(const WaveletBank& bank, int64_t seq_len,
+                           bool pad_to_power_of_two = true);
+
+}  // namespace ts3net
+
+#endif  // TS3NET_SIGNAL_CWT_PLAN_H_

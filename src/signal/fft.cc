@@ -1,6 +1,9 @@
 #include "signal/fft.h"
 
 #include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
 
 #include "common/check.h"
 
@@ -9,6 +12,28 @@ namespace ts3net {
 namespace {
 
 constexpr double kPi = 3.14159265358979323846;
+
+/// Cached forward twiddles tw[j] = exp(-2*pi*i*j/n), j < n/2, shared by
+/// every stage (stage `len` reads stride n/len). Tables are built once per
+/// size and never evicted; the map's nodes are stable, so the returned
+/// reference stays valid after the lock is released. Direct table reads
+/// also break the serial w *= wlen dependency the butterfly loop otherwise
+/// carries, which dominates single-thread transform latency.
+const std::vector<Complex>& TwiddleTable(size_t n) {
+  static std::mutex mu;
+  static std::map<size_t, std::unique_ptr<std::vector<Complex>>> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  std::unique_ptr<std::vector<Complex>>& slot = cache[n];
+  if (slot == nullptr) {
+    slot = std::make_unique<std::vector<Complex>>(n / 2);
+    for (size_t j = 0; j < n / 2; ++j) {
+      const double angle = -2.0 * kPi * static_cast<double>(j) /
+                           static_cast<double>(n);
+      (*slot)[j] = Complex(std::cos(angle), std::sin(angle));
+    }
+  }
+  return *slot;
+}
 
 /// Iterative radix-2 Cooley–Tukey; `invert` selects the inverse transform
 /// (without normalization — handled by the caller).
@@ -25,17 +50,54 @@ void FftRadix2(std::vector<Complex>* a, bool invert) {
     if (i < j) std::swap((*a)[i], (*a)[j]);
   }
 
-  for (size_t len = 2; len <= n; len <<= 1) {
-    const double angle = 2.0 * kPi / static_cast<double>(len) * (invert ? 1 : -1);
-    const Complex wlen(std::cos(angle), std::sin(angle));
+  // First stage separately: its only twiddle is 1.
+  Complex* p = a->data();
+  for (size_t i = 0; i + 1 < n; i += 2) {
+    const Complex u = p[i];
+    const Complex v = p[i + 1];
+    p[i] = u + v;
+    p[i + 1] = u - v;
+  }
+
+  // Second stage: twiddles are 1 and -+i, so the k = 1 butterfly is a swap
+  // and sign flip rather than a complex multiply.
+  if (n >= 4) {
+    for (size_t i = 0; i < n; i += 4) {
+      Complex u = p[i];
+      Complex v = p[i + 2];
+      p[i] = u + v;
+      p[i + 2] = u - v;
+      u = p[i + 1];
+      const Complex t = p[i + 3];
+      v = invert ? Complex(-t.imag(), t.real())
+                 : Complex(t.imag(), -t.real());
+      p[i + 1] = u + v;
+      p[i + 3] = u - v;
+    }
+  }
+
+  // Remaining stages read the shared forward table (conjugated for the
+  // inverse); the loops are duplicated so the direction branch stays out of
+  // the butterfly.
+  const std::vector<Complex>& tw = TwiddleTable(n);
+  for (size_t len = 8; len <= n; len <<= 1) {
+    const size_t half = len / 2;
+    const size_t stride = n / len;
     for (size_t i = 0; i < n; i += len) {
-      Complex w(1.0, 0.0);
-      for (size_t k = 0; k < len / 2; ++k) {
-        Complex u = (*a)[i + k];
-        Complex v = (*a)[i + k + len / 2] * w;
-        (*a)[i + k] = u + v;
-        (*a)[i + k + len / 2] = u - v;
-        w *= wlen;
+      if (invert) {
+        for (size_t k = 0; k < half; ++k) {
+          const Complex u = p[i + k];
+          const Complex v = p[i + k + half] * std::conj(tw[k * stride]);
+          p[i + k] = u + v;
+          p[i + k + half] = u - v;
+        }
+      } else {
+        for (size_t k = 0; k < half; ++k) {
+          const Complex u = p[i + k];
+          const Complex v = p[i + k + half] * tw[k * stride];
+          p[i + k] = u + v;
+          p[i + k + half] = u - v;
+        }
       }
     }
   }

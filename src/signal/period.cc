@@ -31,8 +31,12 @@ std::vector<DetectedPeriod> DetectTopKPeriods(const Tensor& x_tc, int k) {
   // Rank non-DC bins by amplitude (paper restricts f to [1, ceil(T/2)]).
   std::vector<int64_t> bins;
   for (int64_t f = 1; f <= half; ++f) bins.push_back(f);
+  // Ties break toward the lower frequency (longer period) so the ranking is
+  // a total order: std::sort on equal amplitudes is otherwise free to return
+  // either bin, and the top-k cut would flip between runs.
   std::sort(bins.begin(), bins.end(), [&](int64_t a, int64_t b) {
-    return mean_amp[a] > mean_amp[b];
+    if (mean_amp[a] != mean_amp[b]) return mean_amp[a] > mean_amp[b];
+    return a < b;
   });
 
   std::vector<DetectedPeriod> out;

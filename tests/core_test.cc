@@ -257,6 +257,63 @@ TEST(TfBlockTest, MergeWeightsAreLearnable) {
 }
 
 // ---------------------------------------------------------------------------
+// CWT implementation switch (--ts3_cwt_impl): layers built under the fft
+// default must match their dense-built twins.
+// ---------------------------------------------------------------------------
+
+class CwtImplSwitchTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetDefaultCwtImpl(CwtImpl::kDense); }
+};
+
+TEST_F(CwtImplSwitchTest, SgdLayerFftMatchesDense) {
+  WaveletBank bank = SmallBank(4);
+  Rng rng(13);
+  Tensor x = Tensor::Randn({2, 24, 3}, &rng);
+
+  SetDefaultCwtImpl(CwtImpl::kDense);
+  SpectrumGradientLayer dense_layer(&bank, 24);
+  Tensor xd = x.Clone().set_requires_grad(true);
+  auto dense_out = dense_layer.Decompose(xd, 8);
+  Sum(Square(dense_out.regular)).Backward();
+
+  SetDefaultCwtImpl(CwtImpl::kFft);
+  SpectrumGradientLayer fft_layer(&bank, 24);
+  Tensor xf = x.Clone().set_requires_grad(true);
+  auto fft_out = fft_layer.Decompose(xf, 8);
+  Sum(Square(fft_out.regular)).Backward();
+
+  EXPECT_TRUE(AllClose(fft_out.regular, dense_out.regular, 1e-4f, 1e-4f));
+  EXPECT_TRUE(
+      AllClose(fft_out.fluctuant_2d, dense_out.fluctuant_2d, 1e-4f, 1e-4f));
+  EXPECT_TRUE(
+      AllClose(fft_out.fluctuant_1d, dense_out.fluctuant_1d, 1e-4f, 1e-4f));
+  EXPECT_TRUE(AllClose(xf.grad(), xd.grad(), 1e-3f, 1e-4f));
+}
+
+TEST_F(CwtImplSwitchTest, TfBlockFftMatchesDense) {
+  WaveletBank b1 = SmallBank(4, 1), b2 = SmallBank(4, 2);
+  Tensor x;
+  {
+    Rng rng(14);
+    x = Tensor::Randn({2, 20, 8}, &rng);
+  }
+
+  SetDefaultCwtImpl(CwtImpl::kDense);
+  Rng rng_dense(15);
+  TFBlock dense_block({&b1, &b2}, 20, 8, 16, 2, TfMode::kWavelet, &rng_dense);
+  Tensor dense_y = dense_block.Forward(x);
+
+  // Same weight seed, fft CWT path: outputs must agree to FFT round-off.
+  SetDefaultCwtImpl(CwtImpl::kFft);
+  Rng rng_fft(15);
+  TFBlock fft_block({&b1, &b2}, 20, 8, 16, 2, TfMode::kWavelet, &rng_fft);
+  Tensor fft_y = fft_block.Forward(x);
+
+  EXPECT_TRUE(AllClose(fft_y, dense_y, 1e-3f, 1e-4f));
+}
+
+// ---------------------------------------------------------------------------
 // TS3Net end-to-end
 // ---------------------------------------------------------------------------
 

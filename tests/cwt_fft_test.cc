@@ -1,0 +1,284 @@
+// Cross-implementation oracle suite for the FFT CWT path: the dense
+// matrix-based CwtAmplitudeOp is the reference and CwtAmplitudeFftOp must
+// agree with it — forward values and input gradients — on random inputs,
+// on both the padded power-of-two FFT path and the exact-length Bluestein
+// path, plus the shared-plan cache, determinism, and signal-path
+// regressions that ride along.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/threadpool.h"
+#include "common/transform_cache.h"
+#include "signal/cwt.h"
+#include "signal/cwt_plan.h"
+#include "signal/fft.h"
+#include "signal/period.h"
+#include "signal/wavelet.h"
+#include "tensor/gradcheck.h"
+#include "tensor/ops.h"
+
+namespace ts3net {
+namespace {
+
+WaveletBank SmallBank(int lambda = 8, int order = 1) {
+  WaveletBankOptions opt;
+  opt.num_subbands = lambda;
+  opt.order = order;
+  return WaveletBank::Create(opt);
+}
+
+void ExpectRelClose(const Tensor& got, const Tensor& want, float rtol,
+                    const char* what) {
+  ASSERT_EQ(got.shape(), want.shape()) << what;
+  const float* pg = got.data();
+  const float* pw = want.data();
+  float max_rel = 0.0f;
+  for (int64_t i = 0; i < got.numel(); ++i) {
+    const float denom = std::max(1.0f, std::fabs(pw[i]));
+    max_rel = std::max(max_rel, std::fabs(pg[i] - pw[i]) / denom);
+  }
+  EXPECT_LE(max_rel, rtol) << what << ": max relative error " << max_rel;
+}
+
+void ExpectBitwiseEqual(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  if (a.numel() > 0) {
+    EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                          sizeof(float) * static_cast<size_t>(a.numel())),
+              0);
+  }
+}
+
+/// Runs forward + backward through both implementations on the same random
+/// input and checks [B, lambda, T, D] amplitudes and [B, T, D] input
+/// gradients agree within `rtol`.
+void CompareFftAgainstDense(const WaveletBank& bank, int64_t b, int64_t t_len,
+                            int64_t d, bool pad_to_power_of_two,
+                            uint64_t seed) {
+  auto [w_re, w_im] = BuildCwtMatrices(bank, t_len);
+  const CwtFftPlan plan = BuildCwtFftPlan(bank, t_len, pad_to_power_of_two);
+  if (!pad_to_power_of_two) {
+    // The exact-length plan must actually exercise the Bluestein FFT.
+    ASSERT_FALSE(IsPowerOfTwo(static_cast<size_t>(plan.fft_size)))
+        << "choose T so the unpadded size is not a power of two";
+  }
+  auto shared = std::make_shared<const CwtFftPlan>(plan);
+
+  Rng rng(seed);
+  Tensor x = Tensor::Randn({b, t_len, d}, &rng);
+  Tensor go = Tensor::Randn({b, bank.num_subbands(), t_len, d}, &rng);
+
+  Tensor x_dense = x.Clone().set_requires_grad(true);
+  Tensor amp_dense = CwtAmplitudeOp(x_dense, w_re, w_im);
+  amp_dense.Backward(go);
+
+  Tensor x_fft = x.Clone().set_requires_grad(true);
+  Tensor amp_fft = CwtAmplitudeFftOp(x_fft, shared);
+  amp_fft.Backward(go);
+
+  ExpectRelClose(amp_fft, amp_dense, 1e-4f, "forward amplitudes");
+  ExpectRelClose(x_fft.grad(), x_dense.grad(), 1e-4f, "input gradients");
+}
+
+// ---------------------------------------------------------------------------
+// FFT-vs-dense oracle
+// ---------------------------------------------------------------------------
+
+TEST(CwtFftOracleTest, ForwardAndGradMatchDenseOnPow2Length) {
+  CompareFftAgainstDense(SmallBank(8), /*b=*/2, /*t_len=*/64, /*d=*/3,
+                         /*pad_to_power_of_two=*/true, /*seed=*/11);
+}
+
+TEST(CwtFftOracleTest, ForwardAndGradMatchDenseOnBluesteinLength) {
+  // T = 96 with exact-length padding lands on a non-power-of-two transform,
+  // pushing the whole op through the Bluestein FFT.
+  CompareFftAgainstDense(SmallBank(6), /*b=*/2, /*t_len=*/96, /*d=*/2,
+                         /*pad_to_power_of_two=*/false, /*seed=*/12);
+}
+
+TEST(CwtFftOracleTest, ForwardAndGradMatchDenseHigherOrderBank) {
+  CompareFftAgainstDense(SmallBank(5, /*order=*/2), /*b=*/1, /*t_len=*/50,
+                         /*d=*/2, /*pad_to_power_of_two=*/true, /*seed=*/13);
+}
+
+TEST(CwtFftOracleTest, ZeroInputMatchesDenseEpsFloor) {
+  // At x = 0 both responses vanish and the amplitude sits on the eps floor
+  // sqrt(eps); the gradient must stay finite (zero) rather than 0/0.
+  WaveletBank bank = SmallBank(4);
+  const int64_t t_len = 32;
+  auto [w_re, w_im] = BuildCwtMatrices(bank, t_len);
+  auto plan =
+      std::make_shared<const CwtFftPlan>(BuildCwtFftPlan(bank, t_len));
+
+  Tensor x = Tensor::Zeros({1, t_len, 2}).set_requires_grad(true);
+  Tensor amp = CwtAmplitudeFftOp(x, plan);
+  const float floor = std::sqrt(1e-8f);
+  for (int64_t i = 0; i < amp.numel(); ++i) {
+    EXPECT_NEAR(amp.data()[i], floor, 1e-6f);
+  }
+  amp.Backward(Tensor::Ones(amp.shape()));
+  for (int64_t i = 0; i < x.grad().numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(x.grad().data()[i]));
+    EXPECT_NEAR(x.grad().data()[i], 0.0f, 1e-6f);
+  }
+
+  Tensor xd = Tensor::Zeros({1, t_len, 2}).set_requires_grad(true);
+  Tensor amp_dense = CwtAmplitudeOp(xd, w_re, w_im);
+  ExpectRelClose(amp, amp_dense, 1e-4f, "eps-floor amplitudes");
+}
+
+TEST(CwtFftOracleTest, CwtAmplitudeFftOpGradCheck) {
+  ThreadPool::SetGlobalNumThreads(1);
+  WaveletBank bank = SmallBank(4);
+  auto plan = std::make_shared<const CwtFftPlan>(BuildCwtFftPlan(bank, 12));
+  Rng rng(21);
+  Tensor x = Tensor::Randn({1, 12, 2}, &rng);
+  auto fn = [&](const std::vector<Tensor>& in) {
+    return Sum(CwtAmplitudeFftOp(in[0], plan, 1e-4f));
+  };
+  auto r = CheckGradients(fn, {x}, 1e-2f, 5e-2f);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+// ---------------------------------------------------------------------------
+// Shape validation regressions
+// ---------------------------------------------------------------------------
+
+TEST(CwtOpValidationTest, MismatchedImagMatricesDie) {
+  // Regression: CwtAmplitudeOp validated w_re but accepted a w_im of any
+  // shape, deferring the failure (or a silent broadcast) to MatMul.
+  WaveletBank bank = SmallBank(4);
+  auto [w_re, w_im] = BuildCwtMatrices(bank, 16);
+  Rng rng(5);
+  Tensor x = Tensor::Randn({1, 16, 2}, &rng);
+  Tensor bad_im = Tensor::Zeros({bank.num_subbands(), 16, 8});
+  EXPECT_DEATH(CwtAmplitudeOp(x, w_re, bad_im), "w_im");
+  Tensor bad_rank = Tensor::Zeros({16, 16});
+  EXPECT_DEATH(CwtAmplitudeOp(x, w_re, bad_rank), "CHECK failed");
+}
+
+TEST(CwtOpValidationTest, FftPlanSequenceLengthMismatchDies) {
+  WaveletBank bank = SmallBank(4);
+  auto plan = std::make_shared<const CwtFftPlan>(BuildCwtFftPlan(bank, 16));
+  Rng rng(6);
+  Tensor x = Tensor::Randn({1, 24, 2}, &rng);
+  EXPECT_DEATH(CwtAmplitudeFftOp(x, plan), "sequence length");
+}
+
+// ---------------------------------------------------------------------------
+// Shared plan cache
+// ---------------------------------------------------------------------------
+
+TEST(CwtPlanCacheTest, EquivalentBanksShareOnePlan) {
+  TransformCache::Global()->Clear();
+  WaveletBank bank_a = SmallBank(6);
+  WaveletBank bank_b = SmallBank(6);  // equal content, distinct instance
+  EXPECT_EQ(WaveletBankFingerprint(bank_a), WaveletBankFingerprint(bank_b));
+
+  auto dense_a = GetDenseCwtPlan(bank_a, 48);
+  auto dense_b = GetDenseCwtPlan(bank_b, 48);
+  EXPECT_EQ(dense_a.get(), dense_b.get());
+
+  auto fft_a = GetFftCwtPlan(bank_a, 48);
+  auto fft_b = GetFftCwtPlan(bank_b, 48);
+  EXPECT_EQ(fft_a.get(), fft_b.get());
+
+  EXPECT_EQ(TransformCache::Global()->size(), 2);
+  EXPECT_GT(TransformCache::Global()->bytes(), 0);
+}
+
+TEST(CwtPlanCacheTest, DistinctKeysGetDistinctPlans) {
+  TransformCache::Global()->Clear();
+  WaveletBank bank = SmallBank(6);
+  WaveletBank other = SmallBank(6, /*order=*/2);
+  EXPECT_NE(WaveletBankFingerprint(bank), WaveletBankFingerprint(other));
+
+  auto p1 = GetFftCwtPlan(bank, 48);
+  auto p2 = GetFftCwtPlan(bank, 96);      // different seq_len
+  auto p3 = GetFftCwtPlan(other, 48);     // different bank content
+  auto p4 = GetFftCwtPlan(bank, 48, /*pad_to_power_of_two=*/false);
+  EXPECT_NE(p1.get(), p2.get());
+  EXPECT_NE(p1.get(), p3.get());
+  EXPECT_NE(p1.get(), p4.get());
+  EXPECT_EQ(TransformCache::Global()->size(), 4);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count determinism (bitwise, 1 thread vs oversubscribed 8)
+// ---------------------------------------------------------------------------
+
+class CwtFftThreadDeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ThreadPool::SetGlobalNumThreads(1); }
+};
+
+TEST_F(CwtFftThreadDeterminismTest, FftOpForwardAndGrad) {
+  WaveletBank bank = SmallBank(6);
+  auto plan = std::make_shared<const CwtFftPlan>(BuildCwtFftPlan(bank, 48));
+  auto run = [&] {
+    Rng rng(41);
+    Tensor x = Tensor::Randn({2, 48, 3}, &rng).set_requires_grad(true);
+    Tensor amp = CwtAmplitudeFftOp(x, plan);
+    Tensor go = Tensor::Randn(amp.shape(), &rng);
+    amp.Backward(go);
+    return std::pair<Tensor, Tensor>{amp, x.grad()};
+  };
+  ThreadPool::SetGlobalNumThreads(1);
+  auto [amp1, gx1] = run();
+  ThreadPool::SetGlobalNumThreads(8);
+  auto [amp8, gx8] = run();
+  ExpectBitwiseEqual(amp1, amp8);
+  ExpectBitwiseEqual(gx1, gx8);
+}
+
+TEST_F(CwtFftThreadDeterminismTest, IwtAndIwtComplex) {
+  // Regression: Iwt / IwtComplex ran serial band loops; the parallel [T*C]
+  // fan-out must keep the serial accumulation order per element.
+  WaveletBank bank = SmallBank(10);
+  Rng rng(42);
+  Tensor x = Tensor::Randn({192, 3}, &rng);
+
+  ThreadPool::SetGlobalNumThreads(1);
+  Tensor re, im;
+  CwtComplex(x, bank, &re, &im);
+  Tensor amp = CwtAmplitude(x, bank);
+  Tensor iwt1 = Iwt(amp, bank);
+  Tensor iwtc1 = IwtComplex(re, im, bank);
+
+  ThreadPool::SetGlobalNumThreads(8);
+  Tensor iwt8 = Iwt(amp, bank);
+  Tensor iwtc8 = IwtComplex(re, im, bank);
+
+  ExpectBitwiseEqual(iwt1, iwt8);
+  ExpectBitwiseEqual(iwtc1, iwtc8);
+}
+
+// ---------------------------------------------------------------------------
+// Period ranking determinism
+// ---------------------------------------------------------------------------
+
+TEST(PeriodTieBreakTest, EqualAmplitudesRankByLowerFrequency) {
+  // A unit impulse has an exactly flat DFT magnitude (every bin 1.0 before
+  // scaling), so all non-DC bins tie. The comparator must order ties by
+  // lower frequency instead of leaving the order to std::sort.
+  const int64_t t_len = 64;
+  std::vector<float> data(static_cast<size_t>(t_len), 0.0f);
+  data[0] = 1.0f;
+  Tensor x = Tensor::FromData(std::move(data), {t_len, 1});
+  std::vector<DetectedPeriod> top = DetectTopKPeriods(x, 5);
+  ASSERT_EQ(top.size(), 5u);
+  for (size_t i = 0; i < top.size(); ++i) {
+    EXPECT_EQ(top[i].frequency, static_cast<int64_t>(i) + 1);
+  }
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_DOUBLE_EQ(top[i].amplitude, top[0].amplitude);
+  }
+}
+
+}  // namespace
+}  // namespace ts3net
