@@ -1,0 +1,356 @@
+// micro_serve — micro-batched serving vs serial single-request inference.
+//
+// Builds a randomly initialised model, freezes it into a serve::ModelSnapshot,
+// and replays the same deterministic request stream two ways:
+//
+//   serial   one snapshot->Predict([1, T, C]) call per request, one thread —
+//            the no-batching baseline every cell is compared against
+//   batched  N client threads pushing requests through a serve::MicroBatcher
+//            for every (clients, max_batch) combination in the grid
+//
+// Every batched output is memcmp'd against the serial reference, so the
+// printed speedups are only reported for bitwise-identical results. Client
+// threads measure per-request latency; the harness reports exact p50/p95/p99
+// over all requests of a cell plus the mean realised batch size (from the
+// serve/requests and serve/batches counters) and writes BENCH_serve.json.
+//
+// Flags:
+//   --model=LSTM --lookback=96 --horizon=24 --channels=4 --dmodel=8
+//       The default is the recurrent model on purpose: its forward runs T
+//       sequential steps of small matmuls, so per-step dispatch overhead
+//       dominates and batching amortises it ~3.5x on one core. Memory-bound
+//       one-shot models (DLinear) have nothing to amortise and stay ~1x.
+//   --requests=512             requests per cell (and for the serial pass)
+//   --clients=1,2,4,8          client-thread counts to sweep
+//   --max_batch=1,4,8          batch caps to sweep
+//   --max_wait_us=500          batch-forming deadline inside the batcher
+//   --reps=2                   serial pass repetitions (best-of)
+//   --bench_json=path          output path ("" disables the record)
+//   --ts3_num_threads=1        serial kernels by default: the headline number
+//                              is batching amortisation, not thread scaling
+//   plus the usual obs flags (--ts3_trace/--ts3_profile/...).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/obs/json.h"
+#include "common/obs/metrics.h"
+#include "common/obs/obs.h"
+#include "common/random.h"
+#include "common/threadpool.h"
+#include "models/registry.h"
+#include "serve/batcher.h"
+#include "serve/snapshot.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace ts3net {
+namespace {
+
+struct CellResult {
+  int64_t clients = 0;
+  int64_t max_batch = 0;
+  double wall_ms = 0;
+  double rps = 0;
+  double speedup = 0;       // vs the serial baseline
+  double p50_us = 0;
+  double p95_us = 0;
+  double p99_us = 0;
+  double mean_batch = 0;    // realised requests per executed batch
+  bool bitwise_equal = false;
+};
+
+Tensor MakeWindow(int64_t lookback, int64_t channels, int tag) {
+  std::vector<float> values(static_cast<size_t>(lookback * channels));
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = std::sin(0.05f * static_cast<float>(i) +
+                         0.31f * static_cast<float>(tag)) +
+                0.02f * static_cast<float>(tag % 17);
+  }
+  return Tensor::FromData(std::move(values), {lookback, channels});
+}
+
+double ExactPercentile(std::vector<double> sorted_us, double p) {
+  if (sorted_us.empty()) return 0;
+  const double rank = p / 100.0 * static_cast<double>(sorted_us.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted_us.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_us[lo] + frac * (sorted_us[hi] - sorted_us[lo]);
+}
+
+bool BitwiseEqual(const Tensor& got_hc, const Tensor& want_1hc) {
+  if (got_hc.numel() != want_1hc.numel()) return false;
+  return std::memcmp(got_hc.data(), want_1hc.data(),
+                     static_cast<size_t>(got_hc.numel()) * sizeof(float)) == 0;
+}
+
+CellResult RunCell(const std::shared_ptr<const serve::ModelSnapshot>& snapshot,
+                   const std::vector<Tensor>& windows,
+                   const std::vector<Tensor>& reference, int64_t clients,
+                   int64_t max_batch, int64_t max_wait_us, double serial_ms) {
+  CellResult cell;
+  cell.clients = clients;
+  cell.max_batch = max_batch;
+
+  auto* registry = obs::MetricsRegistry::Global();
+  const int64_t requests_before = registry->counter("serve/requests")->value();
+  const int64_t batches_before = registry->counter("serve/batches")->value();
+
+  serve::MicroBatcherOptions opt;
+  opt.max_batch = max_batch;
+  opt.max_wait_us = max_wait_us;
+  serve::MicroBatcher batcher(snapshot, opt);
+
+  const int64_t n = static_cast<int64_t>(windows.size());
+  std::vector<Tensor> outputs(static_cast<size_t>(n));
+  std::vector<double> latency_us(static_cast<size_t>(n), 0.0);
+
+  // Requests are striped over clients; each client owns its slice of the
+  // output/latency arrays, so no synchronisation beyond the batcher itself.
+  const int64_t start_ns = obs::NowNanos();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int64_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int64_t i = c; i < n; i += clients) {
+        const int64_t t0 = obs::NowNanos();
+        auto result = batcher.Predict(windows[static_cast<size_t>(i)]);
+        const int64_t t1 = obs::NowNanos();
+        TS3_CHECK(result.ok()) << result.status().ToString();
+        outputs[static_cast<size_t>(i)] = result.value();
+        latency_us[static_cast<size_t>(i)] =
+            static_cast<double>(t1 - t0) / 1e3;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  batcher.Shutdown();
+  cell.wall_ms = static_cast<double>(obs::NowNanos() - start_ns) / 1e6;
+
+  cell.bitwise_equal = true;
+  for (int64_t i = 0; i < n; ++i) {
+    if (!BitwiseEqual(outputs[static_cast<size_t>(i)],
+                      reference[static_cast<size_t>(i)])) {
+      cell.bitwise_equal = false;
+      break;
+    }
+  }
+
+  std::sort(latency_us.begin(), latency_us.end());
+  cell.p50_us = ExactPercentile(latency_us, 50);
+  cell.p95_us = ExactPercentile(latency_us, 95);
+  cell.p99_us = ExactPercentile(latency_us, 99);
+  cell.rps = static_cast<double>(n) / (cell.wall_ms / 1e3);
+  cell.speedup = serial_ms / cell.wall_ms;
+  const int64_t requests =
+      registry->counter("serve/requests")->value() - requests_before;
+  const int64_t batches =
+      registry->counter("serve/batches")->value() - batches_before;
+  cell.mean_batch = batches > 0
+                        ? static_cast<double>(requests) /
+                              static_cast<double>(batches)
+                        : 0.0;
+  return cell;
+}
+
+void WriteRecord(const std::string& path, const std::string& model,
+                 int64_t lookback, int64_t horizon, int64_t channels,
+                 int64_t requests, int64_t max_wait_us, double serial_ms,
+                 const std::vector<CellResult>& cells) {
+  if (path.empty()) return;
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("bench");
+  w.String("serve");
+  w.Key("settings");
+  w.BeginObject();
+  w.Key("model");
+  w.String(model);
+  w.Key("lookback");
+  w.Int(lookback);
+  w.Key("horizon");
+  w.Int(horizon);
+  w.Key("channels");
+  w.Int(channels);
+  w.Key("requests");
+  w.Int(requests);
+  w.Key("max_wait_us");
+  w.Int(max_wait_us);
+  w.Key("threads");
+  w.Int(ThreadPool::GlobalNumThreads());
+  w.EndObject();
+  w.Key("serial");
+  w.BeginObject();
+  w.Key("wall_ms");
+  w.Double(serial_ms);
+  w.Key("rps");
+  w.Double(static_cast<double>(requests) / (serial_ms / 1e3));
+  w.EndObject();
+  w.Key("cells");
+  w.BeginArray();
+  for (const CellResult& c : cells) {
+    w.BeginObject();
+    w.Key("clients");
+    w.Int(c.clients);
+    w.Key("max_batch");
+    w.Int(c.max_batch);
+    w.Key("wall_ms");
+    w.Double(c.wall_ms);
+    w.Key("rps");
+    w.Double(c.rps);
+    w.Key("speedup");
+    w.Double(c.speedup);
+    w.Key("p50_us");
+    w.Double(c.p50_us);
+    w.Key("p95_us");
+    w.Double(c.p95_us);
+    w.Key("p99_us");
+    w.Double(c.p99_us);
+    w.Key("mean_batch");
+    w.Double(c.mean_batch);
+    w.Key("bitwise_equal");
+    w.Bool(c.bitwise_equal);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [counter, value] :
+       obs::MetricsRegistry::Global()->CounterValues()) {
+    w.Key(counter);
+    w.Int(value);
+  }
+  w.EndObject();
+  w.EndObject();
+
+  const std::string json = w.str();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write bench record %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "run record written to %s\n", path.c_str());
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
+  // Serial kernels by default: the headline number is the amortisation of
+  // per-request dispatch overhead, not thread scaling of the math.
+  ThreadPool::SetGlobalNumThreads(
+      static_cast<int>(flags.GetInt("ts3_num_threads", 1)));
+  obs::ObsScope obs_scope(flags);
+
+  const std::string model_name = flags.GetString("model", "LSTM");
+  const int64_t lookback = flags.GetInt("lookback", 96);
+  const int64_t horizon = flags.GetInt("horizon", 24);
+  const int64_t channels = flags.GetInt("channels", 4);
+  const int64_t requests = flags.GetInt("requests", 512);
+  const int64_t max_wait_us = flags.GetInt("max_wait_us", 500);
+  const int reps = static_cast<int>(flags.GetInt("reps", 2));
+  const std::vector<int64_t> client_counts =
+      flags.GetIntList("clients", {1, 2, 4, 8});
+  const std::vector<int64_t> max_batches =
+      flags.GetIntList("max_batch", {1, 4, 8});
+
+  models::ModelConfig cfg;
+  cfg.seq_len = lookback;
+  cfg.pred_len = horizon;
+  cfg.channels = channels;
+  cfg.d_model = flags.GetInt("dmodel", 8);
+  cfg.d_ff = cfg.d_model;
+  cfg.dropout = 0.0f;
+
+  Rng trained_rng(7);
+  auto trained = models::CreateModel(model_name, cfg, &trained_rng);
+  TS3_CHECK(trained.ok()) << trained.status().ToString();
+  Rng twin_rng(8);
+  auto twin = models::CreateModel(model_name, cfg, &twin_rng);
+  TS3_CHECK(twin.ok()) << twin.status().ToString();
+  auto snapshot = serve::ModelSnapshot::Capture(*trained.value(), twin.value());
+  TS3_CHECK(snapshot.ok()) << snapshot.status().ToString();
+
+  std::vector<Tensor> windows;
+  windows.reserve(static_cast<size_t>(requests));
+  for (int64_t i = 0; i < requests; ++i) {
+    windows.push_back(MakeWindow(lookback, channels, static_cast<int>(i)));
+  }
+
+  // Serial baseline (and bitwise reference): one request per forward. The
+  // first pass both warms up and produces the reference outputs; timing is
+  // best-of-reps.
+  std::vector<Tensor> reference;
+  reference.reserve(windows.size());
+  double serial_ms = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    std::vector<Tensor> outs;
+    outs.reserve(windows.size());
+    const int64_t start_ns = obs::NowNanos();
+    for (const Tensor& window : windows) {
+      outs.push_back(snapshot.value()->Predict(
+          Reshape(window, {1, lookback, channels})));
+    }
+    serial_ms = std::min(
+        serial_ms, static_cast<double>(obs::NowNanos() - start_ns) / 1e6);
+    if (reference.empty()) reference = std::move(outs);
+  }
+  std::printf("model %s [T=%lld H=%lld C=%lld], %lld requests\n",
+              model_name.c_str(), static_cast<long long>(lookback),
+              static_cast<long long>(horizon),
+              static_cast<long long>(channels),
+              static_cast<long long>(requests));
+  std::printf("serial: %10.2f ms  %10.0f req/s\n\n", serial_ms,
+              static_cast<double>(requests) / (serial_ms / 1e3));
+  std::printf("%8s %10s %10s %10s %9s %9s %9s %9s %11s %8s\n", "clients",
+              "max_batch", "wall_ms", "req/s", "speedup", "p50_us", "p95_us",
+              "p99_us", "mean_batch", "bitwise");
+
+  std::vector<CellResult> cells;
+  for (int64_t clients : client_counts) {
+    for (int64_t max_batch : max_batches) {
+      CellResult cell = RunCell(snapshot.value(), windows, reference, clients,
+                                max_batch, max_wait_us, serial_ms);
+      std::printf(
+          "%8lld %10lld %10.2f %10.0f %8.2fx %9.0f %9.0f %9.0f %11.2f %8s\n",
+          static_cast<long long>(cell.clients),
+          static_cast<long long>(cell.max_batch), cell.wall_ms, cell.rps,
+          cell.speedup, cell.p50_us, cell.p95_us, cell.p99_us, cell.mean_batch,
+          cell.bitwise_equal ? "ok" : "MISMATCH");
+      std::fflush(stdout);
+      cells.push_back(cell);
+    }
+  }
+
+  WriteRecord(flags.GetString("bench_json", "BENCH_serve.json"), model_name,
+              lookback, horizon, channels, requests, max_wait_us, serial_ms,
+              cells);
+
+  for (const CellResult& c : cells) {
+    if (!c.bitwise_equal) {
+      std::fprintf(stderr,
+                   "FAIL: cell clients=%lld max_batch=%lld diverged from "
+                   "serial outputs\n",
+                   static_cast<long long>(c.clients),
+                   static_cast<long long>(c.max_batch));
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ts3net
+
+int main(int argc, char** argv) { return ts3net::Main(argc, argv); }

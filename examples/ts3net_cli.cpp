@@ -11,6 +11,15 @@
 //              [--horizon=24] [--epochs=3] [--ckpt=model.ckpt]
 //       Train a model on the CSV (70/10/20 chronological split), report
 //       test MSE/MAE (standard and walk-forward), optionally checkpoint.
+//   serve      --csv=series.csv [--model=LSTM] [--ckpt=model.ckpt]
+//              [--serve_clients=4] [--serve_max_batch=8]
+//              [--serve_max_wait_us=500] [--serve_requests=128]
+//       Freeze the model into an immutable serve::ModelSnapshot (training it
+//       quickly first unless --ckpt provides weights), then replay sliding
+//       windows from the test split two ways — serial single-request
+//       inference and `--serve_clients` threads through a MicroBatcher — and
+//       report throughput, speedup, tail latency, realised batch size, and a
+//       bitwise comparison of the two output streams.
 //   help
 //       Print this usage text.
 //
@@ -33,10 +42,14 @@
 //   ./build/examples/ts3net_cli periods --csv=/tmp/s.csv
 //   ./build/examples/ts3net_cli forecast --csv=/tmp/s.csv --horizon=24
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <thread>
+#include <vector>
 
 #include "common/flags.h"
+#include "common/obs/metrics.h"
 #include "common/obs/obs.h"
 #include "common/threadpool.h"
 #include "core/decomposition.h"
@@ -45,6 +58,8 @@
 #include "data/synthetic.h"
 #include "models/registry.h"
 #include "nn/serialize.h"
+#include "serve/batcher.h"
+#include "serve/snapshot.h"
 #include "signal/cwt_plan.h"
 #include "signal/period.h"
 #include "tensor/ops.h"
@@ -197,11 +212,174 @@ int CmdForecast(const FlagParser& flags) {
   return 0;
 }
 
+double ExactPercentile(std::vector<double>* sorted_in_place, double q) {
+  std::sort(sorted_in_place->begin(), sorted_in_place->end());
+  const size_t n = sorted_in_place->size();
+  if (n == 0) return 0.0;
+  const size_t idx = std::min(n - 1, static_cast<size_t>(q * (n - 1) + 0.5));
+  return (*sorted_in_place)[idx];
+}
+
+int CmdServe(const FlagParser& flags) {
+  auto series = LoadSeries(flags);
+  if (!series.ok()) return Fail(series.status());
+  const int64_t lookback = flags.GetInt("lookback", 96);
+  const int64_t horizon = flags.GetInt("horizon", 24);
+  const std::string model_name = flags.GetString("model", "LSTM");
+
+  data::SplitSeries split = data::SplitChronological(
+      series.value(), 0.7, 0.1, lookback + horizon);
+  data::StandardScaler scaler;
+  scaler.Fit(split.train.values);
+
+  models::ModelConfig config;
+  config.seq_len = lookback;
+  config.pred_len = horizon;
+  config.channels = series.value().channels();
+  config.d_model = flags.GetInt("dmodel", 16);
+  config.d_ff = config.d_model;
+  config.lambda = static_cast<int>(flags.GetInt("lambda", 6));
+  const int64_t seed = flags.GetInt("seed", 1);
+  Rng rng(static_cast<uint64_t>(seed));
+  auto model = models::CreateModel(model_name, config, &rng);
+  if (!model.ok()) return Fail(model.status());
+
+  const std::string ckpt = flags.GetString("ckpt", "");
+  if (!ckpt.empty()) {
+    if (Status st = nn::LoadParameters(model.value().get(), ckpt); !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("%s: loaded %s\n", model_name.c_str(), ckpt.c_str());
+  } else {
+    data::ForecastDataset train_ds(scaler.Transform(split.train.values),
+                                   lookback, horizon);
+    data::ForecastDataset val_ds(scaler.Transform(split.val.values), lookback,
+                                 horizon);
+    train::TrainOptions topt;
+    topt.epochs = static_cast<int>(flags.GetInt("epochs", 1));
+    topt.lr = static_cast<float>(flags.GetDouble("lr", 5e-3));
+    topt.max_batches_per_epoch = flags.GetInt("batches", 10);
+    train::FitForecast(model.value().get(), train_ds, val_ds, topt);
+  }
+
+  // Freeze into a snapshot. The twin is a second CreateModel with the same
+  // config, so the parameter trees match by construction; from here on the
+  // source model could keep training without affecting serving.
+  Rng twin_rng(static_cast<uint64_t>(seed + 1));
+  auto twin = models::CreateModel(model_name, config, &twin_rng);
+  if (!twin.ok()) return Fail(twin.status());
+  auto snapshot = serve::ModelSnapshot::Capture(*model.value(), twin.value());
+  if (!snapshot.ok()) return Fail(snapshot.status());
+  std::printf("snapshot: %s, %lld parameters frozen\n", model_name.c_str(),
+              static_cast<long long>(snapshot.value()->num_parameters()));
+
+  // Request stream: sliding windows over the scaled test split.
+  Tensor test_scaled = scaler.Transform(split.test.values).Detach();
+  const int64_t positions = test_scaled.dim(0) - lookback + 1;
+  if (positions <= 0) {
+    return Fail(Status::InvalidArgument("test split shorter than --lookback"));
+  }
+  const int64_t requests = flags.GetInt("serve_requests", 128);
+  const int64_t channels = test_scaled.dim(1);
+  std::vector<Tensor> windows;
+  windows.reserve(static_cast<size_t>(requests));
+  for (int64_t i = 0; i < requests; ++i) {
+    windows.push_back(
+        Slice(test_scaled, 0, i % positions, lookback).Detach());
+  }
+
+  // Serial baseline: one [1, T, C] forward per request, one thread. Its
+  // outputs are also the bitwise reference for the batched run.
+  std::vector<Tensor> reference;
+  reference.reserve(windows.size());
+  const int64_t serial_start_ns = obs::NowNanos();
+  for (const Tensor& window : windows) {
+    reference.push_back(snapshot.value()->Predict(
+        Reshape(window, {1, lookback, channels})));
+  }
+  const double serial_ms =
+      static_cast<double>(obs::NowNanos() - serial_start_ns) / 1e6;
+
+  // Batched run: client threads pushing the same stream through one
+  // MicroBatcher.
+  const int64_t clients = flags.GetInt("serve_clients", 4);
+  serve::MicroBatcherOptions bopt;
+  bopt.max_batch = flags.GetInt("serve_max_batch", 8);
+  bopt.max_wait_us = flags.GetInt("serve_max_wait_us", 500);
+  auto* registry = obs::MetricsRegistry::Global();
+  const double requests_before = registry->counter("serve/requests")->value();
+  const double batches_before = registry->counter("serve/batches")->value();
+
+  serve::MicroBatcher batcher(snapshot.value(), bopt);
+  std::vector<Tensor> outputs(windows.size());
+  std::vector<double> latencies_us(windows.size());
+  const int64_t batched_start_ns = obs::NowNanos();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(clients));
+    for (int64_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (size_t i = static_cast<size_t>(c); i < windows.size();
+             i += static_cast<size_t>(clients)) {
+          const int64_t t0 = obs::NowNanos();
+          auto out = batcher.Predict(windows[i]);
+          latencies_us[i] = static_cast<double>(obs::NowNanos() - t0) / 1e3;
+          if (out.ok()) outputs[i] = std::move(out).value();
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  const double batched_ms =
+      static_cast<double>(obs::NowNanos() - batched_start_ns) / 1e6;
+  batcher.Shutdown();
+
+  bool bitwise = true;
+  for (size_t i = 0; i < windows.size(); ++i) {
+    if (!outputs[i].defined() ||
+        outputs[i].numel() != reference[i].numel() ||
+        std::memcmp(outputs[i].data(), reference[i].data(),
+                    static_cast<size_t>(outputs[i].numel()) *
+                        sizeof(float)) != 0) {
+      bitwise = false;
+      break;
+    }
+  }
+  const double n_requests =
+      registry->counter("serve/requests")->value() - requests_before;
+  const double n_batches =
+      registry->counter("serve/batches")->value() - batches_before;
+  const double mean_batch = n_batches > 0 ? n_requests / n_batches : 0.0;
+
+  std::printf("\nserved %lld requests [T=%lld C=%lld -> H=%lld]\n",
+              static_cast<long long>(requests),
+              static_cast<long long>(lookback),
+              static_cast<long long>(channels),
+              static_cast<long long>(horizon));
+  std::printf("serial  (1 thread):   %8.2f ms  %8.0f req/s\n", serial_ms,
+              static_cast<double>(requests) / (serial_ms / 1e3));
+  std::printf("batched (%lld clients): %8.2f ms  %8.0f req/s  (%.2fx)\n",
+              static_cast<long long>(clients), batched_ms,
+              static_cast<double>(requests) / (batched_ms / 1e3),
+              serial_ms / batched_ms);
+  std::printf("latency p50/p95/p99:  %.0f / %.0f / %.0f us\n",
+              ExactPercentile(&latencies_us, 0.50),
+              ExactPercentile(&latencies_us, 0.95),
+              ExactPercentile(&latencies_us, 0.99));
+  std::printf("mean batch size:      %.2f (max_batch=%lld, max_wait=%lldus)\n",
+              mean_batch, static_cast<long long>(bopt.max_batch),
+              static_cast<long long>(bopt.max_wait_us));
+  std::printf("outputs vs serial:    %s\n",
+              bitwise ? "bitwise identical" : "MISMATCH");
+  return bitwise ? 0 : 1;
+}
+
 int Usage(int exit_code = 2) {
   std::FILE* out = exit_code == 0 ? stdout : stderr;
   std::fprintf(
       out,
-      "usage: ts3net_cli <generate|periods|decompose|forecast|help> [flags]\n"
+      "usage: ts3net_cli <generate|periods|decompose|forecast|serve|help>"
+      " [flags]\n"
       "\n"
       "subcommands:\n"
       "  generate   --dataset=ETTh1 [--fraction=0.1] [--out=series.csv]\n"
@@ -210,6 +388,12 @@ int Usage(int exit_code = 2) {
       " [--out=parts.csv]\n"
       "  forecast   --csv=series.csv [--model=TS3Net] [--lookback=96]\n"
       "             [--horizon=24] [--epochs=3] [--ckpt=model.ckpt]\n"
+      "  serve      --csv=series.csv [--model=LSTM] [--ckpt=model.ckpt]\n"
+      "             [--serve_clients=4] [--serve_max_batch=8]\n"
+      "             [--serve_max_wait_us=500] [--serve_requests=128]\n"
+      "             freeze a snapshot, serve windows from the test split\n"
+      "             serially and micro-batched, compare bitwise + report\n"
+      "             throughput/latency\n"
       "\n"
       "global flags:\n"
       "  --ts3_num_threads=N  kernel thread-pool size; 0 = hardware\n"
@@ -252,5 +436,6 @@ int main(int argc, char** argv) {
   if (cmd == "periods") return CmdPeriods(flags);
   if (cmd == "decompose") return CmdDecompose(flags);
   if (cmd == "forecast") return CmdForecast(flags);
+  if (cmd == "serve") return CmdServe(flags);
   return Usage();
 }

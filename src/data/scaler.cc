@@ -1,5 +1,6 @@
 #include "data/scaler.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
@@ -26,10 +27,17 @@ void StandardScaler::Fit(const Tensor& x_tc) {
   }
   for (int64_t c = 0; c < ch; ++c) {
     const double m = sum[c] / t_len;
-    double var = sum_sq[c] / t_len - m * m;
-    if (var < 1e-12) var = 1e-12;  // constant channel: avoid divide-by-zero
+    const double mean_sq = sum_sq[c] / t_len;
+    double var = mean_sq - m * m;
+    if (var < 0.0) var = 0.0;  // catastrophic cancellation can go negative
+    // A (near-)constant channel has no scale information; clamping its std
+    // to a tiny epsilon would multiply round-off noise by a huge factor in
+    // Transform. Follow sklearn's StandardScaler instead: treat the channel
+    // as unit-variance so it just gets mean-centered. The threshold is
+    // relative to the channel's magnitude so "constant at 1e9" is caught too.
+    const bool constant = var <= 1e-10 * std::max(1.0, mean_sq);
     mean_[c] = static_cast<float>(m);
-    std_[c] = static_cast<float>(std::sqrt(var));
+    std_[c] = constant ? 1.0f : static_cast<float>(std::sqrt(var));
   }
 }
 

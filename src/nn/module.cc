@@ -1,5 +1,8 @@
 #include "nn/module.h"
 
+#include <algorithm>
+#include <string>
+
 namespace ts3net {
 namespace nn {
 
@@ -44,6 +47,41 @@ Tensor Module::RegisterParameter(const std::string& name, Tensor value) {
   value.set_requires_grad(true);
   params_.emplace_back(name, value);
   return value;
+}
+
+Status CopyParameters(const Module& src, Module* dst) {
+  if (dst == nullptr) {
+    return Status::InvalidArgument("CopyParameters: dst is null");
+  }
+  std::vector<std::pair<std::string, Tensor>> from = src.NamedParameters();
+  std::vector<std::pair<std::string, Tensor>> to = dst->NamedParameters();
+  if (from.size() != to.size()) {
+    return Status::InvalidArgument(
+        "CopyParameters: parameter count mismatch (src " +
+        std::to_string(from.size()) + ", dst " + std::to_string(to.size()) +
+        ")");
+  }
+  // Identical module structures walk their trees in the same order, so a
+  // positional pass suffices — but names and shapes are still verified so a
+  // config mismatch surfaces as a Status instead of silent weight garbage.
+  for (size_t i = 0; i < from.size(); ++i) {
+    const auto& [name, value] = from[i];
+    auto& [dst_name, dst_value] = to[i];
+    if (name != dst_name) {
+      return Status::InvalidArgument("CopyParameters: parameter " +
+                                     std::to_string(i) + " is '" + name +
+                                     "' in src but '" + dst_name +
+                                     "' in dst");
+    }
+    if (value.shape() != dst_value.shape()) {
+      return Status::InvalidArgument(
+          "CopyParameters: shape mismatch for '" + name + "': src " +
+          ShapeToString(value.shape()) + ", dst " +
+          ShapeToString(dst_value.shape()));
+    }
+    std::copy(value.data(), value.data() + value.numel(), dst_value.data());
+  }
+  return Status::OK();
 }
 
 }  // namespace nn

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "tensor/tensor.h"
 
 namespace ts3net {
@@ -64,6 +65,15 @@ class Module {
   std::vector<std::pair<std::string, std::shared_ptr<Module>>> children_;
   bool training_ = true;
 };
+
+/// Copies every parameter value of `src` into the same-named parameter of
+/// `dst` (deep copy of the data; `dst` keeps its own buffers and autograd
+/// state). The two modules must have identical parameter trees: every name
+/// must exist on both sides with the same shape, otherwise InvalidArgument
+/// is returned and `dst` is left with the parameters copied so far. The
+/// in-memory counterpart of a SaveParameters/LoadParameters round-trip,
+/// used by serve::ModelSnapshot to decouple serving weights from training.
+Status CopyParameters(const Module& src, Module* dst);
 
 }  // namespace nn
 }  // namespace ts3net

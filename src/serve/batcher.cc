@@ -1,0 +1,218 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "common/obs/trace.h"
+
+namespace ts3net {
+namespace serve {
+
+MicroBatcher::MicroBatcher(std::shared_ptr<const ModelSnapshot> snapshot,
+                           const MicroBatcherOptions& options)
+    : snapshot_(std::move(snapshot)), options_(options) {
+  TS3_CHECK(snapshot_ != nullptr);
+  TS3_CHECK_GE(options_.max_batch, 1);
+  TS3_CHECK_GE(options_.max_wait_us, 0);
+  auto* registry = obs::MetricsRegistry::Global();
+  requests_ = registry->counter("serve/requests");
+  batches_ = registry->counter("serve/batches");
+  queue_depth_ = registry->gauge("serve/queue_depth");
+  batch_size_hist_ = registry->histogram("serve/batch_size",
+                                         {1, 2, 4, 8, 16, 32, 64, 128});
+  request_latency_us_ = registry->histogram(
+      "serve/request_latency_us", obs::Histogram::DefaultTimeBoundsUs());
+  batch_exec_us_ = registry->histogram("serve/batch_exec_us",
+                                       obs::Histogram::DefaultTimeBoundsUs());
+}
+
+MicroBatcher::~MicroBatcher() { Shutdown(); }
+
+Result<std::future<Tensor>> MicroBatcher::Submit(const Tensor& window) {
+  TS3_TRACE_SPAN("serve/submit");
+  if (!window.defined() || window.ndim() != 2) {
+    return Status::InvalidArgument(
+        "MicroBatcher::Submit expects a [T, C] window");
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shutdown_) {
+    return Status::Internal("MicroBatcher is shut down");
+  }
+  if (window_shape_.empty()) {
+    window_shape_ = window.shape();
+  } else if (window.shape() != window_shape_) {
+    return Status::InvalidArgument(
+        "MicroBatcher::Submit: window shape " + ShapeToString(window.shape()) +
+        " does not match the batcher's " + ShapeToString(window_shape_));
+  }
+  Pending pending;
+  pending.x = window;
+  pending.ticket = std::make_shared<Ticket>();
+  pending.enqueue_ns = obs::NowNanos();
+  std::shared_ptr<Ticket> ticket = pending.ticket;
+  std::future<Tensor> future = ticket->promise.get_future();
+  queue_.push_back(std::move(pending));
+  ++inflight_;
+  requests_->Increment();
+  queue_depth_->Set(static_cast<double>(queue_.size()));
+  if (static_cast<int64_t>(queue_.size()) >= options_.max_batch) {
+    cv_.notify_all();  // a forming leader stops waiting once the batch fills
+  }
+  while (!ticket->done) {
+    if (!leader_active_) {
+      leader_active_ = true;
+      LeadLocked(lock, ticket.get());
+      leader_active_ = false;
+      // Hand leadership to a follower whose request is still queued (the
+      // leader stops once its own request resolves, not when the queue is
+      // empty — see the class comment).
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return ticket->done || !leader_active_; });
+    }
+  }
+  return future;
+}
+
+Result<Tensor> MicroBatcher::Predict(const Tensor& window) {
+  Result<std::future<Tensor>> future = Submit(window);
+  if (!future.ok()) return future.status();
+  return future.value().get();
+}
+
+void MicroBatcher::Shutdown() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!shutdown_) {
+    shutdown_ = true;
+    cv_.notify_all();  // any forming leader stops filling and executes now
+  }
+  if (!leader_active_ && !queue_.empty()) {
+    // Belt and braces: every queued request's submitter is parked inside
+    // Submit and will lead, but drain here too so Shutdown never depends on
+    // follower scheduling.
+    leader_active_ = true;
+    LeadLocked(lock, nullptr);
+    leader_active_ = false;
+    cv_.notify_all();
+  }
+  drained_cv_.wait(lock, [&] { return inflight_ == 0; });
+}
+
+int64_t MicroBatcher::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(queue_.size());
+}
+
+void MicroBatcher::LeadLocked(std::unique_lock<std::mutex>& lock,
+                              const Ticket* ticket) {
+  // The leader is the only thread that pops the queue, and its own request
+  // sits in FIFO order, so with a non-null ticket this loop ends after at
+  // most ceil(position / max_batch) batches.
+  while (ticket != nullptr ? !ticket->done : !queue_.empty()) {
+    FormBatchLocked(lock);
+    const int64_t take = std::min<int64_t>(
+        static_cast<int64_t>(queue_.size()), options_.max_batch);
+    std::vector<Pending> batch;
+    batch.reserve(static_cast<size_t>(take));
+    for (int64_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    queue_depth_->Set(static_cast<double>(queue_.size()));
+    lock.unlock();
+    ExecuteBatch(&batch);
+    lock.lock();
+    for (const Pending& p : batch) {
+      p.ticket->done = true;
+    }
+    inflight_ -= take;
+    if (inflight_ == 0) drained_cv_.notify_all();
+    cv_.notify_all();  // resolved followers return; others may lead later
+  }
+}
+
+void MicroBatcher::FormBatchLocked(std::unique_lock<std::mutex>& lock) {
+  if (static_cast<int64_t>(queue_.size()) >= options_.max_batch ||
+      options_.max_wait_us <= 0 || shutdown_) {
+    return;
+  }
+  // Arrivals come in bursts: the moment a batch resolves, every unblocked
+  // client re-submits almost at once. The leader collects the burst by
+  // *yielding* — each yield lets runnable clients enqueue, and repeated
+  // growth-free yields suggest the burst is over. Because sched_yield is a
+  // weak hint (a straggler woken by promise::set_value may not be runnable
+  // yet), a stalled burst is confirmed with one short condition-variable
+  // sleep — a real descheduling — before the batch fires early. max_wait_us
+  // stays the hard deadline throughout. A plain full-deadline wait would be
+  // far worse: a client pool smaller than max_batch can never fill the
+  // queue, so every batch would stall out the entire deadline.
+  const auto cv_slice = std::chrono::microseconds(
+      std::clamp<int64_t>(options_.max_wait_us / 8, 10, 100));
+  const int64_t deadline_ns = obs::NowNanos() + options_.max_wait_us * 1000;
+  constexpr int kYieldBudget = 64;  // ~tens of us of CPU at worst
+  constexpr int kStallYields = 3;   // growth-free yields => burst looks over
+  int yields_left = kYieldBudget;
+  int stalled_yields = 0;
+  while (static_cast<int64_t>(queue_.size()) < options_.max_batch &&
+         !shutdown_ && obs::NowNanos() < deadline_ns) {
+    const size_t before = queue_.size();
+    if (yields_left > 0) {
+      --yields_left;
+      lock.unlock();
+      std::this_thread::yield();
+      lock.lock();
+      if (queue_.size() > before) {
+        stalled_yields = 0;
+      } else if (++stalled_yields >= kStallYields) {
+        yields_left = 0;  // burst looks over; confirm with a real sleep
+      }
+    } else {
+      cv_.wait_for(lock, cv_slice, [&] {
+        return static_cast<int64_t>(queue_.size()) >= options_.max_batch ||
+               shutdown_;
+      });
+      if (queue_.size() == before) break;  // an idle slice: fire early
+      yields_left = kYieldBudget / 2;  // arrivals resumed; collect again
+      stalled_yields = 0;
+    }
+  }
+}
+
+void MicroBatcher::ExecuteBatch(std::vector<Pending>* batch) {
+  TS3_TRACE_SPAN("serve/batch");
+  const int64_t exec_start_ns = obs::NowNanos();
+  const int64_t b = static_cast<int64_t>(batch->size());
+  const Shape& ws = (*batch)[0].x.shape();  // [T, C], uniform by Submit
+  const int64_t window_elems = ws[0] * ws[1];
+  std::vector<float> stacked(static_cast<size_t>(b * window_elems));
+  for (int64_t i = 0; i < b; ++i) {
+    std::memcpy(stacked.data() + i * window_elems, (*batch)[i].x.data(),
+                static_cast<size_t>(window_elems) * sizeof(float));
+  }
+  Tensor x = Tensor::FromData(std::move(stacked), {b, ws[0], ws[1]});
+  Tensor y = snapshot_->Predict(x);
+  TS3_CHECK_EQ(y.ndim(), 3) << "snapshot produced " << ShapeToString(y.shape());
+  TS3_CHECK_EQ(y.dim(0), b);
+  const int64_t out_elems = y.numel() / b;
+  const Shape out_shape(y.shape().begin() + 1, y.shape().end());
+  const float* py = y.data();
+
+  batches_->Increment();
+  batch_size_hist_->Observe(static_cast<double>(b));
+  const int64_t done_ns = obs::NowNanos();
+  batch_exec_us_->Observe(static_cast<double>(done_ns - exec_start_ns) / 1e3);
+  for (int64_t i = 0; i < b; ++i) {
+    std::vector<float> row(py + i * out_elems, py + (i + 1) * out_elems);
+    request_latency_us_->Observe(
+        static_cast<double>(done_ns - (*batch)[i].enqueue_ns) / 1e3);
+    (*batch)[i].ticket->promise.set_value(
+        Tensor::FromData(std::move(row), out_shape));
+  }
+}
+
+}  // namespace serve
+}  // namespace ts3net

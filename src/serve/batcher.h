@@ -1,0 +1,142 @@
+#ifndef TS3NET_SERVE_BATCHER_H_
+#define TS3NET_SERVE_BATCHER_H_
+
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <vector>
+
+#include "common/obs/metrics.h"
+#include "common/status.h"
+#include "serve/snapshot.h"
+#include "tensor/tensor.h"
+
+namespace ts3net {
+namespace serve {
+
+struct MicroBatcherOptions {
+  /// Largest number of requests coalesced into one forward pass.
+  int64_t max_batch = 8;
+  /// How long a forming batch waits for more requests before executing with
+  /// whatever it has. 0 executes immediately (batching still happens when
+  /// requests pile up while a previous batch is running).
+  int64_t max_wait_us = 200;
+};
+
+/// Coalesces single-window requests from many client threads into dynamic
+/// batches executed on one ModelSnapshot.
+///
+/// Concurrency model: leader–follower, with no dedicated dispatcher thread
+/// (the repo's threading invariant TL001 allows raw threads only inside
+/// src/common/threadpool). Every Submit enqueues its window and then either
+/// *leads* or *follows*. The first thread to find no active leader becomes
+/// the leader: it waits up to `max_wait_us` for the batch to fill to
+/// `max_batch`, stacks the pending windows into one [B, T, C] tensor, runs
+/// the snapshot forward (whose kernels fan out on the shared thread-pool
+/// runtime), and fulfills every coalesced request. Crucially the leader
+/// drains only until *its own* request has executed, then resigns and wakes
+/// the followers; a follower whose request is still queued takes over
+/// leadership. This rotation is what keeps batches full under closed-loop
+/// clients — a leader that drained until the queue was empty would never see
+/// it empty (resolved clients re-submit during each execution), so one
+/// thread would lead forever and its own client could never pipeline
+/// requests, capping every batch at clients-1. Because each queued request's
+/// submitter is parked inside Submit and eligible to lead, no request can be
+/// orphaned. Submit therefore blocks until its request has executed; the
+/// returned future is always ready.
+///
+/// Because per-sample model outputs are bitwise independent of the batch
+/// they ride in (see ModelSnapshot::Predict), every future resolves to the
+/// same bits regardless of how requests happened to be coalesced; batching
+/// changes wall-clock time only.
+///
+/// Observability: `serve/requests`, `serve/batches` counters, the
+/// `serve/queue_depth` gauge, and `serve/{batch_size,request_latency_us,
+/// batch_exec_us}` histograms in the global metrics registry, plus
+/// `serve/{submit,batch}` trace spans.
+class MicroBatcher {
+ public:
+  MicroBatcher(std::shared_ptr<const ModelSnapshot> snapshot,
+               const MicroBatcherOptions& options);
+
+  /// Shuts down and drains: every already-submitted request is executed and
+  /// its future fulfilled before destruction completes.
+  ~MicroBatcher();
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  /// Enqueues one [T, C] window, participates in the leader–follower
+  /// protocol until the request has executed, and returns a ready future
+  /// yielding the [H, C] prediction. All windows must share the shape of the
+  /// first submitted one. Returns InvalidArgument on a shape mismatch and
+  /// Internal after Shutdown.
+  Result<std::future<Tensor>> Submit(const Tensor& window);
+
+  /// Submit + wait: the synchronous single-request client path.
+  Result<Tensor> Predict(const Tensor& window);
+
+  /// Stops accepting new requests and blocks until every queued request has
+  /// executed (skipping any remaining `max_wait_us` delays). Idempotent and
+  /// safe to call from any thread.
+  void Shutdown();
+
+  /// Requests accepted but not yet executed (test/monitoring hook).
+  int64_t pending() const;
+
+ private:
+  /// Per-request completion state. The promise is fulfilled unlocked; `done`
+  /// is flipped under `mu_` afterwards so followers can wait on it with cv_.
+  struct Ticket {
+    std::promise<Tensor> promise;
+    bool done = false;
+  };
+
+  struct Pending {
+    Tensor x;
+    std::shared_ptr<Ticket> ticket;
+    int64_t enqueue_ns = 0;
+  };
+
+  /// Leader loop: called with `lock` held and `leader_active_` set; executes
+  /// batches until `ticket->done` (or, when `ticket` is null — the shutdown
+  /// drain — until the queue is empty). The caller resigns leadership.
+  void LeadLocked(std::unique_lock<std::mutex>& lock, const Ticket* ticket);
+
+  /// Waits (with `lock` held) for the queue to fill to max_batch, for
+  /// max_wait_us to elapse, or for the arrival burst to visibly end.
+  void FormBatchLocked(std::unique_lock<std::mutex>& lock);
+
+  /// Stacks `batch` into one tensor, forwards it, fulfills the promises.
+  /// Runs unlocked; at most one execution is in flight at a time.
+  void ExecuteBatch(std::vector<Pending>* batch);
+
+  const std::shared_ptr<const ModelSnapshot> snapshot_;
+  const MicroBatcherOptions options_;
+
+  obs::Counter* requests_;
+  obs::Counter* batches_;
+  obs::Gauge* queue_depth_;
+  obs::Histogram* batch_size_hist_;
+  obs::Histogram* request_latency_us_;
+  obs::Histogram* batch_exec_us_;
+
+  mutable std::mutex mu_;
+  // Wakes a forming leader (queue full / shutdown) and parked followers
+  // (their ticket resolved, or leadership is up for grabs).
+  std::condition_variable cv_;
+  std::condition_variable drained_cv_;  // signals inflight_ == 0
+  std::deque<Pending> queue_;
+  Shape window_shape_;  // fixed by the first Submit
+  bool leader_active_ = false;
+  bool shutdown_ = false;
+  int64_t inflight_ = 0;  // queued + currently executing
+};
+
+}  // namespace serve
+}  // namespace ts3net
+
+#endif  // TS3NET_SERVE_BATCHER_H_

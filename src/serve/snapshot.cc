@@ -1,0 +1,66 @@
+#include "serve/snapshot.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/obs/trace.h"
+#include "nn/serialize.h"
+#include "tensor/autograd_mode.h"
+
+namespace ts3net {
+namespace serve {
+
+ModelSnapshot::ModelSnapshot(std::shared_ptr<nn::Module> module)
+    : module_(std::move(module)) {}
+
+void ModelSnapshot::Freeze() {
+  module_->SetTraining(false);
+  // Parameters stay frozen even if a caller forwards outside Predict: with
+  // requires_grad cleared no op ever attaches a tape node to them.
+  for (Tensor& p : module_->Parameters()) p.set_requires_grad(false);
+}
+
+Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::Capture(
+    const nn::Module& trained, std::shared_ptr<nn::Module> twin) {
+  if (twin == nullptr) {
+    return Status::InvalidArgument("ModelSnapshot::Capture: twin is null");
+  }
+  if (Status st = nn::CopyParameters(trained, twin.get()); !st.ok()) {
+    return st;
+  }
+  auto snapshot =
+      std::shared_ptr<ModelSnapshot>(new ModelSnapshot(std::move(twin)));
+  snapshot->Freeze();
+  return std::shared_ptr<const ModelSnapshot>(std::move(snapshot));
+}
+
+Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::FromCheckpoint(
+    const std::string& checkpoint_path, std::shared_ptr<nn::Module> twin) {
+  if (twin == nullptr) {
+    return Status::InvalidArgument(
+        "ModelSnapshot::FromCheckpoint: twin is null");
+  }
+  if (Status st = nn::LoadParameters(twin.get(), checkpoint_path); !st.ok()) {
+    return st;
+  }
+  auto snapshot =
+      std::shared_ptr<ModelSnapshot>(new ModelSnapshot(std::move(twin)));
+  snapshot->Freeze();
+  return std::shared_ptr<const ModelSnapshot>(std::move(snapshot));
+}
+
+Tensor ModelSnapshot::Predict(const Tensor& x) const {
+  TS3_CHECK(x.defined());
+  TS3_CHECK_EQ(x.ndim(), 3) << "ModelSnapshot::Predict expects [B, T, C]";
+  TS3_TRACE_SPAN("serve/predict");
+  NoGradGuard no_grad;
+  std::lock_guard<std::mutex> lock(mu_);
+  return module_->Forward(x).Detach();
+}
+
+int64_t ModelSnapshot::num_parameters() const {
+  return module_->NumParameters();
+}
+
+}  // namespace serve
+}  // namespace ts3net

@@ -1,0 +1,68 @@
+#ifndef TS3NET_SERVE_SNAPSHOT_H_
+#define TS3NET_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace ts3net {
+namespace serve {
+
+/// An immutable, serving-ready copy of a trained model.
+///
+/// Training and serving must never share mutable weights: the trainer keeps
+/// optimizing its module in place, while in-flight requests need a frozen
+/// view of the parameters. A ModelSnapshot owns a private module whose
+/// parameters were deep-copied from a trained source (or loaded from a
+/// checkpoint), with training mode permanently off and `requires_grad`
+/// cleared on every parameter. `Predict` runs under NoGradGuard, so serving
+/// never records an autograd tape.
+///
+/// Snapshots are handed around as `std::shared_ptr<const ModelSnapshot>`:
+/// one snapshot can back many MicroBatchers (or a serial caller) at once,
+/// and publishing a newer snapshot is just swapping the shared_ptr.
+class ModelSnapshot {
+ public:
+  /// Deep-copies the parameters of `trained` into `twin` — a structurally
+  /// identical module, typically a second models::CreateModel call with the
+  /// same config — and freezes the result. The caller must hand over sole
+  /// ownership of `twin`; the snapshot keeps the only reference from then
+  /// on. Returns InvalidArgument when the parameter trees do not match by
+  /// name and shape.
+  static Result<std::shared_ptr<const ModelSnapshot>> Capture(
+      const nn::Module& trained, std::shared_ptr<nn::Module> twin);
+
+  /// Loads a checkpoint written by nn::SaveParameters into `twin` and
+  /// freezes it. Same ownership contract as Capture.
+  static Result<std::shared_ptr<const ModelSnapshot>> FromCheckpoint(
+      const std::string& checkpoint_path, std::shared_ptr<nn::Module> twin);
+
+  /// Forward pass over a [B, T, C] batch under NoGradGuard; returns the
+  /// detached [B, H, C] prediction. Serialized by an internal mutex (modules
+  /// may keep per-forward scratch state), so it is safe to call from any
+  /// thread. Per-sample outputs are bitwise independent of the batch they
+  /// ride in: every kernel computes each sample's values in a fixed order
+  /// that does not depend on the batch dimension (see DESIGN.md, "Serving").
+  Tensor Predict(const Tensor& x) const;
+
+  int64_t num_parameters() const;
+
+ private:
+  explicit ModelSnapshot(std::shared_ptr<nn::Module> module);
+
+  /// Shared freeze step of both factories.
+  void Freeze();
+
+  mutable std::mutex mu_;
+  std::shared_ptr<nn::Module> module_;
+};
+
+}  // namespace serve
+}  // namespace ts3net
+
+#endif  // TS3NET_SERVE_SNAPSHOT_H_

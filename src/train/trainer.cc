@@ -1,5 +1,6 @@
 #include "train/trainer.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -53,6 +54,10 @@ FitResult FitLoop(nn::Module* model, const char* task, int64_t train_size,
   float best_val = std::numeric_limits<float>::infinity();
   int best_epoch = 0;
   int bad_epochs = 0;
+  // Weight snapshot of the best-so-far epoch, parallel to `params`. Raw
+  // float buffers (not Tensors) so no autograd state rides along.
+  std::vector<Tensor> params = model->Parameters();
+  std::vector<std::vector<float>> best_params;
 
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
     TS3_TRACE_SPAN("train/epoch");
@@ -68,6 +73,7 @@ FitResult FitLoop(nn::Module* model, const char* task, int64_t train_size,
     double epoch_loss = 0.0;
     double epoch_grad_norm = 0.0;
     int64_t batches = 0;
+    int64_t epoch_samples = 0;
     while (sampler.Next(&indices)) {
       if (options.max_batches_per_epoch > 0 &&
           batches >= options.max_batches_per_epoch) {
@@ -80,7 +86,11 @@ FitResult FitLoop(nn::Module* model, const char* task, int64_t train_size,
         TS3_TRACE_SPAN("train/forward");
         loss = train_step(indices);
       }
-      epoch_loss += loss.item();
+      // Weight each batch's mean loss by its sample count so the epoch loss
+      // is the true sample mean — a bare mean of per-batch means over-weights
+      // the final partial batch.
+      epoch_loss += loss.item() * static_cast<double>(indices.size());
+      epoch_samples += static_cast<int64_t>(indices.size());
       ++batches;
       batch_counter->Increment();
       {
@@ -97,7 +107,9 @@ FitResult FitLoop(nn::Module* model, const char* task, int64_t train_size,
       adam.Step();
     }
     const float train_loss =
-        batches > 0 ? static_cast<float>(epoch_loss / batches) : 0.0f;
+        epoch_samples > 0
+            ? static_cast<float>(epoch_loss / static_cast<double>(epoch_samples))
+            : 0.0f;
     result.train_losses.push_back(train_loss);
 
     model->SetTraining(false);
@@ -130,6 +142,11 @@ FitResult FitLoop(nn::Module* model, const char* task, int64_t train_size,
       best_val = val_loss;
       best_epoch = epoch + 1;
       bad_epochs = 0;
+      best_params.resize(params.size());
+      for (size_t i = 0; i < params.size(); ++i) {
+        best_params[i].assign(params[i].data(),
+                              params[i].data() + params[i].numel());
+      }
     } else if (++bad_epochs >= options.patience) {
       result.early_stopped = true;
       registry->gauge("train/early_stop_epoch")->Set(epoch + 1);
@@ -142,6 +159,18 @@ FitResult FitLoop(nn::Module* model, const char* task, int64_t train_size,
       break;
     }
   }
+  // Return the weights of the best validation epoch, not whatever the last
+  // (possibly over-trained) epoch left behind. A no-op when the last epoch
+  // was the best; skipped entirely when no epoch ran.
+  if (!best_params.empty()) {
+    for (size_t i = 0; i < params.size(); ++i) {
+      std::copy(best_params[i].begin(), best_params[i].end(),
+                params[i].data());
+    }
+    registry->gauge("train/best_epoch")->Set(best_epoch);
+  }
+  result.best_epoch = best_epoch;
+  result.best_val = best_val;
   model->SetTraining(false);
   return result;
 }
@@ -272,15 +301,18 @@ FitResult FitClassification(nn::Module* model,
                                /*shuffle=*/false, 0);
     std::vector<int64_t> indices;
     double total = 0.0;
-    int64_t batches = 0;
+    int64_t samples = 0;
     while (sampler.Next(&indices)) {
       Tensor x;
       std::vector<int64_t> labels;
       data::GatherClassificationBatch(val, indices, &x, &labels);
-      total += nn::CrossEntropyLoss(model->Forward(x), labels).item();
-      ++batches;
+      // Weight the per-batch mean by its size so the validation loss is the
+      // true sample mean even when the last batch is partial.
+      total += nn::CrossEntropyLoss(model->Forward(x), labels).item() *
+               static_cast<double>(labels.size());
+      samples += static_cast<int64_t>(labels.size());
     }
-    return batches > 0 ? static_cast<float>(total / batches) : 0.0f;
+    return samples > 0 ? static_cast<float>(total / samples) : 0.0f;
   };
   return FitLoop(model, "classification", train.size(), options, train_step,
                  val_loss);

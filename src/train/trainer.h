@@ -42,6 +42,13 @@ struct FitResult {
   std::vector<float> val_losses;    // per epoch
   int epochs_run = 0;
   bool early_stopped = false;
+  /// 1-based epoch with the lowest validation loss; the returned model
+  /// carries that epoch's weights (not the last epoch's), matching the
+  /// checkpoint-restore convention of the TimesNet benchmark harness.
+  /// 0 when no epoch ran.
+  int best_epoch = 0;
+  /// Validation loss of `best_epoch` (+inf when no epoch ran).
+  float best_val = 0.0f;
 };
 
 /// Trains `model` on the forecasting task with MSE loss, early-stopping on

@@ -125,5 +125,31 @@ TEST_F(CliSmokeTest, MetricsJsonWithoutTracing) {
   std::remove(metrics.c_str());
 }
 
+TEST_F(CliSmokeTest, ServeReportsBitwiseIdenticalBatchedOutputs) {
+  const std::string csv = Tmp("series3.csv");
+  const std::string out = Tmp("serve_stdout.txt");
+  ASSERT_EQ(RunCommand(CliPath() +
+                       " generate --dataset=ETTh1 --fraction=0.05 --out=" +
+                       csv + " > /dev/null"),
+            0);
+  // Quick-train, freeze a snapshot, serve test-split windows serially and
+  // micro-batched. The command exits non-zero if the batched outputs are
+  // not bitwise identical to the serial reference, so the exit code is the
+  // core assertion; the metrics exposed on stdout are checked on top.
+  ASSERT_EQ(RunCommand(CliPath() + " serve --csv=" + csv +
+                       " --model=LSTM --lookback=32 --horizon=8 --epochs=1" +
+                       " --batches=2 --dmodel=8 --serve_requests=32" +
+                       " --serve_clients=4 --serve_max_batch=8" +
+                       " --ts3_num_threads=1 > " + out + " 2>/dev/null"),
+            0);
+  const std::string text = ReadFileOrEmpty(out);
+  EXPECT_NE(text.find("bitwise identical"), std::string::npos) << text;
+  EXPECT_NE(text.find("mean batch size"), std::string::npos) << text;
+  EXPECT_NE(text.find("parameters frozen"), std::string::npos) << text;
+
+  std::remove(csv.c_str());
+  std::remove(out.c_str());
+}
+
 }  // namespace
 }  // namespace ts3net

@@ -1,0 +1,29 @@
+// Seeded TL009 violation (plus the generic checks that also apply to
+// serve/ code): a serving path that forwards a module without NoGradGuard,
+// spawns its own dispatcher thread, and stages batches in a raw buffer.
+#include <cstdio>
+#include <thread>
+
+namespace ts3net {
+namespace serve {
+
+class Module;
+class Tensor;
+Tensor Forwarded(Module* m, const Tensor& x);
+
+Tensor PredictWithoutGuard(Module* m, const Tensor& x) {
+  return m->Forward(x);  // EXPECT-LINT: TL009
+}
+
+void SpawnDispatcher() {
+  std::thread dispatcher([] {});  // EXPECT-LINT: TL001
+  dispatcher.detach();  // EXPECT-LINT: TL001
+}
+
+float* StageBatch(int n) {
+  printf("staging %d\n", n);  // EXPECT-LINT: TL003
+  return static_cast<float*>(malloc(n * sizeof(float)));  // EXPECT-LINT: TL004
+}
+
+}  // namespace serve
+}  // namespace ts3net

@@ -1,0 +1,26 @@
+// Negative control for TL009: a serve file whose Forward call sits under a
+// NoGradGuard is compliant. Also shows that Tensor::Detach() (capital D)
+// does not trip TL001's thread-detach pattern.
+namespace ts3net {
+namespace serve {
+
+struct NoGradGuard {};
+class Module;
+
+class Tensor {
+ public:
+  Tensor Detach() const;
+};
+
+class Module {
+ public:
+  Tensor Forward(const Tensor& x);
+};
+
+Tensor PredictFrozen(Module* m, const Tensor& x) {
+  NoGradGuard no_grad;
+  return m->Forward(x).Detach();
+}
+
+}  // namespace serve
+}  // namespace ts3net

@@ -24,6 +24,10 @@ cannot express, because they span files or encode project policy:
                                coverage for its backward kernel)
   TL008 backward-span-missing  a tape walker (code calling grad_fn->backward)
                                without "bw/" span instrumentation
+  TL009 serve-missing-nograd   a file under src/serve calls Module::Forward
+                               without NoGradGuard in scope anywhere in the
+                               file; serving must never record an autograd
+                               tape (unbounded memory growth per request)
 
 Usage:
   ts3lint.py [--root DIR] [--json]
@@ -52,6 +56,7 @@ CHECK_DOCS = {
     "TL006": "op-missing-span",
     "TL007": "op-missing-gradcheck",
     "TL008": "backward-span-missing",
+    "TL009": "serve-missing-nograd",
 }
 
 SOURCE_EXTENSIONS = (".cc", ".cpp", ".h", ".hpp")
@@ -65,7 +70,9 @@ EXEMPT = {
 }
 
 # Directories under src/ whose files count as "kernel code" for TL004.
-KERNEL_DIRS = ("tensor", "signal", "nn", "core", "models")
+# serve/ is included: request handling stacks windows into batch buffers and
+# those must be sanitizer-visible std::vectors like every other hot buffer.
+KERNEL_DIRS = ("tensor", "signal", "nn", "core", "models", "serve")
 
 
 @dataclass(frozen=True)
@@ -211,6 +218,36 @@ def run_pattern_checks(rel_path, code, findings):
                 continue  # one finding per line per check
             seen_lines.add(ln)
             findings.append(Finding("src/" + rel_path, ln, check, message))
+
+
+# ---------------------------------------------------------------------------
+# Serving checks (TL009).
+# ---------------------------------------------------------------------------
+
+SERVE_FORWARD_CALL = re.compile(r"(?:->|\.)\s*Forward\s*\(")
+
+
+def run_serve_checks(rel_path, code, findings):
+    """Files under src/serve that forward a module must hold NoGradGuard.
+
+    The guard is file-scoped on purpose: serving entry points are small and
+    the guard is expected next to the Forward call, so any Forward in a
+    serve file without a NoGradGuard anywhere in that file is a bug (the
+    request would build an autograd tape, growing memory on every request).
+    `code` is comment-and-string scrubbed, so a guard mentioned only in a
+    comment does not satisfy the check.
+    """
+    if not rel_path.startswith("serve/"):
+        return
+    m = SERVE_FORWARD_CALL.search(code)
+    if m is None:
+        return
+    if "NoGradGuard" in code:
+        return
+    findings.append(Finding(
+        "src/" + rel_path, line_of(code, m.start()), "TL009",
+        "serve code calls Module::Forward without a NoGradGuard in the "
+        "file; inference must not record an autograd tape"))
 
 
 # ---------------------------------------------------------------------------
@@ -401,7 +438,9 @@ def lint_tree(root):
             raw = f.read()
         rel_src = os.path.relpath(path, src_dir).replace(os.sep, "/")
         rel_root = os.path.relpath(path, root).replace(os.sep, "/")
-        run_pattern_checks(rel_src, scrub(raw, keep_strings=False), findings)
+        scrubbed = scrub(raw, keep_strings=False)
+        run_pattern_checks(rel_src, scrubbed, findings)
+        run_serve_checks(rel_src, scrubbed, findings)
         src_files_with_strings.append((rel_root, scrub(raw, keep_strings=True)))
 
     gradcheck_text = gather_gradcheck_text(tests_dir, skip_fixtures)
