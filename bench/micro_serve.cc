@@ -14,6 +14,13 @@
 // over all requests of a cell plus the mean realised batch size (from the
 // serve/requests and serve/batches counters) and writes BENCH_serve.json.
 //
+// A separate compiled-vs-dynamic section freezes the same weights twice —
+// once with SnapshotOptions::compile off, once on — and times steady-state
+// Predict at batch 1 and at the largest swept batch. It reports the planned
+// arena size, the serve/allocs_per_predict gauge after the compiled pass
+// (0 when the plan holds), and the compiled/dynamic speedup, again only for
+// bitwise-identical outputs.
+//
 // Flags:
 //   --model=LSTM --lookback=96 --horizon=24 --channels=4 --dmodel=8
 //       The default is the recurrent model on purpose: its forward runs T
@@ -66,6 +73,17 @@ struct CellResult {
   bool bitwise_equal = false;
 };
 
+struct CompiledCell {
+  int64_t batch = 0;
+  double dynamic_ms = 0;    // steady-state pass with compile disabled
+  double compiled_ms = 0;   // same pass with the compiled graph engaged
+  double speedup = 0;       // dynamic_ms / compiled_ms
+  double allocs_per_predict = 0;  // gauge after the last compiled Predict
+  int64_t arena_bytes = 0;
+  bool compiled = false;    // false when the model fell back to dynamic
+  bool bitwise_equal = false;
+};
+
 Tensor MakeWindow(int64_t lookback, int64_t channels, int tag) {
   std::vector<float> values(static_cast<size_t>(lookback * channels));
   for (size_t i = 0; i < values.size(); ++i) {
@@ -89,6 +107,63 @@ bool BitwiseEqual(const Tensor& got_hc, const Tensor& want_1hc) {
   if (got_hc.numel() != want_1hc.numel()) return false;
   return std::memcmp(got_hc.data(), want_1hc.data(),
                      static_cast<size_t>(got_hc.numel()) * sizeof(float)) == 0;
+}
+
+Tensor MakeBatchInput(const std::vector<Tensor>& windows, int64_t first,
+                      int64_t batch, int64_t lookback, int64_t channels) {
+  std::vector<float> values;
+  values.reserve(static_cast<size_t>(batch * lookback * channels));
+  for (int64_t b = 0; b < batch; ++b) {
+    const Tensor& w = windows[static_cast<size_t>(
+        (first + b) % static_cast<int64_t>(windows.size()))];
+    values.insert(values.end(), w.data(), w.data() + w.numel());
+  }
+  return Tensor::FromData(std::move(values), {batch, lookback, channels});
+}
+
+CompiledCell RunCompiledCell(
+    const std::shared_ptr<const serve::ModelSnapshot>& dynamic_snap,
+    const std::shared_ptr<const serve::ModelSnapshot>& compiled_snap,
+    const std::vector<Tensor>& inputs, int reps) {
+  CompiledCell cell;
+  cell.batch = inputs.front().shape()[0];
+  auto* registry = obs::MetricsRegistry::Global();
+
+  // Bitwise check doubles as warm-up: the first compiled Predict per shape
+  // pays the one-time trace+plan cost, so the timed loops below are pure
+  // steady state.
+  cell.bitwise_equal = true;
+  for (const Tensor& x : inputs) {
+    Tensor want = dynamic_snap->Predict(x);
+    Tensor got = compiled_snap->Predict(x);
+    if (!BitwiseEqual(got, want)) cell.bitwise_equal = false;
+  }
+
+  const int64_t compiled_before =
+      registry->counter("serve/compiled_predicts")->value();
+  cell.dynamic_ms = 1e300;
+  cell.compiled_ms = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    int64_t start_ns = obs::NowNanos();
+    // Outputs are dropped on purpose: a retained output pins the snapshot's
+    // output pool, and the point of this loop is the steady-state cost.
+    for (const Tensor& x : inputs) dynamic_snap->Predict(x);
+    cell.dynamic_ms = std::min(
+        cell.dynamic_ms, static_cast<double>(obs::NowNanos() - start_ns) / 1e6);
+    start_ns = obs::NowNanos();
+    for (const Tensor& x : inputs) compiled_snap->Predict(x);
+    cell.compiled_ms = std::min(
+        cell.compiled_ms,
+        static_cast<double>(obs::NowNanos() - start_ns) / 1e6);
+  }
+  cell.allocs_per_predict =
+      registry->gauge("serve/allocs_per_predict")->value();
+  cell.arena_bytes =
+      static_cast<int64_t>(registry->gauge("serve/arena_bytes")->value());
+  cell.compiled = registry->counter("serve/compiled_predicts")->value() >
+                  compiled_before;
+  cell.speedup = cell.compiled_ms > 0 ? cell.dynamic_ms / cell.compiled_ms : 0;
+  return cell;
 }
 
 CellResult RunCell(const std::shared_ptr<const serve::ModelSnapshot>& snapshot,
@@ -163,6 +238,7 @@ CellResult RunCell(const std::shared_ptr<const serve::ModelSnapshot>& snapshot,
 void WriteRecord(const std::string& path, const std::string& model,
                  int64_t lookback, int64_t horizon, int64_t channels,
                  int64_t requests, int64_t max_wait_us, double serial_ms,
+                 const std::vector<CompiledCell>& compiled_cells,
                  const std::vector<CellResult>& cells) {
   if (path.empty()) return;
   obs::JsonWriter w;
@@ -193,6 +269,29 @@ void WriteRecord(const std::string& path, const std::string& model,
   w.Key("rps");
   w.Double(static_cast<double>(requests) / (serial_ms / 1e3));
   w.EndObject();
+  w.Key("compiled");
+  w.BeginArray();
+  for (const CompiledCell& c : compiled_cells) {
+    w.BeginObject();
+    w.Key("batch");
+    w.Int(c.batch);
+    w.Key("dynamic_ms");
+    w.Double(c.dynamic_ms);
+    w.Key("compiled_ms");
+    w.Double(c.compiled_ms);
+    w.Key("speedup");
+    w.Double(c.speedup);
+    w.Key("allocs_per_predict");
+    w.Double(c.allocs_per_predict);
+    w.Key("arena_bytes");
+    w.Int(c.arena_bytes);
+    w.Key("compiled");
+    w.Bool(c.compiled);
+    w.Key("bitwise_equal");
+    w.Bool(c.bitwise_equal);
+    w.EndObject();
+  }
+  w.EndArray();
   w.Key("cells");
   w.BeginArray();
   for (const CellResult& c : cells) {
@@ -279,8 +378,28 @@ int Main(int argc, char** argv) {
   Rng twin_rng(8);
   auto twin = models::CreateModel(model_name, cfg, &twin_rng);
   TS3_CHECK(twin.ok()) << twin.status().ToString();
+  // Default options: the serial and batched passes below ride the compiled
+  // path whenever the model compiles, which is exactly what production sees.
   auto snapshot = serve::ModelSnapshot::Capture(*trained.value(), twin.value());
   TS3_CHECK(snapshot.ok()) << snapshot.status().ToString();
+  Rng dynamic_rng(9);
+  auto dynamic_twin = models::CreateModel(model_name, cfg, &dynamic_rng);
+  TS3_CHECK(dynamic_twin.ok()) << dynamic_twin.status().ToString();
+  serve::SnapshotOptions dynamic_opts;
+  dynamic_opts.compile = false;
+  auto dynamic_snap = serve::ModelSnapshot::Capture(
+      *trained.value(), dynamic_twin.value(), dynamic_opts);
+  TS3_CHECK(dynamic_snap.ok()) << dynamic_snap.status().ToString();
+  // The compiled cells get their own snapshot: the serial pass below
+  // retains all its outputs as the bitwise reference, which pins the shared
+  // snapshot's one-deep output pool and would make every compiled predict
+  // re-allocate its output.
+  Rng compiled_rng(10);
+  auto compiled_twin = models::CreateModel(model_name, cfg, &compiled_rng);
+  TS3_CHECK(compiled_twin.ok()) << compiled_twin.status().ToString();
+  auto compiled_snap =
+      serve::ModelSnapshot::Capture(*trained.value(), compiled_twin.value());
+  TS3_CHECK(compiled_snap.ok()) << compiled_snap.status().ToString();
 
   std::vector<Tensor> windows;
   windows.reserve(static_cast<size_t>(requests));
@@ -313,6 +432,39 @@ int Main(int argc, char** argv) {
               static_cast<long long>(requests));
   std::printf("serial: %10.2f ms  %10.0f req/s\n\n", serial_ms,
               static_cast<double>(requests) / (serial_ms / 1e3));
+
+  // Compiled vs dynamic Predict at batch 1 and the largest swept batch.
+  std::vector<int64_t> compiled_batches = {1};
+  const int64_t largest_batch =
+      *std::max_element(max_batches.begin(), max_batches.end());
+  if (largest_batch > 1) compiled_batches.push_back(largest_batch);
+  std::printf("compiled vs dynamic Predict (steady state, best of %d)\n",
+              reps);
+  std::printf("%8s %11s %12s %9s %12s %12s %9s %8s\n", "batch", "dynamic_ms",
+              "compiled_ms", "speedup", "allocs/pred", "arena_bytes", "path",
+              "bitwise");
+  std::vector<CompiledCell> compiled_cells;
+  for (int64_t batch : compiled_batches) {
+    const int64_t num_inputs = std::max<int64_t>(1, requests / batch);
+    std::vector<Tensor> inputs;
+    inputs.reserve(static_cast<size_t>(num_inputs));
+    for (int64_t i = 0; i < num_inputs; ++i) {
+      inputs.push_back(
+          MakeBatchInput(windows, i * batch, batch, lookback, channels));
+    }
+    CompiledCell cell = RunCompiledCell(dynamic_snap.value(),
+                                        compiled_snap.value(), inputs, reps);
+    std::printf("%8lld %11.2f %12.2f %8.2fx %12.1f %12lld %9s %8s\n",
+                static_cast<long long>(cell.batch), cell.dynamic_ms,
+                cell.compiled_ms, cell.speedup, cell.allocs_per_predict,
+                static_cast<long long>(cell.arena_bytes),
+                cell.compiled ? "compiled" : "fallback",
+                cell.bitwise_equal ? "ok" : "MISMATCH");
+    std::fflush(stdout);
+    compiled_cells.push_back(cell);
+  }
+  std::printf("\n");
+
   std::printf("%8s %10s %10s %10s %9s %9s %9s %9s %11s %8s\n", "clients",
               "max_batch", "wall_ms", "req/s", "speedup", "p50_us", "p95_us",
               "p99_us", "mean_batch", "bitwise");
@@ -335,8 +487,16 @@ int Main(int argc, char** argv) {
 
   WriteRecord(flags.GetString("bench_json", "BENCH_serve.json"), model_name,
               lookback, horizon, channels, requests, max_wait_us, serial_ms,
-              cells);
+              compiled_cells, cells);
 
+  for (const CompiledCell& c : compiled_cells) {
+    if (!c.bitwise_equal) {
+      std::fprintf(stderr,
+                   "FAIL: compiled batch=%lld diverged from dynamic outputs\n",
+                   static_cast<long long>(c.batch));
+      return 1;
+    }
+  }
   for (const CellResult& c : cells) {
     if (!c.bitwise_equal) {
       std::fprintf(stderr,

@@ -14,6 +14,7 @@
 //   serve      --csv=series.csv [--model=LSTM] [--ckpt=model.ckpt]
 //              [--serve_clients=4] [--serve_max_batch=8]
 //              [--serve_max_wait_us=500] [--serve_requests=128]
+//              [--serve_compile=1]
 //       Freeze the model into an immutable serve::ModelSnapshot (training it
 //       quickly first unless --ckpt provides weights), then replay sliding
 //       windows from the test split two ways — serial single-request
@@ -268,10 +269,15 @@ int CmdServe(const FlagParser& flags) {
   Rng twin_rng(static_cast<uint64_t>(seed + 1));
   auto twin = models::CreateModel(model_name, config, &twin_rng);
   if (!twin.ok()) return Fail(twin.status());
-  auto snapshot = serve::ModelSnapshot::Capture(*model.value(), twin.value());
+  serve::SnapshotOptions sopt;
+  sopt.compile = flags.GetInt("serve_compile", 1) != 0;
+  auto snapshot =
+      serve::ModelSnapshot::Capture(*model.value(), twin.value(), sopt);
   if (!snapshot.ok()) return Fail(snapshot.status());
-  std::printf("snapshot: %s, %lld parameters frozen\n", model_name.c_str(),
-              static_cast<long long>(snapshot.value()->num_parameters()));
+  std::printf("snapshot: %s, %lld parameters frozen, compile=%s\n",
+              model_name.c_str(),
+              static_cast<long long>(snapshot.value()->num_parameters()),
+              sopt.compile ? "on" : "off");
 
   // Request stream: sliding windows over the scaled test split.
   Tensor test_scaled = scaler.Transform(split.test.values).Detach();
@@ -371,6 +377,18 @@ int CmdServe(const FlagParser& flags) {
               static_cast<long long>(bopt.max_wait_us));
   std::printf("outputs vs serial:    %s\n",
               bitwise ? "bitwise identical" : "MISMATCH");
+  if (sopt.compile) {
+    std::printf(
+        "compiled path:        %lld compiled / %lld fallback predicts, "
+        "%d shape(s) compiled, %d rejected, arena %.0f bytes\n",
+        static_cast<long long>(
+            registry->counter("serve/compiled_predicts")->value()),
+        static_cast<long long>(
+            registry->counter("serve/fallback_predicts")->value()),
+        snapshot.value()->num_compiled_shapes(),
+        snapshot.value()->num_rejected_shapes(),
+        registry->gauge("serve/arena_bytes")->value());
+  }
   return bitwise ? 0 : 1;
 }
 
@@ -391,6 +409,7 @@ int Usage(int exit_code = 2) {
       "  serve      --csv=series.csv [--model=LSTM] [--ckpt=model.ckpt]\n"
       "             [--serve_clients=4] [--serve_max_batch=8]\n"
       "             [--serve_max_wait_us=500] [--serve_requests=128]\n"
+      "             [--serve_compile=1]\n"
       "             freeze a snapshot, serve windows from the test split\n"
       "             serially and micro-batched, compare bitwise + report\n"
       "             throughput/latency\n"

@@ -1,0 +1,396 @@
+#include "serve/compiled_graph.h"
+
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+#include "common/obs/trace.h"
+#include "common/threadpool.h"
+#include "tensor/autograd_mode.h"
+
+namespace ts3net {
+namespace serve {
+
+namespace {
+
+using internal_tensor::TensorImpl;
+
+/// Arena offsets are rounded to 16 floats (one 64-byte cache line) so
+/// adjacent intermediates never share a line across ParallelFor chunks.
+constexpr int64_t kArenaAlignFloats = 16;
+
+int64_t AlignUp(int64_t n) {
+  return (n + kArenaAlignFloats - 1) / kArenaAlignFloats * kArenaAlignFloats;
+}
+
+/// Grain of the fused scalar-chain pass; matches kElementwiseGrain of the
+/// dynamic AddScalar/MulScalar kernels (elementwise results are
+/// grain-independent, this just keeps scheduling behavior familiar).
+constexpr int64_t kScalarChainGrain = 1 << 15;
+
+/// Deterministic probe input for compile-time validation: a sine mix laid
+/// over a damped copy of the example, so every replayed kernel sees values
+/// different from the ones it was traced with.
+std::vector<float> MakeProbe(const float* example, int64_t n) {
+  std::vector<float> probe(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    probe[static_cast<size_t>(i)] =
+        0.25f * example[i] +
+        0.5f * std::sin(0.37f * static_cast<float>(i % 1024) + 0.11f);
+  }
+  return probe;
+}
+
+bool BitwiseEqual(const float* a, const float* b, int64_t n) {
+  return std::memcmp(a, b, static_cast<size_t>(n) * sizeof(float)) == 0;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<CompiledGraph>> CompiledGraph::Compile(
+    nn::Module* module, const Tensor& example) {
+  TS3_TRACE_SPAN("serve/compile_graph");
+  if (module == nullptr) {
+    return Status::InvalidArgument("CompiledGraph::Compile: module is null");
+  }
+  if (!example.defined()) {
+    return Status::InvalidArgument("CompiledGraph::Compile: example is null");
+  }
+  NoGradGuard no_grad;
+
+  // --- Trace one dynamic forward -------------------------------------------
+  replay::GraphRecorder rec;
+  Tensor traced_out;
+  {
+    replay::GraphRecorder::Scope scope(&rec);
+    traced_out = module->Forward(example);
+  }
+  if (!rec.data_dependence().empty()) {
+    return Status::Unimplemented(
+        "forward reads tensor values on the host (" + rec.data_dependence() +
+        "), so the graph depends on input data, not just its shape");
+  }
+  if (!rec.missing_kernels().empty()) {
+    std::string names;
+    for (const std::string& n : rec.missing_kernels()) {
+      if (!names.empty()) names += ", ";
+      names += n;
+    }
+    return Status::Unimplemented("ops without replay kernels: " + names);
+  }
+  const std::vector<replay::TraceNode>& nodes = rec.nodes();
+  if (nodes.empty()) {
+    return Status::Unimplemented("forward recorded no replayable ops");
+  }
+  TS3_CHECK(traced_out.defined());
+
+  auto graph = std::unique_ptr<CompiledGraph>(new CompiledGraph());
+  graph->input_shape_ = example.shape();
+  graph->output_shape_ = traced_out.shape();
+
+  // --- Slot assignment ------------------------------------------------------
+  // Slot 0 is the graph input; each node output gets a fresh slot; any other
+  // tensor feeding a node is a trace-time constant (a frozen weight or a
+  // factory tensor built during the forward), retained by the graph.
+  struct SlotInfo {
+    int64_t numel = 0;
+    bool is_const = false;
+  };
+  std::unordered_map<const TensorImpl*, int> slot_of;
+  std::vector<SlotInfo> slots;
+  auto add_slot = [&](const TensorImpl* impl, bool is_const) {
+    const int id = static_cast<int>(slots.size());
+    slot_of.emplace(impl, id);
+    slots.push_back({NumElements(impl->shape), is_const});
+    return id;
+  };
+  add_slot(example.impl().get(), /*is_const=*/false);
+  for (const replay::TraceNode& node : nodes) {
+    for (const std::shared_ptr<TensorImpl>& in : node.inputs) {
+      if (slot_of.count(in.get()) == 0) {
+        add_slot(in.get(), /*is_const=*/true);
+        graph->constants_.push_back(in);
+      }
+    }
+    add_slot(node.output.get(), /*is_const=*/false);
+  }
+
+  // --- Pass 1: alias away reshapes -----------------------------------------
+  // A row-major reshape is a data identity, so its output slot simply names
+  // its input's buffer. Union-find with path halving keeps chains (e.g.
+  // Permute → Reshape → Reshape) collapsing to one canonical slot.
+  std::vector<int> parent(slots.size());
+  for (size_t i = 0; i < parent.size(); ++i) parent[i] = static_cast<int>(i);
+  std::function<int(int)> find = [&](int s) {
+    while (parent[s] != s) {
+      parent[s] = parent[parent[s]];
+      s = parent[s];
+    }
+    return s;
+  };
+  for (const replay::TraceNode& node : nodes) {
+    if (node.name == "Reshape") {
+      parent[slot_of.at(node.output.get())] = find(slot_of.at(node.inputs[0].get()));
+    }
+  }
+
+  const TensorImpl* out_impl = traced_out.impl().get();
+  if (slot_of.count(out_impl) == 0) {
+    return Status::Unimplemented(
+        "forward output is not produced by a traced op");
+  }
+  const int out_slot = find(slot_of.at(out_impl));
+
+  // --- Pass 2: fuse scalar chains ------------------------------------------
+  // Consecutive single-consumer AddScalar/MulScalar nodes become one
+  // elementwise pass that applies the ops in sequence. Per-element order is
+  // unchanged (and the baseline x86-64 target has no FMA contraction), so
+  // fused results are bitwise identical to the two-pass dynamic path.
+  struct Planned {
+    replay::Kernel kernel;
+    std::vector<int> in_slots;
+    int out_slot = -1;
+    std::vector<std::pair<replay::ScalarOpKind, float>> scalar_ops;
+  };
+  std::vector<Planned> planned;
+  for (const replay::TraceNode& node : nodes) {
+    if (node.name == "Reshape") continue;  // aliased away
+    Planned p;
+    p.kernel = node.kernel;
+    for (const std::shared_ptr<TensorImpl>& in : node.inputs) {
+      p.in_slots.push_back(find(slot_of.at(in.get())));
+    }
+    p.out_slot = find(slot_of.at(node.output.get()));
+    if (node.scalar_kind != replay::ScalarOpKind::kNone) {
+      p.scalar_ops.emplace_back(node.scalar_kind, node.scalar);
+    }
+    planned.push_back(std::move(p));
+  }
+  // Reads per canonical slot, counting the graph output as one extra read.
+  std::vector<int> consumers(slots.size(), 0);
+  for (const Planned& p : planned) {
+    for (int s : p.in_slots) ++consumers[s];
+  }
+  ++consumers[out_slot];
+  std::vector<Planned> steps;
+  for (Planned& p : planned) {
+    if (!steps.empty() && !p.scalar_ops.empty()) {
+      Planned& prev = steps.back();
+      if (!prev.scalar_ops.empty() && p.in_slots.size() == 1 &&
+          p.in_slots[0] == prev.out_slot && consumers[prev.out_slot] == 1) {
+        prev.scalar_ops.emplace_back(p.scalar_ops[0]);
+        prev.out_slot = p.out_slot;
+        continue;
+      }
+    }
+    steps.push_back(std::move(p));
+  }
+  for (Planned& p : steps) {
+    if (p.scalar_ops.size() < 2) continue;  // single ops keep their kernel
+    const int64_t n = slots[static_cast<size_t>(p.out_slot)].numel;
+    auto ops = p.scalar_ops;
+    p.kernel = [n, ops](const float* const* ins, float* out) {
+      const float* a = ins[0];
+      ParallelFor(0, n, kScalarChainGrain, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          float v = a[i];
+          for (const auto& op : ops) {
+            if (op.first == replay::ScalarOpKind::kAdd) {
+              v = v + op.second;
+            } else {
+              v = v * op.second;
+            }
+          }
+          out[i] = v;
+        }
+      });
+    };
+  }
+
+  graph->stats_.num_traced_ops = static_cast<int64_t>(nodes.size());
+  graph->stats_.num_steps = static_cast<int64_t>(steps.size());
+  graph->stats_.num_fused =
+      static_cast<int64_t>(nodes.size() - steps.size());
+
+  // --- Pass 3: liveness + arena planning -----------------------------------
+  // Every step output is a fresh canonical slot (only reshapes re-parent,
+  // and those nodes are gone), so each gets one interval [birth step,
+  // last-reading step]. Greedy first-fit over a sorted free list packs them
+  // into a single arena; the graph output lives to the end.
+  const int num_steps = static_cast<int>(steps.size());
+  std::vector<int> last_use(slots.size(), -1);
+  for (int i = 0; i < num_steps; ++i) {
+    for (int s : steps[static_cast<size_t>(i)].in_slots) {
+      last_use[static_cast<size_t>(s)] = i;
+    }
+  }
+  last_use[static_cast<size_t>(out_slot)] = num_steps;
+  std::vector<std::vector<int>> dies_before(static_cast<size_t>(num_steps) + 1);
+  for (int i = 0; i < num_steps; ++i) {
+    const int s = steps[static_cast<size_t>(i)].out_slot;
+    const int death = last_use[static_cast<size_t>(s)];
+    // Slots never read (dead stores can arise from fused tails) are freed
+    // right after their producing step.
+    const int free_at = std::max(death, i) + 1;
+    if (free_at <= num_steps) {
+      dies_before[static_cast<size_t>(free_at)].push_back(s);
+    }
+  }
+
+  struct Block {
+    int64_t off;
+    int64_t size;
+  };
+  std::vector<Block> free_list;  // sorted by offset, coalesced
+  auto release = [&](int64_t off, int64_t size) {
+    size_t pos = 0;
+    while (pos < free_list.size() && free_list[pos].off < off) ++pos;
+    free_list.insert(free_list.begin() + static_cast<int64_t>(pos),
+                     {off, size});
+    // Coalesce with the next, then the previous block.
+    if (pos + 1 < free_list.size() &&
+        free_list[pos].off + free_list[pos].size == free_list[pos + 1].off) {
+      free_list[pos].size += free_list[pos + 1].size;
+      free_list.erase(free_list.begin() + static_cast<int64_t>(pos) + 1);
+    }
+    if (pos > 0 && free_list[pos - 1].off + free_list[pos - 1].size ==
+                       free_list[pos].off) {
+      free_list[pos - 1].size += free_list[pos].size;
+      free_list.erase(free_list.begin() + static_cast<int64_t>(pos));
+    }
+  };
+  int64_t arena_floats = 0;
+  std::vector<int64_t> slot_off(slots.size(), -1);
+  for (int i = 0; i < num_steps; ++i) {
+    for (int s : dies_before[static_cast<size_t>(i)]) {
+      release(slot_off[static_cast<size_t>(s)],
+              AlignUp(slots[static_cast<size_t>(s)].numel));
+    }
+    const int s = steps[static_cast<size_t>(i)].out_slot;
+    const int64_t need = AlignUp(slots[static_cast<size_t>(s)].numel);
+    int64_t off = -1;
+    for (size_t b = 0; b < free_list.size(); ++b) {
+      if (free_list[b].size >= need) {
+        off = free_list[b].off;
+        free_list[b].off += need;
+        free_list[b].size -= need;
+        if (free_list[b].size == 0) {
+          free_list.erase(free_list.begin() + static_cast<int64_t>(b));
+        }
+        break;
+      }
+    }
+    if (off < 0) {
+      off = arena_floats;
+      arena_floats += need;
+    }
+    slot_off[static_cast<size_t>(s)] = off;
+  }
+  graph->stats_.arena_bytes =
+      arena_floats * static_cast<int64_t>(sizeof(float));
+
+  // --- Bake raw pointers ----------------------------------------------------
+  graph->arena_.assign(static_cast<size_t>(arena_floats), 0.0f);
+  graph->input_stage_.resize(static_cast<size_t>(example.numel()));
+  std::vector<const TensorImpl*> impl_of_slot(slots.size(), nullptr);
+  for (const auto& [impl, id] : slot_of) {
+    impl_of_slot[static_cast<size_t>(id)] = impl;
+  }
+  auto slot_ptr = [&](int s) -> float* {
+    if (s == 0) return graph->input_stage_.data();
+    if (slots[static_cast<size_t>(s)].is_const) {
+      // Retained in constants_, so the data pointer outlives the trace.
+      return const_cast<TensorImpl*>(impl_of_slot[static_cast<size_t>(s)])
+          ->data.data();
+    }
+    TS3_CHECK_GE(slot_off[static_cast<size_t>(s)], 0)
+        << "arena slot read before any step produced it";
+    return graph->arena_.data() + slot_off[static_cast<size_t>(s)];
+  };
+  for (Planned& p : steps) {
+    Step step;
+    step.kernel = std::move(p.kernel);
+    for (int s : p.in_slots) step.ins.push_back(slot_ptr(s));
+    step.out = slot_ptr(p.out_slot);
+    graph->steps_.push_back(std::move(step));
+  }
+  graph->output_ptr_ = slot_ptr(out_slot);
+
+  // --- Bitwise validation ---------------------------------------------------
+  // First replay the traced input and require the exact bytes the dynamic
+  // forward produced; then do the same on a perturbed probe so kernels that
+  // accidentally baked input values (not just shapes) are caught before the
+  // graph ever serves traffic.
+  const int64_t in_numel = example.numel();
+  const int64_t out_numel = traced_out.numel();
+  auto replay_on = [&](const float* in_data) {
+    std::memcpy(graph->input_stage_.data(), in_data,
+                static_cast<size_t>(in_numel) * sizeof(float));
+    for (Step& s : graph->steps_) s.kernel(s.ins.data(), s.out);
+    return graph->output_ptr_;
+  };
+  if (!BitwiseEqual(replay_on(example.data()), traced_out.data(), out_numel)) {
+    return Status::Internal(
+        "compiled replay diverges from the traced forward on the example "
+        "input");
+  }
+  Tensor probe = Tensor::FromData(MakeProbe(example.data(), in_numel),
+                                  example.shape());
+  Tensor dynamic_probe_out = module->Forward(probe);
+  if (!BitwiseEqual(replay_on(probe.data()), dynamic_probe_out.data(),
+                    out_numel)) {
+    return Status::Internal(
+        "compiled replay diverges from the dynamic forward on a probe "
+        "input");
+  }
+  // Output pool storage is allocated here so steady-state Run never
+  // allocates a tensor, not even on the first call.
+  graph->pool_storage_ = Tensor::Zeros(graph->output_shape_).impl();
+  graph->pool_free_ = std::make_shared<std::atomic<bool>>(true);
+  return graph;
+}
+
+Tensor CompiledGraph::Run(const Tensor& x) {
+  TS3_TRACE_SPAN("serve/replay_run");
+  TS3_CHECK(x.defined());
+  TS3_CHECK(x.shape() == input_shape_)
+      << "CompiledGraph::Run: input shape " << ShapeToString(x.shape())
+      << " does not match the compiled shape "
+      << ShapeToString(input_shape_);
+  std::memcpy(input_stage_.data(), x.data(),
+              input_stage_.size() * sizeof(float));
+  for (Step& s : steps_) s.kernel(s.ins.data(), s.out);
+  // One-deep output pool. Recycling is only safe once the previous
+  // caller's last reference died AND its reads are visible: the handle's
+  // deleter re-arms the flag with a release store, which this acquire CAS
+  // pairs with. A use_count() probe cannot replace the flag — it is a
+  // relaxed load, so the memcpy below would race the caller's final reads.
+  const size_t out_bytes =
+      static_cast<size_t>(NumElements(output_shape_)) * sizeof(float);
+  bool expected = true;
+  if (!pool_free_->compare_exchange_strong(expected, false,
+                                           std::memory_order_acquire)) {
+    // Caller still holds the previous result: hand out a fresh tensor (the
+    // allocation shows up in serve/allocs_per_predict).
+    Tensor out = Tensor::Zeros(output_shape_);
+    std::memcpy(out.data(), output_ptr_, out_bytes);
+    return out;
+  }
+  std::memcpy(pool_storage_->data.data(), output_ptr_, out_bytes);
+  auto storage = pool_storage_;
+  auto flag = pool_free_;
+  std::shared_ptr<internal_tensor::TensorImpl> handle(
+      storage.get(), [storage, flag](internal_tensor::TensorImpl*) mutable {
+        // Last caller reference died: the buffer may be recycled.
+        flag->store(true, std::memory_order_release);
+        storage.reset();
+      });
+  return Tensor::FromImpl(std::move(handle));
+}
+
+}  // namespace serve
+}  // namespace ts3net

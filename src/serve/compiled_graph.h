@@ -1,0 +1,109 @@
+#ifndef TS3NET_SERVE_COMPILED_GRAPH_H_
+#define TS3NET_SERVE_COMPILED_GRAPH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/module.h"
+#include "tensor/replay.h"
+#include "tensor/tensor.h"
+
+namespace ts3net {
+namespace serve {
+
+/// A compiled inference graph: one dynamic forward of a frozen module,
+/// traced into a static op list and replayed against pre-planned memory.
+///
+/// `Compile` runs the module once on an example input under a
+/// replay::GraphRecorder, turning the forward into a topologically ordered
+/// list of replay kernels wired by tensor-slot indices. The planner then
+///
+///   1. aliases away every Reshape (a row-major reshape is a data identity,
+///      which also collapses Permute→Reshape chains to the Permute alone),
+///   2. fuses runs of single-consumer AddScalar/MulScalar nodes into one
+///      elementwise pass (per-element op order is preserved, so results stay
+///      bitwise identical), and
+///   3. assigns every surviving intermediate an offset in a single arena
+///      sized by liveness analysis at compile time, baking raw input/output
+///      pointers into each step.
+///
+/// A steady-state `Run` is therefore memcpy-in, kernel loop, memcpy-out:
+/// it allocates no tensors (see TensorAllocsOnThisThread) — the output
+/// tensor itself is recycled through a one-deep pool whenever the caller
+/// has released the previous result.
+///
+/// Compilation is conservative. It fails — and the caller must keep using
+/// the dynamic forward — when the trace contains an op without a replay
+/// kernel, when the forward read tensor values on the host (Detach/at/item
+/// ahead of data-driven control flow, as in TimesNet's and TS3Net's top-k
+/// period selection), or when the compiled replay is not bitwise identical
+/// to a fresh dynamic forward on a deterministic probe input. The graph is
+/// specialized to the example's exact shape; `Run` checks it.
+///
+/// Not thread-safe: the arena and output pool are reused across calls, so
+/// callers serialize externally (ModelSnapshot runs it under its mutex).
+class CompiledGraph {
+ public:
+  struct Stats {
+    int64_t num_traced_ops = 0;  ///< nodes recorded by the trace
+    int64_t num_steps = 0;       ///< steps after aliasing and fusion
+    int64_t num_fused = 0;       ///< traced nodes eliminated by the planner
+    int64_t arena_bytes = 0;     ///< planned intermediate storage
+  };
+
+  /// Traces `module->Forward(example)` and plans it. The module must be
+  /// frozen (inference mode); `example` fixes the compiled input shape.
+  /// Returns Unimplemented when the trace cannot be replayed and Internal
+  /// when the bitwise validation against the dynamic forward fails.
+  static Result<std::unique_ptr<CompiledGraph>> Compile(nn::Module* module,
+                                                        const Tensor& example);
+
+  /// Replays the graph on `x`, whose shape must equal `input_shape()`.
+  /// Returns a detached tensor the caller owns; dropping it before the next
+  /// Run lets the graph recycle the buffer.
+  Tensor Run(const Tensor& x);
+
+  const Shape& input_shape() const { return input_shape_; }
+  const Shape& output_shape() const { return output_shape_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  /// One replay step with its buffers resolved to raw pointers.
+  struct Step {
+    replay::Kernel kernel;
+    std::vector<const float*> ins;
+    float* out = nullptr;
+  };
+
+  CompiledGraph() = default;
+
+  Shape input_shape_;
+  Shape output_shape_;
+  Stats stats_;
+
+  /// Weights and trace-time factory tensors, retained so the data pointers
+  /// baked into steps stay alive.
+  std::vector<std::shared_ptr<internal_tensor::TensorImpl>> constants_;
+  std::vector<float> input_stage_;  ///< x is memcpy'd here each Run
+  std::vector<float> arena_;        ///< all planned intermediates
+  std::vector<Step> steps_;
+  const float* output_ptr_ = nullptr;  ///< where the final values land
+
+  /// One-deep output pool. The pooled buffer is handed to callers under a
+  /// custom deleter that re-arms `pool_free_` with release semantics when
+  /// the last caller reference dies; `Run` only recycles after winning an
+  /// acquire CAS on the flag, so the caller's final reads happen-before
+  /// the next memcpy into the buffer (a use_count() probe would be a
+  /// relaxed load and race them). Both are shared_ptrs because an
+  /// outstanding output may outlive the graph.
+  std::shared_ptr<internal_tensor::TensorImpl> pool_storage_;
+  std::shared_ptr<std::atomic<bool>> pool_free_;
+};
+
+}  // namespace serve
+}  // namespace ts3net
+
+#endif  // TS3NET_SERVE_COMPILED_GRAPH_H_

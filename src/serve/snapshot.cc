@@ -1,8 +1,10 @@
 #include "serve/snapshot.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.h"
+#include "common/obs/metrics.h"
 #include "common/obs/trace.h"
 #include "nn/serialize.h"
 #include "tensor/autograd_mode.h"
@@ -10,8 +12,9 @@
 namespace ts3net {
 namespace serve {
 
-ModelSnapshot::ModelSnapshot(std::shared_ptr<nn::Module> module)
-    : module_(std::move(module)) {}
+ModelSnapshot::ModelSnapshot(std::shared_ptr<nn::Module> module,
+                             const SnapshotOptions& options)
+    : module_(std::move(module)), options_(options) {}
 
 void ModelSnapshot::Freeze() {
   module_->SetTraining(false);
@@ -21,21 +24,23 @@ void ModelSnapshot::Freeze() {
 }
 
 Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::Capture(
-    const nn::Module& trained, std::shared_ptr<nn::Module> twin) {
+    const nn::Module& trained, std::shared_ptr<nn::Module> twin,
+    const SnapshotOptions& options) {
   if (twin == nullptr) {
     return Status::InvalidArgument("ModelSnapshot::Capture: twin is null");
   }
   if (Status st = nn::CopyParameters(trained, twin.get()); !st.ok()) {
     return st;
   }
-  auto snapshot =
-      std::shared_ptr<ModelSnapshot>(new ModelSnapshot(std::move(twin)));
+  auto snapshot = std::shared_ptr<ModelSnapshot>(
+      new ModelSnapshot(std::move(twin), options));
   snapshot->Freeze();
   return std::shared_ptr<const ModelSnapshot>(std::move(snapshot));
 }
 
 Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::FromCheckpoint(
-    const std::string& checkpoint_path, std::shared_ptr<nn::Module> twin) {
+    const std::string& checkpoint_path, std::shared_ptr<nn::Module> twin,
+    const SnapshotOptions& options) {
   if (twin == nullptr) {
     return Status::InvalidArgument(
         "ModelSnapshot::FromCheckpoint: twin is null");
@@ -43,10 +48,37 @@ Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::FromCheckpoint(
   if (Status st = nn::LoadParameters(twin.get(), checkpoint_path); !st.ok()) {
     return st;
   }
-  auto snapshot =
-      std::shared_ptr<ModelSnapshot>(new ModelSnapshot(std::move(twin)));
+  auto snapshot = std::shared_ptr<ModelSnapshot>(
+      new ModelSnapshot(std::move(twin), options));
   snapshot->Freeze();
   return std::shared_ptr<const ModelSnapshot>(std::move(snapshot));
+}
+
+CompiledGraph* ModelSnapshot::GetOrCompileLocked(const Tensor& x) const {
+  if (auto it = compiled_.find(x.shape()); it != compiled_.end()) {
+    return it->second.get();
+  }
+  if (std::find(rejected_.begin(), rejected_.end(), x.shape()) !=
+      rejected_.end()) {
+    return nullptr;
+  }
+  if (static_cast<int>(compiled_.size()) >= options_.max_compiled_shapes) {
+    return nullptr;
+  }
+  auto* registry = obs::MetricsRegistry::Global();
+  Result<std::unique_ptr<CompiledGraph>> compiled =
+      CompiledGraph::Compile(module_.get(), x);
+  if (!compiled.ok()) {
+    rejected_.push_back(x.shape());
+    registry->counter("serve/compile_rejected")->Increment();
+    return nullptr;
+  }
+  registry->counter("serve/graph_compiles")->Increment();
+  registry->gauge("serve/arena_bytes")
+      ->Set(static_cast<double>(compiled.value()->stats().arena_bytes));
+  CompiledGraph* graph = compiled.value().get();
+  compiled_.emplace(x.shape(), std::move(compiled).value());
+  return graph;
 }
 
 Tensor ModelSnapshot::Predict(const Tensor& x) const {
@@ -54,12 +86,40 @@ Tensor ModelSnapshot::Predict(const Tensor& x) const {
   TS3_CHECK_EQ(x.ndim(), 3) << "ModelSnapshot::Predict expects [B, T, C]";
   TS3_TRACE_SPAN("serve/predict");
   NoGradGuard no_grad;
+  auto* registry = obs::MetricsRegistry::Global();
   std::lock_guard<std::mutex> lock(mu_);
-  return module_->Forward(x).Detach();
+  CompiledGraph* graph = options_.compile ? GetOrCompileLocked(x) : nullptr;
+  // The allocation gauge covers execution only, not one-time compilation:
+  // it answers "what does a steady-state Predict cost", which for the
+  // compiled path must read 0.
+  const int64_t allocs_before = TensorAllocsOnThisThread();
+  Tensor out;
+  if (graph != nullptr) {
+    out = graph->Run(x);
+    registry->counter("serve/compiled_predicts")->Increment();
+  } else {
+    out = module_->Forward(x).Detach();
+    if (options_.compile) {
+      registry->counter("serve/fallback_predicts")->Increment();
+    }
+  }
+  registry->gauge("serve/allocs_per_predict")
+      ->Set(static_cast<double>(TensorAllocsOnThisThread() - allocs_before));
+  return out;
 }
 
 int64_t ModelSnapshot::num_parameters() const {
   return module_->NumParameters();
+}
+
+int ModelSnapshot::num_compiled_shapes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(compiled_.size());
+}
+
+int ModelSnapshot::num_rejected_shapes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(rejected_.size());
 }
 
 }  // namespace serve

@@ -2,16 +2,32 @@
 #define TS3NET_SERVE_SNAPSHOT_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "nn/module.h"
+#include "serve/compiled_graph.h"
 #include "tensor/tensor.h"
 
 namespace ts3net {
 namespace serve {
+
+/// Tuning knobs for ModelSnapshot's compiled inference path.
+struct SnapshotOptions {
+  /// When true (the default), the first Predict for each input shape traces
+  /// the forward into a CompiledGraph (see compiled_graph.h) and later
+  /// Predicts replay it with zero tensor allocations. Models whose forward
+  /// is data-dependent (TimesNet / TS3Net top-k period selection) are
+  /// detected at compile time and transparently stay on the dynamic path.
+  bool compile = true;
+  /// Upper bound on cached per-shape graphs; shapes beyond it fall back to
+  /// the dynamic forward rather than growing memory without bound.
+  int max_compiled_shapes = 8;
+};
 
 /// An immutable, serving-ready copy of a trained model.
 ///
@@ -35,12 +51,14 @@ class ModelSnapshot {
   /// on. Returns InvalidArgument when the parameter trees do not match by
   /// name and shape.
   static Result<std::shared_ptr<const ModelSnapshot>> Capture(
-      const nn::Module& trained, std::shared_ptr<nn::Module> twin);
+      const nn::Module& trained, std::shared_ptr<nn::Module> twin,
+      const SnapshotOptions& options = {});
 
   /// Loads a checkpoint written by nn::SaveParameters into `twin` and
   /// freezes it. Same ownership contract as Capture.
   static Result<std::shared_ptr<const ModelSnapshot>> FromCheckpoint(
-      const std::string& checkpoint_path, std::shared_ptr<nn::Module> twin);
+      const std::string& checkpoint_path, std::shared_ptr<nn::Module> twin,
+      const SnapshotOptions& options = {});
 
   /// Forward pass over a [B, T, C] batch under NoGradGuard; returns the
   /// detached [B, H, C] prediction. Serialized by an internal mutex (modules
@@ -48,18 +66,46 @@ class ModelSnapshot {
   /// thread. Per-sample outputs are bitwise independent of the batch they
   /// ride in: every kernel computes each sample's values in a fixed order
   /// that does not depend on the batch dimension (see DESIGN.md, "Serving").
+  ///
+  /// With `options.compile` on, the first call for each input shape traces
+  /// and compiles the forward; later calls replay the compiled graph, which
+  /// is bitwise identical to the dynamic forward by construction (validated
+  /// at compile time — see DESIGN.md §11). Counters:
+  ///   serve/compiled_predicts  predicts served by a compiled graph
+  ///   serve/fallback_predicts  predicts that wanted a graph but ran dynamic
+  ///   serve/graph_compiles     successful compilations
+  ///   serve/compile_rejected   shapes that failed compilation
+  /// and gauges serve/allocs_per_predict (tensor allocations in the last
+  /// Predict, 0 in compiled steady state) and serve/arena_bytes.
   Tensor Predict(const Tensor& x) const;
 
   int64_t num_parameters() const;
 
+  const SnapshotOptions& options() const { return options_; }
+  /// Number of input shapes with a live compiled graph (for tests).
+  int num_compiled_shapes() const;
+  /// Number of input shapes that failed compilation (for tests).
+  int num_rejected_shapes() const;
+
  private:
-  explicit ModelSnapshot(std::shared_ptr<nn::Module> module);
+  ModelSnapshot(std::shared_ptr<nn::Module> module,
+                const SnapshotOptions& options);
 
   /// Shared freeze step of both factories.
   void Freeze();
 
+  /// Returns the compiled graph for x's shape, compiling on first sight.
+  /// Null when compilation is off, failed for this shape, or the cache is
+  /// full. Caller holds mu_.
+  CompiledGraph* GetOrCompileLocked(const Tensor& x) const;
+
   mutable std::mutex mu_;
   std::shared_ptr<nn::Module> module_;
+  const SnapshotOptions options_;
+  /// Per-input-shape compiled graphs and shapes that failed to compile.
+  /// Guarded by mu_ (Predict already serializes on it).
+  mutable std::map<Shape, std::unique_ptr<CompiledGraph>> compiled_;
+  mutable std::vector<Shape> rejected_;
 };
 
 }  // namespace serve

@@ -14,6 +14,7 @@
 #include "common/threadpool.h"
 #include "signal/cwt.h"
 #include "signal/fft.h"
+#include "tensor/replay.h"
 #include "tensor/tensor.h"
 
 namespace ts3net {
@@ -32,6 +33,42 @@ void CheckPlanMatchesInput(const CwtFftPlan& plan, const Tensor& x_btd) {
   for (const auto& spectrum : plan.spectra) {
     TS3_CHECK_EQ(static_cast<int64_t>(spectrum.size()), plan.fft_size)
         << "CWT FFT plan has a band spectrum of the wrong length";
+  }
+}
+
+/// One [B·D] channel of the amplitude CWT forward, shared by the dynamic op
+/// and its traced replay kernel so both produce bitwise-identical floats.
+/// `xs`/`y` are caller scratch (pre-sizing them makes replay allocation-free
+/// after the first call); `pre`/`pim` are the saved complex responses for
+/// the backward pass and may be null during inference replay.
+void CwtForwardChannel(const float* px, const CwtFftPlan& plan, float eps,
+                       int64_t bi, int64_t di, int64_t t_len, int64_t d,
+                       int64_t lambda, int64_t n,
+                       std::vector<std::complex<double>>* xs,
+                       std::vector<std::complex<double>>* y, float* pre,
+                       float* pim, float* pamp) {
+  xs->assign(static_cast<size_t>(n), {0.0, 0.0});
+  for (int64_t t = 0; t < t_len; ++t) {
+    (*xs)[static_cast<size_t>(t)] = px[(bi * t_len + t) * d + di];
+  }
+  Fft(xs);
+  for (int64_t i = 0; i < lambda; ++i) {
+    TS3_TRACE_SPAN("cwt/fft_band");
+    const auto& spectrum = plan.spectra[static_cast<size_t>(i)];
+    y->resize(static_cast<size_t>(n));
+    for (int64_t k = 0; k < n; ++k) {
+      (*y)[static_cast<size_t>(k)] =
+          (*xs)[static_cast<size_t>(k)] * spectrum[static_cast<size_t>(k)];
+    }
+    Ifft(y);
+    for (int64_t t = 0; t < t_len; ++t) {
+      const int64_t idx = ((bi * lambda + i) * t_len + t) * d + di;
+      const float re = static_cast<float>((*y)[static_cast<size_t>(t)].real());
+      const float im = static_cast<float>((*y)[static_cast<size_t>(t)].imag());
+      if (pre != nullptr) pre[idx] = re;
+      if (pim != nullptr) pim[idx] = im;
+      pamp[idx] = std::sqrt(re * re + im * im + eps);
+    }
   }
 }
 
@@ -69,36 +106,13 @@ Tensor CwtAmplitudeFftOp(const Tensor& x_btd,
     std::vector<std::complex<double>> xs;
     std::vector<std::complex<double>> y;
     for (int64_t r = lo; r < hi; ++r) {
-      const int64_t bi = r / d;
-      const int64_t di = r % d;
-      xs.assign(static_cast<size_t>(n), {0.0, 0.0});
-      for (int64_t t = 0; t < t_len; ++t) {
-        xs[static_cast<size_t>(t)] = px[(bi * t_len + t) * d + di];
-      }
-      Fft(&xs);
-      for (int64_t i = 0; i < lambda; ++i) {
-        TS3_TRACE_SPAN("cwt/fft_band");
-        const auto& spectrum = plan->spectra[static_cast<size_t>(i)];
-        y.resize(static_cast<size_t>(n));
-        for (int64_t k = 0; k < n; ++k) {
-          y[static_cast<size_t>(k)] =
-              xs[static_cast<size_t>(k)] * spectrum[static_cast<size_t>(k)];
-        }
-        Ifft(&y);
-        for (int64_t t = 0; t < t_len; ++t) {
-          const int64_t idx = ((bi * lambda + i) * t_len + t) * d + di;
-          const float re = static_cast<float>(y[static_cast<size_t>(t)].real());
-          const float im = static_cast<float>(y[static_cast<size_t>(t)].imag());
-          pre[idx] = re;
-          pim[idx] = im;
-          pamp[idx] = std::sqrt(re * re + im * im + eps);
-        }
-      }
+      CwtForwardChannel(px, *plan, eps, r / d, r % d, t_len, d, lambda, n, &xs,
+                        &y, pre, pim, pamp);
     }
   });
 
   Tensor tx = x_btd;
-  return MakeOpResult(
+  Tensor result = MakeOpResult(
       std::move(amp), Shape{b, lambda, t_len, d}, "CwtAmplitudeFftOp", {x_btd},
       [tx, plan, re_saved, im_saved, b, t_len, d, lambda, n,
        eps](const Tensor& grad_out) mutable {
@@ -151,6 +165,30 @@ Tensor CwtAmplitudeFftOp(const Tensor& x_btd,
         });
         tx.AccumulateGrad(Tensor::FromData(std::move(gx), tx.shape()));
       });
+  if (replay::TracingActive()) {
+    // Per-channel complex scratch, pre-sized at record time so the replay
+    // loop's assign/resize never reallocate; channels are disjoint so each
+    // ParallelFor chunk owns its slots.
+    auto xs_s = std::make_shared<std::vector<std::vector<std::complex<double>>>>(
+        static_cast<size_t>(b * d),
+        std::vector<std::complex<double>>(static_cast<size_t>(n)));
+    auto y_s = std::make_shared<std::vector<std::vector<std::complex<double>>>>(
+        static_cast<size_t>(b * d),
+        std::vector<std::complex<double>>(static_cast<size_t>(n)));
+    replay::Record(result, [plan, eps, b, t_len, d, lambda, n, xs_s, y_s](
+                               const float* const* ins, float* out_p) {
+      const float* src = ins[0];
+      ParallelFor(0, b * d, 1, [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          CwtForwardChannel(src, *plan, eps, r / d, r % d, t_len, d, lambda, n,
+                            &(*xs_s)[static_cast<size_t>(r)],
+                            &(*y_s)[static_cast<size_t>(r)],
+                            /*pre=*/nullptr, /*pim=*/nullptr, out_p);
+        }
+      });
+    });
+  }
+  return result;
 }
 
 }  // namespace ts3net

@@ -1,12 +1,67 @@
+#include <algorithm>
 #include <cstring>
 
 #include "common/obs/trace.h"
 #include "common/threadpool.h"
 #include "tensor/ops.h"
+#include "tensor/replay.h"
 
 namespace ts3net {
 
 namespace {
+
+/// Copies the interior of NCHW input `px` into the zero-padded buffer
+/// `xpad`. Padding bands are never written, so a buffer zeroed once can be
+/// refilled in place across replays.
+void FillConvPadded(const float* px, float* xpad, int64_t nb, int64_t ci,
+                    int64_t h, int64_t w, int64_t hp, int64_t wp,
+                    int64_t pad_h, int64_t pad_w) {
+  for (int64_t b = 0; b < nb; ++b) {
+    for (int64_t c = 0; c < ci; ++c) {
+      for (int64_t y = 0; y < h; ++y) {
+        std::memcpy(xpad + ((b * ci + c) * hp + y + pad_h) * wp + pad_w,
+                    px + ((b * ci + c) * h + y) * w,
+                    sizeof(float) * static_cast<size_t>(w));
+      }
+    }
+  }
+}
+
+/// The valid-convolution accumulation over a padded input, shared by the
+/// dynamic forward and the traced replay kernel. Fully defines `out`
+/// (bias-fills or zero-fills every plane before accumulating).
+void Conv2dAccumulate(const float* xpad, const float* pw, const float* pbias,
+                      float* out, int64_t nb, int64_t ci, int64_t co,
+                      int64_t hp, int64_t wp, int64_t ho, int64_t wo,
+                      int64_t kh, int64_t kw) {
+  // Each (batch, out-channel) plane is produced by exactly one chunk.
+  ParallelFor(0, nb * co, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const int64_t b = r / co;
+      const int64_t o = r % co;
+      float* out_plane = out + r * ho * wo;
+      if (pbias != nullptr) {
+        for (int64_t i = 0; i < ho * wo; ++i) out_plane[i] = pbias[o];
+      } else {
+        std::fill(out_plane, out_plane + ho * wo, 0.0f);
+      }
+      for (int64_t c = 0; c < ci; ++c) {
+        const float* in_plane = xpad + (b * ci + c) * hp * wp;
+        for (int64_t dy = 0; dy < kh; ++dy) {
+          for (int64_t dx = 0; dx < kw; ++dx) {
+            const float wv = pw[((o * ci + c) * kh + dy) * kw + dx];
+            if (wv == 0.0f) continue;
+            for (int64_t y = 0; y < ho; ++y) {
+              const float* src = in_plane + (y + dy) * wp + dx;
+              float* dst = out_plane + y * wo;
+              for (int64_t xx = 0; xx < wo; ++xx) dst[xx] += wv * src[xx];
+            }
+          }
+        }
+      }
+    }
+  });
+}
 
 /// Valid (no padding) average pool with window `k`, stride 1, along the time
 /// axis of [B, T, C]. Output is [B, T-k+1, C]. Inputs shorter than the
@@ -36,7 +91,7 @@ Tensor AvgPool1dValid(const Tensor& x, int64_t k) {
                 }
               });
   Tensor tx = x;
-  return MakeOpResult(
+  Tensor result = MakeOpResult(
       std::move(out), Shape{b, to, c}, "AvgPool1dValid", {x},
       [tx, b, t, c, to, k, inv](const Tensor& grad_out) mutable {
         if (!tx.requires_grad()) return;
@@ -57,6 +112,28 @@ Tensor AvgPool1dValid(const Tensor& x, int64_t k) {
         });
         tx.AccumulateGrad(Tensor::FromData(std::move(g), tx.shape()));
       });
+  if (replay::TracingActive()) {
+    replay::Record(result, [b, t, c, to, k, inv](const float* const* ins,
+                                                 float* out_p) {
+      const float* src = ins[0];
+      std::fill(out_p, out_p + b * to * c, 0.0f);
+      ParallelFor(0, b * to,
+                  std::max<int64_t>(1, 4096 / std::max<int64_t>(1, k * c)),
+                  [&](int64_t lo, int64_t hi) {
+                    for (int64_t r = lo; r < hi; ++r) {
+                      const int64_t bi = r / to;
+                      const int64_t ti = r % to;
+                      float* dst = out_p + r * c;
+                      for (int64_t j = 0; j < k; ++j) {
+                        const float* s = src + (bi * t + ti + j) * c;
+                        for (int64_t ci = 0; ci < c; ++ci) dst[ci] += s[ci];
+                      }
+                      for (int64_t ci = 0; ci < c; ++ci) dst[ci] *= inv;
+                    }
+                  });
+    });
+  }
+  return result;
 }
 
 }  // namespace
@@ -94,55 +171,17 @@ Tensor Conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
   // Materialize the zero-padded input once; all loops below are "valid".
   auto xpad = std::make_shared<std::vector<float>>(
       static_cast<size_t>(nb * ci * hp * wp), 0.0f);
-  {
-    const float* px = x.data();
-    for (int64_t b = 0; b < nb; ++b) {
-      for (int64_t c = 0; c < ci; ++c) {
-        for (int64_t y = 0; y < h; ++y) {
-          std::memcpy(
-              xpad->data() + ((b * ci + c) * hp + y + pad_h) * wp + pad_w,
-              px + ((b * ci + c) * h + y) * w,
-              sizeof(float) * static_cast<size_t>(w));
-        }
-      }
-    }
-  }
+  FillConvPadded(x.data(), xpad->data(), nb, ci, h, w, hp, wp, pad_h, pad_w);
 
-  std::vector<float> out(static_cast<size_t>(nb * co * ho * wo), 0.0f);
-  {
-    const float* pw = weight.data();
-    const float* pbias = bias.defined() ? bias.data() : nullptr;
-    // Each (batch, out-channel) plane is produced by exactly one chunk.
-    ParallelFor(0, nb * co, 1, [&](int64_t lo, int64_t hi) {
-      for (int64_t r = lo; r < hi; ++r) {
-        const int64_t b = r / co;
-        const int64_t o = r % co;
-        float* out_plane = out.data() + r * ho * wo;
-        if (pbias != nullptr) {
-          for (int64_t i = 0; i < ho * wo; ++i) out_plane[i] = pbias[o];
-        }
-        for (int64_t c = 0; c < ci; ++c) {
-          const float* in_plane = xpad->data() + (b * ci + c) * hp * wp;
-          for (int64_t dy = 0; dy < kh; ++dy) {
-            for (int64_t dx = 0; dx < kw; ++dx) {
-              const float wv = pw[((o * ci + c) * kh + dy) * kw + dx];
-              if (wv == 0.0f) continue;
-              for (int64_t y = 0; y < ho; ++y) {
-                const float* src = in_plane + (y + dy) * wp + dx;
-                float* dst = out_plane + y * wo;
-                for (int64_t xx = 0; xx < wo; ++xx) dst[xx] += wv * src[xx];
-              }
-            }
-          }
-        }
-      }
-    });
-  }
+  std::vector<float> out(static_cast<size_t>(nb * co * ho * wo));
+  Conv2dAccumulate(xpad->data(), weight.data(),
+                   bias.defined() ? bias.data() : nullptr, out.data(), nb, ci,
+                   co, hp, wp, ho, wo, kh, kw);
 
   Tensor tx = x, tw = weight, tb = bias;
   std::vector<Tensor> inputs = {x, weight};
   if (bias.defined()) inputs.push_back(bias);
-  return MakeOpResult(
+  Tensor result = MakeOpResult(
       std::move(out), Shape{nb, co, ho, wo}, "Conv2d", inputs,
       [tx, tw, tb, xpad, nb, ci, co, h, w, hp, wp, ho, wo, kh, kw, pad_h,
        pad_w](const Tensor& grad_out) mutable {
@@ -234,6 +273,23 @@ Tensor Conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
           tb.AccumulateGrad(Tensor::FromData(std::move(gb), tb.shape()));
         }
       });
+  if (replay::TracingActive()) {
+    const bool has_bias = bias.defined();
+    // Replay owns its own padded scratch: zero-initialized once here, and
+    // FillConvPadded only ever rewrites the interior, so the padding bands
+    // stay zero across replays.
+    auto scratch = std::make_shared<std::vector<float>>(
+        static_cast<size_t>(nb * ci * hp * wp), 0.0f);
+    replay::Record(result, [scratch, has_bias, nb, ci, co, h, w, hp, wp, ho,
+                            wo, kh, kw, pad_h, pad_w](const float* const* ins,
+                                                      float* out_p) {
+      FillConvPadded(ins[0], scratch->data(), nb, ci, h, w, hp, wp, pad_h,
+                     pad_w);
+      Conv2dAccumulate(scratch->data(), ins[1], has_bias ? ins[2] : nullptr,
+                       out_p, nb, ci, co, hp, wp, ho, wo, kh, kw);
+    });
+  }
+  return result;
 }
 
 }  // namespace ts3net

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <utility>
@@ -5,6 +6,7 @@
 #include "common/obs/trace.h"
 #include "common/threadpool.h"
 #include "tensor/ops.h"
+#include "tensor/replay.h"
 
 namespace ts3net {
 
@@ -132,7 +134,7 @@ Tensor BinaryOp(const BinaryKernel& kernel, const Tensor& a, const Tensor& b) {
 
   const BinaryKernel* k = &kernel;
   Tensor ta = a, tb = b;
-  return MakeOpResult(
+  Tensor result = MakeOpResult(
       std::move(out), out_shape, kernel.name, {a, b},
       [k, ta, tb, out_shape](const Tensor& grad_out) mutable {
         const int64_t n = grad_out.numel();
@@ -174,6 +176,61 @@ Tensor BinaryOp(const BinaryKernel& kernel, const Tensor& a, const Tensor& b) {
           tb.AccumulateGrad(ReduceToShape(full, tb.shape()));
         }
       });
+  if (replay::TracingActive()) {
+    replay::Kernel rk;
+    if (a.shape() == b.shape()) {
+      rk = [k, n](const float* const* ins, float* out_p) {
+        const float* pa = ins[0];
+        const float* pb = ins[1];
+        ParallelFor(0, n, kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) out_p[i] = k->fwd(pa[i], pb[i]);
+        });
+      };
+    } else if (b.numel() == 1) {
+      rk = [k, n](const float* const* ins, float* out_p) {
+        const float* pa = ins[0];
+        const float sb = ins[1][0];
+        ParallelFor(0, n, kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) out_p[i] = k->fwd(pa[i], sb);
+        });
+      };
+    } else if (a.numel() == 1) {
+      rk = [k, n](const float* const* ins, float* out_p) {
+        const float sa = ins[0][0];
+        const float* pb = ins[1];
+        ParallelFor(0, n, kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) out_p[i] = k->fwd(sa, pb[i]);
+        });
+      };
+    } else {
+      // Allocation-free rerun of the serial broadcast walk: the coordinate
+      // scratch lives in the closure, reset on entry (replay is serialized).
+      rk = [k, n, shape = out_shape,
+            sa = BroadcastStrides(a.shape(), out_shape),
+            sb = BroadcastStrides(b.shape(), out_shape),
+            coords = std::vector<int64_t>(out_shape.size(), 0)](
+               const float* const* ins, float* out_p) mutable {
+        const float* pa = ins[0];
+        const float* pb = ins[1];
+        std::fill(coords.begin(), coords.end(), 0);
+        int64_t oa = 0, ob = 0;
+        for (int64_t i = 0; i < n; ++i) {
+          out_p[i] = k->fwd(pa[oa], pb[ob]);
+          for (size_t d = shape.size(); d-- > 0;) {
+            ++coords[d];
+            oa += sa[d];
+            ob += sb[d];
+            if (coords[d] < shape[d]) break;
+            coords[d] = 0;
+            oa -= sa[d] * shape[d];
+            ob -= sb[d] * shape[d];
+          }
+        }
+      };
+    }
+    replay::Record(result, std::move(rk));
+  }
+  return result;
 }
 
 const BinaryKernel kAdd = {
@@ -232,10 +289,24 @@ Tensor AddScalar(const Tensor& a, float s) {
     for (int64_t i = lo; i < hi; ++i) out[i] += s;
   });
   Tensor ta = a;
-  return MakeOpResult(std::move(out), a.shape(), "AddScalar", {a},
-                      [ta](const Tensor& grad_out) mutable {
-                        if (ta.requires_grad()) ta.AccumulateGrad(grad_out);
-                      });
+  Tensor result =
+      MakeOpResult(std::move(out), a.shape(), "AddScalar", {a},
+                   [ta](const Tensor& grad_out) mutable {
+                     if (ta.requires_grad()) ta.AccumulateGrad(grad_out);
+                   });
+  if (replay::TracingActive()) {
+    const int64_t n = a.numel();
+    replay::Record(
+        result,
+        [n, s](const float* const* ins, float* out_p) {
+          const float* pa = ins[0];
+          ParallelFor(0, n, kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) out_p[i] = pa[i] + s;
+          });
+        },
+        replay::ScalarOpKind::kAdd, s);
+  }
+  return result;
 }
 
 Tensor MulScalar(const Tensor& a, float s) {
@@ -245,7 +316,7 @@ Tensor MulScalar(const Tensor& a, float s) {
     for (int64_t i = lo; i < hi; ++i) out[i] *= s;
   });
   Tensor ta = a;
-  return MakeOpResult(
+  Tensor result = MakeOpResult(
       std::move(out), a.shape(), "MulScalar", {a},
       [ta, s](const Tensor& grad_out) mutable {
         if (!ta.requires_grad()) return;
@@ -253,6 +324,19 @@ Tensor MulScalar(const Tensor& a, float s) {
         for (float& v : g) v *= s;
         ta.AccumulateGrad(Tensor::FromData(std::move(g), ta.shape()));
       });
+  if (replay::TracingActive()) {
+    const int64_t n = a.numel();
+    replay::Record(
+        result,
+        [n, s](const float* const* ins, float* out_p) {
+          const float* pa = ins[0];
+          ParallelFor(0, n, kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) out_p[i] = pa[i] * s;
+          });
+        },
+        replay::ScalarOpKind::kMul, s);
+  }
+  return result;
 }
 
 }  // namespace ts3net

@@ -4,6 +4,7 @@
 #include "common/obs/trace.h"
 #include "common/threadpool.h"
 #include "tensor/ops.h"
+#include "tensor/replay.h"
 
 namespace ts3net {
 
@@ -143,7 +144,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
               });
 
   Tensor ta = a, tb = b;
-  return MakeOpResult(
+  Tensor result = MakeOpResult(
       std::move(out), out_shape, "MatMul", {a, b},
       [ta, tb, a_off, b_off, a_batches_disjoint, b_batches_disjoint, nbatch, m,
        k, n](const Tensor& grad_out) mutable {
@@ -185,6 +186,16 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
           tb.AccumulateGrad(Tensor::FromData(std::move(gb), tb.shape()));
         }
       });
+  if (replay::TracingActive()) {
+    replay::Record(result, [a_off, b_off, nbatch, m, k, n](
+                               const float* const* ins, float* out_p) {
+      std::fill(out_p, out_p + nbatch * m * n, 0.0f);
+      ParallelFor(0, nbatch * m, RowGrain(k, n), [&](int64_t lo, int64_t hi) {
+        GemmRowRange(ins[0], ins[1], out_p, a_off, b_off, m, k, n, lo, hi);
+      });
+    });
+  }
+  return result;
 }
 
 }  // namespace ts3net

@@ -5,6 +5,7 @@
 #include "common/obs/trace.h"
 #include "common/threadpool.h"
 #include "tensor/ops.h"
+#include "tensor/replay.h"
 
 namespace ts3net {
 
@@ -30,6 +31,77 @@ std::vector<int> NormalizeDims(const std::vector<int>& dims, int ndim) {
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
+}
+
+/// Everything Sum's forward needs, precomputed once; shared by the dynamic
+/// path and the traced replay kernel so the two can never diverge.
+struct SumPlan {
+  int64_t n = 0;         // input elements
+  int64_t out_n = 0;     // output elements (kept layout)
+  int64_t red_count = 1; // elements reduced per output
+  int nd = 0;
+  Shape in_shape, kept_shape;
+  std::vector<int64_t> out_step, kept_strides, in_strides, red_dims,
+      red_strides;
+};
+
+/// Writes the reduction of `src` into `out` (fully, including the zero
+/// fill). `serial_coords` is optional scratch for the serial walker so a
+/// replay caller can keep the path allocation-free.
+void SumForwardInto(const float* src, float* out, const SumPlan& p,
+                    std::vector<int64_t>* serial_coords) {
+  std::fill(out, out + p.out_n, 0.0f);
+  if (p.n >= kReduceParallelThreshold && p.out_n > 1 &&
+      ThreadPool::GlobalNumThreads() > 1) {
+    // Parallel path: one gather per output element. For a fixed output, the
+    // serial walker below visits its contributing inputs in increasing
+    // linear index, which is row-major order over the reduced axes — the
+    // gather adds in that same order, so both paths are bitwise identical.
+    const size_t nred = p.red_dims.size();
+    const int64_t grain =
+        std::max<int64_t>(1, kReduceParallelThreshold / p.red_count);
+    ParallelFor(0, p.out_n, grain, [&](int64_t lo, int64_t hi) {
+      std::vector<int64_t> rc(nred, 0);
+      for (int64_t q = lo; q < hi; ++q) {
+        // Base input offset of this output's kept coordinates (reduced axes
+        // contribute coordinate 0 since kept_shape is 1 there).
+        int64_t base = 0;
+        for (int d = 0; d < p.nd; ++d) {
+          base += ((q / p.kept_strides[d]) % p.kept_shape[d]) * p.in_strides[d];
+        }
+        float acc = 0.0f;
+        std::fill(rc.begin(), rc.end(), 0);
+        int64_t roff = 0;
+        for (int64_t it = 0; it < p.red_count; ++it) {
+          acc += src[base + roff];
+          for (size_t d = nred; d-- > 0;) {
+            ++rc[d];
+            roff += p.red_strides[d];
+            if (rc[d] < p.red_dims[d]) break;
+            rc[d] = 0;
+            roff -= p.red_strides[d] * p.red_dims[d];
+          }
+        }
+        out[q] = acc;
+      }
+    });
+  } else {
+    std::vector<int64_t> local_coords;
+    std::vector<int64_t>& coords =
+        serial_coords != nullptr ? *serial_coords : local_coords;
+    coords.assign(static_cast<size_t>(p.nd), 0);
+    int64_t out_off = 0;
+    for (int64_t i = 0; i < p.n; ++i) {
+      out[out_off] += src[i];
+      for (int d = p.nd; d-- > 0;) {
+        ++coords[d];
+        out_off += p.out_step[d];
+        if (coords[d] < p.in_shape[d]) break;
+        coords[d] = 0;
+        out_off -= p.out_step[d] * p.in_shape[d];
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -64,64 +136,24 @@ Tensor Sum(const Tensor& a, const std::vector<int>& dims, bool keepdim) {
   const int64_t n = a.numel();
   const Shape& in_shape = a.shape();
 
-  if (n >= kReduceParallelThreshold && out_n > 1 &&
-      ThreadPool::GlobalNumThreads() > 1) {
-    // Parallel path: one gather per output element. For a fixed output, the
-    // serial walker above visits its contributing inputs in increasing linear
-    // index, which is row-major order over the reduced axes — the gather
-    // below adds in that same order, so both paths are bitwise identical.
-    const std::vector<int64_t> in_strides = RowMajorStrides(in_shape);
-    std::vector<int64_t> red_dims, red_strides;
-    int64_t red_count = 1;
-    for (int d : rdims) {
-      red_dims.push_back(in_shape[d]);
-      red_strides.push_back(in_strides[d]);
-      red_count *= in_shape[d];
-    }
-    const size_t nred = red_dims.size();
-    const int64_t grain = std::max<int64_t>(1, kReduceParallelThreshold / red_count);
-    ParallelFor(0, out_n, grain, [&](int64_t lo, int64_t hi) {
-      std::vector<int64_t> rc(nred, 0);
-      for (int64_t q = lo; q < hi; ++q) {
-        // Base input offset of this output's kept coordinates (reduced axes
-        // contribute coordinate 0 since kept_shape is 1 there).
-        int64_t base = 0;
-        for (int d = 0; d < nd; ++d) {
-          base += ((q / kept_strides[d]) % kept_shape[d]) * in_strides[d];
-        }
-        float acc = 0.0f;
-        std::fill(rc.begin(), rc.end(), 0);
-        int64_t roff = 0;
-        for (int64_t it = 0; it < red_count; ++it) {
-          acc += src[base + roff];
-          for (size_t d = nred; d-- > 0;) {
-            ++rc[d];
-            roff += red_strides[d];
-            if (rc[d] < red_dims[d]) break;
-            rc[d] = 0;
-            roff -= red_strides[d] * red_dims[d];
-          }
-        }
-        out[q] = acc;
-      }
-    });
-  } else {
-    std::vector<int64_t> coords(static_cast<size_t>(nd), 0);
-    int64_t out_off = 0;
-    for (int64_t i = 0; i < n; ++i) {
-      out[out_off] += src[i];
-      for (int d = nd; d-- > 0;) {
-        ++coords[d];
-        out_off += out_step[d];
-        if (coords[d] < in_shape[d]) break;
-        coords[d] = 0;
-        out_off -= out_step[d] * in_shape[d];
-      }
-    }
+  SumPlan plan;
+  plan.n = n;
+  plan.out_n = out_n;
+  plan.nd = nd;
+  plan.in_shape = in_shape;
+  plan.kept_shape = kept_shape;
+  plan.out_step = out_step;
+  plan.kept_strides = kept_strides;
+  plan.in_strides = RowMajorStrides(in_shape);
+  for (int d : rdims) {
+    plan.red_dims.push_back(in_shape[d]);
+    plan.red_strides.push_back(plan.in_strides[d]);
+    plan.red_count *= in_shape[d];
   }
+  SumForwardInto(src, out.data(), plan, /*serial_coords=*/nullptr);
 
   Tensor ta = a;
-  return MakeOpResult(
+  Tensor result = MakeOpResult(
       std::move(out), out_shape, "Sum", {a},
       [ta, out_step, in_shape](const Tensor& grad_out) mutable {
         if (!ta.requires_grad()) return;
@@ -154,6 +186,14 @@ Tensor Sum(const Tensor& a, const std::vector<int>& dims, bool keepdim) {
         });
         ta.AccumulateGrad(Tensor::FromData(std::move(g), ta.shape()));
       });
+  if (replay::TracingActive()) {
+    replay::Record(result,
+                   [plan, coords = std::vector<int64_t>()](
+                       const float* const* ins, float* out_p) mutable {
+                     SumForwardInto(ins[0], out_p, plan, &coords);
+                   });
+  }
+  return result;
 }
 
 Tensor Mean(const Tensor& a, const std::vector<int>& dims, bool keepdim) {
@@ -212,7 +252,7 @@ Tensor Max(const Tensor& a, int dim, bool keepdim) {
   }
 
   Tensor ta = a;
-  return MakeOpResult(
+  Tensor result = MakeOpResult(
       std::move(out), out_shape, "Max", {a},
       [ta, argmax, outer, inner, axis](const Tensor& grad_out) mutable {
         if (!ta.requires_grad()) return;
@@ -227,6 +267,27 @@ Tensor Max(const Tensor& a, int dim, bool keepdim) {
         }
         ta.AccumulateGrad(Tensor::FromData(std::move(g), ta.shape()));
       });
+  if (replay::TracingActive()) {
+    // Same scan as the forward above minus the argmax bookkeeping (replay
+    // has no backward); the comparisons and writes to `out` are identical.
+    replay::Record(result, [outer, inner, axis](const float* const* ins,
+                                                float* out_p) {
+      const float* src = ins[0];
+      std::fill(out_p, out_p + outer * inner,
+                -std::numeric_limits<float>::infinity());
+      for (int64_t o = 0; o < outer; ++o) {
+        for (int64_t k = 0; k < axis; ++k) {
+          const float* s = src + (o * axis + k) * inner;
+          for (int64_t j = 0; j < inner; ++j) {
+            float v = s[j];
+            int64_t oi = o * inner + j;
+            if (v > out_p[oi]) out_p[oi] = v;
+          }
+        }
+      }
+    });
+  }
+  return result;
 }
 
 Tensor Softmax(const Tensor& a, int dim) {
@@ -268,7 +329,7 @@ Tensor Softmax(const Tensor& a, int dim) {
 
   auto y = std::make_shared<std::vector<float>>(out);
   Tensor ta = a;
-  return MakeOpResult(
+  Tensor result = MakeOpResult(
       std::move(out), in_shape, "Softmax", {a},
       [ta, y, outer, inner, axis](const Tensor& grad_out) mutable {
         if (!ta.requires_grad()) return;
@@ -294,6 +355,35 @@ Tensor Softmax(const Tensor& a, int dim) {
         });
         ta.AccumulateGrad(Tensor::FromData(std::move(g), ta.shape()));
       });
+  if (replay::TracingActive()) {
+    const int64_t lane_grain = std::max<int64_t>(
+        1, kReduceParallelThreshold / std::max<int64_t>(1, axis * inner));
+    replay::Record(result, [outer, inner, axis, lane_grain](
+                               const float* const* ins, float* out_p) {
+      const float* src = ins[0];
+      ParallelFor(0, outer, lane_grain, [&](int64_t o_lo, int64_t o_hi) {
+        for (int64_t o = o_lo; o < o_hi; ++o) {
+          for (int64_t j = 0; j < inner; ++j) {
+            float max_v = -std::numeric_limits<float>::infinity();
+            for (int64_t k = 0; k < axis; ++k) {
+              max_v = std::max(max_v, src[(o * axis + k) * inner + j]);
+            }
+            float denom = 0.0f;
+            for (int64_t k = 0; k < axis; ++k) {
+              float e = std::exp(src[(o * axis + k) * inner + j] - max_v);
+              out_p[(o * axis + k) * inner + j] = e;
+              denom += e;
+            }
+            const float inv = 1.0f / denom;
+            for (int64_t k = 0; k < axis; ++k) {
+              out_p[(o * axis + k) * inner + j] *= inv;
+            }
+          }
+        }
+      });
+    });
+  }
+  return result;
 }
 
 }  // namespace ts3net

@@ -4,6 +4,7 @@
 
 #include "common/obs/trace.h"
 #include "tensor/ops.h"
+#include "tensor/replay.h"
 
 namespace ts3net {
 
@@ -71,14 +72,25 @@ Tensor Reshape(const Tensor& a, const Shape& shape) {
 
   std::vector<float> out(a.data(), a.data() + a.numel());
   Tensor ta = a;
-  return MakeOpResult(std::move(out), out_shape, "Reshape", {a},
-                      [ta](const Tensor& grad_out) mutable {
-                        if (!ta.requires_grad()) return;
-                        std::vector<float> g(grad_out.data(),
-                                             grad_out.data() + grad_out.numel());
-                        ta.AccumulateGrad(
-                            Tensor::FromData(std::move(g), ta.shape()));
-                      });
+  Tensor result =
+      MakeOpResult(std::move(out), out_shape, "Reshape", {a},
+                   [ta](const Tensor& grad_out) mutable {
+                     if (!ta.requires_grad()) return;
+                     std::vector<float> g(grad_out.data(),
+                                          grad_out.data() + grad_out.numel());
+                     ta.AccumulateGrad(
+                         Tensor::FromData(std::move(g), ta.shape()));
+                   });
+  if (replay::TracingActive()) {
+    // Row-major reshape is a data identity; the graph planner aliases the
+    // output onto the input buffer and drops this node, so the memcpy below
+    // only runs if aliasing is ever disabled.
+    const int64_t n = a.numel();
+    replay::Record(result, [n](const float* const* ins, float* out_p) {
+      std::memcpy(out_p, ins[0], sizeof(float) * static_cast<size_t>(n));
+    });
+  }
+  return result;
 }
 
 Tensor Unsqueeze(const Tensor& a, int dim) {
@@ -119,7 +131,7 @@ Tensor Permute(const Tensor& a, const std::vector<int>& dims) {
 
   Tensor ta = a;
   Shape saved_out_shape = out_shape;
-  return MakeOpResult(
+  Tensor result = MakeOpResult(
       std::move(out), out_shape, "Permute", {a},
       [ta, inv, saved_out_shape](const Tensor& grad_out) mutable {
         if (!ta.requires_grad()) return;
@@ -127,6 +139,31 @@ Tensor Permute(const Tensor& a, const std::vector<int>& dims) {
             PermuteData(grad_out.data(), saved_out_shape, inv);
         ta.AccumulateGrad(Tensor::FromData(std::move(g), ta.shape()));
       });
+  if (replay::TracingActive()) {
+    const std::vector<int64_t> src_strides = RowMajorStrides(a.shape());
+    std::vector<int64_t> step(nd);
+    for (size_t i = 0; i < nd; ++i) step[i] = src_strides[dims[i]];
+    const int64_t n = a.numel();
+    replay::Record(
+        result, [n, shape = out_shape, step,
+                 coords = std::vector<int64_t>(nd, 0)](
+                    const float* const* ins, float* out_p) mutable {
+          const float* src = ins[0];
+          std::fill(coords.begin(), coords.end(), 0);
+          int64_t src_off = 0;
+          for (int64_t i = 0; i < n; ++i) {
+            out_p[i] = src[src_off];
+            for (size_t d = shape.size(); d-- > 0;) {
+              ++coords[d];
+              src_off += step[d];
+              if (coords[d] < shape[d]) break;
+              coords[d] = 0;
+              src_off -= step[d] * shape[d];
+            }
+          }
+        });
+  }
+  return result;
 }
 
 Tensor Transpose(const Tensor& a, int dim0, int dim1) {
@@ -169,7 +206,7 @@ Tensor Slice(const Tensor& a, int dim, int64_t start, int64_t length) {
   }
 
   Tensor ta = a;
-  return MakeOpResult(
+  Tensor result = MakeOpResult(
       std::move(out), out_shape, "Slice", {a},
       [ta, outer, inner, in_axis, start, length](const Tensor& grad_out) mutable {
         if (!ta.requires_grad()) return;
@@ -184,6 +221,19 @@ Tensor Slice(const Tensor& a, int dim, int64_t start, int64_t length) {
         }
         ta.AccumulateGrad(Tensor::FromData(std::move(g), ta.shape()));
       });
+  if (replay::TracingActive()) {
+    replay::Record(result, [outer, inner, in_axis, start, length](
+                               const float* const* ins, float* out_p) {
+      const float* src = ins[0];
+      const size_t row_bytes =
+          sizeof(float) * static_cast<size_t>(length * inner);
+      for (int64_t o = 0; row_bytes != 0 && o < outer; ++o) {
+        std::memcpy(out_p + o * length * inner,
+                    src + (o * in_axis + start) * inner, row_bytes);
+      }
+    });
+  }
+  return result;
 }
 
 Tensor Concat(const std::vector<Tensor>& tensors, int dim) {
@@ -225,7 +275,7 @@ Tensor Concat(const std::vector<Tensor>& tensors, int dim) {
   }
 
   std::vector<Tensor> inputs = tensors;
-  return MakeOpResult(
+  Tensor result = MakeOpResult(
       std::move(out), out_shape, "Concat", tensors,
       [inputs, outer, inner, axis_total, axis_sizes](const Tensor& grad_out) mutable {
         const float* go = grad_out.data();
@@ -245,6 +295,23 @@ Tensor Concat(const std::vector<Tensor>& tensors, int dim) {
           axis_offset += axis;
         }
       });
+  if (replay::TracingActive()) {
+    replay::Record(result, [outer, inner, axis_total, axis_sizes](
+                               const float* const* ins, float* out_p) {
+      int64_t axis_offset = 0;
+      for (size_t idx = 0; idx < axis_sizes.size(); ++idx) {
+        const int64_t axis = axis_sizes[idx];
+        const float* src = ins[idx];
+        for (int64_t o = 0; o < outer; ++o) {
+          std::memcpy(out_p + (o * axis_total + axis_offset) * inner,
+                      src + o * axis * inner,
+                      sizeof(float) * static_cast<size_t>(axis * inner));
+        }
+        axis_offset += axis;
+      }
+    });
+  }
+  return result;
 }
 
 Tensor StackTensors(const std::vector<Tensor>& tensors, int dim) {
@@ -280,7 +347,7 @@ Tensor Pad(const Tensor& a, int dim, int64_t before, int64_t after,
   }
 
   Tensor ta = a;
-  return MakeOpResult(
+  Tensor result = MakeOpResult(
       std::move(out), out_shape, "Pad", {a},
       [ta, outer, inner, in_axis, out_axis, before](const Tensor& grad_out) mutable {
         if (!ta.requires_grad()) return;
@@ -293,6 +360,20 @@ Tensor Pad(const Tensor& a, int dim, int64_t before, int64_t after,
         }
         ta.AccumulateGrad(Tensor::FromData(std::move(g), ta.shape()));
       });
+  if (replay::TracingActive()) {
+    const int64_t out_n = NumElements(out_shape);
+    replay::Record(result, [outer, inner, in_axis, out_axis, before, value,
+                            out_n](const float* const* ins, float* out_p) {
+      std::fill(out_p, out_p + out_n, value);
+      const float* src = ins[0];
+      for (int64_t o = 0; o < outer; ++o) {
+        std::memcpy(out_p + (o * out_axis + before) * inner,
+                    src + o * in_axis * inner,
+                    sizeof(float) * static_cast<size_t>(in_axis * inner));
+      }
+    });
+  }
+  return result;
 }
 
 Tensor ReplicatePad(const Tensor& a, int dim, int64_t before, int64_t after) {

@@ -3,6 +3,7 @@
 #include "common/obs/trace.h"
 #include "common/threadpool.h"
 #include "tensor/ops.h"
+#include "tensor/replay.h"
 
 namespace ts3net {
 
@@ -46,6 +47,14 @@ Tensor UnaryOp(const UnaryKernel& kernel, const Tensor& a) {
         });
         ta.AccumulateGrad(Tensor::FromData(std::move(g), ta.shape()));
       });
+  if (replay::TracingActive()) {
+    replay::Record(result, [k, n](const float* const* ins, float* out_p) {
+      const float* pa = ins[0];
+      ParallelFor(0, n, kUnaryGrain, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) out_p[i] = k->fwd(pa[i]);
+      });
+    });
+  }
   return result;
 }
 
@@ -113,7 +122,7 @@ Tensor Pow(const Tensor& a, float p) {
   const float* pa = a.data();
   for (int64_t i = 0; i < n; ++i) out[i] = std::pow(pa[i], p);
   Tensor ta = a;
-  return MakeOpResult(std::move(out), a.shape(), "Pow", {a},
+  Tensor result = MakeOpResult(std::move(out), a.shape(), "Pow", {a},
                       [ta, p](const Tensor& grad_out) mutable {
                         if (!ta.requires_grad()) return;
                         const int64_t n = ta.numel();
@@ -126,8 +135,17 @@ Tensor Pow(const Tensor& a, float p) {
                         ta.AccumulateGrad(
                             Tensor::FromData(std::move(g), ta.shape()));
                       });
+  if (replay::TracingActive()) {
+    replay::Record(result, [n, p](const float* const* ins, float* out_p) {
+      const float* src = ins[0];
+      for (int64_t i = 0; i < n; ++i) out_p[i] = std::pow(src[i], p);
+    });
+  }
+  return result;
 }
 
+// Dropout is a training-only op (inference returns the input unchanged, so a
+// trace never contains it); it intentionally registers no replay kernel.
 Tensor Dropout(const Tensor& x, float p, bool training, Rng* rng) {
   TS3_TRACE_SPAN("op/Dropout");
   TS3_CHECK(x.defined());

@@ -1,0 +1,91 @@
+#include "tensor/replay.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace ts3net {
+namespace replay {
+
+namespace {
+
+thread_local GraphRecorder* g_active_recorder = nullptr;
+
+}  // namespace
+
+GraphRecorder::Scope::Scope(GraphRecorder* rec) : prev_(g_active_recorder) {
+  g_active_recorder = rec;
+}
+
+GraphRecorder::Scope::~Scope() {
+  if (g_active_recorder != nullptr) g_active_recorder->Finalize();
+  g_active_recorder = prev_;
+}
+
+GraphRecorder* GraphRecorder::Active() { return g_active_recorder; }
+
+void GraphRecorder::FlushPending() {
+  if (!has_pending_) return;
+  // The op announced a result but never attached a kernel: remember the name
+  // (for diagnostics and the fallback decision) and keep the node so its
+  // output impl stays alive — consumers may still reference it.
+  if (std::find(missing_.begin(), missing_.end(), pending_.name) ==
+      missing_.end()) {
+    missing_.push_back(pending_.name);
+  }
+  nodes_.push_back(std::move(pending_));
+  has_pending_ = false;
+}
+
+void GraphRecorder::Note(const std::string& name,
+                         const std::vector<Tensor>& inputs, const Tensor& out) {
+  FlushPending();
+  pending_ = TraceNode();
+  pending_.name = name;
+  pending_.inputs.reserve(inputs.size());
+  for (const Tensor& in : inputs) {
+    if (in.defined()) pending_.inputs.push_back(in.impl());
+  }
+  pending_.output = out.impl();
+  has_pending_ = true;
+}
+
+void GraphRecorder::Attach(const Tensor& out, Kernel kernel, ScalarOpKind kind,
+                           float scalar) {
+  TS3_CHECK(has_pending_) << "replay::Record without a preceding op result";
+  TS3_CHECK(pending_.output == out.impl())
+      << "replay::Record out-of-order: kernel for '" << pending_.name
+      << "' attached to a different tensor";
+  pending_.kernel = std::move(kernel);
+  pending_.scalar_kind = kind;
+  pending_.scalar = scalar;
+  nodes_.push_back(std::move(pending_));
+  has_pending_ = false;
+}
+
+void GraphRecorder::Finalize() { FlushPending(); }
+
+bool TracingActive() { return g_active_recorder != nullptr; }
+
+void NoteOpResult(const std::string& name, const std::vector<Tensor>& inputs,
+                  const Tensor& out) {
+  if (g_active_recorder != nullptr) g_active_recorder->Note(name, inputs, out);
+}
+
+void Record(const Tensor& out, Kernel kernel, ScalarOpKind kind,
+            float scalar) {
+  if (g_active_recorder != nullptr) {
+    g_active_recorder->Attach(out, std::move(kernel), kind, scalar);
+  }
+}
+
+void NoteDataDependence(const char* what) {
+  if (g_active_recorder != nullptr &&
+      g_active_recorder->data_dependence_.empty()) {
+    g_active_recorder->data_dependence_ = what;
+  }
+}
+
+}  // namespace replay
+}  // namespace ts3net

@@ -1,0 +1,126 @@
+#ifndef TS3NET_TENSOR_REPLAY_H_
+#define TS3NET_TENSOR_REPLAY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ts3net {
+namespace replay {
+
+/// Recomputes one traced op from raw input pointers into a caller-owned
+/// output buffer. Bound at trace time with every shape and attribute baked
+/// into the closure; the buffers it reads and writes are resolved later by
+/// the graph planner (serve/compiled_graph.cc). A kernel must fully define
+/// its output (no reliance on zero-initialized memory — replay buffers are
+/// reused across steps) and must not allocate tensors: zero-alloc steady
+/// state is the point of replaying.
+using Kernel = std::function<void(const float* const* ins, float* out)>;
+
+/// Scalar-op attribute carried by AddScalar/MulScalar nodes so the graph
+/// fuser can collapse chains of them into a single elementwise pass.
+enum class ScalarOpKind { kNone, kAdd, kMul };
+
+/// One op of a recorded forward, in execution order. `inputs`/`output` hold
+/// shared ownership of the traced tensors so slot identity (impl pointer)
+/// stays unique for the lifetime of the trace.
+struct TraceNode {
+  std::string name;
+  std::vector<std::shared_ptr<internal_tensor::TensorImpl>> inputs;
+  std::shared_ptr<internal_tensor::TensorImpl> output;
+  Kernel kernel;  // null when the op registered no replay kernel
+  ScalarOpKind scalar_kind = ScalarOpKind::kNone;
+  float scalar = 0.0f;
+};
+
+/// Records one dynamic forward as an ordered op list. Activate on the
+/// current thread with a Scope; every MakeOpResult then announces its result
+/// via NoteOpResult, and replay-aware ops attach a kernel to that result via
+/// Record immediately afterwards. Ops seen without a matching Record land in
+/// missing_kernels(): a non-empty list means the trace cannot be compiled
+/// and the caller must stay on the dynamic path.
+class GraphRecorder {
+ public:
+  /// RAII activation on the current thread. Nesting restores the previous
+  /// recorder on destruction.
+  class Scope {
+   public:
+    explicit Scope(GraphRecorder* rec);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    GraphRecorder* prev_;
+  };
+
+  GraphRecorder() = default;
+  GraphRecorder(const GraphRecorder&) = delete;
+  GraphRecorder& operator=(const GraphRecorder&) = delete;
+
+  /// Flushes a trailing kernel-less op; call after the traced forward
+  /// returns (Scope destruction does it too).
+  void Finalize();
+
+  const std::vector<TraceNode>& nodes() const { return nodes_; }
+  /// Distinct op names that produced a result without registering a kernel.
+  const std::vector<std::string>& missing_kernels() const { return missing_; }
+  /// Non-empty when the traced forward read tensor values on the host
+  /// (e.g. Detach before a data-driven branch): the graph depends on the
+  /// input's values, not just its shape, and must not be compiled.
+  const std::string& data_dependence() const { return data_dependence_; }
+
+  /// The recorder active on the calling thread, or null.
+  static GraphRecorder* Active();
+
+ private:
+  friend void NoteOpResult(const std::string& name,
+                           const std::vector<Tensor>& inputs,
+                           const Tensor& out);
+  friend void Record(const Tensor& out, Kernel kernel, ScalarOpKind kind,
+                     float scalar);
+  friend void NoteDataDependence(const char* what);
+
+  void Note(const std::string& name, const std::vector<Tensor>& inputs,
+            const Tensor& out);
+  void Attach(const Tensor& out, Kernel kernel, ScalarOpKind kind,
+              float scalar);
+  void FlushPending();
+
+  std::vector<TraceNode> nodes_;
+  std::vector<std::string> missing_;
+  std::string data_dependence_;
+  TraceNode pending_;
+  bool has_pending_ = false;
+};
+
+/// True when a GraphRecorder is active on this thread. Ops should gate
+/// closure construction behind this so untraced execution pays nothing.
+bool TracingActive();
+
+/// Called by MakeOpResult for every op result while tracing; pairs with the
+/// Record call that follows in the op body. No-op without an active
+/// recorder.
+void NoteOpResult(const std::string& name, const std::vector<Tensor>& inputs,
+                  const Tensor& out);
+
+/// Attaches the replay kernel for `out`, which must be the most recent op
+/// noted on this thread. `kind`/`scalar` carry the fusable scalar attribute
+/// for AddScalar/MulScalar; other ops leave the defaults.
+void Record(const Tensor& out, Kernel kernel,
+            ScalarOpKind kind = ScalarOpKind::kNone, float scalar = 0.0f);
+
+/// Marks the active trace (if any) as data-dependent. Called by Tensor
+/// escape hatches that hand values to host code (Detach, at, item) — models
+/// use them right before data-driven control flow (e.g. top-k period
+/// detection), which a shape-static replay cannot reproduce.
+void NoteDataDependence(const char* what);
+
+}  // namespace replay
+}  // namespace ts3net
+
+#endif  // TS3NET_TENSOR_REPLAY_H_

@@ -5,6 +5,7 @@
 #include "common/obs/metrics.h"
 #include "common/obs/trace.h"
 #include "tensor/autograd_mode.h"
+#include "tensor/replay.h"
 #include <cmath>
 #include <sstream>
 #include <unordered_set>
@@ -36,7 +37,10 @@ std::string ShapeToString(const Shape& shape) {
 
 namespace {
 
+thread_local int64_t g_tensor_allocs = 0;
+
 std::shared_ptr<TensorImpl> NewImpl(std::vector<float> data, Shape shape) {
+  ++g_tensor_allocs;
   auto impl = std::make_shared<TensorImpl>();
   impl->data = std::move(data);
   impl->shape = std::move(shape);
@@ -44,6 +48,8 @@ std::shared_ptr<TensorImpl> NewImpl(std::vector<float> data, Shape shape) {
 }
 
 }  // namespace
+
+int64_t TensorAllocsOnThisThread() { return g_tensor_allocs; }
 
 Tensor Tensor::FromImpl(std::shared_ptr<TensorImpl> impl) {
   return Tensor(std::move(impl));
@@ -124,12 +130,14 @@ const float* Tensor::data() const {
 float Tensor::at(int64_t flat_index) const {
   TS3_CHECK(defined());
   TS3_CHECK(flat_index >= 0 && flat_index < numel());
+  replay::NoteDataDependence("at");
   return impl_->data[flat_index];
 }
 
 float Tensor::item() const {
   TS3_CHECK(defined());
   TS3_CHECK_EQ(numel(), 1) << "item() requires a single-element tensor";
+  replay::NoteDataDependence("item");
   return impl_->data[0];
 }
 
@@ -177,6 +185,7 @@ void Tensor::AccumulateGrad(const Tensor& delta) {
       << "grad shape " << ShapeToString(delta.shape()) << " vs tensor "
       << ShapeToString(shape());
   if (!impl_->grad) {
+    ++g_tensor_allocs;
     auto g = std::make_shared<TensorImpl>();
     g->data.assign(impl_->data.size(), 0.0f);
     g->shape = impl_->shape;
@@ -201,6 +210,8 @@ const std::shared_ptr<GradFn>& Tensor::grad_fn() const {
 
 Tensor Tensor::Detach() const {
   TS3_CHECK(defined());
+  replay::NoteDataDependence("Detach");
+  ++g_tensor_allocs;
   auto impl = std::make_shared<TensorImpl>();
   impl->data = impl_->data;  // copy data; grads of the original stay intact
   impl->shape = impl_->shape;
@@ -290,6 +301,9 @@ Tensor MakeOpResult(std::vector<float> data, const Shape& shape,
                     const std::string& name, std::vector<Tensor> inputs,
                     std::function<void(const Tensor& grad_out)> backward) {
   Tensor out = Tensor::FromData(std::move(data), shape);
+  // Announce the result to an active trace recorder before `inputs` can be
+  // moved into a GradFn; the op body attaches the replay kernel right after.
+  replay::NoteOpResult(name, inputs, out);
   bool needs_grad = GradModeEnabled();
   if (needs_grad) {
     needs_grad = false;

@@ -135,6 +135,12 @@ Tensor MakeOpResult(std::vector<float> data, const Shape& shape,
                     const std::string& name, std::vector<Tensor> inputs,
                     std::function<void(const Tensor& grad_out)> backward);
 
+/// Number of tensor buffer allocations performed on the calling thread since
+/// it started (monotonic). Op kernels create their results on the caller, so
+/// the delta across a call measures its allocation traffic — the compiled
+/// serve path uses this for the `serve/allocs_per_predict` metric.
+int64_t TensorAllocsOnThisThread();
+
 }  // namespace ts3net
 
 #endif  // TS3NET_TENSOR_TENSOR_H_

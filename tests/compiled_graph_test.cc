@@ -1,0 +1,411 @@
+// Differential-replay harness for the compiled inference graph
+// (serve/compiled_graph.h): every model family is run through both the
+// dynamic Predict and the compiled Predict and the outputs must match
+// bitwise — not approximately — across batch sizes. The same suite runs
+// under ASan and TSan in CI (see .github/workflows/ci.yml), so the replay
+// kernels and the arena planner are exercised with full instrumentation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/obs/metrics.h"
+#include "common/random.h"
+#include "models/registry.h"
+#include "serve/batcher.h"
+#include "serve/compiled_graph.h"
+#include "serve/snapshot.h"
+#include "tensor/autograd_mode.h"
+#include "tensor/ops.h"
+
+namespace ts3net {
+namespace serve {
+namespace {
+
+constexpr int kMaxBatch = 4;
+
+/// Small but fully populated config accepted by every registered family.
+models::ModelConfig TinyConfig() {
+  models::ModelConfig c;
+  c.seq_len = 24;
+  c.pred_len = 12;
+  c.channels = 3;
+  c.d_model = 8;
+  c.d_ff = 8;
+  c.num_layers = 2;
+  c.num_heads = 2;
+  c.num_kernels = 2;
+  c.top_k_periods = 2;
+  c.num_modes = 6;
+  c.patch_len = 4;
+  c.lambda = 4;
+  c.dropout = 0.0f;
+  c.moving_avg = 7;
+  return c;
+}
+
+std::shared_ptr<nn::Module> MakeNamedModel(const std::string& name,
+                                           uint64_t seed,
+                                           const models::ModelConfig& cfg) {
+  Rng rng(seed);
+  auto model = models::CreateModel(name, cfg, &rng);
+  EXPECT_TRUE(model.ok()) << name << ": " << model.status().message();
+  return model.value();
+}
+
+/// Deterministic [B, T, C] batch; values depend on `tag` and the position so
+/// no two batches (or samples) look alike.
+Tensor MakeBatch(const models::ModelConfig& cfg, int64_t batch, int tag) {
+  std::vector<float> values(
+      static_cast<size_t>(batch * cfg.seq_len * cfg.channels));
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = std::sin(0.13f * static_cast<float>(i) +
+                         0.7f * static_cast<float>(tag)) +
+                0.05f * std::cos(0.029f * static_cast<float>(i));
+  }
+  return Tensor::FromData(std::move(values),
+                          {batch, cfg.seq_len, cfg.channels});
+}
+
+bool BitwiseEqual(const Tensor& a, const Tensor& b) {
+  if (!a.defined() || !b.defined() || a.shape() != b.shape()) return false;
+  return std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+/// Two snapshots of the same trained weights: the reference one pinned to
+/// the dynamic forward, the candidate one with compilation on.
+struct SnapshotPair {
+  std::shared_ptr<const ModelSnapshot> dynamic;
+  std::shared_ptr<const ModelSnapshot> compiled;
+};
+
+SnapshotPair MakePair(const std::string& name,
+                      const models::ModelConfig& cfg,
+                      SnapshotOptions compiled_options = {}) {
+  auto source = MakeNamedModel(name, /*seed=*/3, cfg);
+  SnapshotOptions dynamic_options;
+  dynamic_options.compile = false;
+  compiled_options.compile = true;
+  auto dyn = ModelSnapshot::Capture(*source, MakeNamedModel(name, 90, cfg),
+                                    dynamic_options);
+  auto comp = ModelSnapshot::Capture(*source, MakeNamedModel(name, 91, cfg),
+                                     compiled_options);
+  EXPECT_TRUE(dyn.ok()) << dyn.status().message();
+  EXPECT_TRUE(comp.ok()) << comp.status().message();
+  return {dyn.value(), comp.value()};
+}
+
+// ---------------------------------------------------------------------------
+// Differential replay across every model family
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> DifferentialModelNames() {
+  std::vector<std::string> names = models::AllModelNames();
+  // Extra baselines and the data-independent TS3Net ablation, so both the
+  // compiled path and the deterministic-fallback path see varied graphs.
+  for (const char* extra : {"LSTM", "TCN", "SCINet", "TSD-CNN"}) {
+    names.push_back(extra);
+  }
+  return names;
+}
+
+class DifferentialReplayTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DifferentialReplayTest, CompiledPredictMatchesDynamicBitwise) {
+  const std::string name = GetParam();
+  models::ModelConfig cfg = TinyConfig();
+  SnapshotPair pair = MakePair(name, cfg);
+
+  for (int64_t batch = 1; batch <= kMaxBatch; ++batch) {
+    Tensor x = MakeBatch(cfg, batch, static_cast<int>(batch) * 17 + 1);
+    Tensor want = pair.dynamic->Predict(x);
+    // Round 0 compiles (or rejects) the shape and serves it; round 1 is the
+    // steady-state replay against reused arena memory.
+    for (int round = 0; round < 2; ++round) {
+      Tensor got = pair.compiled->Predict(x);
+      ASSERT_TRUE(BitwiseEqual(want, got))
+          << name << ": compiled Predict diverges at batch " << batch
+          << " round " << round;
+    }
+  }
+  // Every shape either compiled or was deterministically rejected at
+  // compile time — never a silent half-state.
+  EXPECT_EQ(pair.compiled->num_compiled_shapes() +
+                pair.compiled->num_rejected_shapes(),
+            kMaxBatch)
+      << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, DifferentialReplayTest,
+    ::testing::ValuesIn(DifferentialModelNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string s = info.param;
+      std::replace_if(
+          s.begin(), s.end(), [](char c) { return !std::isalnum(c); }, '_');
+      return s;
+    });
+
+// ---------------------------------------------------------------------------
+// Which side of the compile/fallback split each family lands on
+// ---------------------------------------------------------------------------
+
+TEST(CompiledSnapshotTest, ShapeStaticModelsCompileAndCountPredicts) {
+  auto* registry = obs::MetricsRegistry::Global();
+  for (const char* name : {"DLinear", "LightTS", "LSTM"}) {
+    models::ModelConfig cfg = TinyConfig();
+    SnapshotPair pair = MakePair(name, cfg);
+    Tensor x = MakeBatch(cfg, 2, 5);
+    const int64_t compiled_before =
+        registry->counter("serve/compiled_predicts")->value();
+    const int64_t compiles_before =
+        registry->counter("serve/graph_compiles")->value();
+    Tensor want = pair.dynamic->Predict(x);
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_TRUE(BitwiseEqual(want, pair.compiled->Predict(x))) << name;
+    }
+    EXPECT_EQ(pair.compiled->num_compiled_shapes(), 1) << name;
+    EXPECT_EQ(pair.compiled->num_rejected_shapes(), 0) << name;
+    EXPECT_EQ(
+        registry->counter("serve/compiled_predicts")->value() - compiled_before,
+        3)
+        << name;
+    EXPECT_EQ(
+        registry->counter("serve/graph_compiles")->value() - compiles_before, 1)
+        << name;
+    EXPECT_GT(registry->gauge("serve/arena_bytes")->value(), 0.0) << name;
+  }
+}
+
+TEST(CompiledSnapshotTest, DataDependentModelsRejectOnceAndFallBack) {
+  // TimesNet and TS3Net pick top-k periods from tensor values (Detach before
+  // data-driven control flow), so their graphs must not be compiled; the
+  // rejection is remembered per shape and every Predict stays dynamic.
+  auto* registry = obs::MetricsRegistry::Global();
+  for (const char* name : {"TimesNet", "TS3Net"}) {
+    models::ModelConfig cfg = TinyConfig();
+    SnapshotPair pair = MakePair(name, cfg);
+    Tensor x = MakeBatch(cfg, 2, 9);
+    const int64_t rejected_before =
+        registry->counter("serve/compile_rejected")->value();
+    const int64_t fallback_before =
+        registry->counter("serve/fallback_predicts")->value();
+    Tensor want = pair.dynamic->Predict(x);
+    for (int i = 0; i < 2; ++i) {
+      EXPECT_TRUE(BitwiseEqual(want, pair.compiled->Predict(x))) << name;
+    }
+    EXPECT_EQ(pair.compiled->num_compiled_shapes(), 0) << name;
+    EXPECT_EQ(pair.compiled->num_rejected_shapes(), 1) << name;
+    // Rejected once (the verdict is cached), fell back on every Predict.
+    EXPECT_EQ(
+        registry->counter("serve/compile_rejected")->value() - rejected_before,
+        1)
+        << name;
+    EXPECT_EQ(
+        registry->counter("serve/fallback_predicts")->value() - fallback_before,
+        2)
+        << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Zero-allocation steady state
+// ---------------------------------------------------------------------------
+
+TEST(CompiledSnapshotTest, SteadyStatePredictAllocatesNoTensors) {
+  models::ModelConfig cfg = TinyConfig();
+  SnapshotPair pair = MakePair("DLinear", cfg);
+  auto* gauge =
+      obs::MetricsRegistry::Global()->gauge("serve/allocs_per_predict");
+  Tensor x = MakeBatch(cfg, 2, 3);
+
+  Tensor out = pair.compiled->Predict(x);  // compiles + first replay
+  ASSERT_EQ(pair.compiled->num_compiled_shapes(), 1);
+
+  // While the caller still holds the previous output, the one-deep pool
+  // misses and exactly the output tensor is allocated.
+  Tensor held = pair.compiled->Predict(x);
+  EXPECT_EQ(gauge->value(), 1.0);
+
+  // Once the caller releases its result before the next call, steady-state
+  // Predict runs with zero tensor allocations.
+  for (int i = 0; i < 3; ++i) {
+    held = Tensor();  // release before predicting so the pool can recycle
+    out = Tensor();
+    out = pair.compiled->Predict(x);
+    EXPECT_EQ(gauge->value(), 0.0) << "iteration " << i;
+  }
+  // The dynamic path for comparison: allocates one tensor per op.
+  Tensor want = pair.dynamic->Predict(x);
+  EXPECT_GT(gauge->value(), 1.0);
+  EXPECT_TRUE(BitwiseEqual(want, out));
+}
+
+// ---------------------------------------------------------------------------
+// Property test: randomized shapes exercise the shape-mismatch fallback
+// ---------------------------------------------------------------------------
+
+TEST(CompiledFallbackPropertyTest, RandomBatchesBeyondCacheFallBackBitwise) {
+  auto* registry = obs::MetricsRegistry::Global();
+  for (int64_t channels : {1, 3}) {
+    models::ModelConfig cfg = TinyConfig();
+    cfg.channels = channels;
+    SnapshotOptions opt;
+    opt.max_compiled_shapes = 1;  // only the first shape gets a graph
+    SnapshotPair pair = MakePair("DLinear", cfg, opt);
+
+    Tensor first = MakeBatch(cfg, 1, 0);
+    ASSERT_TRUE(
+        BitwiseEqual(pair.dynamic->Predict(first),
+                     pair.compiled->Predict(first)));
+    ASSERT_EQ(pair.compiled->num_compiled_shapes(), 1);
+
+    Rng rng(0xC0FFEE + static_cast<uint64_t>(channels));
+    for (int iter = 0; iter < 8; ++iter) {
+      const int64_t batch =
+          2 + static_cast<int64_t>(rng.UniformInt(kMaxBatch));
+      Tensor x = MakeBatch(cfg, batch, 100 + iter);
+      const int64_t fallback_before =
+          registry->counter("serve/fallback_predicts")->value();
+      Tensor want = pair.dynamic->Predict(x);
+      Tensor got = pair.compiled->Predict(x);
+      EXPECT_TRUE(BitwiseEqual(want, got))
+          << "channels " << channels << " batch " << batch;
+      // The cache is full, so the new shape runs dynamic and says so.
+      EXPECT_EQ(registry->counter("serve/fallback_predicts")->value() -
+                    fallback_before,
+                1);
+      // A fresh dynamic snapshot of the same weights agrees too: fallback
+      // outputs are not some third numerical path.
+      EXPECT_TRUE(BitwiseEqual(want, MakePair("DLinear", cfg)
+                                         .dynamic->Predict(x)));
+    }
+    EXPECT_EQ(pair.compiled->num_compiled_shapes(), 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CompiledGraph unit surface
+// ---------------------------------------------------------------------------
+
+TEST(CompiledGraphTest, CompileReportsPlanAndReplaysBitwise) {
+  models::ModelConfig cfg = TinyConfig();
+  auto model = MakeNamedModel("DLinear", /*seed=*/5, cfg);
+  model->SetTraining(false);
+  for (Tensor& p : model->Parameters()) p.set_requires_grad(false);
+
+  Tensor x = MakeBatch(cfg, 2, 7);
+  auto graph = CompiledGraph::Compile(model.get(), x);
+  ASSERT_TRUE(graph.ok()) << graph.status().message();
+
+  const CompiledGraph::Stats& stats = graph.value()->stats();
+  EXPECT_GT(stats.num_traced_ops, 0);
+  EXPECT_GT(stats.num_steps, 0);
+  EXPECT_LE(stats.num_steps, stats.num_traced_ops);
+  EXPECT_EQ(stats.num_fused, stats.num_traced_ops - stats.num_steps);
+  EXPECT_GT(stats.arena_bytes, 0);
+  EXPECT_EQ(graph.value()->input_shape(), x.shape());
+  EXPECT_EQ(graph.value()->output_shape(),
+            Shape({2, cfg.pred_len, cfg.channels}));
+
+  Tensor want;
+  {
+    NoGradGuard no_grad;
+    want = model->Forward(x).Detach();
+  }
+  Tensor got1 = graph.value()->Run(x);
+  Tensor got2 = graph.value()->Run(x);
+  EXPECT_TRUE(BitwiseEqual(want, got1));
+  EXPECT_TRUE(BitwiseEqual(want, got2));
+}
+
+TEST(CompiledGraphTest, RejectsDataDependentForward) {
+  models::ModelConfig cfg = TinyConfig();
+  auto model = MakeNamedModel("TimesNet", /*seed=*/6, cfg);
+  model->SetTraining(false);
+  for (Tensor& p : model->Parameters()) p.set_requires_grad(false);
+
+  auto graph = CompiledGraph::Compile(model.get(), MakeBatch(cfg, 1, 1));
+  ASSERT_FALSE(graph.ok());
+  EXPECT_EQ(graph.status().code(), StatusCode::kUnimplemented);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency (the TSan target): compiled predicts under contention
+// ---------------------------------------------------------------------------
+
+TEST(CompiledGraphThreadingTest, ConcurrentCompiledPredictsStayBitwise) {
+  models::ModelConfig cfg = TinyConfig();
+  SnapshotPair pair = MakePair("DLinear", cfg);
+
+  // Reference answers per batch size, computed serially on the dynamic path.
+  std::vector<Tensor> want(kMaxBatch + 1);
+  for (int64_t b = 1; b <= kMaxBatch; ++b) {
+    want[static_cast<size_t>(b)] =
+        pair.dynamic->Predict(MakeBatch(cfg, b, static_cast<int>(b)));
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kItersPerThread = 12;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        const int64_t b = (t + i) % kMaxBatch + 1;
+        Tensor got =
+            pair.compiled->Predict(MakeBatch(cfg, b, static_cast<int>(b)));
+        EXPECT_TRUE(BitwiseEqual(want[static_cast<size_t>(b)], got))
+            << "thread " << t << " iteration " << i;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+TEST(CompiledGraphThreadingTest, MicroBatcherRidesTheCompiledPath) {
+  models::ModelConfig cfg = TinyConfig();
+  SnapshotPair pair = MakePair("DLinear", cfg);
+
+  MicroBatcherOptions opt;
+  opt.max_batch = 3;
+  opt.max_wait_us = 100;
+  MicroBatcher batcher(pair.compiled, opt);
+
+  constexpr int kClients = 3;
+  constexpr int kRequests = 6;
+  std::vector<Tensor> got(kClients * kRequests);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int r = 0; r < kRequests; ++r) {
+        const int i = c * kRequests + r;
+        Tensor window = Reshape(MakeBatch(cfg, 1, i),
+                                {cfg.seq_len, cfg.channels});
+        auto result = batcher.Predict(window);
+        ASSERT_TRUE(result.ok()) << result.status().message();
+        got[static_cast<size_t>(i)] = result.value();
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  for (int i = 0; i < kClients * kRequests; ++i) {
+    Tensor want = pair.dynamic->Predict(MakeBatch(cfg, 1, i));
+    ASSERT_TRUE(got[static_cast<size_t>(i)].defined());
+    EXPECT_EQ(std::memcmp(got[static_cast<size_t>(i)].data(), want.data(),
+                          static_cast<size_t>(want.numel()) * sizeof(float)),
+              0)
+        << "request " << i;
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace ts3net

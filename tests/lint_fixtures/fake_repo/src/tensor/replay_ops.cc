@@ -1,0 +1,73 @@
+// Seeded TL010 violations: a replay-aware op file (it includes
+// tensor/replay.h) where one op never registers a replay kernel and another
+// allocates inside its replay loop. FixtureReplayGood and the exempt
+// training-only Dropout site are negative controls and must stay silent.
+#include "common/obs/trace.h"
+#include "tensor/replay.h"
+#include "tensor/tensor.h"
+
+namespace ts3net {
+
+std::vector<float> Forward(const Tensor& a);
+
+// Dispatch with no replay::Record before the next site: the compiled serve
+// path has to reject every traced graph containing this op.
+Tensor FixtureNoReplay(const Tensor& a) {
+  TS3_TRACE_SPAN("op/FixtureNoReplay");
+  Tensor ta = a;
+  return MakeOpResult(Forward(a), a.shape(), "FixtureNoReplay", {a},  // EXPECT-LINT: TL010
+                      [ta](const Tensor& grad_out) mutable {
+                        if (ta.requires_grad()) ta.AccumulateGrad(grad_out);
+                      });
+}
+
+// Registers a kernel, but the kernel body allocates scratch on every replay.
+Tensor FixtureAllocKernel(const Tensor& a) {
+  TS3_TRACE_SPAN("op/FixtureAllocKernel");
+  Tensor ta = a;
+  Tensor result =
+      MakeOpResult(Forward(a), a.shape(), "FixtureAllocKernel", {a},
+                   [ta](const Tensor& grad_out) mutable {
+                     if (ta.requires_grad()) ta.AccumulateGrad(grad_out);
+                   });
+  const int64_t n = a.numel();
+  replay::Record(result, [n](const float* const* ins, float* out) {
+    std::vector<float> tmp(static_cast<size_t>(n));  // EXPECT-LINT: TL010
+    for (int64_t i = 0; i < n; ++i) tmp[i] = ins[0][i];
+    for (int64_t i = 0; i < n; ++i) out[i] = tmp[i];
+  });
+  return result;
+}
+
+// Negative control: Record follows the dispatch, and the scratch buffer
+// lives in the capture list, so the replay loop itself never allocates.
+Tensor FixtureReplayGood(const Tensor& a) {
+  TS3_TRACE_SPAN("op/FixtureReplayGood");
+  Tensor ta = a;
+  Tensor result =
+      MakeOpResult(Forward(a), a.shape(), "FixtureReplayGood", {a},
+                   [ta](const Tensor& grad_out) mutable {
+                     if (ta.requires_grad()) ta.AccumulateGrad(grad_out);
+                   });
+  const int64_t n = a.numel();
+  replay::Record(result,
+                 [n, scratch = std::vector<float>(static_cast<size_t>(n))](
+                     const float* const* ins, float* out) mutable {
+                   for (int64_t i = 0; i < n; ++i) scratch[i] = ins[0][i];
+                   for (int64_t i = 0; i < n; ++i) out[i] = scratch[i];
+                 });
+  return result;
+}
+
+// Negative control: Dropout is training-only (a frozen snapshot forwards it
+// as identity), so a missing replay kernel here is fine by design.
+Tensor FixtureDropout(const Tensor& a) {
+  TS3_TRACE_SPAN("op/Dropout");
+  Tensor ta = a;
+  return MakeOpResult(Forward(a), a.shape(), "Dropout", {a},
+                      [ta](const Tensor& grad_out) mutable {
+                        if (ta.requires_grad()) ta.AccumulateGrad(grad_out);
+                      });
+}
+
+}  // namespace ts3net

@@ -28,6 +28,16 @@ cannot express, because they span files or encode project policy:
                                without NoGradGuard in scope anywhere in the
                                file; serving must never record an autograd
                                tape (unbounded memory growth per request)
+  TL010 replay-kernel-coverage in replay-aware op files (those including
+                               tensor/replay.h), a MakeOpResult dispatch
+                               without a following replay::Record forces the
+                               compiled serve path to reject every graph
+                               containing the op; and a kernel lambda passed
+                               to replay::Record must not allocate in its
+                               body (scratch belongs in the capture list,
+                               initialized once at record time) — the whole
+                               point of replaying is an allocation-free
+                               steady state
 
 Usage:
   ts3lint.py [--root DIR] [--json]
@@ -57,6 +67,7 @@ CHECK_DOCS = {
     "TL007": "op-missing-gradcheck",
     "TL008": "backward-span-missing",
     "TL009": "serve-missing-nograd",
+    "TL010": "replay-kernel-coverage",
 }
 
 SOURCE_EXTENSIONS = (".cc", ".cpp", ".h", ".hpp")
@@ -294,6 +305,7 @@ class OpSite:
     dynamic: bool  # name comes from a kernel table
     path: str  # file path relative to root
     line: int
+    offset: int  # byte offset of the MakeOpResult token
     backward_arg: str
 
 
@@ -319,6 +331,7 @@ def extract_op_sites(rel_path, code):
             dynamic=name_m is None,
             path=rel_path,
             line=ln,
+            offset=m.start(),
             backward_arg=backward,
         ))
     return sites
@@ -329,10 +342,80 @@ def mentioned(name, text):
     return re.search(r"\b%s\b" % re.escape(name), text) is not None
 
 
+# ---------------------------------------------------------------------------
+# Replay coverage checks (TL010).
+# ---------------------------------------------------------------------------
+
+REPLAY_RECORD = re.compile(r"\breplay::Record\s*\(")
+# Training-only ops: a frozen snapshot forwards them as identity, so a serve
+# trace never contains them and no replay kernel is required.
+REPLAY_EXEMPT_OPS = {"Dropout"}
+# Start of a lambda body inside a replay::Record kernel argument: capture
+# list close, optional parameter list, optional mutable / trailing return.
+LAMBDA_BODY = re.compile(r"\]\s*(?:\([^)]*\))?\s*(?:mutable\b\s*)?(?:->[^{]*)?\{")
+REPLAY_KERNEL_ALLOC = re.compile(
+    r"\bnew\b"
+    r"|(?<![\w:])(?:std::)?(?:malloc|calloc|realloc|free)\s*\("
+    r"|\bstd::vector\s*<"
+    r"|(?<![\w:])(?:std::)?make_(?:shared|unique)\b")
+
+
+def run_replay_checks(rel_path, code, sites, findings):
+    """Replay-aware op files must keep every op replayable (TL010).
+
+    Scoped to files that include tensor/replay.h. Two obligations:
+
+      1. every MakeOpResult dispatch must register a replay kernel — a
+         replay::Record call between it and the next dispatch site — unless
+         the op is training-only (REPLAY_EXEMPT_OPS); a missing kernel makes
+         the compiled serve path reject every traced graph containing it;
+      2. a kernel lambda passed inline to replay::Record must not allocate
+         in its body (new/malloc/std::vector construction/make_shared):
+         scratch belongs in the capture list, initialized once at record
+         time, so steady-state replay stays allocation-free. Kernels built
+         elsewhere and moved in (no lambda in the argument) are out of this
+         textual check's reach and pass.
+    """
+    if "tensor/replay.h" not in code:
+        return
+    for i, site in enumerate(sites):
+        if site.name in REPLAY_EXEMPT_OPS:
+            continue
+        window_end = sites[i + 1].offset if i + 1 < len(sites) else len(code)
+        if not REPLAY_RECORD.search(code, site.offset, window_end):
+            findings.append(Finding(
+                site.path, site.line, "TL010",
+                "op %r dispatches MakeOpResult without registering a "
+                "replay::Record kernel; the compiled serve path must "
+                "reject every graph containing it"
+                % (site.name or "<kernel-table>")))
+    for m in REPLAY_RECORD.finditer(code):
+        open_paren = code.find("(", m.start())
+        args, _ = split_call_args(code, open_paren)
+        if args is None or len(args) < 2:
+            continue
+        arg_off, arg_text = args[1]
+        body = LAMBDA_BODY.search(arg_text)
+        if body is None:
+            continue  # kernel built elsewhere, e.g. std::move of a local
+        reported_lines = set()
+        for alloc in REPLAY_KERNEL_ALLOC.finditer(arg_text, body.end() - 1):
+            ln = line_of(code, arg_off + alloc.start())
+            if ln in reported_lines:
+                continue
+            reported_lines.add(ln)
+            findings.append(Finding(
+                rel_path, ln, "TL010",
+                "replay kernel allocates inside the replay loop; hoist "
+                "scratch into the capture list so steady-state replay is "
+                "allocation-free"))
+
+
 def run_autograd_checks(src_files, gradcheck_text, findings):
     """src_files: list of (rel_path_under_root, code_with_strings)."""
     for rel_path, code in src_files:
         sites = extract_op_sites(rel_path, code)
+        run_replay_checks(rel_path, code, sites, findings)
         if not sites:
             # Files with no dispatch sites still must instrument any tape
             # walker they contain (TL008).
