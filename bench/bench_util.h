@@ -232,6 +232,8 @@ class BenchRecorder {
     if (path_.empty()) return;
     obs::JsonWriter w;
     w.BeginObject();
+    w.Key("schema_version");
+    w.Int(1);
     w.Key("bench");
     w.String(name_);
     w.Key("settings");

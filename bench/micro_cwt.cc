@@ -112,6 +112,8 @@ void WriteRecord(const std::string& path, const std::vector<Measurement>& ms,
   if (path.empty()) return;
   obs::JsonWriter w;
   w.BeginObject();
+  w.Key("schema_version");
+  w.Int(1);
   w.Key("bench");
   w.String("cwt");
   w.Key("settings");

@@ -33,6 +33,11 @@
 //   --max_wait_us=500          batch-forming deadline inside the batcher
 //   --reps=2                   serial pass repetitions (best-of)
 //   --bench_json=path          output path ("" disables the record)
+//   --flight_json=path         also write the flight-recorder dump ("" keeps
+//                              it embedded in the bench record only)
+//   --flight_capacity=256      flight-recorder ring size
+//   --ts3_step_profile         time every compiled-graph step and report the
+//                              per-op-kind profile (table + "step_profile")
 //   --ts3_num_threads=1        serial kernels by default: the headline number
 //                              is batching amortisation, not thread scaling
 //   plus the usual obs flags (--ts3_trace/--ts3_profile/...).
@@ -53,7 +58,9 @@
 #include "common/threadpool.h"
 #include "models/registry.h"
 #include "serve/batcher.h"
+#include "serve/flight_recorder.h"
 #include "serve/snapshot.h"
+#include "serve/step_profiler.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
 
@@ -69,6 +76,19 @@ struct CellResult {
   double p50_us = 0;
   double p95_us = 0;
   double p99_us = 0;
+  // Windowed latency views of the same cell, from the serving telemetry
+  // layer rather than the exact sorted samples above:
+  //   window_*  the rolling serve/request_latency_us view at cell end — what
+  //             a live dashboard would have shown ("last-window")
+  //   steady_*  the cumulative histogram's delta across the cell — every
+  //             request of the cell, bucket-interpolated ("steady-state")
+  double window_p50_us = 0;
+  double window_p95_us = 0;
+  double window_p99_us = 0;
+  int64_t window_count = 0;
+  double steady_p50_us = 0;
+  double steady_p95_us = 0;
+  double steady_p99_us = 0;
   double mean_batch = 0;    // realised requests per executed batch
   bool bitwise_equal = false;
 };
@@ -177,6 +197,8 @@ CellResult RunCell(const std::shared_ptr<const serve::ModelSnapshot>& snapshot,
   auto* registry = obs::MetricsRegistry::Global();
   const int64_t requests_before = registry->counter("serve/requests")->value();
   const int64_t batches_before = registry->counter("serve/batches")->value();
+  const obs::HistogramSnapshot latency_before =
+      registry->histogram("serve/request_latency_us")->Snapshot();
 
   serve::MicroBatcherOptions opt;
   opt.max_batch = max_batch;
@@ -222,6 +244,27 @@ CellResult RunCell(const std::shared_ptr<const serve::ModelSnapshot>& snapshot,
   cell.p50_us = ExactPercentile(latency_us, 50);
   cell.p95_us = ExactPercentile(latency_us, 95);
   cell.p99_us = ExactPercentile(latency_us, 99);
+
+  // Last-window view: what the rolling serve/request_latency_us histogram
+  // reports the moment the cell ends (cells shorter than the ~10s window
+  // cover all their requests; longer ones only the freshest slice).
+  const obs::HistogramSnapshot window =
+      registry->rolling_histogram("serve/request_latency_us")
+          ->WindowSnapshot();
+  cell.window_p50_us = window.Percentile(50.0);
+  cell.window_p95_us = window.Percentile(95.0);
+  cell.window_p99_us = window.Percentile(99.0);
+  cell.window_count = window.count;
+  // Steady-state view: the cumulative histogram's growth across the whole
+  // cell, i.e. bucket-interpolated percentiles over exactly this cell's
+  // requests regardless of cell duration.
+  const obs::HistogramSnapshot steady =
+      registry->histogram("serve/request_latency_us")
+          ->Snapshot()
+          .Since(latency_before);
+  cell.steady_p50_us = steady.Percentile(50.0);
+  cell.steady_p95_us = steady.Percentile(95.0);
+  cell.steady_p99_us = steady.Percentile(99.0);
   cell.rps = static_cast<double>(n) / (cell.wall_ms / 1e3);
   cell.speedup = serial_ms / cell.wall_ms;
   const int64_t requests =
@@ -239,10 +282,14 @@ void WriteRecord(const std::string& path, const std::string& model,
                  int64_t lookback, int64_t horizon, int64_t channels,
                  int64_t requests, int64_t max_wait_us, double serial_ms,
                  const std::vector<CompiledCell>& compiled_cells,
-                 const std::vector<CellResult>& cells) {
+                 const std::vector<CellResult>& cells,
+                 const std::string& step_profile_json,
+                 const std::string& flight_json) {
   if (path.empty()) return;
   obs::JsonWriter w;
   w.BeginObject();
+  w.Key("schema_version");
+  w.Int(1);
   w.Key("bench");
   w.String("serve");
   w.Key("settings");
@@ -312,6 +359,20 @@ void WriteRecord(const std::string& path, const std::string& model,
     w.Double(c.p95_us);
     w.Key("p99_us");
     w.Double(c.p99_us);
+    w.Key("window_p50_us");
+    w.Double(c.window_p50_us);
+    w.Key("window_p95_us");
+    w.Double(c.window_p95_us);
+    w.Key("window_p99_us");
+    w.Double(c.window_p99_us);
+    w.Key("window_count");
+    w.Int(c.window_count);
+    w.Key("steady_p50_us");
+    w.Double(c.steady_p50_us);
+    w.Key("steady_p95_us");
+    w.Double(c.steady_p95_us);
+    w.Key("steady_p99_us");
+    w.Double(c.steady_p99_us);
     w.Key("mean_batch");
     w.Double(c.mean_batch);
     w.Key("bitwise_equal");
@@ -319,6 +380,14 @@ void WriteRecord(const std::string& path, const std::string& model,
     w.EndObject();
   }
   w.EndArray();
+  if (!step_profile_json.empty()) {
+    w.Key("step_profile");
+    w.RawValue(step_profile_json);
+  }
+  if (!flight_json.empty()) {
+    w.Key("flight_recorder");
+    w.RawValue(flight_json);
+  }
   w.Key("counters");
   w.BeginObject();
   for (const auto& [counter, value] :
@@ -351,6 +420,11 @@ int Main(int argc, char** argv) {
   ThreadPool::SetGlobalNumThreads(
       static_cast<int>(flags.GetInt("ts3_num_threads", 1)));
   obs::ObsScope obs_scope(flags);
+  serve::SetStepProfilerEnabled(flags.GetBool("ts3_step_profile", false));
+  serve::FlightRecorderOptions flight_opts;
+  flight_opts.capacity =
+      static_cast<int>(flags.GetInt("flight_capacity", 256));
+  serve::FlightRecorder::Configure(flight_opts);
 
   const std::string model_name = flags.GetString("model", "LSTM");
   const int64_t lookback = flags.GetInt("lookback", 96);
@@ -465,9 +539,9 @@ int Main(int argc, char** argv) {
   }
   std::printf("\n");
 
-  std::printf("%8s %10s %10s %10s %9s %9s %9s %9s %11s %8s\n", "clients",
+  std::printf("%8s %10s %10s %10s %9s %9s %9s %9s %9s %11s %8s\n", "clients",
               "max_batch", "wall_ms", "req/s", "speedup", "p50_us", "p95_us",
-              "p99_us", "mean_batch", "bitwise");
+              "p99_us", "win_p99", "mean_batch", "bitwise");
 
   std::vector<CellResult> cells;
   for (int64_t clients : client_counts) {
@@ -475,19 +549,58 @@ int Main(int argc, char** argv) {
       CellResult cell = RunCell(snapshot.value(), windows, reference, clients,
                                 max_batch, max_wait_us, serial_ms);
       std::printf(
-          "%8lld %10lld %10.2f %10.0f %8.2fx %9.0f %9.0f %9.0f %11.2f %8s\n",
+          "%8lld %10lld %10.2f %10.0f %8.2fx %9.0f %9.0f %9.0f %9.0f %11.2f "
+          "%8s\n",
           static_cast<long long>(cell.clients),
           static_cast<long long>(cell.max_batch), cell.wall_ms, cell.rps,
-          cell.speedup, cell.p50_us, cell.p95_us, cell.p99_us, cell.mean_batch,
+          cell.speedup, cell.p50_us, cell.p95_us, cell.p99_us,
+          cell.window_p99_us, cell.mean_batch,
           cell.bitwise_equal ? "ok" : "MISMATCH");
       std::fflush(stdout);
       cells.push_back(cell);
     }
   }
 
+  // Per-op-kind step profile of the compiled graphs (--ts3_step_profile).
+  std::string step_profile_json;
+  if (serve::StepProfilerEnabled()) {
+    const std::vector<serve::OpKindProfile> profile =
+        compiled_snap.value()->AggregatedStepProfile();
+    std::printf("\ncompiled-graph step profile (--ts3_step_profile)\n%s",
+                serve::OpKindProfileTable(profile).c_str());
+    step_profile_json = compiled_snap.value()->StepProfileJson();
+  }
+
+  // The flight recorder retained the tail of the batched traffic. Validate
+  // the dump in-process — a bench run that produces an unparseable incident
+  // dump is a failing run — and optionally mirror it to --flight_json.
+  const std::string flight_json =
+      serve::FlightRecorder::Global()->DumpJson();
+  std::string flight_error;
+  if (!obs::JsonValidate(flight_json, &flight_error)) {
+    std::fprintf(stderr, "FAIL: flight-recorder dump is invalid JSON: %s\n",
+                 flight_error.c_str());
+    return 1;
+  }
+  std::printf("\nflight recorder: %lld requests retained (of %lld recorded), "
+              "dump valid\n",
+              static_cast<long long>(
+                  serve::FlightRecorder::Global()->Snapshot().size()),
+              static_cast<long long>(
+                  serve::FlightRecorder::Global()->total_recorded()));
+  const std::string flight_path = flags.GetString("flight_json", "");
+  if (!flight_path.empty()) {
+    std::FILE* f = std::fopen(flight_path.c_str(), "w");
+    if (f != nullptr) {
+      std::fwrite(flight_json.data(), 1, flight_json.size(), f);
+      std::fclose(f);
+      std::fprintf(stderr, "flight dump written to %s\n", flight_path.c_str());
+    }
+  }
+
   WriteRecord(flags.GetString("bench_json", "BENCH_serve.json"), model_name,
               lookback, horizon, channels, requests, max_wait_us, serial_ms,
-              compiled_cells, cells);
+              compiled_cells, cells, step_profile_json, flight_json);
 
   for (const CompiledCell& c : compiled_cells) {
     if (!c.bitwise_equal) {

@@ -14,13 +14,21 @@
 //   serve      --csv=series.csv [--model=LSTM] [--ckpt=model.ckpt]
 //              [--serve_clients=4] [--serve_max_batch=8]
 //              [--serve_max_wait_us=500] [--serve_requests=128]
-//              [--serve_compile=1]
+//              [--serve_compile=1] [--serve_dashboard=1]
+//              [--serve_slo_us=0] [--serve_flight_dump=flight.json]
+//              [--ts3_step_profile]
 //       Freeze the model into an immutable serve::ModelSnapshot (training it
 //       quickly first unless --ckpt provides weights), then replay sliding
 //       windows from the test split two ways — serial single-request
 //       inference and `--serve_clients` threads through a MicroBatcher — and
 //       report throughput, speedup, tail latency, realised batch size, and a
-//       bitwise comparison of the two output streams.
+//       bitwise comparison of the two output streams. While the batched run
+//       is live, a one-line dashboard on stderr shows progress, the rolling
+//       p50/p95/p99, the windowed request rate, and the queue depth
+//       (--serve_dashboard=0 silences it). --serve_slo_us arms the flight
+//       recorder's SLO tracking; --serve_flight_dump writes the recorder's
+//       JSON dump after the run; --ts3_step_profile prints the compiled
+//       graph's per-op-kind time profile.
 //   help
 //       Print this usage text.
 //
@@ -44,6 +52,8 @@
 //   ./build/examples/ts3net_cli forecast --csv=/tmp/s.csv --horizon=24
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <thread>
@@ -52,6 +62,7 @@
 #include "common/flags.h"
 #include "common/obs/metrics.h"
 #include "common/obs/obs.h"
+#include "common/obs/rolling.h"
 #include "common/threadpool.h"
 #include "core/decomposition.h"
 #include "data/csv.h"
@@ -60,7 +71,9 @@
 #include "models/registry.h"
 #include "nn/serialize.h"
 #include "serve/batcher.h"
+#include "serve/flight_recorder.h"
 #include "serve/snapshot.h"
+#include "serve/step_profiler.h"
 #include "signal/cwt_plan.h"
 #include "signal/period.h"
 #include "tensor/ops.h"
@@ -316,9 +329,23 @@ int CmdServe(const FlagParser& flags) {
   const double requests_before = registry->counter("serve/requests")->value();
   const double batches_before = registry->counter("serve/batches")->value();
 
+  // Telemetry: flight recorder (with optional SLO tracking) and the
+  // compiled-graph step profiler, armed before the batcher sees traffic.
+  const bool step_profile = flags.GetBool("ts3_step_profile", false);
+  serve::SetStepProfilerEnabled(step_profile);
+  const int64_t slo_us = flags.GetInt("serve_slo_us", 0);
+  const std::string flight_dump = flags.GetString("serve_flight_dump", "");
+  serve::FlightRecorderOptions fropt;
+  fropt.capacity = static_cast<int>(flags.GetInt("flight_capacity", 256));
+  fropt.slo_latency_us = slo_us;
+  fropt.slo_dump_path = flight_dump;
+  serve::FlightRecorder::Configure(fropt);
+  const bool dashboard = flags.GetInt("serve_dashboard", 1) != 0;
+
   serve::MicroBatcher batcher(snapshot.value(), bopt);
   std::vector<Tensor> outputs(windows.size());
   std::vector<double> latencies_us(windows.size());
+  std::atomic<int64_t> done{0};
   const int64_t batched_start_ns = obs::NowNanos();
   {
     std::vector<std::thread> threads;
@@ -331,8 +358,33 @@ int CmdServe(const FlagParser& flags) {
           auto out = batcher.Predict(windows[i]);
           latencies_us[i] = static_cast<double>(obs::NowNanos() - t0) / 1e3;
           if (out.ok()) outputs[i] = std::move(out).value();
+          done.fetch_add(1, std::memory_order_relaxed);
         }
       });
+    }
+    if (dashboard) {
+      // Live one-line dashboard on stderr, redrawn in place (~10 Hz) from
+      // the rolling views while the client threads are in flight.
+      auto* win = registry->rolling_histogram("serve/request_latency_us");
+      auto* rate = registry->rolling_counter("serve/requests");
+      auto* depth = registry->gauge("serve/queue_depth");
+      const int64_t total = static_cast<int64_t>(windows.size());
+      while (done.load(std::memory_order_relaxed) < total) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        const obs::HistogramSnapshot w = win->WindowSnapshot();
+        std::fprintf(
+            stderr,
+            "\r[serve] %lld/%lld req | win p50/p95/p99 %.0f/%.0f/%.0f us | "
+            "%.0f req/s | depth %.0f   ",
+            static_cast<long long>(done.load(std::memory_order_relaxed)),
+            static_cast<long long>(total),
+            w.count > 0 ? w.Percentile(50.0) : 0.0,
+            w.count > 0 ? w.Percentile(95.0) : 0.0,
+            w.count > 0 ? w.Percentile(99.0) : 0.0, rate->WindowRatePerSec(),
+            depth->value());
+        std::fflush(stderr);
+      }
+      std::fprintf(stderr, "\n");
     }
     for (std::thread& t : threads) t.join();
   }
@@ -389,6 +441,35 @@ int CmdServe(const FlagParser& flags) {
         snapshot.value()->num_rejected_shapes(),
         registry->gauge("serve/arena_bytes")->value());
   }
+  if (slo_us > 0) {
+    std::printf("slo (%lld us):         %lld breach(es), %lld auto-dump(s)\n",
+                static_cast<long long>(slo_us),
+                static_cast<long long>(
+                    registry->counter("serve/slo_breaches")->value()),
+                static_cast<long long>(
+                    registry->counter("serve/slo_dumps")->value()));
+  }
+  if (!flight_dump.empty()) {
+    auto* recorder = serve::FlightRecorder::Global();
+    const std::string json = recorder->DumpJson();
+    std::FILE* f = std::fopen(flight_dump.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write flight record %s\n",
+                   flight_dump.c_str());
+    } else {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("flight recorder:      %zu retained of %lld recorded -> %s\n",
+                  recorder->Snapshot().size(),
+                  static_cast<long long>(recorder->total_recorded()),
+                  flight_dump.c_str());
+    }
+  }
+  if (step_profile && sopt.compile) {
+    std::printf("\nstep profile (per op kind, all compiled shapes):\n%s",
+                serve::OpKindProfileTable(
+                    snapshot.value()->AggregatedStepProfile()).c_str());
+  }
   return bitwise ? 0 : 1;
 }
 
@@ -409,10 +490,14 @@ int Usage(int exit_code = 2) {
       "  serve      --csv=series.csv [--model=LSTM] [--ckpt=model.ckpt]\n"
       "             [--serve_clients=4] [--serve_max_batch=8]\n"
       "             [--serve_max_wait_us=500] [--serve_requests=128]\n"
-      "             [--serve_compile=1]\n"
+      "             [--serve_compile=1] [--serve_dashboard=1]\n"
+      "             [--serve_slo_us=0] [--serve_flight_dump=flight.json]\n"
+      "             [--ts3_step_profile]\n"
       "             freeze a snapshot, serve windows from the test split\n"
       "             serially and micro-batched, compare bitwise + report\n"
-      "             throughput/latency\n"
+      "             throughput/latency; a live one-line dashboard on stderr\n"
+      "             shows windowed p50/p95/p99, request rate, and queue\n"
+      "             depth while the batched run is in flight\n"
       "\n"
       "global flags:\n"
       "  --ts3_num_threads=N  kernel thread-pool size; 0 = hardware\n"
@@ -427,6 +512,13 @@ int Usage(int exit_code = 2) {
       "                       (chrome://tracing / ui.perfetto.dev).\n"
       "  --ts3_profile        print the aggregated span profile to stderr.\n"
       "  --ts3_metrics_json=F.json  dump counters/gauges/histograms/series.\n"
+      "  --ts3_stats_out=F.json     periodic JSON stats snapshots (atomic\n"
+      "                       rewrite; pair with --ts3_stats_period_ms).\n"
+      "  --ts3_prom_out=F.prom      Prometheus text-exposition snapshots.\n"
+      "  --ts3_stats_period_ms=MS   reporter period; 0 = one final snapshot\n"
+      "                       at exit only.\n"
+      "  --ts3_step_profile   per-step timing inside compiled graphs,\n"
+      "                       aggregated per op kind (serve only).\n"
       "\n"
       "(see the header comment of ts3net_cli.cpp for details)\n");
   return exit_code;

@@ -65,7 +65,14 @@ LogStream::LogStream(LogLevel level, const char* file, int line)
 
 LogStream::~LogStream() {
   if (enabled_) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    // Assemble the full record (message + newline) in one buffer and emit it
+    // with a single write: fprintf may flush mid-record on unbuffered
+    // stderr, interleaving concurrent log lines from pool workers. fwrite of
+    // one contiguous buffer keeps each record intact (POSIX makes small
+    // single writes to the same stream atomic with respect to each other).
+    std::string line = stream_.str();
+    line.push_back('\n');
+    std::fwrite(line.data(), 1, line.size(), stderr);
   }
   (void)level_;
 }

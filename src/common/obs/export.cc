@@ -1,0 +1,164 @@
+#include "common/obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/obs/json.h"
+#include "common/obs/metrics.h"
+#include "common/obs/rolling.h"
+#include "common/obs/trace.h"
+#include "common/threadpool.h"
+
+namespace ts3net {
+namespace obs {
+
+namespace {
+
+/// "serve/request_latency_us" -> "ts3_serve_request_latency_us". Prometheus
+/// metric names allow [a-zA-Z0-9_:]; everything else becomes '_'.
+std::string PromName(const std::string& name) {
+  std::string out = "ts3_";
+  out.reserve(name.size() + 4);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// Prometheus sample value. The text format accepts NaN/+Inf literally.
+std::string PromDouble(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void PromHistogram(std::ostringstream* out, const std::string& name,
+                   const HistogramSnapshot& snap) {
+  *out << "# TYPE " << name << " histogram\n";
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < snap.bounds.size(); ++i) {
+    cumulative += snap.buckets[i];
+    *out << name << "_bucket{le=\"" << PromDouble(snap.bounds[i]) << "\"} "
+         << cumulative << "\n";
+  }
+  *out << name << "_bucket{le=\"+Inf\"} " << snap.count << "\n";
+  *out << name << "_sum " << PromDouble(snap.sum) << "\n";
+  *out << name << "_count " << snap.count << "\n";
+}
+
+/// Writes `text` to `path` via a temp file + rename so readers polling the
+/// file never observe a half-written document.
+bool WriteFileAtomic(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool ok = written == text.size() && std::fclose(f) == 0;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+
+  for (const auto& [name, c] : counters_) {
+    const std::string n = PromName(name);
+    out << "# TYPE " << n << " counter\n" << n << " " << c->value() << "\n";
+  }
+
+  for (const auto& [name, g] : gauges_) {
+    const std::string n = PromName(name);
+    out << "# TYPE " << n << " gauge\n"
+        << n << " " << PromDouble(g->value()) << "\n";
+  }
+
+  for (const auto& [name, h] : histograms_) {
+    PromHistogram(&out, PromName(name), h->Snapshot());
+  }
+
+  // Rolling views have no native Prometheus type (their buckets expire), so
+  // each exports as a family of gauges describing the current window.
+  for (const auto& [name, rc] : rolling_counters_) {
+    const std::string n = PromName(name) + "_window";
+    out << "# TYPE " << n << "_total gauge\n"
+        << n << "_total " << rc->WindowTotal() << "\n";
+    out << "# TYPE " << n << "_rate_per_sec gauge\n"
+        << n << "_rate_per_sec " << PromDouble(rc->WindowRatePerSec())
+        << "\n";
+  }
+
+  for (const auto& [name, rh] : rolling_histograms_) {
+    const std::string n = PromName(name) + "_window";
+    const HistogramSnapshot snap = rh->WindowSnapshot();
+    out << "# TYPE " << n << "_count gauge\n"
+        << n << "_count " << snap.count << "\n";
+    const std::pair<const char*, double> quantiles[] = {
+        {"_p50", snap.Percentile(50.0)},
+        {"_p95", snap.Percentile(95.0)},
+        {"_p99", snap.Percentile(99.0)},
+    };
+    for (const auto& [suffix, value] : quantiles) {
+      out << "# TYPE " << n << suffix << " gauge\n"
+          << n << suffix << " " << PromDouble(value) << "\n";
+    }
+  }
+
+  return out.str();
+}
+
+std::string StatsSnapshotJson(int64_t seq) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version");
+  w.Int(1);
+  w.Key("kind");
+  w.String("ts3_stats");
+  w.Key("seq");
+  w.Int(seq);
+  w.Key("uptime_ms");
+  w.Int(NowNanos() / 1000000);
+  w.Key("metrics");
+  w.RawValue(MetricsRegistry::Global()->ToJson());
+  w.EndObject();
+  return w.str();
+}
+
+StatsReporter::StatsReporter(int64_t period_ms, std::string stats_path,
+                             std::string prom_path)
+    : stats_path_(std::move(stats_path)), prom_path_(std::move(prom_path)) {
+  if (period_ms > 0 && (!stats_path_.empty() || !prom_path_.empty())) {
+    thread_ = std::make_unique<PeriodicThread>(period_ms,
+                                               [this] { WriteOnce(); });
+  }
+}
+
+StatsReporter::~StatsReporter() {
+  thread_.reset();  // joins the reporter thread
+  WriteOnce();      // final snapshot so short runs still leave a file
+}
+
+void StatsReporter::WriteOnce() {
+  // The seq counter makes every snapshot distinguishable from the previous
+  // rewrite; bump it once per round, shared by both formats.
+  const int64_t seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!stats_path_.empty()) {
+    WriteFileAtomic(stats_path_, StatsSnapshotJson(seq));
+  }
+  if (!prom_path_.empty()) {
+    WriteFileAtomic(prom_path_, MetricsRegistry::Global()->ToPrometheus());
+  }
+}
+
+}  // namespace obs
+}  // namespace ts3net

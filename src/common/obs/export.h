@@ -1,0 +1,53 @@
+#ifndef TS3NET_COMMON_OBS_EXPORT_H_
+#define TS3NET_COMMON_OBS_EXPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace ts3net {
+class PeriodicThread;
+namespace obs {
+
+/// One self-describing stats snapshot document:
+///   {"schema_version": 1, "kind": "ts3_stats", "seq": N,
+///    "uptime_ms": ..., "metrics": <MetricsRegistry::ToJson()>}
+/// `seq` increments per snapshot so file watchers can detect rewrites.
+std::string StatsSnapshotJson(int64_t seq);
+
+/// Periodic metrics exporter: every `period_ms` it atomically rewrites
+/// `stats_path` with StatsSnapshotJson and/or `prom_path` with
+/// MetricsRegistry::ToPrometheus (empty path skips that format). The
+/// reporter owns the only background thread in the obs layer, borrowed from
+/// common/threadpool's PeriodicThread so the TL001 threading invariant
+/// holds. Destruction stops the thread and writes one final snapshot, so
+/// short-lived processes still leave a file behind even when they exit
+/// before the first period elapses.
+class StatsReporter {
+ public:
+  StatsReporter(int64_t period_ms, std::string stats_path,
+                std::string prom_path);
+  ~StatsReporter();
+
+  StatsReporter(const StatsReporter&) = delete;
+  StatsReporter& operator=(const StatsReporter&) = delete;
+
+  /// Writes both files immediately (also called by the periodic tick).
+  void WriteOnce();
+
+  int64_t snapshots_written() const {
+    return seq_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const std::string stats_path_;
+  const std::string prom_path_;
+  std::atomic<int64_t> seq_{0};
+  std::unique_ptr<PeriodicThread> thread_;
+};
+
+}  // namespace obs
+}  // namespace ts3net
+
+#endif  // TS3NET_COMMON_OBS_EXPORT_H_

@@ -125,6 +125,12 @@ void JsonWriter::Null() {
   out_ << "null";
 }
 
+void JsonWriter::RawValue(const std::string& json) {
+  TS3_CHECK(!json.empty()) << "RawValue requires a complete JSON value";
+  BeforeValue();
+  out_ << json;
+}
+
 namespace {
 
 /// Recursive-descent cursor over the JSON text.

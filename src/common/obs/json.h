@@ -35,6 +35,11 @@ class JsonWriter {
   void Double(double v);
   void Bool(bool v);
   void Null();
+  /// Embeds `json` verbatim in value position (after a Key or as an array
+  /// element). The caller must pass one complete well-formed JSON value —
+  /// used to nest a pre-serialized document (e.g. MetricsRegistry::ToJson)
+  /// inside a larger one without reparsing.
+  void RawValue(const std::string& json);
 
   std::string str() const { return out_.str(); }
 

@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/obs/json.h"
+#include "common/obs/rolling.h"
 
 namespace ts3net {
 namespace obs {
@@ -62,6 +63,51 @@ void AtomicMaxDouble(std::atomic<uint64_t>* bits, double v) {
 
 uint64_t Gauge::Encode(double v) { return DoubleBits(v); }
 double Gauge::Decode(uint64_t bits) { return BitsDouble(bits); }
+
+double HistogramSnapshot::mean() const {
+  return count == 0 ? std::numeric_limits<double>::quiet_NaN()
+                    : sum / static_cast<double>(count);
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  TS3_CHECK(p >= 0.0 && p <= 100.0);
+  if (count == 0) return std::numeric_limits<double>::quiet_NaN();
+
+  const double rank = p / 100.0 * static_cast<double>(count);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const int64_t prev = cumulative;
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i == bounds.size()) return max;  // overflow bucket
+    // Linear interpolation between the bucket's edges; the first bucket's
+    // lower edge is the minimum observed value (tighter than -inf).
+    const double lo = i == 0 ? std::min(min, bounds[0]) : bounds[i - 1];
+    const double hi = bounds[i];
+    const double frac =
+        (rank - static_cast<double>(prev)) / static_cast<double>(buckets[i]);
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return max;
+}
+
+HistogramSnapshot HistogramSnapshot::Since(
+    const HistogramSnapshot& earlier) const {
+  TS3_CHECK(earlier.bounds == bounds)
+      << "Since() requires snapshots of the same histogram";
+  HistogramSnapshot out;
+  out.bounds = bounds;
+  out.buckets.resize(buckets.size());
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    out.buckets[i] = std::max<int64_t>(0, buckets[i] - earlier.buckets[i]);
+    out.count += out.buckets[i];
+  }
+  out.sum = sum - earlier.sum;
+  out.min = min;
+  out.max = max;
+  return out;
+}
 
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)),
@@ -131,30 +177,34 @@ std::vector<int64_t> Histogram::BucketCounts() const {
   return out;
 }
 
-double Histogram::Percentile(double p) const {
-  TS3_CHECK(p >= 0.0 && p <= 100.0);
-  const std::vector<int64_t> counts = BucketCounts();
-  int64_t total = 0;
-  for (int64_t c : counts) total += c;
-  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+double Histogram::Percentile(double p) const { return Snapshot().Percentile(p); }
 
-  const double rank = p / 100.0 * static_cast<double>(total);
-  int64_t cumulative = 0;
-  for (size_t i = 0; i < counts.size(); ++i) {
-    if (counts[i] == 0) continue;
-    const int64_t prev = cumulative;
-    cumulative += counts[i];
-    if (static_cast<double>(cumulative) < rank) continue;
-    if (i == bounds_.size()) return max();  // overflow bucket
-    // Linear interpolation between the bucket's edges; the first bucket's
-    // lower edge is the minimum observed value (tighter than -inf).
-    const double lo = i == 0 ? std::min(min(), bounds_[0]) : bounds_[i - 1];
-    const double hi = bounds_[i];
-    const double frac =
-        (rank - static_cast<double>(prev)) / static_cast<double>(counts[i]);
-    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  // Observe() bumps a bucket, then the sum, then min/max, all relaxed. The
+  // stats are consistent with the buckets iff no Observe landed between the
+  // two bucket reads surrounding them; retry a few times until that holds.
+  // Under sustained contention accept the final attempt — still far tighter
+  // than the old field-by-field reads, and count == sum-of-buckets holds
+  // unconditionally because count is derived from the captured buckets.
+  std::vector<int64_t> before = BucketCounts();
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const double sum = BitsDouble(sum_bits_.load(std::memory_order_relaxed));
+    const double min = BitsDouble(min_bits_.load(std::memory_order_relaxed));
+    const double max = BitsDouble(max_bits_.load(std::memory_order_relaxed));
+    std::vector<int64_t> after = BucketCounts();
+    if (after == before || attempt == 7) {
+      snap.buckets = std::move(after);
+      for (int64_t c : snap.buckets) snap.count += c;
+      snap.sum = sum;
+      snap.min = min;
+      snap.max = max;
+      return snap;
+    }
+    before = std::move(after);
   }
-  return max();
+  return snap;  // unreachable
 }
 
 void Series::Append(double v) {
@@ -176,6 +226,10 @@ MetricsRegistry* MetricsRegistry::Global() {
   static MetricsRegistry* registry = new MetricsRegistry();  // leaked
   return registry;
 }
+
+// Out of line so the unique_ptr<Rolling*> maps see complete types.
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
 
 Counter* MetricsRegistry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -203,6 +257,34 @@ Series* MetricsRegistry::series(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = series_[name];
   if (!slot) slot = std::make_unique<Series>();
+  return slot.get();
+}
+
+RollingCounter* MetricsRegistry::rolling_counter(const std::string& name) {
+  return rolling_counter(name, RollingOptions{});
+}
+
+RollingCounter* MetricsRegistry::rolling_counter(const std::string& name,
+                                                 const RollingOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = rolling_counters_[name];
+  if (!slot) slot = std::make_unique<RollingCounter>(options);
+  return slot.get();
+}
+
+RollingHistogram* MetricsRegistry::rolling_histogram(const std::string& name,
+                                                     std::vector<double> bounds) {
+  return rolling_histogram(name, std::move(bounds), RollingOptions{});
+}
+
+RollingHistogram* MetricsRegistry::rolling_histogram(
+    const std::string& name, std::vector<double> bounds,
+    const RollingOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = rolling_histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<RollingHistogram>(std::move(bounds), options);
+  }
   return slot.get();
 }
 
@@ -238,24 +320,7 @@ std::string MetricsRegistry::ToJson() const {
   w.BeginObject();
   for (const auto& [name, h] : histograms_) {
     w.Key(name);
-    w.BeginObject();
-    w.Key("count");
-    w.Int(h->count());
-    w.Key("sum");
-    w.Double(h->sum());
-    w.Key("mean");
-    w.Double(h->mean());
-    w.Key("min");
-    w.Double(h->min());
-    w.Key("max");
-    w.Double(h->max());
-    w.Key("p50");
-    w.Double(h->Percentile(50.0));
-    w.Key("p95");
-    w.Double(h->Percentile(95.0));
-    w.Key("p99");
-    w.Double(h->Percentile(99.0));
-    w.EndObject();
+    WriteHistogramStats(&w, h->Snapshot());
   }
   w.EndObject();
 
@@ -269,8 +334,60 @@ std::string MetricsRegistry::ToJson() const {
   }
   w.EndObject();
 
+  w.Key("windows");
+  w.BeginObject();
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [name, rc] : rolling_counters_) {
+    w.Key(name);
+    w.BeginObject();
+    w.Key("window_ns");
+    w.Int(rc->window_ns());
+    w.Key("total");
+    w.Int(rc->WindowTotal());
+    w.Key("rate_per_sec");
+    w.Double(rc->WindowRatePerSec());
+    w.EndObject();
+  }
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  for (const auto& [name, rh] : rolling_histograms_) {
+    w.Key(name);
+    WriteHistogramStats(&w, rh->WindowSnapshot(), rh->window_ns());
+  }
+  w.EndObject();
+  w.EndObject();
+
   w.EndObject();
   return w.str();
+}
+
+void WriteHistogramStats(JsonWriter* w, const HistogramSnapshot& snap,
+                         int64_t window_ns) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  w->BeginObject();
+  if (window_ns > 0) {
+    w->Key("window_ns");
+    w->Int(window_ns);
+  }
+  w->Key("count");
+  w->Int(snap.count);
+  w->Key("sum");
+  w->Double(snap.sum);
+  w->Key("mean");
+  w->Double(snap.mean());
+  w->Key("min");
+  w->Double(snap.count > 0 ? snap.min : nan);
+  w->Key("max");
+  w->Double(snap.count > 0 ? snap.max : nan);
+  w->Key("p50");
+  w->Double(snap.Percentile(50.0));
+  w->Key("p95");
+  w->Double(snap.Percentile(95.0));
+  w->Key("p99");
+  w->Double(snap.Percentile(99.0));
+  w->EndObject();
 }
 
 void MetricsRegistry::ResetForTest() {
@@ -279,6 +396,8 @@ void MetricsRegistry::ResetForTest() {
   gauges_.clear();
   histograms_.clear();
   series_.clear();
+  rolling_counters_.clear();
+  rolling_histograms_.clear();
 }
 
 }  // namespace obs

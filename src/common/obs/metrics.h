@@ -12,6 +12,11 @@
 namespace ts3net {
 namespace obs {
 
+class JsonWriter;
+class RollingCounter;
+class RollingHistogram;
+struct RollingOptions;
+
 /// Monotonic counter. All mutators are lock-free atomics, safe to call from
 /// ParallelFor chunks and pool workers concurrently.
 class Counter {
@@ -39,6 +44,28 @@ class Gauge {
   std::atomic<uint64_t> bits_{0};
 };
 
+/// Point-in-time view of a histogram: the bucket counts plus the derived
+/// statistics, all taken from the *same* read so they cannot disagree with
+/// each other (count always equals the sum of buckets, and every percentile
+/// is computed from the captured buckets rather than live re-reads).
+struct HistogramSnapshot {
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // valid only when count > 0
+  double max = 0.0;  // valid only when count > 0
+  std::vector<double> bounds;
+  std::vector<int64_t> buckets;  // bounds.size() + 1, last = overflow
+
+  double mean() const;                // NaN when empty
+  double Percentile(double p) const;  // p in [0, 100]; NaN when empty
+
+  /// Statistics of the observations in `this` but not in `earlier` (which
+  /// must be a snapshot of the same histogram taken before `this`). Used by
+  /// benches to report a steady-state interval of a cumulative histogram.
+  /// min/max cannot be subtracted, so the result keeps this->min/max.
+  HistogramSnapshot Since(const HistogramSnapshot& earlier) const;
+};
+
 /// Fixed-bucket histogram. `bounds` are the inclusive upper edges of the
 /// first N buckets; one overflow bucket catches everything above the last
 /// bound. Observation is a single atomic increment per bucket plus atomic
@@ -64,6 +91,14 @@ class Histogram {
   /// Per-bucket counts (bounds().size() + 1 entries, last = overflow).
   std::vector<int64_t> BucketCounts() const;
 
+  /// Coherent snapshot for export. The accessors above are independent
+  /// relaxed loads and can disagree with each other mid-Observe (count
+  /// already bumped, sum not yet); Snapshot() re-reads the buckets until
+  /// two consecutive reads agree (bounded retries), so the returned counts,
+  /// sum, min and max describe one consistent set of observations and every
+  /// derived statistic comes from the same bucket read.
+  HistogramSnapshot Snapshot() const;
+
   /// Exponential 1-2-5 time buckets from 1us to 1e10us (~3h), the default
   /// for duration histograms observed in microseconds.
   static std::vector<double> DefaultTimeBoundsUs();
@@ -75,6 +110,13 @@ class Histogram {
   std::atomic<uint64_t> min_bits_;
   std::atomic<uint64_t> max_bits_;
 };
+
+/// Writes `snap` as a JSON object {count, sum, mean, min, max, p50, p95,
+/// p99} onto `w` (value position). A positive `window_ns` prepends a
+/// "window_ns" key — used for rolling views. NaN statistics become null per
+/// JsonWriter convention.
+void WriteHistogramStats(JsonWriter* w, const HistogramSnapshot& snap,
+                         int64_t window_ns = 0);
 
 /// Append-only series of values, e.g. the per-epoch loss curve. Appends take
 /// a mutex: series are recorded a handful of times per epoch, never on a
@@ -97,6 +139,9 @@ class MetricsRegistry {
  public:
   static MetricsRegistry* Global();
 
+  MetricsRegistry();
+  ~MetricsRegistry();
+
   Counter* counter(const std::string& name);
   Gauge* gauge(const std::string& name);
   /// Creates the histogram with `bounds` on first use; later calls with the
@@ -105,13 +150,34 @@ class MetricsRegistry {
                        std::vector<double> bounds = {});
   Series* series(const std::string& name);
 
+  /// Windowed views (see common/obs/rolling.h). Same first-use-creates
+  /// semantics as above; `options`/`bounds` are ignored once created. A
+  /// rolling view is conventionally registered under the same name as its
+  /// cumulative twin and exported under a separate "windows" section.
+  RollingCounter* rolling_counter(const std::string& name);
+  RollingCounter* rolling_counter(const std::string& name,
+                                  const RollingOptions& options);
+  RollingHistogram* rolling_histogram(const std::string& name,
+                                      std::vector<double> bounds = {});
+  RollingHistogram* rolling_histogram(const std::string& name,
+                                      std::vector<double> bounds,
+                                      const RollingOptions& options);
+
   /// Snapshot of all counter values (for bench run records).
   std::map<std::string, int64_t> CounterValues() const;
 
   /// Full registry snapshot as a JSON object: {"counters": {...},
   /// "gauges": {...}, "histograms": {name: {count, mean, p50, ...}},
-  /// "series": {name: [...]}}.
+  /// "series": {name: [...]}, "windows": {"counters": {...},
+  /// "histograms": {...}}} — the windows section carries the rolling views
+  /// (last-window totals, rates and percentiles).
   std::string ToJson() const;
+
+  /// Prometheus text exposition (version 0.0.4) of all counters, gauges,
+  /// histograms and rolling views. Names are mangled "a/b_us" ->
+  /// "ts3_a_b_us"; rolling views are exported as gauges under
+  /// "<name>_window_*". Defined in common/obs/export.cc.
+  std::string ToPrometheus() const;
 
   /// Drops every metric. Only for tests; pointers handed out earlier dangle.
   void ResetForTest();
@@ -122,6 +188,8 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
   std::map<std::string, std::unique_ptr<Series>> series_;
+  std::map<std::string, std::unique_ptr<RollingCounter>> rolling_counters_;
+  std::map<std::string, std::unique_ptr<RollingHistogram>> rolling_histograms_;
 };
 
 }  // namespace obs

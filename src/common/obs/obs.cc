@@ -29,7 +29,15 @@ ObsOptions InitFromFlags(const FlagParser& flags) {
   ObsOptions options;
   options.trace_path = flags.GetString("ts3_trace", "");
   options.metrics_json_path = flags.GetString("ts3_metrics_json", "");
+  options.stats_out_path = flags.GetString("ts3_stats_out", "");
+  options.prom_out_path = flags.GetString("ts3_prom_out", "");
+  options.stats_period_ms = flags.GetInt("ts3_stats_period_ms", 0);
   options.profile = flags.GetBool("ts3_profile", false);
+  if (options.stats_period_ms < 0) {
+    TS3_LOG(Warning) << "--ts3_stats_period_ms must be >= 0; disabling "
+                        "periodic stats";
+    options.stats_period_ms = 0;
+  }
 
   if (flags.Has("ts3_log_level")) {
     const std::string text = flags.GetString("ts3_log_level", "");

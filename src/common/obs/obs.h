@@ -1,10 +1,12 @@
 #ifndef TS3NET_COMMON_OBS_OBS_H_
 #define TS3NET_COMMON_OBS_OBS_H_
 
+#include <memory>
 #include <string>
 
 #include "common/flags.h"
 #include "common/logging.h"
+#include "common/obs/export.h"
 #include "common/obs/metrics.h"
 #include "common/obs/trace.h"
 
@@ -16,12 +18,21 @@ namespace obs {
 ///   --ts3_trace=out.json      record spans, write a Chrome trace on exit
 ///   --ts3_profile             print the aggregated span table on exit
 ///   --ts3_metrics_json=out.json  dump the metrics registry as JSON on exit
+///   --ts3_stats_out=stats.json  live stats snapshot file, rewritten every
+///                               --ts3_stats_period_ms (0 = only on exit)
+///   --ts3_prom_out=metrics.prom  same cadence, Prometheus text exposition
 struct ObsOptions {
   std::string trace_path;
   std::string metrics_json_path;
+  std::string stats_out_path;
+  std::string prom_out_path;
+  int64_t stats_period_ms = 0;
   bool profile = false;
 
   bool tracing_requested() const { return !trace_path.empty() || profile; }
+  bool stats_requested() const {
+    return !stats_out_path.empty() || !prom_out_path.empty();
+  }
 };
 
 /// Parses "debug|info|warn|warning|error" (case-insensitive). Returns false
@@ -38,19 +49,32 @@ ObsOptions InitFromFlags(const FlagParser& flags);
 void Finalize(const ObsOptions& options);
 
 /// RAII wrapper for harness main()s: InitFromFlags at construction,
-/// Finalize at scope exit.
+/// Finalize at scope exit. Owns the StatsReporter when --ts3_stats_out /
+/// --ts3_prom_out ask for live snapshots; the reporter is destroyed (and
+/// writes its final snapshot) before Finalize runs the exit exports.
 class ObsScope {
  public:
-  explicit ObsScope(const FlagParser& flags) : options_(InitFromFlags(flags)) {}
-  ~ObsScope() { Finalize(options_); }
+  explicit ObsScope(const FlagParser& flags) : options_(InitFromFlags(flags)) {
+    if (options_.stats_requested()) {
+      reporter_ = std::make_unique<StatsReporter>(options_.stats_period_ms,
+                                                  options_.stats_out_path,
+                                                  options_.prom_out_path);
+    }
+  }
+  ~ObsScope() {
+    reporter_.reset();
+    Finalize(options_);
+  }
 
   ObsScope(const ObsScope&) = delete;
   ObsScope& operator=(const ObsScope&) = delete;
 
   const ObsOptions& options() const { return options_; }
+  StatsReporter* reporter() { return reporter_.get(); }
 
  private:
   ObsOptions options_;
+  std::unique_ptr<StatsReporter> reporter_;
 };
 
 }  // namespace obs

@@ -1,0 +1,225 @@
+#include "common/obs/rolling.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "common/check.h"
+#include "common/obs/trace.h"
+
+namespace ts3net {
+namespace obs {
+
+namespace {
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double BitsDouble(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void AtomicAddDouble(std::atomic<uint64_t>* bits, double v) {
+  uint64_t old_bits = bits->load(std::memory_order_relaxed);
+  for (;;) {
+    const uint64_t new_bits = DoubleBits(BitsDouble(old_bits) + v);
+    if (bits->compare_exchange_weak(old_bits, new_bits,
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void AtomicMinDouble(std::atomic<uint64_t>* bits, double v) {
+  uint64_t old_bits = bits->load(std::memory_order_relaxed);
+  while (v < BitsDouble(old_bits)) {
+    if (bits->compare_exchange_weak(old_bits, DoubleBits(v),
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void AtomicMaxDouble(std::atomic<uint64_t>* bits, double v) {
+  uint64_t old_bits = bits->load(std::memory_order_relaxed);
+  while (v > BitsDouble(old_bits)) {
+    if (bits->compare_exchange_weak(old_bits, DoubleBits(v),
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+class RealTickClock : public TickClock {
+ public:
+  int64_t NowNs() override { return NowNanos(); }
+};
+
+void ValidateOptions(const RollingOptions& options) {
+  TS3_CHECK(options.num_buckets >= 2)
+      << "rolling window needs at least 2 buckets, got "
+      << options.num_buckets;
+  TS3_CHECK(options.bucket_width_ns > 0)
+      << "rolling bucket width must be positive";
+}
+
+}  // namespace
+
+TickClock* RealClock() {
+  static RealTickClock* clock = new RealTickClock();  // leaked
+  return clock;
+}
+
+RollingCounter::RollingCounter(const RollingOptions& options)
+    : options_(options) {
+  ValidateOptions(options_);
+  if (options_.clock == nullptr) options_.clock = RealClock();
+  buckets_ = std::make_unique<Bucket[]>(options_.num_buckets);
+}
+
+RollingCounter::Bucket* RollingCounter::BucketForNow() {
+  const int64_t epoch = options_.clock->NowNs() / options_.bucket_width_ns;
+  Bucket* b = &buckets_[epoch % options_.num_buckets];
+  if (b->epoch.load(std::memory_order_acquire) == epoch) return b;
+  // The ring slot still carries an expired epoch: rotate it. Double-checked
+  // under a mutex so concurrent writers landing in a fresh epoch reset the
+  // slot exactly once; steady-state increments never take the lock.
+  std::lock_guard<std::mutex> lock(rotate_mu_);
+  if (b->epoch.load(std::memory_order_relaxed) != epoch) {
+    b->count.store(0, std::memory_order_relaxed);
+    b->epoch.store(epoch, std::memory_order_release);
+  }
+  return b;
+}
+
+void RollingCounter::Increment(int64_t delta) {
+  BucketForNow()->count.fetch_add(delta, std::memory_order_relaxed);
+}
+
+int64_t RollingCounter::WindowTotal() const {
+  const int64_t now_epoch =
+      options_.clock->NowNs() / options_.bucket_width_ns;
+  // Clamped to 0 so the -1 never-written sentinel is excluded even while
+  // now_epoch < num_buckets (early process life).
+  const int64_t oldest =
+      std::max<int64_t>(now_epoch - options_.num_buckets + 1, 0);
+  int64_t total = 0;
+  for (int i = 0; i < options_.num_buckets; ++i) {
+    const Bucket& b = buckets_[i];
+    const int64_t epoch = b.epoch.load(std::memory_order_acquire);
+    if (epoch < oldest || epoch > now_epoch) continue;
+    total += b.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double RollingCounter::WindowRatePerSec() const {
+  const int64_t now_ns = options_.clock->NowNs();
+  const int64_t now_epoch = now_ns / options_.bucket_width_ns;
+  const int64_t oldest =
+      std::max<int64_t>(now_epoch - options_.num_buckets + 1, 0);
+  int64_t total = 0;
+  int64_t min_live_epoch = std::numeric_limits<int64_t>::max();
+  for (int i = 0; i < options_.num_buckets; ++i) {
+    const Bucket& b = buckets_[i];
+    const int64_t epoch = b.epoch.load(std::memory_order_acquire);
+    if (epoch < oldest || epoch > now_epoch) continue;
+    total += b.count.load(std::memory_order_relaxed);
+    min_live_epoch = std::min(min_live_epoch, epoch);
+  }
+  if (min_live_epoch == std::numeric_limits<int64_t>::max()) return 0.0;
+  // Rate over the actually covered span (start of oldest live bucket to
+  // now), clamped to the window length. Avoids diluting the rate with empty
+  // history right after startup.
+  const int64_t covered_ns =
+      std::clamp(now_ns - min_live_epoch * options_.bucket_width_ns,
+                 int64_t{1}, window_ns());
+  return static_cast<double>(total) * 1e9 / static_cast<double>(covered_ns);
+}
+
+RollingHistogram::RollingHistogram(std::vector<double> bounds,
+                                   const RollingOptions& options)
+    : bounds_(std::move(bounds)), options_(options) {
+  ValidateOptions(options_);
+  if (options_.clock == nullptr) options_.clock = RealClock();
+  if (bounds_.empty()) bounds_ = Histogram::DefaultTimeBoundsUs();
+  TS3_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must be sorted ascending";
+  buckets_ = std::make_unique<Bucket[]>(options_.num_buckets);
+  for (int i = 0; i < options_.num_buckets; ++i) {
+    buckets_[i].counts =
+        std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
+    ResetBucketLocked(&buckets_[i], -1);
+  }
+}
+
+void RollingHistogram::ResetBucketLocked(Bucket* b, int64_t epoch) {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    b->counts[i].store(0, std::memory_order_relaxed);
+  }
+  b->count.store(0, std::memory_order_relaxed);
+  b->sum_bits.store(DoubleBits(0.0), std::memory_order_relaxed);
+  b->min_bits.store(DoubleBits(std::numeric_limits<double>::infinity()),
+                    std::memory_order_relaxed);
+  b->max_bits.store(DoubleBits(-std::numeric_limits<double>::infinity()),
+                    std::memory_order_relaxed);
+  b->epoch.store(epoch, std::memory_order_release);
+}
+
+RollingHistogram::Bucket* RollingHistogram::BucketForNow() {
+  const int64_t epoch = options_.clock->NowNs() / options_.bucket_width_ns;
+  Bucket* b = &buckets_[epoch % options_.num_buckets];
+  if (b->epoch.load(std::memory_order_acquire) == epoch) return b;
+  std::lock_guard<std::mutex> lock(rotate_mu_);
+  if (b->epoch.load(std::memory_order_relaxed) != epoch) {
+    ResetBucketLocked(b, epoch);
+  }
+  return b;
+}
+
+void RollingHistogram::Observe(double v) {
+  Bucket* b = BucketForNow();
+  const size_t idx =
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  b->counts[idx].fetch_add(1, std::memory_order_relaxed);
+  b->count.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&b->sum_bits, v);
+  AtomicMinDouble(&b->min_bits, v);
+  AtomicMaxDouble(&b->max_bits, v);
+}
+
+HistogramSnapshot RollingHistogram::WindowSnapshot() const {
+  const int64_t now_epoch =
+      options_.clock->NowNs() / options_.bucket_width_ns;
+  const int64_t oldest =
+      std::max<int64_t>(now_epoch - options_.num_buckets + 1, 0);
+
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.buckets.assign(bounds_.size() + 1, 0);
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  for (int i = 0; i < options_.num_buckets; ++i) {
+    const Bucket& b = buckets_[i];
+    const int64_t epoch = b.epoch.load(std::memory_order_acquire);
+    if (epoch < oldest || epoch > now_epoch) continue;
+    for (size_t j = 0; j <= bounds_.size(); ++j) {
+      snap.buckets[j] += b.counts[j].load(std::memory_order_relaxed);
+    }
+    snap.sum += BitsDouble(b.sum_bits.load(std::memory_order_relaxed));
+    min = std::min(min, BitsDouble(b.min_bits.load(std::memory_order_relaxed)));
+    max = std::max(max, BitsDouble(b.max_bits.load(std::memory_order_relaxed)));
+  }
+  for (int64_t c : snap.buckets) snap.count += c;
+  snap.min = min;
+  snap.max = max;
+  return snap;
+}
+
+}  // namespace obs
+}  // namespace ts3net

@@ -1,0 +1,124 @@
+#ifndef TS3NET_COMMON_OBS_ROLLING_H_
+#define TS3NET_COMMON_OBS_ROLLING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/obs/metrics.h"
+
+namespace ts3net {
+namespace obs {
+
+/// Monotonic nanosecond source for the rolling-window metrics. Production
+/// code uses RealClock() (NowNanos under the hood); tests inject a fake so
+/// bucket rotation and expiry are exactly reproducible.
+class TickClock {
+ public:
+  virtual ~TickClock() = default;
+  virtual int64_t NowNs() = 0;
+};
+
+/// Process lifetime steady clock (obs::NowNanos). Never deleted.
+TickClock* RealClock();
+
+/// Geometry of a rolling window: `num_buckets` ring slots of
+/// `bucket_width_ns` each. The window always includes the current (partial)
+/// bucket, so it covers between (num_buckets-1) and num_buckets bucket
+/// widths of history. Default: 10 x 1s = the last ~10 seconds.
+struct RollingOptions {
+  int num_buckets = 10;
+  int64_t bucket_width_ns = 1000000000;  // 1s
+  TickClock* clock = nullptr;            // null => RealClock()
+};
+
+/// Event counter over a sliding window. Increments are lock-free atomic
+/// adds into the ring bucket owned by the current clock epoch; a bucket
+/// whose epoch has passed out of the window is zeroed (under a rarely-taken
+/// rotation mutex) the first time it is touched again. Readers merge the
+/// live buckets without blocking writers; a read that races a rotation can
+/// miss or double-count at most one bucket's worth of events — acceptable
+/// for telemetry, and exact whenever the injected clock is stepped
+/// deterministically (tests) or the reader is the only thread (exports).
+class RollingCounter {
+ public:
+  explicit RollingCounter(const RollingOptions& options = {});
+
+  void Increment(int64_t delta = 1);
+
+  /// Sum of the live buckets (the last ~window).
+  int64_t WindowTotal() const;
+
+  /// WindowTotal per second of covered window. The covered span is the time
+  /// from the start of the oldest live bucket to now, clamped to the window
+  /// length, so early-life rates are not diluted by empty history. 0.0 when
+  /// no bucket is live.
+  double WindowRatePerSec() const;
+
+  int64_t window_ns() const {
+    return options_.bucket_width_ns * options_.num_buckets;
+  }
+  const RollingOptions& options() const { return options_; }
+
+ private:
+  struct Bucket {
+    std::atomic<int64_t> epoch{-1};
+    std::atomic<int64_t> count{0};
+  };
+
+  Bucket* BucketForNow();
+
+  RollingOptions options_;
+  std::unique_ptr<Bucket[]> buckets_;
+  mutable std::mutex rotate_mu_;
+};
+
+/// Fixed-bucket histogram over a sliding window: a ring of per-epoch
+/// histograms sharing one `bounds` vector. Observe lands in the current
+/// ring bucket with the same atomic discipline as RollingCounter;
+/// WindowSnapshot() merges the live buckets into one HistogramSnapshot, so
+/// p50/p95/p99 describe the last ~window rather than the process lifetime.
+class RollingHistogram {
+ public:
+  /// Empty `bounds` falls back to Histogram::DefaultTimeBoundsUs().
+  explicit RollingHistogram(std::vector<double> bounds = {},
+                            const RollingOptions& options = {});
+
+  void Observe(double v);
+
+  /// Coherent merged view of the live buckets (count, sum, min, max,
+  /// per-bucket counts, percentiles). Empty window reports count 0 and NaN
+  /// statistics, matching the cumulative Histogram conventions.
+  HistogramSnapshot WindowSnapshot() const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  int64_t window_ns() const {
+    return options_.bucket_width_ns * options_.num_buckets;
+  }
+  const RollingOptions& options() const { return options_; }
+
+ private:
+  struct Bucket {
+    std::atomic<int64_t> epoch{-1};
+    std::unique_ptr<std::atomic<int64_t>[]> counts;  // bounds.size() + 1
+    std::atomic<int64_t> count{0};
+    std::atomic<uint64_t> sum_bits{0};
+    std::atomic<uint64_t> min_bits{0};
+    std::atomic<uint64_t> max_bits{0};
+  };
+
+  Bucket* BucketForNow();
+  void ResetBucketLocked(Bucket* b, int64_t epoch);
+
+  std::vector<double> bounds_;
+  RollingOptions options_;
+  std::unique_ptr<Bucket[]> buckets_;
+  mutable std::mutex rotate_mu_;
+};
+
+}  // namespace obs
+}  // namespace ts3net
+
+#endif  // TS3NET_COMMON_OBS_ROLLING_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 
 #include "common/check.h"
@@ -253,6 +254,36 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
 
 bool ParallelWouldFanOut(int64_t n, int64_t grain) {
   return n > grain && ThreadPool::GlobalNumThreads() > 1;
+}
+
+PeriodicThread::PeriodicThread(int64_t period_ms, std::function<void()> tick) {
+  thread_ = std::thread([this, period_ms, tick = std::move(tick)] {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (cv_.wait_for(lock, std::chrono::milliseconds(period_ms),
+                       [this] { return stop_; })) {
+        return;
+      }
+      // Tick outside the lock so Stop() is never blocked behind a slow tick
+      // body (it only needs the lock to flip stop_ and notify).
+      lock.unlock();
+      tick();
+      lock.lock();
+      if (stop_) return;
+    }
+  });
+}
+
+PeriodicThread::~PeriodicThread() { Stop(); }
+
+void PeriodicThread::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ && !thread_.joinable()) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
 }
 
 }  // namespace ts3net

@@ -80,6 +80,34 @@ class ThreadPool {
 void ParallelFor(int64_t begin, int64_t end, int64_t grain,
                  const std::function<void(int64_t, int64_t)>& fn);
 
+/// A single background thread that invokes `tick` every `period_ms`
+/// milliseconds until stopped. Owned here so the rest of the tree keeps the
+/// "no raw std::thread outside common/threadpool" invariant (ts3lint TL001);
+/// the stats reporter (common/obs/export.h) is the canonical user.
+///
+/// The destructor stops and joins; `Stop` is idempotent and may be called
+/// early to drain the thread before dependencies go away. The first tick
+/// fires one period after construction, and a pending sleep is interrupted
+/// by Stop, so teardown never waits out the period. Ticks run strictly
+/// serially on the one thread; a tick slower than the period delays the
+/// next tick rather than stacking.
+class PeriodicThread {
+ public:
+  PeriodicThread(int64_t period_ms, std::function<void()> tick);
+  ~PeriodicThread();
+
+  PeriodicThread(const PeriodicThread&) = delete;
+  PeriodicThread& operator=(const PeriodicThread&) = delete;
+
+  void Stop();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
 /// True when ParallelFor will actually fan out: the global pool has more than
 /// one thread and the range is big enough to split. Kernels use this to skip
 /// building per-chunk scratch state on the serial path.

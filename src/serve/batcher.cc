@@ -21,6 +21,7 @@ MicroBatcher::MicroBatcher(std::shared_ptr<const ModelSnapshot> snapshot,
   auto* registry = obs::MetricsRegistry::Global();
   requests_ = registry->counter("serve/requests");
   batches_ = registry->counter("serve/batches");
+  compiled_predicts_ = registry->counter("serve/compiled_predicts");
   queue_depth_ = registry->gauge("serve/queue_depth");
   batch_size_hist_ = registry->histogram("serve/batch_size",
                                          {1, 2, 4, 8, 16, 32, 64, 128});
@@ -28,36 +29,61 @@ MicroBatcher::MicroBatcher(std::shared_ptr<const ModelSnapshot> snapshot,
       "serve/request_latency_us", obs::Histogram::DefaultTimeBoundsUs());
   batch_exec_us_ = registry->histogram("serve/batch_exec_us",
                                        obs::Histogram::DefaultTimeBoundsUs());
+  // Rolling twins of the same metrics: last-window rates and percentiles
+  // for the live dashboard / exporters (ts3lint TL011 enforces the pairing).
+  requests_window_ = registry->rolling_counter("serve/requests");
+  batch_size_window_ = registry->rolling_histogram(
+      "serve/batch_size", {1, 2, 4, 8, 16, 32, 64, 128});
+  request_latency_us_window_ = registry->rolling_histogram(
+      "serve/request_latency_us", obs::Histogram::DefaultTimeBoundsUs());
+  batch_exec_us_window_ = registry->rolling_histogram(
+      "serve/batch_exec_us", obs::Histogram::DefaultTimeBoundsUs());
+  flight_recorder_ = FlightRecorder::Global();
 }
 
 MicroBatcher::~MicroBatcher() { Shutdown(); }
 
 Result<std::future<Tensor>> MicroBatcher::Submit(const Tensor& window) {
   TS3_TRACE_SPAN("serve/submit");
+  const int64_t request_id = flight_recorder_->MintId();
+  const int64_t arrival_ns = obs::NowNanos();
+  // Rejected requests still leave a flight record so an incident dump shows
+  // the errors interleaved with the traffic that surrounded them.
+  const auto reject = [&](Status status) -> Result<std::future<Tensor>> {
+    RequestRecord record;
+    record.request_id = request_id;
+    record.arrival_ns = arrival_ns;
+    record.latency_us = (obs::NowNanos() - arrival_ns) / 1000;
+    record.outcome = RequestOutcome::kError;
+    flight_recorder_->Record(record);
+    return status;
+  };
   if (!window.defined() || window.ndim() != 2) {
-    return Status::InvalidArgument(
-        "MicroBatcher::Submit expects a [T, C] window");
+    return reject(Status::InvalidArgument(
+        "MicroBatcher::Submit expects a [T, C] window"));
   }
   std::unique_lock<std::mutex> lock(mu_);
   if (shutdown_) {
-    return Status::Internal("MicroBatcher is shut down");
+    return reject(Status::Internal("MicroBatcher is shut down"));
   }
   if (window_shape_.empty()) {
     window_shape_ = window.shape();
   } else if (window.shape() != window_shape_) {
-    return Status::InvalidArgument(
+    return reject(Status::InvalidArgument(
         "MicroBatcher::Submit: window shape " + ShapeToString(window.shape()) +
-        " does not match the batcher's " + ShapeToString(window_shape_));
+        " does not match the batcher's " + ShapeToString(window_shape_)));
   }
   Pending pending;
   pending.x = window;
   pending.ticket = std::make_shared<Ticket>();
-  pending.enqueue_ns = obs::NowNanos();
+  pending.enqueue_ns = arrival_ns;
+  pending.request_id = request_id;
   std::shared_ptr<Ticket> ticket = pending.ticket;
   std::future<Tensor> future = ticket->promise.get_future();
   queue_.push_back(std::move(pending));
   ++inflight_;
   requests_->Increment();
+  requests_window_->Increment();
   queue_depth_->Set(static_cast<double>(queue_.size()));
   if (static_cast<int64_t>(queue_.size()) >= options_.max_batch) {
     cv_.notify_all();  // a forming leader stops waiting once the batch fills
@@ -194,7 +220,12 @@ void MicroBatcher::ExecuteBatch(std::vector<Pending>* batch) {
                 static_cast<size_t>(window_elems) * sizeof(float));
   }
   Tensor x = Tensor::FromData(std::move(stacked), {b, ws[0], ws[1]});
+  // compiled-vs-fallback for the flight records: ExecuteBatch runs at most
+  // once at a time per batcher, so a bump of the compiled counter across
+  // this Predict means the batch rode the compiled path.
+  const int64_t compiled_before = compiled_predicts_->value();
   Tensor y = snapshot_->Predict(x);
+  const bool compiled = compiled_predicts_->value() > compiled_before;
   TS3_CHECK_EQ(y.ndim(), 3) << "snapshot produced " << ShapeToString(y.shape());
   TS3_CHECK_EQ(y.dim(0), b);
   const int64_t out_elems = y.numel() / b;
@@ -203,12 +234,26 @@ void MicroBatcher::ExecuteBatch(std::vector<Pending>* batch) {
 
   batches_->Increment();
   batch_size_hist_->Observe(static_cast<double>(b));
+  batch_size_window_->Observe(static_cast<double>(b));
   const int64_t done_ns = obs::NowNanos();
-  batch_exec_us_->Observe(static_cast<double>(done_ns - exec_start_ns) / 1e3);
+  const int64_t exec_us = (done_ns - exec_start_ns) / 1000;
+  batch_exec_us_->Observe(static_cast<double>(exec_us));
+  batch_exec_us_window_->Observe(static_cast<double>(exec_us));
   for (int64_t i = 0; i < b; ++i) {
     std::vector<float> row(py + i * out_elems, py + (i + 1) * out_elems);
-    request_latency_us_->Observe(
-        static_cast<double>(done_ns - (*batch)[i].enqueue_ns) / 1e3);
+    const int64_t latency_us = (done_ns - (*batch)[i].enqueue_ns) / 1000;
+    request_latency_us_->Observe(static_cast<double>(latency_us));
+    request_latency_us_window_->Observe(static_cast<double>(latency_us));
+    RequestRecord record;
+    record.request_id = (*batch)[i].request_id;
+    record.arrival_ns = (*batch)[i].enqueue_ns;
+    record.queue_wait_us = (exec_start_ns - (*batch)[i].enqueue_ns) / 1000;
+    record.exec_us = exec_us;
+    record.latency_us = latency_us;
+    record.batch_size = static_cast<int32_t>(b);
+    record.compiled = compiled;
+    record.outcome = RequestOutcome::kOk;
+    flight_recorder_->Record(record);
     (*batch)[i].ticket->promise.set_value(
         Tensor::FromData(std::move(row), out_shape));
   }

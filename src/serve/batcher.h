@@ -10,7 +10,9 @@
 #include <vector>
 
 #include "common/obs/metrics.h"
+#include "common/obs/rolling.h"
 #include "common/status.h"
+#include "serve/flight_recorder.h"
 #include "serve/snapshot.h"
 #include "tensor/tensor.h"
 
@@ -55,8 +57,12 @@ struct MicroBatcherOptions {
 ///
 /// Observability: `serve/requests`, `serve/batches` counters, the
 /// `serve/queue_depth` gauge, and `serve/{batch_size,request_latency_us,
-/// batch_exec_us}` histograms in the global metrics registry, plus
-/// `serve/{submit,batch}` trace spans.
+/// batch_exec_us}` histograms in the global metrics registry — each
+/// histogram paired with a rolling view of the same name (last ~10s
+/// percentiles) and `serve/requests` with a rolling counter — plus
+/// `serve/{submit,batch}` trace spans. Every request also gets an id from
+/// FlightRecorder::Global()->MintId() and leaves a RequestRecord behind
+/// (queue wait, batch size, compiled-vs-fallback, outcome).
 class MicroBatcher {
  public:
   MicroBatcher(std::shared_ptr<const ModelSnapshot> snapshot,
@@ -99,6 +105,7 @@ class MicroBatcher {
     Tensor x;
     std::shared_ptr<Ticket> ticket;
     int64_t enqueue_ns = 0;
+    int64_t request_id = 0;
   };
 
   /// Leader loop: called with `lock` held and `leader_active_` set; executes
@@ -119,10 +126,16 @@ class MicroBatcher {
 
   obs::Counter* requests_;
   obs::Counter* batches_;
+  obs::Counter* compiled_predicts_;
   obs::Gauge* queue_depth_;
   obs::Histogram* batch_size_hist_;
   obs::Histogram* request_latency_us_;
   obs::Histogram* batch_exec_us_;
+  obs::RollingCounter* requests_window_;
+  obs::RollingHistogram* batch_size_window_;
+  obs::RollingHistogram* request_latency_us_window_;
+  obs::RollingHistogram* batch_exec_us_window_;
+  FlightRecorder* flight_recorder_;
 
   mutable std::mutex mu_;
   // Wakes a forming leader (queue full / shutdown) and parked followers

@@ -152,6 +152,7 @@ Result<std::unique_ptr<CompiledGraph>> CompiledGraph::Compile(
   // fused results are bitwise identical to the two-pass dynamic path.
   struct Planned {
     replay::Kernel kernel;
+    std::string name;
     std::vector<int> in_slots;
     int out_slot = -1;
     std::vector<std::pair<replay::ScalarOpKind, float>> scalar_ops;
@@ -161,6 +162,7 @@ Result<std::unique_ptr<CompiledGraph>> CompiledGraph::Compile(
     if (node.name == "Reshape") continue;  // aliased away
     Planned p;
     p.kernel = node.kernel;
+    p.name = node.name;
     for (const std::shared_ptr<TensorImpl>& in : node.inputs) {
       p.in_slots.push_back(find(slot_of.at(in.get())));
     }
@@ -191,6 +193,7 @@ Result<std::unique_ptr<CompiledGraph>> CompiledGraph::Compile(
   }
   for (Planned& p : steps) {
     if (p.scalar_ops.size() < 2) continue;  // single ops keep their kernel
+    p.name = "ScalarChain";
     const int64_t n = slots[static_cast<size_t>(p.out_slot)].numel;
     auto ops = p.scalar_ops;
     p.kernel = [n, ops](const float* const* ins, float* out) {
@@ -314,11 +317,14 @@ Result<std::unique_ptr<CompiledGraph>> CompiledGraph::Compile(
   for (Planned& p : steps) {
     Step step;
     step.kernel = std::move(p.kernel);
+    step.op = std::move(p.name);
     for (int s : p.in_slots) step.ins.push_back(slot_ptr(s));
     step.out = slot_ptr(p.out_slot);
     graph->steps_.push_back(std::move(step));
   }
   graph->output_ptr_ = slot_ptr(out_slot);
+  graph->step_ns_.assign(graph->steps_.size(), 0);
+  graph->step_calls_.assign(graph->steps_.size(), 0);
 
   // --- Bitwise validation ---------------------------------------------------
   // First replay the traced input and require the exact bytes the dynamic
@@ -363,7 +369,20 @@ Tensor CompiledGraph::Run(const Tensor& x) {
       << ShapeToString(input_shape_);
   std::memcpy(input_stage_.data(), x.data(),
               input_stage_.size() * sizeof(float));
-  for (Step& s : steps_) s.kernel(s.ins.data(), s.out);
+  if (StepProfilerEnabled()) {
+    // Profiled replay: a clock pair around every kernel, accumulated into
+    // the preallocated per-step slots. The disabled path above pays only
+    // the relaxed load and branch.
+    for (size_t i = 0; i < steps_.size(); ++i) {
+      Step& s = steps_[i];
+      const int64_t start_ns = obs::NowNanos();
+      s.kernel(s.ins.data(), s.out);
+      step_ns_[i] += obs::NowNanos() - start_ns;
+      ++step_calls_[i];
+    }
+  } else {
+    for (Step& s : steps_) s.kernel(s.ins.data(), s.out);
+  }
   // One-deep output pool. Recycling is only safe once the previous
   // caller's last reference died AND its reads are visible: the handle's
   // deleter re-arms the flag with a release store, which this acquire CAS
@@ -390,6 +409,20 @@ Tensor CompiledGraph::Run(const Tensor& x) {
         storage.reset();
       });
   return Tensor::FromImpl(std::move(handle));
+}
+
+std::vector<OpKindProfile> CompiledGraph::ProfileByOpKind() const {
+  std::vector<OpKindProfile> raw;
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    if (step_calls_[i] == 0) continue;
+    OpKindProfile p;
+    p.kind = steps_[i].op;
+    p.steps = 1;
+    p.calls = step_calls_[i];
+    p.total_ns = step_ns_[i];
+    raw.push_back(std::move(p));
+  }
+  return MergeOpKindProfiles(raw);
 }
 
 }  // namespace serve

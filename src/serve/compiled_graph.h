@@ -4,10 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "nn/module.h"
+#include "serve/step_profiler.h"
 #include "tensor/replay.h"
 #include "tensor/tensor.h"
 
@@ -70,12 +72,22 @@ class CompiledGraph {
   const Shape& output_shape() const { return output_shape_; }
   const Stats& stats() const { return stats_; }
 
+  /// Per-op-kind aggregation of the step timings accumulated while the step
+  /// profiler was enabled (see serve/step_profiler.h), sorted by descending
+  /// total time. Empty when no profiled Run has happened. Allocates only
+  /// when called — never on the Run path. Callers serialize with Run (the
+  /// accumulators are plain counters, written under ModelSnapshot's mutex).
+  std::vector<OpKindProfile> ProfileByOpKind() const;
+
  private:
-  /// One replay step with its buffers resolved to raw pointers.
+  /// One replay step with its buffers resolved to raw pointers. `op` is the
+  /// traced op name ("MatMul", ...; "ScalarChain" for fused scalar runs),
+  /// used only by the step profiler.
   struct Step {
     replay::Kernel kernel;
     std::vector<const float*> ins;
     float* out = nullptr;
+    std::string op;
   };
 
   CompiledGraph() = default;
@@ -91,6 +103,12 @@ class CompiledGraph {
   std::vector<float> arena_;        ///< all planned intermediates
   std::vector<Step> steps_;
   const float* output_ptr_ = nullptr;  ///< where the final values land
+
+  /// Step-profiler accumulators, preallocated at compile time (one slot per
+  /// step) so the profiled Run path never allocates. Plain int64s: Run is
+  /// externally serialized, and ProfileByOpKind shares that serialization.
+  std::vector<int64_t> step_ns_;
+  std::vector<int64_t> step_calls_;
 
   /// One-deep output pool. The pooled buffer is handed to callers under a
   /// custom deleter that re-arms `pool_free_` with release semantics when

@@ -1,0 +1,198 @@
+#include "serve/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/obs/json.h"
+#include "common/obs/metrics.h"
+
+namespace ts3net {
+namespace serve {
+
+namespace {
+
+std::mutex g_global_mu;
+FlightRecorder* g_global = nullptr;  // leaked; stable across Configure races
+// Replaced recorders are parked here instead of freed: batchers may still
+// hold the old pointer. Keeping them reachable also keeps LeakSanitizer
+// quiet about the intentional leak.
+std::vector<FlightRecorder*>* g_retired = nullptr;
+
+}  // namespace
+
+const char* RequestOutcomeName(RequestOutcome outcome) {
+  switch (outcome) {
+    case RequestOutcome::kOk:
+      return "ok";
+    case RequestOutcome::kError:
+      return "error";
+    case RequestOutcome::kShed:
+      return "shed";
+  }
+  return "?";
+}
+
+FlightRecorder::FlightRecorder(const FlightRecorderOptions& options)
+    : options_(options) {
+  TS3_CHECK_GE(options_.capacity, 1);
+  slots_ = std::make_unique<Slot[]>(options_.capacity);
+  if (options_.slo_latency_us > 0) {
+    breaches_in_window_ =
+        std::make_unique<obs::RollingCounter>(options_.window);
+  }
+}
+
+FlightRecorder* FlightRecorder::Global() {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  if (g_global == nullptr) g_global = new FlightRecorder();
+  return g_global;
+}
+
+void FlightRecorder::Configure(const FlightRecorderOptions& options) {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  // The old recorder is never freed, only retired: batchers may have cached
+  // the pointer, and a ~20KB ring per reconfiguration (a startup-time event)
+  // is cheaper than reference counting on the record path.
+  if (g_global != nullptr) {
+    if (g_retired == nullptr) g_retired = new std::vector<FlightRecorder*>();
+    g_retired->push_back(g_global);
+  }
+  g_global = new FlightRecorder(options);
+}
+
+void FlightRecorder::Record(const RequestRecord& record) {
+  const int64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket % options_.capacity];
+  // Claim: odd seq derived from the ticket, so it is unique per write. Two
+  // writers lapping each other on the same slot (a full ring lap during one
+  // Record) publish different even values, which the reader's before/after
+  // comparison rejects.
+  const uint64_t claim = static_cast<uint64_t>(ticket) * 2 + 1;
+  slot.seq.store(claim, std::memory_order_release);
+  slot.request_id.store(record.request_id, std::memory_order_relaxed);
+  slot.arrival_ns.store(record.arrival_ns, std::memory_order_relaxed);
+  slot.queue_wait_us.store(record.queue_wait_us, std::memory_order_relaxed);
+  slot.exec_us.store(record.exec_us, std::memory_order_relaxed);
+  slot.latency_us.store(record.latency_us, std::memory_order_relaxed);
+  slot.batch_size.store(record.batch_size, std::memory_order_relaxed);
+  slot.compiled.store(record.compiled, std::memory_order_relaxed);
+  slot.outcome.store(static_cast<int32_t>(record.outcome),
+                     std::memory_order_relaxed);
+  // Publish: the matching even value. Readers that saw the odd seq (or a
+  // different even one after copying) discard the slot.
+  slot.seq.store(claim + 1, std::memory_order_release);
+
+  if (options_.slo_latency_us > 0 &&
+      record.latency_us > options_.slo_latency_us) {
+    obs::MetricsRegistry::Global()->counter("serve/slo_breaches")->Increment();
+    breaches_in_window_->Increment();
+    if (!options_.slo_dump_path.empty() &&
+        breaches_in_window_->WindowTotal() >= options_.slo_breach_k) {
+      MaybeDumpOnBreach(breaches_in_window_->options().clock->NowNs());
+    }
+  }
+}
+
+void FlightRecorder::MaybeDumpOnBreach(int64_t now_ns) {
+  // One dump per window: the first thread to advance last_dump_epoch_ past
+  // the cooldown writes the file; concurrent breaches lose the CAS and skip.
+  const int64_t window_ns = breaches_in_window_->window_ns();
+  const int64_t epoch = now_ns / window_ns;
+  int64_t last = last_dump_epoch_.load(std::memory_order_relaxed);
+  if (last == epoch) return;
+  if (!last_dump_epoch_.compare_exchange_strong(last, epoch,
+                                                std::memory_order_relaxed)) {
+    return;
+  }
+  const std::string json = DumpJson();
+  std::FILE* f = std::fopen(options_.slo_dump_path.c_str(), "w");
+  if (f == nullptr) {
+    TS3_LOG(Error) << "flight recorder: cannot open "
+                   << options_.slo_dump_path;
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  obs::MetricsRegistry::Global()->counter("serve/slo_dumps")->Increment();
+  TS3_LOG(Warning) << "SLO breached >= " << options_.slo_breach_k
+                   << " times in the last " << window_ns / 1000000
+                   << "ms; flight recorder dumped to "
+                   << options_.slo_dump_path;
+}
+
+std::vector<RequestRecord> FlightRecorder::Snapshot() const {
+  const int64_t head = head_.load(std::memory_order_acquire);
+  const int64_t n =
+      std::min<int64_t>(head, static_cast<int64_t>(options_.capacity));
+  std::vector<RequestRecord> out;
+  out.reserve(static_cast<size_t>(n));
+  // Oldest retained ticket first. Slots being overwritten right now fail
+  // the seq check and are skipped rather than returned torn.
+  for (int64_t ticket = head - n; ticket < head; ++ticket) {
+    const Slot& slot = slots_[ticket % options_.capacity];
+    const uint64_t seq_before = slot.seq.load(std::memory_order_acquire);
+    if (seq_before & 1) continue;
+    RequestRecord r;
+    r.request_id = slot.request_id.load(std::memory_order_relaxed);
+    r.arrival_ns = slot.arrival_ns.load(std::memory_order_relaxed);
+    r.queue_wait_us = slot.queue_wait_us.load(std::memory_order_relaxed);
+    r.exec_us = slot.exec_us.load(std::memory_order_relaxed);
+    r.latency_us = slot.latency_us.load(std::memory_order_relaxed);
+    r.batch_size = slot.batch_size.load(std::memory_order_relaxed);
+    r.compiled = slot.compiled.load(std::memory_order_relaxed);
+    r.outcome = static_cast<RequestOutcome>(
+        slot.outcome.load(std::memory_order_relaxed));
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != seq_before) continue;
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::string FlightRecorder::DumpJson() const {
+  const std::vector<RequestRecord> records = Snapshot();
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version");
+  w.Int(1);
+  w.Key("kind");
+  w.String("ts3_flight_recorder");
+  w.Key("capacity");
+  w.Int(options_.capacity);
+  w.Key("total_recorded");
+  w.Int(total_recorded());
+  w.Key("slo_latency_us");
+  w.Int(options_.slo_latency_us);
+  w.Key("records");
+  w.BeginArray();
+  for (const RequestRecord& r : records) {
+    w.BeginObject();
+    w.Key("request_id");
+    w.Int(r.request_id);
+    w.Key("arrival_ns");
+    w.Int(r.arrival_ns);
+    w.Key("queue_wait_us");
+    w.Int(r.queue_wait_us);
+    w.Key("exec_us");
+    w.Int(r.exec_us);
+    w.Key("latency_us");
+    w.Int(r.latency_us);
+    w.Key("batch_size");
+    w.Int(r.batch_size);
+    w.Key("compiled");
+    w.Bool(r.compiled);
+    w.Key("outcome");
+    w.String(RequestOutcomeName(r.outcome));
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace serve
+}  // namespace ts3net

@@ -1,0 +1,122 @@
+#ifndef TS3NET_SERVE_FLIGHT_RECORDER_H_
+#define TS3NET_SERVE_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/obs/rolling.h"
+
+namespace ts3net {
+namespace serve {
+
+/// How a request left the serving path.
+enum class RequestOutcome : int32_t {
+  kOk = 0,     ///< executed and fulfilled
+  kError = 1,  ///< rejected (shape mismatch, shutdown)
+  kShed = 2,   ///< reserved for admission control (ROADMAP)
+};
+
+const char* RequestOutcomeName(RequestOutcome outcome);
+
+/// One request's trip through the batcher, as remembered by the recorder.
+struct RequestRecord {
+  int64_t request_id = 0;
+  int64_t arrival_ns = 0;     ///< obs::NowNanos at Submit
+  int64_t queue_wait_us = 0;  ///< enqueue -> batch execution start
+  int64_t exec_us = 0;        ///< batch execution (shared by the batch)
+  int64_t latency_us = 0;     ///< enqueue -> promise fulfilled
+  int32_t batch_size = 0;     ///< size of the batch it rode in
+  bool compiled = false;      ///< served by a CompiledGraph replay
+  RequestOutcome outcome = RequestOutcome::kOk;
+};
+
+struct FlightRecorderOptions {
+  /// Ring capacity: how many most-recent requests are kept. Memory is
+  /// capacity * sizeof(slot) (~80 bytes), allocated once at Configure.
+  int capacity = 256;
+  /// SLO latency threshold in microseconds; 0 disables breach tracking.
+  int64_t slo_latency_us = 0;
+  /// Auto-dump once at least this many breaches land inside the rolling
+  /// window (see `window`).
+  int64_t slo_breach_k = 8;
+  /// Where the automatic SLO-breach dump is written. Empty disables the
+  /// dump (breaches are still counted in serve/slo_breaches).
+  std::string slo_dump_path;
+  /// Window geometry for the breach counter (default: last ~10s).
+  obs::RollingOptions window;
+};
+
+/// Lock-free ring of the last N RequestRecords — the "flight recorder" a
+/// serving incident is debugged from. Writers (batch leaders) claim a slot
+/// with one fetch_add and publish it under a per-slot seqlock; Record never
+/// blocks and never allocates. Readers (Snapshot/DumpJson, called on demand
+/// or on an SLO breach) skip slots they catch mid-write, so a dump taken
+/// under full load is consistent per record, with at most the raciest slots
+/// missing.
+///
+/// When `slo_latency_us` is set, every record over the threshold bumps a
+/// rolling breach counter; the K-th breach within the window triggers one
+/// automatic DumpJson to `slo_dump_path` (rate-limited to once per window,
+/// counted in serve/slo_dumps) — capturing the surrounding traffic while
+/// the regression is still in the ring.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(const FlightRecorderOptions& options = {});
+
+  /// Fresh monotonically increasing request id (minted in Submit).
+  int64_t MintId() { return next_id_.fetch_add(1, std::memory_order_relaxed); }
+
+  void Record(const RequestRecord& record);
+
+  /// The retained records, oldest first. Skips slots mid-write.
+  std::vector<RequestRecord> Snapshot() const;
+
+  /// {"schema_version": 1, "kind": "ts3_flight_recorder", "capacity": N,
+  ///  "total_recorded": M, "records": [...]} — parseable by JsonValidate.
+  std::string DumpJson() const;
+
+  /// Records ever seen (>= capacity once the ring has wrapped).
+  int64_t total_recorded() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+  const FlightRecorderOptions& options() const { return options_; }
+
+  /// Process-wide recorder used by MicroBatcher. Configure replaces it —
+  /// call before serving starts; records already retained are dropped.
+  static FlightRecorder* Global();
+  static void Configure(const FlightRecorderOptions& options);
+
+ private:
+  /// Per-slot seqlock: even seq = stable, odd = write in flight. A reader
+  /// accepts a slot only when it observes the same even seq before and
+  /// after copying the fields (all individually atomic, relaxed).
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    std::atomic<int64_t> request_id{0};
+    std::atomic<int64_t> arrival_ns{0};
+    std::atomic<int64_t> queue_wait_us{0};
+    std::atomic<int64_t> exec_us{0};
+    std::atomic<int64_t> latency_us{0};
+    std::atomic<int32_t> batch_size{0};
+    std::atomic<bool> compiled{false};
+    std::atomic<int32_t> outcome{0};
+  };
+
+  void MaybeDumpOnBreach(int64_t now_ns);
+
+  FlightRecorderOptions options_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<int64_t> next_id_{1};
+  std::atomic<int64_t> head_{0};  ///< total records; head_ % capacity = slot
+  std::unique_ptr<obs::RollingCounter> breaches_in_window_;
+  std::atomic<int64_t> last_dump_epoch_{-1};
+};
+
+}  // namespace serve
+}  // namespace ts3net
+
+#endif  // TS3NET_SERVE_FLIGHT_RECORDER_H_

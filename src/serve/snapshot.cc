@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <utility>
 
+#include <iterator>
+
 #include "common/check.h"
+#include "common/obs/json.h"
 #include "common/obs/metrics.h"
 #include "common/obs/trace.h"
 #include "nn/serialize.h"
@@ -120,6 +123,38 @@ int ModelSnapshot::num_compiled_shapes() const {
 int ModelSnapshot::num_rejected_shapes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<int>(rejected_.size());
+}
+
+std::vector<OpKindProfile> ModelSnapshot::AggregatedStepProfile() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<OpKindProfile> all;
+  for (const auto& [shape, graph] : compiled_) {
+    std::vector<OpKindProfile> profile = graph->ProfileByOpKind();
+    all.insert(all.end(), std::make_move_iterator(profile.begin()),
+               std::make_move_iterator(profile.end()));
+  }
+  return MergeOpKindProfiles(all);
+}
+
+std::string ModelSnapshot::StepProfileJson() const {
+  obs::JsonWriter w;
+  w.BeginArray();
+  for (const OpKindProfile& p : AggregatedStepProfile()) {
+    w.BeginObject();
+    w.Key("kind");
+    w.String(p.kind);
+    w.Key("steps");
+    w.Int(p.steps);
+    w.Key("calls");
+    w.Int(p.calls);
+    w.Key("total_ns");
+    w.Int(p.total_ns);
+    w.Key("share");
+    w.Double(p.share);
+    w.EndObject();
+  }
+  w.EndArray();
+  return w.str();
 }
 
 }  // namespace serve

@@ -87,6 +87,14 @@ class ModelSnapshot {
   /// Number of input shapes that failed compilation (for tests).
   int num_rejected_shapes() const;
 
+  /// Merged per-op-kind step profile across every compiled graph this
+  /// snapshot holds (see serve/step_profiler.h). Empty unless Predicts ran
+  /// with the step profiler enabled. Takes the Predict mutex.
+  std::vector<OpKindProfile> AggregatedStepProfile() const;
+  /// AggregatedStepProfile as a JSON array:
+  /// [{"kind": ..., "steps": N, "calls": N, "total_ns": N, "share": S}].
+  std::string StepProfileJson() const;
+
  private:
   ModelSnapshot(std::shared_ptr<nn::Module> module,
                 const SnapshotOptions& options);

@@ -1,0 +1,67 @@
+#include "serve/step_profiler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <map>
+
+namespace ts3net {
+namespace serve {
+
+namespace {
+std::atomic<bool> g_step_profiler_enabled{false};
+}  // namespace
+
+void SetStepProfilerEnabled(bool enabled) {
+  g_step_profiler_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool StepProfilerEnabled() {
+  return g_step_profiler_enabled.load(std::memory_order_relaxed);
+}
+
+std::vector<OpKindProfile> MergeOpKindProfiles(
+    const std::vector<OpKindProfile>& profiles) {
+  std::map<std::string, OpKindProfile> by_kind;
+  for (const OpKindProfile& p : profiles) {
+    OpKindProfile& merged = by_kind[p.kind];
+    merged.kind = p.kind;
+    merged.steps += p.steps;
+    merged.calls += p.calls;
+    merged.total_ns += p.total_ns;
+  }
+  int64_t grand_total = 0;
+  for (const auto& [kind, p] : by_kind) grand_total += p.total_ns;
+  std::vector<OpKindProfile> out;
+  out.reserve(by_kind.size());
+  for (auto& [kind, p] : by_kind) {
+    p.share = grand_total > 0
+                  ? static_cast<double>(p.total_ns) /
+                        static_cast<double>(grand_total)
+                  : 0.0;
+    out.push_back(std::move(p));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const OpKindProfile& a, const OpKindProfile& b) {
+              return a.total_ns != b.total_ns ? a.total_ns > b.total_ns
+                                              : a.kind < b.kind;
+            });
+  return out;
+}
+
+std::string OpKindProfileTable(const std::vector<OpKindProfile>& profile) {
+  std::string out =
+      "op kind              steps      calls    total_ms   share\n";
+  char line[128];
+  for (const OpKindProfile& p : profile) {
+    std::snprintf(line, sizeof(line), "%-18s %7lld %10lld %11.3f  %5.1f%%\n",
+                  p.kind.c_str(), static_cast<long long>(p.steps),
+                  static_cast<long long>(p.calls),
+                  static_cast<double>(p.total_ns) / 1e6, p.share * 100.0);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace serve
+}  // namespace ts3net

@@ -1,0 +1,44 @@
+#ifndef TS3NET_SERVE_STEP_PROFILER_H_
+#define TS3NET_SERVE_STEP_PROFILER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ts3net {
+namespace serve {
+
+/// Global on/off switch for per-step timing inside CompiledGraph::Run
+/// (--ts3_step_profile in the harnesses). Off by default: the only cost on
+/// the disabled path is one relaxed load and branch per Run. When on, Run
+/// wraps every step kernel in a clock pair and accumulates into plain
+/// per-step counters preallocated at compile time — no allocation, and no
+/// atomics needed because ModelSnapshot serializes Run under its mutex.
+void SetStepProfilerEnabled(bool enabled);
+bool StepProfilerEnabled();
+
+/// Aggregated time attributed to one op kind ("MatMul", "Tanh",
+/// "ScalarChain", ...) across the profiled Runs of one or more compiled
+/// graphs. `share` is total_ns over the profile's grand total — the ranking
+/// that names the next fusion candidate.
+struct OpKindProfile {
+  std::string kind;
+  int64_t steps = 0;     ///< compiled steps with this kind
+  int64_t calls = 0;     ///< kernel invocations summed over Runs
+  int64_t total_ns = 0;  ///< wall time summed over invocations
+  double share = 0.0;    ///< total_ns / sum of all kinds' total_ns
+};
+
+/// Merges profiles by kind (summing steps/calls/total_ns), recomputes the
+/// shares, and sorts by descending total_ns.
+std::vector<OpKindProfile> MergeOpKindProfiles(
+    const std::vector<OpKindProfile>& profiles);
+
+/// Human-readable table of a per-op-kind profile (for --ts3_step_profile
+/// output on stderr).
+std::string OpKindProfileTable(const std::vector<OpKindProfile>& profile);
+
+}  // namespace serve
+}  // namespace ts3net
+
+#endif  // TS3NET_SERVE_STEP_PROFILER_H_

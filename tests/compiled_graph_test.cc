@@ -10,17 +10,20 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/obs/json.h"
 #include "common/obs/metrics.h"
 #include "common/random.h"
 #include "models/registry.h"
 #include "serve/batcher.h"
 #include "serve/compiled_graph.h"
 #include "serve/snapshot.h"
+#include "serve/step_profiler.h"
 #include "tensor/autograd_mode.h"
 #include "tensor/ops.h"
 
@@ -335,6 +338,99 @@ TEST(CompiledGraphTest, RejectsDataDependentForward) {
   auto graph = CompiledGraph::Compile(model.get(), MakeBatch(cfg, 1, 1));
   ASSERT_FALSE(graph.ok());
   EXPECT_EQ(graph.status().code(), StatusCode::kUnimplemented);
+}
+
+// ---------------------------------------------------------------------------
+// Step profiler: per-step timing inside CompiledGraph::Run, aggregated per
+// op kind (serve/step_profiler.h)
+// ---------------------------------------------------------------------------
+
+TEST(StepProfilerTest, MergeSumsByKindAndComputesShares) {
+  std::vector<OpKindProfile> raw;
+  raw.push_back({"MatMul", 1, 10, 600, 0.0});
+  raw.push_back({"Add", 1, 10, 100, 0.0});
+  raw.push_back({"MatMul", 2, 20, 200, 0.0});
+  raw.push_back({"Tanh", 1, 10, 100, 0.0});
+  std::vector<OpKindProfile> merged = MergeOpKindProfiles(raw);
+  ASSERT_EQ(merged.size(), 3u);
+  // Sorted by total time descending: MatMul (800) first.
+  EXPECT_EQ(merged[0].kind, "MatMul");
+  EXPECT_EQ(merged[0].steps, 3);
+  EXPECT_EQ(merged[0].calls, 30);
+  EXPECT_EQ(merged[0].total_ns, 800);
+  EXPECT_DOUBLE_EQ(merged[0].share, 0.8);
+  double share_sum = 0.0;
+  for (const OpKindProfile& p : merged) share_sum += p.share;
+  EXPECT_DOUBLE_EQ(share_sum, 1.0);
+}
+
+TEST(StepProfilerTest, DisabledByDefaultReportsNothing) {
+  ASSERT_FALSE(StepProfilerEnabled());
+  models::ModelConfig cfg = TinyConfig();
+  SnapshotPair pair = MakePair("LSTM", cfg);
+  Tensor x = MakeBatch(cfg, 2, 11);
+  pair.compiled->Predict(x);
+  pair.compiled->Predict(x);
+  EXPECT_TRUE(pair.compiled->AggregatedStepProfile().empty())
+      << "profiler off must record no per-step timings";
+}
+
+TEST(StepProfilerTest, LstmProfileNamesOpKindsAndSharesSumToOne) {
+  models::ModelConfig cfg = TinyConfig();
+  SnapshotPair pair = MakePair("LSTM", cfg);
+  Tensor x = MakeBatch(cfg, 2, 12);
+  pair.compiled->Predict(x);  // compile before enabling: timings exclude bake
+
+  SetStepProfilerEnabled(true);
+  Tensor got = pair.compiled->Predict(x);
+  Tensor want = pair.dynamic->Predict(x);
+  SetStepProfilerEnabled(false);
+
+  EXPECT_TRUE(BitwiseEqual(want, got))
+      << "profiling must not perturb the replayed numerics";
+
+  std::vector<OpKindProfile> profile = pair.compiled->AggregatedStepProfile();
+  ASSERT_FALSE(profile.empty());
+  bool has_matmul = false, has_gate = false;
+  double share_sum = 0.0;
+  int64_t prev_total = std::numeric_limits<int64_t>::max();
+  for (const OpKindProfile& p : profile) {
+    EXPECT_GT(p.steps, 0) << p.kind;
+    EXPECT_GT(p.calls, 0) << p.kind;
+    EXPECT_GE(p.share, 0.0) << p.kind;
+    EXPECT_LE(p.total_ns, prev_total) << "profile must be sorted by time";
+    prev_total = p.total_ns;
+    share_sum += p.share;
+    if (p.kind == "MatMul") has_matmul = true;
+    if (p.kind == "Sigmoid" || p.kind == "Tanh") has_gate = true;
+  }
+  EXPECT_TRUE(has_matmul) << "an LSTM profile without MatMul is wrong";
+  EXPECT_TRUE(has_gate) << "an LSTM profile without gate activations is wrong";
+  EXPECT_NEAR(share_sum, 1.0, 1e-9);
+
+  const std::string json = pair.compiled->StepProfileJson();
+  std::string error;
+  EXPECT_TRUE(obs::JsonValidate(json, &error)) << error;
+  EXPECT_NE(json.find("MatMul"), std::string::npos);
+}
+
+TEST(StepProfilerTest, SteadyStateStaysAllocationFreeWithProfilerOn) {
+  models::ModelConfig cfg = TinyConfig();
+  SnapshotPair pair = MakePair("DLinear", cfg);
+  auto* gauge =
+      obs::MetricsRegistry::Global()->gauge("serve/allocs_per_predict");
+  Tensor x = MakeBatch(cfg, 2, 13);
+  Tensor out = pair.compiled->Predict(x);  // compile + first replay
+
+  SetStepProfilerEnabled(true);
+  for (int i = 0; i < 3; ++i) {
+    out = Tensor();  // release so the output pool can recycle
+    out = pair.compiled->Predict(x);
+    EXPECT_EQ(gauge->value(), 0.0)
+        << "step timing must be zero-alloc, iteration " << i;
+  }
+  SetStepProfilerEnabled(false);
+  EXPECT_FALSE(pair.compiled->AggregatedStepProfile().empty());
 }
 
 // ---------------------------------------------------------------------------

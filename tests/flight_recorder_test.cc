@@ -1,0 +1,237 @@
+// Flight recorder: ring wraparound, seqlock consistency under load, and the
+// SLO-breach auto-dump (driven by an injected TickClock so window math is
+// deterministic — see tests/README.md).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/obs/json.h"
+#include "common/obs/metrics.h"
+#include "common/obs/rolling.h"
+#include "serve/flight_recorder.h"
+
+namespace ts3net {
+namespace serve {
+namespace {
+
+class FakeClock : public obs::TickClock {
+ public:
+  int64_t NowNs() override { return now_ns_.load(std::memory_order_relaxed); }
+  void Set(int64_t ns) { now_ns_.store(ns, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> now_ns_{0};
+};
+
+RequestRecord MakeRecord(int64_t id) {
+  // Every field is a function of the id, so a reader can detect tearing.
+  RequestRecord r;
+  r.request_id = id;
+  r.arrival_ns = id * 1000;
+  r.queue_wait_us = id + 1;
+  r.exec_us = id + 2;
+  r.latency_us = id + 3;
+  r.batch_size = static_cast<int32_t>(id % 64);
+  r.compiled = (id % 2) == 0;
+  r.outcome = RequestOutcome::kOk;
+  return r;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return "";
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+TEST(FlightRecorderTest, RetainsMostRecentOldestFirst) {
+  FlightRecorderOptions options;
+  options.capacity = 4;
+  FlightRecorder recorder(options);
+
+  for (int64_t id = 1; id <= 10; ++id) recorder.Record(MakeRecord(id));
+
+  EXPECT_EQ(recorder.total_recorded(), 10);
+  std::vector<RequestRecord> records = recorder.Snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  for (size_t i = 0; i < records.size(); ++i) {
+    const int64_t want_id = 7 + static_cast<int64_t>(i);
+    EXPECT_EQ(records[i].request_id, want_id);
+    EXPECT_EQ(records[i].arrival_ns, want_id * 1000);
+    EXPECT_EQ(records[i].latency_us, want_id + 3);
+  }
+}
+
+TEST(FlightRecorderTest, SnapshotBeforeWraparoundReturnsAll) {
+  FlightRecorderOptions options;
+  options.capacity = 8;
+  FlightRecorder recorder(options);
+  recorder.Record(MakeRecord(1));
+  recorder.Record(MakeRecord(2));
+  std::vector<RequestRecord> records = recorder.Snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].request_id, 1);
+  EXPECT_EQ(records[1].request_id, 2);
+}
+
+TEST(FlightRecorderTest, MintIdIsMonotonic) {
+  FlightRecorder recorder;
+  const int64_t a = recorder.MintId();
+  const int64_t b = recorder.MintId();
+  EXPECT_LT(a, b);
+}
+
+TEST(FlightRecorderTest, DumpJsonIsValidAndComplete) {
+  FlightRecorderOptions options;
+  options.capacity = 4;
+  FlightRecorder recorder(options);
+  RequestRecord r = MakeRecord(42);
+  r.outcome = RequestOutcome::kError;
+  recorder.Record(r);
+
+  const std::string json = recorder.DumpJson();
+  std::string error;
+  EXPECT_TRUE(obs::JsonValidate(json, &error)) << error;
+  EXPECT_NE(json.find("\"kind\":\"ts3_flight_recorder\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"request_id\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"outcome\":\"error\""), std::string::npos);
+}
+
+TEST(FlightRecorderTest, NoTornRecordsUnderConcurrentWrites) {
+  FlightRecorderOptions options;
+  options.capacity = 16;  // small ring => constant wraparound pressure
+  FlightRecorder recorder(options);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> next{1};
+  constexpr int kWriters = 4;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < 20000; ++i) {
+        recorder.Record(
+            MakeRecord(next.fetch_add(1, std::memory_order_relaxed)));
+      }
+    });
+  }
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const RequestRecord& r : recorder.Snapshot()) {
+        // A torn read would mix fields from two different ids.
+        ASSERT_EQ(r.arrival_ns, r.request_id * 1000);
+        ASSERT_EQ(r.queue_wait_us, r.request_id + 1);
+        ASSERT_EQ(r.exec_us, r.request_id + 2);
+        ASSERT_EQ(r.latency_us, r.request_id + 3);
+      }
+    }
+  });
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  EXPECT_EQ(recorder.total_recorded(), int64_t{kWriters} * 20000);
+  // Quiescent snapshot: nothing mid-write, so the full ring is returned.
+  EXPECT_EQ(recorder.Snapshot().size(), 16u);
+}
+
+TEST(FlightRecorderTest, SloBreachTriggersOneAutoDumpPerWindow) {
+  auto* registry = obs::MetricsRegistry::Global();
+  registry->ResetForTest();
+  const std::string dump_path =
+      ::testing::TempDir() + "/flight_slo_dump.json";
+  std::remove(dump_path.c_str());
+
+  FakeClock clock;
+  clock.Set(1);  // keep epoch 0 distinct from last_dump_epoch_'s -1 sentinel
+  FlightRecorderOptions options;
+  options.capacity = 32;
+  options.slo_latency_us = 1000;
+  options.slo_breach_k = 3;
+  options.slo_dump_path = dump_path;
+  options.window.num_buckets = 4;
+  options.window.bucket_width_ns = 1000000;  // 4ms window
+  options.window.clock = &clock;
+  FlightRecorder recorder(options);
+
+  // Two breaches: under k, no dump yet.
+  for (int64_t id = 1; id <= 2; ++id) {
+    RequestRecord r = MakeRecord(id);
+    r.latency_us = 5000;
+    recorder.Record(r);
+  }
+  EXPECT_EQ(registry->counter("serve/slo_breaches")->value(), 2);
+  EXPECT_EQ(registry->counter("serve/slo_dumps")->value(), 0);
+  EXPECT_EQ(ReadFile(dump_path), "");
+
+  // Third breach crosses k: exactly one dump, valid JSON.
+  RequestRecord r3 = MakeRecord(3);
+  r3.latency_us = 5000;
+  recorder.Record(r3);
+  EXPECT_EQ(registry->counter("serve/slo_dumps")->value(), 1);
+  const std::string dump = ReadFile(dump_path);
+  std::string error;
+  EXPECT_TRUE(obs::JsonValidate(dump, &error)) << error;
+  EXPECT_NE(dump.find("ts3_flight_recorder"), std::string::npos);
+
+  // More breaches in the same window: rate-limited, still one dump.
+  for (int64_t id = 4; id <= 8; ++id) {
+    RequestRecord r = MakeRecord(id);
+    r.latency_us = 5000;
+    recorder.Record(r);
+  }
+  EXPECT_EQ(registry->counter("serve/slo_dumps")->value(), 1);
+
+  // Next window (clock advanced past the 4ms window): breaches accumulate
+  // to k again and a second dump fires.
+  clock.Set(options.window.num_buckets * options.window.bucket_width_ns + 1);
+  for (int64_t id = 9; id <= 11; ++id) {
+    RequestRecord r = MakeRecord(id);
+    r.latency_us = 5000;
+    recorder.Record(r);
+  }
+  EXPECT_EQ(registry->counter("serve/slo_dumps")->value(), 2);
+
+  registry->ResetForTest();
+  std::remove(dump_path.c_str());
+}
+
+TEST(FlightRecorderTest, FastRequestsNeverBreach) {
+  auto* registry = obs::MetricsRegistry::Global();
+  registry->ResetForTest();
+  FakeClock clock;
+  FlightRecorderOptions options;
+  options.slo_latency_us = 1000;
+  options.slo_breach_k = 1;
+  options.window.clock = &clock;
+  FlightRecorder recorder(options);
+  for (int64_t id = 1; id <= 50; ++id) {
+    recorder.Record(MakeRecord(id));  // latency_us = id + 3 <= 53 << 1000
+  }
+  EXPECT_EQ(registry->counter("serve/slo_breaches")->value(), 0);
+  registry->ResetForTest();
+}
+
+TEST(FlightRecorderTest, GlobalConfigureReplacesRecorder) {
+  FlightRecorder* before = FlightRecorder::Global();
+  FlightRecorderOptions options;
+  options.capacity = 8;
+  FlightRecorder::Configure(options);
+  FlightRecorder* after = FlightRecorder::Global();
+  EXPECT_NE(before, after);
+  EXPECT_EQ(after->options().capacity, 8);
+  EXPECT_EQ(after->total_recorded(), 0);
+  FlightRecorder::Configure(FlightRecorderOptions{});  // restore defaults
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace ts3net

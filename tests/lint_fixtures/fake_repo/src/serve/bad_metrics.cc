@@ -1,0 +1,45 @@
+// Seeded TL011 violations: metric names missing a unit suffix, and a serve
+// histogram registered without its rolling windowed twin. The compliant
+// registrations interleaved below are the negative controls. Never
+// compiled; the file only needs to look like C++ to the scanner.
+namespace ts3net {
+namespace serve {
+
+class MetricsRegistry {
+ public:
+  void* counter(const char* name);
+  void* gauge(const char* name);
+  void* histogram(const char* name);
+  void* series(const char* name);
+  void* rolling_counter(const char* name);
+  void* rolling_histogram(const char* name);
+};
+
+void RegisterMetrics(MetricsRegistry* registry) {
+  // Compliant: allowlisted final segment, plus its rolling twin.
+  registry->counter("serve/requests");
+  registry->rolling_counter("serve/requests");
+
+  // Compliant: unit suffix and a rolling twin in the same file.
+  registry->histogram("serve/request_latency_us");
+  registry->rolling_histogram("serve/request_latency_us");
+
+  // A bare duration with no unit: is it micro- or milliseconds?
+  registry->counter("serve/queue_latency");  // EXPECT-LINT: TL011
+
+  // A size gauge that should say _bytes.
+  registry->gauge("serve/arena");  // EXPECT-LINT: TL011
+
+  // Properly unit-suffixed, but serving histograms must also register the
+  // rolling_histogram windowed twin for dashboards — missing here.
+  registry->histogram("serve/batch_exec_us");  // EXPECT-LINT: TL011
+
+  // Multi-line registration: the name literal sits on the next line, and
+  // its final segment is not allowlisted. The finding lands on the line of
+  // the call token, not the literal.
+  registry->series(  // EXPECT-LINT: TL011
+      "serve/epoch_speed");
+}
+
+}  // namespace serve
+}  // namespace ts3net

@@ -1,13 +1,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/obs/export.h"
 #include "common/obs/json.h"
 #include "common/obs/metrics.h"
 #include "common/obs/obs.h"
+#include "common/obs/rolling.h"
 #include "common/obs/trace.h"
 #include "common/threadpool.h"
 
@@ -370,6 +375,211 @@ TEST(ObsOptionsTest, TracingRequested) {
   o.metrics_json_path = "m.json";  // metrics alone do not need span recording
   o.trace_path.clear();
   EXPECT_FALSE(o.tracing_requested());
+}
+
+TEST(ObsOptionsTest, StatsRequested) {
+  ObsOptions o;
+  EXPECT_FALSE(o.stats_requested());
+  o.stats_out_path = "stats.json";
+  EXPECT_TRUE(o.stats_requested());
+  o.stats_out_path.clear();
+  o.prom_out_path = "metrics.prom";
+  EXPECT_TRUE(o.stats_requested());
+}
+
+// ---------------------------------------------------------------------------
+// Histogram snapshot coherence: the regression test for the old exporter
+// bug where count, sum, and the bucket array were read with independent
+// relaxed loads and could disagree mid-Observe. Snapshot() must always
+// satisfy count == sum of buckets, even while 8 threads hammer Observe.
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, SnapshotIsCoherentUnderConcurrentObserve) {
+  auto* registry = MetricsRegistry::Global();
+  registry->ResetForTest();
+  Histogram* hist =
+      registry->histogram("test/coherent_us", {1.0, 2.0, 4.0, 8.0, 16.0});
+
+  std::atomic<bool> stop{false};
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> observers;
+  for (int t = 0; t < kThreads; ++t) {
+    observers.emplace_back([hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist->Observe(static_cast<double>((i + t) % 20));
+      }
+    });
+  }
+  std::thread reader([hist, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      HistogramSnapshot snap = hist->Snapshot();
+      int64_t bucket_total = 0;
+      for (int64_t b : snap.buckets) bucket_total += b;
+      // The invariant the exporters depend on: derived statistics all come
+      // from one captured bucket view.
+      ASSERT_EQ(snap.count, bucket_total);
+      ASSERT_LE(snap.count, int64_t{kThreads} * kPerThread);
+    }
+  });
+  for (std::thread& t : observers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  // Quiescent: the final snapshot is exact.
+  HistogramSnapshot final_snap = hist->Snapshot();
+  EXPECT_EQ(final_snap.count, int64_t{kThreads} * kPerThread);
+  EXPECT_DOUBLE_EQ(final_snap.min, 0.0);
+  EXPECT_DOUBLE_EQ(final_snap.max, 19.0);
+  registry->ResetForTest();
+}
+
+TEST(HistogramTest, SnapshotSinceSubtractsBaseline) {
+  auto* registry = MetricsRegistry::Global();
+  registry->ResetForTest();
+  Histogram* hist = registry->histogram("test/since_us", {1.0, 10.0});
+  hist->Observe(0.5);
+  hist->Observe(5.0);
+  HistogramSnapshot before = hist->Snapshot();
+  hist->Observe(5.0);
+  hist->Observe(50.0);
+  HistogramSnapshot delta = hist->Snapshot().Since(before);
+  EXPECT_EQ(delta.count, 2);
+  ASSERT_EQ(delta.buckets.size(), 3u);
+  EXPECT_EQ(delta.buckets[0], 0);
+  EXPECT_EQ(delta.buckets[1], 1);
+  EXPECT_EQ(delta.buckets[2], 1);
+  registry->ResetForTest();
+}
+
+// ---------------------------------------------------------------------------
+// Exporters: Prometheus text exposition and the stats snapshot document.
+// ---------------------------------------------------------------------------
+
+TEST(ExportTest, PrometheusExposesAllMetricKinds) {
+  auto* registry = MetricsRegistry::Global();
+  registry->ResetForTest();
+  registry->counter("test/export_requests")->Increment(3);
+  registry->gauge("test/export_depth")->Set(2.5);
+  Histogram* hist = registry->histogram("test/export_lat_us", {1.0, 10.0});
+  hist->Observe(0.5);
+  hist->Observe(5.0);
+  hist->Observe(100.0);
+  registry->rolling_counter("test/export_requests")->Increment(3);
+  registry->rolling_histogram("test/export_lat_us", {1.0, 10.0})->Observe(5.0);
+
+  const std::string prom = registry->ToPrometheus();
+  // Names are mangled to [a-zA-Z0-9_] with the ts3_ prefix.
+  EXPECT_NE(prom.find("# TYPE ts3_test_export_requests counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("ts3_test_export_requests 3"), std::string::npos);
+  EXPECT_NE(prom.find("ts3_test_export_depth 2.5"), std::string::npos);
+  // Histogram: cumulative le buckets plus _sum/_count.
+  EXPECT_NE(prom.find("ts3_test_export_lat_us_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("ts3_test_export_lat_us_bucket{le=\"10\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("ts3_test_export_lat_us_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(prom.find("ts3_test_export_lat_us_count 3"), std::string::npos);
+  // Rolling views surface as _window_* gauges.
+  EXPECT_NE(prom.find("ts3_test_export_requests_window_total 3"),
+            std::string::npos);
+  EXPECT_NE(prom.find("ts3_test_export_lat_us_window_count 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("ts3_test_export_lat_us_window_p99"),
+            std::string::npos);
+  registry->ResetForTest();
+}
+
+TEST(ExportTest, StatsSnapshotJsonIsValidAndSelfDescribing) {
+  auto* registry = MetricsRegistry::Global();
+  registry->ResetForTest();
+  registry->counter("test/snapshot_requests")->Increment();
+  const std::string json = StatsSnapshotJson(7);
+  std::string error;
+  EXPECT_TRUE(JsonValidate(json, &error)) << error;
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"ts3_stats\""), std::string::npos);
+  EXPECT_NE(json.find("\"seq\":7"), std::string::npos);
+  EXPECT_NE(json.find("test/snapshot_requests"), std::string::npos);
+  registry->ResetForTest();
+}
+
+TEST(ExportTest, StatsReporterWritesFinalSnapshotOnDestruction) {
+  auto* registry = MetricsRegistry::Global();
+  registry->ResetForTest();
+  registry->counter("test/reporter_requests")->Increment(9);
+  const std::string stats_path = ::testing::TempDir() + "/ts3_stats.json";
+  const std::string prom_path = ::testing::TempDir() + "/ts3_metrics.prom";
+  std::remove(stats_path.c_str());
+  std::remove(prom_path.c_str());
+  {
+    // period 0: no periodic thread, but the destructor still writes once.
+    StatsReporter reporter(0, stats_path, prom_path);
+  }
+  std::FILE* f = std::fopen(stats_path.c_str(), "rb");
+  ASSERT_NE(f, nullptr) << "final stats snapshot missing";
+  std::string stats;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) stats.append(buf, n);
+  std::fclose(f);
+  std::string error;
+  EXPECT_TRUE(JsonValidate(stats, &error)) << error;
+  EXPECT_NE(stats.find("test/reporter_requests"), std::string::npos);
+
+  std::FILE* pf = std::fopen(prom_path.c_str(), "rb");
+  ASSERT_NE(pf, nullptr) << "final Prometheus snapshot missing";
+  std::string prom;
+  while ((n = std::fread(buf, 1, sizeof(buf), pf)) > 0) prom.append(buf, n);
+  std::fclose(pf);
+  EXPECT_NE(prom.find("ts3_test_reporter_requests 9"), std::string::npos);
+
+  std::remove(stats_path.c_str());
+  std::remove(prom_path.c_str());
+  registry->ResetForTest();
+}
+
+TEST(ExportTest, ReporterThreadRacesObserversCleanly) {
+  // 8 threads mutate every metric kind while the periodic reporter rewrites
+  // both files at a 1ms period; run under TSan this is the exporter's
+  // data-race gate. Counts are exact after the threads join.
+  auto* registry = MetricsRegistry::Global();
+  registry->ResetForTest();
+  const std::string stats_path = ::testing::TempDir() + "/ts3_race_stats.json";
+  const std::string prom_path = ::testing::TempDir() + "/ts3_race.prom";
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  {
+    StatsReporter reporter(1, stats_path, prom_path);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([registry, t] {
+        Counter* counter = registry->counter("test/race_requests");
+        Histogram* hist = registry->histogram("test/race_lat_us", {1.0, 8.0});
+        RollingCounter* rolling =
+            registry->rolling_counter("test/race_requests");
+        RollingHistogram* rolling_hist =
+            registry->rolling_histogram("test/race_lat_us", {1.0, 8.0});
+        for (int i = 0; i < kPerThread; ++i) {
+          counter->Increment();
+          hist->Observe(static_cast<double>((i + t) % 10));
+          rolling->Increment();
+          rolling_hist->Observe(static_cast<double>((i + t) % 10));
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  EXPECT_EQ(registry->counter("test/race_requests")->value(),
+            int64_t{kThreads} * kPerThread);
+  HistogramSnapshot snap =
+      registry->histogram("test/race_lat_us", {1.0, 8.0})->Snapshot();
+  EXPECT_EQ(snap.count, int64_t{kThreads} * kPerThread);
+  std::remove(stats_path.c_str());
+  std::remove(prom_path.c_str());
+  registry->ResetForTest();
 }
 
 }  // namespace

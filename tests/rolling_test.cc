@@ -1,0 +1,220 @@
+// Rolling-window metrics under an injected TickClock: bucket rotation,
+// expiry, rate math, and merged window percentiles are all exactly
+// reproducible because the tests own the clock (see tests/README.md).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/obs/metrics.h"
+#include "common/obs/rolling.h"
+
+namespace ts3net {
+namespace obs {
+namespace {
+
+class FakeClock : public TickClock {
+ public:
+  int64_t NowNs() override { return now_ns_.load(std::memory_order_relaxed); }
+  void Set(int64_t ns) { now_ns_.store(ns, std::memory_order_relaxed); }
+  void Advance(int64_t ns) {
+    now_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> now_ns_{0};
+};
+
+RollingOptions SmallWindow(FakeClock* clock, int num_buckets = 4,
+                           int64_t width_ns = 1000) {
+  RollingOptions options;
+  options.num_buckets = num_buckets;
+  options.bucket_width_ns = width_ns;
+  options.clock = clock;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// RollingCounter
+// ---------------------------------------------------------------------------
+
+TEST(RollingCounterTest, CountsWithinWindow) {
+  FakeClock clock;
+  RollingCounter counter(SmallWindow(&clock));
+  EXPECT_EQ(counter.WindowTotal(), 0);
+
+  counter.Increment();
+  counter.Increment(2);
+  EXPECT_EQ(counter.WindowTotal(), 3);
+
+  clock.Advance(1000);  // epoch 1
+  counter.Increment(5);
+  EXPECT_EQ(counter.WindowTotal(), 8);
+}
+
+TEST(RollingCounterTest, OldBucketsExpireExactlyAtWindowEdge) {
+  FakeClock clock;
+  RollingCounter counter(SmallWindow(&clock));  // 4 buckets x 1000ns
+  counter.Increment(3);  // epoch 0
+
+  // Epoch 3 still includes epoch 0 (window = last 4 epochs).
+  clock.Set(3000);
+  EXPECT_EQ(counter.WindowTotal(), 3);
+
+  // Epoch 4 is the first moment epoch 0 leaves the window — without any
+  // writer touching the ring in between.
+  clock.Set(4000);
+  EXPECT_EQ(counter.WindowTotal(), 0);
+}
+
+TEST(RollingCounterTest, RingSlotIsRezeroedOnReuse) {
+  FakeClock clock;
+  RollingCounter counter(SmallWindow(&clock));
+  counter.Increment(7);  // epoch 0, slot 0
+
+  clock.Set(4000);  // epoch 4 reuses slot 0
+  counter.Increment(1);
+  EXPECT_EQ(counter.WindowTotal(), 1) << "expired slot must be re-zeroed";
+}
+
+TEST(RollingCounterTest, RateUsesCoveredSpanNotFullWindow) {
+  FakeClock clock;
+  RollingOptions options;
+  options.num_buckets = 10;
+  options.bucket_width_ns = 1000000000;  // 1s
+  options.clock = &clock;
+  RollingCounter counter(options);
+
+  EXPECT_DOUBLE_EQ(counter.WindowRatePerSec(), 0.0);
+
+  // 10 events in the first half second: the covered span is 0.5s (start of
+  // the oldest live bucket to now), not the full 10s window.
+  clock.Set(500000000);
+  counter.Increment(10);
+  EXPECT_DOUBLE_EQ(counter.WindowRatePerSec(), 20.0);
+
+  // 1.5s in, same 10 events: rate dilutes over the longer covered span.
+  clock.Set(1500000000);
+  EXPECT_DOUBLE_EQ(counter.WindowRatePerSec(), 10.0 * 1e9 / 1.5e9);
+}
+
+TEST(RollingCounterTest, ConcurrentIncrementsAreExactWithinOneEpoch) {
+  FakeClock clock;
+  clock.Set(500);  // mid-epoch: no rotation during the hammer
+  RollingCounter counter(SmallWindow(&clock));
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.WindowTotal(), int64_t{kThreads} * kPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// RollingHistogram
+// ---------------------------------------------------------------------------
+
+TEST(RollingHistogramTest, WindowSnapshotMergesLiveBuckets) {
+  FakeClock clock;
+  RollingHistogram hist({1.0, 2.0, 4.0, 8.0}, SmallWindow(&clock));
+
+  hist.Observe(0.5);  // epoch 0
+  hist.Observe(3.0);
+  clock.Advance(1000);  // epoch 1
+  hist.Observe(1.5);
+  hist.Observe(7.0);
+
+  HistogramSnapshot snap = hist.WindowSnapshot();
+  EXPECT_EQ(snap.count, 4);
+  EXPECT_DOUBLE_EQ(snap.sum, 12.0);
+  EXPECT_DOUBLE_EQ(snap.min, 0.5);
+  EXPECT_DOUBLE_EQ(snap.max, 7.0);
+  EXPECT_DOUBLE_EQ(snap.mean(), 3.0);
+  ASSERT_EQ(snap.buckets.size(), 5u);
+  EXPECT_EQ(snap.buckets[0], 1);  // 0.5
+  EXPECT_EQ(snap.buckets[1], 1);  // 1.5
+  EXPECT_EQ(snap.buckets[2], 1);  // 3.0
+  EXPECT_EQ(snap.buckets[3], 1);  // 7.0
+  // The invariant every consumer leans on: count == sum of buckets.
+  int64_t bucket_total = 0;
+  for (int64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(snap.count, bucket_total);
+  // Percentiles come from the merged buckets: the median sits in the
+  // (1, 2] bucket, the p99 in (4, 8].
+  EXPECT_GE(snap.Percentile(50.0), 1.0);
+  EXPECT_LE(snap.Percentile(50.0), 2.0);
+  EXPECT_GE(snap.Percentile(99.0), 4.0);
+  EXPECT_LE(snap.Percentile(99.0), 8.0);
+}
+
+TEST(RollingHistogramTest, ObservationsExpireWithTheirBucket) {
+  FakeClock clock;
+  RollingHistogram hist({1.0, 10.0}, SmallWindow(&clock, /*num_buckets=*/2));
+
+  hist.Observe(5.0);  // epoch 0
+  EXPECT_EQ(hist.WindowSnapshot().count, 1);
+
+  clock.Set(1000);  // epoch 1: epoch 0 still live (2-bucket window)
+  EXPECT_EQ(hist.WindowSnapshot().count, 1);
+
+  clock.Set(2000);  // epoch 2: epoch 0 expired
+  HistogramSnapshot snap = hist.WindowSnapshot();
+  EXPECT_EQ(snap.count, 0);
+  EXPECT_TRUE(std::isnan(snap.mean()));
+  EXPECT_TRUE(std::isnan(snap.Percentile(50.0)));
+}
+
+TEST(RollingHistogramTest, SameSequenceSameSnapshot) {
+  // Determinism check: two histograms fed the identical (value, tick)
+  // sequence report identical window statistics.
+  auto run = [] {
+    FakeClock clock;
+    RollingHistogram hist({1.0, 2.0, 4.0}, SmallWindow(&clock, 3));
+    for (int i = 0; i < 30; ++i) {
+      hist.Observe(0.25 * (i % 13));
+      clock.Advance(137);
+    }
+    return hist.WindowSnapshot();
+  };
+  HistogramSnapshot a = run();
+  HistogramSnapshot b = run();
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_DOUBLE_EQ(a.sum, b.sum);
+  EXPECT_DOUBLE_EQ(a.min, b.min);
+  EXPECT_DOUBLE_EQ(a.max, b.max);
+  EXPECT_EQ(a.buckets, b.buckets);
+  EXPECT_DOUBLE_EQ(a.Percentile(95.0), b.Percentile(95.0));
+}
+
+TEST(RollingHistogramTest, DefaultBoundsAreTheTimeBounds) {
+  FakeClock clock;
+  RollingHistogram hist({}, SmallWindow(&clock));
+  EXPECT_EQ(hist.bounds(), Histogram::DefaultTimeBoundsUs());
+}
+
+// ---------------------------------------------------------------------------
+// Registry integration
+// ---------------------------------------------------------------------------
+
+TEST(RollingRegistryTest, RegistryReturnsStableRollingPointers) {
+  auto* registry = MetricsRegistry::Global();
+  registry->ResetForTest();
+  RollingCounter* c1 = registry->rolling_counter("test/rolling_requests");
+  RollingCounter* c2 = registry->rolling_counter("test/rolling_requests");
+  EXPECT_EQ(c1, c2);
+  RollingHistogram* h1 =
+      registry->rolling_histogram("test/rolling_lat_us", {1.0, 10.0});
+  RollingHistogram* h2 = registry->rolling_histogram("test/rolling_lat_us");
+  EXPECT_EQ(h1, h2);
+  registry->ResetForTest();
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ts3net

@@ -38,6 +38,16 @@ cannot express, because they span files or encode project policy:
                                initialized once at record time) — the whole
                                point of replaying is an allocation-free
                                steady state
+  TL011 metric-name-units      metric names registered in src/ must carry a
+                               unit suffix (_us/_ns/_ms/_bytes) or have a
+                               final path segment on the unitless allowlist,
+                               so dashboards never have to guess whether a
+                               latency is micro- or milliseconds; and a
+                               histogram registered in src/serve must also
+                               register the rolling_histogram windowed twin
+                               of the same name in the same file (serving
+                               dashboards read windows, not lifetime
+                               cumulatives)
 
 Usage:
   ts3lint.py [--root DIR] [--json]
@@ -68,6 +78,7 @@ CHECK_DOCS = {
     "TL008": "backward-span-missing",
     "TL009": "serve-missing-nograd",
     "TL010": "replay-kernel-coverage",
+    "TL011": "metric-name-units",
 }
 
 SOURCE_EXTENSIONS = (".cc", ".cpp", ".h", ".hpp")
@@ -259,6 +270,66 @@ def run_serve_checks(rel_path, code, findings):
         "src/" + rel_path, line_of(code, m.start()), "TL009",
         "serve code calls Module::Forward without a NoGradGuard in the "
         "file; inference must not record an autograd tape"))
+
+
+# ---------------------------------------------------------------------------
+# Metric naming checks (TL011).
+# ---------------------------------------------------------------------------
+
+# Registration through the MetricsRegistry accessors with a literal name.
+# Runs over comment-scrubbed code with STRINGS KEPT (the name is the string).
+METRIC_CALL = re.compile(
+    r"\b(rolling_histogram|rolling_counter|histogram|counter|gauge|series)"
+    r'\s*\(\s*"([^"]+)"')
+METRIC_UNIT_SUFFIXES = ("_us", "_ns", "_ms", "_bytes")
+# Final '/'-segments that are genuinely unitless (counts, indices, ratios).
+# Anything else needs a unit suffix; extend this set deliberately, not by
+# reflex, when a new count-like metric appears.
+METRIC_UNITLESS = {
+    "requests", "batches", "calls", "hits", "misses", "bytes",
+    "queue_depth", "batch_size", "compiled_predicts", "fallback_predicts",
+    "graph_compiles", "compile_rejected", "allocs_per_predict",
+    "parallel_for_calls", "tasks_executed", "chunks_executed",
+    "backward_nodes", "ops_dispatched", "early_stop_epoch", "best_epoch",
+    "epoch_loss", "epoch_val_loss", "epoch_lr", "epoch_grad_norm",
+    "grad_norm", "slo_breaches", "slo_dumps",
+}
+
+
+def run_metric_checks(rel_root, code, findings):
+    """Metric names must carry units; serve histograms need windowed twins.
+
+    `code` is comment-scrubbed with strings kept and `rel_root` is relative
+    to the repository root ("src/serve/batcher.cc"), so the serve-pairing
+    rule can key off the directory. Multi-line registrations (name literal
+    on the line after the call) are matched because \\s* spans newlines.
+    """
+    histograms = {}  # name -> first registration line
+    rolling_names = set()
+    for m in METRIC_CALL.finditer(code):
+        kind, name = m.group(1), m.group(2)
+        ln = line_of(code, m.start())
+        tail = name.rsplit("/", 1)[-1]
+        if not name.endswith(METRIC_UNIT_SUFFIXES) and \
+                tail not in METRIC_UNITLESS:
+            findings.append(Finding(
+                rel_root, ln, "TL011",
+                "metric %r has no unit suffix (_us/_ns/_ms/_bytes) and its "
+                "final segment %r is not on the unitless allowlist"
+                % (name, tail)))
+        if kind == "histogram":
+            histograms.setdefault(name, ln)
+        elif kind == "rolling_histogram":
+            rolling_names.add(name)
+    if rel_root.startswith("src/serve/"):
+        for name, ln in sorted(histograms.items(), key=lambda kv: kv[1]):
+            if name not in rolling_names:
+                findings.append(Finding(
+                    rel_root, ln, "TL011",
+                    "serve histogram %r has no rolling_histogram windowed "
+                    "twin registered in this file; dashboards need the "
+                    "sliding-window view, not just lifetime cumulatives"
+                    % name))
 
 
 # ---------------------------------------------------------------------------
@@ -524,7 +595,9 @@ def lint_tree(root):
         scrubbed = scrub(raw, keep_strings=False)
         run_pattern_checks(rel_src, scrubbed, findings)
         run_serve_checks(rel_src, scrubbed, findings)
-        src_files_with_strings.append((rel_root, scrub(raw, keep_strings=True)))
+        with_strings = scrub(raw, keep_strings=True)
+        run_metric_checks(rel_root, with_strings, findings)
+        src_files_with_strings.append((rel_root, with_strings))
 
     gradcheck_text = gather_gradcheck_text(tests_dir, skip_fixtures)
     run_autograd_checks(src_files_with_strings, gradcheck_text, findings)

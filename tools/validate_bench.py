@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""validate_bench -- schema gate for BENCH_*.json run records.
+
+Every benchmark harness in bench/ writes a machine-readable run record
+(BENCH_serve.json, BENCH_cwt.json, ...). Downstream tooling diffs those
+records across commits, so each one must:
+
+  * parse as strict JSON -- no NaN/Infinity literals; the JsonWriter
+    convention is NaN -> null, and a bare NaN means a writer bypassed it;
+  * be a JSON object at the top level;
+  * carry an integer "schema_version" >= 1 as a top-level key, so record
+    consumers can detect layout changes instead of misreading old files;
+  * carry a "bench" or "kind" top-level key naming the producing harness.
+
+Usage:
+  validate_bench.py FILE [FILE ...]
+  validate_bench.py --dir DIR          validate every BENCH_*.json under DIR
+                                       (recursive); zero matches is an error
+                                       only with --require-some
+
+Exit status: 0 all records valid, 1 any invalid, 2 usage error.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def reject_constant(token):
+    raise ValueError("non-finite literal %r (writer must emit null)" % token)
+
+
+def validate(path):
+    """Returns a list of problem strings; empty means the record is valid."""
+    problems = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            record = json.load(f, parse_constant=reject_constant)
+    except (OSError, ValueError) as e:
+        return ["unreadable or not strict JSON: %s" % e]
+    if not isinstance(record, dict):
+        return ["top level is %s, expected an object" % type(record).__name__]
+    version = record.get("schema_version")
+    if not isinstance(version, int) or isinstance(version, bool):
+        problems.append("schema_version is %r, expected an integer" % version)
+    elif version < 1:
+        problems.append("schema_version is %d, expected >= 1" % version)
+    if "bench" not in record and "kind" not in record:
+        problems.append('missing "bench"/"kind" key naming the harness')
+    return problems
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="validate_bench", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("files", nargs="*", help="record files to validate")
+    parser.add_argument("--dir", help="scan DIR recursively for BENCH_*.json")
+    parser.add_argument("--require-some", action="store_true",
+                        help="with --dir, fail when no records are found")
+    args = parser.parse_args(argv)
+
+    paths = list(args.files)
+    if args.dir:
+        for dirpath, dirnames, filenames in os.walk(args.dir):
+            dirnames.sort()
+            for fn in sorted(filenames):
+                if fn.startswith("BENCH_") and fn.endswith(".json"):
+                    paths.append(os.path.join(dirpath, fn))
+    if not paths:
+        if args.require_some:
+            print("validate_bench: no BENCH_*.json records found",
+                  file=sys.stderr)
+            return 1
+        if not args.dir:
+            parser.print_usage(sys.stderr)
+            return 2
+        print("validate_bench: nothing to validate under %s" % args.dir)
+        return 0
+
+    failed = 0
+    for path in paths:
+        problems = validate(path)
+        if problems:
+            failed += 1
+            for p in problems:
+                print("%s: %s" % (path, p))
+        else:
+            print("%s: ok" % path)
+    if failed:
+        print("validate_bench: %d of %d record(s) invalid"
+              % (failed, len(paths)), file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
