@@ -11,6 +11,8 @@
 namespace ts3net {
 
 namespace {
+// relaxed everywhere below: the level is a lone configuration knob; a racing
+// reader briefly using the old threshold logs (or drops) one line.
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
 
 const char* LevelName(LogLevel level) {
@@ -49,13 +51,22 @@ std::string WallClockStamp() {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_min_level = static_cast<int>(level); }
-LogLevel GetLogLevel() { return static_cast<LogLevel>(g_min_level.load()); }
+void SetLogLevel(LogLevel level) {
+  // relaxed: see g_min_level above.
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() {
+  // relaxed: see g_min_level above.
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
 
 namespace internal_log {
 
 LogStream::LogStream(LogLevel level, const char* file, int line)
-    : enabled_(static_cast<int>(level) >= g_min_level.load()), level_(level) {
+    // relaxed: see g_min_level above.
+    : enabled_(static_cast<int>(level) >=
+               g_min_level.load(std::memory_order_relaxed)),
+      level_(level) {
   if (enabled_) {
     stream_ << "[" << LevelName(level) << " " << WallClockStamp() << " t"
             << obs::CurrentThreadId() << " " << Basename(file) << ":" << line

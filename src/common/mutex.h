@@ -1,0 +1,107 @@
+#ifndef TS3NET_COMMON_MUTEX_H_
+#define TS3NET_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace ts3net {
+
+class CondVar;
+
+/// std::mutex with capability annotations, so Clang's thread-safety analysis
+/// (see thread_annotations.h) can verify that every TS3_GUARDED_BY field is
+/// only touched with the right lock held. All concurrent code in this tree
+/// uses this wrapper instead of std::mutex directly — the std type carries no
+/// attributes, so locks taken through it are invisible to the analysis
+/// (ts3lint TL012 flags raw std::mutex members in concurrent directories).
+class TS3_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() TS3_ACQUIRE() { mu_.lock(); }
+  void Unlock() TS3_RELEASE() { mu_.unlock(); }
+  bool TryLock() TS3_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex (std::lock_guard with scoped-capability annotations).
+/// `Unlock`/`Lock` support the "drop the lock around a slow call, retake it
+/// after" pattern (e.g. MicroBatcher executing a batch) while keeping the
+/// analysis aware of the gap; the destructor only releases when still held.
+class TS3_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) TS3_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() TS3_RELEASE() {
+    if (held_) mu_->Unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Temporarily releases the lock; pair with `Lock` before scope exit paths
+  /// that expect it held.
+  void Unlock() TS3_RELEASE() {
+    held_ = false;
+    mu_->Unlock();
+  }
+  void Lock() TS3_ACQUIRE() {
+    mu_->Lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex* const mu_;
+  bool held_ = true;
+};
+
+/// Condition variable paired with Mutex. `Wait*` atomically releases the
+/// mutex while sleeping and reacquires before returning, like
+/// std::condition_variable; the TS3_REQUIRES(mu) annotation records that the
+/// caller holds the lock across the call from the analysis' point of view.
+///
+/// There are deliberately no predicate overloads: writing the `while
+/// (!cond) cv.Wait(&mu)` loop at the call site keeps the guarded-field reads
+/// in the predicate inside a scope the analysis can see (a predicate lambda
+/// would be analyzed as a separate, lockless function and rejected).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex* mu) TS3_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller's MutexLock still owns the mutex
+  }
+
+  /// Waits at most `timeout_ns`; returns true when the wait timed out
+  /// (callers re-check their predicate either way — spurious wakeups are
+  /// allowed, exactly as with std::condition_variable).
+  bool WaitForNs(Mutex* mu, int64_t timeout_ns) TS3_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    const std::cv_status status =
+        cv_.wait_for(lock, std::chrono::nanoseconds(timeout_ns));
+    lock.release();
+    return status == std::cv_status::timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace ts3net
+
+#endif  // TS3NET_COMMON_MUTEX_H_

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "common/mutex.h"
 #include "common/obs/json.h"
 #include "common/obs/metrics.h"
 #include "common/obs/rolling.h"
@@ -69,7 +70,7 @@ bool WriteFileAtomic(const std::string& path, const std::string& text) {
 }  // namespace
 
 std::string MetricsRegistry::ToPrometheus() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::ostringstream out;
 
   for (const auto& [name, c] : counters_) {
@@ -151,6 +152,8 @@ StatsReporter::~StatsReporter() {
 void StatsReporter::WriteOnce() {
   // The seq counter makes every snapshot distinguishable from the previous
   // rewrite; bump it once per round, shared by both formats.
+  // relaxed: ticks are serialized by PeriodicThread; the counter only needs
+  // atomicity against snapshots_written() readers.
   const int64_t seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
   if (!stats_path_.empty()) {
     WriteFileAtomic(stats_path_, StatsSnapshotJson(seq));

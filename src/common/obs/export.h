@@ -37,6 +37,7 @@ class StatsReporter {
   void WriteOnce();
 
   int64_t snapshots_written() const {
+    // relaxed: monotonic sequence read for status display only.
     return seq_.load(std::memory_order_relaxed);
   }
 

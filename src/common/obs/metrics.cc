@@ -28,6 +28,8 @@ double BitsDouble(uint64_t bits) {
 
 /// Atomic a += v on a double stored as uint64 bits (CAS loop; avoids relying
 /// on std::atomic<double>::fetch_add toolchain support).
+// relaxed: statistics cells carry no ordering; every CAS below only needs
+// atomicity of its own read-modify-write (same for the min/max helpers).
 void AtomicAddDouble(std::atomic<uint64_t>* bits, double v) {
   uint64_t old_bits = bits->load(std::memory_order_relaxed);
   for (;;) {
@@ -39,6 +41,7 @@ void AtomicAddDouble(std::atomic<uint64_t>* bits, double v) {
   }
 }
 
+// relaxed: see AtomicAddDouble.
 void AtomicMinDouble(std::atomic<uint64_t>* bits, double v) {
   uint64_t old_bits = bits->load(std::memory_order_relaxed);
   while (v < BitsDouble(old_bits)) {
@@ -49,6 +52,7 @@ void AtomicMinDouble(std::atomic<uint64_t>* bits, double v) {
   }
 }
 
+// relaxed: see AtomicAddDouble.
 void AtomicMaxDouble(std::atomic<uint64_t>* bits, double v) {
   uint64_t old_bits = bits->load(std::memory_order_relaxed);
   while (v > BitsDouble(old_bits)) {
@@ -117,7 +121,10 @@ Histogram::Histogram(std::vector<double> bounds)
   TS3_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
       << "histogram bounds must be sorted ascending";
   counts_ = std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
-  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+  // relaxed: pre-publication zeroing; the histogram is not shared yet.
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
 }
 
 std::vector<double> Histogram::DefaultTimeBoundsUs() {
@@ -135,6 +142,7 @@ void Histogram::Observe(double v) {
   // the overflow bucket.
   const size_t idx =
       std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  // relaxed: independent tallies; Snapshot() handles read coherence.
   counts_[idx].fetch_add(1, std::memory_order_relaxed);
   AtomicAddDouble(&sum_bits_, v);
   AtomicMinDouble(&min_bits_, v);
@@ -144,12 +152,14 @@ void Histogram::Observe(double v) {
 int64_t Histogram::count() const {
   int64_t total = 0;
   for (size_t i = 0; i <= bounds_.size(); ++i) {
+    // relaxed: telemetry read; coherent views come from Snapshot().
     total += counts_[i].load(std::memory_order_relaxed);
   }
   return total;
 }
 
 double Histogram::sum() const {
+  // relaxed: telemetry read; coherent views come from Snapshot().
   return BitsDouble(sum_bits_.load(std::memory_order_relaxed));
 }
 
@@ -160,11 +170,13 @@ double Histogram::mean() const {
 }
 
 double Histogram::min() const {
+  // relaxed: telemetry read; coherent views come from Snapshot().
   return count() == 0 ? std::numeric_limits<double>::quiet_NaN()
                       : BitsDouble(min_bits_.load(std::memory_order_relaxed));
 }
 
 double Histogram::max() const {
+  // relaxed: telemetry read; coherent views come from Snapshot().
   return count() == 0 ? std::numeric_limits<double>::quiet_NaN()
                       : BitsDouble(max_bits_.load(std::memory_order_relaxed));
 }
@@ -172,6 +184,7 @@ double Histogram::max() const {
 std::vector<int64_t> Histogram::BucketCounts() const {
   std::vector<int64_t> out(bounds_.size() + 1);
   for (size_t i = 0; i <= bounds_.size(); ++i) {
+    // relaxed: telemetry read; Snapshot() retries until two reads agree.
     out[i] = counts_[i].load(std::memory_order_relaxed);
   }
   return out;
@@ -190,6 +203,8 @@ HistogramSnapshot Histogram::Snapshot() const {
   // unconditionally because count is derived from the captured buckets.
   std::vector<int64_t> before = BucketCounts();
   for (int attempt = 0; attempt < 8; ++attempt) {
+    // relaxed: coherence comes from the before/after bucket comparison, not
+    // from ordering of the individual statistic loads.
     const double sum = BitsDouble(sum_bits_.load(std::memory_order_relaxed));
     const double min = BitsDouble(min_bits_.load(std::memory_order_relaxed));
     const double max = BitsDouble(max_bits_.load(std::memory_order_relaxed));
@@ -208,17 +223,17 @@ HistogramSnapshot Histogram::Snapshot() const {
 }
 
 void Series::Append(double v) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   values_.push_back(v);
 }
 
 std::vector<double> Series::values() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return values_;
 }
 
 int64_t Series::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return static_cast<int64_t>(values_.size());
 }
 
@@ -232,14 +247,14 @@ MetricsRegistry::MetricsRegistry() = default;
 MetricsRegistry::~MetricsRegistry() = default;
 
 Counter* MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return slot.get();
@@ -247,14 +262,14 @@ Gauge* MetricsRegistry::gauge(const std::string& name) {
 
 Histogram* MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
   return slot.get();
 }
 
 Series* MetricsRegistry::series(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = series_[name];
   if (!slot) slot = std::make_unique<Series>();
   return slot.get();
@@ -266,7 +281,7 @@ RollingCounter* MetricsRegistry::rolling_counter(const std::string& name) {
 
 RollingCounter* MetricsRegistry::rolling_counter(const std::string& name,
                                                  const RollingOptions& options) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = rolling_counters_[name];
   if (!slot) slot = std::make_unique<RollingCounter>(options);
   return slot.get();
@@ -280,7 +295,7 @@ RollingHistogram* MetricsRegistry::rolling_histogram(const std::string& name,
 RollingHistogram* MetricsRegistry::rolling_histogram(
     const std::string& name, std::vector<double> bounds,
     const RollingOptions& options) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = rolling_histograms_[name];
   if (!slot) {
     slot = std::make_unique<RollingHistogram>(std::move(bounds), options);
@@ -289,14 +304,14 @@ RollingHistogram* MetricsRegistry::rolling_histogram(
 }
 
 std::map<std::string, int64_t> MetricsRegistry::CounterValues() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::map<std::string, int64_t> out;
   for (const auto& [name, c] : counters_) out[name] = c->value();
   return out;
 }
 
 std::string MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   JsonWriter w;
   w.BeginObject();
 
@@ -391,7 +406,7 @@ void WriteHistogramStats(JsonWriter* w, const HistogramSnapshot& snap,
 }
 
 void MetricsRegistry::ResetForTest() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

@@ -5,9 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace ts3net {
 namespace obs {
@@ -21,9 +23,12 @@ struct RollingOptions;
 /// ParallelFor chunks and pool workers concurrently.
 class Counter {
  public:
+  // relaxed: independent tally; readers need the total, not an ordering
+  // with the work that was counted.
   void Increment(int64_t delta = 1) {
     value_.fetch_add(delta, std::memory_order_relaxed);
   }
+  // relaxed: see Increment.
   int64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
@@ -33,7 +38,9 @@ class Counter {
 /// Last-value gauge (thread-safe set/read).
 class Gauge {
  public:
+  // relaxed: last-writer-wins sample; no ordering with surrounding work.
   void Set(double v) { bits_.store(Encode(v), std::memory_order_relaxed); }
+  // relaxed: see Set.
   double value() const {
     return Decode(bits_.load(std::memory_order_relaxed));
   }
@@ -123,13 +130,13 @@ void WriteHistogramStats(JsonWriter* w, const HistogramSnapshot& snap,
 /// kernel hot path.
 class Series {
  public:
-  void Append(double v);
-  std::vector<double> values() const;
-  int64_t size() const;
+  void Append(double v) TS3_EXCLUDES(mu_);
+  std::vector<double> values() const TS3_EXCLUDES(mu_);
+  int64_t size() const TS3_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::vector<double> values_;
+  mutable Mutex mu_;
+  std::vector<double> values_ TS3_GUARDED_BY(mu_);
 };
 
 /// Process-wide registry of named metrics. Lookup takes a mutex and returns
@@ -142,13 +149,13 @@ class MetricsRegistry {
   MetricsRegistry();
   ~MetricsRegistry();
 
-  Counter* counter(const std::string& name);
-  Gauge* gauge(const std::string& name);
+  Counter* counter(const std::string& name) TS3_EXCLUDES(mu_);
+  Gauge* gauge(const std::string& name) TS3_EXCLUDES(mu_);
   /// Creates the histogram with `bounds` on first use; later calls with the
   /// same name return the existing histogram (bounds are then ignored).
-  Histogram* histogram(const std::string& name,
-                       std::vector<double> bounds = {});
-  Series* series(const std::string& name);
+  Histogram* histogram(const std::string& name, std::vector<double> bounds = {})
+      TS3_EXCLUDES(mu_);
+  Series* series(const std::string& name) TS3_EXCLUDES(mu_);
 
   /// Windowed views (see common/obs/rolling.h). Same first-use-creates
   /// semantics as above; `options`/`bounds` are ignored once created. A
@@ -156,40 +163,46 @@ class MetricsRegistry {
   /// cumulative twin and exported under a separate "windows" section.
   RollingCounter* rolling_counter(const std::string& name);
   RollingCounter* rolling_counter(const std::string& name,
-                                  const RollingOptions& options);
+                                  const RollingOptions& options)
+      TS3_EXCLUDES(mu_);
   RollingHistogram* rolling_histogram(const std::string& name,
                                       std::vector<double> bounds = {});
   RollingHistogram* rolling_histogram(const std::string& name,
                                       std::vector<double> bounds,
-                                      const RollingOptions& options);
+                                      const RollingOptions& options)
+      TS3_EXCLUDES(mu_);
 
   /// Snapshot of all counter values (for bench run records).
-  std::map<std::string, int64_t> CounterValues() const;
+  std::map<std::string, int64_t> CounterValues() const TS3_EXCLUDES(mu_);
 
   /// Full registry snapshot as a JSON object: {"counters": {...},
   /// "gauges": {...}, "histograms": {name: {count, mean, p50, ...}},
   /// "series": {name: [...]}, "windows": {"counters": {...},
   /// "histograms": {...}}} — the windows section carries the rolling views
   /// (last-window totals, rates and percentiles).
-  std::string ToJson() const;
+  std::string ToJson() const TS3_EXCLUDES(mu_);
 
   /// Prometheus text exposition (version 0.0.4) of all counters, gauges,
   /// histograms and rolling views. Names are mangled "a/b_us" ->
   /// "ts3_a_b_us"; rolling views are exported as gauges under
   /// "<name>_window_*". Defined in common/obs/export.cc.
-  std::string ToPrometheus() const;
+  std::string ToPrometheus() const TS3_EXCLUDES(mu_);
 
   /// Drops every metric. Only for tests; pointers handed out earlier dangle.
-  void ResetForTest();
+  void ResetForTest() TS3_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::map<std::string, std::unique_ptr<Series>> series_;
-  std::map<std::string, std::unique_ptr<RollingCounter>> rolling_counters_;
-  std::map<std::string, std::unique_ptr<RollingHistogram>> rolling_histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      TS3_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ TS3_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      TS3_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Series>> series_ TS3_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<RollingCounter>> rolling_counters_
+      TS3_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<RollingHistogram>> rolling_histograms_
+      TS3_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -24,6 +24,8 @@ double BitsDouble(uint64_t bits) {
   return v;
 }
 
+// relaxed: statistics cells carry no ordering; every CAS below only needs
+// atomicity of its own read-modify-write (same for the min/max helpers).
 void AtomicAddDouble(std::atomic<uint64_t>* bits, double v) {
   uint64_t old_bits = bits->load(std::memory_order_relaxed);
   for (;;) {
@@ -35,6 +37,7 @@ void AtomicAddDouble(std::atomic<uint64_t>* bits, double v) {
   }
 }
 
+// relaxed: see AtomicAddDouble.
 void AtomicMinDouble(std::atomic<uint64_t>* bits, double v) {
   uint64_t old_bits = bits->load(std::memory_order_relaxed);
   while (v < BitsDouble(old_bits)) {
@@ -45,6 +48,7 @@ void AtomicMinDouble(std::atomic<uint64_t>* bits, double v) {
   }
 }
 
+// relaxed: see AtomicAddDouble.
 void AtomicMaxDouble(std::atomic<uint64_t>* bits, double v) {
   uint64_t old_bits = bits->load(std::memory_order_relaxed);
   while (v > BitsDouble(old_bits)) {
@@ -89,7 +93,9 @@ RollingCounter::Bucket* RollingCounter::BucketForNow() {
   // The ring slot still carries an expired epoch: rotate it. Double-checked
   // under a mutex so concurrent writers landing in a fresh epoch reset the
   // slot exactly once; steady-state increments never take the lock.
-  std::lock_guard<std::mutex> lock(rotate_mu_);
+  MutexLock lock(&rotate_mu_);
+  // relaxed: the recheck and the count reset are ordered by rotate_mu_; the
+  // release store on epoch publishes the reset to lock-free readers.
   if (b->epoch.load(std::memory_order_relaxed) != epoch) {
     b->count.store(0, std::memory_order_relaxed);
     b->epoch.store(epoch, std::memory_order_release);
@@ -98,6 +104,8 @@ RollingCounter::Bucket* RollingCounter::BucketForNow() {
 }
 
 void RollingCounter::Increment(int64_t delta) {
+  // relaxed: independent tally; readers tolerate one racing bucket (class
+  // comment in rolling.h).
   BucketForNow()->count.fetch_add(delta, std::memory_order_relaxed);
 }
 
@@ -113,6 +121,8 @@ int64_t RollingCounter::WindowTotal() const {
     const Bucket& b = buckets_[i];
     const int64_t epoch = b.epoch.load(std::memory_order_acquire);
     if (epoch < oldest || epoch > now_epoch) continue;
+    // relaxed: the acquire on epoch ordered the slot reset; in-flight adds
+    // may be missed, which the class comment allows for telemetry.
     total += b.count.load(std::memory_order_relaxed);
   }
   return total;
@@ -129,6 +139,7 @@ double RollingCounter::WindowRatePerSec() const {
     const Bucket& b = buckets_[i];
     const int64_t epoch = b.epoch.load(std::memory_order_acquire);
     if (epoch < oldest || epoch > now_epoch) continue;
+    // relaxed: see WindowTotal.
     total += b.count.load(std::memory_order_relaxed);
     min_live_epoch = std::min(min_live_epoch, epoch);
   }
@@ -151,6 +162,9 @@ RollingHistogram::RollingHistogram(std::vector<double> bounds,
   TS3_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
       << "histogram bounds must be sorted ascending";
   buckets_ = std::make_unique<Bucket[]>(options_.num_buckets);
+  // The lock is not contended here (nothing else sees the object yet); it is
+  // taken so ResetBucketLocked has its TS3_REQUIRES(rotate_mu_) satisfied.
+  MutexLock lock(&rotate_mu_);
   for (int i = 0; i < options_.num_buckets; ++i) {
     buckets_[i].counts =
         std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
@@ -159,6 +173,8 @@ RollingHistogram::RollingHistogram(std::vector<double> bounds,
 }
 
 void RollingHistogram::ResetBucketLocked(Bucket* b, int64_t epoch) {
+  // relaxed: all the statistic resets below are published together by the
+  // release store on epoch at the end.
   for (size_t i = 0; i <= bounds_.size(); ++i) {
     b->counts[i].store(0, std::memory_order_relaxed);
   }
@@ -175,7 +191,8 @@ RollingHistogram::Bucket* RollingHistogram::BucketForNow() {
   const int64_t epoch = options_.clock->NowNs() / options_.bucket_width_ns;
   Bucket* b = &buckets_[epoch % options_.num_buckets];
   if (b->epoch.load(std::memory_order_acquire) == epoch) return b;
-  std::lock_guard<std::mutex> lock(rotate_mu_);
+  MutexLock lock(&rotate_mu_);
+  // relaxed: recheck ordered by rotate_mu_ (see RollingCounter::BucketForNow).
   if (b->epoch.load(std::memory_order_relaxed) != epoch) {
     ResetBucketLocked(b, epoch);
   }
@@ -186,6 +203,7 @@ void RollingHistogram::Observe(double v) {
   Bucket* b = BucketForNow();
   const size_t idx =
       std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  // relaxed: independent tallies; WindowSnapshot tolerates a racing bucket.
   b->counts[idx].fetch_add(1, std::memory_order_relaxed);
   b->count.fetch_add(1, std::memory_order_relaxed);
   AtomicAddDouble(&b->sum_bits, v);
@@ -208,6 +226,8 @@ HistogramSnapshot RollingHistogram::WindowSnapshot() const {
     const Bucket& b = buckets_[i];
     const int64_t epoch = b.epoch.load(std::memory_order_acquire);
     if (epoch < oldest || epoch > now_epoch) continue;
+    // relaxed: the acquire on epoch ordered the slot reset; racing observes
+    // may be partially visible, acceptable per the class comment.
     for (size_t j = 0; j <= bounds_.size(); ++j) {
       snap.buckets[j] += b.counts[j].load(std::memory_order_relaxed);
     }

@@ -4,10 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/obs/metrics.h"
+#include "common/thread_annotations.h"
 
 namespace ts3net {
 namespace obs {
@@ -68,11 +69,13 @@ class RollingCounter {
     std::atomic<int64_t> count{0};
   };
 
-  Bucket* BucketForNow();
+  Bucket* BucketForNow() TS3_EXCLUDES(rotate_mu_);
 
+  // unguarded: both fixed in the constructor; the ring slots themselves are
+  // atomics, rotate_mu_ only serializes slot resets.
   RollingOptions options_;
   std::unique_ptr<Bucket[]> buckets_;
-  mutable std::mutex rotate_mu_;
+  mutable Mutex rotate_mu_;
 };
 
 /// Fixed-bucket histogram over a sliding window: a ring of per-epoch
@@ -109,13 +112,15 @@ class RollingHistogram {
     std::atomic<uint64_t> max_bits{0};
   };
 
-  Bucket* BucketForNow();
-  void ResetBucketLocked(Bucket* b, int64_t epoch);
+  Bucket* BucketForNow() TS3_EXCLUDES(rotate_mu_);
+  void ResetBucketLocked(Bucket* b, int64_t epoch) TS3_REQUIRES(rotate_mu_);
 
+  // unguarded: all three fixed in the constructor; the ring slots themselves
+  // are atomics, rotate_mu_ only serializes slot resets.
   std::vector<double> bounds_;
   RollingOptions options_;
   std::unique_ptr<Bucket[]> buckets_;
-  mutable std::mutex rotate_mu_;
+  mutable Mutex rotate_mu_;
 };
 
 }  // namespace obs

@@ -6,10 +6,11 @@
 #include <cstdio>
 #include <map>
 #include <memory>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "common/obs/json.h"
 #include "common/string_util.h"
+#include "common/thread_annotations.h"
 
 namespace ts3net {
 namespace obs {
@@ -39,17 +40,28 @@ struct ThreadBuffer {
   static constexpr size_t kChunkSize = 4096;
   using Chunk = std::array<TraceEvent, kChunkSize>;
 
+  // unguarded: assigned once at registration (under g_buffers_mu) before the
+  // buffer is shared; immutable afterwards.
   int tid = 0;
-  std::string name;
-  std::mutex mu;  // guards `chunks` growth and `name`; never held on append
-  std::vector<std::unique_ptr<Chunk>> chunks;
+  Mutex mu;  // guards `chunks` growth and `name`; never held on append
+  std::string name TS3_GUARDED_BY(mu);
+  std::vector<std::unique_ptr<Chunk>> chunks TS3_GUARDED_BY(mu);
+  // relaxed/release: single producer; slots below `size` are frozen by the
+  // release store, and readers acquire-load `size` under `mu`.
   std::atomic<size_t> size{0};  // events committed across all chunks
 
-  void Append(std::string event_name, int64_t start_ns, int64_t dur_ns) {
+  // thread-safety: the owning thread reads `chunks` without `mu` — safe
+  // because only this thread grows the vector, and consumers (AppendTo,
+  // Clear) freeze it by taking `mu`, which this thread also takes for the
+  // growth push_back. Clang's analysis cannot express this single-producer
+  // split, so the unlocked reads are exempted here.
+  void Append(std::string event_name, int64_t start_ns,
+              int64_t dur_ns) TS3_NO_THREAD_SAFETY_ANALYSIS {
+    // relaxed: only this thread writes `size`; it re-reads its own value.
     const size_t n = size.load(std::memory_order_relaxed);
     const size_t chunk_idx = n / kChunkSize;
     if (chunk_idx >= chunks.size()) {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(&mu);
       chunks.push_back(std::make_unique<Chunk>());
     }
     TraceEvent& e = (*chunks[chunk_idx])[n % kChunkSize];
@@ -60,24 +72,27 @@ struct ThreadBuffer {
     size.store(n + 1, std::memory_order_release);
   }
 
-  void AppendTo(std::vector<TraceEvent>* out) {
-    std::lock_guard<std::mutex> lock(mu);
+  void AppendTo(std::vector<TraceEvent>* out) TS3_EXCLUDES(mu) {
+    MutexLock lock(&mu);
     const size_t n = size.load(std::memory_order_acquire);
     for (size_t i = 0; i < n; ++i) {
       out->push_back((*chunks[i / kChunkSize])[i % kChunkSize]);
     }
   }
 
-  void Clear() {
-    std::lock_guard<std::mutex> lock(mu);
+  void Clear() TS3_EXCLUDES(mu) {
+    MutexLock lock(&mu);
     size.store(0, std::memory_order_release);
     chunks.clear();
   }
 };
 
-std::mutex g_buffers_mu;
+// Lock order: g_buffers_mu before any ThreadBuffer::mu (ChromeTraceJson,
+// CollectEvents); never the reverse.
+Mutex g_buffers_mu;
 // Leaked on purpose: pool workers live for the whole process, and flushing
-// after a detached thread exited must still find its events.
+// after a detached thread exited must still find its events. Guarded by
+// g_buffers_mu (function-local statics cannot carry TS3_GUARDED_BY).
 std::vector<ThreadBuffer*>& Buffers() {
   static auto* buffers = new std::vector<ThreadBuffer*>();
   return *buffers;
@@ -86,7 +101,7 @@ std::vector<ThreadBuffer*>& Buffers() {
 ThreadBuffer* LocalBuffer() {
   thread_local ThreadBuffer* buffer = [] {
     auto* b = new ThreadBuffer();
-    std::lock_guard<std::mutex> lock(g_buffers_mu);
+    MutexLock lock(&g_buffers_mu);
     b->tid = static_cast<int>(Buffers().size());
     Buffers().push_back(b);
     return b;
@@ -102,7 +117,7 @@ int CurrentThreadId() { return LocalBuffer()->tid; }
 
 void SetCurrentThreadName(const std::string& name) {
   ThreadBuffer* b = LocalBuffer();
-  std::lock_guard<std::mutex> lock(b->mu);
+  MutexLock lock(&b->mu);
   b->name = name;
 }
 
@@ -115,21 +130,25 @@ void Record(std::string name, int64_t start_ns, int64_t dur_ns) {
 }  // namespace internal_trace
 
 void StartTracing() {
+  // relaxed: see TracingEnabled() — a racing span around the flip is
+  // harmless; buffer visibility is ordered by each ThreadBuffer's mutex.
   internal_trace::g_tracing.store(false, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(g_buffers_mu);
+    MutexLock lock(&g_buffers_mu);
     for (ThreadBuffer* b : Buffers()) b->Clear();
   }
+  // relaxed: see above.
   internal_trace::g_tracing.store(true, std::memory_order_relaxed);
 }
 
 void StopTracing() {
+  // relaxed: see TracingEnabled().
   internal_trace::g_tracing.store(false, std::memory_order_relaxed);
 }
 
 std::vector<TraceEvent> CollectEvents() {
   std::vector<TraceEvent> out;
-  std::lock_guard<std::mutex> lock(g_buffers_mu);
+  MutexLock lock(&g_buffers_mu);
   for (ThreadBuffer* b : Buffers()) b->AppendTo(&out);
   return out;
 }
@@ -161,9 +180,9 @@ std::string ChromeTraceJson() {
   w.EndObject();
   w.EndObject();
   {
-    std::lock_guard<std::mutex> lock(g_buffers_mu);
+    MutexLock lock(&g_buffers_mu);
     for (ThreadBuffer* b : Buffers()) {
-      std::lock_guard<std::mutex> buffer_lock(b->mu);
+      MutexLock buffer_lock(&b->mu);
       w.BeginObject();
       w.Key("name");
       w.String("thread_name");

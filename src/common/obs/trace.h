@@ -37,6 +37,8 @@ void Record(std::string name, int64_t start_ns, int64_t dur_ns);
 /// True while spans are being recorded. A single relaxed atomic load — the
 /// whole cost of TS3_TRACE_SPAN when tracing is off is this branch.
 inline bool TracingEnabled() {
+  // relaxed: a stale read just records (or skips) one extra span around the
+  // Start/StopTracing edge; buffer publication is ordered by ThreadBuffer.
   return internal_trace::g_tracing.load(std::memory_order_relaxed);
 }
 

@@ -1,0 +1,75 @@
+#ifndef TS3NET_COMMON_THREAD_ANNOTATIONS_H_
+#define TS3NET_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attributes (DESIGN.md §9, "Concurrency
+/// contracts"). Annotations turn the locking conventions written in comments
+/// ("guarded by mu_", "caller holds mu_") into contracts the compiler checks:
+/// a Clang build with -Wthread-safety (CMake option TS3_THREAD_SAFETY=ON, the
+/// `thread-safety` CI job) rejects any access to a TS3_GUARDED_BY field
+/// without its mutex held and any call to a TS3_REQUIRES function from an
+/// unlocked context. GCC and other compilers see empty macros, so the
+/// annotations cost nothing outside the analysis build.
+///
+/// Use the `Mutex` / `MutexLock` / `CondVar` shim from common/mutex.h rather
+/// than raw std::mutex in annotated code: the analysis only tracks lock
+/// operations that carry these attributes, and the std types do not.
+///
+/// TS3_NO_THREAD_SAFETY_ANALYSIS opts a function out of the analysis. Every
+/// use must carry an adjacent `// thread-safety:` comment justifying why the
+/// function is correct without the analysis (ts3lint TL012 enforces the
+/// comment); the canonical example is a single-producer lock-free append that
+/// reads a guarded field it logically owns.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define TS3_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define TS3_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a capability ("mutex") the analysis can track.
+#define TS3_CAPABILITY(x) TS3_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define TS3_SCOPED_CAPABILITY TS3_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Field is protected by the given mutex; every access needs it held.
+#define TS3_GUARDED_BY(x) TS3_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by the given mutex.
+#define TS3_PT_GUARDED_BY(x) TS3_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Function acquires the capability (held on return, not on entry).
+#define TS3_ACQUIRE(...) \
+  TS3_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry, not on return).
+#define TS3_RELEASE(...) \
+  TS3_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+/// Function tries to acquire; first argument is the success return value.
+#define TS3_TRY_ACQUIRE(...) \
+  TS3_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must hold the capability for the duration of the call.
+#define TS3_REQUIRES(...) \
+  TS3_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock guard on public entry
+/// points of classes that lock internally).
+#define TS3_EXCLUDES(...) \
+  TS3_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Runtime-asserts the capability is held and tells the analysis so.
+#define TS3_ASSERT_CAPABILITY(x) \
+  TS3_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define TS3_RETURN_CAPABILITY(x) \
+  TS3_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Opts a function out of the analysis entirely. Requires an adjacent
+/// `// thread-safety:` justification comment (ts3lint TL012).
+#define TS3_NO_THREAD_SAFETY_ANALYSIS \
+  TS3_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // TS3NET_COMMON_THREAD_ANNOTATIONS_H_

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <exception>
+#include <memory>
+#include <utility>
 
 #include "common/check.h"
 #include "common/obs/metrics.h"
@@ -59,9 +60,11 @@ int ClampThreads(int n) {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-std::mutex g_global_mu;
-ThreadPool* g_global_pool = nullptr;  // leaked intentionally; see Global()
-int g_global_threads = 0;             // 0 = not yet configured (hardware)
+Mutex g_global_mu;
+// leaked intentionally; see Global()
+ThreadPool* g_global_pool TS3_GUARDED_BY(g_global_mu) = nullptr;
+// 0 = not yet configured (hardware)
+int g_global_threads TS3_GUARDED_BY(g_global_mu) = 0;
 
 }  // namespace
 
@@ -75,10 +78,10 @@ ThreadPool::ThreadPool(int num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -87,8 +90,8 @@ void ThreadPool::WorkerLoop(int worker_index) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && queue_.empty()) cv_.Wait(&mu_);
       if (queue_.empty()) return;  // shutdown with no pending work
       task = std::move(queue_.front());
       queue_.pop();
@@ -141,14 +144,17 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   const int64_t chunk_size = (n + num_chunks - 1) / num_chunks;
 
   struct LoopState {
+    // relaxed: the chunk counter only hands out disjoint indices; the chunk
+    // bodies establish no ordering through it.
     std::atomic<int64_t> next_chunk{0};
     std::atomic<int64_t> remaining;  // chunks not yet finished
-    std::mutex done_mu;
-    std::condition_variable done_cv;
-    std::mutex err_mu;
-    std::exception_ptr first_error;
+    Mutex done_mu;
+    CondVar done_cv;
+    Mutex err_mu;
+    std::exception_ptr first_error TS3_GUARDED_BY(err_mu);
   };
   auto state = std::make_shared<LoopState>();
+  // relaxed: published to workers through the queue push under mu_ below.
   state->remaining.store(num_chunks, std::memory_order_relaxed);
 
   auto drain = [state, begin, n, chunk_size, num_chunks, &fn]() {
@@ -156,6 +162,7 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
     t_inside_parallel_region = true;
     const bool traced = obs::TracingEnabled();
     for (;;) {
+      // relaxed: see the LoopState declaration.
       const int64_t c =
           state->next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (c >= num_chunks) break;
@@ -169,12 +176,14 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
       try {
         fn(lo, hi);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(state->err_mu);
+        MutexLock lock(&state->err_mu);
         if (!state->first_error) state->first_error = std::current_exception();
       }
+      // acq_rel: the final decrement must observe every chunk's writes so
+      // the caller may touch the loop's outputs after the wait below.
       if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(state->done_mu);
-        state->done_cv.notify_all();
+        MutexLock lock(&state->done_mu);
+        state->done_cv.NotifyAll();
       }
     }
     t_inside_parallel_region = was_inside;
@@ -197,29 +206,35 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
     };
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (int64_t i = 0; i < passes; ++i) queue_.push(task);
   }
   if (passes == 1) {
-    cv_.notify_one();
+    cv_.NotifyOne();
   } else if (passes > 1) {
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
   drain();
 
   // Wait for chunks claimed by workers that are still running. The lambda
   // captures `fn` by reference, so we must not return before remaining == 0.
   {
-    std::unique_lock<std::mutex> lock(state->done_mu);
-    state->done_cv.wait(lock, [&state] {
-      return state->remaining.load(std::memory_order_acquire) == 0;
-    });
+    MutexLock lock(&state->done_mu);
+    // acquire: pairs with the workers' acq_rel decrement above.
+    while (state->remaining.load(std::memory_order_acquire) != 0) {
+      state->done_cv.Wait(&state->done_mu);
+    }
   }
-  if (state->first_error) std::rethrow_exception(state->first_error);
+  std::exception_ptr first_error;
+  {
+    MutexLock lock(&state->err_mu);
+    first_error = state->first_error;
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 ThreadPool* ThreadPool::Global() {
-  std::lock_guard<std::mutex> lock(g_global_mu);
+  MutexLock lock(&g_global_mu);
   if (g_global_pool == nullptr) {
     g_global_pool = new ThreadPool(ClampThreads(g_global_threads));
   }
@@ -227,7 +242,7 @@ ThreadPool* ThreadPool::Global() {
 }
 
 void ThreadPool::SetGlobalNumThreads(int n) {
-  std::lock_guard<std::mutex> lock(g_global_mu);
+  MutexLock lock(&g_global_mu);
   const int clamped = ClampThreads(n);
   g_global_threads = clamped;
   if (g_global_pool != nullptr && g_global_pool->num_threads() != clamped) {
@@ -240,10 +255,8 @@ void ThreadPool::SetGlobalNumThreads(int n) {
 }
 
 int ThreadPool::GlobalNumThreads() {
-  {
-    std::lock_guard<std::mutex> lock(g_global_mu);
-    if (g_global_pool != nullptr) return g_global_pool->num_threads();
-  }
+  MutexLock lock(&g_global_mu);
+  if (g_global_pool != nullptr) return g_global_pool->num_threads();
   return ClampThreads(g_global_threads);
 }
 
@@ -258,17 +271,22 @@ bool ParallelWouldFanOut(int64_t n, int64_t grain) {
 
 PeriodicThread::PeriodicThread(int64_t period_ms, std::function<void()> tick) {
   thread_ = std::thread([this, period_ms, tick = std::move(tick)] {
-    std::unique_lock<std::mutex> lock(mu_);
+    const int64_t period_ns = period_ms * 1000000;
+    MutexLock lock(&mu_);
     for (;;) {
-      if (cv_.wait_for(lock, std::chrono::milliseconds(period_ms),
-                       [this] { return stop_; })) {
-        return;
+      // Sleep one period, waking early when Stop flips stop_. Spurious
+      // wakeups re-wait for the remaining slice of the period.
+      const int64_t deadline_ns = obs::NowNanos() + period_ns;
+      while (!stop_) {
+        const int64_t left_ns = deadline_ns - obs::NowNanos();
+        if (left_ns <= 0 || cv_.WaitForNs(&mu_, left_ns)) break;
       }
+      if (stop_) return;
       // Tick outside the lock so Stop() is never blocked behind a slow tick
       // body (it only needs the lock to flip stop_ and notify).
-      lock.unlock();
+      lock.Unlock();
       tick();
-      lock.lock();
+      lock.Lock();
       if (stop_) return;
     }
   });
@@ -278,11 +296,11 @@ PeriodicThread::~PeriodicThread() { Stop(); }
 
 void PeriodicThread::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stop_ && !thread_.joinable()) return;
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (thread_.joinable()) thread_.join();
 }
 

@@ -1,13 +1,14 @@
 #ifndef TS3NET_COMMON_THREADPOOL_H_
 #define TS3NET_COMMON_THREADPOOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace ts3net {
 
@@ -44,7 +45,8 @@ class ThreadPool {
   /// ParallelFor without worrying about who invoked them. An empty range is
   /// a no-op.
   void ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                   const std::function<void(int64_t, int64_t)>& fn);
+                   const std::function<void(int64_t, int64_t)>& fn)
+      TS3_EXCLUDES(mu_);
 
   // -- Process-wide singleton ------------------------------------------------
 
@@ -64,15 +66,17 @@ class ThreadPool {
     std::function<void()> run;
   };
 
-  void WorkerLoop(int worker_index);
+  void WorkerLoop(int worker_index) TS3_EXCLUDES(mu_);
 
   const int num_threads_;
+  // unguarded: filled in the constructor, joined in the destructor; never
+  // touched while workers run.
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::queue<std::function<void()>> queue_;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::queue<std::function<void()>> queue_ TS3_GUARDED_BY(mu_);
+  bool shutdown_ TS3_GUARDED_BY(mu_) = false;
 };
 
 /// `ThreadPool::Global()->ParallelFor(...)`, the form kernels use. Falls back
@@ -99,12 +103,14 @@ class PeriodicThread {
   PeriodicThread(const PeriodicThread&) = delete;
   PeriodicThread& operator=(const PeriodicThread&) = delete;
 
-  void Stop();
+  void Stop() TS3_EXCLUDES(mu_);
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  bool stop_ TS3_GUARDED_BY(mu_) = false;
+  // unguarded: set in the constructor, joined in Stop; the thread object
+  // itself is never shared with the tick body.
   std::thread thread_;
 };
 

@@ -1,5 +1,7 @@
 #include "common/transform_cache.h"
 
+#include <utility>
+
 #include "common/check.h"
 #include "common/obs/metrics.h"
 
@@ -35,36 +37,51 @@ TransformCache* TransformCache::Global() {
 std::shared_ptr<void> TransformCache::GetOrCreate(
     const std::string& key, const std::function<Entry()>& build) {
   CacheMetrics& metrics = GetCacheMetrics();
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    metrics.hits->Increment();
-    return it->second.plan;
+  std::shared_ptr<Slot> slot;
+  bool inserted = false;
+  {
+    MutexLock lock(&mu_);
+    auto [pos, fresh] = slots_.try_emplace(key);
+    if (fresh) pos->second = std::make_shared<Slot>();
+    slot = pos->second;
+    inserted = fresh;
   }
-  Entry entry = build();
-  TS3_CHECK(entry.plan != nullptr) << "plan builder returned null for " << key;
-  TS3_CHECK_GE(entry.bytes, 0);
-  metrics.misses->Increment();
-  metrics.bytes->Increment(entry.bytes);
-  bytes_ += entry.bytes;
-  auto [pos, inserted] = entries_.emplace(key, std::move(entry));
-  TS3_CHECK(inserted);
-  return pos->second.plan;
+  // A "miss" is the request that inserted the slot (and so runs the
+  // builder); every other request is a hit, including ones that arrive while
+  // the build is still in flight and wait for it inside call_once.
+  if (inserted) {
+    metrics.misses->Increment();
+  } else {
+    metrics.hits->Increment();
+  }
+  std::call_once(slot->once, [&] {
+    // Runs with no lock held: an expensive build (which may ParallelFor or
+    // log) stalls only requests for this key, never the whole cache.
+    Entry entry = build();
+    TS3_CHECK(entry.plan != nullptr)
+        << "plan builder returned null for " << key;
+    TS3_CHECK_GE(entry.bytes, 0);
+    metrics.bytes->Increment(entry.bytes);
+    slot->entry = std::move(entry);
+    MutexLock lock(&mu_);
+    bytes_ += slot->entry.bytes;
+  });
+  return slot->entry.plan;
 }
 
 int64_t TransformCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<int64_t>(entries_.size());
+  MutexLock lock(&mu_);
+  return static_cast<int64_t>(slots_.size());
 }
 
 int64_t TransformCache::bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return bytes_;
 }
 
 void TransformCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  entries_.clear();
+  MutexLock lock(&mu_);
+  slots_.clear();
   bytes_ = 0;
 }
 

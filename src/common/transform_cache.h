@@ -8,6 +8,9 @@
 #include <mutex>
 #include <string>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
 namespace ts3net {
 
 /// Process-wide cache of precomputed transform plans (CWT correlation
@@ -20,10 +23,15 @@ namespace ts3net {
 /// signal/cwt_plan.h wrap `GetOrCreate` so common/ stays free of tensor
 /// dependencies. Keys namespace with "/" (e.g. "cwt/dense/<fp>/<T>").
 ///
-/// Thread safety: a single mutex guards the map and is held across the
-/// builder, so concurrent requests for one key build exactly once and both
-/// receive the same plan. Builders may use ParallelFor (the pool never
-/// touches this mutex). Cached plans must be immutable after construction.
+/// Thread safety: the map mutex is only held to look up or insert a slot,
+/// never across a builder. Each slot owns a `std::once_flag`, so concurrent
+/// requests for one key still build exactly once (late arrivals block inside
+/// `call_once` until the winner finishes), while requests for *different*
+/// keys build fully in parallel — an expensive CWT plan no longer stalls
+/// unrelated lookups, and builders are free to use ParallelFor or log
+/// without running under the cache lock (ts3lint TL013 forbids blocking
+/// calls in cache-lock spans). Cached plans must be immutable after
+/// construction.
 ///
 /// Observability: the registry counters `cache/plan/hits`,
 /// `cache/plan/misses`, and `cache/plan/bytes` (total bytes held, as
@@ -40,10 +48,13 @@ class TransformCache {
 
   static TransformCache* Global();
 
-  /// Returns the plan stored under `key`, invoking `build` under the cache
-  /// mutex if the key is missing. `build` must not re-enter the cache.
+  /// Returns the plan stored under `key`, invoking `build` outside the cache
+  /// mutex if the key is missing (see the class comment for the exactly-once
+  /// protocol). `build` must not request the same key re-entrantly; distinct
+  /// keys are fine.
   std::shared_ptr<void> GetOrCreate(const std::string& key,
-                                    const std::function<Entry()>& build);
+                                    const std::function<Entry()>& build)
+      TS3_EXCLUDES(mu_);
 
   /// Typed convenience wrapper; T must match the type `build` stored.
   template <typename T>
@@ -52,18 +63,27 @@ class TransformCache {
     return std::static_pointer_cast<const T>(GetOrCreate(key, build));
   }
 
-  int64_t size() const;
-  int64_t bytes() const;
+  int64_t size() const TS3_EXCLUDES(mu_);
+  int64_t bytes() const TS3_EXCLUDES(mu_);
 
   /// Drops every entry (plans handed out earlier stay alive through their
   /// shared_ptr). Only for tests; resets the bytes accounting, not the
   /// hit/miss counters.
-  void Clear();
+  void Clear() TS3_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
-  int64_t bytes_ = 0;
+  /// One cache slot. The slot is created (empty) under `mu_` and shared via
+  /// shared_ptr; `entry` is written exactly once inside `once` and is
+  /// immutable afterwards, so readers that obtained the slot after their
+  /// call_once returned need no lock.
+  struct Slot {
+    std::once_flag once;
+    Entry entry;
+  };
+
+  mutable Mutex mu_;
+  std::map<std::string, std::shared_ptr<Slot>> slots_ TS3_GUARDED_BY(mu_);
+  int64_t bytes_ TS3_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace ts3net

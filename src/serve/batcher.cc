@@ -1,7 +1,6 @@
 #include "serve/batcher.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cstring>
 #include <thread>
 #include <utility>
@@ -62,7 +61,7 @@ Result<std::future<Tensor>> MicroBatcher::Submit(const Tensor& window) {
     return reject(Status::InvalidArgument(
         "MicroBatcher::Submit expects a [T, C] window"));
   }
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (shutdown_) {
     return reject(Status::Internal("MicroBatcher is shut down"));
   }
@@ -86,19 +85,20 @@ Result<std::future<Tensor>> MicroBatcher::Submit(const Tensor& window) {
   requests_window_->Increment();
   queue_depth_->Set(static_cast<double>(queue_.size()));
   if (static_cast<int64_t>(queue_.size()) >= options_.max_batch) {
-    cv_.notify_all();  // a forming leader stops waiting once the batch fills
+    cv_.NotifyAll();  // a forming leader stops waiting once the batch fills
   }
   while (!ticket->done) {
     if (!leader_active_) {
       leader_active_ = true;
-      LeadLocked(lock, ticket.get());
+      LeadLocked(ticket.get());
       leader_active_ = false;
       // Hand leadership to a follower whose request is still queued (the
       // leader stops once its own request resolves, not when the queue is
       // empty — see the class comment).
-      cv_.notify_all();
+      cv_.NotifyAll();
     } else {
-      cv_.wait(lock, [&] { return ticket->done || !leader_active_; });
+      // Park until this ticket resolves or leadership is up for grabs.
+      while (!ticket->done && leader_active_) cv_.Wait(&mu_);
     }
   }
   return future;
@@ -111,35 +111,34 @@ Result<Tensor> MicroBatcher::Predict(const Tensor& window) {
 }
 
 void MicroBatcher::Shutdown() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!shutdown_) {
     shutdown_ = true;
-    cv_.notify_all();  // any forming leader stops filling and executes now
+    cv_.NotifyAll();  // any forming leader stops filling and executes now
   }
   if (!leader_active_ && !queue_.empty()) {
     // Belt and braces: every queued request's submitter is parked inside
     // Submit and will lead, but drain here too so Shutdown never depends on
     // follower scheduling.
     leader_active_ = true;
-    LeadLocked(lock, nullptr);
+    LeadLocked(nullptr);
     leader_active_ = false;
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
-  drained_cv_.wait(lock, [&] { return inflight_ == 0; });
+  while (inflight_ != 0) drained_cv_.Wait(&mu_);
 }
 
 int64_t MicroBatcher::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return static_cast<int64_t>(queue_.size());
 }
 
-void MicroBatcher::LeadLocked(std::unique_lock<std::mutex>& lock,
-                              const Ticket* ticket) {
+void MicroBatcher::LeadLocked(const Ticket* ticket) {
   // The leader is the only thread that pops the queue, and its own request
   // sits in FIFO order, so with a non-null ticket this loop ends after at
   // most ceil(position / max_batch) batches.
   while (ticket != nullptr ? !ticket->done : !queue_.empty()) {
-    FormBatchLocked(lock);
+    FormBatchLocked();
     const int64_t take = std::min<int64_t>(
         static_cast<int64_t>(queue_.size()), options_.max_batch);
     std::vector<Pending> batch;
@@ -149,19 +148,19 @@ void MicroBatcher::LeadLocked(std::unique_lock<std::mutex>& lock,
       queue_.pop_front();
     }
     queue_depth_->Set(static_cast<double>(queue_.size()));
-    lock.unlock();
+    mu_.Unlock();
     ExecuteBatch(&batch);
-    lock.lock();
+    mu_.Lock();
     for (const Pending& p : batch) {
       p.ticket->done = true;
     }
     inflight_ -= take;
-    if (inflight_ == 0) drained_cv_.notify_all();
-    cv_.notify_all();  // resolved followers return; others may lead later
+    if (inflight_ == 0) drained_cv_.NotifyAll();
+    cv_.NotifyAll();  // resolved followers return; others may lead later
   }
 }
 
-void MicroBatcher::FormBatchLocked(std::unique_lock<std::mutex>& lock) {
+void MicroBatcher::FormBatchLocked() {
   if (static_cast<int64_t>(queue_.size()) >= options_.max_batch ||
       options_.max_wait_us <= 0 || shutdown_) {
     return;
@@ -176,8 +175,8 @@ void MicroBatcher::FormBatchLocked(std::unique_lock<std::mutex>& lock) {
   // stays the hard deadline throughout. A plain full-deadline wait would be
   // far worse: a client pool smaller than max_batch can never fill the
   // queue, so every batch would stall out the entire deadline.
-  const auto cv_slice = std::chrono::microseconds(
-      std::clamp<int64_t>(options_.max_wait_us / 8, 10, 100));
+  const int64_t cv_slice_ns =
+      std::clamp<int64_t>(options_.max_wait_us / 8, 10, 100) * 1000;
   const int64_t deadline_ns = obs::NowNanos() + options_.max_wait_us * 1000;
   constexpr int kYieldBudget = 64;  // ~tens of us of CPU at worst
   constexpr int kStallYields = 3;   // growth-free yields => burst looks over
@@ -188,19 +187,23 @@ void MicroBatcher::FormBatchLocked(std::unique_lock<std::mutex>& lock) {
     const size_t before = queue_.size();
     if (yields_left > 0) {
       --yields_left;
-      lock.unlock();
+      mu_.Unlock();
       std::this_thread::yield();
-      lock.lock();
+      mu_.Lock();
       if (queue_.size() > before) {
         stalled_yields = 0;
       } else if (++stalled_yields >= kStallYields) {
         yields_left = 0;  // burst looks over; confirm with a real sleep
       }
     } else {
-      cv_.wait_for(lock, cv_slice, [&] {
-        return static_cast<int64_t>(queue_.size()) >= options_.max_batch ||
-               shutdown_;
-      });
+      // One short real sleep, re-waiting on spurious wakes until the slice
+      // elapses, the batch fills, or shutdown begins.
+      const int64_t slice_deadline_ns = obs::NowNanos() + cv_slice_ns;
+      while (static_cast<int64_t>(queue_.size()) < options_.max_batch &&
+             !shutdown_) {
+        const int64_t left_ns = slice_deadline_ns - obs::NowNanos();
+        if (left_ns <= 0 || cv_.WaitForNs(&mu_, left_ns)) break;
+      }
       if (queue_.size() == before) break;  // an idle slice: fire early
       yields_left = kYieldBudget / 2;  // arrivals resumed; collect again
       stalled_yields = 0;

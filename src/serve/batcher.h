@@ -5,13 +5,13 @@
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
-#include <condition_variable>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/obs/metrics.h"
 #include "common/obs/rolling.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "serve/flight_recorder.h"
 #include "serve/snapshot.h"
 #include "tensor/tensor.h"
@@ -80,7 +80,7 @@ class MicroBatcher {
   /// yielding the [H, C] prediction. All windows must share the shape of the
   /// first submitted one. Returns InvalidArgument on a shape mismatch and
   /// Internal after Shutdown.
-  Result<std::future<Tensor>> Submit(const Tensor& window);
+  Result<std::future<Tensor>> Submit(const Tensor& window) TS3_EXCLUDES(mu_);
 
   /// Submit + wait: the synchronous single-request client path.
   Result<Tensor> Predict(const Tensor& window);
@@ -88,10 +88,10 @@ class MicroBatcher {
   /// Stops accepting new requests and blocks until every queued request has
   /// executed (skipping any remaining `max_wait_us` delays). Idempotent and
   /// safe to call from any thread.
-  void Shutdown();
+  void Shutdown() TS3_EXCLUDES(mu_);
 
   /// Requests accepted but not yet executed (test/monitoring hook).
-  int64_t pending() const;
+  int64_t pending() const TS3_EXCLUDES(mu_);
 
  private:
   /// Per-request completion state. The promise is fulfilled unlocked; `done`
@@ -108,14 +108,16 @@ class MicroBatcher {
     int64_t request_id = 0;
   };
 
-  /// Leader loop: called with `lock` held and `leader_active_` set; executes
+  /// Leader loop: called with `mu_` held and `leader_active_` set; executes
   /// batches until `ticket->done` (or, when `ticket` is null — the shutdown
-  /// drain — until the queue is empty). The caller resigns leadership.
-  void LeadLocked(std::unique_lock<std::mutex>& lock, const Ticket* ticket);
+  /// drain — until the queue is empty). Drops `mu_` around each batch
+  /// execution and re-holds it on return. The caller resigns leadership.
+  void LeadLocked(const Ticket* ticket) TS3_REQUIRES(mu_);
 
-  /// Waits (with `lock` held) for the queue to fill to max_batch, for
-  /// max_wait_us to elapse, or for the arrival burst to visibly end.
-  void FormBatchLocked(std::unique_lock<std::mutex>& lock);
+  /// Waits (with `mu_` held) for the queue to fill to max_batch, for
+  /// max_wait_us to elapse, or for the arrival burst to visibly end. Drops
+  /// `mu_` around each yield and re-holds it on return.
+  void FormBatchLocked() TS3_REQUIRES(mu_);
 
   /// Stacks `batch` into one tensor, forwards it, fulfills the promises.
   /// Runs unlocked; at most one execution is in flight at a time.
@@ -124,6 +126,8 @@ class MicroBatcher {
   const std::shared_ptr<const ModelSnapshot> snapshot_;
   const MicroBatcherOptions options_;
 
+  // unguarded (through flight_recorder_): all looked up once in the
+  // constructor; the pointees are internally thread-safe.
   obs::Counter* requests_;
   obs::Counter* batches_;
   obs::Counter* compiled_predicts_;
@@ -137,16 +141,17 @@ class MicroBatcher {
   obs::RollingHistogram* batch_exec_us_window_;
   FlightRecorder* flight_recorder_;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // Wakes a forming leader (queue full / shutdown) and parked followers
   // (their ticket resolved, or leadership is up for grabs).
-  std::condition_variable cv_;
-  std::condition_variable drained_cv_;  // signals inflight_ == 0
-  std::deque<Pending> queue_;
-  Shape window_shape_;  // fixed by the first Submit
-  bool leader_active_ = false;
-  bool shutdown_ = false;
-  int64_t inflight_ = 0;  // queued + currently executing
+  CondVar cv_;
+  CondVar drained_cv_;  // signals inflight_ == 0
+  std::deque<Pending> queue_ TS3_GUARDED_BY(mu_);
+  Shape window_shape_ TS3_GUARDED_BY(mu_);  // fixed by the first Submit
+  bool leader_active_ TS3_GUARDED_BY(mu_) = false;
+  bool shutdown_ TS3_GUARDED_BY(mu_) = false;
+  // queued + currently executing
+  int64_t inflight_ TS3_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace serve

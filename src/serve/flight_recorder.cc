@@ -2,25 +2,27 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <mutex>
 #include <vector>
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "common/mutex.h"
 #include "common/obs/json.h"
 #include "common/obs/metrics.h"
+#include "common/thread_annotations.h"
 
 namespace ts3net {
 namespace serve {
 
 namespace {
 
-std::mutex g_global_mu;
-FlightRecorder* g_global = nullptr;  // leaked; stable across Configure races
+Mutex g_global_mu;
+// leaked; stable across Configure races
+FlightRecorder* g_global TS3_GUARDED_BY(g_global_mu) = nullptr;
 // Replaced recorders are parked here instead of freed: batchers may still
 // hold the old pointer. Keeping them reachable also keeps LeakSanitizer
 // quiet about the intentional leak.
-std::vector<FlightRecorder*>* g_retired = nullptr;
+std::vector<FlightRecorder*>* g_retired TS3_GUARDED_BY(g_global_mu) = nullptr;
 
 }  // namespace
 
@@ -47,13 +49,13 @@ FlightRecorder::FlightRecorder(const FlightRecorderOptions& options)
 }
 
 FlightRecorder* FlightRecorder::Global() {
-  std::lock_guard<std::mutex> lock(g_global_mu);
+  MutexLock lock(&g_global_mu);
   if (g_global == nullptr) g_global = new FlightRecorder();
   return g_global;
 }
 
 void FlightRecorder::Configure(const FlightRecorderOptions& options) {
-  std::lock_guard<std::mutex> lock(g_global_mu);
+  MutexLock lock(&g_global_mu);
   // The old recorder is never freed, only retired: batchers may have cached
   // the pointer, and a ~20KB ring per reconfiguration (a startup-time event)
   // is cheaper than reference counting on the record path.
@@ -65,6 +67,8 @@ void FlightRecorder::Configure(const FlightRecorderOptions& options) {
 }
 
 void FlightRecorder::Record(const RequestRecord& record) {
+  // relaxed: the ticket only claims a slot; publication order comes from the
+  // seqlock release stores below.
   const int64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
   Slot& slot = slots_[ticket % options_.capacity];
   // Claim: odd seq derived from the ticket, so it is unique per write. Two
@@ -73,6 +77,8 @@ void FlightRecorder::Record(const RequestRecord& record) {
   // comparison rejects.
   const uint64_t claim = static_cast<uint64_t>(ticket) * 2 + 1;
   slot.seq.store(claim, std::memory_order_release);
+  // relaxed (all fields): ordered as a group by the seqlock — the claim
+  // store above and the publish store below are the release edges.
   slot.request_id.store(record.request_id, std::memory_order_relaxed);
   slot.arrival_ns.store(record.arrival_ns, std::memory_order_relaxed);
   slot.queue_wait_us.store(record.queue_wait_us, std::memory_order_relaxed);
@@ -102,6 +108,8 @@ void FlightRecorder::MaybeDumpOnBreach(int64_t now_ns) {
   // the cooldown writes the file; concurrent breaches lose the CAS and skip.
   const int64_t window_ns = breaches_in_window_->window_ns();
   const int64_t epoch = now_ns / window_ns;
+  // relaxed: the epoch is a rate-limit token; the dump itself reads the ring
+  // through the seqlock, which provides the ordering.
   int64_t last = last_dump_epoch_.load(std::memory_order_relaxed);
   if (last == epoch) return;
   if (!last_dump_epoch_.compare_exchange_strong(last, epoch,
@@ -137,6 +145,8 @@ std::vector<RequestRecord> FlightRecorder::Snapshot() const {
     const uint64_t seq_before = slot.seq.load(std::memory_order_acquire);
     if (seq_before & 1) continue;
     RequestRecord r;
+    // relaxed (all fields): the acquire on seq above and the fence before
+    // the re-read below bracket the copies; a torn slot fails the recheck.
     r.request_id = slot.request_id.load(std::memory_order_relaxed);
     r.arrival_ns = slot.arrival_ns.load(std::memory_order_relaxed);
     r.queue_wait_us = slot.queue_wait_us.load(std::memory_order_relaxed);
@@ -147,6 +157,7 @@ std::vector<RequestRecord> FlightRecorder::Snapshot() const {
     r.outcome = static_cast<RequestOutcome>(
         slot.outcome.load(std::memory_order_relaxed));
     std::atomic_thread_fence(std::memory_order_acquire);
+    // relaxed: the fence above orders this re-read after the field copies.
     if (slot.seq.load(std::memory_order_relaxed) != seq_before) continue;
     out.push_back(r);
   }

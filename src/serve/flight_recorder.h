@@ -67,6 +67,7 @@ class FlightRecorder {
   explicit FlightRecorder(const FlightRecorderOptions& options = {});
 
   /// Fresh monotonically increasing request id (minted in Submit).
+  // relaxed: ids only need to be unique, not ordered with anything.
   int64_t MintId() { return next_id_.fetch_add(1, std::memory_order_relaxed); }
 
   void Record(const RequestRecord& record);
@@ -80,6 +81,8 @@ class FlightRecorder {
 
   /// Records ever seen (>= capacity once the ring has wrapped).
   int64_t total_recorded() const {
+    // relaxed: monotonic count for display; slot reads are ordered by the
+    // per-slot seqlock, not by head_.
     return head_.load(std::memory_order_relaxed);
   }
 

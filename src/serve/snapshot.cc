@@ -90,7 +90,7 @@ Tensor ModelSnapshot::Predict(const Tensor& x) const {
   TS3_TRACE_SPAN("serve/predict");
   NoGradGuard no_grad;
   auto* registry = obs::MetricsRegistry::Global();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   CompiledGraph* graph = options_.compile ? GetOrCompileLocked(x) : nullptr;
   // The allocation gauge covers execution only, not one-time compilation:
   // it answers "what does a steady-state Predict cost", which for the
@@ -116,17 +116,17 @@ int64_t ModelSnapshot::num_parameters() const {
 }
 
 int ModelSnapshot::num_compiled_shapes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return static_cast<int>(compiled_.size());
 }
 
 int ModelSnapshot::num_rejected_shapes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return static_cast<int>(rejected_.size());
 }
 
 std::vector<OpKindProfile> ModelSnapshot::AggregatedStepProfile() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<OpKindProfile> all;
   for (const auto& [shape, graph] : compiled_) {
     std::vector<OpKindProfile> profile = graph->ProfileByOpKind();

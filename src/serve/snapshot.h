@@ -4,13 +4,14 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "nn/module.h"
 #include "serve/compiled_graph.h"
+#include "common/thread_annotations.h"
 #include "tensor/tensor.h"
 
 namespace ts3net {
@@ -77,20 +78,20 @@ class ModelSnapshot {
   ///   serve/compile_rejected   shapes that failed compilation
   /// and gauges serve/allocs_per_predict (tensor allocations in the last
   /// Predict, 0 in compiled steady state) and serve/arena_bytes.
-  Tensor Predict(const Tensor& x) const;
+  Tensor Predict(const Tensor& x) const TS3_EXCLUDES(mu_);
 
   int64_t num_parameters() const;
 
   const SnapshotOptions& options() const { return options_; }
   /// Number of input shapes with a live compiled graph (for tests).
-  int num_compiled_shapes() const;
+  int num_compiled_shapes() const TS3_EXCLUDES(mu_);
   /// Number of input shapes that failed compilation (for tests).
-  int num_rejected_shapes() const;
+  int num_rejected_shapes() const TS3_EXCLUDES(mu_);
 
   /// Merged per-op-kind step profile across every compiled graph this
   /// snapshot holds (see serve/step_profiler.h). Empty unless Predicts ran
   /// with the step profiler enabled. Takes the Predict mutex.
-  std::vector<OpKindProfile> AggregatedStepProfile() const;
+  std::vector<OpKindProfile> AggregatedStepProfile() const TS3_EXCLUDES(mu_);
   /// AggregatedStepProfile as a JSON array:
   /// [{"kind": ..., "steps": N, "calls": N, "total_ns": N, "share": S}].
   std::string StepProfileJson() const;
@@ -104,16 +105,20 @@ class ModelSnapshot {
 
   /// Returns the compiled graph for x's shape, compiling on first sight.
   /// Null when compilation is off, failed for this shape, or the cache is
-  /// full. Caller holds mu_.
-  CompiledGraph* GetOrCompileLocked(const Tensor& x) const;
+  /// full.
+  CompiledGraph* GetOrCompileLocked(const Tensor& x) const TS3_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
+  // unguarded: written only by the factories before the snapshot is
+  // published (Freeze), immutable afterwards; Predict serializes on mu_ for
+  // the module's per-forward scratch state, not for this pointer.
   std::shared_ptr<nn::Module> module_;
   const SnapshotOptions options_;
-  /// Per-input-shape compiled graphs and shapes that failed to compile.
-  /// Guarded by mu_ (Predict already serializes on it).
-  mutable std::map<Shape, std::unique_ptr<CompiledGraph>> compiled_;
-  mutable std::vector<Shape> rejected_;
+  /// Per-input-shape compiled graphs and shapes that failed to compile
+  /// (Predict already serializes on mu_).
+  mutable std::map<Shape, std::unique_ptr<CompiledGraph>> compiled_
+      TS3_GUARDED_BY(mu_);
+  mutable std::vector<Shape> rejected_ TS3_GUARDED_BY(mu_);
 };
 
 }  // namespace serve

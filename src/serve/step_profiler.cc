@@ -9,14 +9,18 @@ namespace ts3net {
 namespace serve {
 
 namespace {
+// relaxed on both sides: a lone enable flag flipped outside serving load; a
+// racing Run merely profiles (or skips) one extra replay.
 std::atomic<bool> g_step_profiler_enabled{false};
 }  // namespace
 
 void SetStepProfilerEnabled(bool enabled) {
+  // relaxed: see g_step_profiler_enabled above.
   g_step_profiler_enabled.store(enabled, std::memory_order_relaxed);
 }
 
 bool StepProfilerEnabled() {
+  // relaxed: see g_step_profiler_enabled above.
   return g_step_profiler_enabled.load(std::memory_order_relaxed);
 }
 

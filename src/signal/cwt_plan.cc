@@ -41,10 +41,13 @@ int64_t NextFftSize(int64_t n, bool pad_to_power_of_two) {
 }  // namespace
 
 void SetDefaultCwtImpl(CwtImpl impl) {
+  // relaxed: a lone selection knob set at startup/test setup; plans built
+  // from either impl are interchangeable.
   g_default_impl.store(impl, std::memory_order_relaxed);
 }
 
 CwtImpl DefaultCwtImpl() {
+  // relaxed: see SetDefaultCwtImpl.
   return g_default_impl.load(std::memory_order_relaxed);
 }
 

@@ -3,9 +3,9 @@
 #include <cmath>
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "common/check.h"
+#include "common/mutex.h"
 
 namespace ts3net {
 
@@ -20,9 +20,9 @@ constexpr double kPi = 3.14159265358979323846;
 /// also break the serial w *= wlen dependency the butterfly loop otherwise
 /// carries, which dominates single-thread transform latency.
 const std::vector<Complex>& TwiddleTable(size_t n) {
-  static std::mutex mu;
+  static Mutex mu;  // guards `cache`; the build under it is pure compute
   static std::map<size_t, std::unique_ptr<std::vector<Complex>>> cache;
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(&mu);
   std::unique_ptr<std::vector<Complex>>& slot = cache[n];
   if (slot == nullptr) {
     slot = std::make_unique<std::vector<Complex>>(n / 2);

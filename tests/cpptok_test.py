@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/ts3lint/cpptok.py (the ts3lint C++ tokenizer).
+
+Each case is a small C++ snippet with the token stream (or scrub output)
+the tokenizer must produce; the cases concentrate on the constructs a
+regex-only scanner gets wrong -- raw strings, literal prefixes, nested
+templates, comments containing code-like text -- because those are exactly
+what the TL012-TL014 concurrency checks lean on the tokenizer for.
+
+Run: python3 tests/cpptok_test.py  (registered as the cpptok_tokenizer
+ctest; exit 0 on success, 1 with a report on failure).
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "tools", "ts3lint"))
+
+import cpptok
+
+FAILURES = []
+
+
+def check(name, cond, detail=""):
+    if not cond:
+        FAILURES.append("%s: %s" % (name, detail))
+
+
+def kinds_and_texts(code):
+    return [(t.kind, t.text) for t in cpptok.tokenize(code)]
+
+
+def test_comments_containing_mutex():
+    # Code-like text in comments must come back as comment tokens, never
+    # as ident/punct -- a comment mentioning std::mutex must not register
+    # as a mutex use.
+    code = ("// grabs the std::mutex via MutexLock lock(&mu_);\n"
+            "int x; /* seq.store(1, std::memory_order_relaxed) */\n")
+    toks = cpptok.tokenize(code)
+    idents = [t.text for t in toks if t.kind == "ident"]
+    check("comment-mutex", idents == ["int", "x"],
+          "identifiers leaked out of comments: %r" % idents)
+    comments = [t for t in toks if t.kind == "comment"]
+    check("comment-count", len(comments) == 2, "%d comments" % len(comments))
+    check("comment-lines", [c.line for c in comments] == [1, 2],
+          "comment lines %r" % [c.line for c in comments])
+
+
+def test_raw_strings():
+    code = 'auto s = R"doc(std::mutex m; TS3_LOG(x); ")" )doc";\nint y;\n'
+    toks = cpptok.tokenize(code)
+    strings = [t for t in toks if t.kind == "string"]
+    check("raw-one-string", len(strings) == 1,
+          "expected 1 string token, got %r" % [t.text for t in strings])
+    check("raw-contents", 'TS3_LOG' in strings[0].text and
+          strings[0].text.endswith(')doc"'), repr(strings[0].text))
+    idents = [t.text for t in toks if t.kind == "ident"]
+    check("raw-idents", idents == ["auto", "s", "int", "y"], repr(idents))
+    # Multi-line raw strings must keep later line numbers accurate.
+    code2 = 'auto s = R"(line one\nline two)";\nint z;\n'
+    z = [t for t in cpptok.tokenize(code2) if t.text == "z"][0]
+    check("raw-multiline-line", z.line == 3, "z on line %d" % z.line)
+
+
+def test_literal_prefixes():
+    code = 'auto a = u8"x"; auto b = L\'c\'; auto c = uR"(y)";\n'
+    toks = cpptok.tokenize(code)
+    lits = [(t.kind, t.text) for t in toks if t.kind in ("string", "char")]
+    check("prefixes", lits == [("string", 'u8"x"'), ("char", "L'c'"),
+                               ("string", 'uR"(y)"')], repr(lits))
+
+
+def test_nested_templates():
+    # '>>' closing two template levels is one token; the concurrency
+    # engine's template-depth walker compensates, but the tokenizer must
+    # be deterministic about it.
+    code = "std::map<std::string, std::vector<std::pair<int, int>>> m_;\n"
+    toks = kinds_and_texts(code)
+    check("nested-close", ("punct", ">>") in toks and ("punct", ">") in toks,
+          repr([t for t in toks if t[0] == "punct"]))
+    idents = [txt for k, txt in toks if k == "ident"]
+    check("nested-idents", idents[-1] == "m_", repr(idents))
+
+
+def test_operators_longest_match():
+    code = "a <<= b; c->d; e::f; g->*h; i >>= j;\n"
+    puncts = [txt for k, txt in kinds_and_texts(code) if k == "punct"]
+    for op in ("<<=", "->", "::", "->*", ">>="):
+        check("op-%s" % op, op in puncts, repr(puncts))
+
+
+def test_numbers():
+    code = "double d = 1e+9; int h = 0xFF'00; float f = 0x1p-3;\n"
+    nums = [txt for k, txt in kinds_and_texts(code) if k == "number"]
+    check("numbers", nums == ["1e+9", "0xFF'00", "0x1p-3"], repr(nums))
+
+
+def test_stray_apostrophe():
+    # An apostrophe that is not a char literal (here: unterminated on the
+    # line) degrades to punct instead of swallowing the rest of the file.
+    code = "int a; // it's fine\nint dont = 1; char c = 'x';\n"
+    toks = cpptok.tokenize(code)
+    idents = [t.text for t in toks if t.kind == "ident"]
+    check("apostrophe-comment", "dont" in idents and "fine" not in idents,
+          repr(idents))
+    chars = [t.text for t in toks if t.kind == "char"]
+    check("apostrophe-char", chars == ["'x'"], repr(chars))
+
+
+def test_scrub_preserves_offsets():
+    code = ('int a; // mutex here\n'
+            'const char* s = "std::thread t;";\n'
+            'int b;\n')
+    for keep in (False, True):
+        scrubbed = cpptok.scrub(code, keep_strings=keep)
+        check("scrub-len-%s" % keep, len(scrubbed) == len(code),
+              "length changed")
+        check("scrub-lines-%s" % keep,
+              scrubbed.count("\n") == code.count("\n"), "newlines changed")
+        check("scrub-comment-%s" % keep, "mutex" not in scrubbed,
+              "comment text survived")
+    check("scrub-string-kept", "std::thread" in cpptok.scrub(code, True),
+          "keep_strings=True lost string contents")
+    check("scrub-string-blanked",
+          "std::thread" not in cpptok.scrub(code, False),
+          "keep_strings=False kept string contents")
+
+
+def test_scrub_raw_string():
+    code = 'auto s = R"(std::mutex m;)"; int tail;\n'
+    scrubbed = cpptok.scrub(code, keep_strings=False)
+    check("scrub-raw", "mutex" not in scrubbed and "tail" in scrubbed,
+          repr(scrubbed))
+
+
+def test_unterminated_block_comment():
+    try:
+        cpptok.tokenize("int a; /* never closed\nint b;")
+    except cpptok.TokenizeError as e:
+        check("unterminated-line", e.line == 1, "line %d" % e.line)
+    else:
+        check("unterminated-raises", False, "no TokenizeError")
+    # scrub falls back to the unmodified text rather than raising.
+    text = "int a; /* never closed"
+    check("scrub-fallback", cpptok.scrub(text, False) == text, "no fallback")
+
+
+def main():
+    for name, fn in sorted(globals().items()):
+        if name.startswith("test_") and callable(fn):
+            fn()
+    if FAILURES:
+        for f in FAILURES:
+            print("FAIL %s" % f)
+        print("cpptok: %d check(s) failed" % len(FAILURES))
+        return 1
+    print("cpptok: all tokenizer checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+// Seeded TL012 violations: a class that owns a Mutex but leaves a field
+// unannotated, keeps a raw std::mutex, names a nonexistent mutex in a
+// guard, and opts a function out of analysis without justification.
+// (Fixture file: never compiled, scanned by ts3lint only.)
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class WindowPlanner {
+ public:
+  int PlanCount() const TS3_EXCLUDES(mu_);
+  void Rebuild() TS3_NO_THREAD_SAFETY_ANALYSIS;  // EXPECT-LINT: TL012
+
+  // thread-safety: only the construction thread calls this, before the
+  // planner is published.
+  void RebuildJustified() TS3_NO_THREAD_SAFETY_ANALYSIS;
+
+ private:
+  mutable Mutex mu_;
+  std::mutex raw_mu_;  // EXPECT-LINT: TL012
+  std::vector<int> plans_ TS3_GUARDED_BY(mu_);
+  int epoch_ TS3_GUARDED_BY(other_mu_);  // EXPECT-LINT: TL012
+  std::vector<int> scratch_;  // EXPECT-LINT: TL012
+  // unguarded: written once in the constructor before threads exist.
+  int capacity_ = 0;
+  int lanes_ = 0;
+  const int limit_ = 8;
+  std::atomic<int> size_{0};
+};
+
+}  // namespace fixture

@@ -1,0 +1,45 @@
+// Seeded TL013 violations: blocking calls and re-locks inside the lock
+// spans of a registry class. (Fixture file: scanned by ts3lint only.)
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class PlanRegistry {
+ public:
+  int Lookup(int key, const std::function<int()>& build) TS3_EXCLUDES(mu_);
+  void Publish(int key) TS3_EXCLUDES(mu_);
+  void Rebalance() TS3_EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::map<int, int> plans_ TS3_GUARDED_BY(mu_);
+};
+
+int PlanRegistry::Lookup(int key, const std::function<int()>& build) {
+  MutexLock lock(&mu_);
+  auto it = plans_.find(key);
+  if (it != plans_.end()) return it->second;
+  int value = build();  // EXPECT-LINT: TL013
+  TS3_LOG(INFO) << "plan miss " << key;  // EXPECT-LINT: TL013
+  plans_[key] = value;
+  return value;
+}
+
+void PlanRegistry::Publish(int key) {
+  MutexLock lock(&mu_);
+  while (plans_.count(key) == 0) cv_.Wait(&mu_);  // EXPECT-LINT: TL013
+  {
+    MutexLock again(&mu_);  // EXPECT-LINT: TL013
+  }
+}
+
+void PlanRegistry::Rebalance() {
+  MutexLock lock(&mu_);
+  lock.Unlock();
+  ParallelFor(0, 4, [](int i) { (void)i; });  // lock dropped first: clean
+}
+
+}  // namespace fixture

@@ -1,0 +1,49 @@
+// Negative control for TL012-TL014 and the cpptok tokenizer: fully
+// annotated concurrency, plus tokens that would trip a regex-only
+// scanner -- raw strings and comments mentioning banned constructs,
+// and deeply nested template types. Zero findings expected.
+// (Fixture file: never compiled, scanned by ts3lint only.)
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+// This comment mentions std::mutex and MutexLock lock(&mu_); the
+// tokenizer must not mistake either for code.
+constexpr const char* kHelp = R"doc(
+  Usage: configure a std::mutex? Never -- and TS3_LOG( here is text,
+  as are g_mode = 3; and seq.store(1); and std::thread t;
+)doc";
+
+class ShapeCache {
+ public:
+  int Hit(int key) TS3_EXCLUDES(mu_);
+  void Warm(const std::function<int()>& build) TS3_EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  std::map<int, std::vector<std::pair<int, int>>> shapes_
+      TS3_GUARDED_BY(mu_);
+  // unguarded: bound once at construction, read-only afterwards.
+  std::vector<int> bounds_;
+  const int limit_ = 4;
+  std::atomic<int> hits_{0};
+};
+
+int ShapeCache::Hit(int key) {
+  MutexLock lock(&mu_);
+  int n = static_cast<int>(shapes_.count(key));
+  lock.Unlock();
+  // relaxed: independent tally; readers only need the total.
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return n;
+}
+
+void ShapeCache::Warm(const std::function<int()>& build) {
+  int value = build();  // built outside the lock on purpose
+  MutexLock lock(&mu_);
+  shapes_[0].push_back({value, value});
+}
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// Seeded TL014 violations: implicit seq_cst operators on atomics, a
+// store with no memory order, an unjustified memory_order_relaxed, and
+// a seqlock whose release stores have no acquire loads in the file.
+// (Fixture file: never compiled, scanned by ts3lint only.)
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+std::atomic<int> g_mode{0};
+std::atomic<uint32_t> seq{0};
+int64_t g_plain = 0;
+
+inline void SetMode(int m) {
+  g_mode = m;          // EXPECT-LINT: TL014
+  g_mode.store(m);     // EXPECT-LINT: TL014
+  g_mode++;            // EXPECT-LINT: TL014
+}
+
+inline int ReadMode() {
+  int v = g_mode.load(std::memory_order_relaxed);  // EXPECT-LINT: TL014
+  // relaxed: fixture rationale -- a stale mode only delays one tick.
+  int w = g_mode.load(std::memory_order_relaxed);
+  g_plain = v;  // plain variable: operators are fine
+  return v + w;
+}
+
+inline void PublishSeq(uint32_t v) {
+  seq.store(v, std::memory_order_release);  // EXPECT-LINT: TL014
+}
+
+}  // namespace fixture

@@ -1,0 +1,190 @@
+// Concurrency regression tests for common/transform_cache and the
+// threadpool error path. These pin the fixes that came out of the
+// thread-safety annotation sweep (DESIGN.md §9, "Concurrency contracts"):
+//
+//   * TransformCache must never hold its map mutex across a builder: one
+//     slow plan build must not serialize lookups of unrelated keys. The
+//     per-slot std::once_flag design makes distinct keys build fully in
+//     parallel, which DistinctKeysBuildInParallel proves with a rendezvous
+//     that would deadlock-and-time-out under a build-under-lock design.
+//   * Concurrent requests for the *same* key still build exactly once.
+//   * The byte accounting (re-locked after the build) stays exact when many
+//     builders finish at once.
+//   * ParallelFor's first-exception capture is synchronized (the old code
+//     read the slot outside the error mutex while workers wrote it).
+//   * ThreadPool::GlobalNumThreads is lock-protected and safe to read while
+//     another thread reconfigures the pool size.
+//
+// All of these run under the TSan tier (-DTS3_SANITIZE=thread) like every
+// other test, which is what actually gates the data-race half of the
+// claims; the assertions here gate the behavioral half.
+
+#include "common/transform_cache.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/threadpool.h"
+
+namespace ts3net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Spins until `cond` or the deadline; true iff `cond` became true. Tests
+// use generous deadlines: the pass path completes in microseconds, the
+// deadline only bounds the *failure* mode (a regression re-serializing the
+// builders must fail the assertion, not hang the suite).
+template <typename Cond>
+bool SpinUntil(Cond cond, std::chrono::seconds deadline) {
+  const auto until = Clock::now() + deadline;
+  while (!cond()) {
+    if (Clock::now() >= until) return false;
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+TEST(TransformCacheConcurrency, DistinctKeysBuildInParallel) {
+  TransformCache::Global()->Clear();
+  ThreadPool pool(2);  // caller + 1 worker: two truly concurrent chunks
+  std::atomic<int> builders_started{0};
+  std::atomic<int> overlapped{0};
+
+  pool.ParallelFor(0, 2, 1, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const std::string key = "test/parallel/" + std::to_string(i);
+      TransformCache::Global()->GetOrCreate(key, [&]() {
+        builders_started.fetch_add(1, std::memory_order_relaxed);
+        // Rendezvous: wait (bounded) for the *other* builder to start. If
+        // GetOrCreate held the cache mutex across builds, the second
+        // builder could not start until this one returned and the wait
+        // would time out.
+        if (SpinUntil(
+                [&] {
+                  return builders_started.load(std::memory_order_relaxed) ==
+                         2;
+                },
+                std::chrono::seconds(10))) {
+          overlapped.fetch_add(1, std::memory_order_relaxed);
+        }
+        return TransformCache::Entry{std::make_shared<int64_t>(i), 8};
+      });
+    }
+  });
+
+  EXPECT_EQ(builders_started.load(), 2);
+  EXPECT_EQ(overlapped.load(), 2)
+      << "builders for distinct keys did not overlap: the cache mutex is "
+         "being held across a build";
+  TransformCache::Global()->Clear();
+}
+
+TEST(TransformCacheConcurrency, SameKeyBuildsExactlyOnce) {
+  TransformCache::Global()->Clear();
+  constexpr int kThreads = 4;
+  ThreadPool pool(kThreads);
+  std::atomic<int> builds{0};
+  std::shared_ptr<const int64_t> seen[kThreads] = {};
+
+  pool.ParallelFor(0, kThreads, 1, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      seen[i] = TransformCache::Global()->Get<int64_t>("test/once", [&]() {
+        builds.fetch_add(1, std::memory_order_relaxed);
+        // Widen the race window: late arrivals must block in call_once,
+        // not re-build.
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        return TransformCache::Entry{std::make_shared<int64_t>(42), 16};
+      });
+    }
+  });
+
+  EXPECT_EQ(builds.load(), 1);
+  for (int i = 0; i < kThreads; ++i) {
+    ASSERT_NE(seen[i], nullptr);
+    EXPECT_EQ(*seen[i], 42);
+    EXPECT_EQ(seen[i].get(), seen[0].get()) << "thread " << i
+                                            << " got a different instance";
+  }
+  EXPECT_EQ(TransformCache::Global()->size(), 1);
+  EXPECT_EQ(TransformCache::Global()->bytes(), 16);
+  TransformCache::Global()->Clear();
+}
+
+TEST(TransformCacheConcurrency, ByteAccountingExactUnderConcurrentBuilds) {
+  TransformCache::Global()->Clear();
+  constexpr int kKeys = 32;
+  ThreadPool pool(4);
+  pool.ParallelFor(0, kKeys, 1, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const std::string key = "test/bytes/" + std::to_string(i);
+      TransformCache::Global()->GetOrCreate(key, [i]() {
+        return TransformCache::Entry{std::make_shared<int64_t>(i), i + 1};
+      });
+    }
+  });
+  EXPECT_EQ(TransformCache::Global()->size(), kKeys);
+  // sum of (i + 1) for i in [0, kKeys)
+  EXPECT_EQ(TransformCache::Global()->bytes(), kKeys * (kKeys + 1) / 2);
+  TransformCache::Global()->Clear();
+  EXPECT_EQ(TransformCache::Global()->bytes(), 0);
+}
+
+TEST(ThreadPoolErrorPath, ConcurrentThrowsPropagateOneException) {
+  // Every chunk throws at once; the pool must capture one exception
+  // (synchronized under its error mutex — TSan checks that) and rethrow it
+  // after the loop drains, leaving the pool reusable.
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(0, 64, 1,
+                                [](int64_t begin, int64_t) {
+                                  throw std::runtime_error(
+                                      "chunk " + std::to_string(begin));
+                                }),
+               std::runtime_error);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(0, 64, 1, [&](int64_t begin, int64_t end) {
+    sum.fetch_add(end - begin, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 64);
+}
+
+TEST(ThreadPoolGlobalConfig, NumThreadsReadableWhileReconfiguring) {
+  // GlobalNumThreads() may race with SetGlobalNumThreads in tools that
+  // report status; the value is mutex-protected, so concurrent reads must
+  // be clean (TSan) and always observe one of the configured values.
+  ThreadPool reader_pool(3);
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad_reads{0};
+  // One writer (this thread) toggles while reader chunks poll. The reader
+  // pool is local, so no chunk ever touches the global pool itself.
+  std::atomic<int> readers_running{0};
+  reader_pool.ParallelFor(0, 2, 1, [&](int64_t begin, int64_t) {
+    if (begin == 0) {
+      // Writer chunk.
+      readers_running.fetch_add(1, std::memory_order_relaxed);
+      for (int i = 0; i < 200; ++i) {
+        ThreadPool::SetGlobalNumThreads(1 + (i % 2));
+      }
+      stop.store(true, std::memory_order_relaxed);
+    } else {
+      readers_running.fetch_add(1, std::memory_order_relaxed);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int n = ThreadPool::GlobalNumThreads();
+        if (n != 1 && n != 2) bad_reads.fetch_add(1);
+        std::this_thread::yield();
+      }
+    }
+  });
+  EXPECT_EQ(readers_running.load(), 2);
+  EXPECT_EQ(bad_reads.load(), 0);
+  ThreadPool::SetGlobalNumThreads(1);  // restore the suite default
+}
+
+}  // namespace
+}  // namespace ts3net

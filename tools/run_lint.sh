@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Local reproduction of the CI lint job (.github/workflows/ci.yml, job
+# "lint"), in the same order CI runs it:
+#
+#   1. ts3lint        repo-invariant checker, no build needed (< 1s)
+#   2. validate_bench checked-in BENCH_*.json schema gate
+#   3. clang-tidy     src/ compiled under CMAKE_CXX_CLANG_TIDY with
+#                     warnings-as-errors (.clang-tidy config)
+#
+# CI pins clang-tidy-${TS3_CLANG_TIDY_PIN}; this wrapper prefers the same
+# major version so local runs and CI agree on the check set, and falls back
+# to an unpinned clang-tidy with a warning. Override the binary entirely
+# with CLANG_TIDY=/path/to/clang-tidy.
+#
+# Usage: tools/run_lint.sh [build-dir]     (default: build-lint)
+
+set -euo pipefail
+
+# Keep in sync with the clang-tidy version the CI lint job installs.
+TS3_CLANG_TIDY_PIN=18
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-build-lint}"
+
+echo "== ts3lint (repo invariants) =="
+python3 "${repo_root}/tools/ts3lint/ts3lint.py" --root "${repo_root}"
+
+echo "== validate bench records =="
+python3 "${repo_root}/tools/validate_bench.py" --dir "${repo_root}" \
+    --require-some
+
+echo "== clang-tidy over src/ =="
+clang_tidy="${CLANG_TIDY:-}"
+if [[ -z "${clang_tidy}" ]]; then
+  if command -v "clang-tidy-${TS3_CLANG_TIDY_PIN}" >/dev/null 2>&1; then
+    clang_tidy="clang-tidy-${TS3_CLANG_TIDY_PIN}"
+  elif command -v clang-tidy >/dev/null 2>&1; then
+    clang_tidy="clang-tidy"
+    echo "warning: clang-tidy-${TS3_CLANG_TIDY_PIN} (the CI-pinned version)" \
+         "not found; using unpinned 'clang-tidy' -- check results may" \
+         "differ from CI" >&2
+  else
+    cat >&2 <<EOF
+error: no clang-tidy found on PATH.
+
+Install the CI-pinned version, e.g. on Debian/Ubuntu:
+    sudo apt-get install clang-tidy-${TS3_CLANG_TIDY_PIN}
+or any clang-tidy:
+    sudo apt-get install clang-tidy
+or point this script at one:
+    CLANG_TIDY=/path/to/clang-tidy tools/run_lint.sh
+EOF
+    exit 2
+  fi
+fi
+"${clang_tidy}" --version
+
+cmake -B "${build_dir}" -S "${repo_root}" -DTS3_LINT=ON \
+      -DTS3_CLANG_TIDY_EXE="$(command -v "${clang_tidy}")" \
+      -DCMAKE_BUILD_TYPE=Release
+cmake --build "${build_dir}" -j
+echo "lint: all layers clean"

@@ -1,0 +1,821 @@
+"""Lock/atomic analysis engine for ts3lint (checks TL012-TL014).
+
+Built on the cpptok tokenizer: a per-file symbol/scope model (class bodies,
+data members, method definitions) plus a cross-file lock map (class name ->
+annotated mutex members), which is exactly enough structure to enforce the
+repo's concurrency contracts without a real C++ front end:
+
+  TL012 guarded-by-missing      in a concurrent directory, every non-atomic
+                                data member of a class that owns a Mutex must
+                                carry TS3_GUARDED_BY(...) or a justified
+                                `// unguarded:` comment; raw std::mutex
+                                members are banned (the annotated shim in
+                                common/mutex.h is the only legal mutex); a
+                                TS3_NO_THREAD_SAFETY_ANALYSIS opt-out needs
+                                an adjacent `// thread-safety:` justification
+  TL013 blocking-under-lock     no blocking call (condition-variable waits,
+                                ParallelFor, TS3_LOG, file I/O, call_once,
+                                invoking a std::function parameter) while a
+                                method of a *Registry / *Cache class holds
+                                one of its own mutexes; re-acquiring a mutex
+                                the method already holds is flagged the same
+                                way (self-deadlock)
+  TL014 atomic-memory-order     every atomic load/store/RMW in a concurrent
+                                directory names an explicit std::memory_order;
+                                every memory_order_relaxed carries a
+                                `// relaxed:` rationale within the previous
+                                10 lines; operators that hide a seq_cst op on
+                                a file-local atomic (=, +=, ++, --) are
+                                banned; a file using a `seq` seqlock field
+                                must pair acquire loads with release stores
+
+The scope model is deliberately token-level: it does not chase typedefs,
+templates, or overload sets. Checks are tuned so that everything they flag
+is a true policy violation in this codebase; constructs they cannot see
+(locks passed through references, say) are Clang thread-safety analysis's
+job (-DTS3_THREAD_SAFETY=ON), not this linter's.
+"""
+
+import re
+from dataclasses import dataclass, field
+
+import cpptok
+
+# Directories under src/ whose files hold the concurrent runtime; only they
+# are subject to TL012/TL014 (kernel and model code is single-threaded by
+# the ParallelFor contract).
+CONCURRENT_DIRS = ("common", "serve", "signal")
+
+GUARD_MACROS = {"TS3_GUARDED_BY", "TS3_PT_GUARDED_BY"}
+ANNOTATION_MACROS = GUARD_MACROS | {
+    "TS3_ACQUIRE", "TS3_RELEASE", "TS3_TRY_ACQUIRE", "TS3_REQUIRES",
+    "TS3_EXCLUDES", "TS3_ASSERT_CAPABILITY", "TS3_RETURN_CAPABILITY",
+    "TS3_CAPABILITY", "TS3_SCOPED_CAPABILITY",
+}
+MEMBER_SKIP_KEYWORDS = {"using", "typedef", "friend", "static", "constexpr",
+                        "enum", "public", "private", "protected", "operator"}
+
+# Calls that may block (or take unbounded time) and therefore must never run
+# under a registry/cache lock. `Wait`/`WaitForNs` are matched as `.Wait(`;
+# the rest as plain calls.
+BLOCKING_MEMBER_CALLS = {"Wait", "WaitForNs"}
+BLOCKING_FREE_CALLS = {"ParallelFor", "TS3_LOG", "call_once", "fopen",
+                       "fwrite", "fread", "fclose", "rename", "sleep_for"}
+
+ATOMIC_METHODS = {"load", "store", "exchange", "fetch_add", "fetch_sub",
+                  "fetch_and", "fetch_or", "fetch_xor",
+                  "compare_exchange_weak", "compare_exchange_strong"}
+RELAXED_COMMENT_LOOKBACK = 10  # lines a `// relaxed:` rationale may precede
+JUSTIFY_COMMENT_LOOKBACK = 4   # lines an `// unguarded:` comment may precede
+OPTOUT_COMMENT_LOOKBACK = 10   # lines a `// thread-safety:` note may precede
+
+
+@dataclass
+class Field:
+    name: str
+    type_text: str
+    line: int
+    guarded_by: str  # "" when unannotated
+    is_const: bool
+
+
+@dataclass
+class Method:
+    class_name: str
+    name: str
+    sig_tokens: list  # tokens between the signature parens
+    body_range: tuple  # (first_token_idx, last_token_idx) inside the body
+    line: int
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    line: int
+    mutexes: list = field(default_factory=list)  # Field, shim Mutex type
+    raw_mutexes: list = field(default_factory=list)  # Field, std::mutex
+    plain_fields: list = field(default_factory=list)  # everything else
+    atomic_fields: list = field(default_factory=list)
+
+
+@dataclass
+class FileModel:
+    rel_root: str  # path relative to repo root, POSIX
+    rel_src: str  # path relative to src/, POSIX
+    tokens: list
+    comments: list  # comment tokens only
+    classes: list  # ClassInfo
+    methods: list  # Method (definitions with bodies, in-class or qualified)
+
+    def comment_near(self, line, needle, lookback):
+        for c in self.comments:
+            if line - lookback <= c.line <= line and needle in c.text:
+                return True
+        return False
+
+
+def in_concurrent_dir(rel_src):
+    return rel_src.startswith(tuple(d + "/" for d in CONCURRENT_DIRS))
+
+
+# ---------------------------------------------------------------------------
+# Model building.
+# ---------------------------------------------------------------------------
+
+def _match_close(tokens, open_idx):
+    """Index of the token closing the bracket at `open_idx`, or None."""
+    pairs = {"(": ")", "{": "}", "[": "]"}
+    close = pairs[tokens[open_idx].text]
+    depth = 0
+    for i in range(open_idx, len(tokens)):
+        t = tokens[i]
+        if t.kind != "punct":
+            continue
+        if t.text == tokens[open_idx].text:
+            depth += 1
+        elif t.text == close:
+            depth -= 1
+            if depth == 0:
+                return i
+    return None
+
+
+def _code_tokens(tokens):
+    """(index, token) pairs with comments dropped, preserving indices."""
+    return [(i, t) for i, t in enumerate(tokens) if t.kind != "comment"]
+
+
+def build_model(rel_root, rel_src, text):
+    tokens = cpptok.tokenize(text)
+    comments = [t for t in tokens if t.kind == "comment"]
+    model = FileModel(rel_root=rel_root, rel_src=rel_src, tokens=tokens,
+                      comments=comments, classes=[], methods=[])
+    code = _code_tokens(tokens)
+    _scan_classes(model, code)
+    _scan_qualified_methods(model, code)
+    return model
+
+
+def _scan_classes(model, code):
+    n = len(code)
+    for ci in range(n):
+        _, tok = code[ci]
+        if tok.kind != "ident" or tok.text not in ("class", "struct"):
+            continue
+        if ci > 0 and code[ci - 1][1].text == "enum":
+            continue
+        # Walk to the body '{', collecting the name: the last plain ident
+        # outside any macro parens before '{', ':' (base clause) or ';'.
+        name = ""
+        j = ci + 1
+        body_ci = None
+        while j < n:
+            _, t = code[j]
+            if t.kind == "punct" and t.text == "(":
+                close = _find_code_close(code, j)
+                if close is None:
+                    break
+                j = close + 1
+                continue
+            if t.kind == "punct" and t.text in (";", ")", ","):
+                break  # forward declaration or `struct X*` parameter
+            if t.kind == "punct" and t.text == "{":
+                body_ci = j
+                break
+            if t.kind == "punct" and t.text == ":":
+                body_ci = _skip_to_body(code, j)
+                break
+            if t.kind == "ident" and t.text not in ("final", "alignas"):
+                name = t.text
+            j += 1
+        if body_ci is None or not name:
+            continue
+        body_close_ci = _find_code_close(code, body_ci)
+        if body_close_ci is None:
+            continue
+        info = ClassInfo(name=name, line=tok.line)
+        _scan_members(model, code, body_ci, body_close_ci, info)
+        model.classes.append(info)
+
+
+def _skip_to_body(code, colon_ci):
+    for j in range(colon_ci + 1, len(code)):
+        _, t = code[j]
+        if t.kind == "punct" and t.text == "{":
+            return j
+        if t.kind == "punct" and t.text == ";":
+            return None
+    return None
+
+
+def _find_code_close(code, open_ci):
+    pairs = {"(": ")", "{": "}", "[": "]"}
+    opener = code[open_ci][1].text
+    close = pairs[opener]
+    depth = 0
+    for j in range(open_ci, len(code)):
+        t = code[j][1]
+        if t.kind != "punct":
+            continue
+        if t.text == opener:
+            depth += 1
+        elif t.text == close:
+            depth -= 1
+            if depth == 0:
+                return j
+    return None
+
+
+def _scan_members(model, code, body_ci, body_close_ci, info):
+    """Splits the class body into member statements; classifies each."""
+    stmt = []  # (code_idx, token)
+    j = body_ci + 1
+    while j < body_close_ci:
+        idx, t = code[j]
+        if t.kind == "punct" and t.text in ("{",):
+            if _stmt_is_body_opener(stmt):
+                close = _find_code_close(code, j)
+                if close is None:
+                    return
+                if _stmt_has_call_parens(stmt):
+                    _record_method(model, code, stmt, j, close, info)
+                stmt = []
+                j = close + 1
+                # a nested type's closing '};' — consume the ';'
+                if j < body_close_ci and code[j][1].text == ";":
+                    j += 1
+                continue
+            # brace initializer: part of the declaration
+            close = _find_code_close(code, j)
+            if close is None:
+                return
+            stmt.extend(code[k] for k in range(j, close + 1))
+            j = close + 1
+            continue
+        if t.kind == "punct" and t.text == ";":
+            _record_member(stmt, info)
+            stmt = []
+            j += 1
+            continue
+        if t.kind == "punct" and t.text == ":" and len(stmt) == 1 and \
+                stmt[0][1].text in ("public", "private", "protected"):
+            stmt = []  # access-specifier label, not part of a member
+            j += 1
+            continue
+        if t.kind == "punct" and t.text in ("(", "["):
+            close = _find_code_close(code, j)
+            if close is None:
+                return
+            stmt.extend(code[k] for k in range(j, close + 1))
+            j = close + 1
+            continue
+        stmt.append((idx, t))
+        j += 1
+    _record_member(stmt, info)
+
+
+def _stmt_is_body_opener(stmt):
+    """True when a '{' after `stmt` opens a function/type body rather than a
+    brace initializer: the statement has call-style parens (a signature) or
+    starts a nested type, and carries no initializer '='."""
+    texts = [t.text for _, t in stmt]
+    if "=" in texts:
+        return False
+    if texts and texts[0] in ("class", "struct", "enum", "union"):
+        return True
+    return _stmt_has_call_parens(stmt)
+
+
+def _stmt_has_call_parens(stmt):
+    i = 0
+    while i < len(stmt):
+        _, t = stmt[i]
+        if t.kind == "punct" and t.text == "(":
+            prev = stmt[i - 1][1] if i > 0 else None
+            if prev is None or prev.kind != "ident" or \
+                    prev.text not in ANNOTATION_MACROS | {"decltype",
+                                                          "alignas"}:
+                return True
+            # Skip the macro's argument list.
+            depth = 0
+            while i < len(stmt):
+                tt = stmt[i][1]
+                if tt.text == "(":
+                    depth += 1
+                elif tt.text == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i += 1
+        i += 1
+    return False
+
+
+def _record_method(model, code, stmt, body_open_ci, body_close_ci, info):
+    """A member statement followed by a body: an in-class method definition."""
+    name = ""
+    sig = []
+    for i, (_, t) in enumerate(stmt):
+        if t.kind == "punct" and t.text == "(":
+            prev = stmt[i - 1][1] if i > 0 else None
+            if prev is not None and prev.kind == "ident" and \
+                    prev.text not in ANNOTATION_MACROS:
+                name = prev.text
+                sig = [tt for _, tt in stmt[i:]]
+                break
+    if not name:
+        return
+    first = code[body_open_ci][0]
+    last = code[body_close_ci][0]
+    model.methods.append(Method(
+        class_name=info.name, name=name, sig_tokens=sig,
+        body_range=(first, last), line=code[body_open_ci][1].line))
+
+
+def _record_member(stmt, info):
+    if not stmt:
+        return
+    texts = [t.text for _, t in stmt]
+    if texts[0] in MEMBER_SKIP_KEYWORDS or any(
+            k in texts for k in ("using", "typedef", "friend", "static",
+                                 "constexpr", "operator")):
+        return
+    if _stmt_has_call_parens(stmt):
+        return  # method declaration without a body
+    # Split off the initializer, then the annotation macros; the field name
+    # is the last remaining identifier.
+    decl = []
+    i = 0
+    while i < len(stmt):
+        t = stmt[i][1]
+        if t.kind == "punct" and t.text == "=":
+            break
+        if t.kind == "ident" and t.text in ANNOTATION_MACROS:
+            # skip macro + its parens
+            depth = 0
+            i += 1
+            while i < len(stmt):
+                tt = stmt[i][1]
+                if tt.text == "(":
+                    depth += 1
+                elif tt.text == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i += 1
+            i += 1
+            continue
+        if t.kind == "punct" and t.text == "{":
+            break  # brace initializer
+        decl.append(t)
+        i += 1
+    idents = [t for t in decl if t.kind == "ident"]
+    if not idents:
+        return
+    name_tok = idents[-1]
+    type_text = " ".join(t.text for t in decl if t is not name_tok)
+    guarded_by = ""
+    for i, (_, t) in enumerate(stmt):
+        if t.kind == "ident" and t.text in GUARD_MACROS:
+            args = [tt.text for _, tt in stmt[i + 1:] if tt.kind == "ident"]
+            guarded_by = args[0] if args else "?"
+            break
+    fld = Field(name=name_tok.text, type_text=type_text, line=name_tok.line,
+                guarded_by=guarded_by,
+                is_const=decl[0].text in ("const", "constexpr"))
+    tt = type_text
+    if "std :: mutex" in tt:
+        info.raw_mutexes.append(fld)
+    elif re.search(r"\bMutex\b", tt) and "*" not in tt and "&" not in tt:
+        info.mutexes.append(fld)
+    elif "atomic" in tt:
+        info.atomic_fields.append(fld)
+    elif "CondVar" in tt or "condition_variable" in tt or "once_flag" in tt:
+        pass  # synchronization primitives guard themselves
+    else:
+        info.plain_fields.append(fld)
+
+
+def _scan_qualified_methods(model, code):
+    """Out-of-class definitions: `Type Class::Method(...) ... { body }`."""
+    n = len(code)
+    for j in range(3, n):
+        _, t = code[j]
+        if t.kind != "punct" or t.text != "(":
+            continue
+        m = code[j - 1][1]
+        if m.kind != "ident":
+            continue
+        k = j - 2
+        if code[k][1].text == "~":
+            k -= 1
+        if code[k][1].text != "::" or code[k - 1][1].kind != "ident":
+            continue
+        class_name = code[k - 1][1].text
+        sig_close = _find_code_close(code, j)
+        if sig_close is None:
+            continue
+        # Scan past const / noexcept / annotation macros to '{' or ';'.
+        p = sig_close + 1
+        body_ci = None
+        while p < n:
+            pt = code[p][1]
+            if pt.kind == "punct" and pt.text == "{":
+                body_ci = p
+                break
+            if pt.kind == "punct" and pt.text == ";":
+                break
+            if pt.kind == "punct" and pt.text == ":":  # ctor init list
+                body_ci = _skip_to_body(code, p)
+                break
+            if pt.kind == "ident" or (pt.kind == "punct" and
+                                      pt.text in ("(", ")", ",", "&", "*")):
+                if pt.text == "(":
+                    close = _find_code_close(code, p)
+                    if close is None:
+                        break
+                    p = close
+            else:
+                break
+            p += 1
+        if body_ci is None:
+            continue
+        body_close_ci = _find_code_close(code, body_ci)
+        if body_close_ci is None:
+            continue
+        model.methods.append(Method(
+            class_name=class_name, name=m.text,
+            sig_tokens=[tt for _, tt in code[j:sig_close + 1]],
+            body_range=(code[body_ci][0], code[body_close_ci][0]),
+            line=code[body_ci][1].line))
+
+
+# ---------------------------------------------------------------------------
+# TL012: guarded-by coverage.
+# ---------------------------------------------------------------------------
+
+def check_guards(model, finding, exempt):
+    if not in_concurrent_dir(model.rel_src) or model.rel_src in exempt:
+        return
+    for cls in model.classes:
+        for fld in cls.raw_mutexes:
+            finding(fld.line, "TL012",
+                    "class %s declares a raw std::mutex member %r; use the "
+                    "annotated ts3net::Mutex shim (common/mutex.h) so the "
+                    "thread-safety analysis can see it"
+                    % (cls.name, fld.name))
+        if not cls.mutexes:
+            continue
+        mutex_names = {f.name for f in cls.mutexes}
+        covered = _justified_runs(model, cls)
+        for fld in cls.plain_fields:
+            if fld.is_const:
+                continue
+            if fld.guarded_by:
+                if fld.guarded_by not in mutex_names:
+                    finding(fld.line, "TL012",
+                            "field %r is TS3_GUARDED_BY(%s) but class %s has "
+                            "no mutex member of that name"
+                            % (fld.name, fld.guarded_by, cls.name))
+                continue
+            if fld.line in covered:
+                continue
+            finding(fld.line, "TL012",
+                    "field %r of %s (which owns mutex%s %s) has neither "
+                    "TS3_GUARDED_BY nor an `// unguarded:` justification "
+                    "comment" % (fld.name, cls.name,
+                                 "es" if len(mutex_names) > 1 else "",
+                                 ", ".join(sorted(mutex_names))))
+    _check_optouts(model, finding)
+
+
+def _justified_runs(model, cls):
+    """Lines of unannotated fields covered by an `// unguarded` comment.
+
+    A comment within JUSTIFY_COMMENT_LOOKBACK lines above a field covers it;
+    coverage extends through a run of declarations on consecutive lines, so
+    one comment can head a block of constructor-initialized pointers.
+    """
+    covered = set()
+    fields = sorted((f for f in cls.plain_fields if not f.guarded_by),
+                    key=lambda f: f.line)
+    prev_line = None
+    prev_covered = False
+    for fld in fields:
+        direct = model.comment_near(fld.line, "unguarded",
+                                    JUSTIFY_COMMENT_LOOKBACK)
+        run = (prev_line is not None and fld.line == prev_line + 1 and
+               prev_covered)
+        if direct or run:
+            covered.add(fld.line)
+            prev_covered = True
+        else:
+            prev_covered = False
+        prev_line = fld.line
+    return covered
+
+
+def _check_optouts(model, finding):
+    for i, tok in enumerate(model.tokens):
+        if tok.kind == "ident" and tok.text == "TS3_NO_THREAD_SAFETY_ANALYSIS":
+            if model.rel_src == "common/thread_annotations.h":
+                continue  # the definition site
+            if not model.comment_near(tok.line, "thread-safety:",
+                                      OPTOUT_COMMENT_LOOKBACK):
+                finding(tok.line, "TL012",
+                        "TS3_NO_THREAD_SAFETY_ANALYSIS without an adjacent "
+                        "`// thread-safety:` comment justifying the opt-out")
+
+
+# ---------------------------------------------------------------------------
+# TL013: blocking calls in registry/cache lock spans.
+# ---------------------------------------------------------------------------
+
+def check_lock_spans(model, lock_map, finding):
+    """`lock_map`: class name -> set of shim-mutex member names (cross-file,
+    so methods defined in a .cc see the mutexes declared in the header)."""
+    for method in model.methods:
+        if not re.search(r"(Registry|Cache)$", method.class_name):
+            continue
+        mutexes = lock_map.get(method.class_name, set())
+        if not mutexes:
+            continue
+        fn_params = _function_params(method.sig_tokens)
+        _scan_method_body(model, method, mutexes, fn_params, finding)
+
+
+def _function_params(sig_tokens):
+    """Names of std::function-typed parameters in a signature token list."""
+    names = set()
+    depth = 0
+    current = []
+    for t in sig_tokens:
+        if t.kind == "punct" and t.text in "([{":
+            depth += 1
+            if depth == 1:
+                continue
+        elif t.kind == "punct" and t.text in ")]}":
+            depth -= 1
+            if depth == 0:
+                _collect_function_param(current, names)
+                break
+        elif t.kind == "punct" and t.text == "," and depth == 1:
+            _collect_function_param(current, names)
+            current = []
+            continue
+        if depth >= 1:
+            current.append(t)
+    return names
+
+
+def _collect_function_param(tokens, names):
+    texts = [t.text for t in tokens]
+    if "function" in texts:
+        idents = [t for t in tokens if t.kind == "ident"]
+        if idents:
+            names.add(idents[-1].text)
+
+
+def _scan_method_body(model, method, mutexes, fn_params, finding):
+    first, last = method.body_range
+    toks = model.tokens
+    held = []  # list of (mutex_name, brace_depth_at_acquire)
+    lock_vars = {}  # RAII variable name -> mutex name
+    depth = 0
+    i = first
+    while i <= last:
+        t = toks[i]
+        if t.kind == "comment":
+            i += 1
+            continue
+        if t.kind == "punct" and t.text == "{":
+            depth += 1
+        elif t.kind == "punct" and t.text == "}":
+            depth -= 1
+            held = [(mu, d) for (mu, d) in held if d <= depth]
+        elif t.kind == "ident":
+            i = _scan_ident(model, method, toks, i, last, depth, held,
+                            lock_vars, mutexes, fn_params, finding)
+        i += 1
+
+
+def _next_code(toks, i, last):
+    j = i + 1
+    while j <= last and toks[j].kind == "comment":
+        j += 1
+    return j if j <= last else None
+
+
+def _scan_ident(model, method, toks, i, last, depth, held, lock_vars,
+                mutexes, fn_params, finding):
+    t = toks[i]
+    nxt_i = _next_code(toks, i, last)
+    nxt = toks[nxt_i] if nxt_i is not None else None
+
+    if t.text == "MutexLock" and nxt is not None and nxt.kind == "ident":
+        var = nxt.text
+        mu = _raii_target(toks, nxt_i, last)
+        if mu is not None:
+            if mu in mutexes:
+                if any(h == mu for h, _ in held):
+                    finding(t.line, "TL013",
+                            "%s::%s re-locks %s while already holding it "
+                            "(self-deadlock)"
+                            % (method.class_name, method.name, mu))
+                held.append((mu, depth))
+                lock_vars[var] = mu
+            return nxt_i
+        return i
+
+    if nxt is not None and nxt.text == "." and t.kind == "ident":
+        mth_i = _next_code(toks, nxt_i, last)
+        mth = toks[mth_i] if mth_i is not None else None
+        if mth is not None and mth.kind == "ident":
+            target = lock_vars.get(t.text, t.text)
+            if mth.text == "Unlock" and target in mutexes:
+                held[:] = [(h, d) for (h, d) in held if h != target]
+                return mth_i
+            if mth.text == "Lock" and target in mutexes:
+                if any(h == target for h, _ in held):
+                    finding(t.line, "TL013",
+                            "%s::%s re-locks %s while already holding it "
+                            "(self-deadlock)"
+                            % (method.class_name, method.name, target))
+                held.append((target, depth))
+                return mth_i
+            if mth.text in BLOCKING_MEMBER_CALLS and held:
+                _report_blocking(method, t.line,
+                                 "%s.%s" % (t.text, mth.text), held, finding)
+                return mth_i
+
+    if held and nxt is not None and nxt.text == "(" and (
+            t.text in BLOCKING_FREE_CALLS or t.text in fn_params):
+        what = t.text + ("()" if t.text in fn_params else "")
+        _report_blocking(method, t.line, what, held, finding)
+    return i
+
+
+def _raii_target(toks, var_i, last):
+    """For `MutexLock <var> ( & <mutex> )`, returns the mutex name."""
+    j = _next_code(toks, var_i, last)
+    if j is None or toks[j].text != "(":
+        return None
+    j = _next_code(toks, j, last)
+    if j is None or toks[j].text != "&":
+        return None
+    j = _next_code(toks, j, last)
+    if j is None or toks[j].kind != "ident":
+        return None
+    name = toks[j].text
+    # `&state->done_mu` style: the target is the trailing member name.
+    while True:
+        k = _next_code(toks, j, last)
+        if k is not None and toks[k].text in (".", "->"):
+            j = _next_code(toks, k, last)
+            if j is None or toks[j].kind != "ident":
+                return None
+            name = toks[j].text
+        else:
+            break
+    return name
+
+
+def _report_blocking(method, line, what, held, finding):
+    finding(line, "TL013",
+            "%s::%s calls %s while holding %s; blocking calls must not run "
+            "under a registry/cache lock (move the work outside the lock "
+            "span)" % (method.class_name, method.name, what,
+                       ", ".join(sorted({h for h, _ in held}))))
+
+
+# ---------------------------------------------------------------------------
+# TL014: explicit memory orders.
+# ---------------------------------------------------------------------------
+
+def check_atomics(model, finding):
+    if not in_concurrent_dir(model.rel_src):
+        return
+    toks = model.tokens
+    code = _code_tokens(toks)
+    n = len(code)
+    atomic_vars = _file_atomic_vars(code)
+    seq_ops = []
+    has_acquire = any(t.text == "memory_order_acquire"
+                      for t in toks if t.kind == "ident")
+    has_release = any(t.text == "memory_order_release"
+                      for t in toks if t.kind == "ident")
+
+    for j in range(1, n - 1):
+        _, t = code[j]
+        if t.kind != "ident":
+            continue
+        prev = code[j - 1][1]
+        nxt = code[j + 1][1]
+        if t.text in ATOMIC_METHODS and prev.text in (".", "->") and \
+                nxt.text == "(":
+            close = _find_code_close(code, j + 1)
+            if close is None:
+                continue
+            args = [code[k][1].text for k in range(j + 2, close)]
+            if not any(a.startswith("memory_order") for a in args):
+                finding(t.line, "TL014",
+                        "atomic %s() without an explicit std::memory_order "
+                        "argument; spell the ordering (and justify relaxed "
+                        "with a `// relaxed:` comment)" % t.text)
+            receiver = code[j - 2][1].text if j >= 2 else ""
+            if receiver == "seq" and t.text in ("load", "store"):
+                seq_ops.append(t.line)
+        elif t.text == "memory_order_relaxed":
+            if not model.comment_near(t.line, "relaxed",
+                                      RELAXED_COMMENT_LOOKBACK):
+                finding(t.line, "TL014",
+                        "memory_order_relaxed without a `// relaxed:` "
+                        "rationale comment within the previous %d lines"
+                        % RELAXED_COMMENT_LOOKBACK)
+        elif t.text in atomic_vars:
+            # A preceding identifier / declarator punctuation means this is a
+            # declaration (`int64_t request_id = 0;`), possibly of a same-named
+            # non-atomic field; only expression uses are flagged.
+            if prev.kind == "ident" or prev.text in (".", "->", "::", "*",
+                                                     "&", ">", ">>", ","):
+                continue
+            if (nxt.kind == "punct" and
+                    nxt.text in ("=", "+=", "-=", "&=", "|=", "^=", "++",
+                                 "--")) or prev.text in ("++", "--"):
+                finding(t.line, "TL014",
+                        "operator on atomic %r hides a seq_cst operation; "
+                        "use an explicit .load/.store/.fetch_* with a named "
+                        "memory order" % t.text)
+
+    if seq_ops and not (has_acquire and has_release):
+        finding(seq_ops[0], "TL014",
+                "file performs seqlock operations on `seq` but does not "
+                "pair memory_order_acquire loads with memory_order_release "
+                "stores")
+
+
+def _file_atomic_vars(code):
+    """Names declared `std::atomic<...> name...` anywhere in the file."""
+    names = set()
+    n = len(code)
+    for j in range(n):
+        _, t = code[j]
+        if t.kind != "ident" or t.text != "atomic":
+            continue
+        k = j + 1
+        if k < n and code[k][1].text == "<":
+            depth = 0
+            while k < n:
+                tt = code[k][1]
+                if tt.text == "<":
+                    depth += 1
+                elif tt.text == ">":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                elif tt.text == ">>":
+                    depth -= 2
+                    if depth <= 0:
+                        break
+                elif tt.text == ";":
+                    break
+                k += 1
+            k += 1
+        if k < n and code[k][1].kind == "ident":
+            name = code[k][1].text
+            after = code[k + 1][1].text if k + 1 < n else ""
+            if after in ("{", "=", ";", ","):
+                names.add(name)
+    return names
+
+
+# ---------------------------------------------------------------------------
+# Entry point.
+# ---------------------------------------------------------------------------
+
+def run_concurrency_checks(files, exempt, make_finding):
+    """files: list of (rel_root, rel_src, raw_text).
+
+    `exempt`: set of rel_src paths TL012 skips (the shim itself).
+    `make_finding(path, line, check, message)` appends to the caller's list.
+    """
+    models = []
+    for rel_root, rel_src, text in files:
+        try:
+            models.append(build_model(rel_root, rel_src, text))
+        except cpptok.TokenizeError as e:
+            make_finding(rel_root, e.line, "TL014",
+                         "file does not tokenize (%s); concurrency checks "
+                         "cannot run" % e)
+    lock_map = {}
+    for model in models:
+        for cls in model.classes:
+            if cls.mutexes:
+                lock_map.setdefault(cls.name, set()).update(
+                    f.name for f in cls.mutexes)
+    for model in models:
+        def finding(line, check, message, _path=model.rel_root):
+            make_finding(_path, line, check, message)
+        check_guards(model, finding, exempt)
+        check_lock_spans(model, lock_map, finding)
+        check_atomics(model, finding)

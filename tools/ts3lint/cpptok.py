@@ -1,0 +1,206 @@
+"""Lightweight C++ tokenizer shared by the ts3lint check engines.
+
+Produces a flat token stream -- no preprocessing, no grammar -- which is
+exactly the level the repo's invariant checks need: enough structure to
+never mistake an identifier inside a comment, string literal, or raw
+string for code, while staying a few hundred lines of dependency-free
+Python. Offsets are byte-accurate into the original text so findings can
+report true line numbers.
+
+Token kinds:
+  ident    identifiers and keywords (C++ does not matter here)
+  number   numeric literals (including hex / digit separators)
+  string   any string literal, raw strings and encoding prefixes included
+  char     character literals
+  comment  // and /* */ comments, text included
+  punct    everything else that is not whitespace, one operator per token
+           (multi-char operators like ::, ->, <<= are kept together)
+
+Whitespace is not emitted; use Token.line / Token.start for layout
+questions.
+"""
+
+from dataclasses import dataclass
+
+# Longest-match-first operator table. Three-char operators before two-char
+# before single; the tokenizer tries them in this order.
+_OPERATORS = [
+    "<<=", ">>=", "...", "->*",
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "##",
+]
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_$")
+_IDENT_CONT = _IDENT_START | frozenset("0123456789")
+_DIGITS = frozenset("0123456789")
+
+# String/char literal encoding prefixes, longest first.
+_LITERAL_PREFIXES = ("u8R", "uR", "UR", "LR", "R", "u8", "u", "U", "L")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # ident | number | string | char | comment | punct
+    text: str
+    start: int  # byte offset of the first character
+    end: int  # byte offset one past the last character
+    line: int  # 1-based line of `start`
+
+
+class TokenizeError(ValueError):
+    """Unterminated literal or comment; carries the 1-based line."""
+
+    def __init__(self, message, line):
+        super().__init__("%s (line %d)" % (message, line))
+        self.line = line
+
+
+def tokenize(text):
+    """Tokenizes `text`, returning a list of Tokens (comments included)."""
+    tokens = []
+    i, n = 0, len(text)
+    line = 1
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            end = text.find("\n", i)
+            if end == -1:
+                end = n
+            tokens.append(Token("comment", text[i:end], i, end, line))
+            i = end
+            continue
+        if c == "/" and nxt == "*":
+            end = text.find("*/", i + 2)
+            if end == -1:
+                raise TokenizeError("unterminated block comment", line)
+            end += 2
+            tokens.append(Token("comment", text[i:end], i, end, line))
+            line += text.count("\n", i, end)
+            i = end
+            continue
+        lit = _match_string_or_char(text, i, line)
+        if lit is not None:
+            tokens.append(lit)
+            line += text.count("\n", lit.start, lit.end)
+            i = lit.end
+            continue
+        if c in _IDENT_START:
+            j = i + 1
+            while j < n and text[j] in _IDENT_CONT:
+                j += 1
+            tokens.append(Token("ident", text[i:j], i, j, line))
+            i = j
+            continue
+        if c in _DIGITS or (c == "." and nxt in _DIGITS):
+            j = _scan_number(text, i)
+            tokens.append(Token("number", text[i:j], i, j, line))
+            i = j
+            continue
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token("punct", op, i, i + len(op), line))
+                i += len(op)
+                break
+        else:
+            tokens.append(Token("punct", c, i, i + 1, line))
+            i += 1
+    return tokens
+
+
+def _match_string_or_char(text, i, line):
+    """Returns a string/char Token starting at `i`, or None."""
+    n = len(text)
+    prefix = ""
+    for p in _LITERAL_PREFIXES:
+        if text.startswith(p, i):
+            after = i + len(p)
+            if after < n and text[after] in "\"'":
+                # `u8'x'` is a char literal; `R'x'` is not C++ but treat the
+                # R as part of an identifier in that case.
+                if "R" in p and text[after] == "'":
+                    return None
+                prefix = p
+                break
+    j = i + len(prefix)
+    if j >= n or text[j] not in "\"'":
+        return None
+    quote = text[j]
+    if quote == '"' and prefix.endswith("R"):
+        # Raw string: R"delim( ... )delim". No escapes inside.
+        close_paren = text.find("(", j + 1)
+        if close_paren == -1:
+            raise TokenizeError("malformed raw string delimiter", line)
+        delim = text[j + 1:close_paren]
+        terminator = ")" + delim + '"'
+        end = text.find(terminator, close_paren + 1)
+        if end == -1:
+            raise TokenizeError("unterminated raw string", line)
+        end += len(terminator)
+        return Token("string", text[i:end], i, end, line)
+    k = j + 1
+    while k < n:
+        c = text[k]
+        if c == "\\":
+            k += 2
+            continue
+        if c == quote:
+            kind = "string" if quote == '"' else "char"
+            return Token(kind, text[i:k + 1], i, k + 1, line)
+        if c == "\n":
+            break  # unterminated on this line; treat as plain quote punct
+        k += 1
+    # An unterminated quote (e.g. an apostrophe in prose that leaked out of
+    # a comment) degrades to punct rather than swallowing the file.
+    return Token("punct", text[i + len(prefix)], j, j + 1, line)
+
+
+def _scan_number(text, i):
+    n = len(text)
+    j = i
+    while j < n:
+        c = text[j]
+        if c in _IDENT_CONT or c in "'.":
+            j += 1
+        elif c in "+-" and j > i and text[j - 1] in "eEpP":
+            j += 1  # exponent sign: 1e+9, 0x1p-3
+        else:
+            break
+    return j
+
+
+def scrub(text, keep_strings):
+    """Returns `text` with comment (and optionally string/char) contents
+    blanked to spaces, newlines preserved, so byte offsets and line numbers
+    are unchanged. Built on the tokenizer, so raw strings and literal
+    prefixes are handled; a file the tokenizer rejects falls back to
+    returning the text unmodified (the pattern checks then see comments,
+    which is noisy but never silently skips a file).
+    """
+    try:
+        tokens = tokenize(text)
+    except TokenizeError:
+        return text
+    out = list(text)
+    for tok in tokens:
+        if tok.kind == "comment":
+            _blank(out, tok.start, tok.end)
+        elif tok.kind in ("string", "char") and not keep_strings:
+            # Keep the delimiting quotes so regexes like "..." still see a
+            # literal there; blank only the contents.
+            _blank(out, tok.start + 1, tok.end - 1)
+    return "".join(out)
+
+
+def _blank(chars, start, end):
+    for i in range(start, end):
+        if chars[i] != "\n":
+            chars[i] = " "

@@ -48,6 +48,32 @@ cannot express, because they span files or encode project policy:
                                of the same name in the same file (serving
                                dashboards read windows, not lifetime
                                cumulatives)
+  TL012 guarded-by-missing     in the concurrent directories (src/common,
+                               src/serve, src/signal), every data member of a
+                               class that owns a Mutex must carry
+                               TS3_GUARDED_BY(...) or an `// unguarded:`
+                               justification comment; raw std::mutex members
+                               are banned outside common/mutex.h; every
+                               TS3_NO_THREAD_SAFETY_ANALYSIS opt-out needs an
+                               adjacent `// thread-safety:` justification
+  TL013 blocking-under-lock    methods of *Registry / *Cache classes must not
+                               make blocking calls (CondVar waits,
+                               ParallelFor, TS3_LOG, file I/O, call_once,
+                               invoking a std::function parameter) while
+                               holding one of the class's own mutexes, and
+                               must not re-lock a mutex they already hold
+  TL014 atomic-memory-order    atomic operations in the concurrent
+                               directories must name an explicit
+                               std::memory_order; memory_order_relaxed needs
+                               a `// relaxed:` rationale within the previous
+                               10 lines; operators that hide seq_cst ops on
+                               atomics (=, +=, ++) are banned; seqlock files
+                               must pair acquire loads with release stores
+
+TL012-TL014 run on a token-level C++ model (tools/ts3lint/cpptok.py +
+concurrency.py): per-file class/member/method scopes merged into a
+cross-file lock map, so a .cc method body is checked against the mutexes
+its header declares.
 
 Usage:
   ts3lint.py [--root DIR] [--json]
@@ -67,6 +93,11 @@ import re
 import sys
 from dataclasses import dataclass
 
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import concurrency  # noqa: E402
+import cpptok  # noqa: E402
+
 CHECK_DOCS = {
     "TL001": "thread-outside-pool",
     "TL002": "rng-outside-random",
@@ -79,6 +110,9 @@ CHECK_DOCS = {
     "TL009": "serve-missing-nograd",
     "TL010": "replay-kernel-coverage",
     "TL011": "metric-name-units",
+    "TL012": "guarded-by-missing",
+    "TL013": "blocking-under-lock",
+    "TL014": "atomic-memory-order",
 }
 
 SOURCE_EXTENSIONS = (".cc", ".cpp", ".h", ".hpp")
@@ -89,6 +123,9 @@ EXEMPT = {
     "TL002": {"common/random.h", "common/random.cc"},
     "TL003": {"common/logging.h", "common/logging.cc"},
     "TL004": set(),
+    # The mutex shim is the one legal home of a raw std::mutex, and its
+    # MutexLock/CondVar internals are what the analysis reasons *about*.
+    "TL012": {"common/mutex.h"},
 }
 
 # Directories under src/ whose files count as "kernel code" for TL004.
@@ -113,61 +150,13 @@ class Finding:
 # ---------------------------------------------------------------------------
 # C++ scrubbing: drop comments (and optionally string contents) while
 # preserving byte offsets, so regex hits report true line numbers and banned
-# tokens inside comments or log messages never fire.
+# tokens inside comments or log messages never fire. Backed by the cpptok
+# tokenizer, which also understands raw strings and literal prefixes the old
+# character-state-machine scrubber mishandled.
 # ---------------------------------------------------------------------------
 
 def scrub(text, keep_strings):
-    out = list(text)
-    i, n = 0, len(text)
-    NORMAL, LINE_COMMENT, BLOCK_COMMENT, STRING, CHAR = range(5)
-    state = NORMAL
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if state == NORMAL:
-            if c == "/" and nxt == "/":
-                state = LINE_COMMENT
-                out[i] = out[i + 1] = " "
-                i += 2
-                continue
-            if c == "/" and nxt == "*":
-                state = BLOCK_COMMENT
-                out[i] = out[i + 1] = " "
-                i += 2
-                continue
-            if c == '"':
-                state = STRING
-            elif c == "'":
-                state = CHAR
-            i += 1
-        elif state == LINE_COMMENT:
-            if c == "\n":
-                state = NORMAL
-            else:
-                out[i] = " "
-            i += 1
-        elif state == BLOCK_COMMENT:
-            if c == "*" and nxt == "/":
-                state = NORMAL
-                out[i] = out[i + 1] = " "
-                i += 2
-                continue
-            if c != "\n":
-                out[i] = " "
-            i += 1
-        else:  # STRING or CHAR
-            quote = '"' if state == STRING else "'"
-            if c == "\\" and nxt:
-                if not keep_strings:
-                    out[i] = out[i + 1] = " "
-                i += 2
-                continue
-            if c == quote:
-                state = NORMAL
-            elif not keep_strings and c != "\n":
-                out[i] = " "
-            i += 1
-    return "".join(out)
+    return cpptok.scrub(text, keep_strings)
 
 
 def line_of(text, offset):
@@ -587,6 +576,7 @@ def lint_tree(root):
 
     findings = []
     src_files_with_strings = []
+    raw_files = []
     for path in collect_files(src_dir, skip_fixtures):
         with open(path, encoding="utf-8", errors="replace") as f:
             raw = f.read()
@@ -598,9 +588,17 @@ def lint_tree(root):
         with_strings = scrub(raw, keep_strings=True)
         run_metric_checks(rel_root, with_strings, findings)
         src_files_with_strings.append((rel_root, with_strings))
+        raw_files.append((rel_root, rel_src, raw))
 
     gradcheck_text = gather_gradcheck_text(tests_dir, skip_fixtures)
     run_autograd_checks(src_files_with_strings, gradcheck_text, findings)
+
+    # TL012-TL014 run on raw text: the concurrency engine tokenizes itself
+    # (it needs the comment tokens for justification-comment checks).
+    def make_finding(path, line, check, message):
+        findings.append(Finding(path, line, check, message))
+    concurrency.run_concurrency_checks(
+        raw_files, EXEMPT["TL012"], make_finding)
 
     findings.sort(key=lambda f: (f.path, f.line, f.check))
     return findings
