@@ -16,6 +16,7 @@
 //              [--serve_max_wait_us=500] [--serve_requests=128]
 //              [--serve_compile=1] [--serve_dashboard=1]
 //              [--serve_slo_us=0] [--serve_flight_dump=flight.json]
+//              [--serve_models=a,b] [--serve_max_queue=64]
 //              [--ts3_step_profile]
 //       Freeze the model into an immutable serve::ModelSnapshot (training it
 //       quickly first unless --ckpt provides weights), then replay sliding
@@ -29,6 +30,15 @@
 //       recorder's SLO tracking; --serve_flight_dump writes the recorder's
 //       JSON dump after the run; --ts3_step_profile prints the compiled
 //       graph's per-op-kind time profile.
+//       --serve_models=a,b switches to multi-model registry mode: one
+//       snapshot per comma-separated name (all frozen from the same trained
+//       weights) is published into a serve::ModelRegistry with bounded
+//       admission queues (--serve_max_queue, shed = Status::Unavailable),
+//       client threads round-robin requests across the names, and every
+//       model is hot-swapped under load — a scripted republish at the
+//       halfway mark plus one more per SIGHUP (`kill -HUP <pid>`) — while
+//       every response is still bitwise-checked against the serial
+//       reference.
 //   help
 //       Print this usage text.
 //
@@ -51,9 +61,12 @@
 //   ./build/examples/ts3net_cli periods --csv=/tmp/s.csv
 //   ./build/examples/ts3net_cli forecast --csv=/tmp/s.csv --horizon=24
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <thread>
@@ -72,6 +85,7 @@
 #include "nn/serialize.h"
 #include "serve/batcher.h"
 #include "serve/flight_recorder.h"
+#include "serve/registry.h"
 #include "serve/snapshot.h"
 #include "serve/step_profiler.h"
 #include "signal/cwt_plan.h"
@@ -87,6 +101,13 @@ int Fail(const Status& st) {
   std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
   return 1;
 }
+
+// Set by SIGHUP while `serve --serve_models` is live: the swap loop picks it
+// up on the next tick and republishes every model, demonstrating hot-swap
+// from an external trigger (`kill -HUP <pid>`).
+volatile std::sig_atomic_t g_swap_requested = 0;
+
+void OnSwapSignal(int) { g_swap_requested = 1; }
 
 Result<data::TimeSeries> LoadSeries(const FlagParser& flags) {
   const std::string path = flags.GetString("csv", "");
@@ -234,6 +255,177 @@ double ExactPercentile(std::vector<double>* sorted_in_place, double q) {
   return (*sorted_in_place)[idx];
 }
 
+// serve --serve_models=a,b,...: multi-model registry mode. Publishes one
+// snapshot per name — all frozen from the same trained weights — into a
+// serve::ModelRegistry, then drives the client threads round-robin across
+// the names while snapshots are hot-swapped under load: once scripted at
+// the halfway mark (so the demo always exercises a swap), plus once per
+// SIGHUP received. Because every version of every model shares weights, a
+// response that blended versions or routed to the wrong model would fail
+// the bitwise check against the serial reference.
+int ServeRegistryMode(const FlagParser& flags, const std::string& model_name,
+                      const models::ModelConfig& config,
+                      const nn::Module& trained, int64_t seed,
+                      const serve::SnapshotOptions& sopt,
+                      const std::vector<Tensor>& windows,
+                      const std::vector<Tensor>& reference) {
+  std::vector<std::string> names;
+  const std::string list = flags.GetString("serve_models", "");
+  for (size_t start = 0; start <= list.size();) {
+    const size_t comma = list.find(',', start);
+    const size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > start) names.push_back(list.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (names.empty()) {
+    return Fail(
+        Status::InvalidArgument("--serve_models needs at least one name"));
+  }
+
+  serve::ModelRegistryOptions ropt;
+  ropt.batcher.max_batch = flags.GetInt("serve_max_batch", 8);
+  ropt.batcher.max_wait_us = flags.GetInt("serve_max_wait_us", 500);
+  ropt.max_queue = flags.GetInt("serve_max_queue", 64);
+  serve::ModelRegistry registry(ropt);
+
+  // Each publish captures a fresh snapshot of the same trained weights into
+  // its own twin module, so republishing bumps versions without changing
+  // outputs — exactly the hot-swap case where correctness is invisible to
+  // throughput metrics and only the bitwise check can vouch for it.
+  // Bumped from client 0 (scripted swap) and the main thread (SIGHUP
+  // rounds), so Publish calls may interleave; Publish itself is thread-safe.
+  std::atomic<int64_t> twin_seed{seed + 2};
+  auto publish_all = [&]() -> Status {
+    for (const std::string& name : names) {
+      Rng twin_rng(static_cast<uint64_t>(
+          twin_seed.fetch_add(1, std::memory_order_relaxed)));
+      auto twin = models::CreateModel(model_name, config, &twin_rng);
+      if (!twin.ok()) return twin.status();
+      auto snap = serve::ModelSnapshot::Capture(trained, twin.value(), sopt);
+      if (!snap.ok()) return snap.status();
+      if (auto version = registry.Publish(name, snap.value()); !version.ok()) {
+        return version.status();
+      }
+    }
+    return Status::OK();
+  };
+  if (Status st = publish_all(); !st.ok()) return Fail(st);
+
+  auto* metrics = obs::MetricsRegistry::Global();
+  const double rejected_before = metrics->counter("serve/rejected")->value();
+  const double swaps_before = metrics->counter("serve/swaps")->value();
+
+  g_swap_requested = 0;
+  std::signal(SIGHUP, OnSwapSignal);
+  std::printf(
+      "registry: %zu model(s) published from one weight set "
+      "(max_queue=%lld); kill -HUP %lld republishes them all mid-run\n",
+      names.size(), static_cast<long long>(ropt.max_queue),
+      static_cast<long long>(::getpid()));
+
+  const int64_t clients = flags.GetInt("serve_clients", 4);
+  std::vector<Tensor> outputs(windows.size());
+  std::vector<uint8_t> shed(windows.size(), 0);
+  std::atomic<int64_t> done{0};
+  std::atomic<bool> failed{false};
+  std::atomic<int> swap_rounds{0};
+  auto swap_round = [&] {
+    if (Status st = publish_all(); !st.ok()) {
+      std::fprintf(stderr, "republish failed: %s\n", st.ToString().c_str());
+      failed.store(true, std::memory_order_relaxed);
+    } else {
+      swap_rounds.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  const int64_t start_ns = obs::NowNanos();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int64_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      // Client 0 performs the scripted hot-swap at the stream's halfway
+      // mark — deterministic (unlike a timer-based trigger, which could
+      // miss a short run entirely), and under load by construction since
+      // the other clients keep submitting while Publish drains and
+      // retires the old versions.
+      bool scripted_swap_done = false;
+      for (size_t i = static_cast<size_t>(c); i < windows.size();
+           i += static_cast<size_t>(clients)) {
+        if (c == 0 && !scripted_swap_done && i >= windows.size() / 2) {
+          scripted_swap_done = true;
+          swap_round();
+        }
+        auto out = registry.Predict(names[i % names.size()], windows[i]);
+        if (out.ok()) {
+          outputs[i] = std::move(out).value();
+        } else if (out.status().code() == StatusCode::kUnavailable) {
+          shed[i] = 1;  // admission control shed: loud, never silent
+        } else {
+          std::fprintf(stderr, "predict failed: %s\n",
+                       out.status().ToString().c_str());
+          failed.store(true, std::memory_order_relaxed);
+        }
+        done.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // The main thread only watches for SIGHUP-triggered swap rounds while the
+  // clients drain the stream.
+  const int64_t total = static_cast<int64_t>(windows.size());
+  while (done.load(std::memory_order_relaxed) < total) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    if (g_swap_requested) {
+      g_swap_requested = 0;
+      swap_round();
+    }
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed_ms =
+      static_cast<double>(obs::NowNanos() - start_ns) / 1e6;
+  registry.Shutdown();
+  std::signal(SIGHUP, SIG_DFL);
+
+  int64_t served = 0, shed_count = 0;
+  bool bitwise = true;
+  for (size_t i = 0; i < windows.size(); ++i) {
+    if (shed[i]) {
+      ++shed_count;
+      continue;
+    }
+    ++served;
+    if (!outputs[i].defined() || outputs[i].numel() != reference[i].numel() ||
+        std::memcmp(outputs[i].data(), reference[i].data(),
+                    static_cast<size_t>(outputs[i].numel()) *
+                        sizeof(float)) != 0) {
+      bitwise = false;
+    }
+  }
+
+  const double rejected =
+      metrics->counter("serve/rejected")->value() - rejected_before;
+  const double swaps =
+      metrics->counter("serve/swaps")->value() - swaps_before;
+  std::printf("\nregistry served %lld of %lld request(s) in %.2f ms "
+              "(%.0f req/s), %lld shed\n",
+              static_cast<long long>(served), static_cast<long long>(total),
+              elapsed_ms,
+              static_cast<double>(served) / (elapsed_ms / 1e3),
+              static_cast<long long>(shed_count));
+  for (const std::string& name : names) {
+    auto version = registry.version(name);
+    std::printf("  model %-16s version %lld\n", name.c_str(),
+                version.ok() ? static_cast<long long>(version.value()) : -1);
+  }
+  std::printf("hot swaps:            %.0f publish(es) across %d swap "
+              "round(s) under load\n",
+              swaps, swap_rounds.load(std::memory_order_relaxed));
+  std::printf("admission control:    serve/rejected %.0f\n", rejected);
+  std::printf("outputs vs serial:    %s\n",
+              bitwise ? "bitwise identical" : "MISMATCH");
+  return (bitwise && !failed.load(std::memory_order_relaxed)) ? 0 : 1;
+}
+
 int CmdServe(const FlagParser& flags) {
   auto series = LoadSeries(flags);
   if (!series.ok()) return Fail(series.status());
@@ -318,6 +510,16 @@ int CmdServe(const FlagParser& flags) {
   }
   const double serial_ms =
       static_cast<double>(obs::NowNanos() - serial_start_ns) / 1e6;
+
+  // Multi-model registry mode: --serve_models routes the same request
+  // stream through a serve::ModelRegistry (one micro-batcher per name,
+  // hot-swapped mid-run) instead of the single-batcher comparison below.
+  if (!flags.GetString("serve_models", "").empty()) {
+    std::printf("serial reference:     %8.2f ms  %8.0f req/s\n", serial_ms,
+                static_cast<double>(requests) / (serial_ms / 1e3));
+    return ServeRegistryMode(flags, model_name, config, *model.value(), seed,
+                             sopt, windows, reference);
+  }
 
   // Batched run: client threads pushing the same stream through one
   // MicroBatcher.
@@ -492,12 +694,21 @@ int Usage(int exit_code = 2) {
       "             [--serve_max_wait_us=500] [--serve_requests=128]\n"
       "             [--serve_compile=1] [--serve_dashboard=1]\n"
       "             [--serve_slo_us=0] [--serve_flight_dump=flight.json]\n"
+      "             [--serve_models=a,b] [--serve_max_queue=64]\n"
       "             [--ts3_step_profile]\n"
       "             freeze a snapshot, serve windows from the test split\n"
       "             serially and micro-batched, compare bitwise + report\n"
       "             throughput/latency; a live one-line dashboard on stderr\n"
       "             shows windowed p50/p95/p99, request rate, and queue\n"
-      "             depth while the batched run is in flight\n"
+      "             depth while the batched run is in flight.\n"
+      "             --serve_models=a,b switches to multi-model registry\n"
+      "             mode: one snapshot per name is published into a\n"
+      "             ModelRegistry (bounded admission queues of\n"
+      "             --serve_max_queue), clients round-robin across names,\n"
+      "             and every model is hot-swapped mid-run — scripted at\n"
+      "             the halfway mark and again on each SIGHUP — with all\n"
+      "             responses still bitwise-checked against the serial\n"
+      "             reference\n"
       "\n"
       "global flags:\n"
       "  --ts3_num_threads=N  kernel thread-pool size; 0 = hardware\n"

@@ -12,6 +12,19 @@
 namespace ts3net {
 namespace obs {
 
+std::string MetricPathSegment(const std::string& name) {
+  if (name.empty()) return "unnamed";
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                      c == '-';
+    out.push_back(keep ? c : '_');
+  }
+  return out;
+}
+
 namespace {
 
 uint64_t DoubleBits(double v) {

@@ -17,6 +17,14 @@ namespace obs {
 class JsonWriter;
 class RollingCounter;
 class RollingHistogram;
+
+/// Sanitizes a caller-supplied name (e.g. a served model's) into one metric
+/// path segment: [A-Za-z0-9_.-] pass through, every other byte (including
+/// '/', which would split the namespace) becomes '_', and an empty input
+/// yields "unnamed". Use when composing per-entity metric names such as
+/// "serve/" + MetricPathSegment(model) + "/version", so arbitrary model
+/// names cannot collide with or fragment the fixed metric namespace.
+std::string MetricPathSegment(const std::string& name);
 struct RollingOptions;
 
 /// Monotonic counter. All mutators are lock-free atomics, safe to call from

@@ -16,6 +16,9 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  /// Transient overload: the request was refused by admission control and
+  /// may succeed if retried later (serving load-shed, bounded queues full).
+  kUnavailable,
 };
 
 /// Lightweight status object returned by fallible APIs (I/O, parsing,
@@ -45,6 +48,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

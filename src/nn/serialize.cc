@@ -5,7 +5,10 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <string>
 #include <type_traits>
+#include <utility>
+#include <vector>
 
 #include "common/logging.h"
 
@@ -30,16 +33,6 @@ void WriteScalar(std::ostream& out, T value) {
   out.write(buf, sizeof(T));
 }
 
-template <typename T>
-bool ReadScalar(std::istream& in, T* value) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  char buf[sizeof(T)];
-  in.read(buf, sizeof(T));
-  if (!in.good()) return false;
-  std::memcpy(value, buf, sizeof(T));
-  return true;
-}
-
 // 64 KiB staging chunks: large enough to amortize stream calls, small enough
 // to stay on the stack-adjacent hot path of every checkpoint save/load.
 constexpr size_t kChunkBytes = 1 << 16;
@@ -55,27 +48,68 @@ void WriteFloats(std::ostream& out, const float* data, size_t count) {
   }
 }
 
-bool ReadFloats(std::istream& in, float* data, size_t count) {
-  char buf[kChunkBytes];
-  size_t done = 0;
-  while (done < count) {
-    const size_t n = std::min(count - done, kChunkBytes / sizeof(float));
-    in.read(buf, static_cast<std::streamsize>(n * sizeof(float)));
-    if (!in.good()) return false;
-    std::memcpy(data + done, buf, n * sizeof(float));
-    done += n;
-  }
-  return true;
-}
-
 Status FailSave(const std::string& why, const std::string& path) {
   TS3_LOG(Error) << "checkpoint save failed (" << why << "): " << path;
   return Status::IOError(why + ": " + path);
 }
 
-Status FailLoad(const std::string& why, const std::string& path) {
-  TS3_LOG(Error) << "checkpoint load failed (" << why << "): " << path;
-  return Status::InvalidArgument(why + ": " + path);
+/// Wraps the input stream and counts every byte consumed, so corruption
+/// reports can name the exact offset where the file stopped making sense.
+class CheckpointReader {
+ public:
+  explicit CheckpointReader(std::istream* in) : in_(in) {}
+
+  int64_t offset() const { return offset_; }
+
+  /// Reads up to `n` bytes; returns the bytes actually read (short on EOF
+  /// or stream error — the caller turns a short read into a Status).
+  int64_t Read(char* buf, int64_t n) {
+    in_->read(buf, static_cast<std::streamsize>(n));
+    const int64_t got = static_cast<int64_t>(in_->gcount());
+    offset_ += got;
+    return got;
+  }
+
+ private:
+  std::istream* in_;
+  int64_t offset_ = 0;
+};
+
+/// Structurally invalid contents (bad magic, implausible counts, unknown
+/// parameters): the file is complete but wrong.
+Status MalformedLoad(const std::string& path, int64_t offset,
+                     const std::string& what) {
+  const std::string msg = "corrupt checkpoint " + path + " at byte offset " +
+                          std::to_string(offset) + ": " + what;
+  TS3_LOG(Error) << "checkpoint load failed: " << msg;
+  return Status::InvalidArgument(msg);
+}
+
+/// Short read: the file ends before the field it promised.
+Status TruncatedLoad(const std::string& path, int64_t offset,
+                     int64_t expected, int64_t got, const std::string& what) {
+  const std::string msg =
+      "truncated checkpoint " + path + ": reading " + what +
+      " at byte offset " + std::to_string(offset) + ": expected " +
+      std::to_string(expected) + " bytes, got " + std::to_string(got);
+  TS3_LOG(Error) << "checkpoint load failed: " << msg;
+  return Status::IOError(msg);
+}
+
+/// Reads one scalar field or reports exactly what was missing and where.
+template <typename T>
+Status ReadScalarField(CheckpointReader* reader, const std::string& path,
+                       const std::string& what, T* value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int64_t at = reader->offset();
+  char buf[sizeof(T)];
+  const int64_t got = reader->Read(buf, sizeof(T));
+  if (got != static_cast<int64_t>(sizeof(T))) {
+    return TruncatedLoad(path, at, static_cast<int64_t>(sizeof(T)), got,
+                         what);
+  }
+  std::memcpy(value, buf, sizeof(T));
+  return Status::OK();
 }
 
 }  // namespace
@@ -106,52 +140,115 @@ Status LoadParameters(Module* module, const std::string& path) {
     TS3_LOG(Error) << "checkpoint load failed (cannot open): " << path;
     return Status::IOError("cannot open " + path);
   }
+  CheckpointReader reader(&in);
+
   char magic[sizeof(kMagic)];
-  in.read(magic, sizeof(magic));
-  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return FailLoad("not a ts3net checkpoint", path);
+  const int64_t magic_got = reader.Read(magic, sizeof(magic));
+  if (magic_got != static_cast<int64_t>(sizeof(magic))) {
+    return TruncatedLoad(path, 0, sizeof(magic), magic_got, "magic");
+  }
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return MalformedLoad(
+        path, 0,
+        "not a ts3net checkpoint: expected magic \"" +
+            std::string(kMagic, sizeof(kMagic)) + "\", got \"" +
+            std::string(magic, sizeof(magic)) + "\"");
   }
   uint64_t count = 0;
-  if (!ReadScalar(in, &count)) return FailLoad("corrupt checkpoint", path);
+  Status st = ReadScalarField(&reader, path, "parameter count", &count);
+  if (!st.ok()) return st;
 
   std::map<std::string, Tensor> params;
   for (auto& [name, p] : module->NamedParameters()) params.emplace(name, p);
   if (count != params.size()) {
-    return FailLoad("parameter count mismatch: file has " +
-                        std::to_string(count) + ", module has " +
-                        std::to_string(params.size()),
-                    path);
+    return MalformedLoad(path, static_cast<int64_t>(sizeof(magic)),
+                         "parameter count mismatch: file has " +
+                             std::to_string(count) + ", module has " +
+                             std::to_string(params.size()));
   }
 
+  // Payloads are staged here and committed only after the whole file has
+  // parsed cleanly, so a corrupt or truncated checkpoint can never leave
+  // the module half-overwritten (params 1..k from the file, the rest from
+  // init). Tensor handles share storage, so the commit writes through to
+  // the module's parameters.
+  std::vector<std::pair<Tensor, std::vector<float>>> staged;
+  staged.reserve(params.size());
+
   for (uint64_t i = 0; i < count; ++i) {
+    const std::string which = "parameter " + std::to_string(i);
     uint32_t name_len = 0;
-    if (!ReadScalar(in, &name_len) || name_len > 4096) {
-      return FailLoad("corrupt checkpoint", path);
+    st = ReadScalarField(&reader, path, which + " name length", &name_len);
+    if (!st.ok()) return st;
+    if (name_len > 4096) {
+      return MalformedLoad(
+          path, reader.offset() - static_cast<int64_t>(sizeof(name_len)),
+          which + " name length " + std::to_string(name_len) +
+              " exceeds the 4096-byte limit");
     }
+    const int64_t name_at = reader.offset();
     std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
+    const int64_t name_got = reader.Read(name.data(), name_len);
+    if (name_got != static_cast<int64_t>(name_len)) {
+      return TruncatedLoad(path, name_at, name_len, name_got,
+                           which + " name");
+    }
     uint32_t ndim = 0;
-    if (!in.good() || !ReadScalar(in, &ndim) || ndim > 16) {
-      return FailLoad("corrupt checkpoint", path);
+    st = ReadScalarField(&reader, path, "rank of parameter '" + name + "'",
+                         &ndim);
+    if (!st.ok()) return st;
+    if (ndim > 16) {
+      return MalformedLoad(
+          path, reader.offset() - static_cast<int64_t>(sizeof(ndim)),
+          "parameter '" + name + "' has rank " + std::to_string(ndim) +
+              ", exceeding the rank-16 limit");
     }
     Shape shape(ndim);
     for (uint32_t d = 0; d < ndim; ++d) {
-      if (!ReadScalar(in, &shape[d])) {
-        return FailLoad("corrupt checkpoint", path);
-      }
+      st = ReadScalarField(&reader, path,
+                           "dim " + std::to_string(d) + " of parameter '" +
+                               name + "'",
+                           &shape[d]);
+      if (!st.ok()) return st;
     }
     auto it = params.find(name);
     if (it == params.end()) {
-      return FailLoad("unknown parameter in checkpoint: " + name, path);
+      return MalformedLoad(path, name_at,
+                           "unknown or duplicate parameter '" + name + "'");
     }
     if (it->second.shape() != shape) {
-      return FailLoad("shape mismatch for parameter " + name, path);
+      return MalformedLoad(path, name_at,
+                           "shape mismatch for parameter '" + name +
+                               "': checkpoint has " + ShapeToString(shape) +
+                               ", module has " +
+                               ShapeToString(it->second.shape()));
     }
-    if (!ReadFloats(in, it->second.data(),
-                    static_cast<size_t>(it->second.numel()))) {
-      TS3_LOG(Error) << "checkpoint load failed (truncated): " << path;
-      return Status::IOError("truncated checkpoint: " + path);
+    const int64_t payload_at = reader.offset();
+    const int64_t payload_bytes =
+        it->second.numel() * static_cast<int64_t>(sizeof(float));
+    std::vector<float> values(static_cast<size_t>(it->second.numel()));
+    char buf[kChunkBytes];
+    int64_t done = 0;
+    while (done < payload_bytes) {
+      const int64_t n =
+          std::min<int64_t>(payload_bytes - done, kChunkBytes);
+      const int64_t got = reader.Read(buf, n);
+      std::memcpy(reinterpret_cast<char*>(values.data()) + done, buf,
+                  static_cast<size_t>(got));
+      done += got;
+      if (got != n) {
+        return TruncatedLoad(path, payload_at, payload_bytes, done,
+                             "values of parameter '" + name + "'");
+      }
     }
+    Tensor dst = it->second;
+    params.erase(it);  // a second occurrence now reports as duplicate
+    staged.emplace_back(std::move(dst), std::move(values));
+  }
+
+  for (auto& [tensor, values] : staged) {
+    std::memcpy(tensor.data(), values.data(),
+                values.size() * sizeof(float));
   }
   TS3_LOG(Debug) << "loaded checkpoint with " << count << " parameters from "
                  << path;

@@ -17,26 +17,30 @@ MicroBatcher::MicroBatcher(std::shared_ptr<const ModelSnapshot> snapshot,
   TS3_CHECK(snapshot_ != nullptr);
   TS3_CHECK_GE(options_.max_batch, 1);
   TS3_CHECK_GE(options_.max_wait_us, 0);
+  TS3_CHECK_GE(options_.max_queue, 0);
+  TS3_CHECK(!options_.metric_scope.empty());
   auto* registry = obs::MetricsRegistry::Global();
-  requests_ = registry->counter("serve/requests");
-  batches_ = registry->counter("serve/batches");
+  const std::string& scope = options_.metric_scope;
+  requests_ = registry->counter(scope + "/requests");
+  batches_ = registry->counter(scope + "/batches");
   compiled_predicts_ = registry->counter("serve/compiled_predicts");
-  queue_depth_ = registry->gauge("serve/queue_depth");
-  batch_size_hist_ = registry->histogram("serve/batch_size",
+  rejected_ = registry->counter(scope + "/rejected");
+  queue_depth_ = registry->gauge(scope + "/queue_depth");
+  batch_size_hist_ = registry->histogram(scope + "/batch_size",
                                          {1, 2, 4, 8, 16, 32, 64, 128});
   request_latency_us_ = registry->histogram(
-      "serve/request_latency_us", obs::Histogram::DefaultTimeBoundsUs());
-  batch_exec_us_ = registry->histogram("serve/batch_exec_us",
+      scope + "/request_latency_us", obs::Histogram::DefaultTimeBoundsUs());
+  batch_exec_us_ = registry->histogram(scope + "/batch_exec_us",
                                        obs::Histogram::DefaultTimeBoundsUs());
   // Rolling twins of the same metrics: last-window rates and percentiles
   // for the live dashboard / exporters (ts3lint TL011 enforces the pairing).
-  requests_window_ = registry->rolling_counter("serve/requests");
+  requests_window_ = registry->rolling_counter(scope + "/requests");
   batch_size_window_ = registry->rolling_histogram(
-      "serve/batch_size", {1, 2, 4, 8, 16, 32, 64, 128});
+      scope + "/batch_size", {1, 2, 4, 8, 16, 32, 64, 128});
   request_latency_us_window_ = registry->rolling_histogram(
-      "serve/request_latency_us", obs::Histogram::DefaultTimeBoundsUs());
+      scope + "/request_latency_us", obs::Histogram::DefaultTimeBoundsUs());
   batch_exec_us_window_ = registry->rolling_histogram(
-      "serve/batch_exec_us", obs::Histogram::DefaultTimeBoundsUs());
+      scope + "/batch_exec_us", obs::Histogram::DefaultTimeBoundsUs());
   flight_recorder_ = FlightRecorder::Global();
 }
 
@@ -48,30 +52,49 @@ Result<std::future<Tensor>> MicroBatcher::Submit(const Tensor& window) {
   const int64_t arrival_ns = obs::NowNanos();
   // Rejected requests still leave a flight record so an incident dump shows
   // the errors interleaved with the traffic that surrounded them.
-  const auto reject = [&](Status status) -> Result<std::future<Tensor>> {
+  const auto reject = [&](Status status,
+                          RequestOutcome outcome) -> Result<std::future<Tensor>> {
     RequestRecord record;
     record.request_id = request_id;
     record.arrival_ns = arrival_ns;
     record.latency_us = (obs::NowNanos() - arrival_ns) / 1000;
-    record.outcome = RequestOutcome::kError;
+    record.outcome = outcome;
     flight_recorder_->Record(record);
     return status;
   };
   if (!window.defined() || window.ndim() != 2) {
     return reject(Status::InvalidArgument(
-        "MicroBatcher::Submit expects a [T, C] window"));
+                      "MicroBatcher::Submit expects a [T, C] window"),
+                  RequestOutcome::kError);
   }
   MutexLock lock(&mu_);
   if (shutdown_) {
-    return reject(Status::Internal("MicroBatcher is shut down"));
+    return reject(Status::Internal("MicroBatcher is shut down"),
+                  RequestOutcome::kError);
   }
   if (window_shape_.empty()) {
     window_shape_ = window.shape();
   } else if (window.shape() != window_shape_) {
     return reject(Status::InvalidArgument(
-        "MicroBatcher::Submit: window shape " + ShapeToString(window.shape()) +
-        " does not match the batcher's " + ShapeToString(window_shape_)));
+                      "MicroBatcher::Submit: window shape " +
+                      ShapeToString(window.shape()) +
+                      " does not match the batcher's " +
+                      ShapeToString(window_shape_)),
+                  RequestOutcome::kError);
   }
+  if (options_.max_queue > 0 &&
+      static_cast<int64_t>(queue_.size()) >= options_.max_queue) {
+    // Load-shed: the bounded queue is full. Refuse loudly — the caller gets
+    // Unavailable, the counter ticks, and the flight record says kShed —
+    // rather than parking another thread behind a saturated model.
+    rejected_->Increment();
+    return reject(
+        Status::Unavailable("MicroBatcher::Submit: admission queue full (" +
+                            std::to_string(options_.max_queue) + " waiting)"),
+        RequestOutcome::kShed);
+  }
+  ++submitters_;
+  peak_submitters_ = std::max(peak_submitters_, submitters_);
   Pending pending;
   pending.x = window;
   pending.ticket = std::make_shared<Ticket>();
@@ -84,8 +107,11 @@ Result<std::future<Tensor>> MicroBatcher::Submit(const Tensor& window) {
   requests_->Increment();
   requests_window_->Increment();
   queue_depth_->Set(static_cast<double>(queue_.size()));
-  if (static_cast<int64_t>(queue_.size()) >= options_.max_batch) {
-    cv_.NotifyAll();  // a forming leader stops waiting once the batch fills
+  if (static_cast<int64_t>(queue_.size()) >=
+      std::min<int64_t>(options_.max_batch, peak_submitters_)) {
+    // A forming leader stops waiting once the batch fills — either to
+    // max_batch or to the submitter peak, past which it cannot grow.
+    cv_.NotifyAll();
   }
   while (!ticket->done) {
     if (!leader_active_) {
@@ -101,6 +127,7 @@ Result<std::future<Tensor>> MicroBatcher::Submit(const Tensor& window) {
       while (!ticket->done && leader_active_) cv_.Wait(&mu_);
     }
   }
+  --submitters_;
   return future;
 }
 
@@ -126,6 +153,12 @@ void MicroBatcher::Shutdown() {
     cv_.NotifyAll();
   }
   while (inflight_ != 0) drained_cv_.Wait(&mu_);
+  // The drain above emptied the queue, and shutdown_ guarantees no new
+  // request can enqueue after us; pin the gauge to exactly 0 so monitoring
+  // never reads a stale depth from a torn-down batcher (every earlier Set
+  // happens under mu_, so this one is ordered last).
+  TS3_CHECK(queue_.empty());
+  queue_depth_->Set(0.0);
 }
 
 int64_t MicroBatcher::pending() const {
@@ -161,7 +194,16 @@ void MicroBatcher::LeadLocked(const Ticket* ticket) {
 }
 
 void MicroBatcher::FormBatchLocked() {
-  if (static_cast<int64_t>(queue_.size()) >= options_.max_batch ||
+  // The queue can never grow past min(max_batch, peak_submitters_): every
+  // queued request's submitter is parked inside Submit, so at most
+  // `peak_submitters_` requests can coexist. Waiting beyond that limit
+  // stalls for followers that cannot arrive — the clients=1, max_batch>1
+  // configuration used to run at 0.6x *serial* because every batch ate the
+  // whole max_wait_us deadline. The limit is recomputed inside the wait
+  // loops because a new client thread entering Submit can raise the peak
+  // mid-wait.
+  if (static_cast<int64_t>(queue_.size()) >=
+          std::min<int64_t>(options_.max_batch, peak_submitters_) ||
       options_.max_wait_us <= 0 || shutdown_) {
     return;
   }
@@ -182,7 +224,8 @@ void MicroBatcher::FormBatchLocked() {
   constexpr int kStallYields = 3;   // growth-free yields => burst looks over
   int yields_left = kYieldBudget;
   int stalled_yields = 0;
-  while (static_cast<int64_t>(queue_.size()) < options_.max_batch &&
+  while (static_cast<int64_t>(queue_.size()) <
+             std::min<int64_t>(options_.max_batch, peak_submitters_) &&
          !shutdown_ && obs::NowNanos() < deadline_ns) {
     const size_t before = queue_.size();
     if (yields_left > 0) {
@@ -199,7 +242,8 @@ void MicroBatcher::FormBatchLocked() {
       // One short real sleep, re-waiting on spurious wakes until the slice
       // elapses, the batch fills, or shutdown begins.
       const int64_t slice_deadline_ns = obs::NowNanos() + cv_slice_ns;
-      while (static_cast<int64_t>(queue_.size()) < options_.max_batch &&
+      while (static_cast<int64_t>(queue_.size()) <
+                 std::min<int64_t>(options_.max_batch, peak_submitters_) &&
              !shutdown_) {
         const int64_t left_ns = slice_deadline_ns - obs::NowNanos();
         if (left_ns <= 0 || cv_.WaitForNs(&mu_, left_ns)) break;

@@ -5,6 +5,7 @@
 #include <deque>
 #include <future>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/mutex.h"
@@ -26,6 +27,17 @@ struct MicroBatcherOptions {
   /// whatever it has. 0 executes immediately (batching still happens when
   /// requests pile up while a previous batch is running).
   int64_t max_wait_us = 200;
+  /// Admission bound: Submit refuses with Status::Unavailable (and bumps the
+  /// `<scope>/rejected` counter) once this many requests are already queued
+  /// and waiting. 0 disables admission control (unbounded queue). Rejections
+  /// are never silent — the caller always sees the Unavailable status and
+  /// the flight recorder logs the request with outcome kShed.
+  int64_t max_queue = 0;
+  /// Namespace prefix for every metric this batcher registers (counters,
+  /// gauge, histograms and their rolling twins). The default keeps the
+  /// original single-model names ("serve/requests", ...); ModelRegistry
+  /// passes "serve/<model>" so each served model gets its own series.
+  std::string metric_scope = "serve";
 };
 
 /// Coalesces single-window requests from many client threads into dynamic
@@ -55,7 +67,9 @@ struct MicroBatcherOptions {
 /// same bits regardless of how requests happened to be coalesced; batching
 /// changes wall-clock time only.
 ///
-/// Observability: `serve/requests`, `serve/batches` counters, the
+/// Observability (every name below is prefixed by `options.metric_scope`,
+/// "serve" by default — ModelRegistry uses "serve/<model>"):
+/// `serve/requests`, `serve/batches`, `serve/rejected` counters, the
 /// `serve/queue_depth` gauge, and `serve/{batch_size,request_latency_us,
 /// batch_exec_us}` histograms in the global metrics registry — each
 /// histogram paired with a rolling view of the same name (last ~10s
@@ -78,8 +92,9 @@ class MicroBatcher {
   /// Enqueues one [T, C] window, participates in the leader–follower
   /// protocol until the request has executed, and returns a ready future
   /// yielding the [H, C] prediction. All windows must share the shape of the
-  /// first submitted one. Returns InvalidArgument on a shape mismatch and
-  /// Internal after Shutdown.
+  /// first submitted one. Returns InvalidArgument on a shape mismatch,
+  /// Internal after Shutdown, and Unavailable when admission control
+  /// (`options.max_queue`) refuses the request under overload.
   Result<std::future<Tensor>> Submit(const Tensor& window) TS3_EXCLUDES(mu_);
 
   /// Submit + wait: the synchronous single-request client path.
@@ -114,9 +129,14 @@ class MicroBatcher {
   /// execution and re-holds it on return. The caller resigns leadership.
   void LeadLocked(const Ticket* ticket) TS3_REQUIRES(mu_);
 
-  /// Waits (with `mu_` held) for the queue to fill to max_batch, for
+  /// Waits (with `mu_` held) for the queue to fill to its growth limit, for
   /// max_wait_us to elapse, or for the arrival burst to visibly end. Drops
-  /// `mu_` around each yield and re-holds it on return.
+  /// `mu_` around each yield and re-holds it on return. The growth limit is
+  /// min(max_batch, peak_submitters_): the queue cannot outgrow the number
+  /// of client threads ever observed inside Submit at once, because every
+  /// queued request's submitter is parked here — so a lone client executes
+  /// immediately instead of stalling out max_wait_us waiting for followers
+  /// that cannot exist.
   void FormBatchLocked() TS3_REQUIRES(mu_);
 
   /// Stacks `batch` into one tensor, forwards it, fulfills the promises.
@@ -131,6 +151,7 @@ class MicroBatcher {
   obs::Counter* requests_;
   obs::Counter* batches_;
   obs::Counter* compiled_predicts_;
+  obs::Counter* rejected_;
   obs::Gauge* queue_depth_;
   obs::Histogram* batch_size_hist_;
   obs::Histogram* request_latency_us_;
@@ -152,6 +173,12 @@ class MicroBatcher {
   bool shutdown_ TS3_GUARDED_BY(mu_) = false;
   // queued + currently executing
   int64_t inflight_ TS3_GUARDED_BY(mu_) = 0;
+  // Client threads currently inside Submit (between admission and return),
+  // and the high-water mark of that count. The peak bounds how far the queue
+  // can ever grow (each queued request's submitter is parked in Submit), so
+  // FormBatchLocked uses it to stop waiting for impossible followers.
+  int64_t submitters_ TS3_GUARDED_BY(mu_) = 0;
+  int64_t peak_submitters_ TS3_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace serve

@@ -1,0 +1,190 @@
+#include "serve/registry.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace ts3net {
+namespace serve {
+
+// One published version: the snapshot, its dedicated micro-batcher, and the
+// version number it was published as. Immutable once swapped in. The
+// destructor runs when the last referent (the registry slot or an in-flight
+// Predict) lets go — i.e. strictly after the drain — so `retired` counts
+// versions whose memory is actually gone, not merely unpublished ones.
+struct ModelRegistry::Served {
+  std::shared_ptr<const ModelSnapshot> snapshot;
+  std::unique_ptr<MicroBatcher> batcher;
+  int64_t version = 0;
+  obs::Counter* retired = nullptr;
+
+  ~Served() {
+    if (retired != nullptr) retired->Increment();
+  }
+};
+
+// Per-name registry slot. `version_counter` survives swaps so republished
+// models keep monotone version numbers; the metric handles are looked up
+// once on first publish.
+struct ModelRegistry::Entry {
+  std::shared_ptr<Served> current;
+  int64_t version_counter = 0;
+  obs::Gauge* version_gauge = nullptr;
+  obs::Counter* retired = nullptr;
+};
+
+ModelRegistry::ModelRegistry(ModelRegistryOptions options)
+    : options_(std::move(options)) {
+  TS3_CHECK_GE(options_.max_queue, 0);
+  auto* registry = obs::MetricsRegistry::Global();
+  rejected_total_ = registry->counter("serve/rejected");
+  swaps_ = registry->counter("serve/swaps");
+}
+
+ModelRegistry::~ModelRegistry() { Shutdown(); }
+
+Result<int64_t> ModelRegistry::Publish(
+    const std::string& name, std::shared_ptr<const ModelSnapshot> snapshot) {
+  if (name.empty()) {
+    return Status::InvalidArgument("ModelRegistry::Publish: empty model name");
+  }
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument(
+        "ModelRegistry::Publish: null snapshot for model '" + name + "'");
+  }
+  // Build the replacement bundle outside the lock: batcher construction
+  // registers metrics and the snapshot may be arbitrarily large — none of
+  // that belongs under the registry mutex.
+  MicroBatcherOptions bopts = options_.batcher;
+  bopts.max_queue = options_.max_queue;
+  bopts.metric_scope = "serve/" + obs::MetricPathSegment(name);
+  auto served = std::make_shared<Served>();
+  served->snapshot = std::move(snapshot);
+  served->batcher =
+      std::make_unique<MicroBatcher>(served->snapshot, bopts);
+  std::shared_ptr<Served> old;
+  int64_t version = 0;
+  {
+    MutexLock lock(&mu_);
+    if (shutdown_) {
+      return Status::Internal("ModelRegistry is shut down");
+    }
+    std::unique_ptr<Entry>& slot = entries_[name];
+    if (slot == nullptr) {
+      slot = std::make_unique<Entry>();
+      auto* registry = obs::MetricsRegistry::Global();
+      const std::string scope = "serve/" + obs::MetricPathSegment(name);
+      slot->version_gauge = registry->gauge(scope + "/version");
+      slot->retired = registry->counter(scope + "/retired");
+    }
+    version = ++slot->version_counter;
+    served->version = version;
+    served->retired = slot->retired;
+    old = std::move(slot->current);
+    slot->current = std::move(served);
+    slot->version_gauge->Set(static_cast<double>(version));
+  }
+  swaps_->Increment();
+  if (old != nullptr) {
+    // Drain-then-retire: every request the old version admitted executes
+    // against it before this Publish returns. In-flight Predicts that
+    // fetched `old` but had not submitted yet observe the shutdown as
+    // Internal and retry against the bundle we just swapped in.
+    old->batcher->Shutdown();
+  }
+  return version;
+}
+
+Result<std::shared_ptr<ModelRegistry::Served>> ModelRegistry::CurrentLocked(
+    const std::string& name) const {
+  if (shutdown_) {
+    return Status::Internal("ModelRegistry is shut down");
+  }
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second->current == nullptr) {
+    return Status::NotFound("ModelRegistry: no model named '" + name + "'");
+  }
+  return it->second->current;
+}
+
+Result<Tensor> ModelRegistry::Predict(const std::string& name,
+                                      const Tensor& window) {
+  // Each retry corresponds to losing a race with one concurrent Publish
+  // (the fetched bundle's batcher shut down before our Submit landed). The
+  // bound exists only to turn a pathological publish storm into an honest
+  // Unavailable instead of an unbounded loop.
+  constexpr int kMaxSwapRetries = 8;
+  for (int attempt = 0; attempt < kMaxSwapRetries; ++attempt) {
+    std::shared_ptr<Served> served;
+    {
+      MutexLock lock(&mu_);
+      Result<std::shared_ptr<Served>> current = CurrentLocked(name);
+      if (!current.ok()) return current.status();
+      served = std::move(current).value();
+    }
+    // Submit outside the registry lock: model execution must never block a
+    // swap, and a swap must never wait on model execution.
+    Result<Tensor> out = served->batcher->Predict(window);
+    if (out.ok()) return out;
+    if (out.status().code() == StatusCode::kUnavailable) {
+      // Admission shed. Count it in the registry-wide aggregate (the
+      // per-model "serve/<model>/rejected" counter already ticked inside
+      // the batcher) and propagate — never retry into an overloaded queue.
+      rejected_total_->Increment();
+      return out;
+    }
+    if (out.status().code() == StatusCode::kInternal) {
+      MutexLock lock(&mu_);
+      Result<std::shared_ptr<Served>> current = CurrentLocked(name);
+      if (current.ok() && current.value() != served) {
+        continue;  // lost a swap race; retry against the new version
+      }
+    }
+    return out;
+  }
+  return Status::Unavailable("ModelRegistry::Predict: model '" + name +
+                             "' was republished faster than the request "
+                             "could be admitted");
+}
+
+Result<int64_t> ModelRegistry::version(const std::string& name) const {
+  MutexLock lock(&mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("ModelRegistry: no model named '" + name + "'");
+  }
+  return it->second->version_counter;
+}
+
+std::vector<std::string> ModelRegistry::ModelNames() const {
+  std::vector<std::string> names;
+  MutexLock lock(&mu_);
+  names.reserve(entries_.size());
+  for (const auto& kv : entries_) names.push_back(kv.first);
+  return names;
+}
+
+void ModelRegistry::Shutdown() {
+  std::vector<std::shared_ptr<Served>> draining;
+  {
+    MutexLock lock(&mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    draining.reserve(entries_.size());
+    for (auto& kv : entries_) {
+      if (kv.second->current != nullptr) {
+        draining.push_back(std::move(kv.second->current));
+      }
+    }
+  }
+  // Drain outside the lock: Shutdown blocks on in-flight executions, and
+  // late Predicts holding a bundle reference must be able to observe the
+  // shutdown (they re-check under mu_) without deadlocking against us.
+  for (const auto& served : draining) {
+    served->batcher->Shutdown();
+  }
+}
+
+}  // namespace serve
+}  // namespace ts3net

@@ -1,0 +1,124 @@
+#ifndef TS3NET_SERVE_REGISTRY_H_
+#define TS3NET_SERVE_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/obs/metrics.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "serve/batcher.h"
+#include "serve/snapshot.h"
+#include "tensor/tensor.h"
+
+namespace ts3net {
+namespace serve {
+
+struct ModelRegistryOptions {
+  /// Per-model batcher configuration. `metric_scope` and `max_queue` are
+  /// overridden per model ("serve/<model>" and the registry-level bound
+  /// below); the batching knobs (max_batch, max_wait_us) apply as-is.
+  MicroBatcherOptions batcher;
+  /// Admission bound copied into every model's batcher: Predict returns
+  /// Status::Unavailable once this many requests are queued for that model.
+  /// 0 disables admission control.
+  int64_t max_queue = 64;
+};
+
+/// Maps model names to versioned ModelSnapshots and routes predictions to a
+/// per-model MicroBatcher. The serving tier's front door: multi-tenant
+/// (per-dataset / per-horizon models live side by side), hot-swappable
+/// (Publish atomically replaces a model's snapshot under live load), and
+/// overload-honest (bounded per-model admission queues that shed with
+/// Status::Unavailable, never silently).
+///
+/// Hot-swap protocol: each model name holds a shared_ptr to an immutable
+/// `Served` bundle (snapshot + batcher + version). Predict grabs the current
+/// bundle under the registry mutex and submits *outside* it, so a swap never
+/// blocks on model execution and execution never blocks a swap. Publish
+/// builds the replacement bundle outside the lock, swaps the pointer under
+/// it (bumping the `serve/<model>/version` gauge), then shuts down the old
+/// bundle's batcher — which drains every admitted request against the old
+/// snapshot before retirement. A Predict that loses the race (its batcher
+/// shut down between fetch and submit) retries against the new bundle. The
+/// old snapshot is freed only when the last in-flight Predict drops its
+/// reference; `serve/<model>/retired` counts completed retirements.
+///
+/// Metrics: per-model series under "serve/<model>/..." (requests, batches,
+/// rejected, queue_depth, latency histograms — registered by the per-model
+/// batcher), a "serve/<model>/version" gauge and "serve/<model>/retired"
+/// counter maintained here, plus registry-wide aggregates "serve/rejected"
+/// (all sheds) and "serve/swaps" (all publishes). Model names are sanitized
+/// into metric path segments via obs::MetricPathSegment.
+class ModelRegistry {
+ public:
+  explicit ModelRegistry(ModelRegistryOptions options = {});
+
+  /// Shuts down and drains every model (see Shutdown).
+  ~ModelRegistry();
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Publishes `snapshot` as the new current version of `name`, creating the
+  /// model on first publish. Returns the new version number (1-based,
+  /// monotonically increasing per name). Atomic for readers: every Predict
+  /// executes against exactly one published snapshot — never a blend. Blocks
+  /// until the previous version (if any) has drained its admitted requests.
+  /// Returns InvalidArgument on a null snapshot or empty name, Internal
+  /// after Shutdown.
+  Result<int64_t> Publish(const std::string& name,
+                          std::shared_ptr<const ModelSnapshot> snapshot)
+      TS3_EXCLUDES(mu_);
+
+  /// Routes one [T, C] window to `name`'s current version through its
+  /// micro-batcher and returns the [H, C] prediction. NotFound for unknown
+  /// names, Unavailable when the model's admission queue sheds the request,
+  /// Internal after Shutdown. Transparently retries (bounded) when a
+  /// concurrent Publish retires the version it raced with.
+  Result<Tensor> Predict(const std::string& name, const Tensor& window)
+      TS3_EXCLUDES(mu_);
+
+  /// Current version of `name` (0 if never published), or NotFound.
+  Result<int64_t> version(const std::string& name) const TS3_EXCLUDES(mu_);
+
+  /// Sorted names of all published models.
+  std::vector<std::string> ModelNames() const TS3_EXCLUDES(mu_);
+
+  /// Stops accepting Publish/Predict and drains every model's in-flight
+  /// requests. Idempotent; called by the destructor.
+  void Shutdown() TS3_EXCLUDES(mu_);
+
+ private:
+  // One published (snapshot, batcher, version) bundle; immutable after
+  // Publish swaps it in. Retirement (the destructor) bumps the per-model
+  // retired counter. Defined in registry.cc.
+  struct Served;
+  // Per-name slot: the current bundle plus the monotone version counter and
+  // the model's registry-owned metric handles. Defined in registry.cc.
+  struct Entry;
+
+  /// Returns the current bundle for `name` (or an error), under `mu_`.
+  Result<std::shared_ptr<Served>> CurrentLocked(const std::string& name) const
+      TS3_REQUIRES(mu_);
+
+  const ModelRegistryOptions options_;
+
+  // unguarded: looked up once in the constructor; internally thread-safe.
+  obs::Counter* rejected_total_;
+  // unguarded: looked up once in the constructor; internally thread-safe.
+  obs::Counter* swaps_;
+
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Entry>> entries_ TS3_GUARDED_BY(mu_);
+  bool shutdown_ TS3_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace serve
+}  // namespace ts3net
+
+#endif  // TS3NET_SERVE_REGISTRY_H_

@@ -151,5 +151,33 @@ TEST_F(CliSmokeTest, ServeReportsBitwiseIdenticalBatchedOutputs) {
   std::remove(out.c_str());
 }
 
+TEST_F(CliSmokeTest, ServeModelsRegistryModeHotSwapsBitwise) {
+  const std::string csv = Tmp("series4.csv");
+  const std::string out = Tmp("registry_stdout.txt");
+  ASSERT_EQ(RunCommand(CliPath() +
+                       " generate --dataset=ETTh1 --fraction=0.05 --out=" +
+                       csv + " > /dev/null"),
+            0);
+  // Multi-model registry mode: two names published from one weight set,
+  // hot-swapped at the halfway mark while clients round-robin across them.
+  // Exit code asserts the bitwise check; the report must show the post-swap
+  // version (2) and the swap round.
+  ASSERT_EQ(RunCommand(CliPath() + " serve --csv=" + csv +
+                       " --model=LSTM --lookback=32 --horizon=8 --epochs=1" +
+                       " --batches=2 --dmodel=8 --serve_requests=64" +
+                       " --serve_clients=4 --serve_max_batch=8" +
+                       " --serve_models=etth1-a,etth1-b" +
+                       " --ts3_num_threads=1 > " + out + " 2>/dev/null"),
+            0);
+  const std::string text = ReadFileOrEmpty(out);
+  EXPECT_NE(text.find("2 model(s) published"), std::string::npos) << text;
+  EXPECT_NE(text.find("version 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("1 swap round(s)"), std::string::npos) << text;
+  EXPECT_NE(text.find("bitwise identical"), std::string::npos) << text;
+
+  std::remove(csv.c_str());
+  std::remove(out.c_str());
+}
+
 }  // namespace
 }  // namespace ts3net

@@ -22,6 +22,11 @@ class ShapeCache {
   void Warm(const std::function<int()>& build) TS3_EXCLUDES(mu_);
 
  private:
+  // Forward declarations of nested types are not fields: TL012 must not
+  // demand a guard or an `// unguarded:` justification for them.
+  struct Entry;
+  class Snapshot;
+
   mutable Mutex mu_;
   std::map<int, std::vector<std::pair<int, int>>> shapes_
       TS3_GUARDED_BY(mu_);

@@ -1,0 +1,47 @@
+// Hot-swap registry fixture: the per-model serving metric segments
+// (rejected / version / retired / swaps) are allowlisted unitless counts
+// and indices — registered below as negative controls — plus seeded
+// TL012/TL013 violations in the swap path itself. Never compiled; the file
+// only needs to look like C++ to the scanner.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class MetricsRegistry {
+ public:
+  void* counter(const char* name);
+  void* gauge(const char* name);
+};
+
+void RegisterSwapMetrics(MetricsRegistry* registry) {
+  // Compliant: admission/hot-swap series use allowlisted final segments.
+  registry->counter("serve/m0/rejected");
+  registry->gauge("serve/m0/version");
+  registry->counter("serve/m0/retired");
+  registry->counter("serve/swaps");
+
+  // Not a count, not an index, no unit: what does a bare "load" measure?
+  registry->gauge("serve/m0/load");  // EXPECT-LINT: TL011
+}
+
+class SwapRegistry {
+ public:
+  void Publish(int snapshot) TS3_EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  int current_ TS3_GUARDED_BY(mu_) = 0;
+  int swap_count_ = 0;  // EXPECT-LINT: TL012
+};
+
+void SwapRegistry::Publish(int snapshot) {
+  MutexLock lock(&mu_);
+  current_ = snapshot;
+  // Draining the outgoing version is a blocking operation; it must happen
+  // after the pointer swap releases the registry lock, not under it.
+  TS3_LOG(INFO) << "published " << snapshot;  // EXPECT-LINT: TL013
+}
+
+}  // namespace fixture

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
+#include <vector>
 
 #include "core/ts3net.h"
 #include "models/registry.h"
@@ -101,6 +103,43 @@ TEST(SerializeTest, TruncatedFileRejected) {
   Mlp m2(4, 8, 2, &rng);
   EXPECT_FALSE(LoadParameters(&m2, path).ok());
   std::remove(path.c_str());
+}
+
+TEST(SerializeTest, FailedLoadLeavesModuleUntouched) {
+  // A truncated checkpoint may parse several parameters before hitting the
+  // cliff. None of them may leak into the module: loads are staged and
+  // committed only after the whole file has validated, so a failed load is
+  // a no-op on the weights.
+  Rng rng(12);
+  Mlp m(4, 8, 2, &rng);
+  const std::string path = TempPath("partial");
+  ASSERT_TRUE(SaveParameters(m, path).ok());
+  FILE* f = fopen(path.c_str(), "rb");
+  fseek(f, 0, SEEK_END);
+  long size = ftell(f);
+  fclose(f);
+  // Keep most of the file so at least one full parameter record parses.
+  ASSERT_EQ(truncate(path.c_str(), size - 8), 0);
+
+  Rng rng2(13);  // different init: loaded params would visibly differ
+  Mlp victim(4, 8, 2, &rng2);
+  std::vector<std::vector<float>> before;
+  for (const Tensor& p : victim.Parameters()) {
+    before.emplace_back(p.data(), p.data() + p.numel());
+  }
+  Status st = LoadParameters(&victim, path);
+  std::remove(path.c_str());
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("truncated checkpoint"), std::string::npos)
+      << st.message();
+  auto params = victim.Parameters();
+  ASSERT_EQ(params.size(), before.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    EXPECT_EQ(std::memcmp(params[i].data(), before[i].data(),
+                          before[i].size() * sizeof(float)),
+              0)
+        << "parameter " << i << " was modified by a failed load";
+  }
 }
 
 TEST(SerializeTest, TrainedBaselineSurvivesRoundTrip) {

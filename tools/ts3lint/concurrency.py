@@ -342,6 +342,9 @@ def _record_member(stmt, info):
         return
     if _stmt_has_call_parens(stmt):
         return  # method declaration without a body
+    if texts[0] in ("class", "struct", "enum", "union") and \
+            len(stmt) == 2 and stmt[1][1].kind == "ident":
+        return  # forward declaration of a nested type, not a field
     # Split off the initializer, then the annotation macros; the field name
     # is the last remaining identifier.
     decl = []

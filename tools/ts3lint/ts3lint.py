@@ -282,6 +282,8 @@ METRIC_UNITLESS = {
     "backward_nodes", "ops_dispatched", "early_stop_epoch", "best_epoch",
     "epoch_loss", "epoch_val_loss", "epoch_lr", "epoch_grad_norm",
     "grad_norm", "slo_breaches", "slo_dumps",
+    # Serving-tier admission/hot-swap series (counts and a version index).
+    "rejected", "swaps", "version", "retired",
 }
 
 

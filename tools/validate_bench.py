@@ -12,6 +12,19 @@ records across commits, so each one must:
     consumers can detect layout changes instead of misreading old files;
   * carry a "bench" or "kind" top-level key naming the producing harness.
 
+Serve records (bench == "serve") additionally carry the serving-tier
+contracts this repo treats as regressions, not style:
+
+  * schema_version >= 2 (the version that introduced "open_loop");
+  * an "open_loop" array — the offered-load sweep — whose entries carry
+    numeric offered_rps/achieved_rps/p50_us/p95_us/p99_us and an integer
+    rejected >= 0, with offered_rps strictly increasing, achieved_rps
+    never exceeding offered, the lowest level shedding nothing, and at
+    least one level past the knee shedding (rejected > 0);
+  * every closed-loop "cells" entry with clients == 1 reporting
+    speedup >= 1.0 — the single-client batching stall, once fixed, must
+    never come back.
+
 Usage:
   validate_bench.py FILE [FILE ...]
   validate_bench.py --dir DIR          validate every BENCH_*.json under DIR
@@ -48,6 +61,76 @@ def validate(path):
         problems.append("schema_version is %d, expected >= 1" % version)
     if "bench" not in record and "kind" not in record:
         problems.append('missing "bench"/"kind" key naming the harness')
+    if record.get("bench") == "serve":
+        problems.extend(validate_serve(record))
+    return problems
+
+
+def _is_num(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def validate_serve(record):
+    """Serve-record invariants: open-loop sweep shape + stall-fix gate."""
+    problems = []
+    version = record.get("schema_version")
+    if isinstance(version, int) and not isinstance(version, bool) \
+            and version < 2:
+        problems.append("serve record schema_version is %d, expected >= 2 "
+                        "(the version introducing open_loop)" % version)
+    open_loop = record.get("open_loop")
+    if not isinstance(open_loop, list) or not open_loop:
+        problems.append('serve record needs a non-empty "open_loop" array '
+                        "(the offered-load sweep)")
+        open_loop = []
+    prev_offered = None
+    for i, level in enumerate(open_loop):
+        where = "open_loop[%d]" % i
+        if not isinstance(level, dict):
+            problems.append("%s is not an object" % where)
+            continue
+        for key in ("offered_rps", "achieved_rps",
+                    "p50_us", "p95_us", "p99_us"):
+            if not _is_num(level.get(key)):
+                problems.append("%s.%s is %r, expected a number"
+                                % (where, key, level.get(key)))
+        rejected = level.get("rejected")
+        if not isinstance(rejected, int) or isinstance(rejected, bool) \
+                or rejected < 0:
+            problems.append("%s.rejected is %r, expected an integer >= 0"
+                            % (where, rejected))
+        offered = level.get("offered_rps")
+        achieved = level.get("achieved_rps")
+        if _is_num(offered):
+            if prev_offered is not None and offered <= prev_offered:
+                problems.append("%s.offered_rps %.1f does not increase over "
+                                "the previous level's %.1f (the sweep must "
+                                "be monotone)" % (where, offered,
+                                                 prev_offered))
+            prev_offered = offered
+            if _is_num(achieved) and achieved > offered * 1.05:
+                problems.append("%s.achieved_rps %.1f exceeds offered_rps "
+                                "%.1f (open-loop arrivals cannot be "
+                                "outpaced)" % (where, achieved, offered))
+    if open_loop and isinstance(open_loop[0], dict):
+        first_rejected = open_loop[0].get("rejected")
+        if isinstance(first_rejected, int) and first_rejected > 0:
+            problems.append("open_loop[0].rejected is %d: the lowest offered "
+                            "load must not shed (the knee should sit inside "
+                            "the sweep)" % first_rejected)
+        if all(isinstance(lv, dict) and lv.get("rejected") == 0
+               for lv in open_loop):
+            problems.append("no open_loop level sheds (rejected > 0): the "
+                            "sweep never crossed the saturation knee")
+    for i, cell in enumerate(record.get("cells") or []):
+        if not isinstance(cell, dict) or cell.get("clients") != 1:
+            continue
+        speedup = cell.get("speedup")
+        if _is_num(speedup) and speedup < 1.0:
+            problems.append("cells[%d] (clients=1, max_batch=%r) reports "
+                            "speedup %.3f < 1.0: the single-client batching "
+                            "stall is back" % (i, cell.get("max_batch"),
+                                               speedup))
     return problems
 
 
