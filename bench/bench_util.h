@@ -14,6 +14,7 @@
 #include "common/string_util.h"
 #include "common/threadpool.h"
 #include "signal/cwt_plan.h"
+#include "tensor/kernels/kernels.h"
 #include "train/experiment.h"
 
 namespace ts3net {
@@ -81,7 +82,8 @@ inline BenchSettings ParseBenchSettings(
 }
 
 /// Shared harness setup: applies --ts3_num_threads to the global pool,
-/// --ts3_cwt_impl={dense,fft} to the model-path CWT default, and the obs
+/// --ts3_cwt_impl={dense,fft} to the model-path CWT default,
+/// --ts3_kernel_impl={scalar,avx2,auto} to the GEMM substrate, and the obs
 /// flags (--ts3_log_level/--ts3_trace/--ts3_profile/--ts3_metrics_json);
 /// the requested exports run when the BenchEnv leaves scope at the end of
 /// the harness.
@@ -95,6 +97,13 @@ class BenchEnv {
       TS3_CHECK(ParseCwtImpl(flags.GetString("ts3_cwt_impl", "dense"), &impl))
           << "unknown --ts3_cwt_impl (expected dense|fft)";
       SetDefaultCwtImpl(impl);
+    }
+    if (flags.Has("ts3_kernel_impl")) {
+      kernels::KernelImpl impl;
+      TS3_CHECK(kernels::ParseKernelImpl(
+          flags.GetString("ts3_kernel_impl", "auto"), &impl))
+          << "unknown --ts3_kernel_impl (expected scalar|avx2|auto)";
+      kernels::SetKernelImpl(impl);
     }
     obs_.emplace(flags);
   }

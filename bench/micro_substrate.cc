@@ -1,10 +1,27 @@
-// Google-benchmark micro benchmarks for the numeric substrates: FFT, CWT,
-// IWT, spectrum gradient, matmul, conv2d, and the moving-average trend
-// decomposition. These track the kernels every table harness spends its time
-// in.
+// Micro benchmarks for the numeric substrates: FFT, CWT, IWT, spectrum
+// gradient, matmul, conv2d, and the moving-average trend decomposition.
+// These track the kernels every table harness spends its time in.
+//
+// Running the binary with no arguments executes the GEMM kernel sweep —
+// single-thread scalar vs AVX2 GFLOP/s per shape — and writes
+// BENCH_substrate.json (see tools/validate_bench.py for the committed-record
+// gate: >= 4x speedup at the largest square shape when AVX2 is available).
+// The google-benchmark suite still runs when any --benchmark* flag (or
+// --gbench) is passed, e.g. --benchmark_filter=BM_MatMul.
+//
+// Sweep flags: --reps=N (timing repetitions, keep the min), --no_sweep,
+// --bench_json=PATH (empty disables the record), --ts3_num_threads=N
+// (default 1: the headline is single-thread kernel throughput).
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "common/aligned.h"
+#include "common/flags.h"
+#include "common/obs/json.h"
 #include "common/threadpool.h"
 #include "core/decomposition.h"
 #include "core/sgd_layer.h"
@@ -12,6 +29,7 @@
 #include "signal/fft.h"
 #include "signal/period.h"
 #include "signal/trend.h"
+#include "tensor/kernels/kernels.h"
 #include "tensor/ops.h"
 
 namespace ts3net {
@@ -219,7 +237,198 @@ void BM_PeriodDetection(benchmark::State& state) {
 }
 BENCHMARK(BM_PeriodDetection);
 
+// ---------------------------------------------------------------------------
+// GEMM kernel sweep: scalar vs AVX2 single-thread throughput, recorded as
+// BENCH_substrate.json for the validate_bench gate.
+// ---------------------------------------------------------------------------
+
+struct SweepShape {
+  int64_t m, k, n;
+};
+
+// Square shapes for the headline numbers (the gate reads the largest) plus
+// remainder shapes that exercise the tail tiles (m % 6, n % 16, odd k).
+const SweepShape kSweepShapes[] = {{64, 64, 64},   {128, 128, 128},
+                                   {256, 256, 256}, {512, 512, 512},
+                                   {67, 61, 77},    {200, 100, 304}};
+
+struct SweepRow {
+  SweepShape shape;
+  double scalar_gflops = 0.0;
+  double avx2_gflops = 0.0;
+};
+
+using GemmFn = void (*)(const float*, const float*, float*,
+                        const std::vector<int64_t>&,
+                        const std::vector<int64_t>&, int64_t, int64_t,
+                        int64_t, int64_t);
+
+/// Best-of-`reps` throughput of one kernel on one shape. Each timed sample
+/// batches enough iterations to span a few tens of milliseconds; the
+/// zero-fill between iterations is part of the measured work, matching how
+/// MatMul drives the kernel.
+double MeasureGflops(GemmFn fn, const SweepShape& s, int reps) {
+  Rng rng(42);
+  FloatVec a(static_cast<size_t>(s.m * s.k));
+  FloatVec b(static_cast<size_t>(s.k * s.n));
+  for (float& v : a) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  for (float& v : b) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  FloatVec out(static_cast<size_t>(s.m * s.n));
+  const std::vector<int64_t> off = {0};
+  const double flops = 2.0 * static_cast<double>(s.m) *
+                       static_cast<double>(s.k) * static_cast<double>(s.n);
+  const int64_t iters =
+      std::max<int64_t>(1, static_cast<int64_t>(2.5e8 / flops));
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int64_t i = 0; i < iters; ++i) {
+      std::fill(out.begin(), out.end(), 0.0f);
+      fn(a.data(), b.data(), out.data(), off, off, s.m, s.k, s.n, 1);
+    }
+    const double sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count() /
+        static_cast<double>(iters);
+    best = std::min(best, sec);
+    benchmark::DoNotOptimize(out.data());
+  }
+  return flops / best / 1e9;
+}
+
+void WriteSubstrateRecord(const std::string& path,
+                          const std::vector<SweepRow>& rows, int reps,
+                          bool avx2_available) {
+  if (path.empty()) return;
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version");
+  w.Int(1);
+  w.Key("bench");
+  w.String("substrate");
+  w.Key("settings");
+  w.BeginObject();
+  w.Key("reps");
+  w.Int(reps);
+  w.Key("threads");
+  w.Int(ThreadPool::GlobalNumThreads());
+  w.Key("avx2_available");
+  w.Bool(avx2_available);
+  w.EndObject();
+  w.Key("shapes");
+  w.BeginArray();
+  for (const SweepRow& r : rows) {
+    w.BeginObject();
+    w.Key("m");
+    w.Int(r.shape.m);
+    w.Key("k");
+    w.Int(r.shape.k);
+    w.Key("n");
+    w.Int(r.shape.n);
+    w.Key("scalar_gflops");
+    w.Double(r.scalar_gflops);
+    w.Key("avx2_gflops");
+    w.Double(r.avx2_gflops);
+    w.Key("speedup");
+    w.Double(r.scalar_gflops > 0.0 ? r.avx2_gflops / r.scalar_gflops : 0.0);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
+  const std::string json = w.str();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write bench record %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "run record written to %s\n", path.c_str());
+}
+
+void RunSweep(int reps, const std::string& json_path) {
+  const bool avx2 =
+      kernels::CpuHasAvx2Fma() && kernels::BuildHasAvx2Kernels();
+  std::printf("%6s %6s %6s %14s %14s %9s\n", "m", "k", "n", "scalar_gflops",
+              "avx2_gflops", "speedup");
+  std::vector<SweepRow> rows;
+  for (const SweepShape& s : kSweepShapes) {
+    SweepRow row;
+    row.shape = s;
+    row.scalar_gflops =
+        MeasureGflops(&kernels::detail::BatchedGemmScalar, s, reps);
+    if (avx2) {
+      row.avx2_gflops =
+          MeasureGflops(&kernels::detail::BatchedGemmAvx2, s, reps);
+    }
+    std::printf("%6lld %6lld %6lld %14.2f %14.2f %8.2fx\n",
+                static_cast<long long>(s.m), static_cast<long long>(s.k),
+                static_cast<long long>(s.n), row.scalar_gflops,
+                row.avx2_gflops,
+                row.scalar_gflops > 0.0 ? row.avx2_gflops / row.scalar_gflops
+                                        : 0.0);
+    std::fflush(stdout);
+    rows.push_back(row);
+  }
+  if (!avx2) {
+    std::printf("(AVX2+FMA unavailable on this host/build; avx2 columns "
+                "are zero)\n");
+  }
+  WriteSubstrateRecord(json_path, rows, reps, avx2);
+}
+
+int Main(int argc, char** argv) {
+  // Split google-benchmark flags from the sweep's own; the two parsers
+  // reject each other's vocabulary.
+  // Both argv vectors keep argv[0] in front: FlagParser::Parse and
+  // benchmark::Initialize each skip the program name.
+  std::vector<char*> gbench_args = {argv[0]};
+  std::vector<char*> sweep_args = {argv[0]};
+  bool run_gbench = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark", 11) == 0) {
+      gbench_args.push_back(argv[i]);
+      run_gbench = true;
+    } else {
+      sweep_args.push_back(argv[i]);
+    }
+  }
+  FlagParser flags;
+  if (Status st = flags.Parse(static_cast<int>(sweep_args.size()),
+                              sweep_args.data());
+      !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
+  // Serial by default: the headline number is single-thread kernel
+  // throughput (thread scaling has its own BM_*Threads sweeps).
+  ThreadPool::SetGlobalNumThreads(
+      static_cast<int>(flags.GetInt("ts3_num_threads", 1)));
+  if (flags.Has("ts3_kernel_impl")) {
+    kernels::KernelImpl impl;
+    if (!kernels::ParseKernelImpl(flags.GetString("ts3_kernel_impl", "auto"),
+                                  &impl)) {
+      std::fprintf(stderr,
+                   "unknown --ts3_kernel_impl (expected scalar|avx2|auto)\n");
+      return 2;
+    }
+    kernels::SetKernelImpl(impl);
+  }
+  if (!flags.GetBool("no_sweep", false)) {
+    RunSweep(static_cast<int>(flags.GetInt("reps", 5)),
+             flags.GetString("bench_json", "BENCH_substrate.json"));
+  }
+  if (run_gbench || flags.GetBool("gbench", false)) {
+    int gargc = static_cast<int>(gbench_args.size());
+    benchmark::Initialize(&gargc, gbench_args.data());
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace ts3net
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return ts3net::Main(argc, argv); }

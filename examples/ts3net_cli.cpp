@@ -50,6 +50,14 @@
 //       multiplies precomputed [lambda, T, T] correlation matrices; fft runs
 //       the same transform as a padded FFT correlation (O(T log T) per band,
 //       agrees with dense to ~1e-4 relative in forward and gradients).
+//   --ts3_kernel_impl=scalar|avx2|auto   GEMM micro-kernel implementation
+//       (src/tensor/kernels/). auto (default) picks the packed AVX2+FMA
+//       kernels when the CPU supports them, else the scalar reference;
+//       scalar forces the reference loops (bitwise identical at any thread
+//       count, and to historical results); avx2 forces the SIMD kernels
+//       (falls back to scalar with a warning if unsupported). The two
+//       implementations agree to ~k ulps (FMA contraction), see DESIGN.md
+//       §14.
 //   --ts3_log_level=debug|info|warn|error   Minimum log severity.
 //   --ts3_trace=out.json  Record trace spans and write a Chrome trace-event
 //       file on exit (load in chrome://tracing or ui.perfetto.dev).
@@ -88,6 +96,7 @@
 #include "serve/registry.h"
 #include "serve/snapshot.h"
 #include "serve/step_profiler.h"
+#include "tensor/kernels/kernels.h"
 #include "signal/cwt_plan.h"
 #include "signal/period.h"
 #include "tensor/ops.h"
@@ -718,6 +727,10 @@ int Usage(int exit_code = 2) {
       "                       (default; precomputed correlation matrices)\n"
       "                       or fft (padded FFT correlation, O(T log T)\n"
       "                       per band; matches dense to ~1e-4 relative).\n"
+      "  --ts3_kernel_impl=I  GEMM micro-kernel: auto (default; AVX2+FMA\n"
+      "                       when the CPU has it), scalar (reference\n"
+      "                       loops), or avx2 (force SIMD; warns and falls\n"
+      "                       back without CPU support).\n"
       "  --ts3_log_level=L    minimum log severity: debug|info|warn|error.\n"
       "  --ts3_trace=F.json   write a Chrome trace-event file on exit\n"
       "                       (chrome://tracing / ui.perfetto.dev).\n"
@@ -752,6 +765,16 @@ int main(int argc, char** argv) {
       return 2;
     }
     SetDefaultCwtImpl(impl);
+  }
+  if (flags.Has("ts3_kernel_impl")) {
+    kernels::KernelImpl impl;
+    if (!kernels::ParseKernelImpl(flags.GetString("ts3_kernel_impl", "auto"),
+                                  &impl)) {
+      std::fprintf(stderr,
+                   "unknown --ts3_kernel_impl (expected scalar|avx2|auto)\n");
+      return 2;
+    }
+    kernels::SetKernelImpl(impl);
   }
   obs::ObsScope obs_scope(flags);  // exports trace/profile/metrics on return
   if (cmd == "generate") return CmdGenerate(flags);

@@ -1,0 +1,67 @@
+#ifndef TS3NET_COMMON_ALIGNED_H_
+#define TS3NET_COMMON_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace ts3net {
+
+/// Alignment of every tensor and kernel-scratch buffer, in bytes. 64 covers
+/// one full cache line and the widest vector unit the kernels target (AVX2:
+/// 32-byte ymm loads), so SIMD kernels never straddle a cache line on an
+/// aligned stream and never need unaligned-load penalty handling.
+inline constexpr std::size_t kTensorAlignment = 64;
+
+/// Minimal std::allocator drop-in that over-aligns every allocation to
+/// `Align` bytes via C++17 aligned operator new. Sanitizers (ASan/UBSan)
+/// track aligned new/delete natively, so buffers stay fully instrumented —
+/// one of the reasons this is not a raw posix_memalign wrapper.
+template <typename T, std::size_t Align = kTensorAlignment>
+class AlignedAllocator {
+ public:
+  static_assert(Align >= alignof(T), "Align must not weaken T's alignment");
+  static_assert((Align & (Align - 1)) == 0, "Align must be a power of two");
+
+  using value_type = T;
+  using size_type = std::size_t;
+  using difference_type = std::ptrdiff_t;
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}  // NOLINT
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Align)));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Align));
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+/// The storage type of every Tensor buffer and kernel packing buffer: a
+/// std::vector whose data() is always kTensorAlignment-aligned. Op kernels
+/// build their outputs in a FloatVec and move it into Tensor::FromData /
+/// MakeOpResult — a plain std::vector<float> is accepted there too but is
+/// copied, so hot paths must use FloatVec.
+using FloatVec = std::vector<float, AlignedAllocator<float>>;
+
+}  // namespace ts3net
+
+#endif  // TS3NET_COMMON_ALIGNED_H_

@@ -13,10 +13,10 @@ DftMatrices BuildDftMatrices(int64_t t_len, int64_t modes) {
   modes = std::clamp<int64_t>(modes, 1, t_len / 2 + 1);
   const double two_pi = 6.283185307179586;
 
-  std::vector<float> f_re(static_cast<size_t>(modes * t_len));
-  std::vector<float> f_im(static_cast<size_t>(modes * t_len));
-  std::vector<float> i_re(static_cast<size_t>(t_len * modes));
-  std::vector<float> i_im(static_cast<size_t>(t_len * modes));
+  FloatVec f_re(static_cast<size_t>(modes * t_len));
+  FloatVec f_im(static_cast<size_t>(modes * t_len));
+  FloatVec i_re(static_cast<size_t>(t_len * modes));
+  FloatVec i_im(static_cast<size_t>(t_len * modes));
   for (int64_t k = 0; k < modes; ++k) {
     // Conjugate-pair factor: bin 0 (and the Nyquist bin for even T) appears
     // once in the real reconstruction, every other bin twice.

@@ -31,7 +31,7 @@ Tensor TimesBlock::Forward(const Tensor& x) {
       batch_mean, top_k_);
 
   std::vector<Tensor> results;
-  std::vector<float> amps;
+  FloatVec amps;
   for (const DetectedPeriod& p : periods) {
     int64_t period = std::max<int64_t>(2, p.period);
     if (period > t_len) period = t_len;
@@ -53,7 +53,7 @@ Tensor TimesBlock::Forward(const Tensor& x) {
   float max_amp = amps[0];
   for (float a : amps) max_amp = std::max(max_amp, a);
   float denom = 0.0f;
-  std::vector<float> w(amps.size());
+  FloatVec w(amps.size());
   for (size_t i = 0; i < amps.size(); ++i) {
     w[i] = std::exp(amps[i] - max_amp);
     denom += w[i];

@@ -8,7 +8,7 @@ namespace ts3net {
 namespace nn {
 
 PositionalEncoding::PositionalEncoding(int64_t max_len, int64_t d_model) {
-  std::vector<float> table(static_cast<size_t>(max_len * d_model));
+  FloatVec table(static_cast<size_t>(max_len * d_model));
   for (int64_t pos = 0; pos < max_len; ++pos) {
     for (int64_t i = 0; i < d_model; ++i) {
       const double angle =

@@ -42,7 +42,7 @@ Tensor CrossEntropyLoss(const Tensor& logits,
                    max_logit.Detach());                          // [B, 1]
 
   // Selected logit via a constant one-hot matrix.
-  std::vector<float> onehot(static_cast<size_t>(b * k), 0.0f);
+  FloatVec onehot(static_cast<size_t>(b * k), 0.0f);
   for (int64_t i = 0; i < b; ++i) {
     TS3_CHECK(labels[i] >= 0 && labels[i] < k) << "label out of range";
     onehot[i * k + labels[i]] = 1.0f;

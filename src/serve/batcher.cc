@@ -261,7 +261,7 @@ void MicroBatcher::ExecuteBatch(std::vector<Pending>* batch) {
   const int64_t b = static_cast<int64_t>(batch->size());
   const Shape& ws = (*batch)[0].x.shape();  // [T, C], uniform by Submit
   const int64_t window_elems = ws[0] * ws[1];
-  std::vector<float> stacked(static_cast<size_t>(b * window_elems));
+  FloatVec stacked(static_cast<size_t>(b * window_elems));
   for (int64_t i = 0; i < b; ++i) {
     std::memcpy(stacked.data() + i * window_elems, (*batch)[i].x.data(),
                 static_cast<size_t>(window_elems) * sizeof(float));
@@ -287,7 +287,7 @@ void MicroBatcher::ExecuteBatch(std::vector<Pending>* batch) {
   batch_exec_us_->Observe(static_cast<double>(exec_us));
   batch_exec_us_window_->Observe(static_cast<double>(exec_us));
   for (int64_t i = 0; i < b; ++i) {
-    std::vector<float> row(py + i * out_elems, py + (i + 1) * out_elems);
+    FloatVec row(py + i * out_elems, py + (i + 1) * out_elems);
     const int64_t latency_us = (done_ns - (*batch)[i].enqueue_ns) / 1000;
     request_latency_us_->Observe(static_cast<double>(latency_us));
     request_latency_us_window_->Observe(static_cast<double>(latency_us));

@@ -35,8 +35,8 @@ constexpr int64_t kScalarChainGrain = 1 << 15;
 /// Deterministic probe input for compile-time validation: a sine mix laid
 /// over a damped copy of the example, so every replayed kernel sees values
 /// different from the ones it was traced with.
-std::vector<float> MakeProbe(const float* example, int64_t n) {
-  std::vector<float> probe(static_cast<size_t>(n));
+FloatVec MakeProbe(const float* example, int64_t n) {
+  FloatVec probe(static_cast<size_t>(n));
   for (int64_t i = 0; i < n; ++i) {
     probe[static_cast<size_t>(i)] =
         0.25f * example[i] +

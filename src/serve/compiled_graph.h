@@ -99,8 +99,8 @@ class CompiledGraph {
   /// Weights and trace-time factory tensors, retained so the data pointers
   /// baked into steps stay alive.
   std::vector<std::shared_ptr<internal_tensor::TensorImpl>> constants_;
-  std::vector<float> input_stage_;  ///< x is memcpy'd here each Run
-  std::vector<float> arena_;        ///< all planned intermediates
+  FloatVec input_stage_;  ///< x is memcpy'd here each Run
+  FloatVec arena_;        ///< all planned intermediates
   std::vector<Step> steps_;
   const float* output_ptr_ = nullptr;  ///< where the final values land
 

@@ -67,7 +67,7 @@ Tensor CwtAmplitude(const Tensor& x_tc, const WaveletBank& bank) {
   Tensor re, im;
   CwtComplex(x_tc, bank, &re, &im);
   const int64_t n = re.numel();
-  std::vector<float> amp(static_cast<size_t>(n));
+  FloatVec amp(static_cast<size_t>(n));
   const float* pr = re.data();
   const float* pi = im.data();
   ParallelFor(0, n, 1 << 15, [&](int64_t lo, int64_t hi) {
@@ -86,7 +86,7 @@ Tensor Iwt(const Tensor& y_ltc, const WaveletBank& bank) {
   const int64_t t_len = y_ltc.dim(1);
   const int64_t ch = y_ltc.dim(2);
   const double gain = bank.reconstruction_gain();
-  std::vector<float> out(static_cast<size_t>(t_len * ch), 0.0f);
+  FloatVec out(static_cast<size_t>(t_len * ch), 0.0f);
   const float* py = y_ltc.data();
   // Parallel over the [T·C] plane with the band sum serial per element, so
   // the accumulation order (and the float result) matches the serial loop
@@ -112,7 +112,7 @@ Tensor IwtComplex(const Tensor& re_ltc, const Tensor& im_ltc,
   TS3_CHECK_EQ(lambda, bank.num_subbands());
   const int64_t t_len = re_ltc.dim(1);
   const int64_t ch = re_ltc.dim(2);
-  std::vector<float> out(static_cast<size_t>(t_len * ch), 0.0f);
+  FloatVec out(static_cast<size_t>(t_len * ch), 0.0f);
   const float* pr = re_ltc.data();
   const float* pi = im_ltc.data();
   // Same deterministic chunking as Iwt: disjoint [T·C] slices, serial band
@@ -188,7 +188,7 @@ Tensor IwtOp(const Tensor& y_bltd, const WaveletBank& bank) {
   TS3_CHECK_EQ(y_bltd.ndim(), 4) << "IwtOp expects [B, lambda, T, D]";
   const int64_t lambda = y_bltd.dim(1);
   TS3_CHECK_EQ(lambda, bank.num_subbands());
-  std::vector<float> w(static_cast<size_t>(lambda));
+  FloatVec w(static_cast<size_t>(lambda));
   const double gain = bank.reconstruction_gain();
   for (int64_t i = 0; i < lambda; ++i) {
     w[i] = static_cast<float>(gain *

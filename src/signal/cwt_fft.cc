@@ -89,11 +89,11 @@ Tensor CwtAmplitudeFftOp(const Tensor& x_btd,
   // The complex responses are saved for the backward pass (the adjoint needs
   // re/amp and im/amp); amplitudes are computed from the same float-rounded
   // values so forward output and backward denominator agree exactly.
-  auto re_saved = std::make_shared<std::vector<float>>(
+  auto re_saved = std::make_shared<FloatVec>(
       static_cast<size_t>(out_numel));
-  auto im_saved = std::make_shared<std::vector<float>>(
+  auto im_saved = std::make_shared<FloatVec>(
       static_cast<size_t>(out_numel));
-  std::vector<float> amp(static_cast<size_t>(out_numel));
+  FloatVec amp(static_cast<size_t>(out_numel));
 
   const float* px = x_btd.data();
   float* pre = re_saved->data();
@@ -117,7 +117,7 @@ Tensor CwtAmplitudeFftOp(const Tensor& x_btd,
       [tx, plan, re_saved, im_saved, b, t_len, d, lambda, n,
        eps](const Tensor& grad_out) mutable {
         if (!tx.requires_grad()) return;
-        std::vector<float> gx(static_cast<size_t>(b * t_len * d), 0.0f);
+        FloatVec gx(static_cast<size_t>(b * t_len * d), 0.0f);
         const float* go = grad_out.data();
         const float* pre = re_saved->data();
         const float* pim = im_saved->data();

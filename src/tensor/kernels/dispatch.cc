@@ -1,0 +1,126 @@
+#include <algorithm>
+#include <atomic>
+
+#include "common/logging.h"
+#include "tensor/kernels/kernels.h"
+
+namespace ts3net {
+namespace kernels {
+
+namespace {
+
+// The flag is set once at harness startup and read by every GEMM dispatch;
+// relaxed: the selected implementation is a pure performance choice and any
+// prior value is numerically valid, so no ordering is required.
+std::atomic<KernelImpl> g_impl{KernelImpl::kAuto};
+
+}  // namespace
+
+bool CpuHasAvx2Fma() {
+#if defined(__x86_64__) || defined(__i386__)
+  static const bool supported =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return supported;
+#else
+  return false;
+#endif
+}
+
+void SetKernelImpl(KernelImpl impl) {
+  if (impl == KernelImpl::kAvx2 && !(CpuHasAvx2Fma() && BuildHasAvx2Kernels())) {
+    TS3_LOG(Warning) << "--ts3_kernel_impl=avx2 requested but this "
+                     << (CpuHasAvx2Fma() ? "build" : "CPU")
+                     << " lacks AVX2+FMA; falling back to the scalar kernels";
+  }
+  g_impl.store(impl, std::memory_order_relaxed);
+}
+
+KernelImpl ActiveKernelImpl() {
+  return g_impl.load(std::memory_order_relaxed);
+}
+
+KernelImpl ResolvedKernelImpl() {
+  const KernelImpl impl = g_impl.load(std::memory_order_relaxed);
+  if (impl == KernelImpl::kScalar) return KernelImpl::kScalar;
+  // kAvx2 and kAuto both require CPU *and* build support; kAvx2 without
+  // either degrades to scalar (warned once at SetKernelImpl time).
+  return (CpuHasAvx2Fma() && BuildHasAvx2Kernels()) ? KernelImpl::kAvx2
+                                                    : KernelImpl::kScalar;
+}
+
+bool ParseKernelImpl(const std::string& text, KernelImpl* out) {
+  if (text == "scalar") {
+    *out = KernelImpl::kScalar;
+  } else if (text == "avx2") {
+    *out = KernelImpl::kAvx2;
+  } else if (text == "auto") {
+    *out = KernelImpl::kAuto;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* KernelImplName(KernelImpl impl) {
+  switch (impl) {
+    case KernelImpl::kScalar:
+      return "scalar";
+    case KernelImpl::kAvx2:
+      return "avx2";
+    case KernelImpl::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+void BatchedGemm(const float* a, const float* b, float* out,
+                 const std::vector<int64_t>& a_off,
+                 const std::vector<int64_t>& b_off, int64_t m, int64_t k,
+                 int64_t n, int64_t nbatch) {
+  if (ResolvedKernelImpl() == KernelImpl::kAvx2) {
+    detail::BatchedGemmAvx2(a, b, out, a_off, b_off, m, k, n, nbatch);
+  } else {
+    detail::BatchedGemmScalar(a, b, out, a_off, b_off, m, k, n, nbatch);
+  }
+}
+
+void GemmAccBT(const float* a, const float* b, float* c, int64_t m, int64_t n,
+               int64_t k) {
+  if (ResolvedKernelImpl() == KernelImpl::kAvx2) {
+    detail::GemmAccBTAvx2(a, b, c, m, n, k);
+  } else {
+    detail::GemmAccBTScalar(a, b, c, m, n, k);
+  }
+}
+
+void GemmAccAT(const float* a, const float* b, float* c, int64_t m, int64_t k,
+               int64_t n) {
+  if (ResolvedKernelImpl() == KernelImpl::kAvx2) {
+    detail::GemmAccATAvx2(a, b, c, m, k, n);
+  } else {
+    detail::GemmAccATScalar(a, b, c, m, k, n);
+  }
+}
+
+namespace detail {
+
+float* PackScratch(int64_t floats) {
+  // One scratch per thread: ParallelFor workers and the calling thread each
+  // reuse their own buffer, so packing never contends and steady-state calls
+  // (compiled-graph replay, serving) perform zero allocations once the
+  // high-water capacity is reached.
+  thread_local FloatVec scratch;
+  if (static_cast<int64_t>(scratch.size()) < floats) {
+    scratch.resize(static_cast<size_t>(floats));
+  }
+  return scratch.data();
+}
+
+int64_t GemmRowGrain(int64_t k, int64_t n) {
+  return std::max<int64_t>(1, 16384 / std::max<int64_t>(1, k * n));
+}
+
+}  // namespace detail
+
+}  // namespace kernels
+}  // namespace ts3net

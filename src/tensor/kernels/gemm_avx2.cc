@@ -1,0 +1,398 @@
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/threadpool.h"
+#include "tensor/kernels/kernels.h"
+
+/// AVX2+FMA GEMM micro-kernels (DESIGN.md §14).
+///
+/// Layout: the forward GEMM packs each distinct B matrix into 64-byte-aligned
+/// column panels of 16 (panel jb holds B[p, jb*16 .. jb*16+15] for all p,
+/// contiguous by p, zero-padded past n), then sweeps 6-row register tiles
+/// over the packed panels: 12 ymm accumulators (6 rows x 16 columns), two
+/// aligned panel loads and six broadcasts per k step — the classic blocked
+/// micro-kernel shape (cf. ATen's vectorized inner loops).
+///
+/// Determinism contract: a row's result depends only on (its A row, B, k, n)
+/// — every accumulator runs the reduction over k in ascending order with one
+/// fused rounding per step, regardless of which register tile or ParallelFor
+/// chunk the row landed in, and regardless of m. Outputs are therefore
+/// bitwise identical at any thread count and any batching of the same rows.
+/// Tail columns (n % 16) use fmaf so every column sees the same fused
+/// arithmetic. Versus the scalar kernels the only differences are FMA
+/// contraction (forward / AccAT) and 8-lane partial sums (AccBT); the
+/// differential suite in tests/substrate_test.cc bounds the disagreement.
+///
+/// This file is the only translation unit outside src/tensor/kernels that
+/// may touch <immintrin.h> — ts3lint TL015 enforces the boundary. It is
+/// compiled with -mavx2 -mfma (see src/tensor/CMakeLists.txt); runtime
+/// dispatch guards on CpuHasAvx2Fma() before any code here executes.
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+namespace ts3net {
+namespace kernels {
+
+bool BuildHasAvx2Kernels() { return true; }
+
+namespace detail {
+
+namespace {
+
+constexpr int64_t kTileRows = 6;   // micro-kernel register tile height
+constexpr int64_t kPanelCols = 16;  // packed panel width (2 ymm)
+
+// Sliding-window mask table: loading 8 lanes starting at (8 - valid) yields
+// a mask with the first `valid` lanes set.
+alignas(32) constexpr int32_t kMaskSrc[16] = {-1, -1, -1, -1, -1, -1, -1, -1,
+                                              0,  0,  0,  0,  0,  0,  0,  0};
+
+inline __m256i TailMask(int64_t valid) {
+  return _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(kMaskSrc + 8 - valid));
+}
+
+inline float Hsum(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_add_ps(lo, _mm_movehl_ps(lo, lo));
+  lo = _mm_add_ss(lo, _mm_movehdup_ps(lo));
+  return _mm_cvtss_f32(lo);
+}
+
+/// One register tile: C[0..R, 0..ncols) += A[0..R, 0..k) @ panel. `c` rows
+/// have stride ldc and must already hold the additive identity (zero fill or
+/// bias); `panel` is the packed [k x 16] panel, zero-padded past ncols.
+/// Masked loads/stores keep tail tiles inside the allocation; the padded
+/// panel lanes may produce NaN in dead accumulator lanes (0 x Inf), which
+/// the masked store never writes back.
+template <int R>
+void GemmTile(const float* a, int64_t lda, int64_t k, const float* panel,
+              float* c, int64_t ldc, int64_t ncols) {
+  const bool full = ncols == kPanelCols;
+  const int64_t lo = std::min<int64_t>(ncols, 8);
+  const int64_t hi = ncols - lo;
+  const __m256i m0 = TailMask(lo);
+  const __m256i m1 = TailMask(hi);
+  // Accumulators are individually named scalars, not a __m256[R] array: GCC
+  // keeps an array in its stack slots and re-stores every element each k
+  // iteration (store-port bound, ~2x slower); named values live entirely in
+  // ymm registers — 12 accumulators + 2 panel lanes + 1 broadcast = 15 of
+  // the 16 architectural registers at R = 6.
+  __m256 c00 = _mm256_setzero_ps(), c01 = c00, c10 = c00, c11 = c00;
+  __m256 c20 = c00, c21 = c00, c30 = c00, c31 = c00;
+  __m256 c40 = c00, c41 = c00, c50 = c00, c51 = c00;
+  const auto load_row = [&](const float* crow, __m256& x0, __m256& x1) {
+    if (full) {
+      x0 = _mm256_loadu_ps(crow);
+      x1 = _mm256_loadu_ps(crow + 8);
+    } else {
+      x0 = _mm256_maskload_ps(crow, m0);
+      x1 = _mm256_maskload_ps(crow + 8, m1);
+    }
+  };
+  load_row(c, c00, c01);
+  if constexpr (R > 1) load_row(c + ldc, c10, c11);
+  if constexpr (R > 2) load_row(c + 2 * ldc, c20, c21);
+  if constexpr (R > 3) load_row(c + 3 * ldc, c30, c31);
+  if constexpr (R > 4) load_row(c + 4 * ldc, c40, c41);
+  if constexpr (R > 5) load_row(c + 5 * ldc, c50, c51);
+  for (int64_t p = 0; p < k; ++p) {
+    const __m256 b0 = _mm256_load_ps(panel + p * kPanelCols);
+    const __m256 b1 = _mm256_load_ps(panel + p * kPanelCols + 8);
+    __m256 av = _mm256_broadcast_ss(a + p);
+    c00 = _mm256_fmadd_ps(av, b0, c00);
+    c01 = _mm256_fmadd_ps(av, b1, c01);
+    if constexpr (R > 1) {
+      av = _mm256_broadcast_ss(a + lda + p);
+      c10 = _mm256_fmadd_ps(av, b0, c10);
+      c11 = _mm256_fmadd_ps(av, b1, c11);
+    }
+    if constexpr (R > 2) {
+      av = _mm256_broadcast_ss(a + 2 * lda + p);
+      c20 = _mm256_fmadd_ps(av, b0, c20);
+      c21 = _mm256_fmadd_ps(av, b1, c21);
+    }
+    if constexpr (R > 3) {
+      av = _mm256_broadcast_ss(a + 3 * lda + p);
+      c30 = _mm256_fmadd_ps(av, b0, c30);
+      c31 = _mm256_fmadd_ps(av, b1, c31);
+    }
+    if constexpr (R > 4) {
+      av = _mm256_broadcast_ss(a + 4 * lda + p);
+      c40 = _mm256_fmadd_ps(av, b0, c40);
+      c41 = _mm256_fmadd_ps(av, b1, c41);
+    }
+    if constexpr (R > 5) {
+      av = _mm256_broadcast_ss(a + 5 * lda + p);
+      c50 = _mm256_fmadd_ps(av, b0, c50);
+      c51 = _mm256_fmadd_ps(av, b1, c51);
+    }
+  }
+  const auto store_row = [&](float* crow, __m256 x0, __m256 x1) {
+    if (full) {
+      _mm256_storeu_ps(crow, x0);
+      _mm256_storeu_ps(crow + 8, x1);
+    } else {
+      _mm256_maskstore_ps(crow, m0, x0);
+      _mm256_maskstore_ps(crow + 8, m1, x1);
+    }
+  };
+  store_row(c, c00, c01);
+  if constexpr (R > 1) store_row(c + ldc, c10, c11);
+  if constexpr (R > 2) store_row(c + 2 * ldc, c20, c21);
+  if constexpr (R > 3) store_row(c + 3 * ldc, c30, c31);
+  if constexpr (R > 4) store_row(c + 4 * ldc, c40, c41);
+  if constexpr (R > 5) store_row(c + 5 * ldc, c50, c51);
+}
+
+using TileFn = void (*)(const float*, int64_t, int64_t, const float*, float*,
+                        int64_t, int64_t);
+constexpr TileFn kTileFns[kTileRows] = {GemmTile<1>, GemmTile<2>, GemmTile<3>,
+                                        GemmTile<4>, GemmTile<5>, GemmTile<6>};
+
+/// Packs panel `jb` of the [k, n] matrix `bm` into `dst` (k x 16 floats,
+/// zero-padded past n). Pure copies: any parallel decomposition over panels
+/// is deterministic.
+void PackPanel(const float* bm, int64_t k, int64_t n, int64_t jb, float* dst) {
+  const int64_t col = jb * kPanelCols;
+  const int64_t ncols = std::min<int64_t>(kPanelCols, n - col);
+  for (int64_t p = 0; p < k; ++p) {
+    const float* src = bm + p * n + col;
+    float* out = dst + p * kPanelCols;
+    int64_t t = 0;
+    for (; t < ncols; ++t) out[t] = src[t];
+    for (; t < kPanelCols; ++t) out[t] = 0.0f;
+  }
+}
+
+}  // namespace
+
+void BatchedGemmAvx2(const float* a, const float* b, float* out,
+                     const std::vector<int64_t>& a_off,
+                     const std::vector<int64_t>& b_off, int64_t m, int64_t k,
+                     int64_t n, int64_t nbatch) {
+  if (nbatch == 0 || m == 0 || n == 0) return;
+  const int64_t np = (n + kPanelCols - 1) / kPanelCols;  // panels per matrix
+  const int64_t per_matrix = np * k * kPanelCols;
+
+  // Deduplicate B matrices so a broadcast operand is packed once. Reused
+  // thread-local index storage keeps steady-state replay allocation-free.
+  thread_local std::vector<int64_t> uniq;
+  thread_local std::vector<int32_t> b_idx;
+  uniq.clear();
+  b_idx.resize(static_cast<size_t>(nbatch));
+  for (int64_t bi = 0; bi < nbatch; ++bi) {
+    const int64_t off = b_off[static_cast<size_t>(bi)];
+    // Disjoint batches arrive strictly increasing; broadcast batches repeat
+    // an earlier offset, found by the linear scan (first hit in practice).
+    int32_t idx = -1;
+    if (uniq.empty() || off > uniq.back()) {
+      uniq.push_back(off);
+      idx = static_cast<int32_t>(uniq.size()) - 1;
+    } else {
+      for (size_t u = 0; u < uniq.size(); ++u) {
+        if (uniq[u] == off) {
+          idx = static_cast<int32_t>(u);
+          break;
+        }
+      }
+      if (idx < 0) {
+        uniq.push_back(off);
+        idx = static_cast<int32_t>(uniq.size()) - 1;
+      }
+    }
+    b_idx[static_cast<size_t>(bi)] = idx;
+  }
+  const int64_t nuniq = static_cast<int64_t>(uniq.size());
+  // The lambdas below run on pool workers, where the thread_local `uniq` /
+  // `b_idx` names would rebind to the workers' own (empty) instances — hand
+  // them this thread's buffers through plain pointers instead.
+  const int64_t* uniq_p = uniq.data();
+  const int32_t* b_idx_p = b_idx.data();
+
+  float* packed = PackScratch(nuniq * per_matrix);
+  // Pack before the compute loop starts: ParallelFor is a barrier, so every
+  // compute chunk sees fully packed panels.
+  ParallelFor(0, nuniq * np, std::max<int64_t>(1, 4096 / std::max<int64_t>(1, k)),
+              [&](int64_t lo, int64_t hi) {
+                for (int64_t t = lo; t < hi; ++t) {
+                  const int64_t u = t / np;
+                  const int64_t jb = t % np;
+                  PackPanel(b + uniq_p[u], k, n, jb,
+                            packed + u * per_matrix + jb * k * kPanelCols);
+                }
+              });
+
+  // Round the work grain up to whole register tiles: a grain of 1 (large
+  // k*n) would split every chunk into single-row tiles and forfeit the 6-row
+  // A reuse. Chunk boundaries still cannot change output bits — a row's
+  // value is independent of its tile (see the determinism contract above).
+  const int64_t grain =
+      ((GemmRowGrain(k, n) + kTileRows - 1) / kTileRows) * kTileRows;
+  ParallelFor(0, nbatch * m, grain, [&](int64_t lo, int64_t hi) {
+    int64_t r = lo;
+    while (r < hi) {
+      const int64_t bi = r / m;
+      const int64_t i = r % m;
+      // Tiles never span a batch or chunk boundary; a row's value does not
+      // depend on its tile, so the split points are irrelevant to output.
+      const int64_t rows =
+          std::min<int64_t>(kTileRows, std::min<int64_t>(hi - r, m - i));
+      const float* arow = a + a_off[static_cast<size_t>(bi)] + i * k;
+      const float* pmat =
+          packed + static_cast<int64_t>(b_idx_p[bi]) * per_matrix;
+      float* crow = out + r * n;
+      const TileFn tile = kTileFns[rows - 1];
+      for (int64_t jb = 0; jb < np; ++jb) {
+        tile(arow, k, k, pmat + jb * k * kPanelCols, crow + jb * kPanelCols,
+             n, std::min<int64_t>(kPanelCols, n - jb * kPanelCols));
+      }
+      r += rows;
+    }
+  });
+}
+
+void GemmAccBTAvx2(const float* a, const float* b, float* c, int64_t m,
+                   int64_t n, int64_t k) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * n;
+    float* crow = c + i * k;
+    int64_t p = 0;
+    for (; p + 4 <= k; p += 4) {
+      const float* b0 = b + p * n;
+      const float* b1 = b0 + n;
+      const float* b2 = b1 + n;
+      const float* b3 = b2 + n;
+      __m256 s0 = _mm256_setzero_ps();
+      __m256 s1 = _mm256_setzero_ps();
+      __m256 s2 = _mm256_setzero_ps();
+      __m256 s3 = _mm256_setzero_ps();
+      int64_t j = 0;
+      for (; j + 8 <= n; j += 8) {
+        const __m256 av = _mm256_loadu_ps(arow + j);
+        s0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b0 + j), s0);
+        s1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b1 + j), s1);
+        s2 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b2 + j), s2);
+        s3 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b3 + j), s3);
+      }
+      float t0 = Hsum(s0);
+      float t1 = Hsum(s1);
+      float t2 = Hsum(s2);
+      float t3 = Hsum(s3);
+      for (; j < n; ++j) {
+        const float av = arow[j];
+        t0 = std::fmaf(av, b0[j], t0);
+        t1 = std::fmaf(av, b1[j], t1);
+        t2 = std::fmaf(av, b2[j], t2);
+        t3 = std::fmaf(av, b3[j], t3);
+      }
+      crow[p] += t0;
+      crow[p + 1] += t1;
+      crow[p + 2] += t2;
+      crow[p + 3] += t3;
+    }
+    for (; p < k; ++p) {
+      const float* brow = b + p * n;
+      __m256 s = _mm256_setzero_ps();
+      int64_t j = 0;
+      for (; j + 8 <= n; j += 8) {
+        s = _mm256_fmadd_ps(_mm256_loadu_ps(arow + j),
+                            _mm256_loadu_ps(brow + j), s);
+      }
+      float t = Hsum(s);
+      for (; j < n; ++j) t = std::fmaf(arow[j], brow[j], t);
+      crow[p] += t;
+    }
+  }
+}
+
+void GemmAccATAvx2(const float* a, const float* b, float* c, int64_t m,
+                   int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    const float* brow = b + i * n;
+    int64_t p = 0;
+    for (; p + 4 <= k; p += 4) {
+      const __m256 a0 = _mm256_broadcast_ss(arow + p);
+      const __m256 a1 = _mm256_broadcast_ss(arow + p + 1);
+      const __m256 a2 = _mm256_broadcast_ss(arow + p + 2);
+      const __m256 a3 = _mm256_broadcast_ss(arow + p + 3);
+      float* c0 = c + p * n;
+      float* c1 = c0 + n;
+      float* c2 = c1 + n;
+      float* c3 = c2 + n;
+      int64_t j = 0;
+      for (; j + 8 <= n; j += 8) {
+        const __m256 bv = _mm256_loadu_ps(brow + j);
+        _mm256_storeu_ps(c0 + j,
+                         _mm256_fmadd_ps(a0, bv, _mm256_loadu_ps(c0 + j)));
+        _mm256_storeu_ps(c1 + j,
+                         _mm256_fmadd_ps(a1, bv, _mm256_loadu_ps(c1 + j)));
+        _mm256_storeu_ps(c2 + j,
+                         _mm256_fmadd_ps(a2, bv, _mm256_loadu_ps(c2 + j)));
+        _mm256_storeu_ps(c3 + j,
+                         _mm256_fmadd_ps(a3, bv, _mm256_loadu_ps(c3 + j)));
+      }
+      for (; j < n; ++j) {
+        const float bv = brow[j];
+        c0[j] = std::fmaf(arow[p], bv, c0[j]);
+        c1[j] = std::fmaf(arow[p + 1], bv, c1[j]);
+        c2[j] = std::fmaf(arow[p + 2], bv, c2[j]);
+        c3[j] = std::fmaf(arow[p + 3], bv, c3[j]);
+      }
+    }
+    for (; p < k; ++p) {
+      const __m256 av = _mm256_broadcast_ss(arow + p);
+      float* crow = c + p * n;
+      int64_t j = 0;
+      for (; j + 8 <= n; j += 8) {
+        _mm256_storeu_ps(
+            crow + j,
+            _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + j),
+                            _mm256_loadu_ps(crow + j)));
+      }
+      for (; j < n; ++j) crow[j] = std::fmaf(arow[p], brow[j], crow[j]);
+    }
+  }
+}
+
+}  // namespace detail
+}  // namespace kernels
+}  // namespace ts3net
+
+#else  // !(defined(__AVX2__) && defined(__FMA__))
+
+namespace ts3net {
+namespace kernels {
+
+bool BuildHasAvx2Kernels() { return false; }
+
+namespace detail {
+
+// Toolchain without AVX2+FMA codegen: the dispatch layer can never select
+// these (CpuHasAvx2Fma() gates on the *runtime* CPU, but a build without the
+// ISA has no kernel to run), so reaching a stub is a dispatch bug.
+void BatchedGemmAvx2(const float*, const float*, float*,
+                     const std::vector<int64_t>&, const std::vector<int64_t>&,
+                     int64_t, int64_t, int64_t, int64_t) {
+  TS3_CHECK(false) << "AVX2 kernels not compiled into this binary";
+}
+void GemmAccBTAvx2(const float*, const float*, float*, int64_t, int64_t,
+                   int64_t) {
+  TS3_CHECK(false) << "AVX2 kernels not compiled into this binary";
+}
+void GemmAccATAvx2(const float*, const float*, float*, int64_t, int64_t,
+                   int64_t) {
+  TS3_CHECK(false) << "AVX2 kernels not compiled into this binary";
+}
+
+}  // namespace detail
+}  // namespace kernels
+}  // namespace ts3net
+
+#endif  // defined(__AVX2__) && defined(__FMA__)

@@ -1,0 +1,84 @@
+#include "common/threadpool.h"
+#include "tensor/kernels/kernels.h"
+
+/// Scalar reference GEMM kernels. These are the pre-substrate loops kept
+/// verbatim — same nesting, same ascending-k accumulation order — minus the
+/// `av == 0.0f` fast path, which violated IEEE 754 (0 x Inf and 0 x NaN must
+/// produce NaN, not silently skip; a poisoned activation vanished instead of
+/// propagating to the loss where drift/NaN detection would catch it).
+/// Dropping the skip is bitwise neutral on finite data: x + 0.0f * b == x
+/// for every finite b (including the -0.0f product off negative b).
+///
+/// They serve as the determinism oracle for the AVX2 kernels and as the
+/// fallback on CPUs without AVX2+FMA.
+namespace ts3net {
+namespace kernels {
+namespace detail {
+
+namespace {
+
+/// Rows [row_begin, row_end) of the flattened (batch, row) output space:
+/// row r belongs to batch r / m, output row r % m. Each output row is
+/// written by exactly one ParallelFor chunk and its k-loop order matches the
+/// serial GEMM, so results are bitwise identical at any thread count.
+void GemmRowRangeScalar(const float* pa, const float* pb, float* out,
+                        const std::vector<int64_t>& a_off,
+                        const std::vector<int64_t>& b_off, int64_t m,
+                        int64_t k, int64_t n, int64_t row_begin,
+                        int64_t row_end) {
+  for (int64_t r = row_begin; r < row_end; ++r) {
+    const int64_t bi = r / m;
+    const int64_t i = r % m;
+    const float* arow = pa + a_off[bi] + i * k;
+    const float* bmat = pb + b_off[bi];
+    float* crow = out + r * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      const float* brow = bmat + p * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+void BatchedGemmScalar(const float* a, const float* b, float* out,
+                       const std::vector<int64_t>& a_off,
+                       const std::vector<int64_t>& b_off, int64_t m, int64_t k,
+                       int64_t n, int64_t nbatch) {
+  ParallelFor(0, nbatch * m, GemmRowGrain(k, n),
+              [&](int64_t lo, int64_t hi) {
+                GemmRowRangeScalar(a, b, out, a_off, b_off, m, k, n, lo, hi);
+              });
+}
+
+void GemmAccBTScalar(const float* a, const float* b, float* c, int64_t m,
+                     int64_t n, int64_t k) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * n;
+    float* crow = c + i * k;
+    for (int64_t p = 0; p < k; ++p) {
+      const float* brow = b + p * n;
+      float acc = 0.0f;
+      for (int64_t j = 0; j < n; ++j) acc += arow[j] * brow[j];
+      crow[p] += acc;
+    }
+  }
+}
+
+void GemmAccATScalar(const float* a, const float* b, float* c, int64_t m,
+                     int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    const float* brow = b + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      float* crow = c + p * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace detail
+}  // namespace kernels
+}  // namespace ts3net

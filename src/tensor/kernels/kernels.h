@@ -1,0 +1,137 @@
+#ifndef TS3NET_TENSOR_KERNELS_KERNELS_H_
+#define TS3NET_TENSOR_KERNELS_KERNELS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/aligned.h"
+
+/// SIMD micro-kernel substrate for the tensor hot paths (DESIGN.md §14).
+///
+/// Every GEMM-shaped loop in the tensor library dispatches through the three
+/// entry points below. Two implementations exist:
+///
+///  - kScalar: the original scalar loops, kept verbatim as the determinism
+///    reference (bitwise identical to the pre-substrate kernels on finite
+///    inputs) and as the fallback on CPUs without AVX2+FMA.
+///  - kAvx2: a blocked, packed f32 micro-kernel (6x16 register tile,
+///    AVX2+FMA) operating on 64-byte-aligned packing buffers. Per output
+///    element the reduction over k runs in ascending order exactly like the
+///    scalar kernel; the only numeric difference is FMA contraction (one
+///    rounding per multiply-add instead of two), so scalar and AVX2 agree to
+///    ~k ulps but are not bitwise identical. See the determinism contract in
+///    DESIGN.md §14.
+///
+/// Both implementations preserve the one-writer-per-output-row ParallelFor
+/// decomposition: a row's value depends only on (its A row, B, k, n), never
+/// on which chunk or register tile it landed in, so outputs are bitwise
+/// identical at any thread count for a fixed implementation.
+namespace ts3net {
+namespace kernels {
+
+/// Which GEMM implementation the dispatch layer selects
+/// (`--ts3_kernel_impl={scalar,avx2,auto}` in the harnesses).
+enum class KernelImpl {
+  kScalar,  ///< reference scalar loops
+  kAvx2,    ///< packed AVX2+FMA micro-kernel (needs CPU support)
+  kAuto,    ///< kAvx2 when the CPU has AVX2+FMA, else kScalar
+};
+
+/// True when the running CPU supports AVX2 and FMA (runtime CPUID probe;
+/// independent of compile flags).
+bool CpuHasAvx2Fma();
+
+/// True when this binary was built with the AVX2+FMA kernels compiled in
+/// (src/tensor/CMakeLists.txt adds -mavx2 -mfma to gemm_avx2.cc where the
+/// toolchain supports it). Dispatch requires both this and CpuHasAvx2Fma().
+bool BuildHasAvx2Kernels();
+
+/// Process-wide implementation default. The initial value is kAuto.
+/// Requesting kAvx2 on a CPU without AVX2+FMA resolves to kScalar with a
+/// one-time warning rather than crashing, so a pinned flag value stays
+/// portable across machines.
+void SetKernelImpl(KernelImpl impl);
+KernelImpl ActiveKernelImpl();
+
+/// The implementation ResolveKernelImpl() actually runs: kAuto collapses to
+/// kAvx2 or kScalar based on CpuHasAvx2Fma(). Never returns kAuto.
+KernelImpl ResolvedKernelImpl();
+
+/// Parses "scalar" / "avx2" / "auto" (case-sensitive). False on unknown text.
+bool ParseKernelImpl(const std::string& text, KernelImpl* out);
+const char* KernelImplName(KernelImpl impl);
+
+/// Batched row-parallel GEMM, the MatMul forward:
+///   out[r, :] += A_batch(r) [r % m, :] @ B_batch(r)         r in [0, nb*m)
+/// where A_batch(r) = a + a_off[r / m] (an [m, k] matrix) and B_batch(r) =
+/// b + b_off[r / m] (a [k, n] matrix). Accumulates: callers pre-fill `out`
+/// with the additive identity (zero, or a bias for conv-as-GEMM).
+/// Parallelizes internally over output rows with one writer per row; safe to
+/// call from replay kernels — packing scratch comes from a reusing
+/// thread-local pool, so steady-state calls perform no allocation.
+void BatchedGemm(const float* a, const float* b, float* out,
+                 const std::vector<int64_t>& a_off,
+                 const std::vector<int64_t>& b_off, int64_t m, int64_t k,
+                 int64_t n, int64_t nbatch);
+
+/// C[m,k] += A[m,n] * B[k,n]^T (A @ B^T without materializing B^T); the
+/// dA = dOut @ B^T backward GEMM. Serial: callers own the parallel
+/// decomposition (disjoint batches fan out, broadcast batches stay serial).
+void GemmAccBT(const float* a, const float* b, float* c, int64_t m, int64_t n,
+               int64_t k);
+
+/// C[k,n] += A[m,k]^T * B[m,n]; the dB = A^T @ dOut backward GEMM. Serial,
+/// like GemmAccBT. IEEE-complete: a zero in A against Inf/NaN in B produces
+/// NaN in C (the pre-substrate kernel skipped zero multiplicands, silently
+/// absorbing poisoned activations — see the regression tests).
+void GemmAccAT(const float* a, const float* b, float* c, int64_t m, int64_t k,
+               int64_t n);
+
+// ---------------------------------------------------------------------------
+// Internal: per-implementation entry points, exposed for the differential
+// tests and the micro_substrate bench. Regular callers use the dispatching
+// functions above.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+/// Scalar reference kernels (gemm_scalar.cc).
+void BatchedGemmScalar(const float* a, const float* b, float* out,
+                       const std::vector<int64_t>& a_off,
+                       const std::vector<int64_t>& b_off, int64_t m, int64_t k,
+                       int64_t n, int64_t nbatch);
+void GemmAccBTScalar(const float* a, const float* b, float* c, int64_t m,
+                     int64_t n, int64_t k);
+void GemmAccATScalar(const float* a, const float* b, float* c, int64_t m,
+                     int64_t k, int64_t n);
+
+/// AVX2+FMA kernels (gemm_avx2.cc, compiled with -mavx2 -mfma). Calling any
+/// of these on a CPU without AVX2+FMA is undefined; the dispatch layer
+/// guards on CpuHasAvx2Fma().
+void BatchedGemmAvx2(const float* a, const float* b, float* out,
+                     const std::vector<int64_t>& a_off,
+                     const std::vector<int64_t>& b_off, int64_t m, int64_t k,
+                     int64_t n, int64_t nbatch);
+void GemmAccBTAvx2(const float* a, const float* b, float* c, int64_t m,
+                   int64_t n, int64_t k);
+void GemmAccATAvx2(const float* a, const float* b, float* c, int64_t m,
+                   int64_t k, int64_t n);
+
+/// Thread-local reusing scratch buffer for packing panels. Returns a buffer
+/// of at least `floats` floats, 64-byte aligned, whose capacity only grows —
+/// steady-state replay and serve paths hit the cached capacity and never
+/// allocate. Contents are unspecified on entry.
+float* PackScratch(int64_t floats);
+
+/// Rows per ParallelFor grain so one chunk amortizes scheduling over roughly
+/// 16k multiply-adds; shared by both implementations so the chunk
+/// decomposition (and thus the thread-determinism surface) is identical.
+int64_t GemmRowGrain(int64_t k, int64_t n);
+
+}  // namespace detail
+
+}  // namespace kernels
+}  // namespace ts3net
+
+#endif  // TS3NET_TENSOR_KERNELS_KERNELS_H_

@@ -3,6 +3,7 @@
 
 #include "common/obs/trace.h"
 #include "common/threadpool.h"
+#include "tensor/kernels/kernels.h"
 #include "tensor/ops.h"
 #include "tensor/replay.h"
 
@@ -27,40 +28,49 @@ void FillConvPadded(const float* px, float* xpad, int64_t nb, int64_t ci,
   }
 }
 
-/// The valid-convolution accumulation over a padded input, shared by the
-/// dynamic forward and the traced replay kernel. Fully defines `out`
-/// (bias-fills or zero-fills every plane before accumulating).
-void Conv2dAccumulate(const float* xpad, const float* pw, const float* pbias,
-                      float* out, int64_t nb, int64_t ci, int64_t co,
-                      int64_t hp, int64_t wp, int64_t ho, int64_t wo,
-                      int64_t kh, int64_t kw) {
-  // Each (batch, out-channel) plane is produced by exactly one chunk.
-  ParallelFor(0, nb * co, 1, [&](int64_t lo, int64_t hi) {
-    for (int64_t r = lo; r < hi; ++r) {
-      const int64_t b = r / co;
-      const int64_t o = r % co;
-      float* out_plane = out + r * ho * wo;
-      if (pbias != nullptr) {
-        for (int64_t i = 0; i < ho * wo; ++i) out_plane[i] = pbias[o];
-      } else {
-        std::fill(out_plane, out_plane + ho * wo, 0.0f);
-      }
-      for (int64_t c = 0; c < ci; ++c) {
-        const float* in_plane = xpad + (b * ci + c) * hp * wp;
-        for (int64_t dy = 0; dy < kh; ++dy) {
-          for (int64_t dx = 0; dx < kw; ++dx) {
-            const float wv = pw[((o * ci + c) * kh + dy) * kw + dx];
-            if (wv == 0.0f) continue;
-            for (int64_t y = 0; y < ho; ++y) {
-              const float* src = in_plane + (y + dy) * wp + dx;
-              float* dst = out_plane + y * wo;
-              for (int64_t xx = 0; xx < wo; ++xx) dst[xx] += wv * src[xx];
-            }
+/// Lowers the padded input to its im2col matrix: per batch a
+/// [ci*kh*kw, ho*wo] matrix whose row kk = (c*kh + dy)*kw + dx holds the
+/// (c, dy, dx)-shifted window of the input plane. With the weight viewed as
+/// [co, ci*kh*kw], valid convolution is then one GEMM per batch, and the
+/// ascending-kk reduction order of the GEMM kernels reproduces the
+/// (c, dy, dx) accumulation order of the historical direct loops exactly.
+void Im2col(const float* xpad, float* col, int64_t nb, int64_t ci, int64_t hp,
+            int64_t wp, int64_t ho, int64_t wo, int64_t kh, int64_t kw) {
+  const int64_t kdim = ci * kh * kw;
+  const int64_t np = ho * wo;
+  // Each (batch, kk) row of the col matrix is written by exactly one chunk.
+  ParallelFor(
+      0, nb * kdim, std::max<int64_t>(1, 4096 / std::max<int64_t>(1, np)),
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          const int64_t b = r / kdim;
+          const int64_t kk = r % kdim;
+          const int64_t c = kk / (kh * kw);
+          const int64_t dy = (kk / kw) % kh;
+          const int64_t dx = kk % kw;
+          const float* in_plane = xpad + (b * ci + c) * hp * wp;
+          float* dst = col + r * np;
+          for (int64_t y = 0; y < ho; ++y) {
+            std::memcpy(dst + y * wo, in_plane + (y + dy) * wp + dx,
+                        sizeof(float) * static_cast<size_t>(wo));
           }
         }
-      }
-    }
-  });
+      });
+}
+
+/// Fully defines the [nb, co, ho*wo] output with the additive identity the
+/// GEMM accumulates onto: the per-channel bias, or zero without one.
+void FillConvBias(const float* pbias, float* out, int64_t nb, int64_t co,
+                  int64_t np) {
+  if (pbias == nullptr) {
+    std::fill(out, out + nb * co * np, 0.0f);
+    return;
+  }
+  for (int64_t r = 0; r < nb * co; ++r) {
+    const float bv = pbias[r % co];
+    float* plane = out + r * np;
+    for (int64_t i = 0; i < np; ++i) plane[i] = bv;
+  }
 }
 
 /// Valid (no padding) average pool with window `k`, stride 1, along the time
@@ -73,7 +83,7 @@ Tensor AvgPool1dValid(const Tensor& x, int64_t k) {
   const int64_t b = x.dim(0), t = x.dim(1), c = x.dim(2);
   TS3_CHECK_GE(t, k);
   const int64_t to = t - k + 1;
-  std::vector<float> out(static_cast<size_t>(b * to * c), 0.0f);
+  FloatVec out(static_cast<size_t>(b * to * c), 0.0f);
   const float* px = x.data();
   const float inv = 1.0f / static_cast<float>(k);
   // Each (batch, output step) row is written by exactly one chunk.
@@ -95,7 +105,7 @@ Tensor AvgPool1dValid(const Tensor& x, int64_t k) {
       std::move(out), Shape{b, to, c}, "AvgPool1dValid", {x},
       [tx, b, t, c, to, k, inv](const Tensor& grad_out) mutable {
         if (!tx.requires_grad()) return;
-        std::vector<float> g(static_cast<size_t>(tx.numel()), 0.0f);
+        FloatVec g(static_cast<size_t>(tx.numel()), 0.0f);
         const float* go = grad_out.data();
         // Overlapping windows within a batch share input positions, so fan
         // out over batches only; the ti/j order per element matches serial.
@@ -167,31 +177,48 @@ Tensor Conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
   const int64_t ho = hp - kh + 1;
   const int64_t wo = wp - kw + 1;
   TS3_CHECK(ho > 0 && wo > 0) << "Conv2d kernel larger than padded input";
+  const int64_t kdim = ci * kh * kw;
+  const int64_t np = ho * wo;
 
   // Materialize the zero-padded input once; all loops below are "valid".
-  auto xpad = std::make_shared<std::vector<float>>(
+  auto xpad = std::make_shared<FloatVec>(
       static_cast<size_t>(nb * ci * hp * wp), 0.0f);
   FillConvPadded(x.data(), xpad->data(), nb, ci, h, w, hp, wp, pad_h, pad_w);
 
-  std::vector<float> out(static_cast<size_t>(nb * co * ho * wo));
-  Conv2dAccumulate(xpad->data(), weight.data(),
-                   bias.defined() ? bias.data() : nullptr, out.data(), nb, ci,
-                   co, hp, wp, ho, wo, kh, kw);
+  // Forward = im2col + batched GEMM through the micro-kernel substrate:
+  // weight [co, kdim] is broadcast across batches (a_off all zero) against
+  // each batch's col matrix [kdim, np]. The GEMM accumulates onto the
+  // bias-filled output, so per output element the value is
+  // bias + sum over ascending (c, dy, dx) — exactly the historical direct
+  // loop, which makes the scalar implementation bitwise identical to it.
+  FloatVec col(static_cast<size_t>(nb * kdim * np));
+  Im2col(xpad->data(), col.data(), nb, ci, hp, wp, ho, wo, kh, kw);
+  const std::vector<int64_t> a_off(static_cast<size_t>(nb), 0);
+  std::vector<int64_t> b_off(static_cast<size_t>(nb));
+  for (int64_t bi = 0; bi < nb; ++bi) b_off[bi] = bi * kdim * np;
+
+  FloatVec out(static_cast<size_t>(nb * co * np));
+  FillConvBias(bias.defined() ? bias.data() : nullptr, out.data(), nb, co, np);
+  kernels::BatchedGemm(weight.data(), col.data(), out.data(), a_off, b_off,
+                       co, kdim, np, nb);
 
   Tensor tx = x, tw = weight, tb = bias;
   std::vector<Tensor> inputs = {x, weight};
   if (bias.defined()) inputs.push_back(bias);
   Tensor result = MakeOpResult(
       std::move(out), Shape{nb, co, ho, wo}, "Conv2d", inputs,
-      [tx, tw, tb, xpad, nb, ci, co, h, w, hp, wp, ho, wo, kh, kw, pad_h,
-       pad_w](const Tensor& grad_out) mutable {
+      [tx, tw, tb, xpad, nb, ci, co, h, w, hp, wp, ho, wo, kh, kw, kdim, np,
+       pad_h, pad_w](const Tensor& grad_out) mutable {
         const float* go = grad_out.data();
         const float* pw = tw.data();
 
         if (tx.requires_grad()) {
-          std::vector<float> gpad(static_cast<size_t>(nb * ci * hp * wp), 0.0f);
+          FloatVec gpad(static_cast<size_t>(nb * ci * hp * wp), 0.0f);
           // Fan out over (batch, in-channel) planes; each gpad plane
-          // accumulates its o-contributions in the serial order.
+          // accumulates its o-contributions in the serial order. Stays a
+          // direct (col2im-free) loop so the scatter order is unchanged; the
+          // kernels' IEEE completeness applies here too — no zero-weight
+          // skip, a 0 x Inf/NaN product reaches the gradient.
           ParallelFor(0, nb * ci, 1, [&](int64_t lo, int64_t hi) {
             for (int64_t r = lo; r < hi; ++r) {
               const int64_t b = r / ci;
@@ -202,7 +229,6 @@ Tensor Conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
                 for (int64_t dy = 0; dy < kh; ++dy) {
                   for (int64_t dx = 0; dx < kw; ++dx) {
                     const float wv = pw[((o * ci + c) * kh + dy) * kw + dx];
-                    if (wv == 0.0f) continue;
                     for (int64_t y = 0; y < ho; ++y) {
                       float* dst = g_plane + (y + dy) * wp + dx;
                       const float* src = go_plane + y * wo;
@@ -215,7 +241,7 @@ Tensor Conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
             }
           });
           // Strip padding.
-          std::vector<float> gx(static_cast<size_t>(nb * ci * h * w));
+          FloatVec gx(static_cast<size_t>(nb * ci * h * w));
           for (int64_t b = 0; b < nb; ++b) {
             for (int64_t c = 0; c < ci; ++c) {
               for (int64_t y = 0; y < h; ++y) {
@@ -230,36 +256,22 @@ Tensor Conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
         }
 
         if (tw.requires_grad()) {
-          std::vector<float> gw(static_cast<size_t>(tw.numel()), 0.0f);
-          // Fan out over (out-channel, in-channel) filter planes; each gw
-          // entry accumulates its per-batch terms in increasing b order,
-          // matching the serial loop.
-          ParallelFor(0, co * ci, 1, [&](int64_t lo, int64_t hi) {
-            for (int64_t r = lo; r < hi; ++r) {
-              const int64_t o = r / ci;
-              const int64_t c = r % ci;
-              for (int64_t b = 0; b < nb; ++b) {
-                const float* go_plane = go + (b * co + o) * ho * wo;
-                const float* in_plane = xpad->data() + (b * ci + c) * hp * wp;
-                for (int64_t dy = 0; dy < kh; ++dy) {
-                  for (int64_t dx = 0; dx < kw; ++dx) {
-                    float acc = 0.0f;
-                    for (int64_t y = 0; y < ho; ++y) {
-                      const float* src = in_plane + (y + dy) * wp + dx;
-                      const float* g = go_plane + y * wo;
-                      for (int64_t xx = 0; xx < wo; ++xx) acc += g[xx] * src[xx];
-                    }
-                    gw[((o * ci + c) * kh + dy) * kw + dx] += acc;
-                  }
-                }
-              }
-            }
-          });
+          // dW[o, kk] = sum_b dOut_b[o, :] . col_b[kk, :] — one GemmAccBT
+          // per batch, accumulating in ascending b order like the serial
+          // loop. The col matrix is rebuilt from the captured padded input;
+          // only the (smaller) xpad buffer is held across forward/backward.
+          FloatVec col(static_cast<size_t>(nb * kdim * np));
+          Im2col(xpad->data(), col.data(), nb, ci, hp, wp, ho, wo, kh, kw);
+          FloatVec gw(static_cast<size_t>(tw.numel()), 0.0f);
+          for (int64_t b = 0; b < nb; ++b) {
+            kernels::GemmAccBT(go + b * co * np, col.data() + b * kdim * np,
+                               gw.data(), co, np, kdim);
+          }
           tw.AccumulateGrad(Tensor::FromData(std::move(gw), tw.shape()));
         }
 
         if (tb.defined() && tb.requires_grad()) {
-          std::vector<float> gb(static_cast<size_t>(co), 0.0f);
+          FloatVec gb(static_cast<size_t>(co), 0.0f);
           ParallelFor(0, co, 1, [&](int64_t lo, int64_t hi) {
             for (int64_t o = lo; o < hi; ++o) {
               for (int64_t b = 0; b < nb; ++b) {
@@ -275,18 +287,26 @@ Tensor Conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
       });
   if (replay::TracingActive()) {
     const bool has_bias = bias.defined();
-    // Replay owns its own padded scratch: zero-initialized once here, and
-    // FillConvPadded only ever rewrites the interior, so the padding bands
-    // stay zero across replays.
-    auto scratch = std::make_shared<std::vector<float>>(
+    // Replay owns its padded and im2col scratch: sized once here, refilled
+    // in place every replay (FillConvPadded only rewrites the interior, so
+    // the padding bands stay zero; Im2col fully rewrites col), and the GEMM
+    // packs into the kernels' thread-local pool — steady-state replays
+    // perform zero allocations.
+    auto pad_scratch = std::make_shared<FloatVec>(
         static_cast<size_t>(nb * ci * hp * wp), 0.0f);
-    replay::Record(result, [scratch, has_bias, nb, ci, co, h, w, hp, wp, ho,
-                            wo, kh, kw, pad_h, pad_w](const float* const* ins,
-                                                      float* out_p) {
-      FillConvPadded(ins[0], scratch->data(), nb, ci, h, w, hp, wp, pad_h,
+    auto col_scratch =
+        std::make_shared<FloatVec>(static_cast<size_t>(nb * kdim * np));
+    replay::Record(result, [pad_scratch, col_scratch, a_off, b_off, has_bias,
+                            nb, ci, co, h, w, hp, wp, ho, wo, kh, kw, kdim, np,
+                            pad_h, pad_w](const float* const* ins,
+                                          float* out_p) {
+      FillConvPadded(ins[0], pad_scratch->data(), nb, ci, h, w, hp, wp, pad_h,
                      pad_w);
-      Conv2dAccumulate(scratch->data(), ins[1], has_bias ? ins[2] : nullptr,
-                       out_p, nb, ci, co, hp, wp, ho, wo, kh, kw);
+      Im2col(pad_scratch->data(), col_scratch->data(), nb, ci, hp, wp, ho, wo,
+             kh, kw);
+      FillConvBias(has_bias ? ins[2] : nullptr, out_p, nb, co, np);
+      kernels::BatchedGemm(ins[1], col_scratch->data(), out_p, a_off, b_off,
+                           co, kdim, np, nb);
     });
   }
   return result;

@@ -106,7 +106,7 @@ Tensor BinaryOp(const BinaryKernel& kernel, const Tensor& a, const Tensor& b) {
   TS3_CHECK(a.defined() && b.defined());
   const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
   const int64_t n = NumElements(out_shape);
-  std::vector<float> out(static_cast<size_t>(n));
+  FloatVec out(static_cast<size_t>(n));
   const float* pa = a.data();
   const float* pb = b.data();
 
@@ -142,7 +142,7 @@ Tensor BinaryOp(const BinaryKernel& kernel, const Tensor& a, const Tensor& b) {
         const float* pa = ta.data();
         const float* pb = tb.data();
         if (ta.requires_grad()) {
-          std::vector<float> ga(static_cast<size_t>(n));
+          FloatVec ga(static_cast<size_t>(n));
           if (ta.shape() == tb.shape()) {
             ParallelFor(0, n, kElementwiseGrain, [&](int64_t lo, int64_t hi) {
               for (int64_t i = lo; i < hi; ++i)
@@ -159,7 +159,7 @@ Tensor BinaryOp(const BinaryKernel& kernel, const Tensor& a, const Tensor& b) {
           ta.AccumulateGrad(ReduceToShape(full, ta.shape()));
         }
         if (tb.requires_grad()) {
-          std::vector<float> gb(static_cast<size_t>(n));
+          FloatVec gb(static_cast<size_t>(n));
           if (ta.shape() == tb.shape()) {
             ParallelFor(0, n, kElementwiseGrain, [&](int64_t lo, int64_t hi) {
               for (int64_t i = lo; i < hi; ++i)
@@ -284,7 +284,7 @@ Tensor Minimum(const Tensor& a, const Tensor& b) { return BinaryOp(kMin, a, b); 
 
 Tensor AddScalar(const Tensor& a, float s) {
   TS3_TRACE_SPAN("op/AddScalar");
-  std::vector<float> out(a.data(), a.data() + a.numel());
+  FloatVec out(a.data(), a.data() + a.numel());
   ParallelFor(0, a.numel(), kElementwiseGrain, [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) out[i] += s;
   });
@@ -311,7 +311,7 @@ Tensor AddScalar(const Tensor& a, float s) {
 
 Tensor MulScalar(const Tensor& a, float s) {
   TS3_TRACE_SPAN("op/MulScalar");
-  std::vector<float> out(a.data(), a.data() + a.numel());
+  FloatVec out(a.data(), a.data() + a.numel());
   ParallelFor(0, a.numel(), kElementwiseGrain, [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) out[i] *= s;
   });
@@ -320,7 +320,7 @@ Tensor MulScalar(const Tensor& a, float s) {
       std::move(out), a.shape(), "MulScalar", {a},
       [ta, s](const Tensor& grad_out) mutable {
         if (!ta.requires_grad()) return;
-        std::vector<float> g(grad_out.data(), grad_out.data() + grad_out.numel());
+        FloatVec g(grad_out.data(), grad_out.data() + grad_out.numel());
         for (float& v : g) v *= s;
         ta.AccumulateGrad(Tensor::FromData(std::move(g), ta.shape()));
       });

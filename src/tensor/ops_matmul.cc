@@ -3,6 +3,7 @@
 
 #include "common/obs/trace.h"
 #include "common/threadpool.h"
+#include "tensor/kernels/kernels.h"
 #include "tensor/ops.h"
 #include "tensor/replay.h"
 
@@ -10,64 +11,12 @@ namespace ts3net {
 
 namespace {
 
-/// C[m,k] += A[m,n] * B[k,n]^T  (i.e. A @ B^T without materializing B^T)
-void GemmAccBT(const float* a, const float* b, float* c, int64_t m, int64_t n,
-               int64_t k) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * n;
-    float* crow = c + i * k;
-    for (int64_t p = 0; p < k; ++p) {
-      const float* brow = b + p * n;
-      float acc = 0.0f;
-      for (int64_t j = 0; j < n; ++j) acc += arow[j] * brow[j];
-      crow[p] += acc;
-    }
-  }
-}
-
-/// C[k,n] += A[m,k]^T * B[m,n]
-void GemmAccAT(const float* a, const float* b, float* c, int64_t m, int64_t k,
-               int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    const float* brow = b + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      float* crow = c + p * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-/// Rows [row_begin, row_end) of the flattened (batch, row) output space:
-/// row r belongs to batch r / m, output row r % m. Each output row is
-/// written by exactly one ParallelFor chunk and its k-loop order matches the
-/// serial GEMM, so results are bitwise identical at any thread count.
-void GemmRowRange(const float* pa, const float* pb, float* out,
-                  const std::vector<int64_t>& a_off,
-                  const std::vector<int64_t>& b_off, int64_t m, int64_t k,
-                  int64_t n, int64_t row_begin, int64_t row_end) {
-  for (int64_t r = row_begin; r < row_end; ++r) {
-    const int64_t bi = r / m;
-    const int64_t i = r % m;
-    const float* arow = pa + a_off[bi] + i * k;
-    const float* bmat = pb + b_off[bi];
-    float* crow = out + r * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = bmat + p * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-/// Rows per ParallelFor grain so one chunk amortizes scheduling over roughly
-/// 16k multiply-adds.
-int64_t RowGrain(int64_t k, int64_t n) {
-  return std::max<int64_t>(1, 16384 / std::max<int64_t>(1, k * n));
-}
+// All three GEMM shapes (forward, dA = dOut @ B^T, dB = A^T @ dOut) dispatch
+// through the micro-kernel substrate in tensor/kernels/ — scalar reference
+// loops or the packed AVX2+FMA tiles, selected by --ts3_kernel_impl. The
+// kernels are IEEE-complete: the historical `av == 0.0f` fast path that
+// silently absorbed 0 x Inf / 0 x NaN lives nowhere anymore (see
+// tests/substrate_test.cc NaN-propagation regressions).
 
 Shape LeadingDims(const Shape& s) {
   return Shape(s.begin(), s.end() - 2);
@@ -135,13 +84,9 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const bool a_batches_disjoint = NumElements(lead_a) == nbatch;
   const bool b_batches_disjoint = NumElements(lead_b) == nbatch;
 
-  std::vector<float> out(static_cast<size_t>(nbatch * m * n), 0.0f);
-  const float* pa = a.data();
-  const float* pb = b.data();
-  ParallelFor(0, nbatch * m, RowGrain(k, n),
-              [&](int64_t lo, int64_t hi) {
-                GemmRowRange(pa, pb, out.data(), a_off, b_off, m, k, n, lo, hi);
-              });
+  FloatVec out(static_cast<size_t>(nbatch * m * n), 0.0f);
+  kernels::BatchedGemm(a.data(), b.data(), out.data(), a_off, b_off, m, k, n,
+                       nbatch);
 
   Tensor ta = a, tb = b;
   Tensor result = MakeOpResult(
@@ -150,13 +95,13 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
        k, n](const Tensor& grad_out) mutable {
         const float* go = grad_out.data();
         if (ta.requires_grad()) {
-          std::vector<float> ga(static_cast<size_t>(ta.numel()), 0.0f);
+          FloatVec ga(static_cast<size_t>(ta.numel()), 0.0f);
           const float* pb = tb.data();
           auto da_batch = [&](int64_t lo, int64_t hi) {
             for (int64_t bi = lo; bi < hi; ++bi) {
               // dA = dOut @ B^T
-              GemmAccBT(go + bi * m * n, pb + b_off[bi], ga.data() + a_off[bi],
-                        m, n, k);
+              kernels::GemmAccBT(go + bi * m * n, pb + b_off[bi],
+                                 ga.data() + a_off[bi], m, n, k);
             }
           };
           if (a_batches_disjoint) {
@@ -169,13 +114,13 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
           ta.AccumulateGrad(Tensor::FromData(std::move(ga), ta.shape()));
         }
         if (tb.requires_grad()) {
-          std::vector<float> gb(static_cast<size_t>(tb.numel()), 0.0f);
+          FloatVec gb(static_cast<size_t>(tb.numel()), 0.0f);
           const float* pa = ta.data();
           auto db_batch = [&](int64_t lo, int64_t hi) {
             for (int64_t bi = lo; bi < hi; ++bi) {
               // dB = A^T @ dOut
-              GemmAccAT(pa + a_off[bi], go + bi * m * n, gb.data() + b_off[bi],
-                        m, k, n);
+              kernels::GemmAccAT(pa + a_off[bi], go + bi * m * n,
+                                 gb.data() + b_off[bi], m, k, n);
             }
           };
           if (b_batches_disjoint) {
@@ -190,9 +135,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     replay::Record(result, [a_off, b_off, nbatch, m, k, n](
                                const float* const* ins, float* out_p) {
       std::fill(out_p, out_p + nbatch * m * n, 0.0f);
-      ParallelFor(0, nbatch * m, RowGrain(k, n), [&](int64_t lo, int64_t hi) {
-        GemmRowRange(ins[0], ins[1], out_p, a_off, b_off, m, k, n, lo, hi);
-      });
+      kernels::BatchedGemm(ins[0], ins[1], out_p, a_off, b_off, m, k, n,
+                           nbatch);
     });
   }
   return result;

@@ -131,7 +131,7 @@ Tensor Sum(const Tensor& a, const std::vector<int>& dims, bool keepdim) {
   for (int i = 0; i < nd; ++i) out_step[i] = reduced[i] ? 0 : kept_strides[i];
 
   const int64_t out_n = NumElements(kept_shape);
-  std::vector<float> out(static_cast<size_t>(out_n), 0.0f);
+  FloatVec out(static_cast<size_t>(out_n), 0.0f);
   const float* src = a.data();
   const int64_t n = a.numel();
   const Shape& in_shape = a.shape();
@@ -160,7 +160,7 @@ Tensor Sum(const Tensor& a, const std::vector<int>& dims, bool keepdim) {
         const int nd = static_cast<int>(in_shape.size());
         const float* go = grad_out.data();
         const int64_t n = ta.numel();
-        std::vector<float> g(static_cast<size_t>(n));
+        FloatVec g(static_cast<size_t>(n));
         // Pure broadcast (each g[i] written once): chunks re-derive the
         // walker state at their start, so any partition gives the same g.
         ParallelFor(0, n, kReduceParallelThreshold,
@@ -232,7 +232,7 @@ Tensor Max(const Tensor& a, int dim, bool keepdim) {
     }
   }
 
-  std::vector<float> out(static_cast<size_t>(outer * inner),
+  FloatVec out(static_cast<size_t>(outer * inner),
                          -std::numeric_limits<float>::infinity());
   auto argmax = std::make_shared<std::vector<int64_t>>(
       static_cast<size_t>(outer * inner), 0);
@@ -256,7 +256,7 @@ Tensor Max(const Tensor& a, int dim, bool keepdim) {
       std::move(out), out_shape, "Max", {a},
       [ta, argmax, outer, inner, axis](const Tensor& grad_out) mutable {
         if (!ta.requires_grad()) return;
-        std::vector<float> g(static_cast<size_t>(ta.numel()), 0.0f);
+        FloatVec g(static_cast<size_t>(ta.numel()), 0.0f);
         const float* go = grad_out.data();
         for (int64_t o = 0; o < outer; ++o) {
           for (int64_t j = 0; j < inner; ++j) {
@@ -301,7 +301,7 @@ Tensor Softmax(const Tensor& a, int dim) {
   for (int i = dim + 1; i < nd; ++i) inner *= in_shape[i];
   const int64_t axis = in_shape[dim];
 
-  std::vector<float> out(static_cast<size_t>(a.numel()));
+  FloatVec out(static_cast<size_t>(a.numel()));
   const float* src = a.data();
   // Each (o, j) lane is written by exactly one chunk.
   const int64_t lane_grain =
@@ -327,13 +327,13 @@ Tensor Softmax(const Tensor& a, int dim) {
     }
   });
 
-  auto y = std::make_shared<std::vector<float>>(out);
+  auto y = std::make_shared<FloatVec>(out);
   Tensor ta = a;
   Tensor result = MakeOpResult(
       std::move(out), in_shape, "Softmax", {a},
       [ta, y, outer, inner, axis](const Tensor& grad_out) mutable {
         if (!ta.requires_grad()) return;
-        std::vector<float> g(static_cast<size_t>(ta.numel()));
+        FloatVec g(static_cast<size_t>(ta.numel()));
         const float* go = grad_out.data();
         const float* py = y->data();
         const int64_t lane_grain = std::max<int64_t>(

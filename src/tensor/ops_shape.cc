@@ -17,7 +17,7 @@ int NormalizeDim(int dim, int ndim) {
 }
 
 // Copies `src` (shape src_shape) permuted by `dims` into a new buffer.
-std::vector<float> PermuteData(const float* src, const Shape& src_shape,
+FloatVec PermuteData(const float* src, const Shape& src_shape,
                                const std::vector<int>& dims) {
   const size_t nd = src_shape.size();
   Shape out_shape(nd);
@@ -28,7 +28,7 @@ std::vector<float> PermuteData(const float* src, const Shape& src_shape,
   for (size_t i = 0; i < nd; ++i) step[i] = src_strides[dims[i]];
 
   const int64_t n = NumElements(out_shape);
-  std::vector<float> out(static_cast<size_t>(n));
+  FloatVec out(static_cast<size_t>(n));
   std::vector<int64_t> coords(nd, 0);
   int64_t src_off = 0;
   for (int64_t i = 0; i < n; ++i) {
@@ -70,13 +70,13 @@ Tensor Reshape(const Tensor& a, const Shape& shape) {
       << "reshape " << ShapeToString(a.shape()) << " -> "
       << ShapeToString(out_shape);
 
-  std::vector<float> out(a.data(), a.data() + a.numel());
+  FloatVec out(a.data(), a.data() + a.numel());
   Tensor ta = a;
   Tensor result =
       MakeOpResult(std::move(out), out_shape, "Reshape", {a},
                    [ta](const Tensor& grad_out) mutable {
                      if (!ta.requires_grad()) return;
-                     std::vector<float> g(grad_out.data(),
+                     FloatVec g(grad_out.data(),
                                           grad_out.data() + grad_out.numel());
                      ta.AccumulateGrad(
                          Tensor::FromData(std::move(g), ta.shape()));
@@ -123,7 +123,7 @@ Tensor Permute(const Tensor& a, const std::vector<int>& dims) {
   }
   Shape out_shape(nd);
   for (size_t i = 0; i < nd; ++i) out_shape[i] = a.shape()[dims[i]];
-  std::vector<float> out = PermuteData(a.data(), a.shape(), dims);
+  FloatVec out = PermuteData(a.data(), a.shape(), dims);
 
   // Inverse permutation for the backward pass.
   std::vector<int> inv(nd);
@@ -135,7 +135,7 @@ Tensor Permute(const Tensor& a, const std::vector<int>& dims) {
       std::move(out), out_shape, "Permute", {a},
       [ta, inv, saved_out_shape](const Tensor& grad_out) mutable {
         if (!ta.requires_grad()) return;
-        std::vector<float> g =
+        FloatVec g =
             PermuteData(grad_out.data(), saved_out_shape, inv);
         ta.AccumulateGrad(Tensor::FromData(std::move(g), ta.shape()));
       });
@@ -194,7 +194,7 @@ Tensor Slice(const Tensor& a, int dim, int64_t start, int64_t length) {
   for (size_t i = dim + 1; i < in_shape.size(); ++i) inner *= in_shape[i];
   const int64_t in_axis = in_shape[dim];
 
-  std::vector<float> out(static_cast<size_t>(outer * length * inner));
+  FloatVec out(static_cast<size_t>(outer * length * inner));
   // A zero-length slice copies nothing; skip the loop so memcpy never sees
   // the null data() of an empty vector (nonnull-attribute UB).
   const size_t row_bytes = sizeof(float) * static_cast<size_t>(length * inner);
@@ -210,7 +210,7 @@ Tensor Slice(const Tensor& a, int dim, int64_t start, int64_t length) {
       std::move(out), out_shape, "Slice", {a},
       [ta, outer, inner, in_axis, start, length](const Tensor& grad_out) mutable {
         if (!ta.requires_grad()) return;
-        std::vector<float> g(static_cast<size_t>(ta.numel()), 0.0f);
+        FloatVec g(static_cast<size_t>(ta.numel()), 0.0f);
         const size_t row_bytes =
             sizeof(float) * static_cast<size_t>(length * inner);
         const float* go = grad_out.data();
@@ -259,7 +259,7 @@ Tensor Concat(const std::vector<Tensor>& tensors, int dim) {
   for (int i = 0; i < dim; ++i) outer *= out_shape[i];
   for (size_t i = dim + 1; i < out_shape.size(); ++i) inner *= out_shape[i];
 
-  std::vector<float> out(static_cast<size_t>(NumElements(out_shape)));
+  FloatVec out(static_cast<size_t>(NumElements(out_shape)));
   int64_t axis_offset = 0;
   std::vector<int64_t> axis_sizes;
   for (const Tensor& t : tensors) {
@@ -283,7 +283,7 @@ Tensor Concat(const std::vector<Tensor>& tensors, int dim) {
         for (size_t idx = 0; idx < inputs.size(); ++idx) {
           const int64_t axis = axis_sizes[idx];
           if (inputs[idx].requires_grad()) {
-            std::vector<float> g(static_cast<size_t>(inputs[idx].numel()));
+            FloatVec g(static_cast<size_t>(inputs[idx].numel()));
             for (int64_t o = 0; o < outer; ++o) {
               const float* s = go + (o * axis_total + axis_offset) * inner;
               float* d = g.data() + o * axis * inner;
@@ -338,7 +338,7 @@ Tensor Pad(const Tensor& a, int dim, int64_t before, int64_t after,
   const int64_t in_axis = in_shape[dim];
   const int64_t out_axis = out_shape[dim];
 
-  std::vector<float> out(static_cast<size_t>(NumElements(out_shape)), value);
+  FloatVec out(static_cast<size_t>(NumElements(out_shape)), value);
   const float* src = a.data();
   for (int64_t o = 0; o < outer; ++o) {
     float* d = out.data() + (o * out_axis + before) * inner;
@@ -351,7 +351,7 @@ Tensor Pad(const Tensor& a, int dim, int64_t before, int64_t after,
       std::move(out), out_shape, "Pad", {a},
       [ta, outer, inner, in_axis, out_axis, before](const Tensor& grad_out) mutable {
         if (!ta.requires_grad()) return;
-        std::vector<float> g(static_cast<size_t>(ta.numel()));
+        FloatVec g(static_cast<size_t>(ta.numel()));
         const float* go = grad_out.data();
         for (int64_t o = 0; o < outer; ++o) {
           const float* s = go + (o * out_axis + before) * inner;

@@ -24,7 +24,7 @@ Tensor UnaryOp(const UnaryKernel& kernel, const Tensor& a) {
   if (obs::TracingEnabled()) op_span.Start(std::string("op/") + kernel.name);
   TS3_CHECK(a.defined());
   const int64_t n = a.numel();
-  std::vector<float> out(static_cast<size_t>(n));
+  FloatVec out(static_cast<size_t>(n));
   const float* pa = a.data();
   ParallelFor(0, n, kUnaryGrain, [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) out[i] = kernel.fwd(pa[i]);
@@ -39,7 +39,7 @@ Tensor UnaryOp(const UnaryKernel& kernel, const Tensor& a) {
         const int64_t n = ta.numel();
         const float* pa = ta.data();
         const float* go = grad_out.data();
-        std::vector<float> g(static_cast<size_t>(n));
+        FloatVec g(static_cast<size_t>(n));
         ParallelFor(0, n, kUnaryGrain, [&](int64_t lo, int64_t hi) {
           for (int64_t i = lo; i < hi; ++i) {
             g[i] = go[i] * k->dfdx(pa[i], k->fwd(pa[i]));
@@ -118,7 +118,7 @@ Tensor Pow(const Tensor& a, float p) {
   TS3_TRACE_SPAN("op/Pow");
   TS3_CHECK(a.defined());
   const int64_t n = a.numel();
-  std::vector<float> out(static_cast<size_t>(n));
+  FloatVec out(static_cast<size_t>(n));
   const float* pa = a.data();
   for (int64_t i = 0; i < n; ++i) out[i] = std::pow(pa[i], p);
   Tensor ta = a;
@@ -128,7 +128,7 @@ Tensor Pow(const Tensor& a, float p) {
                         const int64_t n = ta.numel();
                         const float* pa = ta.data();
                         const float* go = grad_out.data();
-                        std::vector<float> g(static_cast<size_t>(n));
+                        FloatVec g(static_cast<size_t>(n));
                         for (int64_t i = 0; i < n; ++i) {
                           g[i] = go[i] * p * std::pow(pa[i], p - 1.0f);
                         }
@@ -153,12 +153,12 @@ Tensor Dropout(const Tensor& x, float p, bool training, Rng* rng) {
   if (!training || p == 0.0f) return x;
   TS3_CHECK(rng != nullptr);
   const int64_t n = x.numel();
-  auto mask = std::make_shared<std::vector<float>>(static_cast<size_t>(n));
+  auto mask = std::make_shared<FloatVec>(static_cast<size_t>(n));
   const float scale = 1.0f / (1.0f - p);
   for (int64_t i = 0; i < n; ++i) {
     (*mask)[i] = rng->Bernoulli(p) ? 0.0f : scale;
   }
-  std::vector<float> out(static_cast<size_t>(n));
+  FloatVec out(static_cast<size_t>(n));
   const float* px = x.data();
   for (int64_t i = 0; i < n; ++i) out[i] = px[i] * (*mask)[i];
   Tensor tx = x;
@@ -167,7 +167,7 @@ Tensor Dropout(const Tensor& x, float p, bool training, Rng* rng) {
                         if (!tx.requires_grad()) return;
                         const int64_t n = tx.numel();
                         const float* go = grad_out.data();
-                        std::vector<float> g(static_cast<size_t>(n));
+                        FloatVec g(static_cast<size_t>(n));
                         for (int64_t i = 0; i < n; ++i) {
                           g[i] = go[i] * (*mask)[i];
                         }

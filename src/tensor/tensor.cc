@@ -39,7 +39,7 @@ namespace {
 
 thread_local int64_t g_tensor_allocs = 0;
 
-std::shared_ptr<TensorImpl> NewImpl(std::vector<float> data, Shape shape) {
+std::shared_ptr<TensorImpl> NewImpl(FloatVec data, Shape shape) {
   ++g_tensor_allocs;
   auto impl = std::make_shared<TensorImpl>();
   impl->data = std::move(data);
@@ -56,39 +56,48 @@ Tensor Tensor::FromImpl(std::shared_ptr<TensorImpl> impl) {
 }
 
 Tensor Tensor::Zeros(const Shape& shape) {
-  return FromImpl(NewImpl(std::vector<float>(NumElements(shape), 0.0f), shape));
+  return FromImpl(NewImpl(FloatVec(NumElements(shape), 0.0f), shape));
 }
 
 Tensor Tensor::Ones(const Shape& shape) { return Full(shape, 1.0f); }
 
 Tensor Tensor::Full(const Shape& shape, float value) {
-  return FromImpl(NewImpl(std::vector<float>(NumElements(shape), value), shape));
+  return FromImpl(NewImpl(FloatVec(NumElements(shape), value), shape));
 }
 
-Tensor Tensor::FromData(std::vector<float> data, const Shape& shape) {
+Tensor Tensor::FromData(FloatVec data, const Shape& shape) {
   TS3_CHECK_EQ(static_cast<int64_t>(data.size()), NumElements(shape))
       << "data size does not match shape " << ShapeToString(shape);
   return FromImpl(NewImpl(std::move(data), shape));
 }
 
+Tensor Tensor::FromData(const std::vector<float>& data, const Shape& shape) {
+  return FromData(FloatVec(data.begin(), data.end()), shape);
+}
+
+Tensor Tensor::FromData(std::initializer_list<float> data,
+                        const Shape& shape) {
+  return FromData(FloatVec(data.begin(), data.end()), shape);
+}
+
 Tensor Tensor::Scalar(float value) {
-  return FromImpl(NewImpl(std::vector<float>{value}, Shape{}));
+  return FromImpl(NewImpl(FloatVec{value}, Shape{}));
 }
 
 Tensor Tensor::Randn(const Shape& shape, Rng* rng, float stddev) {
-  std::vector<float> data(NumElements(shape));
+  FloatVec data(NumElements(shape));
   for (float& v : data) v = static_cast<float>(rng->Gaussian(0.0, stddev));
   return FromImpl(NewImpl(std::move(data), shape));
 }
 
 Tensor Tensor::Rand(const Shape& shape, Rng* rng, float lo, float hi) {
-  std::vector<float> data(NumElements(shape));
+  FloatVec data(NumElements(shape));
   for (float& v : data) v = static_cast<float>(rng->Uniform(lo, hi));
   return FromImpl(NewImpl(std::move(data), shape));
 }
 
 Tensor Tensor::Arange(int64_t n) {
-  std::vector<float> data(static_cast<size_t>(n));
+  FloatVec data(static_cast<size_t>(n));
   for (int64_t i = 0; i < n; ++i) data[i] = static_cast<float>(i);
   return FromImpl(NewImpl(std::move(data), Shape{n}));
 }
@@ -297,7 +306,7 @@ bool AllClose(const Tensor& a, const Tensor& b, float rtol, float atol) {
   return true;
 }
 
-Tensor MakeOpResult(std::vector<float> data, const Shape& shape,
+Tensor MakeOpResult(FloatVec data, const Shape& shape,
                     const std::string& name, std::vector<Tensor> inputs,
                     std::function<void(const Tensor& grad_out)> backward) {
   Tensor out = Tensor::FromData(std::move(data), shape);

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/check.h"
 #include "common/random.h"
 
@@ -35,7 +36,9 @@ struct GradFn {
 };
 
 struct TensorImpl {
-  std::vector<float> data;
+  // 64-byte aligned (common/aligned.h): SIMD kernels read tensor buffers
+  // with aligned streams and never pay the split-cache-line penalty.
+  FloatVec data;
   Shape shape;
   bool requires_grad = false;
   std::shared_ptr<TensorImpl> grad;  // lazily allocated, same shape
@@ -63,7 +66,16 @@ class Tensor {
   static Tensor Ones(const Shape& shape);
   static Tensor Full(const Shape& shape, float value);
   /// Takes ownership of `data`; size must equal NumElements(shape).
-  static Tensor FromData(std::vector<float> data, const Shape& shape);
+  static Tensor FromData(FloatVec data, const Shape& shape);
+  /// Compatibility overload for cold paths holding a plain std::vector:
+  /// copies into an aligned buffer. Hot paths (op kernels, backward buffers)
+  /// must build a FloatVec directly and move it in.
+  static Tensor FromData(const std::vector<float>& data, const Shape& shape);
+  /// Braced-list convenience: FromData({1, 2, 3}, {3}). Preferred over the
+  /// vector overloads during list-initialization, which keeps the literal
+  /// call sites unambiguous.
+  static Tensor FromData(std::initializer_list<float> data,
+                         const Shape& shape);
   /// Scalar (rank-0) tensor.
   static Tensor Scalar(float value);
   /// i.i.d. N(0, stddev^2) entries.
@@ -131,7 +143,9 @@ bool AllClose(const Tensor& a, const Tensor& b, float rtol = 1e-5f,
 
 /// Builds a differentiable op result: allocates the output with `data`/`shape`
 /// and, when any input requires grad, attaches a GradFn with `backward`.
-Tensor MakeOpResult(std::vector<float> data, const Shape& shape,
+/// `data` is the aligned tensor buffer type; op kernels allocate their
+/// outputs as FloatVec and move them in (a plain std::vector would copy).
+Tensor MakeOpResult(FloatVec data, const Shape& shape,
                     const std::string& name, std::vector<Tensor> inputs,
                     std::function<void(const Tensor& grad_out)> backward);
 

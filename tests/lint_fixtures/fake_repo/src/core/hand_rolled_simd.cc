@@ -1,0 +1,26 @@
+// Seeded TL015 violations: SIMD intrinsics outside src/tensor/kernels/.
+// Hand-vectorized code anywhere else bypasses the dispatched kernels::*
+// entry points and their scalar fallback.
+#include <immintrin.h>  // EXPECT-LINT: TL015
+
+namespace ts3net {
+
+float DotAvx(const float* a, const float* b, int n) {
+  __m256 acc = _mm256_setzero_ps();  // EXPECT-LINT: TL015
+  for (int i = 0; i + 8 <= n; i += 8) {
+    const __m256 av = _mm256_loadu_ps(a + i);  // EXPECT-LINT: TL015
+    const __m256 bv = _mm256_loadu_ps(b + i);  // EXPECT-LINT: TL015
+    acc = _mm256_fmadd_ps(av, bv, acc);  // EXPECT-LINT: TL015
+  }
+  float lanes[8];
+  _mm256_storeu_ps(lanes, acc);  // EXPECT-LINT: TL015
+  float sum = 0.0f;
+  for (int i = 0; i < 8; ++i) sum += lanes[i];
+  return sum;
+}
+
+void FlushDenormals() {
+  __builtin_ia32_ldmxcsr(0x9fc0u);  // EXPECT-LINT: TL015
+}
+
+}  // namespace ts3net

@@ -1,0 +1,17 @@
+// Negative control for TL015: src/tensor/kernels/ is the one legal home
+// of SIMD intrinsics (directory-prefix EXEMPT entry), so nothing in this
+// file may be flagged even though it uses every banned token class.
+#include <immintrin.h>
+
+namespace ts3net {
+namespace kernels {
+
+void Axpy8(float a, const float* x, float* y) {
+  const __m256 av = _mm256_set1_ps(a);
+  const __m256 xv = _mm256_loadu_ps(x);
+  const __m256 yv = _mm256_loadu_ps(y);
+  _mm256_storeu_ps(y, _mm256_fmadd_ps(av, xv, yv));
+}
+
+}  // namespace kernels
+}  // namespace ts3net

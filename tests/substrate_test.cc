@@ -1,0 +1,486 @@
+// Tests for the SIMD micro-kernel substrate (src/tensor/kernels/,
+// DESIGN.md §14):
+//
+//  - IEEE completeness: the historical `av == 0.0f` fast path silently
+//    absorbed 0 x Inf / 0 x NaN; these regressions pin NaN propagation
+//    through the forward GEMM, the dB backward GEMM, and Conv2d.
+//  - Scalar bitwise identity: the kScalar kernels reproduce the
+//    pre-substrate loops bit for bit on finite inputs (the zero-skip removal
+//    is neutral there: x + 0.0f * b == x for every finite b).
+//  - Scalar vs AVX2 differential: the implementations agree within the
+//    documented FMA-contraction tolerance on random shapes, including
+//    remainder tiles (m % 6, n % 16, odd k).
+//  - Thread-count determinism: the AVX2 path is bitwise identical at any
+//    worker count.
+//  - Gradcheck under both implementations, and the 64-byte tensor buffer
+//    alignment the AVX2 packing relies on.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/aligned.h"
+#include "common/random.h"
+#include "common/threadpool.h"
+#include "tensor/gradcheck.h"
+#include "tensor/kernels/kernels.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace ts3net {
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+/// Sets the process-wide kernel implementation for one scope.
+class KernelImplGuard {
+ public:
+  explicit KernelImplGuard(kernels::KernelImpl impl)
+      : prev_(kernels::ActiveKernelImpl()) {
+    kernels::SetKernelImpl(impl);
+  }
+  ~KernelImplGuard() { kernels::SetKernelImpl(prev_); }
+
+ private:
+  kernels::KernelImpl prev_;
+};
+
+bool Avx2Available() {
+  return kernels::CpuHasAvx2Fma() && kernels::BuildHasAvx2Kernels();
+}
+
+FloatVec RandomVec(int64_t n, Rng* rng, float zero_fraction = 0.0f) {
+  FloatVec v(static_cast<size_t>(n));
+  for (float& x : v) {
+    x = static_cast<float>(rng->Uniform(-1.0, 1.0));
+    if (zero_fraction > 0.0f && rng->Uniform(0.0, 1.0) < zero_fraction) {
+      x = 0.0f;
+    }
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Flag parsing / dispatch plumbing
+// ---------------------------------------------------------------------------
+
+TEST(KernelImplTest, ParsesKnownNamesAndRejectsUnknown) {
+  kernels::KernelImpl impl;
+  EXPECT_TRUE(kernels::ParseKernelImpl("scalar", &impl));
+  EXPECT_EQ(impl, kernels::KernelImpl::kScalar);
+  EXPECT_TRUE(kernels::ParseKernelImpl("avx2", &impl));
+  EXPECT_EQ(impl, kernels::KernelImpl::kAvx2);
+  EXPECT_TRUE(kernels::ParseKernelImpl("auto", &impl));
+  EXPECT_EQ(impl, kernels::KernelImpl::kAuto);
+  EXPECT_FALSE(kernels::ParseKernelImpl("sse", &impl));
+  EXPECT_FALSE(kernels::ParseKernelImpl("AVX2", &impl));
+  EXPECT_FALSE(kernels::ParseKernelImpl("", &impl));
+  EXPECT_STREQ(kernels::KernelImplName(kernels::KernelImpl::kScalar),
+               "scalar");
+  EXPECT_STREQ(kernels::KernelImplName(kernels::KernelImpl::kAvx2), "avx2");
+  EXPECT_STREQ(kernels::KernelImplName(kernels::KernelImpl::kAuto), "auto");
+}
+
+TEST(KernelImplTest, ResolvedImplNeverReturnsAuto) {
+  KernelImplGuard guard(kernels::KernelImpl::kAuto);
+  const kernels::KernelImpl resolved = kernels::ResolvedKernelImpl();
+  EXPECT_NE(resolved, kernels::KernelImpl::kAuto);
+  if (Avx2Available()) {
+    EXPECT_EQ(resolved, kernels::KernelImpl::kAvx2);
+  } else {
+    EXPECT_EQ(resolved, kernels::KernelImpl::kScalar);
+  }
+}
+
+TEST(KernelImplTest, ScalarRequestAlwaysResolvesScalar) {
+  KernelImplGuard guard(kernels::KernelImpl::kScalar);
+  EXPECT_EQ(kernels::ResolvedKernelImpl(), kernels::KernelImpl::kScalar);
+}
+
+// ---------------------------------------------------------------------------
+// 64-byte alignment of tensor storage
+// ---------------------------------------------------------------------------
+
+TEST(AlignmentTest, TensorBuffersAre64ByteAligned) {
+  Rng rng(7);
+  for (const Shape& shape :
+       {Shape{1}, Shape{17}, Shape{3, 5}, Shape{2, 3, 4, 5}}) {
+    Tensor z = Tensor::Zeros(shape);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(z.data()) % kTensorAlignment, 0u)
+        << ShapeToString(shape);
+    Tensor r = Tensor::Randn(shape, &rng);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(r.data()) % kTensorAlignment, 0u);
+  }
+  Tensor lit = Tensor::FromData({1.0f, 2.0f, 3.0f}, {3});
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(lit.data()) % kTensorAlignment, 0u);
+}
+
+TEST(AlignmentTest, FloatVecReallocationStaysAligned) {
+  FloatVec v;
+  for (int i = 0; i < 1000; ++i) {
+    v.push_back(static_cast<float>(i));
+    ASSERT_EQ(reinterpret_cast<uintptr_t>(v.data()) % kTensorAlignment, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// IEEE completeness: 0 x Inf must produce NaN (the historical zero-skip
+// silently dropped it)
+// ---------------------------------------------------------------------------
+
+class NanPropagationTest
+    : public ::testing::TestWithParam<kernels::KernelImpl> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == kernels::KernelImpl::kAvx2 && !Avx2Available()) {
+      GTEST_SKIP() << "no AVX2+FMA on this host/build";
+    }
+  }
+};
+
+TEST_P(NanPropagationTest, MatMulForwardPropagatesZeroTimesInf) {
+  KernelImplGuard guard(GetParam());
+  // A[0, 1] = 0 meets B[1, 0] = Inf: out[0, 0] must be NaN, not 2.
+  Tensor a = Tensor::FromData({1.0f, 0.0f}, {1, 2});
+  Tensor b = Tensor::FromData({2.0f, kInf}, {2, 1});
+  Tensor out = MatMul(a, b);
+  EXPECT_TRUE(std::isnan(out.at(0)));
+}
+
+TEST_P(NanPropagationTest, MatMulGradBPropagatesZeroTimesInf) {
+  KernelImplGuard guard(GetParam());
+  // dB = A^T @ dOut. A zero activation against an Inf upstream gradient must
+  // poison the weight gradient; the pre-substrate GemmAccAT skipped the row.
+  Tensor a = Tensor::FromData({0.0f, 1.0f}, {2, 1});
+  Tensor b = Tensor::FromData({3.0f}, {1, 1});
+  b.set_requires_grad(true);
+  Tensor out = MatMul(a, b);  // [2, 1]
+  out.Backward(Tensor::FromData({kInf, 1.0f}, {2, 1}));
+  ASSERT_TRUE(b.grad().defined());
+  EXPECT_TRUE(std::isnan(b.grad().at(0)));
+}
+
+TEST_P(NanPropagationTest, Conv2dForwardPropagatesZeroWeightTimesInf) {
+  KernelImplGuard guard(GetParam());
+  // Zero weight against an Inf input: the direct conv loop skipped the whole
+  // (c, dy, dx) tap when the weight was zero.
+  Tensor x = Tensor::FromData({kInf, 1.0f, 1.0f, 1.0f}, {1, 1, 2, 2});
+  Tensor w = Tensor::FromData({0.0f}, {1, 1, 1, 1});
+  Tensor out = Conv2d(x, w, Tensor(), 0, 0);
+  EXPECT_TRUE(std::isnan(out.at(0)));
+  // Finite taps are unaffected: 0 * 1.0 stays exactly zero.
+  EXPECT_EQ(out.at(1), 0.0f);
+}
+
+TEST_P(NanPropagationTest, Conv2dGradXPropagatesZeroWeightTimesInf) {
+  KernelImplGuard guard(GetParam());
+  Tensor x = Tensor::FromData({1.0f, 1.0f, 1.0f, 1.0f}, {1, 1, 2, 2});
+  x.set_requires_grad(true);
+  Tensor w = Tensor::FromData({0.0f}, {1, 1, 1, 1});
+  Tensor out = Conv2d(x, w, Tensor(), 0, 0);
+  out.Backward(Tensor::FromData({kInf, 1.0f, 1.0f, 1.0f}, {1, 1, 2, 2}));
+  ASSERT_TRUE(x.grad().defined());
+  EXPECT_TRUE(std::isnan(x.grad().at(0)));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllImpls, NanPropagationTest,
+                         ::testing::Values(kernels::KernelImpl::kScalar,
+                                           kernels::KernelImpl::kAvx2),
+                         [](const auto& info) {
+                           return kernels::KernelImplName(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Scalar bitwise identity with the pre-substrate kernels
+// ---------------------------------------------------------------------------
+
+// The pre-substrate loops, verbatim — including the non-IEEE zero skips.
+// On finite data the skip is bitwise neutral, which is exactly what these
+// tests pin down (the inputs deliberately contain exact zeros).
+namespace legacy {
+
+void GemmRowRange(const float* a, const float* b, float* out, int64_t lo,
+                  int64_t hi, int64_t m, int64_t k, int64_t n,
+                  const std::vector<int64_t>& a_off,
+                  const std::vector<int64_t>& b_off) {
+  for (int64_t r = lo; r < hi; ++r) {
+    const int64_t bi = r / m;
+    const int64_t i = r % m;
+    const float* pa = a + a_off[bi] + i * k;
+    const float* pb = b + b_off[bi];
+    float* po = out + r * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = pa[p];
+      if (av == 0.0f) continue;
+      const float* brow = pb + p * n;
+      for (int64_t j = 0; j < n; ++j) po[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmAccBT(const float* a, const float* b, float* c, int64_t m, int64_t n,
+               int64_t k) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < k; ++j) {
+      float acc = 0.0f;
+      const float* pa = a + i * n;
+      const float* pb = b + j * n;
+      for (int64_t t = 0; t < n; ++t) acc += pa[t] * pb[t];
+      c[i * k + j] += acc;
+    }
+  }
+}
+
+void GemmAccAT(const float* a, const float* b, float* c, int64_t m, int64_t k,
+               int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* pa = a + i * k;
+    const float* pb = b + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = pa[p];
+      if (av == 0.0f) continue;
+      float* pc = c + p * n;
+      for (int64_t j = 0; j < n; ++j) pc[j] += av * pb[j];
+    }
+  }
+}
+
+}  // namespace legacy
+
+// Bitwise equality (operator== would treat -0.0f == 0.0f and NaN != NaN);
+// memcmp directly on data() is UB for empty vectors, whose data() is null.
+bool BitwiseEqual(const FloatVec& got, const FloatVec& want) {
+  if (got.size() != want.size()) return false;
+  return got.empty() || std::memcmp(got.data(), want.data(),
+                                    got.size() * sizeof(float)) == 0;
+}
+
+struct GemmShape {
+  int64_t m, k, n;
+};
+
+// Remainder coverage: m % 6, n % 16 and n % 8 tails, k = 0/1, single rows.
+const GemmShape kShapes[] = {{1, 1, 1},  {3, 5, 7},    {6, 16, 16},
+                             {7, 17, 33}, {13, 9, 40}, {2, 1, 17},
+                             {5, 32, 1},  {6, 3, 15},  {12, 24, 48},
+                             {1, 64, 9},  {4, 0, 8},   {31, 33, 31}};
+
+TEST(ScalarBitwiseTest, BatchedGemmMatchesLegacyOnFiniteData) {
+  Rng rng(11);
+  for (const GemmShape& s : kShapes) {
+    const int64_t nbatch = 3;
+    FloatVec a = RandomVec(nbatch * s.m * s.k, &rng, /*zero_fraction=*/0.25f);
+    FloatVec b = RandomVec(nbatch * s.k * s.n, &rng);
+    std::vector<int64_t> a_off(nbatch), b_off(nbatch);
+    for (int64_t i = 0; i < nbatch; ++i) {
+      a_off[i] = i * s.m * s.k;
+      b_off[i] = i * s.k * s.n;
+    }
+    FloatVec got(static_cast<size_t>(nbatch * s.m * s.n), 0.0f);
+    kernels::detail::BatchedGemmScalar(a.data(), b.data(), got.data(), a_off,
+                                       b_off, s.m, s.k, s.n, nbatch);
+    FloatVec want(got.size(), 0.0f);
+    legacy::GemmRowRange(a.data(), b.data(), want.data(), 0, nbatch * s.m,
+                         s.m, s.k, s.n, a_off, b_off);
+    ASSERT_TRUE(BitwiseEqual(got, want))
+        << "shape " << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST(ScalarBitwiseTest, AccKernelsMatchLegacyOnFiniteData) {
+  Rng rng(13);
+  for (const GemmShape& s : kShapes) {
+    FloatVec bt_a = RandomVec(s.m * s.n, &rng);
+    FloatVec bt_b = RandomVec(s.k * s.n, &rng);
+    FloatVec got(static_cast<size_t>(s.m * s.k), 0.5f);
+    FloatVec want = got;
+    kernels::detail::GemmAccBTScalar(bt_a.data(), bt_b.data(), got.data(),
+                                     s.m, s.n, s.k);
+    legacy::GemmAccBT(bt_a.data(), bt_b.data(), want.data(), s.m, s.n, s.k);
+    ASSERT_TRUE(BitwiseEqual(got, want))
+        << "shape " << s.m << "x" << s.k << "x" << s.n;
+
+    FloatVec at_a = RandomVec(s.m * s.k, &rng, /*zero_fraction=*/0.25f);
+    FloatVec at_b = RandomVec(s.m * s.n, &rng);
+    FloatVec got2(static_cast<size_t>(s.k * s.n), -0.25f);
+    FloatVec want2 = got2;
+    kernels::detail::GemmAccATScalar(at_a.data(), at_b.data(), got2.data(),
+                                     s.m, s.k, s.n);
+    legacy::GemmAccAT(at_a.data(), at_b.data(), want2.data(), s.m, s.k, s.n);
+    ASSERT_TRUE(BitwiseEqual(got2, want2))
+        << "shape " << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar vs AVX2 differential
+// ---------------------------------------------------------------------------
+
+// The implementations share the ascending-k reduction order per element; the
+// AVX2 kernels differ only by FMA contraction (forward / AccAT: one rounding
+// per step instead of two) or 8-lane partial sums (AccBT: the reduction is
+// regrouped into 8 interleaved partials). Both perturb each of the k steps
+// by at most one ulp of the running value, so the disagreement is bounded by
+// ~k ulps of the result magnitude — the 8 * eps * k rtol below leaves ~8x
+// headroom and a small atol absorbs catastrophic cancellation near zero.
+void ExpectWithinUlps(const FloatVec& got, const FloatVec& want, int64_t k,
+                      const char* label) {
+  const float rtol =
+      8.0f * std::numeric_limits<float>::epsilon() * static_cast<float>(k + 1);
+  const float atol = 1e-6f;
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_NEAR(got[i], want[i], atol + rtol * std::fabs(want[i]))
+        << label << " at " << i;
+  }
+}
+
+class DifferentialTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!Avx2Available()) GTEST_SKIP() << "no AVX2+FMA on this host/build";
+  }
+};
+
+TEST_F(DifferentialTest, BatchedGemmScalarVsAvx2) {
+  Rng rng(17);
+  for (const GemmShape& s : kShapes) {
+    for (const bool broadcast_b : {false, true}) {
+      const int64_t nbatch = 3;
+      FloatVec a = RandomVec(nbatch * s.m * s.k, &rng);
+      FloatVec b = RandomVec(nbatch * s.k * s.n, &rng);
+      std::vector<int64_t> a_off(nbatch), b_off(nbatch);
+      for (int64_t i = 0; i < nbatch; ++i) {
+        a_off[i] = i * s.m * s.k;
+        b_off[i] = broadcast_b ? 0 : i * s.k * s.n;
+      }
+      FloatVec scalar(static_cast<size_t>(nbatch * s.m * s.n), 0.0f);
+      FloatVec avx2 = scalar;
+      kernels::detail::BatchedGemmScalar(a.data(), b.data(), scalar.data(),
+                                         a_off, b_off, s.m, s.k, s.n, nbatch);
+      kernels::detail::BatchedGemmAvx2(a.data(), b.data(), avx2.data(), a_off,
+                                       b_off, s.m, s.k, s.n, nbatch);
+      ExpectWithinUlps(avx2, scalar, s.k, "BatchedGemm");
+    }
+  }
+}
+
+TEST_F(DifferentialTest, GemmAccBTScalarVsAvx2) {
+  Rng rng(19);
+  for (const GemmShape& s : kShapes) {
+    FloatVec a = RandomVec(s.m * s.n, &rng);
+    FloatVec b = RandomVec(s.k * s.n, &rng);
+    FloatVec scalar(static_cast<size_t>(s.m * s.k), 1.0f);
+    FloatVec avx2 = scalar;
+    kernels::detail::GemmAccBTScalar(a.data(), b.data(), scalar.data(), s.m,
+                                     s.n, s.k);
+    kernels::detail::GemmAccBTAvx2(a.data(), b.data(), avx2.data(), s.m, s.n,
+                                   s.k);
+    ExpectWithinUlps(avx2, scalar, s.n, "GemmAccBT");
+  }
+}
+
+TEST_F(DifferentialTest, GemmAccATScalarVsAvx2) {
+  Rng rng(23);
+  for (const GemmShape& s : kShapes) {
+    FloatVec a = RandomVec(s.m * s.k, &rng);
+    FloatVec b = RandomVec(s.m * s.n, &rng);
+    FloatVec scalar(static_cast<size_t>(s.k * s.n), -1.0f);
+    FloatVec avx2 = scalar;
+    kernels::detail::GemmAccATScalar(a.data(), b.data(), scalar.data(), s.m,
+                                     s.k, s.n);
+    kernels::detail::GemmAccATAvx2(a.data(), b.data(), avx2.data(), s.m, s.k,
+                                   s.n);
+    ExpectWithinUlps(avx2, scalar, s.m, "GemmAccAT");
+  }
+}
+
+TEST_F(DifferentialTest, MatMulForwardAgreesAcrossImpls) {
+  Rng rng(29);
+  Tensor a = Tensor::Randn({2, 13, 21}, &rng);
+  Tensor b = Tensor::Randn({2, 21, 17}, &rng);
+  Tensor scalar_out, avx2_out;
+  {
+    KernelImplGuard guard(kernels::KernelImpl::kScalar);
+    scalar_out = MatMul(a, b);
+  }
+  {
+    KernelImplGuard guard(kernels::KernelImpl::kAvx2);
+    avx2_out = MatMul(a, b);
+  }
+  EXPECT_TRUE(AllClose(scalar_out, avx2_out, 1e-4f, 1e-5f));
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count determinism of the AVX2 path
+// ---------------------------------------------------------------------------
+
+TEST_F(DifferentialTest, Avx2BitwiseIdenticalAcrossThreadCounts) {
+  Rng rng(31);
+  const GemmShape s{67, 41, 53};  // deliberately tile- and grain-unaligned
+  const int64_t nbatch = 2;
+  FloatVec a = RandomVec(nbatch * s.m * s.k, &rng);
+  FloatVec b = RandomVec(nbatch * s.k * s.n, &rng);
+  std::vector<int64_t> a_off = {0, s.m * s.k};
+  std::vector<int64_t> b_off = {0, s.k * s.n};
+  FloatVec base;
+  for (const int threads : {1, 2, 5}) {
+    ThreadPool::SetGlobalNumThreads(threads);
+    FloatVec out(static_cast<size_t>(nbatch * s.m * s.n), 0.0f);
+    kernels::detail::BatchedGemmAvx2(a.data(), b.data(), out.data(), a_off,
+                                     b_off, s.m, s.k, s.n, nbatch);
+    if (base.empty()) {
+      base = out;
+    } else {
+      EXPECT_TRUE(BitwiseEqual(base, out)) << "threads=" << threads;
+    }
+  }
+  ThreadPool::SetGlobalNumThreads(1);
+}
+
+// ---------------------------------------------------------------------------
+// Gradcheck under both implementations
+// ---------------------------------------------------------------------------
+
+class GradcheckTest : public NanPropagationTest {};
+
+TEST_P(GradcheckTest, MatMulGradients) {
+  KernelImplGuard guard(GetParam());
+  Rng rng(37);
+  Tensor a = Tensor::Randn({5, 7}, &rng, 0.5f).set_requires_grad(true);
+  Tensor b = Tensor::Randn({7, 6}, &rng, 0.5f).set_requires_grad(true);
+  auto result = CheckGradients(
+      [](const std::vector<Tensor>& in) {
+        return Sum(MatMul(in[0], in[1]));
+      },
+      {a, b});
+  EXPECT_TRUE(result.ok) << result.message;
+}
+
+TEST_P(GradcheckTest, Conv2dGradients) {
+  KernelImplGuard guard(GetParam());
+  Rng rng(41);
+  Tensor x = Tensor::Randn({2, 2, 4, 4}, &rng, 0.5f).set_requires_grad(true);
+  Tensor w = Tensor::Randn({3, 2, 3, 3}, &rng, 0.5f).set_requires_grad(true);
+  Tensor bias = Tensor::Randn({3}, &rng, 0.5f).set_requires_grad(true);
+  auto result = CheckGradients(
+      [](const std::vector<Tensor>& in) {
+        return Sum(Conv2d(in[0], in[1], in[2], 1, 1));
+      },
+      {x, w, bias});
+  EXPECT_TRUE(result.ok) << result.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllImpls, GradcheckTest,
+                         ::testing::Values(kernels::KernelImpl::kScalar,
+                                           kernels::KernelImpl::kAvx2),
+                         [](const auto& info) {
+                           return kernels::KernelImplName(info.param);
+                         });
+
+}  // namespace
+}  // namespace ts3net

@@ -69,6 +69,14 @@ cannot express, because they span files or encode project policy:
                                10 lines; operators that hide seq_cst ops on
                                atomics (=, +=, ++) are banned; seqlock files
                                must pair acquire loads with release stores
+  TL015 intrinsics-outside-kernels
+                               SIMD intrinsics (<immintrin.h>, _mm*(),
+                               __m128/__m256/__m512, __builtin_ia32_*)
+                               outside src/tensor/kernels/; vector code must
+                               route through the dispatched kernels::* entry
+                               points so every SIMD path keeps a scalar
+                               fallback and the determinism contract stays
+                               auditable in one directory
 
 TL012-TL014 run on a token-level C++ model (tools/ts3lint/cpptok.py +
 concurrency.py): per-file class/member/method scopes merged into a
@@ -113,11 +121,13 @@ CHECK_DOCS = {
     "TL012": "guarded-by-missing",
     "TL013": "blocking-under-lock",
     "TL014": "atomic-memory-order",
+    "TL015": "intrinsics-outside-kernels",
 }
 
 SOURCE_EXTENSIONS = (".cc", ".cpp", ".h", ".hpp")
 
 # Paths (relative to <root>/src, POSIX separators) exempt from a check.
+# An entry ending in "/" exempts the whole directory subtree under it.
 EXEMPT = {
     "TL001": {"common/threadpool.h", "common/threadpool.cc"},
     "TL002": {"common/random.h", "common/random.cc"},
@@ -126,7 +136,21 @@ EXEMPT = {
     # The mutex shim is the one legal home of a raw std::mutex, and its
     # MutexLock/CondVar internals are what the analysis reasons *about*.
     "TL012": {"common/mutex.h"},
+    # The micro-kernel substrate is the one legal home of SIMD intrinsics;
+    # everything else goes through its dispatched entry points so the
+    # scalar/AVX2 determinism contract stays auditable in one directory.
+    "TL015": {"tensor/kernels/"},
 }
+
+
+def is_exempt(check, rel_path):
+    for entry in EXEMPT.get(check, ()):
+        if entry.endswith("/"):
+            if rel_path.startswith(entry):
+                return True
+        elif rel_path == entry:
+            return True
+    return False
 
 # Directories under src/ whose files count as "kernel code" for TL004.
 # serve/ is included: request handling stacks windows into batch buffers and
@@ -211,13 +235,25 @@ PATTERN_CHECKS = [
         "and valgrind see the bounds",
         KERNEL_DIRS,
     ),
+    (
+        "TL015",
+        re.compile(
+            r"#\s*include\s*[<\"][^<>\"]*intrin\.h[>\"]"
+            r"|(?<![\w:])_mm\d*_[a-z0-9_]+\s*\("
+            r"|\b__m(?:128|256|512)[a-z]*\b"
+            r"|\b__builtin_ia32_\w+"),
+        "SIMD intrinsics outside src/tensor/kernels/; call the dispatched "
+        "kernels::* entry points so the scalar fallback and determinism "
+        "contract stay in one place",
+        None,
+    ),
 ]
 
 
 def run_pattern_checks(rel_path, code, findings):
     # rel_path is relative to src/, POSIX separators.
     for check, regex, message, dirs in PATTERN_CHECKS:
-        if rel_path in EXEMPT.get(check, ()):
+        if is_exempt(check, rel_path):
             continue
         if dirs is not None and not rel_path.startswith(
                 tuple(d + "/" for d in dirs)):

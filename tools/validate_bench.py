@@ -25,6 +25,18 @@ contracts this repo treats as regressions, not style:
     speedup >= 1.0 — the single-client batching stall, once fixed, must
     never come back.
 
+Substrate records (bench == "substrate") carry the SIMD GEMM
+micro-kernel contract from bench/micro_substrate:
+
+  * a "settings" object with a boolean "avx2_available";
+  * a non-empty "shapes" array whose entries carry integer m/k/n >= 1
+    and numeric scalar_gflops > 0; when AVX2 is available each entry
+    must also carry numeric avx2_gflops > 0 and speedup > 0;
+  * when AVX2 is available, the largest square shape (m == k == n)
+    must report speedup >= 4.0 — the substrate's reason to exist; a
+    drop below that at the register-blocking sweet spot is a kernel
+    regression, not noise.
+
 Usage:
   validate_bench.py FILE [FILE ...]
   validate_bench.py --dir DIR          validate every BENCH_*.json under DIR
@@ -63,6 +75,8 @@ def validate(path):
         problems.append('missing "bench"/"kind" key naming the harness')
     if record.get("bench") == "serve":
         problems.extend(validate_serve(record))
+    if record.get("bench") == "substrate":
+        problems.extend(validate_substrate(record))
     return problems
 
 
@@ -131,6 +145,74 @@ def validate_serve(record):
                             "speedup %.3f < 1.0: the single-client batching "
                             "stall is back" % (i, cell.get("max_batch"),
                                                speedup))
+    return problems
+
+
+# The micro-kernel substrate was merged on the strength of a >= 4x
+# single-thread GEMM speedup over the scalar reference.  The gate is
+# checked at the largest square shape because that is where register
+# blocking pays off fully; small or skewed shapes legitimately sit
+# closer to the scalar kernel.
+SUBSTRATE_MIN_SPEEDUP = 4.0
+
+
+def validate_substrate(record):
+    """Substrate-record invariants: shape sweep + AVX2 speedup gate."""
+    problems = []
+    settings = record.get("settings")
+    if not isinstance(settings, dict):
+        problems.append('substrate record needs a "settings" object')
+        settings = {}
+    avx2 = settings.get("avx2_available")
+    if not isinstance(avx2, bool):
+        problems.append("settings.avx2_available is %r, expected a boolean"
+                        % avx2)
+        avx2 = False
+    shapes = record.get("shapes")
+    if not isinstance(shapes, list) or not shapes:
+        problems.append('substrate record needs a non-empty "shapes" array '
+                        "(the GEMM shape sweep)")
+        shapes = []
+    best_square = None  # (max(m), its speedup) over shapes with m == k == n
+    for i, shape in enumerate(shapes):
+        where = "shapes[%d]" % i
+        if not isinstance(shape, dict):
+            problems.append("%s is not an object" % where)
+            continue
+        dims = {}
+        for key in ("m", "k", "n"):
+            v = shape.get(key)
+            if not isinstance(v, int) or isinstance(v, bool) or v < 1:
+                problems.append("%s.%s is %r, expected an integer >= 1"
+                                % (where, key, v))
+            else:
+                dims[key] = v
+        scalar = shape.get("scalar_gflops")
+        if not _is_num(scalar) or scalar <= 0:
+            problems.append("%s.scalar_gflops is %r, expected a number > 0"
+                            % (where, scalar))
+        if avx2:
+            speedup = shape.get("speedup")
+            for key in ("avx2_gflops", "speedup"):
+                v = shape.get(key)
+                if not _is_num(v) or v <= 0:
+                    problems.append("%s.%s is %r, expected a number > 0 "
+                                    "when AVX2 is available"
+                                    % (where, key, v))
+            if len(dims) == 3 and dims["m"] == dims["k"] == dims["n"] \
+                    and _is_num(speedup):
+                if best_square is None or dims["m"] > best_square[0]:
+                    best_square = (dims["m"], speedup)
+    if avx2 and shapes:
+        if best_square is None:
+            problems.append("no square shape (m == k == n) in the sweep: "
+                            "the speedup gate has nowhere to anchor")
+        elif best_square[1] < SUBSTRATE_MIN_SPEEDUP:
+            problems.append("largest square shape (%d^3) reports speedup "
+                            "%.2f < %.1f: the AVX2 micro-kernel has "
+                            "regressed below its merge gate"
+                            % (best_square[0], best_square[1],
+                               SUBSTRATE_MIN_SPEEDUP))
     return problems
 
 
